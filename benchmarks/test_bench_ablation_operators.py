@@ -1,0 +1,60 @@
+"""Ablation A1 — paper (mean) operator vs canonical (sum) operator.
+
+The paper's Eq. 1-3 average the state proportions over the aggregated cells;
+the earlier Viva / temporal-Ocelotl work uses the sum-based Lamarche-Perrin
+criterion.  This ablation compares the two operators on the same data: the
+quality curves (partition size, gain, loss as functions of p) and the cost of
+the optimization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from bench_utils import write_result
+
+from repro.core.microscopic import MicroscopicModel
+from repro.core.parameters import quality_curve
+from repro.core.spatiotemporal import SpatiotemporalAggregator
+from repro.trace.synthetic import figure3_trace
+
+PS = np.linspace(0.0, 1.0, 9)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MicroscopicModel.from_trace(figure3_trace(), n_slices=20)
+
+
+def test_operator_quality_curves(benchmark, model, results_dir):
+    """Both operators produce nested representations; sizes shrink with p."""
+    lines = ["p      mean: size gain loss      sum: size gain loss"]
+    curves = {
+        "mean": benchmark.pedantic(
+            quality_curve, args=(model,), kwargs={"ps": PS, "operator": "mean"}, rounds=1, iterations=1
+        ),
+        "sum": quality_curve(model, ps=PS, operator="sum"),
+    }
+    for point_mean, point_sum in zip(curves["mean"], curves["sum"]):
+        lines.append(
+            f"{point_mean.p:4.2f}   {point_mean.size:5d} {point_mean.gain:8.2f} {point_mean.loss:8.2f}"
+            f"      {point_sum.size:5d} {point_sum.gain:8.2f} {point_sum.loss:8.2f}"
+        )
+    write_result(results_dir, "ablation_operators.txt", "\n".join(lines))
+
+    for name, points in curves.items():
+        sizes = [point.size for point in points]
+        losses = [point.loss for point in points]
+        # Aggregation strength grows with p for both operators.
+        assert sizes[0] >= sizes[-1]
+        assert all(b >= a - 1e-9 for a, b in zip(losses, losses[1:]))
+        # Extreme points: p=0 lossless, p=1 fully aggregated (sum operator).
+        assert points[0].loss <= 1e-6
+    assert curves["sum"][-1].size == 1
+
+
+@pytest.mark.parametrize("operator", ["mean", "sum"])
+def test_operator_cost(benchmark, model, operator):
+    """The optimization cost is operator-independent (same DP, same tables)."""
+    aggregator = SpatiotemporalAggregator(model, operator=operator)
+    benchmark(aggregator.run, 0.5)

@@ -1,0 +1,94 @@
+"""Figure 1 — Ocelotl overview of case A (NAS-CG, class C, 64 processes, Rennes).
+
+The paper reads off the overview: an initialization phase aggregated into a
+single spatiotemporal block, a short transition, a regular computation phase
+in which every 8-core machine has one MPI_Wait-dominated process while the
+others mostly run MPI_Send, and a temporal perturbation around 3 s (network
+contention from concurrent experiments) that disrupts the temporal
+aggregation of a subset of the processes.
+
+This benchmark regenerates the overview on the simulated case A, prints the
+phase / anomaly report and the ASCII overview, and asserts the same findings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_utils import bench_scale, scaled, write_result
+
+from repro.analysis.anomaly import deviation_matrix
+from repro.analysis.report import overview_report
+from repro.experiments.figures import figure1_series
+from repro.simulation.scenarios import case_a
+from repro.viz.ascii import legend, render_partition_ascii
+from repro.viz.svg import render_visual_svg, save_svg
+
+
+@pytest.fixture(scope="module")
+def series():
+    # At least 32 processes over at least 4 machines so that the 2-machine
+    # perturbation affects a strict subset of the processes, as in Figure 1.
+    n_processes = scaled(64, 32)
+    platform_scale = max(bench_scale(), n_processes / 64, 0.5)
+    return figure1_series(
+        case_a(n_processes=n_processes, platform_scale=platform_scale),
+        p=0.7,
+        n_slices=30,
+    )
+
+
+def test_figure1_overview(benchmark, series, results_dir):
+    """Regenerate the case-A overview and its analysis report."""
+    result = series.result
+    report = benchmark(
+        overview_report,
+        result.trace, result.model, result.partition, series.phases, series.deviations,
+    )
+    ascii_view = render_partition_ascii(result.partition, max_rows=32)
+    write_result(results_dir, "figure1_report.txt", report)
+    write_result(results_dir, "figure1_overview.txt", ascii_view + "\n\n" + legend(result.partition))
+    save_svg(
+        render_visual_svg(result.partition, title="Case A — CG class C"),
+        str(results_dir / "figure1_overview.svg"),
+    )
+
+    # (1) The first phase is the MPI_Init initialization phase.
+    assert series.phases[0].dominant_state == "MPI_Init"
+    assert len(series.phases) >= 3
+
+    # (2) One MPI_Wait-dominated process per *occupied* machine during the
+    #     computation phase (8 cores per Parapide machine, block placement).
+    n_machines = result.trace.metadata["clusters"]["parapide"]
+    n_occupied = min(n_machines, -(-result.model.n_resources // 8))
+    assert len(series.wait_dominated_resources) == n_occupied
+
+    # (3) MPI_Send is the most common mode among computation-phase aggregates.
+    send_like = series.mode_counts.get("MPI_Send", 0)
+    wait_like = series.mode_counts.get("MPI_Wait", 0)
+    assert send_like > wait_like
+
+    # (4) The injected perturbation is detected in time, and the processes are
+    #     not all equally impacted: the ranks bound to the perturbed machines
+    #     deviate significantly more than the others (the paper reports a
+    #     detailed list of the 26 significantly impacted processes).
+    assert series.injected_window is not None
+    assert series.detected_injected
+    assert len(series.affected_resources) > 0
+    start, end = series.injected_window
+    model = result.model
+    slice_mask = (model.slicing.midpoints() >= start) & (model.slicing.midpoints() <= end)
+    window_deviation = deviation_matrix(model)[:, slice_mask].mean(axis=1)
+    perturbed_machines = set(result.trace.metadata["perturbations"][0]["machines"])
+    perturbed_ranks = [
+        model.hierarchy.leaf_index(leaf.name)
+        for leaf in model.hierarchy.leaves
+        if leaf.parent is not None and leaf.parent.name in perturbed_machines
+    ]
+    other_ranks = [r for r in range(model.n_resources) if r not in set(perturbed_ranks)]
+    assert perturbed_ranks and other_ranks
+    assert window_deviation[perturbed_ranks].mean() > window_deviation[other_ranks].mean()
+
+
+def test_figure1_aggregation_benchmark(benchmark, series):
+    """Re-aggregation cost at a new trade-off (the interactive operation)."""
+    benchmark.pedantic(series.result.aggregator.run, args=(0.45,), rounds=3, iterations=1)

@@ -1,0 +1,60 @@
+"""Figure 2 — the microscopic Gantt chart of the case-A trace is cluttered.
+
+The paper shows that drawing every state interval of the trace of Figure 1
+produces a cluttered Gantt chart: far more graphical objects than pixels,
+sub-pixel objects, rendering artefacts.  This benchmark quantifies the
+clutter for a typical screen and contrasts it with the bounded entity count
+of the aggregated overview.
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_utils import bench_scale, scaled, write_result
+
+from repro.experiments.figures import figure2_series
+from repro.experiments.runner import run_case
+from repro.simulation.scenarios import case_a
+from repro.viz.gantt import gantt_metrics, render_gantt_ascii
+
+
+@pytest.fixture(scope="module")
+def case_result():
+    n_processes = scaled(64, 16)
+    scenario = case_a(n_processes=n_processes, platform_scale=max(bench_scale(), n_processes / 64))
+    return run_case(scenario, n_slices=30, p=0.7)
+
+
+def test_figure2_clutter_metrics(benchmark, case_result, results_dir):
+    """Microscopic Gantt clutter vs aggregated-overview entity count."""
+    # The paper draws 1/7th of the trace on a full-screen Gantt chart and it
+    # is already cluttered; we use a modest laptop-screen budget.
+    series = figure2_series(case_result, width_px=1280, height_px=720)
+    benchmark(gantt_metrics, case_result.trace, 1280, 720)
+
+    gantt = series.gantt
+    lines = [
+        f"graphical objects (state intervals): {gantt.n_objects}",
+        f"screen budget:                       {gantt.width_px} x {gantt.height_px} px",
+        f"row height:                          {gantt.row_height_px:.2f} px",
+        f"sub-pixel objects:                   {gantt.sub_pixel_objects} ({gantt.sub_pixel_fraction:.0%})",
+        f"max objects on one pixel column/row: {gantt.max_objects_per_column}",
+        f"cluttered:                           {gantt.cluttered}",
+        "",
+        f"aggregated overview entities:        {series.overview_items} "
+        f"({series.overview_data_items} data + {series.overview_visual_items} visual)",
+        f"objects-per-entity ratio:            {series.entity_ratio:.1f}x",
+    ]
+    write_result(results_dir, "figure2_clutter.txt", "\n".join(lines))
+    write_result(
+        results_dir,
+        "figure2_gantt_ascii.txt",
+        render_gantt_ascii(case_result.trace, width=100, max_rows=32),
+    )
+
+    # Shape of the paper's argument: the microscopic view needs one to two
+    # orders of magnitude more graphical objects than the aggregated overview,
+    # and a large share of them are smaller than one pixel.
+    assert series.entity_ratio > 5.0
+    assert gantt.sub_pixel_fraction > 0.3
+    assert series.overview_items < gantt.n_objects

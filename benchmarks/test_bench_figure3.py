@@ -1,0 +1,75 @@
+"""Figure 3 — aggregation and visualization of the artificial 12 x 20 trace.
+
+The six panels of Figure 3 are regenerated on the synthetic trace that
+reproduces the paper's description (12 resources in 3 clusters, 20
+microscopic time periods, two states):
+
+* (a) the microscopic model — 240 spatiotemporal areas;
+* (b) a non-optimal uniform aggregation (3 clusters x 4 periods);
+* (c) the Cartesian product of the optimal spatial and temporal partitions;
+* (d) an optimal spatiotemporal aggregation at a low trade-off p;
+* (e) a higher-level optimal aggregation at a larger p;
+* (f) the visual aggregation of (d) on a small canvas.
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_utils import write_result
+
+from repro.core.spatiotemporal import SpatiotemporalAggregator
+from repro.experiments.figures import figure3_series
+from repro.viz.ascii import render_label_grid, render_partition_ascii
+
+
+@pytest.fixture(scope="module")
+def series():
+    return figure3_series(low_p=0.25, high_p=0.65)
+
+
+def test_figure3_regeneration(benchmark, series, results_dir):
+    """Panel sizes, baseline comparison and visual aggregation counts."""
+    benchmark.pedantic(render_partition_ascii, args=(series.optimal_low_p,), rounds=2, iterations=1)
+    lines = [
+        f"(a) microscopic areas:               {series.microscopic_cells}",
+        f"(b) uniform grid aggregates:         {series.grid.size}",
+        f"(c) Cartesian-product aggregates:    {series.cartesian.size}",
+        f"(d) optimal spatiotemporal (p={series.low_p}): {series.optimal_low_p.size}",
+        f"(e) optimal spatiotemporal (p={series.high_p}): {series.optimal_high_p.size}",
+        f"(f) visual aggregation of (d):       {series.visual_items} items "
+        f"({series.visual_data_items} data, markers {dict(series.visual_markers)})",
+        "",
+        "spatiotemporal vs baselines at p = %.2f (scored on the full microscopic data):" % series.low_p,
+    ]
+    for row in series.comparison_rows:
+        lines.append(
+            f"  {row['scheme']:>15}: {row['aggregates']:4d} aggregates, "
+            f"gain {row['gain']:8.2f}, loss {row['loss']:8.2f}, pIC {row['pIC']:8.2f}"
+        )
+    write_result(results_dir, "figure3_panels.txt", "\n".join(lines))
+    write_result(
+        results_dir,
+        "figure3_overview_low_p.txt",
+        render_partition_ascii(series.optimal_low_p, alpha_threshold=0.55)
+        + "\n\nlabel grid:\n"
+        + render_label_grid(series.optimal_low_p),
+    )
+
+    # Shape of the paper's Figure 3:
+    # microscopic > optimal(low p) > optimal(high p) > 1 aggregate.
+    assert series.microscopic_cells == 240
+    assert 240 > series.optimal_low_p.size > series.optimal_high_p.size >= 1
+    # The spatiotemporal optimum dominates both the uniform grid (3.b) and the
+    # Cartesian product of unidimensional optima (3.c) in pIC.
+    by_scheme = {row["scheme"]: row["pIC"] for row in series.comparison_rows}
+    assert by_scheme["spatiotemporal"] >= by_scheme["grid"] - 1e-9
+    assert by_scheme["spatiotemporal"] >= by_scheme["cartesian"] - 1e-9
+    # Visual aggregation (3.f) reduces the entity count and marks hidden data.
+    assert series.visual_items <= series.optimal_low_p.size
+    assert sum(series.visual_markers.values()) >= 1
+
+
+def test_figure3_aggregation_benchmark(benchmark, series):
+    """Cost of the full spatiotemporal optimization on the artificial trace."""
+    aggregator = SpatiotemporalAggregator(series.model)
+    benchmark(aggregator.run, 0.25)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Working with traces on disk: CSV and Pajé-like formats, zooming, reports.
+
+Shows the trace-management side of the library:
+
+* simulate an execution and save it in the CSV interchange format and in a
+  Pajé-like event dump;
+* reload it (the resource hierarchy is rebuilt from the file);
+* zoom on a time window by re-slicing only part of the trace;
+* print a textual analysis report.
+
+Run with:  python examples/trace_io_roundtrip.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import detect_phases, overview_report
+from repro.core import MicroscopicModel, SpatiotemporalAggregator, TimeSlicing
+from repro.simulation import case_a, run_scenario
+from repro.trace import read_csv, read_paje, write_csv, write_metadata, write_paje
+
+
+def main() -> None:
+    scenario = case_a(n_processes=16, iterations=20, platform_scale=0.25)
+    trace = run_scenario(scenario)
+
+    with tempfile.TemporaryDirectory(prefix="repro-example-") as tmp:
+        directory = Path(tmp)
+        csv_path = directory / "case_a.csv"
+        paje_path = directory / "case_a.paje"
+        meta_path = directory / "case_a.json"
+
+        csv_bytes = write_csv(trace, csv_path)
+        paje_events = write_paje(trace, paje_path)
+        write_metadata(trace, meta_path)
+        print(f"wrote {csv_bytes} bytes of CSV, {paje_events} Pajé events, metadata side-car")
+
+        reloaded = read_csv(csv_path)
+        print(f"reloaded {reloaded.n_intervals} intervals, "
+              f"{reloaded.hierarchy.n_leaves} resources, depth {reloaded.hierarchy.depth}")
+        from_paje = read_paje(paje_path)
+        assert from_paje.n_intervals == reloaded.n_intervals
+
+        # Overview of the whole run.
+        model = MicroscopicModel.from_trace(reloaded, n_slices=30)
+        partition = SpatiotemporalAggregator(model).run(0.7)
+        print()
+        print(overview_report(reloaded, model, partition, detect_phases(partition, model)))
+
+        # Zoom on the middle third of the execution: same pipeline, explicit slicing.
+        start = reloaded.start + reloaded.duration / 3
+        end = reloaded.start + 2 * reloaded.duration / 3
+        zoom_slicing = TimeSlicing.regular(start, end, 30)
+        zoom_model = MicroscopicModel.from_trace(reloaded.time_window(start, end), slicing=zoom_slicing)
+        zoom_partition = SpatiotemporalAggregator(zoom_model).run(0.7)
+        print(f"\nzoom on [{start:.2f}s, {end:.2f}s): {zoom_partition.size} aggregates "
+              f"(complexity reduction {zoom_partition.complexity_reduction():.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim kept for environments without PEP 660 support (offline installs)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — spatiotemporal data aggregation for execution trace analysis.
+
+Reproduction of Dosimont, Lamarche-Perrin, Schnorr, Huard and Vincent,
+*A Spatiotemporal Data Aggregation Technique for Performance Analysis of
+Large-scale Execution Traces*, IEEE CLUSTER 2014.
+
+The package is organized in layers:
+
+* :mod:`repro.trace` — events, state intervals, trace containers, I/O and
+  synthetic generators;
+* :mod:`repro.platform` — platform topology and network models (Grid'5000
+  substitutes);
+* :mod:`repro.simulation` — discrete-event MPI simulation producing traces
+  (NAS CG / LU skeletons, perturbation injection);
+* :mod:`repro.core` — the microscopic model, information criteria and the
+  spatial, temporal and spatiotemporal aggregation algorithms;
+* :mod:`repro.viz` — overview rendering (state modes, visual aggregation,
+  SVG/ASCII outputs, Gantt comparison, Table I criteria);
+* :mod:`repro.analysis` — phase and anomaly detection, textual reports;
+* :mod:`repro.experiments` — the scenario and benchmark harness reproducing
+  the paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro.trace import figure3_trace
+>>> from repro.core import MicroscopicModel, aggregate_spatiotemporal
+>>> trace = figure3_trace()
+>>> model = MicroscopicModel.from_trace(trace, n_slices=20)
+>>> partition = aggregate_spatiotemporal(model, p=0.5)
+>>> partition.size <= model.n_cells
+True
+"""
+
+from . import core, trace
+
+__version__ = "1.0.0"
+
+from .core import (
+    Aggregate,
+    Hierarchy,
+    IntervalStatistics,
+    MicroscopicModel,
+    Partition,
+    SpatiotemporalAggregator,
+    TimeSlicing,
+    aggregate_spatiotemporal,
+)
+from .trace import Trace, TraceBuilder
+
+__all__ = [
+    "__version__",
+    "core",
+    "trace",
+    "Hierarchy",
+    "TimeSlicing",
+    "MicroscopicModel",
+    "IntervalStatistics",
+    "Aggregate",
+    "Partition",
+    "SpatiotemporalAggregator",
+    "aggregate_spatiotemporal",
+    "Trace",
+    "TraceBuilder",
+]

@@ -1,0 +1,29 @@
+"""Analysis layer: phase detection, anomaly detection and textual reports."""
+
+from .anomaly import (
+    BLOCKING_STATES,
+    AnomalyWindow,
+    cluster_heterogeneity,
+    detect_deviating_cells,
+    detect_partition_disruptions,
+    deviation_matrix,
+    match_window,
+)
+from .phases import Phase, detect_phases, global_boundaries
+from .report import anomaly_lines, overview_report, phase_lines
+
+__all__ = [
+    "Phase",
+    "detect_phases",
+    "global_boundaries",
+    "AnomalyWindow",
+    "BLOCKING_STATES",
+    "detect_partition_disruptions",
+    "detect_deviating_cells",
+    "deviation_matrix",
+    "cluster_heterogeneity",
+    "match_window",
+    "anomaly_lines",
+    "phase_lines",
+    "overview_report",
+]

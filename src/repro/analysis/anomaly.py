@@ -1,0 +1,233 @@
+"""Anomaly (perturbation) detection.
+
+Both of the paper's use cases hinge on spotting *localized* perturbations:
+
+* case A — a temporal perturbation around 3 s affecting a subset of the 64
+  processes ("disruptions in the temporal aggregation of 26 processes");
+* case C — a rupture at 34.5 s touching only the Griffon cluster, plus a
+  persistent spatial separation of the Ethernet-connected Graphite cluster.
+
+Two complementary detectors are provided:
+
+* :func:`detect_partition_disruptions` works on the aggregated overview: a
+  disruption is a time window where *some but not most* resources have extra
+  aggregate boundaries (global boundaries are phase changes, not anomalies);
+* :func:`detect_deviating_cells` works on the microscopic model directly: a
+  cell deviates when its blocking-state occupancy exceeds its resource's
+  typical occupancy by a large margin.
+
+Both return :class:`AnomalyWindow` records that can be compared to the
+injected ground truth through :func:`match_window`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.microscopic import MicroscopicModel
+from ..core.partition import Partition
+
+__all__ = [
+    "AnomalyWindow",
+    "detect_partition_disruptions",
+    "detect_deviating_cells",
+    "deviation_matrix",
+    "match_window",
+    "cluster_heterogeneity",
+]
+
+#: States that indicate a resource is blocked on communication.
+BLOCKING_STATES: tuple[str, ...] = ("MPI_Wait", "MPI_Send", "MPI_Recv")
+
+
+@dataclass(frozen=True)
+class AnomalyWindow:
+    """A detected perturbation: a time window and the resources involved."""
+
+    start_slice: int
+    end_slice: int
+    start_time: float
+    end_time: float
+    resources: tuple[str, ...]
+    score: float
+
+    @property
+    def n_resources(self) -> int:
+        """Number of affected resources."""
+        return len(self.resources)
+
+    @property
+    def duration(self) -> float:
+        """Window duration in seconds."""
+        return self.end_time - self.start_time
+
+
+def _windows_from_mask(
+    model: MicroscopicModel,
+    slice_mask: np.ndarray,
+    resource_mask: np.ndarray,
+    scores: np.ndarray,
+) -> list[AnomalyWindow]:
+    """Group flagged slices into maximal windows with their flagged resources."""
+    edges = model.slicing.edges
+    names = model.hierarchy.leaf_names
+    windows: list[AnomalyWindow] = []
+    t = 0
+    n_slices = model.n_slices
+    while t < n_slices:
+        if not slice_mask[t]:
+            t += 1
+            continue
+        start = t
+        while t < n_slices and slice_mask[t]:
+            t += 1
+        end = t - 1
+        involved = np.where(resource_mask[:, start : end + 1].any(axis=1))[0]
+        score = float(scores[:, start : end + 1].sum())
+        windows.append(
+            AnomalyWindow(
+                start_slice=start,
+                end_slice=end,
+                start_time=float(edges[start]),
+                end_time=float(edges[end + 1]),
+                resources=tuple(names[i] for i in involved),
+                score=score,
+            )
+        )
+    windows.sort(key=lambda w: w.score, reverse=True)
+    return windows
+
+
+# --------------------------------------------------------------------------- #
+# Partition-structure detector
+# --------------------------------------------------------------------------- #
+def detect_partition_disruptions(
+    partition: Partition,
+    min_extra: int = 1,
+    majority_fraction: float = 0.5,
+) -> list[AnomalyWindow]:
+    """Windows where the overview is locally more fragmented than usual.
+
+    The aggregation algorithm represents a perturbation as extra, smaller
+    aggregates confined to the affected resources and time slices ("disruptions
+    in the temporal aggregation" of Section V.A).  This detector flags the
+    slices where the number of aggregates overlapping the slice exceeds the
+    trace-wide median by at least ``min_extra``, merges consecutive flagged
+    slices into windows, and reports as involved the resources covered there
+    by *minority* aggregates (those spanning at most ``majority_fraction`` of
+    the resources).
+    """
+    if min_extra < 1:
+        raise ValueError("min_extra must be at least 1")
+    if not 0.0 < majority_fraction <= 1.0:
+        raise ValueError("majority_fraction must be in (0, 1]")
+    model = partition.model
+    n_resources, n_slices = model.n_resources, model.n_slices
+    counts = np.zeros(n_slices, dtype=np.int64)
+    minority_cover = np.zeros((n_resources, n_slices), dtype=bool)
+    majority_size = majority_fraction * n_resources
+    for aggregate in partition:
+        counts[aggregate.i : aggregate.j + 1] += 1
+        if aggregate.n_resources <= majority_size:
+            a, b = aggregate.resource_range
+            minority_cover[a:b, aggregate.i : aggregate.j + 1] = True
+    baseline = float(np.median(counts))
+    slice_mask = counts >= baseline + min_extra
+    scores = minority_cover.astype(float) * slice_mask[None, :]
+    return _windows_from_mask(model, slice_mask, minority_cover & slice_mask[None, :], scores)
+
+
+# --------------------------------------------------------------------------- #
+# Microscopic deviation detector
+# --------------------------------------------------------------------------- #
+def deviation_matrix(
+    model: MicroscopicModel,
+    states: Sequence[str] = BLOCKING_STATES,
+) -> np.ndarray:
+    """Per-cell excess blocking occupancy relative to the resource's median.
+
+    Returns an ``(R, T)`` array: ``deviation[s, t]`` is the blocking-state
+    proportion of cell ``(s, t)`` minus the median blocking proportion of
+    resource ``s`` (clipped at zero), i.e. how much more blocked than usual
+    the resource is during that slice.
+    """
+    indices = [model.states.index(name) for name in states if name in model.states]
+    if not indices:
+        return np.zeros((model.n_resources, model.n_slices))
+    blocking = model.proportions[:, :, indices].sum(axis=2)
+    baseline = np.median(blocking, axis=1, keepdims=True)
+    return np.clip(blocking - baseline, 0.0, None)
+
+
+def detect_deviating_cells(
+    model: MicroscopicModel,
+    states: Sequence[str] = BLOCKING_STATES,
+    threshold: float = 0.15,
+    min_resources: int = 1,
+) -> list[AnomalyWindow]:
+    """Windows where some resources are far more blocked than their usual self.
+
+    Parameters
+    ----------
+    model:
+        The microscopic model.
+    states:
+        States counted as blocking.
+    threshold:
+        Minimum excess blocking proportion for a cell to be flagged.
+    min_resources:
+        Minimum number of simultaneously flagged resources for a slice to be
+        part of a window.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    deviations = deviation_matrix(model, states)
+    flagged = deviations >= threshold
+    slice_mask = flagged.sum(axis=0) >= max(1, min_resources)
+    return _windows_from_mask(model, slice_mask, flagged, deviations * flagged)
+
+
+# --------------------------------------------------------------------------- #
+# Spatial heterogeneity (Figure 4's Graphite finding)
+# --------------------------------------------------------------------------- #
+def cluster_heterogeneity(partition: Partition, depth: int = 1) -> dict[str, float]:
+    """Average number of aggregates per resource for every subtree at ``depth``.
+
+    A cluster whose behaviour is spatially and temporally homogeneous is
+    covered by few large aggregates (low value); a heterogeneous cluster
+    (like Graphite in Figure 4) needs many small aggregates (high value).
+    """
+    groups = partition.hierarchy.nodes_at_depth(depth)
+    if not groups:
+        return {}
+    result: dict[str, float] = {}
+    for group in groups:
+        count = sum(
+            1
+            for aggregate in partition
+            if aggregate.node.leaf_start >= group.leaf_start
+            and aggregate.node.leaf_end <= group.leaf_end
+        )
+        result[group.name] = count / group.n_leaves
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Ground-truth comparison
+# --------------------------------------------------------------------------- #
+def match_window(
+    detected: AnomalyWindow,
+    injected_start: float,
+    injected_end: float,
+    tolerance: float = 0.0,
+) -> bool:
+    """Whether a detected window overlaps the injected ``[start, end)`` window."""
+    if injected_end <= injected_start:
+        raise ValueError("injected window must have a positive duration")
+    return (
+        detected.end_time + tolerance > injected_start
+        and detected.start_time - tolerance < injected_end
+    )

@@ -1,0 +1,123 @@
+"""Phase detection from an aggregated overview.
+
+The paper reads its overviews as a sequence of global phases: an
+initialization phase dominated by ``MPI_Init``, a transition, a computation
+phase, possibly a finalization.  A *global phase boundary* is a time-slice
+boundary at which most resources change aggregate — which is exactly what the
+aggregation algorithm produces when the whole platform switches behaviour at
+once.  This module extracts those phases and their dominant state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.microscopic import MicroscopicModel
+from ..core.partition import Partition
+
+__all__ = ["Phase", "global_boundaries", "detect_phases"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A global phase of the execution.
+
+    Attributes
+    ----------
+    start_slice, end_slice:
+        Inclusive slice interval of the phase.
+    start_time, end_time:
+        Corresponding timestamps.
+    dominant_state:
+        State with the largest total duration during the phase (``None`` when
+        no state is active at all).
+    state_shares:
+        Per-state share of the total active time of the phase.
+    """
+
+    start_slice: int
+    end_slice: int
+    start_time: float
+    end_time: float
+    dominant_state: str | None
+    state_shares: dict[str, float]
+
+    @property
+    def n_slices(self) -> int:
+        """Number of slices in the phase."""
+        return self.end_slice - self.start_slice + 1
+
+    @property
+    def duration(self) -> float:
+        """Phase duration in seconds."""
+        return self.end_time - self.start_time
+
+
+def global_boundaries(partition: Partition, min_fraction: float = 0.6) -> list[int]:
+    """Slice indices where at least ``min_fraction`` of the resources change aggregate.
+
+    Index ``b`` means "a boundary between slice ``b - 1`` and slice ``b``";
+    0 and ``n_slices`` are never returned (they delimit the trace itself).
+    """
+    if not 0.0 < min_fraction <= 1.0:
+        raise ValueError("min_fraction must be in (0, 1]")
+    labels = partition.label_matrix()
+    n_resources, n_slices = labels.shape
+    boundaries: list[int] = []
+    for b in range(1, n_slices):
+        changes = int(np.count_nonzero(labels[:, b] != labels[:, b - 1]))
+        if changes / n_resources >= min_fraction:
+            boundaries.append(b)
+    return boundaries
+
+
+def detect_phases(
+    partition: Partition,
+    model: MicroscopicModel | None = None,
+    min_fraction: float = 0.6,
+) -> list[Phase]:
+    """Cut the trace into global phases and characterize each one.
+
+    Parameters
+    ----------
+    partition:
+        Aggregated overview used to find the global boundaries.
+    model:
+        Microscopic model used to compute the per-phase state shares
+        (defaults to the partition's own model).
+    min_fraction:
+        Fraction of resources that must change aggregate for a boundary to be
+        considered global.
+    """
+    model = model if model is not None else partition.model
+    boundaries = global_boundaries(partition, min_fraction=min_fraction)
+    edges = model.slicing.edges
+    starts = [0] + boundaries
+    ends = [b - 1 for b in boundaries] + [model.n_slices - 1]
+    phases: list[Phase] = []
+    for start, end in zip(starts, ends):
+        durations = model.durations[:, start : end + 1, :].sum(axis=(0, 1))
+        total = float(durations.sum())
+        if total > 0:
+            shares = {
+                model.states.name(x): float(durations[x] / total)
+                for x in range(model.n_states)
+                if durations[x] > 0
+            }
+            dominant = model.states.name(int(np.argmax(durations)))
+        else:
+            shares = {}
+            dominant = None
+        phases.append(
+            Phase(
+                start_slice=start,
+                end_slice=end,
+                start_time=float(edges[start]),
+                end_time=float(edges[end + 1]),
+                dominant_state=dominant,
+                state_shares=shares,
+            )
+        )
+    return phases

@@ -1,0 +1,93 @@
+"""Textual analysis reports.
+
+Assembles the outputs of the aggregation, phase detection and anomaly
+detection into a human-readable report — the narrative equivalent of what the
+paper's analyst reads off the Ocelotl overview (Sections V.A and V.B).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.microscopic import MicroscopicModel
+from ..core.partition import Partition
+from ..trace.trace import Trace
+from .anomaly import AnomalyWindow, cluster_heterogeneity
+from .phases import Phase
+
+__all__ = ["overview_report", "phase_lines", "anomaly_lines"]
+
+
+def phase_lines(phases: Sequence[Phase]) -> list[str]:
+    """One formatted line per detected phase."""
+    lines = []
+    for index, phase in enumerate(phases):
+        dominant = phase.dominant_state or "idle"
+        share = phase.state_shares.get(phase.dominant_state, 0.0) if phase.dominant_state else 0.0
+        lines.append(
+            f"  phase {index}: {phase.start_time:.2f}s - {phase.end_time:.2f}s "
+            f"({phase.n_slices} slices), dominant state {dominant} ({share:.0%} of active time)"
+        )
+    return lines
+
+
+def anomaly_lines(anomalies: Sequence[AnomalyWindow], max_resources: int = 8) -> list[str]:
+    """One formatted line per detected anomaly window."""
+    lines = []
+    for index, window in enumerate(anomalies):
+        shown = ", ".join(window.resources[:max_resources])
+        more = f" (+{window.n_resources - max_resources} more)" if window.n_resources > max_resources else ""
+        lines.append(
+            f"  anomaly {index}: {window.start_time:.2f}s - {window.end_time:.2f}s, "
+            f"{window.n_resources} resources involved: {shown}{more}"
+        )
+    return lines
+
+
+def overview_report(
+    trace: Trace,
+    model: MicroscopicModel,
+    partition: Partition,
+    phases: Sequence[Phase] = (),
+    anomalies: Sequence[AnomalyWindow] = (),
+    cluster_depth: int = 1,
+) -> str:
+    """Full textual report of an analysis run."""
+    metadata = trace.metadata
+    lines: list[str] = []
+    title = metadata.get("scenario") or metadata.get("application") or "trace"
+    lines.append(f"Analysis report — {title}")
+    lines.append("=" * len(lines[0]))
+    if metadata:
+        application = metadata.get("application", "?")
+        nas_class = metadata.get("nas_class", "?")
+        site = metadata.get("site", "?")
+        lines.append(
+            f"application: {application} class {nas_class}, site {site}, "
+            f"{model.n_resources} processes"
+        )
+    lines.append(
+        f"trace: {trace.n_intervals} state intervals ({trace.n_events} events), "
+        f"span {trace.duration:.2f}s"
+    )
+    lines.append(
+        f"microscopic model: {model.n_resources} resources x {model.n_slices} slices "
+        f"x {model.n_states} states"
+    )
+    lines.append(
+        f"aggregation (p={partition.p}): {partition.size} aggregates, "
+        f"complexity reduction {partition.complexity_reduction():.1%}, "
+        f"normalized information loss {partition.normalized_loss():.1%}"
+    )
+    if phases:
+        lines.append("phases:")
+        lines.extend(phase_lines(phases))
+    if anomalies:
+        lines.append("anomalies:")
+        lines.extend(anomaly_lines(anomalies))
+    heterogeneity = cluster_heterogeneity(partition, depth=cluster_depth)
+    if heterogeneity and len(heterogeneity) > 1:
+        lines.append("spatial heterogeneity (aggregates per resource, by cluster):")
+        for name, value in sorted(heterogeneity.items(), key=lambda item: -item[1]):
+            lines.append(f"  {name}: {value:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Command-line interface.
+
+Two subcommands cover the typical workflow without writing Python:
+
+* ``simulate`` — run one of the paper's scenarios (cases A–D, optionally
+  scaled down) and write the trace as a CSV file;
+* ``analyze`` — read a trace CSV, build the microscopic model, run the
+  spatiotemporal aggregation and print the analysis report (optionally
+  writing an SVG overview and an ASCII overview).
+
+Usage::
+
+    python -m repro simulate --case A --processes 32 --output case_a.csv
+    python -m repro analyze case_a.csv --slices 30 -p 0.7 --svg overview.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import detect_deviating_cells, detect_phases, overview_report
+from .core import MicroscopicModel, SpatiotemporalAggregator
+from .simulation import case_a, case_b, case_c, case_d, run_scenario
+from .trace import read_csv, write_csv, write_metadata
+from .viz import render_partition_ascii, render_visual_svg, save_svg
+
+__all__ = ["main", "build_parser"]
+
+_CASE_FACTORIES = {"A": case_a, "B": case_b, "C": case_c, "D": case_d}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spatiotemporal aggregation of execution traces (CLUSTER 2014 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate one of the paper's scenarios and write its trace"
+    )
+    simulate.add_argument("--case", choices=sorted(_CASE_FACTORIES), default="A",
+                          help="scenario to simulate (default: A)")
+    simulate.add_argument("--processes", type=int, default=None,
+                          help="number of MPI processes (default: the paper's count)")
+    simulate.add_argument("--iterations", type=int, default=None,
+                          help="number of application iterations (default: scenario default)")
+    simulate.add_argument("--platform-scale", type=float, default=1.0,
+                          help="fraction of the Grid'5000 machines to keep (default: 1.0)")
+    simulate.add_argument("--output", required=True, help="CSV trace file to write")
+    simulate.add_argument("--metadata", default=None,
+                          help="optional JSON side-car file for the run metadata")
+
+    analyze = subparsers.add_parser(
+        "analyze", help="aggregate a trace CSV and print the analysis report"
+    )
+    analyze.add_argument("trace", help="CSV trace file (written by 'simulate' or write_csv)")
+    analyze.add_argument("--slices", type=int, default=30,
+                         help="number of microscopic time slices (default: 30, as in the paper)")
+    analyze.add_argument("-p", "--parameter", type=float, default=0.7,
+                         help="gain/loss trade-off in [0, 1] (default: 0.7)")
+    analyze.add_argument("--operator", choices=["mean", "sum"], default="mean",
+                         help="aggregation operator (default: the paper's mean operator)")
+    analyze.add_argument("--svg", default=None, help="write an SVG overview to this path")
+    analyze.add_argument("--ascii", action="store_true", help="print an ASCII overview")
+    analyze.add_argument("--anomaly-threshold", type=float, default=0.1,
+                         help="excess blocking proportion flagged as anomalous (default: 0.1)")
+    return parser
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    factory = _CASE_FACTORIES[args.case]
+    kwargs = {"platform_scale": args.platform_scale}
+    if args.processes is not None:
+        kwargs["n_processes"] = args.processes
+    if args.iterations is not None:
+        kwargs["iterations"] = args.iterations
+    scenario = factory(**kwargs)
+    print(f"simulating case {args.case}: {scenario.application.upper()} class "
+          f"{scenario.nas_class}, {scenario.n_processes} processes ...", file=sys.stderr)
+    trace = run_scenario(scenario)
+    size = write_csv(trace, args.output)
+    if args.metadata:
+        write_metadata(trace, args.metadata)
+    print(f"wrote {trace.n_events} events ({size} bytes) to {args.output}")
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    if not 0.0 <= args.parameter <= 1.0:
+        print("error: -p must be in [0, 1]", file=sys.stderr)
+        return 2
+    trace = read_csv(args.trace)
+    model = MicroscopicModel.from_trace(trace, n_slices=args.slices)
+    aggregator = SpatiotemporalAggregator(model, operator=args.operator)
+    partition = aggregator.run(args.parameter)
+    phases = detect_phases(partition, model)
+    anomalies = detect_deviating_cells(model, threshold=args.anomaly_threshold)
+    print(overview_report(trace, model, partition, phases, anomalies))
+    if args.ascii:
+        print()
+        print(render_partition_ascii(partition))
+    if args.svg:
+        save_svg(render_visual_svg(partition, title=f"{args.trace} (p={args.parameter})"), args.svg)
+        print(f"\nSVG overview written to {args.svg}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "analyze":
+        return _command_analyze(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

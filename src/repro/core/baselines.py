@@ -1,0 +1,159 @@
+"""Baseline partitioning schemes used for comparison (Figure 3.b and 3.c).
+
+Two baselines bound the paper's contribution:
+
+* the **uniform grid** (Figure 3.b): the spatial dimension is cut at a fixed
+  hierarchy depth and the temporal dimension into a fixed number of equal
+  intervals, irrespective of the data;
+* the **Cartesian product of the two unidimensional optima** (Figure 3.c):
+  the spatial algorithm is run on the time-integrated trace and the temporal
+  algorithm on the space-integrated trace, and the spatiotemporal partition
+  is the product of the two results.  The paper shows this is strictly less
+  expressive than a true spatiotemporal optimization
+  (``H(S) x I(T) ⊂ A(S x T)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .criteria import IntervalStatistics
+from .microscopic import MicroscopicModel
+from .operators import AggregationOperator
+from .partition import Aggregate, Partition
+from .spatial import SpatialAggregator
+from .spatiotemporal import SpatiotemporalAggregator
+from .temporal import TemporalAggregator
+
+__all__ = [
+    "grid_partition",
+    "aggregate_cartesian",
+    "PartitionComparison",
+    "compare_partitions",
+]
+
+
+def grid_partition(
+    model: MicroscopicModel,
+    depth: int,
+    n_intervals: int,
+) -> Partition:
+    """Uniform, data-agnostic partition (Figure 3.b).
+
+    Parameters
+    ----------
+    model:
+        The microscopic model.
+    depth:
+        Hierarchy depth at which the spatial dimension is cut (0 keeps the
+        whole resource set as a single part).
+    n_intervals:
+        Number of (nearly) equal time intervals.
+    """
+    if n_intervals < 1 or n_intervals > model.n_slices:
+        raise ValueError(
+            f"n_intervals must be in [1, {model.n_slices}], got {n_intervals}"
+        )
+    nodes = model.hierarchy.level_partition(depth)
+    boundaries = np.linspace(0, model.n_slices, n_intervals + 1).astype(int)
+    intervals = [
+        (int(boundaries[k]), int(boundaries[k + 1]) - 1)
+        for k in range(n_intervals)
+        if boundaries[k + 1] > boundaries[k]
+    ]
+    return Partition.from_products(model, nodes, intervals)
+
+
+def aggregate_cartesian(
+    model: MicroscopicModel,
+    p: float,
+    operator: "AggregationOperator | str | None" = None,
+) -> Partition:
+    """Cartesian product of the optimal spatial and temporal partitions (Fig. 3.c)."""
+    nodes = SpatialAggregator(model, operator=operator).optimal_nodes(p)
+    intervals = TemporalAggregator(model, operator=operator).optimal_intervals(p)
+    return Partition.from_products(model, nodes, intervals, p=p)
+
+
+@dataclass(frozen=True)
+class PartitionComparison:
+    """Quality metrics of several partitions of the same model at the same ``p``.
+
+    Attributes
+    ----------
+    labels:
+        Name of each compared scheme.
+    sizes, gains, losses, pics:
+        Per-scheme metrics, aligned with ``labels``.
+    """
+
+    labels: tuple[str, ...]
+    sizes: tuple[int, ...]
+    gains: tuple[float, ...]
+    losses: tuple[float, ...]
+    pics: tuple[float, ...]
+
+    def best_by_pic(self) -> str:
+        """Label of the scheme with the highest pIC."""
+        return self.labels[int(np.argmax(self.pics))]
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """One dictionary per scheme (handy for tabular printing)."""
+        return [
+            {
+                "scheme": label,
+                "aggregates": size,
+                "gain": gain,
+                "loss": loss,
+                "pIC": value,
+            }
+            for label, size, gain, loss, value in zip(
+                self.labels, self.sizes, self.gains, self.losses, self.pics
+            )
+        ]
+
+
+def compare_partitions(
+    model: MicroscopicModel,
+    p: float,
+    operator: "AggregationOperator | str | None" = None,
+    grid_depth: int = 1,
+    grid_intervals: int = 4,
+    stats: IntervalStatistics | None = None,
+) -> PartitionComparison:
+    """Compare the paper's algorithm against the grid and Cartesian baselines.
+
+    All partitions are scored with the *spatiotemporal* gain/loss/pIC (i.e.
+    against the full microscopic model), which is the fair comparison the
+    paper makes in Figure 3: the Cartesian and grid schemes may be optimal
+    for their own reduced problems yet carry less information about the
+    spatiotemporal data.
+    """
+    shared_stats = stats if stats is not None else IntervalStatistics(model, operator)
+    schemes: dict[str, Partition] = {
+        "grid": grid_partition(model, grid_depth, grid_intervals),
+        "cartesian": aggregate_cartesian(model, p, operator=operator),
+        "spatiotemporal": SpatiotemporalAggregator(model, operator=operator, stats=shared_stats).run(p),
+    }
+    labels: list[str] = []
+    sizes: list[int] = []
+    gains: list[float] = []
+    losses: list[float] = []
+    pics: list[float] = []
+    for label, partition in schemes.items():
+        gain = sum(shared_stats.gain(a.node, a.i, a.j) for a in partition)
+        loss = sum(shared_stats.loss(a.node, a.i, a.j) for a in partition)
+        labels.append(label)
+        sizes.append(partition.size)
+        gains.append(float(gain))
+        losses.append(float(loss))
+        pics.append(float(p * gain - (1.0 - p) * loss))
+    return PartitionComparison(
+        labels=tuple(labels),
+        sizes=tuple(sizes),
+        gains=tuple(gains),
+        losses=tuple(losses),
+        pics=tuple(pics),
+    )

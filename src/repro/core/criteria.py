@@ -1,0 +1,205 @@
+"""Per-node, per-interval gain/loss tables (the algorithm's "Data Input").
+
+The spatiotemporal algorithm needs, for every node ``S_k`` of the hierarchy
+and every time interval ``T_(i,j)``, the information gain and loss of the
+corresponding aggregate.  The paper computes these by iterating over the
+cells of per-node upper-triangular matrices nested in a tree recursion, in
+``O(|S| |T|^2)`` time.
+
+:class:`IntervalStatistics` implements the same computation with numpy prefix
+sums:
+
+* a prefix sum over the *resource* axis gives node-level per-slice sums in
+  constant time per node thanks to the contiguous leaf ranges of
+  :class:`~repro.core.hierarchy.Hierarchy`;
+* a prefix sum over the *time* axis gives interval sums for every ``(i, j)``
+  pair at once by broadcasting.
+
+The resulting ``(|T|, |T|)`` gain and loss tables (upper triangle valid) are
+cached per node and shared by the spatial, temporal and spatiotemporal
+aggregators as well as by the partition quality metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hierarchy import HierarchyNode
+from .microscopic import MicroscopicModel
+from .operators import (
+    AggregationOperator,
+    IntervalSums,
+    get_operator,
+    pic,
+    xlogx,
+)
+
+__all__ = ["IntervalStatistics"]
+
+
+class IntervalStatistics:
+    """Vectorized gain/loss/pIC evaluation for hierarchy nodes x time intervals.
+
+    Parameters
+    ----------
+    model:
+        The microscopic model.
+    operator:
+        Aggregation operator (``"mean"`` — the paper's Eq. 1-3 — by default,
+        or ``"sum"`` for the canonical criterion).
+    """
+
+    def __init__(
+        self,
+        model: MicroscopicModel,
+        operator: "AggregationOperator | str | None" = None,
+    ):
+        self._model = model
+        self._operator = get_operator(operator)
+        durations = model.durations  # (R, T, X)
+        proportions = model.proportions  # (R, T, X)
+        rho_log_rho = xlogx(proportions)
+
+        # Prefix sums over the resource axis: shape (R + 1, T, X).
+        zeros = np.zeros((1,) + durations.shape[1:])
+        self._prefix_durations = np.concatenate([zeros, np.cumsum(durations, axis=0)])
+        self._prefix_rho = np.concatenate([zeros, np.cumsum(proportions, axis=0)])
+        self._prefix_rho_log_rho = np.concatenate([zeros, np.cumsum(rho_log_rho, axis=0)])
+
+        # Interval durations tau[i, j] = sum_{t=i..j} d(t), shape (T, T).
+        slice_durations = model.slice_durations
+        cumulative = np.concatenate([[0.0], np.cumsum(slice_durations)])
+        self._interval_durations = cumulative[None, 1:] - cumulative[:-1, None]
+        # Interval lengths (number of slices), shape (T, T).
+        indices = np.arange(model.n_slices)
+        self._interval_lengths = indices[None, :] - indices[:, None] + 1
+
+        self._upper_mask = self._interval_lengths >= 1
+        self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._macro_cache: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def model(self) -> MicroscopicModel:
+        """The underlying microscopic model."""
+        return self._model
+
+    @property
+    def operator(self) -> AggregationOperator:
+        """The aggregation operator in use."""
+        return self._operator
+
+    @property
+    def n_slices(self) -> int:
+        """``|T|``."""
+        return self._model.n_slices
+
+    # ------------------------------------------------------------------ #
+    # Node-level reductions
+    # ------------------------------------------------------------------ #
+    def _node_slice_sums(self, node: HierarchyNode) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-slice sums over the leaves of ``node``: three ``(T, X)`` arrays."""
+        a, b = node.leaf_start, node.leaf_end
+        if not 0 <= a < b <= self._model.n_resources:
+            raise ValueError(f"node {node.name!r} has an invalid leaf range [{a}, {b})")
+        durations = self._prefix_durations[b] - self._prefix_durations[a]
+        rho = self._prefix_rho[b] - self._prefix_rho[a]
+        rho_log_rho = self._prefix_rho_log_rho[b] - self._prefix_rho_log_rho[a]
+        return durations, rho, rho_log_rho
+
+    def interval_sums(self, node: HierarchyNode) -> IntervalSums:
+        """All pre-reduced quantities of ``node`` for every interval at once.
+
+        The per-state arrays have shape ``(T, T, X)`` (first axis ``i``,
+        second axis ``j``); only the upper triangle ``j >= i`` is meaningful.
+        """
+        durations, rho, rho_log_rho = self._node_slice_sums(node)
+        n_slices = self.n_slices
+
+        def interval_table(values: np.ndarray) -> np.ndarray:
+            prefix = np.concatenate([np.zeros((1, values.shape[1])), np.cumsum(values, axis=0)])
+            # table[i, j] = prefix[j + 1] - prefix[i]
+            return prefix[None, 1:, :] - prefix[:-1, None, :]
+
+        return IntervalSums(
+            sum_durations=interval_table(durations),
+            total_duration=self._interval_durations,
+            n_resources=node.n_leaves,
+            sum_rho=interval_table(rho),
+            sum_rho_log_rho=interval_table(rho_log_rho),
+            n_cells=node.n_leaves * self._interval_lengths,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Gain / loss / pIC tables
+    # ------------------------------------------------------------------ #
+    def tables(self, node: HierarchyNode) -> tuple[np.ndarray, np.ndarray]:
+        """``(gain, loss)`` tables of shape ``(T, T)`` for ``node``.
+
+        Only the upper triangle (``j >= i``) is meaningful; the lower triangle
+        is zero.  Results are cached per node.
+        """
+        cached = self._cache.get(node.index)
+        if cached is not None:
+            return cached
+        sums = self.interval_sums(node)
+        gain, loss = self._operator.gain_loss(sums)
+        lower = ~np.triu(np.ones_like(gain, dtype=bool))
+        gain = np.where(lower, 0.0, gain)
+        loss = np.where(lower, 0.0, loss)
+        self._cache[node.index] = (gain, loss)
+        return gain, loss
+
+    def gain(self, node: HierarchyNode, i: int, j: int) -> float:
+        """Gain of the aggregate ``(node, T_(i,j))``."""
+        self._check_interval(i, j)
+        return float(self.tables(node)[0][i, j])
+
+    def loss(self, node: HierarchyNode, i: int, j: int) -> float:
+        """Loss of the aggregate ``(node, T_(i,j))``."""
+        self._check_interval(i, j)
+        return float(self.tables(node)[1][i, j])
+
+    def pic(self, node: HierarchyNode, i: int, j: int, p: float) -> float:
+        """pIC of the aggregate ``(node, T_(i,j))`` at trade-off ``p``."""
+        gain, loss = self.tables(node)
+        self._check_interval(i, j)
+        return float(pic(gain[i, j], loss[i, j], p))
+
+    def pic_table(self, node: HierarchyNode, p: float) -> np.ndarray:
+        """Full ``(T, T)`` pIC table of ``node`` at trade-off ``p``."""
+        gain, loss = self.tables(node)
+        return np.asarray(pic(gain, loss, p))
+
+    # ------------------------------------------------------------------ #
+    # Aggregated proportions (used by the visualization layer)
+    # ------------------------------------------------------------------ #
+    def macro_proportions(self, node: HierarchyNode, i: int, j: int) -> np.ndarray:
+        """Aggregated per-state proportions ``rho_x(S_k, T_(i,j))`` (Eq. 1)."""
+        self._check_interval(i, j)
+        table = self._macro_cache.get(node.index)
+        if table is None:
+            sums = self.interval_sums(node)
+            table = self._operator.macro_proportions(sums)
+            self._macro_cache[node.index] = table
+        return np.asarray(table[i, j])
+
+    # ------------------------------------------------------------------ #
+    # Totals over the microscopic partition
+    # ------------------------------------------------------------------ #
+    def microscopic_information(self) -> float:
+        """Total Shannon information ``-sum rho log2 rho`` of the microscopic model.
+
+        This is the quantity against which gains and losses can be normalized
+        to report "complexity reduction" and "information loss" percentages to
+        the analyst (criterion G5).
+        """
+        return float(-xlogx(self._model.proportions).sum())
+
+    def _check_interval(self, i: int, j: int) -> None:
+        if not (0 <= i <= j < self.n_slices):
+            raise ValueError(
+                f"invalid interval ({i}, {j}) for |T| = {self.n_slices}"
+            )

@@ -1,0 +1,118 @@
+"""Brute-force enumeration of hierarchy-and-order-consistent partitions.
+
+The number of consistent partitions grows exponentially with ``|S|`` and
+``|T|`` (Section III.D), so this module is only usable on tiny instances; it
+exists as an *oracle* for the test suite, which checks that the dynamic
+program of :mod:`repro.core.spatiotemporal` returns a true optimum.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable
+
+from .criteria import IntervalStatistics
+from .hierarchy import HierarchyNode
+from .microscopic import MicroscopicModel
+from .operators import AggregationOperator
+from .partition import Aggregate, Partition
+
+__all__ = ["enumerate_partitions", "brute_force_optimum", "count_partitions"]
+
+#: Safety bound: enumerating more cells than this raises instead of hanging.
+_MAX_CELLS = 64
+
+
+def _enumerate(node: HierarchyNode, i: int, j: int, memo: dict) -> list[tuple[tuple, ...]]:
+    """All partitions of the area ``(node, T_(i,j))`` as tuples of aggregate keys.
+
+    Every partition is represented as a sorted tuple of
+    ``(leaf_start, leaf_end, i, j)`` keys so duplicates arising from distinct
+    cut sequences can be removed.
+    """
+    memo_key = (node.index, i, j)
+    cached = memo.get(memo_key)
+    if cached is not None:
+        return cached
+
+    results: set[tuple[tuple, ...]] = set()
+    own_key = (node.leaf_start, node.leaf_end, i, j)
+    results.add((own_key,))
+
+    if node.children:
+        child_partitions = [_enumerate(child, i, j, memo) for child in node.children]
+        for combo in product(*child_partitions):
+            merged: list[tuple] = []
+            for part in combo:
+                merged.extend(part)
+            results.add(tuple(sorted(merged)))
+
+    for cut in range(i, j):
+        left_partitions = _enumerate(node, i, cut, memo)
+        right_partitions = _enumerate(node, cut + 1, j, memo)
+        for left in left_partitions:
+            for right in right_partitions:
+                results.add(tuple(sorted(left + right)))
+
+    ordered = sorted(results)
+    memo[memo_key] = ordered
+    return ordered
+
+
+def _keys_to_aggregates(keys: Iterable[tuple], model: MicroscopicModel) -> list[Aggregate]:
+    """Convert aggregate keys back to :class:`Aggregate` objects."""
+    by_range: dict[tuple[int, int], HierarchyNode] = {
+        (n.leaf_start, n.leaf_end): n for n in model.hierarchy.iter_nodes()
+    }
+    aggregates = []
+    for leaf_start, leaf_end, i, j in keys:
+        node = by_range[(leaf_start, leaf_end)]
+        aggregates.append(Aggregate(node, i, j))
+    return aggregates
+
+
+def enumerate_partitions(model: MicroscopicModel) -> list[Partition]:
+    """Every hierarchy-and-order-consistent partition of the model.
+
+    Raises
+    ------
+    ValueError
+        If the instance has more than 64 microscopic cells (the enumeration
+        would be intractable).
+    """
+    if model.n_cells > _MAX_CELLS:
+        raise ValueError(
+            f"refusing to enumerate partitions of {model.n_cells} cells (> {_MAX_CELLS})"
+        )
+    memo: dict = {}
+    key_sets = _enumerate(model.hierarchy.root, 0, model.n_slices - 1, memo)
+    return [
+        Partition(_keys_to_aggregates(keys, model), model, validate=False)
+        for keys in key_sets
+    ]
+
+
+def count_partitions(model: MicroscopicModel) -> int:
+    """Number of distinct consistent partitions of the model."""
+    return len(enumerate_partitions(model))
+
+
+def brute_force_optimum(
+    model: MicroscopicModel,
+    p: float,
+    operator: "AggregationOperator | str | None" = None,
+) -> tuple[float, Partition]:
+    """Best pIC and one optimal partition found by exhaustive search."""
+    stats = IntervalStatistics(model, operator)
+    best_value = -float("inf")
+    best_partition: Partition | None = None
+    for partition in enumerate_partitions(model):
+        value = sum(
+            p * stats.gain(a.node, a.i, a.j) - (1.0 - p) * stats.loss(a.node, a.i, a.j)
+            for a in partition
+        )
+        if value > best_value:
+            best_value = value
+            best_partition = partition
+    assert best_partition is not None
+    return float(best_value), best_partition

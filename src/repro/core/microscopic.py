@@ -1,0 +1,258 @@
+"""The trace microscopic model (Section III.A).
+
+The microscopic model is a pre-aggregation of the raw trace: the continuous
+time axis is divided into ``|T|`` slices and, for every microscopic
+spatiotemporal area ``(s, t)`` and state ``x``, the model stores the time
+``d_x(s, t)`` spent by resource ``s`` in state ``x`` during slice ``t``.
+State proportions are ``rho_x(s, t) = d_x(s, t) / d(t)``.
+
+:class:`MicroscopicModel` is the single input of every aggregation algorithm
+in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..trace.states import StateRegistry
+from ..trace.trace import Trace
+from .hierarchy import Hierarchy, HierarchyNode
+from .timeslicing import TimeSlicing
+
+__all__ = ["MicroscopicModel", "MicroscopicModelError"]
+
+
+class MicroscopicModelError(ValueError):
+    """Raised when an inconsistent microscopic model is constructed."""
+
+
+class MicroscopicModel:
+    """The ``d_x(s, t)`` cube together with its dimensions.
+
+    Parameters
+    ----------
+    durations:
+        Array of shape ``(n_resources, n_slices, n_states)`` with the time
+        spent by each resource in each state during each slice.
+    hierarchy:
+        Spatial dimension; its leaf order matches the first axis.
+    slicing:
+        Temporal dimension; its slices match the second axis.
+    states:
+        State dimension; its indices match the third axis.
+    """
+
+    def __init__(
+        self,
+        durations: np.ndarray,
+        hierarchy: Hierarchy,
+        slicing: TimeSlicing,
+        states: StateRegistry,
+    ):
+        durations = np.asarray(durations, dtype=float)
+        if durations.ndim != 3:
+            raise MicroscopicModelError(
+                "durations must have shape (n_resources, n_slices, n_states)"
+            )
+        n_resources, n_slices, n_states = durations.shape
+        if n_resources != hierarchy.n_leaves:
+            raise MicroscopicModelError(
+                f"durations describe {n_resources} resources, hierarchy has {hierarchy.n_leaves}"
+            )
+        if n_slices != slicing.n_slices:
+            raise MicroscopicModelError(
+                f"durations describe {n_slices} slices, slicing has {slicing.n_slices}"
+            )
+        if n_states != len(states):
+            raise MicroscopicModelError(
+                f"durations describe {n_states} states, registry has {len(states)}"
+            )
+        if np.any(durations < -1e-12):
+            raise MicroscopicModelError("durations must be non-negative")
+        # Tolerate tiny excesses (timestamp rounding in trace files, the
+        # minimum-duration floor of the tracer) by clipping to the slice
+        # duration; larger excesses indicate genuinely inconsistent data.
+        max_per_state = np.broadcast_to(
+            slicing.durations[None, :, None], durations.shape
+        )
+        excess = durations - max_per_state
+        if np.any(excess > 1e-6 + 1e-6 * max_per_state):
+            raise MicroscopicModelError(
+                "a state duration exceeds the duration of its time slice"
+            )
+        durations = np.where(excess > 0, max_per_state, durations)
+        self._durations = np.clip(durations, 0.0, None)
+        self._hierarchy = hierarchy
+        self._slicing = slicing
+        self._states = states
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Trace,
+        n_slices: int = 30,
+        slicing: TimeSlicing | None = None,
+        states: StateRegistry | None = None,
+    ) -> "MicroscopicModel":
+        """Discretize ``trace`` into a microscopic model.
+
+        Parameters
+        ----------
+        trace:
+            Input trace.
+        n_slices:
+            Number of regular slices (the paper uses 30).  Ignored when an
+            explicit ``slicing`` is given.
+        slicing:
+            Explicit time slicing (e.g. to zoom on a sub-interval).
+        states:
+            Explicit state registry (e.g. to share indices across traces).
+            Defaults to the trace's own registry.
+        """
+        if slicing is None:
+            if trace.duration <= 0:
+                raise MicroscopicModelError(
+                    "cannot slice a trace with an empty time span"
+                )
+            slicing = TimeSlicing.regular(trace.start, trace.end, n_slices)
+        registry = (states or trace.states).copy()
+        for name in trace.states.names:
+            registry.add(name)
+        hierarchy = trace.hierarchy
+        durations = np.zeros((hierarchy.n_leaves, slicing.n_slices, len(registry)))
+        for interval in trace.intervals:
+            resource_index = hierarchy.leaf_index(interval.resource)
+            state_index = registry.index(interval.state)
+            for slice_index, overlap in slicing.overlaps(interval.start, interval.end):
+                durations[resource_index, slice_index, state_index] += overlap
+        return cls(durations, hierarchy, slicing, registry)
+
+    @classmethod
+    def from_proportions(
+        cls,
+        proportions: np.ndarray,
+        hierarchy: Hierarchy,
+        states: StateRegistry,
+        slice_duration: float = 1.0,
+        start: float = 0.0,
+    ) -> "MicroscopicModel":
+        """Build a model directly from a ``(R, T, X)`` proportion array."""
+        rho = np.asarray(proportions, dtype=float)
+        if rho.ndim != 3:
+            raise MicroscopicModelError("proportions must be a 3-D array")
+        n_slices = rho.shape[1]
+        slicing = TimeSlicing.regular(start, start + n_slices * slice_duration, n_slices)
+        durations = rho * slice_duration
+        return cls(durations, hierarchy, slicing, states)
+
+    # ------------------------------------------------------------------ #
+    # Dimensions
+    # ------------------------------------------------------------------ #
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The spatial dimension ``H(S)``."""
+        return self._hierarchy
+
+    @property
+    def slicing(self) -> TimeSlicing:
+        """The temporal dimension ``T``."""
+        return self._slicing
+
+    @property
+    def states(self) -> StateRegistry:
+        """The state dimension ``X``."""
+        return self._states
+
+    @property
+    def n_resources(self) -> int:
+        """``|S|``."""
+        return self._durations.shape[0]
+
+    @property
+    def n_slices(self) -> int:
+        """``|T|``."""
+        return self._durations.shape[1]
+
+    @property
+    def n_states(self) -> int:
+        """``|X|``."""
+        return self._durations.shape[2]
+
+    @property
+    def n_cells(self) -> int:
+        """``|S x T|`` — the number of microscopic spatiotemporal areas."""
+        return self.n_resources * self.n_slices
+
+    # ------------------------------------------------------------------ #
+    # Data access
+    # ------------------------------------------------------------------ #
+    @property
+    def durations(self) -> np.ndarray:
+        """The ``d_x(s, t)`` cube, shape ``(R, T, X)``."""
+        return self._durations
+
+    @property
+    def slice_durations(self) -> np.ndarray:
+        """The ``d(t)`` vector, shape ``(T,)``."""
+        return self._slicing.durations
+
+    @property
+    def proportions(self) -> np.ndarray:
+        """The ``rho_x(s, t)`` cube, shape ``(R, T, X)``."""
+        return self._durations / self.slice_durations[None, :, None]
+
+    def resource_durations(self, resource: str) -> np.ndarray:
+        """``d_x(s, t)`` for a single resource, shape ``(T, X)``."""
+        return self._durations[self._hierarchy.leaf_index(resource)]
+
+    def node_durations(self, node: HierarchyNode) -> np.ndarray:
+        """Summed durations over the leaves of ``node``, shape ``(T, X)``."""
+        return self._durations[node.leaf_start : node.leaf_end].sum(axis=0)
+
+    def active_proportion(self) -> np.ndarray:
+        """Per-cell total state proportion (``<= 1``; the rest is idle time)."""
+        return self.proportions.sum(axis=2)
+
+    def state_totals(self) -> Mapping[str, float]:
+        """Total time per state, summed over resources and slices."""
+        totals = self._durations.sum(axis=(0, 1))
+        return {self._states.name(i): float(totals[i]) for i in range(self.n_states)}
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save_npz(self, path: str) -> None:
+        """Save the cube and its dimension descriptions to an ``.npz`` file."""
+        np.savez_compressed(
+            path,
+            durations=self._durations,
+            edges=self._slicing.edges,
+            leaf_paths=np.array(
+                ["/".join(leaf.path) for leaf in self._hierarchy.leaves], dtype=object
+            ),
+            state_names=np.array(list(self._states.names), dtype=object),
+        )
+
+    @classmethod
+    def load_npz(cls, path: str) -> "MicroscopicModel":
+        """Load a model saved by :meth:`save_npz`."""
+        with np.load(path, allow_pickle=True) as data:
+            durations = data["durations"]
+            edges = data["edges"]
+            leaf_paths = [tuple(p.split("/")) for p in data["leaf_paths"].tolist()]
+            state_names = data["state_names"].tolist()
+        hierarchy = Hierarchy.from_paths(leaf_paths)
+        slicing = TimeSlicing(edges)
+        states = StateRegistry(state_names)
+        return cls(durations, hierarchy, slicing, states)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"MicroscopicModel(R={self.n_resources}, T={self.n_slices}, "
+            f"X={self.n_states})"
+        )

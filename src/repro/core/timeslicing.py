@@ -1,0 +1,196 @@
+"""Time slicing: the temporal dimension ``T`` of the trace model.
+
+The raw trace time is continuous; the microscopic model divides it into
+``|T|`` regular time periods (the paper uses 30 slices for every scenario of
+Table II).  Each period ``t`` has a duration ``d(t)`` and the ordered set of
+periods provides the notion of interval ``T(i,j)`` on which the temporal part
+of the aggregation operates.
+
+:class:`TimeSlicing` stores the slice edges and offers the overlap
+computations needed to project state intervals onto slices.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["TimeSlicing", "TimeSlicingError"]
+
+
+class TimeSlicingError(ValueError):
+    """Raised for invalid time-slicing constructions or queries."""
+
+
+class TimeSlicing:
+    """A discretization of ``[start, end]`` into ordered time slices.
+
+    Parameters
+    ----------
+    edges:
+        Strictly increasing sequence of slice boundaries.  Slice ``t`` spans
+        ``[edges[t], edges[t + 1])`` (the last slice includes its right
+        boundary).
+
+    Notes
+    -----
+    Slices do not need to be regular; the paper uses regular slices and the
+    :meth:`regular` constructor is the common entry point, but irregular
+    slicings are supported (``d(t)`` is simply the slice width).
+    """
+
+    def __init__(self, edges: Sequence[float] | np.ndarray):
+        edges_arr = np.asarray(edges, dtype=float)
+        if edges_arr.ndim != 1 or edges_arr.size < 2:
+            raise TimeSlicingError("edges must be a 1-D sequence of at least 2 values")
+        if not np.all(np.isfinite(edges_arr)):
+            raise TimeSlicingError("edges must be finite")
+        if not np.all(np.diff(edges_arr) > 0):
+            raise TimeSlicingError("edges must be strictly increasing")
+        self._edges = edges_arr
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def regular(cls, start: float, end: float, n_slices: int) -> "TimeSlicing":
+        """Regular slicing of ``[start, end]`` into ``n_slices`` equal periods."""
+        if n_slices <= 0:
+            raise TimeSlicingError("n_slices must be positive")
+        if not end > start:
+            raise TimeSlicingError("end must be greater than start")
+        return cls(np.linspace(start, end, n_slices + 1))
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def edges(self) -> np.ndarray:
+        """Slice boundaries (length ``n_slices + 1``)."""
+        return self._edges
+
+    @property
+    def n_slices(self) -> int:
+        """Number of microscopic time periods ``|T|``."""
+        return self._edges.size - 1
+
+    @property
+    def start(self) -> float:
+        """Start of the observed time span."""
+        return float(self._edges[0])
+
+    @property
+    def end(self) -> float:
+        """End of the observed time span."""
+        return float(self._edges[-1])
+
+    @property
+    def span(self) -> float:
+        """Total observed duration."""
+        return self.end - self.start
+
+    @property
+    def durations(self) -> np.ndarray:
+        """Per-slice durations ``d(t)`` (length ``n_slices``)."""
+        return np.diff(self._edges)
+
+    def slice_bounds(self, index: int) -> tuple[float, float]:
+        """``(start, end)`` of slice ``index``."""
+        self._check_index(index)
+        return float(self._edges[index]), float(self._edges[index + 1])
+
+    def interval_bounds(self, i: int, j: int) -> tuple[float, float]:
+        """``(start, end)`` of the interval ``T(i, j)`` (inclusive indices)."""
+        self._check_index(i)
+        self._check_index(j)
+        if j < i:
+            raise TimeSlicingError(f"invalid interval: j={j} < i={i}")
+        return float(self._edges[i]), float(self._edges[j + 1])
+
+    def interval_duration(self, i: int, j: int) -> float:
+        """Total duration of ``T(i, j)``."""
+        start, end = self.interval_bounds(i, j)
+        return end - start
+
+    def midpoints(self) -> np.ndarray:
+        """Midpoint of every slice (useful for plotting)."""
+        return (self._edges[:-1] + self._edges[1:]) / 2.0
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_slices:
+            raise TimeSlicingError(
+                f"slice index {index} out of range [0, {self.n_slices})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Projection of continuous intervals onto slices
+    # ------------------------------------------------------------------ #
+    def locate(self, timestamp: float) -> int:
+        """Index of the slice containing ``timestamp``.
+
+        Timestamps exactly at the end of the span belong to the last slice;
+        timestamps outside the span raise :class:`TimeSlicingError`.
+        """
+        if timestamp < self.start or timestamp > self.end:
+            raise TimeSlicingError(
+                f"timestamp {timestamp} outside [{self.start}, {self.end}]"
+            )
+        if timestamp == self.end:
+            return self.n_slices - 1
+        return int(np.searchsorted(self._edges, timestamp, side="right") - 1)
+
+    def overlaps(self, start: float, end: float) -> list[tuple[int, float]]:
+        """Overlap durations between ``[start, end)`` and every slice it touches.
+
+        Returns a list of ``(slice_index, overlap_duration)`` pairs with
+        strictly positive overlaps.  The input interval is clipped to the
+        observed span; an interval entirely outside the span yields an empty
+        list.  Zero-length intervals yield an empty list as well (punctual
+        events carry no duration in the microscopic model).
+        """
+        if end < start:
+            raise TimeSlicingError(f"invalid interval: end={end} < start={start}")
+        lo = max(start, self.start)
+        hi = min(end, self.end)
+        if hi <= lo:
+            return []
+        first = self.locate(lo)
+        # ``locate`` maps ``hi == edge`` to the slice starting at ``hi``;
+        # clamp to the last slice genuinely overlapped.
+        last = self.locate(hi)
+        if hi == self._edges[last] and last > first:
+            last -= 1
+        result: list[tuple[int, float]] = []
+        for t in range(first, last + 1):
+            s0, s1 = self._edges[t], self._edges[t + 1]
+            overlap = min(hi, s1) - max(lo, s0)
+            if overlap > 0:
+                result.append((t, float(overlap)))
+        return result
+
+    def overlap_matrix_row(self, start: float, end: float) -> np.ndarray:
+        """Dense per-slice overlap durations of ``[start, end)`` (length ``|T|``)."""
+        row = np.zeros(self.n_slices)
+        for index, overlap in self.overlaps(start, end):
+            row[index] = overlap
+        return row
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.n_slices
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeSlicing):
+            return NotImplemented
+        return self._edges.shape == other._edges.shape and bool(
+            np.allclose(self._edges, other._edges)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TimeSlicing(n_slices={self.n_slices}, start={self.start:g}, "
+            f"end={self.end:g})"
+        )

@@ -1,0 +1,29 @@
+"""Experiment harness: scenario runner (Table II) and figure regeneration."""
+
+from .figures import (
+    Figure1Series,
+    Figure2Series,
+    Figure3Series,
+    Figure4Series,
+    figure1_series,
+    figure2_series,
+    figure3_series,
+    figure4_series,
+)
+from .runner import CaseResult, CaseTimings, format_table2, run_case, table2_rows
+
+__all__ = [
+    "CaseResult",
+    "CaseTimings",
+    "run_case",
+    "table2_rows",
+    "format_table2",
+    "Figure1Series",
+    "figure1_series",
+    "Figure2Series",
+    "figure2_series",
+    "Figure3Series",
+    "figure3_series",
+    "Figure4Series",
+    "figure4_series",
+]

@@ -1,0 +1,283 @@
+"""Regeneration of the paper's figures (data series, not pixels).
+
+Each ``figureN_series`` function reruns the corresponding experiment and
+returns the quantities one needs to redraw the figure and to check its
+qualitative claims:
+
+* **Figure 1** — case A overview: phases, per-machine state roles, detected
+  temporal perturbation and affected processes;
+* **Figure 2** — Gantt clutter metrics of the same trace versus the bounded
+  entity count of the aggregated overview;
+* **Figure 3** — the artificial 12 x 20 trace: microscopic size, non-optimal
+  grid, Cartesian baseline, two spatiotemporal optima and the visual
+  aggregation counts;
+* **Figure 4** — case C overview: per-cluster heterogeneity, the Griffon
+  temporal rupture and the initialization/computation phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..analysis.anomaly import (
+    AnomalyWindow,
+    cluster_heterogeneity,
+    detect_deviating_cells,
+    detect_partition_disruptions,
+    match_window,
+)
+from ..analysis.phases import Phase, detect_phases
+from ..core.baselines import aggregate_cartesian, compare_partitions, grid_partition
+from ..core.criteria import IntervalStatistics
+from ..core.microscopic import MicroscopicModel
+from ..core.partition import Partition
+from ..core.spatiotemporal import SpatiotemporalAggregator
+from ..simulation.scenarios import Scenario, case_a, case_c
+from ..trace.synthetic import figure3_trace
+from ..viz.gantt import GanttMetrics, gantt_metrics
+from ..viz.modes import partition_styles
+from ..viz.visual import visual_aggregation
+from .runner import CaseResult, run_case
+
+__all__ = [
+    "Figure1Series",
+    "figure1_series",
+    "Figure2Series",
+    "figure2_series",
+    "Figure3Series",
+    "figure3_series",
+    "Figure4Series",
+    "figure4_series",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Figure 1 — case A overview
+# --------------------------------------------------------------------------- #
+@dataclass
+class Figure1Series:
+    """Data behind Figure 1 (CG, 64 processes, Rennes)."""
+
+    result: CaseResult
+    phases: list[Phase]
+    disruptions: list[AnomalyWindow]
+    deviations: list[AnomalyWindow]
+    injected_window: tuple[float, float] | None
+    detected_injected: bool
+    affected_resources: tuple[str, ...]
+    wait_dominated_resources: tuple[str, ...]
+    mode_counts: Mapping[str, int]
+
+
+def _injected_window(result: CaseResult) -> tuple[float, float] | None:
+    perturbations = result.trace.metadata.get("perturbations") or []
+    if not perturbations:
+        return None
+    first = perturbations[0]
+    return float(first["start"]), float(first["end"])
+
+
+def _wait_dominated(model: MicroscopicModel, phases: Sequence[Phase]) -> tuple[str, ...]:
+    """Resources whose dominant state over the computation phase is MPI_Wait."""
+    if "MPI_Wait" not in model.states:
+        return ()
+    compute_phases = [p for p in phases if p.dominant_state not in ("MPI_Init", None)]
+    if compute_phases:
+        start = min(p.start_slice for p in compute_phases)
+        end = max(p.end_slice for p in compute_phases)
+    else:
+        start, end = 0, model.n_slices - 1
+    durations = model.durations[:, start : end + 1, :].sum(axis=1)
+    names = []
+    wait_index = model.states.index("MPI_Wait")
+    for s in range(model.n_resources):
+        if durations[s].sum() > 0 and int(np.argmax(durations[s])) == wait_index:
+            names.append(model.hierarchy.leaf_names[s])
+    return tuple(names)
+
+
+def figure1_series(
+    scenario: Scenario | None = None,
+    p: float = 0.7,
+    n_slices: int = 30,
+) -> Figure1Series:
+    """Run case A (or a provided scenario) and extract the Figure 1 findings."""
+    scenario = scenario if scenario is not None else case_a()
+    result = run_case(scenario, n_slices=n_slices, p=p)
+    phases = detect_phases(result.partition, result.model)
+    disruptions = detect_partition_disruptions(result.partition)
+    deviations = detect_deviating_cells(result.model, threshold=0.1)
+    injected = _injected_window(result)
+    detected = False
+    affected: tuple[str, ...] = ()
+    if injected is not None:
+        for window in deviations + disruptions:
+            if match_window(window, injected[0], injected[1], tolerance=result.model.slicing.durations[0]):
+                detected = True
+                affected = window.resources
+                break
+    styles = partition_styles(result.partition)
+    mode_counts: dict[str, int] = {}
+    for style in styles:
+        if style.mode_state is not None:
+            mode_counts[style.mode_state] = mode_counts.get(style.mode_state, 0) + 1
+    return Figure1Series(
+        result=result,
+        phases=phases,
+        disruptions=disruptions,
+        deviations=deviations,
+        injected_window=injected,
+        detected_injected=detected,
+        affected_resources=affected,
+        wait_dominated_resources=_wait_dominated(result.model, phases),
+        mode_counts=mode_counts,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2 — Gantt clutter vs aggregated overview
+# --------------------------------------------------------------------------- #
+@dataclass
+class Figure2Series:
+    """Data behind Figure 2: microscopic Gantt clutter vs bounded overview."""
+
+    gantt: GanttMetrics
+    overview_items: int
+    overview_data_items: int
+    overview_visual_items: int
+    entity_ratio: float
+
+
+def figure2_series(
+    result: CaseResult,
+    width_px: int = 1600,
+    height_px: int = 900,
+    threshold_px: float = 3.0,
+) -> Figure2Series:
+    """Clutter metrics of the microscopic Gantt chart of a case's trace."""
+    metrics = gantt_metrics(result.trace, width_px=width_px, height_px=height_px)
+    visual = visual_aggregation(result.partition, height_px=height_px, threshold_px=threshold_px)
+    ratio = metrics.n_objects / max(visual.n_items, 1)
+    return Figure2Series(
+        gantt=metrics,
+        overview_items=visual.n_items,
+        overview_data_items=visual.n_data,
+        overview_visual_items=visual.n_visual,
+        entity_ratio=ratio,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3 — artificial trace
+# --------------------------------------------------------------------------- #
+@dataclass
+class Figure3Series:
+    """Data behind the six panels of Figure 3."""
+
+    model: MicroscopicModel
+    microscopic_cells: int
+    grid: Partition
+    cartesian: Partition
+    optimal_low_p: Partition
+    optimal_high_p: Partition
+    low_p: float
+    high_p: float
+    visual_items: int
+    visual_data_items: int
+    visual_markers: Mapping[str, int]
+    comparison_rows: list[dict[str, object]]
+
+
+def figure3_series(
+    low_p: float = 0.25,
+    high_p: float = 0.65,
+    n_slices: int = 20,
+    operator: str | None = None,
+    height_px: int = 48,
+    threshold_px: float = 8.0,
+) -> Figure3Series:
+    """Reproduce the Figure 3 panels on the artificial 12 x 20 trace."""
+    trace = figure3_trace()
+    model = MicroscopicModel.from_trace(trace, n_slices=n_slices)
+    stats = IntervalStatistics(model, operator)
+    aggregator = SpatiotemporalAggregator(model, stats=stats)
+
+    grid = grid_partition(model, depth=1, n_intervals=4)            # Fig. 3.b
+    cartesian = aggregate_cartesian(model, low_p, operator=operator)  # Fig. 3.c
+    optimal_low = aggregator.run(low_p)                               # Fig. 3.d
+    optimal_high = aggregator.run(high_p)                             # Fig. 3.e
+    visual = visual_aggregation(optimal_low, height_px=height_px, threshold_px=threshold_px)  # Fig. 3.f
+    markers: dict[str, int] = {"diagonal": 0, "cross": 0}
+    for item in visual.visual_items():
+        markers[item.marker] = markers.get(item.marker, 0) + 1
+    comparison = compare_partitions(model, low_p, operator=operator, stats=stats)
+    return Figure3Series(
+        model=model,
+        microscopic_cells=model.n_cells,
+        grid=grid,
+        cartesian=cartesian,
+        optimal_low_p=optimal_low,
+        optimal_high_p=optimal_high,
+        low_p=low_p,
+        high_p=high_p,
+        visual_items=visual.n_items,
+        visual_data_items=visual.n_data,
+        visual_markers=markers,
+        comparison_rows=comparison.as_rows(),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4 — case C overview
+# --------------------------------------------------------------------------- #
+@dataclass
+class Figure4Series:
+    """Data behind Figure 4 (LU, 700 processes, Nancy)."""
+
+    result: CaseResult
+    phases: list[Phase]
+    heterogeneity: Mapping[str, float]
+    most_heterogeneous_cluster: str
+    disruptions: list[AnomalyWindow]
+    deviations: list[AnomalyWindow]
+    injected_window: tuple[float, float] | None
+    detected_injected: bool
+    perturbed_cluster_resources: tuple[str, ...]
+
+
+def figure4_series(
+    scenario: Scenario | None = None,
+    p: float = 0.7,
+    n_slices: int = 30,
+) -> Figure4Series:
+    """Run case C (or a provided scenario) and extract the Figure 4 findings."""
+    scenario = scenario if scenario is not None else case_c()
+    result = run_case(scenario, n_slices=n_slices, p=p)
+    phases = detect_phases(result.partition, result.model)
+    heterogeneity = cluster_heterogeneity(result.partition, depth=1)
+    most_heterogeneous = max(heterogeneity, key=heterogeneity.get) if heterogeneity else ""
+    disruptions = detect_partition_disruptions(result.partition)
+    deviations = detect_deviating_cells(result.model, threshold=0.1)
+    injected = _injected_window(result)
+    detected = False
+    affected: tuple[str, ...] = ()
+    if injected is not None:
+        for window in deviations + disruptions:
+            if match_window(window, injected[0], injected[1], tolerance=result.model.slicing.durations[0]):
+                detected = True
+                affected = window.resources
+                break
+    return Figure4Series(
+        result=result,
+        phases=phases,
+        heterogeneity=heterogeneity,
+        most_heterogeneous_cluster=most_heterogeneous,
+        disruptions=disruptions,
+        deviations=deviations,
+        injected_window=injected,
+        detected_injected=detected,
+        perturbed_cluster_resources=affected,
+    )

@@ -1,0 +1,207 @@
+"""End-to-end experiment runner (Table II).
+
+For every scenario the paper reports the trace characteristics (event count,
+trace size) and the time spent in the three stages of the analysis pipeline:
+trace reading, microscopic description, and aggregation — showing that the
+expensive part is a one-off preprocessing while re-aggregating at a new
+trade-off ``p`` is interactive.  :func:`run_case` reproduces that breakdown
+on the simulated scenarios, and :func:`format_table2` prints rows with the
+same columns as the paper's Table II.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from ..core.criteria import IntervalStatistics
+from ..core.microscopic import MicroscopicModel
+from ..core.partition import Partition
+from ..core.spatiotemporal import SpatiotemporalAggregator
+from ..simulation.scenarios import Scenario, run_scenario
+from ..trace.io import read_csv, write_csv
+from ..trace.trace import Trace
+
+__all__ = ["CaseTimings", "CaseResult", "run_case", "table2_rows", "format_table2"]
+
+
+@dataclass(frozen=True)
+class CaseTimings:
+    """Wall-clock timings (seconds) of each pipeline stage."""
+
+    simulation: float
+    trace_writing: float
+    trace_reading: float
+    microscopic_description: float
+    aggregation: float
+    reaggregation: float
+
+    @property
+    def preprocessing(self) -> float:
+        """One-off cost before any interaction (reading + microscopic model)."""
+        return self.trace_reading + self.microscopic_description
+
+
+@dataclass
+class CaseResult:
+    """Everything measured while running one scenario end to end."""
+
+    scenario: Scenario
+    trace: Trace
+    model: MicroscopicModel
+    partition: Partition
+    aggregator: SpatiotemporalAggregator
+    timings: CaseTimings
+    trace_size_bytes: int
+    trace_path: str | None = None
+
+    @property
+    def n_events(self) -> int:
+        """Number of punctual events in the trace."""
+        return self.trace.n_events
+
+    @property
+    def n_processes(self) -> int:
+        """Number of MPI processes."""
+        return self.model.n_resources
+
+
+def run_case(
+    scenario: Scenario,
+    n_slices: int = 30,
+    p: float = 0.7,
+    second_p: float = 0.3,
+    operator: str | None = None,
+    workdir: str | None = None,
+    keep_trace: bool = False,
+) -> CaseResult:
+    """Run a scenario through the full pipeline with a timing breakdown.
+
+    Parameters
+    ----------
+    scenario:
+        The scenario to execute.
+    n_slices:
+        Number of microscopic time slices (30 in the paper).
+    p:
+        Trade-off value of the reported aggregation.
+    second_p:
+        A second trade-off value, used to measure the *re*-aggregation time
+        (the paper's "instantaneous interaction" claim).
+    operator:
+        Aggregation operator name (paper default when ``None``).
+    workdir:
+        Directory where the trace CSV is written (a temporary directory when
+        ``None``).
+    keep_trace:
+        Keep the CSV file on disk and report its path.
+    """
+    start = time.perf_counter()
+    trace = run_scenario(scenario)
+    simulation_time = time.perf_counter() - start
+
+    own_tmp = None
+    if workdir is None:
+        own_tmp = tempfile.TemporaryDirectory(prefix="repro-case-")
+        directory = Path(own_tmp.name)
+    else:
+        directory = Path(workdir)
+        directory.mkdir(parents=True, exist_ok=True)
+    trace_path = directory / f"{scenario.name}.csv"
+
+    try:
+        start = time.perf_counter()
+        trace_size = write_csv(trace, trace_path)
+        writing_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        loaded = read_csv(trace_path, hierarchy=trace.hierarchy, states=trace.states)
+        reading_time = time.perf_counter() - start
+        # Carry the simulation metadata over to the re-read trace.
+        loaded.metadata.update(trace.metadata)
+
+        start = time.perf_counter()
+        model = MicroscopicModel.from_trace(loaded, n_slices=n_slices)
+        microscopic_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        stats = IntervalStatistics(model, operator)
+        aggregator = SpatiotemporalAggregator(model, stats=stats)
+        partition = aggregator.run(p)
+        aggregation_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        aggregator.run(second_p)
+        reaggregation_time = time.perf_counter() - start
+    finally:
+        if own_tmp is not None and not keep_trace:
+            own_tmp.cleanup()
+            trace_path = None  # type: ignore[assignment]
+
+    timings = CaseTimings(
+        simulation=simulation_time,
+        trace_writing=writing_time,
+        trace_reading=reading_time,
+        microscopic_description=microscopic_time,
+        aggregation=aggregation_time,
+        reaggregation=reaggregation_time,
+    )
+    return CaseResult(
+        scenario=scenario,
+        trace=loaded,
+        model=model,
+        partition=partition,
+        aggregator=aggregator,
+        timings=timings,
+        trace_size_bytes=trace_size,
+        trace_path=str(trace_path) if trace_path else None,
+    )
+
+
+def table2_rows(results: Sequence[CaseResult]) -> list[dict[str, object]]:
+    """Table II rows (one dictionary per case)."""
+    rows: list[dict[str, object]] = []
+    for result in results:
+        scenario = result.scenario
+        metadata = result.trace.metadata
+        rows.append(
+            {
+                "case": scenario.case,
+                "application": f"{scenario.application.upper()}, class {scenario.nas_class}",
+                "processes": scenario.n_processes,
+                "site": metadata.get("site", "?"),
+                "clusters": metadata.get("clusters", {}),
+                "event_number": result.n_events,
+                "trace_size_bytes": result.trace_size_bytes,
+                "trace_reading_s": result.timings.trace_reading,
+                "microscopic_description_s": result.timings.microscopic_description,
+                "aggregation_s": result.timings.aggregation,
+                "reaggregation_s": result.timings.reaggregation,
+            }
+        )
+    return rows
+
+
+def format_table2(results: Sequence[CaseResult]) -> str:
+    """Fixed-width text rendering of Table II."""
+    rows = table2_rows(results)
+    labels = [
+        ("Application", lambda r: r["application"]),
+        ("Processes", lambda r: str(r["processes"])),
+        ("Site", lambda r: str(r["site"])),
+        ("Clusters (machines)", lambda r: ", ".join(f"{k}({v})" for k, v in r["clusters"].items())),
+        ("Event number", lambda r: f"{r['event_number']:,}"),
+        ("Trace size", lambda r: f"{r['trace_size_bytes'] / 1e6:.1f} MB"),
+        ("Trace reading", lambda r: f"{r['trace_reading_s']:.2f} s"),
+        ("Microscopic description", lambda r: f"{r['microscopic_description_s']:.2f} s"),
+        ("Aggregation", lambda r: f"{r['aggregation_s']:.2f} s"),
+        ("Re-aggregation (new p)", lambda r: f"{r['reaggregation_s']:.2f} s"),
+    ]
+    header = "".ljust(26) + "".join(f"Case {row['case']}".ljust(22) for row in rows)
+    lines = [header, "-" * len(header)]
+    for label, getter in labels:
+        lines.append(label.ljust(26) + "".join(str(getter(row)).ljust(22) for row in rows))
+    return "\n".join(lines)

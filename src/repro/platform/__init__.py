@@ -1,0 +1,39 @@
+"""Platform substrate: topology, network model and Grid'5000 site descriptions."""
+
+from .grid5000 import grenoble_site, nancy_site, rennes_parapide, rennes_site, site_for_case
+from .network import LinkSpec, NetworkModel, PerturbationWindow
+from .topology import (
+    ETHERNET_1G,
+    ETHERNET_10G,
+    INFINIBAND_20G,
+    INFINIBAND_40G,
+    NIC_TYPES,
+    Cluster,
+    Machine,
+    NICType,
+    Placement,
+    Platform,
+    PlatformError,
+)
+
+__all__ = [
+    "NICType",
+    "Machine",
+    "Cluster",
+    "Platform",
+    "Placement",
+    "PlatformError",
+    "INFINIBAND_20G",
+    "INFINIBAND_40G",
+    "ETHERNET_10G",
+    "ETHERNET_1G",
+    "NIC_TYPES",
+    "LinkSpec",
+    "NetworkModel",
+    "PerturbationWindow",
+    "rennes_parapide",
+    "grenoble_site",
+    "nancy_site",
+    "rennes_site",
+    "site_for_case",
+]

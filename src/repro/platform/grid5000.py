@@ -1,0 +1,112 @@
+"""Grid'5000 site descriptions used by the paper's four scenarios (Table II).
+
+The cluster compositions follow the paper's text and the Grid'5000 hardware
+pages of the period:
+
+* **Case A** — Rennes / Parapide: 8 machines x 8 cores, Infiniband 20G.
+* **Case B** — Grenoble / Adonis(9) + Edel(24) + Genepi(31): 8-core machines,
+  Infiniband interconnects.
+* **Case C** — Nancy / Graphene(26, 4 cores, Infiniband 20G) + Graphite(4,
+  16 cores, 10G Ethernet) + Griffon(67, 8 cores, Infiniband 20G).
+* **Case D** — Rennes / Paradent(38, 8 cores) + Parapide(21, 8 cores) +
+  Parapluie(18, 24 cores).
+
+The exact machine counts matter only in that they provide at least the number
+of cores used by each scenario (64, 512, 700, 900) with the heterogeneity the
+paper discusses (Graphite's slower Ethernet NIC in case C).
+"""
+
+from __future__ import annotations
+
+from .topology import (
+    ETHERNET_10G,
+    INFINIBAND_20G,
+    INFINIBAND_40G,
+    Cluster,
+    Platform,
+)
+
+
+def _machines(count: int, scale: float) -> int:
+    """Scaled machine count (at least one machine per cluster).
+
+    ``scale`` < 1 shrinks every cluster proportionally, which keeps the
+    multi-cluster structure of a site while allowing small test runs that
+    still spread processes over every cluster.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return max(1, round(count * scale))
+
+__all__ = [
+    "rennes_parapide",
+    "grenoble_site",
+    "nancy_site",
+    "rennes_site",
+    "site_for_case",
+]
+
+
+def rennes_parapide(scale: float = 1.0) -> Platform:
+    """Case A platform: the Parapide cluster of the Rennes site (64 cores)."""
+    return Platform(
+        name="rennes",
+        clusters=(Cluster.uniform("parapide", _machines(8, scale), 8, INFINIBAND_20G),),
+    )
+
+
+def grenoble_site(scale: float = 1.0) -> Platform:
+    """Case B platform: Adonis + Edel + Genepi on the Grenoble site (512 cores)."""
+    return Platform(
+        name="grenoble",
+        clusters=(
+            Cluster.uniform("adonis", _machines(9, scale), 8, INFINIBAND_40G),
+            Cluster.uniform("edel", _machines(24, scale), 8, INFINIBAND_40G),
+            Cluster.uniform("genepi", _machines(31, scale), 8, INFINIBAND_20G),
+        ),
+    )
+
+
+def nancy_site(scale: float = 1.0) -> Platform:
+    """Case C platform: Graphene + Graphite + Griffon on the Nancy site (704 cores).
+
+    Graphite uses 10G Ethernet and 16-core machines, the other two clusters
+    Infiniband 20G — the heterogeneity behind Figure 4's findings.
+    """
+    return Platform(
+        name="nancy",
+        clusters=(
+            Cluster.uniform("graphene", _machines(26, scale), 4, INFINIBAND_20G),
+            Cluster.uniform("graphite", _machines(4, scale), 16, ETHERNET_10G),
+            Cluster.uniform("griffon", _machines(67, scale), 8, INFINIBAND_20G),
+        ),
+    )
+
+
+def rennes_site(scale: float = 1.0) -> Platform:
+    """Case D platform: Paradent + Parapide + Parapluie on the Rennes site (904 cores)."""
+    return Platform(
+        name="rennes",
+        clusters=(
+            Cluster.uniform("paradent", _machines(38, scale), 8, INFINIBAND_20G),
+            Cluster.uniform("parapide", _machines(21, scale), 8, INFINIBAND_20G),
+            Cluster.uniform("parapluie", _machines(18, scale), 24, INFINIBAND_20G),
+        ),
+    )
+
+
+_CASES = {
+    "A": rennes_parapide,
+    "B": grenoble_site,
+    "C": nancy_site,
+    "D": rennes_site,
+}
+
+
+def site_for_case(case: str) -> Platform:
+    """Platform of one of the paper's scenarios (``"A"`` to ``"D"``)."""
+    try:
+        factory = _CASES[case.upper()]
+    except KeyError:
+        raise ValueError(f"unknown case {case!r}; expected one of {sorted(_CASES)}") from None
+    return factory()

@@ -1,0 +1,196 @@
+"""Network model: link selection, transfer times and perturbation windows.
+
+The paper's anomalies are *network* phenomena: concurrent experiments (case
+A) or hidden machines behind a shared switch (case C) slow communications
+down during bounded time windows, which shows up as abnormally long
+``MPI_Send`` / ``MPI_Wait`` states.  This module computes point-to-point
+transfer times between placed ranks and applies such perturbation windows.
+
+The model is deliberately simple (latency + size / bandwidth, with class-of-
+link selection) because the aggregation algorithm only needs the *relative*
+structure of communication delays: intra-machine ≪ intra-cluster ≪
+inter-cluster, Infiniband faster than Ethernet, perturbed windows slower than
+quiet ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .topology import Placement, Platform, PlatformError
+
+__all__ = ["LinkSpec", "PerturbationWindow", "NetworkModel"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Latency (s) and bandwidth (bytes/s) of a point-to-point path."""
+
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise PlatformError(f"invalid link specification: {self}")
+
+    def transfer_time(self, size: float) -> float:
+        """Time to move ``size`` bytes over this link."""
+        if size < 0:
+            raise PlatformError(f"negative message size: {size}")
+        return self.latency + size / self.bandwidth
+
+
+@dataclass(frozen=True)
+class PerturbationWindow:
+    """External interference on the network during a time window.
+
+    Attributes
+    ----------
+    start, end:
+        Simulation-time bounds of the window.
+    machines:
+        Names of the machines whose traffic is affected (a transfer is
+        perturbed when either endpoint is on one of these machines).  An
+        empty set means *every* machine is affected.
+    slowdown:
+        Multiplicative factor applied to the transfer time (>= 1).
+    label:
+        Free-form description used in reports.
+    """
+
+    start: float
+    end: float
+    machines: frozenset[str] = frozenset()
+    slowdown: float = 4.0
+    label: str = "network contention"
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise PlatformError(f"empty perturbation window [{self.start}, {self.end})")
+        if self.slowdown < 1.0:
+            raise PlatformError("slowdown must be >= 1")
+
+    def affects(self, time: float, machine_a: str, machine_b: str) -> bool:
+        """Whether a transfer starting at ``time`` between the two machines is hit."""
+        if not self.start <= time < self.end:
+            return False
+        if not self.machines:
+            return True
+        return machine_a in self.machines or machine_b in self.machines
+
+
+#: Default intra-machine link (shared memory transport).
+_INTRA_MACHINE = LinkSpec(latency=5.0e-7, bandwidth=8.0e9)
+
+
+class NetworkModel:
+    """Point-to-point transfer times between placed MPI ranks.
+
+    Parameters
+    ----------
+    platform:
+        The platform topology.
+    placements:
+        Rank placements (from :meth:`Platform.place`).
+    perturbations:
+        Perturbation windows applied on top of the base link model.
+    inter_cluster_factor:
+        Multiplier applied to the latency of messages crossing clusters (the
+        site backbone adds hops); the bandwidth of the slower NIC is used.
+    intra_machine:
+        Link used between two ranks of the same machine.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        placements: Sequence[Placement],
+        perturbations: Iterable[PerturbationWindow] = (),
+        inter_cluster_factor: float = 4.0,
+        intra_machine: LinkSpec = _INTRA_MACHINE,
+    ):
+        if inter_cluster_factor < 1.0:
+            raise PlatformError("inter_cluster_factor must be >= 1")
+        self._platform = platform
+        self._placements = {p.rank: p for p in placements}
+        self._perturbations = tuple(perturbations)
+        self._inter_cluster_factor = inter_cluster_factor
+        self._intra_machine = intra_machine
+        self._cluster_nic = {c.name: c.nic for c in platform.clusters}
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def platform(self) -> Platform:
+        """The platform topology."""
+        return self._platform
+
+    @property
+    def perturbations(self) -> tuple[PerturbationWindow, ...]:
+        """Registered perturbation windows."""
+        return self._perturbations
+
+    def placement(self, rank: int) -> Placement:
+        """Placement of ``rank``."""
+        try:
+            return self._placements[rank]
+        except KeyError:
+            raise PlatformError(f"rank {rank} is not placed on the platform") from None
+
+    # ------------------------------------------------------------------ #
+    # Link selection and transfer times
+    # ------------------------------------------------------------------ #
+    def link(self, src: int, dst: int) -> LinkSpec:
+        """Base link between two ranks (ignoring perturbations)."""
+        a = self.placement(src)
+        b = self.placement(dst)
+        if a.machine == b.machine:
+            return self._intra_machine
+        nic_a = self._cluster_nic[a.cluster]
+        nic_b = self._cluster_nic[b.cluster]
+        bandwidth = min(nic_a.bandwidth, nic_b.bandwidth)
+        latency = max(nic_a.latency, nic_b.latency)
+        if a.cluster != b.cluster:
+            latency *= self._inter_cluster_factor
+        return LinkSpec(latency=latency, bandwidth=bandwidth)
+
+    def slowdown(self, time: float, src: int, dst: int) -> float:
+        """Combined perturbation slowdown affecting a transfer starting at ``time``."""
+        a = self.placement(src)
+        b = self.placement(dst)
+        factor = 1.0
+        for window in self._perturbations:
+            if window.affects(time, a.machine, b.machine):
+                factor *= window.slowdown
+        return factor
+
+    def transfer_time(self, src: int, dst: int, size: float, time: float = 0.0) -> float:
+        """Transfer time of ``size`` bytes from ``src`` to ``dst`` starting at ``time``."""
+        base = self.link(src, dst).transfer_time(size)
+        return base * self.slowdown(time, src, dst)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers used by the analysis layer and the tests
+    # ------------------------------------------------------------------ #
+    def perturbed_ranks(self) -> set[int]:
+        """Ranks placed on a machine named by at least one perturbation window."""
+        machines: set[str] = set()
+        for window in self._perturbations:
+            machines |= set(window.machines)
+        if not machines and self._perturbations:
+            return set(self._placements)
+        return {
+            rank
+            for rank, placement in self._placements.items()
+            if placement.machine in machines
+        }
+
+    def cluster_of(self, rank: int) -> str:
+        """Cluster name hosting ``rank``."""
+        return self.placement(rank).cluster
+
+    def same_machine(self, src: int, dst: int) -> bool:
+        """Whether both ranks share a machine."""
+        return self.placement(src).machine == self.placement(dst).machine

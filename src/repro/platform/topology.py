@@ -1,0 +1,232 @@
+"""Platform topology model (Grid'5000 substitute).
+
+The paper runs the NAS benchmarks on Grid'5000 sites whose resources form a
+hierarchy: cores grouped by machines, machines by clusters, clusters by site.
+This module models that topology (sites, clusters with their NIC technology,
+machines with their core counts) and maps MPI ranks onto cores, producing the
+resource hierarchy consumed by the aggregation algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..core.hierarchy import Hierarchy
+
+__all__ = ["NICType", "Machine", "Cluster", "Platform", "Placement", "PlatformError"]
+
+
+class PlatformError(ValueError):
+    """Raised for inconsistent platform descriptions or placements."""
+
+
+@dataclass(frozen=True)
+class NICType:
+    """A network interface technology.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name (e.g. ``"infiniband-20g"``).
+    bandwidth:
+        Usable point-to-point bandwidth in bytes per second.
+    latency:
+        One-way latency in seconds.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.latency < 0:
+            raise PlatformError(f"invalid NIC specification: {self}")
+
+
+#: Common NIC technologies of the Grid'5000 clusters used in the paper.
+INFINIBAND_20G = NICType("infiniband-20g", bandwidth=2.0e9, latency=2.0e-6)
+INFINIBAND_40G = NICType("infiniband-40g", bandwidth=4.0e9, latency=1.5e-6)
+ETHERNET_10G = NICType("ethernet-10g", bandwidth=1.0e9, latency=3.0e-5)
+ETHERNET_1G = NICType("ethernet-1g", bandwidth=1.1e8, latency=5.0e-5)
+
+NIC_TYPES = {
+    nic.name: nic
+    for nic in (INFINIBAND_20G, INFINIBAND_40G, ETHERNET_10G, ETHERNET_1G)
+}
+
+__all__ += ["INFINIBAND_20G", "INFINIBAND_40G", "ETHERNET_10G", "ETHERNET_1G", "NIC_TYPES"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A physical machine with a number of cores."""
+
+    name: str
+    n_cores: int
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise PlatformError(f"machine {self.name!r} must have at least one core")
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous group of machines sharing a NIC technology."""
+
+    name: str
+    machines: tuple[Machine, ...]
+    nic: NICType
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            raise PlatformError(f"cluster {self.name!r} has no machine")
+        names = [m.name for m in self.machines]
+        if len(set(names)) != len(names):
+            raise PlatformError(f"duplicate machine names in cluster {self.name!r}")
+
+    @classmethod
+    def uniform(
+        cls, name: str, n_machines: int, cores_per_machine: int, nic: NICType
+    ) -> "Cluster":
+        """A cluster of ``n_machines`` identical machines."""
+        if n_machines <= 0:
+            raise PlatformError("n_machines must be positive")
+        machines = tuple(
+            Machine(name=f"{name}-{i + 1}", n_cores=cores_per_machine)
+            for i in range(n_machines)
+        )
+        return cls(name=name, machines=machines, nic=nic)
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines."""
+        return len(self.machines)
+
+    @property
+    def n_cores(self) -> int:
+        """Total core count of the cluster."""
+        return sum(machine.n_cores for machine in self.machines)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """The physical location of one MPI rank."""
+
+    rank: int
+    cluster: str
+    machine: str
+    core: int
+
+    @property
+    def resource_name(self) -> str:
+        """Leaf name used in the resource hierarchy."""
+        return f"rank{self.rank}"
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A site: a named collection of clusters."""
+
+    name: str
+    clusters: tuple[Cluster, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise PlatformError(f"platform {self.name!r} has no cluster")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise PlatformError(f"duplicate cluster names in platform {self.name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Capacity queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters."""
+        return len(self.clusters)
+
+    @property
+    def n_machines(self) -> int:
+        """Total number of machines."""
+        return sum(cluster.n_machines for cluster in self.clusters)
+
+    @property
+    def n_cores(self) -> int:
+        """Total number of cores on the site."""
+        return sum(cluster.n_cores for cluster in self.clusters)
+
+    def cluster(self, name: str) -> Cluster:
+        """Look a cluster up by name."""
+        for cluster in self.clusters:
+            if cluster.name == name:
+                return cluster
+        raise PlatformError(f"unknown cluster: {name!r}")
+
+    def iter_cores(self) -> Iterator[tuple[Cluster, Machine, int]]:
+        """Iterate over every core as ``(cluster, machine, core_index)``."""
+        for cluster in self.clusters:
+            for machine in cluster.machines:
+                for core in range(machine.n_cores):
+                    yield cluster, machine, core
+
+    # ------------------------------------------------------------------ #
+    # Process placement and hierarchy
+    # ------------------------------------------------------------------ #
+    def place(self, n_processes: int) -> list[Placement]:
+        """Bind ``n_processes`` MPI ranks to cores, filling machines in order.
+
+        This matches the paper's setup ("each MPI process is bound to a
+        core") with a block placement: machine 1 of cluster 1 receives ranks
+        0..c-1, machine 2 the next ones, and so on.
+
+        Raises
+        ------
+        PlatformError
+            If the platform does not have enough cores.
+        """
+        if n_processes <= 0:
+            raise PlatformError("n_processes must be positive")
+        if n_processes > self.n_cores:
+            raise PlatformError(
+                f"platform {self.name!r} has {self.n_cores} cores, cannot place "
+                f"{n_processes} processes"
+            )
+        placements: list[Placement] = []
+        for rank, (cluster, machine, core) in enumerate(self.iter_cores()):
+            if rank >= n_processes:
+                break
+            placements.append(
+                Placement(rank=rank, cluster=cluster.name, machine=machine.name, core=core)
+            )
+        return placements
+
+    def hierarchy(self, placements: Sequence[Placement] | int) -> Hierarchy:
+        """Resource hierarchy site -> cluster -> machine -> rank.
+
+        ``placements`` may be an explicit placement list or a process count
+        (in which case :meth:`place` is used).
+        """
+        if isinstance(placements, int):
+            placements = self.place(placements)
+        if not placements:
+            raise PlatformError("cannot build a hierarchy from an empty placement")
+        paths = [
+            (placement.cluster, placement.machine, placement.resource_name)
+            for placement in placements
+        ]
+        return Hierarchy.from_paths(paths, root_name=self.name)
+
+    def machines_of_cluster(self, name: str) -> list[str]:
+        """Machine names of one cluster."""
+        return [machine.name for machine in self.cluster(name).machines]
+
+    def describe(self) -> str:
+        """One-line-per-cluster description (used in reports)."""
+        lines = [f"site {self.name}: {self.n_cores} cores in {self.n_clusters} clusters"]
+        for cluster in self.clusters:
+            lines.append(
+                f"  - {cluster.name}: {cluster.n_machines} machines x "
+                f"{cluster.machines[0].n_cores} cores, {cluster.nic.name}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Simulation substrate: DES engine, MPI layer, NAS skeletons and scenarios."""
+
+from .applications import CGConfig, LUConfig, cg_program, lu_grid_shape, lu_program
+from .engine import Channel, Environment, Event, Process, SimulationError, all_of
+from .mpi import Message, MPIRank, MPISimulator, simulate_application
+from .scenarios import (
+    PerturbationSpec,
+    PreparedScenario,
+    Scenario,
+    all_cases,
+    case_a,
+    case_b,
+    case_c,
+    case_d,
+    prepare_scenario,
+    run_scenario,
+)
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Channel",
+    "SimulationError",
+    "all_of",
+    "Message",
+    "MPIRank",
+    "MPISimulator",
+    "simulate_application",
+    "CGConfig",
+    "LUConfig",
+    "cg_program",
+    "lu_program",
+    "lu_grid_shape",
+    "PerturbationSpec",
+    "Scenario",
+    "PreparedScenario",
+    "prepare_scenario",
+    "run_scenario",
+    "case_a",
+    "case_b",
+    "case_c",
+    "case_d",
+    "all_cases",
+]

@@ -1,0 +1,14 @@
+"""NAS Parallel Benchmark communication skeletons (CG and LU)."""
+
+from .cg import CGConfig, cg_program, cg_programs
+from .lu import LUConfig, lu_grid_shape, lu_program, lu_programs
+
+__all__ = [
+    "CGConfig",
+    "cg_program",
+    "cg_programs",
+    "LUConfig",
+    "lu_grid_shape",
+    "lu_program",
+    "lu_programs",
+]

@@ -1,0 +1,202 @@
+"""NAS-CG communication skeleton.
+
+NPB-CG solves an unstructured sparse linear system with the conjugate
+gradient method; it "tests irregular long distance communication and employs
+unstructured matrix multiplication" (Section V.A).  The skeleton reproduces
+the communication structure that matters for the paper's observations:
+
+* an initialization phase (``MPI_Init`` with a per-rank stagger, followed by
+  a transition into the computation phase);
+* per iteration: a computation region, an irregular *long-distance exchange*
+  with a distant partner rank, and a machine-local reduction in which every
+  machine has one leader posting receives (``MPI_Wait``) while the other
+  local ranks send their contribution (``MPI_Send``) — which is exactly the
+  per-machine role asymmetry visible in Figure 1;
+* a finalization.
+
+Problem-class parameters (B, C, ...) scale the compute time and message
+sizes, not the communication structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Mapping, Sequence
+
+from ...platform.topology import Placement
+from ..mpi import MPIRank
+
+__all__ = ["CGConfig", "cg_program", "cg_programs"]
+
+
+#: Per-class scaling of compute time and message volume (relative to class C).
+_CLASS_SCALE: Mapping[str, float] = {"S": 0.02, "W": 0.05, "A": 0.1, "B": 0.4, "C": 1.0, "D": 4.0}
+
+
+@dataclass(frozen=True)
+class CGConfig:
+    """Parameters of the CG skeleton.
+
+    Attributes
+    ----------
+    n_processes:
+        Number of MPI ranks (any positive count; partners wrap around).
+    iterations:
+        Number of conjugate-gradient iterations to simulate.
+    nas_class:
+        NPB problem class; scales compute time and message sizes.
+    compute_time:
+        Base per-iteration computation time (seconds) for class C.
+    exchange_size:
+        Bytes exchanged with the long-distance partner per iteration (class C).
+    reduce_size:
+        Bytes sent to the machine-local leader per iteration (class C).
+    init_time:
+        Base ``MPI_Init`` duration.
+    init_stagger:
+        Additional per-rank stagger of the initialization (models the startup
+        ramp visible at the beginning of Figure 1).
+    record_compute:
+        Whether computation regions are recorded as ``Compute`` states.  The
+        paper traces MPI calls only (Score-P filters), so the default is
+        ``False``; set to ``True`` to obtain traces where compute time is an
+        explicit state.
+    leader_compute_fraction:
+        Fraction of the iteration compute time performed by the machine-local
+        leader rank (the leader is mostly coordinating, so it spends the rest
+        of the iteration waiting for its peers — the ``MPI_Wait``-dominated
+        process per machine seen in Figure 1).
+    """
+
+    n_processes: int
+    iterations: int = 20
+    nas_class: str = "C"
+    compute_time: float = 0.08
+    exchange_size: float = 2.0e7
+    reduce_size: float = 8.0e4
+    init_time: float = 1.2
+    init_stagger: float = 0.004
+    record_compute: bool = False
+    leader_compute_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.n_processes <= 0:
+            raise ValueError("n_processes must be positive")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if self.nas_class.upper() not in _CLASS_SCALE:
+            raise ValueError(f"unknown NAS class {self.nas_class!r}")
+
+    @property
+    def scale(self) -> float:
+        """Problem-class scale factor."""
+        return _CLASS_SCALE[self.nas_class.upper()]
+
+    @property
+    def scaled_compute(self) -> float:
+        """Per-iteration compute time for the configured class."""
+        return self.compute_time * self.scale
+
+    @property
+    def scaled_exchange(self) -> float:
+        """Long-distance message size for the configured class."""
+        return self.exchange_size * self.scale
+
+    @property
+    def scaled_reduce(self) -> float:
+        """Reduction message size for the configured class."""
+        return self.reduce_size * self.scale
+
+
+def _machine_groups(placements: Sequence[Placement]) -> dict[str, list[int]]:
+    """Ranks grouped by hosting machine (sorted within each group)."""
+    groups: dict[str, list[int]] = {}
+    for placement in placements:
+        groups.setdefault(placement.machine, []).append(placement.rank)
+    for ranks in groups.values():
+        ranks.sort()
+    return groups
+
+
+def cg_program(
+    ctx: MPIRank,
+    config: CGConfig,
+    placements: Sequence[Placement],
+) -> Generator:
+    """The CG skeleton of one rank (a generator for the DES engine)."""
+    rank = ctx.rank
+    n = config.n_processes
+    groups = _machine_groups(placements)
+    my_machine = placements[rank].machine
+    local = groups[my_machine]
+    leader = local[0]
+    is_leader = rank == leader and len(local) > 1
+
+    # Long-distance partner: the non-leader ranks are split into two halves of
+    # the rank space and, within each half, paired first-quarter /
+    # second-quarter.  The pairing is symmetric (an involution), crosses
+    # machine boundaries (mimicking CG's transpose exchange over the network)
+    # but stays within one half of the platform, which is what keeps the
+    # impact of a localized network perturbation confined to a subset of the
+    # processes as observed in the paper's case A.  Machine leaders stay
+    # dedicated to the local reduction; a possible odd rank out skips the
+    # exchange.
+    non_leaders = sorted(
+        r for r in range(n) if not (len(groups[placements[r].machine]) > 1
+                                    and groups[placements[r].machine][0] == r)
+    )
+    partner: int | None = None
+    if rank in non_leaders:
+        mid = len(non_leaders) // 2
+        group = non_leaders[:mid] if non_leaders.index(rank) < mid else non_leaders[mid:]
+        index = group.index(rank)
+        half = len(group) // 2
+        if index < half:
+            partner = group[index + half]
+        elif index < 2 * half:
+            partner = group[index - half]
+
+    record = config.record_compute
+
+    # ----------------------------- initialization ------------------------ #
+    yield from ctx.init(config.init_time, stagger=config.init_stagger * rank)
+    # Transition into the computation phase: an initial residual reduction.
+    yield from ctx.allreduce(config.scaled_reduce, name="cg-setup")
+
+    # ----------------------------- iterations ---------------------------- #
+    for _ in range(config.iterations):
+        if is_leader:
+            # The leader performs a reduced share of the computation and then
+            # waits for every local peer's contribution: most of its iteration
+            # is spent in MPI_Wait (the per-machine red process of Figure 1).
+            yield from ctx.compute(
+                config.scaled_compute * config.leader_compute_fraction, record=record
+            )
+            for peer in local[1:]:
+                yield from ctx.wait(peer)
+            yield from ctx.compute(config.scaled_compute * 0.05, record=record)
+        else:
+            yield from ctx.compute(config.scaled_compute, record=record)
+
+            # Irregular long-distance exchange (transpose-like partner).
+            if partner is not None and partner != rank:
+                yield from ctx.send(partner, config.scaled_exchange)
+                yield from ctx.recv(partner)
+
+            # Contribution to the machine-local reduction.
+            if len(local) > 1:
+                yield from ctx.send(leader, config.scaled_reduce)
+
+    # ----------------------------- finalization -------------------------- #
+    yield from ctx.finalize()
+
+
+def cg_programs(
+    ranks: Sequence[MPIRank],
+    config: CGConfig,
+    placements: Sequence[Placement],
+) -> dict[int, Generator]:
+    """One CG program per rank, keyed by rank id."""
+    if len(ranks) != config.n_processes or len(placements) != config.n_processes:
+        raise ValueError("ranks, placements and config.n_processes must agree")
+    return {ctx.rank: cg_program(ctx, config, placements) for ctx in ranks}

@@ -1,0 +1,200 @@
+"""NAS-LU communication skeleton.
+
+NPB-LU (Lower-Upper Gauss-Seidel) solves a synthetic system of nonlinear
+PDEs with a symmetric successive over-relaxation (SSOR) kernel.  The
+characteristic communication pattern is a *pipelined 2-D wavefront*: ranks
+are arranged on a 2-D grid; during the lower-triangular sweep every rank
+receives a face from its north and west neighbours, computes, and sends to
+its south and east neighbours; the upper-triangular sweep runs in the
+opposite direction.  Residual norms are reduced with ``MPI_Allreduce``.
+
+This structure is what produces the paper's Figure 4 phenomenology:
+
+* the wavefront couples neighbouring ranks tightly, so a cluster with a
+  slower NIC (Graphite's 10G Ethernet) spends visibly more time in
+  ``MPI_Recv``/``MPI_Wait`` and becomes spatially heterogeneous;
+* a perturbation on a few machines (Griffon's shared switch) stalls the
+  pipeline during a bounded window, producing a temporal rupture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, Mapping, Sequence
+
+from ...platform.topology import Placement
+from ..mpi import MPIRank
+
+__all__ = ["LUConfig", "lu_grid_shape", "lu_program", "lu_programs"]
+
+
+_CLASS_SCALE: Mapping[str, float] = {"S": 0.02, "W": 0.05, "A": 0.1, "B": 0.4, "C": 1.0, "D": 4.0}
+
+
+def lu_grid_shape(n_processes: int) -> tuple[int, int]:
+    """The 2-D process grid (rows, cols) used for ``n_processes`` ranks.
+
+    The most square factorization of ``n_processes`` is chosen (NPB-LU uses a
+    near-square power-of-two grid; the paper's 700- and 900-process runs use
+    whatever grid the benchmark derives, and only the neighbourhood structure
+    matters here).
+    """
+    if n_processes <= 0:
+        raise ValueError("n_processes must be positive")
+    best_rows = 1
+    for rows in range(1, int(math.isqrt(n_processes)) + 1):
+        if n_processes % rows == 0:
+            best_rows = rows
+    return best_rows, n_processes // best_rows
+
+
+@dataclass(frozen=True)
+class LUConfig:
+    """Parameters of the LU skeleton.
+
+    Attributes
+    ----------
+    n_processes:
+        Number of MPI ranks.
+    iterations:
+        Number of SSOR iterations to simulate.
+    nas_class:
+        NPB problem class; scales compute time and message sizes.
+    pipeline_depth:
+        Number of pipelined chunks per sweep (the ``nz`` blocking factor).
+    compute_time:
+        Base compute time per chunk for class C.
+    face_size:
+        Bytes of one face exchange for class C.
+    allreduce_size:
+        Bytes of the residual reduction.
+    allreduce_every:
+        Residual reduction period (iterations).
+    init_time, init_stagger:
+        ``MPI_Init`` duration and per-rank stagger.
+    record_compute:
+        Whether computation regions are recorded as ``Compute`` states (the
+        paper's traces contain MPI states only, so the default is ``False``).
+    """
+
+    n_processes: int
+    iterations: int = 12
+    nas_class: str = "C"
+    pipeline_depth: int = 2
+    compute_time: float = 0.03
+    face_size: float = 4.0e5
+    allreduce_size: float = 4.0e4
+    allreduce_every: int = 4
+    init_time: float = 1.5
+    init_stagger: float = 0.003
+    record_compute: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_processes <= 0:
+            raise ValueError("n_processes must be positive")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if self.pipeline_depth <= 0:
+            raise ValueError("pipeline_depth must be positive")
+        if self.allreduce_every <= 0:
+            raise ValueError("allreduce_every must be positive")
+        if self.nas_class.upper() not in _CLASS_SCALE:
+            raise ValueError(f"unknown NAS class {self.nas_class!r}")
+
+    @property
+    def scale(self) -> float:
+        """Problem-class scale factor."""
+        return _CLASS_SCALE[self.nas_class.upper()]
+
+    @property
+    def scaled_compute(self) -> float:
+        """Per-chunk compute time for the configured class."""
+        return self.compute_time * self.scale
+
+    @property
+    def scaled_face(self) -> float:
+        """Face message size for the configured class."""
+        return self.face_size * self.scale
+
+    @property
+    def grid(self) -> tuple[int, int]:
+        """Process grid shape (rows, cols)."""
+        return lu_grid_shape(self.n_processes)
+
+
+def _coordinates(rank: int, grid: tuple[int, int]) -> tuple[int, int]:
+    rows, cols = grid
+    return rank // cols, rank % cols
+
+
+def _rank_of(row: int, col: int, grid: tuple[int, int]) -> int:
+    return row * grid[1] + col
+
+
+def lu_program(
+    ctx: MPIRank,
+    config: LUConfig,
+    placements: Sequence[Placement],
+) -> Generator:
+    """The LU skeleton of one rank (a generator for the DES engine)."""
+    grid = config.grid
+    rows, cols = grid
+    rank = ctx.rank
+    row, col = _coordinates(rank, grid)
+    north = _rank_of(row - 1, col, grid) if row > 0 else None
+    south = _rank_of(row + 1, col, grid) if row < rows - 1 else None
+    west = _rank_of(row, col - 1, grid) if col > 0 else None
+    east = _rank_of(row, col + 1, grid) if col < cols - 1 else None
+
+    # ----------------------------- initialization ------------------------ #
+    yield from ctx.init(config.init_time, stagger=config.init_stagger * rank)
+    # Setup exchange: the paper's Figure 4 shows an MPI_Allreduce-dominated,
+    # spatially heterogeneous phase right after MPI_Init.
+    yield from ctx.allreduce(config.allreduce_size, name="lu-setup")
+
+    # ----------------------------- SSOR iterations ------------------------ #
+    for iteration in range(config.iterations):
+        # Lower-triangular sweep: the wavefront flows from (0, 0).
+        for chunk in range(config.pipeline_depth):
+            tag = 2 * chunk
+            if north is not None:
+                yield from ctx.recv(north, tag=tag)
+            if west is not None:
+                yield from ctx.recv(west, tag=tag + 1)
+            yield from ctx.compute(config.scaled_compute, record=config.record_compute)
+            if south is not None:
+                yield from ctx.send(south, config.scaled_face, tag=tag)
+            if east is not None:
+                yield from ctx.send(east, config.scaled_face, tag=tag + 1)
+
+        # Upper-triangular sweep: the wavefront flows back from the far corner.
+        for chunk in range(config.pipeline_depth):
+            tag = 1000 + 2 * chunk
+            if south is not None:
+                yield from ctx.recv(south, tag=tag)
+            if east is not None:
+                yield from ctx.recv(east, tag=tag + 1)
+            yield from ctx.compute(config.scaled_compute, record=config.record_compute)
+            if north is not None:
+                yield from ctx.send(north, config.scaled_face, tag=tag)
+            if west is not None:
+                yield from ctx.send(west, config.scaled_face, tag=tag + 1)
+
+        # Residual norms.
+        if (iteration + 1) % config.allreduce_every == 0:
+            yield from ctx.allreduce(config.allreduce_size, name="lu-residual")
+
+    # ----------------------------- finalization -------------------------- #
+    yield from ctx.finalize()
+
+
+def lu_programs(
+    ranks: Sequence[MPIRank],
+    config: LUConfig,
+    placements: Sequence[Placement],
+) -> dict[int, Generator]:
+    """One LU program per rank, keyed by rank id."""
+    if len(ranks) != config.n_processes or len(placements) != config.n_processes:
+        raise ValueError("ranks, placements and config.n_processes must agree")
+    return {ctx.rank: lu_program(ctx, config, placements) for ctx in ranks}

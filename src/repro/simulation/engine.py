@@ -1,0 +1,244 @@
+"""A small coroutine-based discrete-event simulation engine.
+
+The MPI workloads of the paper (NAS CG and LU on Grid'5000) are reproduced by
+simulation: every MPI rank is a Python generator that yields *events*
+(timeouts, message arrivals) to a scheduler.  The engine is intentionally
+minimal — an event heap, processes, and point-to-point channels — but
+sufficient to model blocking/eager communications, collectives and network
+perturbations with deterministic results.
+
+The design follows the usual DES structure (SimPy-like):
+
+* :class:`Environment` owns the clock and the event heap;
+* :class:`Event` is a one-shot occurrence with callbacks and a value;
+* :class:`Process` wraps a generator; each yielded event suspends the
+  generator until the event fires;
+* :class:`Channel` is an unbounded FIFO mailbox used for message passing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = ["Environment", "Event", "Process", "Channel", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduler usage (double triggers, time travel, ...)."""
+
+
+class Event:
+    """A one-shot occurrence with a value and callbacks.
+
+    Events are created untriggered; :meth:`Environment.schedule` (or the
+    convenience :meth:`succeed`) places them on the event heap.  When the
+    scheduler pops the event, its callbacks run with the event as argument.
+    """
+
+    __slots__ = ("env", "callbacks", "triggered", "processed", "value")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.processed = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule the event ``delay`` seconds from now carrying ``value``."""
+        self.env.schedule(self, delay=delay, value=value)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"Event({state}, value={self.value!r})"
+
+
+class Process(Event):
+    """A running generator; as an :class:`Event` it fires on completion."""
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "process"):
+        super().__init__(env)
+        self._generator = generator
+        self.name = name
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._step)
+        env.schedule(bootstrap, delay=0.0, value=None)
+
+    def _step(self, trigger: Event) -> None:
+        try:
+            target = self._generator.send(trigger.value)
+        except StopIteration as stop:
+            self.env.schedule(self, delay=0.0, value=stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.processed:
+            # The event already fired (e.g. an immediately satisfied get that
+            # was consumed before we were resumed): resume on the next tick.
+            resume = Event(self.env)
+            resume.callbacks.append(self._step)
+            self.env.schedule(resume, delay=0.0, value=target.value)
+        else:
+            target.callbacks.append(self._step)
+
+
+class Environment:
+    """Discrete-event scheduler: a clock and an event heap."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._processes: list[Process] = []
+
+    # ------------------------------------------------------------------ #
+    # Clock and scheduling
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the heap."""
+        return len(self._heap)
+
+    def schedule(self, event: Event, delay: float = 0.0, value: Any = None) -> Event:
+        """Place ``event`` on the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        if event.triggered:
+            raise SimulationError("event already triggered")
+        event.triggered = True
+        event.value = value
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        return event
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event firing ``delay`` seconds from now."""
+        event = Event(self)
+        return self.schedule(event, delay=delay, value=value)
+
+    def process(self, generator: Generator, name: str = "process") -> Process:
+        """Start a new process from ``generator``."""
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        return process
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        """Process the next event."""
+        if not self._heap:
+            raise SimulationError("no event to process")
+        time, _, event = heapq.heappop(self._heap)
+        if time < self._now - 1e-12:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = max(self._now, time)
+        event.processed = True
+        for callback in list(event.callbacks):
+            callback(event)
+        event.callbacks.clear()
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run until the heap is empty, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time reached.
+        """
+        processed = 0
+        while self._heap:
+            next_time = self._heap[0][0]
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            self.step()
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        return self._now
+
+    def all_finished(self) -> bool:
+        """Whether every started process has completed."""
+        return all(process.processed for process in self._processes)
+
+
+class Channel:
+    """Unbounded FIFO mailbox for message passing between processes."""
+
+    def __init__(self, env: Environment):
+        self._env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            self._env.schedule(getter, delay=0.0, value=item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next item (immediately if available)."""
+        event = Event(self._env)
+        if self._items:
+            self._env.schedule(event, delay=0.0, value=self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    @property
+    def n_waiting(self) -> int:
+        """Number of processes blocked on :meth:`get`."""
+        return len(self._getters)
+
+    @property
+    def n_items(self) -> int:
+        """Number of deposited but not yet consumed items."""
+        return len(self._items)
+
+
+def all_of(env: Environment, events: Iterable[Event]) -> Event:
+    """An event firing when every event in ``events`` has fired."""
+    events = list(events)
+    result = Event(env)
+    if not events:
+        return env.schedule(result, delay=0.0, value=[])
+    remaining = {"count": len(events)}
+    values: list[Any] = [None] * len(events)
+
+    def make_callback(index: int) -> Callable[[Event], None]:
+        def callback(event: Event) -> None:
+            values[index] = event.value
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                env.schedule(result, delay=0.0, value=list(values))
+
+        return callback
+
+    for index, event in enumerate(events):
+        if event.processed:
+            values[index] = event.value
+            remaining["count"] -= 1
+        else:
+            event.callbacks.append(make_callback(index))
+    if remaining["count"] == 0 and not result.triggered:
+        env.schedule(result, delay=0.0, value=list(values))
+    return result
+
+
+__all__.append("all_of")

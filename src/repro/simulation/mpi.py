@@ -1,0 +1,320 @@
+"""Simulated MPI layer producing Score-P-like state traces.
+
+Every MPI rank is a generator driven by the discrete-event engine.  The
+:class:`MPISimulator` provides the communication primitives the NAS skeletons
+need (``Init``, blocking ``Send``/``Recv``, ``Wait`` on posted receives,
+``Allreduce``, ``Finalize``) and records one state interval per call through
+a :class:`~repro.trace.builder.TraceBuilder`, which is exactly the
+information the paper's tracer (Score-P recording MPI function calls)
+produces.
+
+Timing model
+------------
+* ``Send`` is *eager*: the message is deposited immediately and the sender is
+  busy for the full transfer time (latency + size / bandwidth on the selected
+  link, scaled by any active perturbation window).
+* ``Recv`` blocks from the moment it is posted until the message's arrival
+  time; the blocked duration is recorded as ``MPI_Recv`` (or ``MPI_Wait``
+  when the skeleton models an ``Irecv``/``Wait`` pair).
+* ``Allreduce`` synchronizes all participants and adds a logarithmic
+  combining cost on the slowest link of the communicator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable, Sequence
+
+import numpy as np
+
+from ..platform.network import NetworkModel
+from ..platform.topology import Placement
+from ..trace.builder import TraceBuilder
+from ..trace.states import mpi_state_registry
+from ..trace.trace import Trace
+from .engine import Channel, Environment, Event, SimulationError
+
+__all__ = ["Message", "MPIRank", "MPISimulator", "simulate_application"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight point-to-point message."""
+
+    src: int
+    dst: int
+    size: float
+    tag: int
+    send_time: float
+    arrival_time: float
+
+
+class _Collective:
+    """State of one Allreduce instance: joined ranks and their release event."""
+
+    def __init__(self, env: Environment, n_participants: int):
+        self.env = env
+        self.n_participants = n_participants
+        self.join_times: dict[int, float] = {}
+        self.events: dict[int, Event] = {}
+        self.completed = False
+
+    def join(self, rank: int, time: float) -> Event:
+        if rank in self.events:
+            raise SimulationError(f"rank {rank} joined the same collective twice")
+        event = Event(self.env)
+        self.events[rank] = event
+        self.join_times[rank] = time
+        return event
+
+    def is_full(self) -> bool:
+        return len(self.join_times) == self.n_participants
+
+    def release(self, completion_time: float) -> None:
+        if self.completed:  # pragma: no cover - defensive
+            raise SimulationError("collective already completed")
+        self.completed = True
+        now = self.env.now
+        delay = max(0.0, completion_time - now)
+        for event in self.events.values():
+            self.env.schedule(event, delay=delay, value=completion_time)
+
+
+class MPISimulator:
+    """Shared state of a simulated MPI execution.
+
+    Parameters
+    ----------
+    network:
+        Point-to-point timing model (topology + perturbations).
+    placements:
+        Rank placements; their length defines the communicator size.
+    seed:
+        Seed of the (deterministic) noise generator used for compute jitter.
+    """
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        placements: Sequence[Placement],
+        seed: int = 0,
+    ):
+        self.env = Environment()
+        self.network = network
+        self.placements = list(placements)
+        self.n_processes = len(placements)
+        self.builder = TraceBuilder(states=mpi_state_registry())
+        self._channels: dict[tuple[int, int, int], Channel] = {}
+        self._collectives: dict[str, list[_Collective]] = {}
+        self._collective_cursor: dict[tuple[str, int], int] = {}
+        self._rng = np.random.default_rng(seed)
+        self._noise: dict[int, np.random.Generator] = {}
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def channel(self, src: int, dst: int, tag: int) -> Channel:
+        """The mailbox for messages ``src -> dst`` with ``tag``."""
+        key = (src, dst, tag)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = Channel(self.env)
+            self._channels[key] = channel
+        return channel
+
+    def noise(self, rank: int, scale: float = 0.05) -> float:
+        """Deterministic multiplicative jitter for compute durations."""
+        generator = self._noise.get(rank)
+        if generator is None:
+            generator = np.random.default_rng((hash(("noise", rank)) ^ 0xA5A5) & 0xFFFFFFFF)
+            self._noise[rank] = generator
+        return float(1.0 + scale * (generator.random() - 0.5))
+
+    def collective(self, name: str, rank: int, participants: int) -> _Collective:
+        """The collective instance matching this rank's next call to ``name``."""
+        ops = self._collectives.setdefault(name, [])
+        cursor_key = (name, rank)
+        index = self._collective_cursor.get(cursor_key, 0)
+        self._collective_cursor[cursor_key] = index + 1
+        while len(ops) <= index:
+            ops.append(_Collective(self.env, participants))
+        return ops[index]
+
+    def collective_cost(self, size: float, participants: Iterable[int]) -> float:
+        """Cost of a combining tree over the slowest link among participants."""
+        ranks = list(participants)
+        if len(ranks) <= 1:
+            return 0.0
+        worst = 0.0
+        sample = ranks[: min(len(ranks), 8)]
+        for a in sample:
+            for b in sample:
+                if a != b:
+                    worst = max(worst, self.network.link(a, b).transfer_time(size))
+        rounds = math.ceil(math.log2(len(ranks)))
+        return rounds * worst
+
+    def rank(self, rank: int) -> "MPIRank":
+        """The per-rank API handle."""
+        if not 0 <= rank < self.n_processes:
+            raise SimulationError(f"rank {rank} outside [0, {self.n_processes})")
+        return MPIRank(self, rank)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, programs: "dict[int, Generator] | Sequence[Generator]") -> float:
+        """Run one generator per rank to completion; returns the final time."""
+        if isinstance(programs, dict):
+            items = sorted(programs.items())
+        else:
+            items = list(enumerate(programs))
+        if len(items) != self.n_processes:
+            raise SimulationError(
+                f"{len(items)} programs provided for {self.n_processes} ranks"
+            )
+        for rank, generator in items:
+            self.env.process(generator, name=f"rank{rank}")
+        end = self.env.run()
+        if not self.env.all_finished():
+            raise SimulationError(
+                "deadlock: some ranks did not finish (pending communications)"
+            )
+        return end
+
+    def build_trace(self, hierarchy, metadata: dict | None = None) -> Trace:
+        """Assemble the recorded state intervals into a trace."""
+        if metadata:
+            self.builder.set_metadata(**metadata)
+        self.builder.set_metadata(n_processes=self.n_processes)
+        trace = self.builder.build()
+        if hierarchy is not None:
+            trace = Trace(trace.intervals, hierarchy=hierarchy, states=trace.states, metadata=trace.metadata)
+        return trace
+
+
+class MPIRank:
+    """Per-rank MPI API used inside application generators.
+
+    Every method is a generator to be driven with ``yield from``; each call
+    records exactly one state interval on the rank's timeline.
+    """
+
+    #: Minimum recorded duration: zero-length states are dropped, and fully
+    #: synchronous operations are given this floor so they remain visible.
+    MIN_DURATION = 1e-7
+
+    def __init__(self, sim: MPISimulator, rank: int):
+        self.sim = sim
+        self.rank = rank
+        self.resource = f"rank{rank}"
+
+    # ------------------------------------------------------------------ #
+    # Recording helper
+    # ------------------------------------------------------------------ #
+    def _record(self, state: str, start: float, end: float) -> None:
+        if end - start < self.MIN_DURATION:
+            end = start + self.MIN_DURATION
+        self.sim.builder.record(self.resource, state, start, end)
+
+    # ------------------------------------------------------------------ #
+    # MPI primitives
+    # ------------------------------------------------------------------ #
+    def init(self, duration: float = 0.1, stagger: float = 0.0):
+        """``MPI_Init``: start-up cost, optionally staggered across ranks."""
+        start = self.sim.env.now
+        yield self.sim.env.timeout(duration + stagger)
+        self._record("MPI_Init", start, self.sim.env.now)
+
+    def finalize(self, duration: float = 0.01):
+        """``MPI_Finalize``."""
+        start = self.sim.env.now
+        yield self.sim.env.timeout(duration)
+        self._record("MPI_Finalize", start, self.sim.env.now)
+
+    def compute(self, duration: float, state: str = "Compute", jitter: float = 0.05,
+                record: bool = True):
+        """A computation region of roughly ``duration`` seconds.
+
+        With ``record=False`` the time passes but no state interval is
+        recorded, which models an MPI-only tracer (Score-P tracing MPI
+        function calls leaves computation untraced, as in the paper).
+        """
+        if duration < 0:
+            raise SimulationError(f"negative compute duration: {duration}")
+        start = self.sim.env.now
+        yield self.sim.env.timeout(duration * self.sim.noise(self.rank, jitter))
+        if record and self.sim.env.now > start:
+            self._record(state, start, self.sim.env.now)
+
+    def idle(self, duration: float, jitter: float = 0.05):
+        """Untraced local work (equivalent to ``compute(..., record=False)``)."""
+        yield from self.compute(duration, jitter=jitter, record=False)
+
+    def send(self, dst: int, size: float, tag: int = 0, state: str = "MPI_Send"):
+        """Blocking (eager) send: the sender is busy for the transfer time."""
+        env = self.sim.env
+        start = env.now
+        cost = self.sim.network.transfer_time(self.rank, dst, size, time=start)
+        message = Message(
+            src=self.rank,
+            dst=dst,
+            size=size,
+            tag=tag,
+            send_time=start,
+            arrival_time=start + cost,
+        )
+        self.sim.channel(self.rank, dst, tag).put(message)
+        yield env.timeout(cost)
+        self._record(state, start, env.now)
+
+    def recv(self, src: int, tag: int = 0, state: str = "MPI_Recv"):
+        """Blocking receive: blocks until the matching message has arrived."""
+        env = self.sim.env
+        start = env.now
+        message = yield self.sim.channel(src, self.rank, tag).get()
+        if message.arrival_time > env.now:
+            yield env.timeout(message.arrival_time - env.now)
+        self._record(state, start, env.now)
+        return message
+
+    def wait(self, src: int, tag: int = 0):
+        """``Irecv`` + ``MPI_Wait`` pair: same timing as a receive, recorded as a wait."""
+        return (yield from self.recv(src, tag=tag, state="MPI_Wait"))
+
+    def allreduce(self, size: float, participants: Sequence[int] | None = None,
+                  name: str = "world", state: str = "MPI_Allreduce"):
+        """``MPI_Allreduce`` over ``participants`` (the whole world by default)."""
+        env = self.sim.env
+        start = env.now
+        ranks = list(participants) if participants is not None else list(range(self.sim.n_processes))
+        if self.rank not in ranks:
+            raise SimulationError(f"rank {self.rank} not part of communicator {name!r}")
+        op = self.sim.collective(name, self.rank, len(ranks))
+        event = op.join(self.rank, start)
+        if op.is_full():
+            cost = self.sim.collective_cost(size, ranks)
+            completion = max(op.join_times.values()) + cost
+            op.release(completion)
+        yield event
+        self._record(state, start, env.now)
+
+
+def simulate_application(
+    network: NetworkModel,
+    placements: Sequence[Placement],
+    program_factory: Callable[[MPIRank], Generator],
+    hierarchy=None,
+    metadata: dict | None = None,
+    seed: int = 0,
+) -> Trace:
+    """Run one generator per rank and return the recorded trace.
+
+    ``program_factory`` is called with each rank's :class:`MPIRank` handle and
+    must return the rank's program generator.
+    """
+    sim = MPISimulator(network, placements, seed=seed)
+    programs = {p.rank: program_factory(sim.rank(p.rank)) for p in placements}
+    sim.run(programs)
+    return sim.build_trace(hierarchy, metadata=metadata)

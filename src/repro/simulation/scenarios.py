@@ -1,0 +1,322 @@
+"""Scenario definitions reproducing the paper's four cases (Table II).
+
+A :class:`Scenario` bundles an application skeleton (CG or LU), a problem
+class, a process count, a Grid'5000 platform and the perturbations injected
+during the run.  :func:`run_scenario` executes the simulation and returns the
+resulting trace, with enough metadata (injected perturbation windows,
+cluster composition) for the analysis layer to compare detected anomalies
+against the ground truth.
+
+The paper's traces contain up to 218 million events; the default scenario
+parameters below are scaled down (tens of iterations instead of hundreds,
+hence 10^4-10^6 events) so the whole pipeline runs on one machine in seconds
+to minutes.  Process counts and platform shapes are kept identical to the
+paper since they are what the spatial dimension of the analysis depends on;
+use ``scaled()`` for the even smaller instances used in unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from ..platform.grid5000 import grenoble_site, nancy_site, rennes_parapide, rennes_site
+from ..platform.network import NetworkModel, PerturbationWindow
+from ..platform.topology import Placement, Platform
+from ..trace.trace import Trace
+from .applications.cg import CGConfig, cg_program
+from .applications.lu import LUConfig, lu_program
+from .mpi import MPIRank, MPISimulator
+
+__all__ = [
+    "PerturbationSpec",
+    "Scenario",
+    "PreparedScenario",
+    "prepare_scenario",
+    "run_scenario",
+    "case_a",
+    "case_b",
+    "case_c",
+    "case_d",
+    "all_cases",
+]
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """A perturbation described relative to the (estimated) run duration.
+
+    Attributes
+    ----------
+    start_fraction, end_fraction:
+        Window bounds as fractions of the estimated execution time.
+    cluster:
+        Cluster whose machines are affected (``None`` = pick from the whole
+        platform).
+    n_machines:
+        Number of affected machines (taken from the start of the cluster's
+        machine list, deterministically).
+    slowdown:
+        Multiplicative transfer-time factor while the window is active.
+    label:
+        Free-form description.
+    """
+
+    start_fraction: float
+    end_fraction: float
+    cluster: str | None = None
+    n_machines: int = 2
+    slowdown: float = 25.0
+    label: str = "network contention"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_fraction < self.end_fraction <= 1.0:
+            raise ValueError("perturbation fractions must satisfy 0 <= start < end <= 1")
+        if self.n_machines <= 0:
+            raise ValueError("n_machines must be positive")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete experiment description (one row of Table II)."""
+
+    name: str
+    case: str
+    application: str
+    nas_class: str
+    n_processes: int
+    platform_factory: Callable[[], Platform]
+    iterations: int
+    perturbations: tuple[PerturbationSpec, ...] = ()
+    seed: int = 0
+    compute_time: float | None = None
+    message_size: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.application not in ("cg", "lu"):
+            raise ValueError(f"unknown application {self.application!r}")
+        if self.n_processes <= 0 or self.iterations <= 0:
+            raise ValueError("n_processes and iterations must be positive")
+
+    def scaled(self, processes: int | None = None, iterations: int | None = None) -> "Scenario":
+        """A smaller copy of the scenario (for tests and quick runs)."""
+        return replace(
+            self,
+            n_processes=processes if processes is not None else self.n_processes,
+            iterations=iterations if iterations is not None else self.iterations,
+        )
+
+
+@dataclass
+class PreparedScenario:
+    """A scenario with its platform, placement, network and program factory resolved."""
+
+    scenario: Scenario
+    platform: Platform
+    placements: list[Placement]
+    network: NetworkModel
+    program_factory: Callable[[MPIRank], object]
+    estimated_duration: float
+    perturbation_windows: tuple[PerturbationWindow, ...]
+
+
+def _application_config(scenario: Scenario) -> "CGConfig | LUConfig":
+    if scenario.application == "cg":
+        overrides = {}
+        if scenario.compute_time is not None:
+            overrides["compute_time"] = scenario.compute_time
+        if scenario.message_size is not None:
+            overrides["exchange_size"] = scenario.message_size
+        return CGConfig(
+            n_processes=scenario.n_processes,
+            iterations=scenario.iterations,
+            nas_class=scenario.nas_class,
+            **overrides,
+        )
+    overrides = {}
+    if scenario.compute_time is not None:
+        overrides["compute_time"] = scenario.compute_time
+    if scenario.message_size is not None:
+        overrides["face_size"] = scenario.message_size
+    return LUConfig(
+        n_processes=scenario.n_processes,
+        iterations=scenario.iterations,
+        nas_class=scenario.nas_class,
+        **overrides,
+    )
+
+
+def _estimate_duration(scenario: Scenario, config: "CGConfig | LUConfig") -> float:
+    """Deliberately conservative (under-)estimate of the run duration.
+
+    Perturbation windows are placed relative to this estimate; an
+    underestimate guarantees they land inside the actual execution.
+    """
+    if isinstance(config, CGConfig):
+        per_iteration = config.scaled_compute
+        init = config.init_time
+    else:
+        per_iteration = 2 * config.pipeline_depth * config.scaled_compute
+        init = config.init_time
+    return init + scenario.iterations * per_iteration
+
+
+def prepare_scenario(scenario: Scenario) -> PreparedScenario:
+    """Resolve a scenario into platform, placement, network and programs."""
+    platform = scenario.platform_factory()
+    placements = platform.place(scenario.n_processes)
+    config = _application_config(scenario)
+    estimated = _estimate_duration(scenario, config)
+
+    windows: list[PerturbationWindow] = []
+    for spec in scenario.perturbations:
+        if spec.cluster is not None:
+            machines = platform.machines_of_cluster(spec.cluster)[: spec.n_machines]
+        else:
+            machines = [m.name for c in platform.clusters for m in c.machines][: spec.n_machines]
+        windows.append(
+            PerturbationWindow(
+                start=spec.start_fraction * estimated,
+                end=spec.end_fraction * estimated,
+                machines=frozenset(machines),
+                slowdown=spec.slowdown,
+                label=spec.label,
+            )
+        )
+
+    network = NetworkModel(platform, placements, perturbations=windows)
+
+    if scenario.application == "cg":
+        def program_factory(ctx: MPIRank):
+            return cg_program(ctx, config, placements)
+    else:
+        def program_factory(ctx: MPIRank):
+            return lu_program(ctx, config, placements)
+
+    return PreparedScenario(
+        scenario=scenario,
+        platform=platform,
+        placements=placements,
+        network=network,
+        program_factory=program_factory,
+        estimated_duration=estimated,
+        perturbation_windows=tuple(windows),
+    )
+
+
+def run_scenario(scenario: Scenario) -> Trace:
+    """Simulate a scenario and return its trace (with ground-truth metadata)."""
+    prepared = prepare_scenario(scenario)
+    simulator = MPISimulator(prepared.network, prepared.placements, seed=scenario.seed)
+    programs = {
+        placement.rank: prepared.program_factory(simulator.rank(placement.rank))
+        for placement in prepared.placements
+    }
+    simulator.run(programs)
+    hierarchy = prepared.platform.hierarchy(prepared.placements)
+    metadata = {
+        "case": scenario.case,
+        "scenario": scenario.name,
+        "application": scenario.application.upper(),
+        "nas_class": scenario.nas_class,
+        "site": prepared.platform.name,
+        "clusters": {
+            cluster.name: cluster.n_machines for cluster in prepared.platform.clusters
+        },
+        "iterations": scenario.iterations,
+        "perturbations": [
+            {
+                "start": window.start,
+                "end": window.end,
+                "machines": sorted(window.machines),
+                "slowdown": window.slowdown,
+                "label": window.label,
+            }
+            for window in prepared.perturbation_windows
+        ],
+    }
+    return simulator.build_trace(hierarchy, metadata=metadata)
+
+
+# --------------------------------------------------------------------------- #
+# The paper's four cases (scaled-down iteration counts, identical structure)
+# --------------------------------------------------------------------------- #
+def case_a(iterations: int = 40, n_processes: int = 64, platform_scale: float = 1.0) -> Scenario:
+    """Case A: CG, class C, 64 processes, Rennes/Parapide, one contention window."""
+    return Scenario(
+        name="case_a",
+        case="A",
+        application="cg",
+        nas_class="C",
+        n_processes=n_processes,
+        platform_factory=lambda: rennes_parapide(platform_scale),
+        iterations=iterations,
+        perturbations=(
+            PerturbationSpec(
+                start_fraction=0.55,
+                end_fraction=0.70,
+                cluster="parapide",
+                n_machines=2,
+                slowdown=30.0,
+                label="concurrent experiment on the shared network",
+            ),
+        ),
+        seed=1,
+    )
+
+
+def case_b(iterations: int = 16, n_processes: int = 512, platform_scale: float = 1.0) -> Scenario:
+    """Case B: CG, class C, 512 processes, Grenoble (timing scalability only)."""
+    return Scenario(
+        name="case_b",
+        case="B",
+        application="cg",
+        nas_class="C",
+        n_processes=n_processes,
+        platform_factory=lambda: grenoble_site(platform_scale),
+        iterations=iterations,
+        seed=2,
+    )
+
+
+def case_c(iterations: int = 12, n_processes: int = 700, platform_scale: float = 1.0) -> Scenario:
+    """Case C: LU, class C, 700 processes, Nancy, Griffon switch contention."""
+    return Scenario(
+        name="case_c",
+        case="C",
+        application="lu",
+        nas_class="C",
+        n_processes=n_processes,
+        platform_factory=lambda: nancy_site(platform_scale),
+        iterations=iterations,
+        perturbations=(
+            PerturbationSpec(
+                start_fraction=0.55,
+                end_fraction=0.68,
+                cluster="griffon",
+                n_machines=4,
+                slowdown=40.0,
+                label="hidden machines behind the Griffon switch",
+            ),
+        ),
+        seed=3,
+    )
+
+
+def case_d(iterations: int = 8, n_processes: int = 900, platform_scale: float = 1.0) -> Scenario:
+    """Case D: LU, class B, 900 processes, Rennes (timing scalability only)."""
+    return Scenario(
+        name="case_d",
+        case="D",
+        application="lu",
+        nas_class="B",
+        n_processes=n_processes,
+        platform_factory=lambda: rennes_site(platform_scale),
+        iterations=iterations,
+        seed=4,
+    )
+
+
+def all_cases() -> dict[str, Scenario]:
+    """The four Table II scenarios keyed by case letter."""
+    return {"A": case_a(), "B": case_b(), "C": case_c(), "D": case_d()}

@@ -1,0 +1,213 @@
+"""Construction of traces from punctual events or programmatic recording.
+
+Score-P-like tracers emit ``enter``/``leave`` events; the microscopic model
+consumes :class:`~repro.trace.events.StateInterval` records.
+:class:`TraceBuilder` performs the conversion (maintaining one state stack per
+resource, as a real tracer would) and also offers a direct recording API used
+by the MPI simulation layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..core.hierarchy import Hierarchy
+from .events import ENTER, LEAVE, POINT, Event, EventError, StateInterval
+from .states import StateRegistry
+from .trace import Trace, TraceError
+
+__all__ = ["TraceBuilder", "TraceBuildError", "intervals_from_events"]
+
+
+class TraceBuildError(ValueError):
+    """Raised when events cannot be assembled into a consistent trace."""
+
+
+class TraceBuilder:
+    """Incremental construction of a :class:`~repro.trace.trace.Trace`.
+
+    Two usage styles are supported and can be mixed:
+
+    * *interval recording* — :meth:`record` appends a complete state interval
+      (used by the simulation layer, which knows both bounds);
+    * *event replay* — :meth:`push` / :meth:`pop` (or :meth:`feed` on
+      :class:`Event` streams) maintain a per-resource state stack, closing the
+      current state when a new one begins, which mirrors how a call-stack
+      tracer flattens nested regions.
+
+    The builder does not require the hierarchy up front: resources are
+    collected as they appear and a flat hierarchy is synthesized by
+    :meth:`build` when none is provided.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy | None = None,
+        states: StateRegistry | None = None,
+        metadata: Mapping[str, Any] | None = None,
+    ):
+        self._hierarchy = hierarchy
+        self._states = states.copy() if states is not None else StateRegistry()
+        self._metadata: dict[str, Any] = dict(metadata or {})
+        self._intervals: list[StateInterval] = []
+        self._stacks: dict[str, list[tuple[str, float]]] = {}
+        self._seen_resources: list[str] = []
+        self._seen_set: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # Direct interval recording
+    # ------------------------------------------------------------------ #
+    def record(self, resource: str, state: str, start: float, end: float) -> StateInterval:
+        """Record a complete state interval and return it."""
+        interval = StateInterval(start=start, end=end, resource=resource, state=state)
+        self._note_resource(resource)
+        self._states.add(state)
+        self._intervals.append(interval)
+        return interval
+
+    def extend(self, intervals: Iterable[StateInterval]) -> None:
+        """Record every interval of ``intervals``."""
+        for interval in intervals:
+            self.record(interval.resource, interval.state, interval.start, interval.end)
+
+    # ------------------------------------------------------------------ #
+    # Enter/leave replay
+    # ------------------------------------------------------------------ #
+    def push(self, resource: str, state: str, timestamp: float) -> None:
+        """Enter ``state`` on ``resource`` at ``timestamp``.
+
+        If the resource was already in a state, that state is *suspended*: the
+        time spent so far is flushed as an interval and the state resumes when
+        the nested one is popped (flat exclusive-time semantics, which is what
+        per-state duration metrics expect).
+        """
+        self._note_resource(resource)
+        self._states.add(state)
+        stack = self._stacks.setdefault(resource, [])
+        if stack:
+            current_state, since = stack[-1]
+            if timestamp < since:
+                raise TraceBuildError(
+                    f"non-monotonic enter on {resource!r}: {timestamp} < {since}"
+                )
+            if timestamp > since:
+                self._intervals.append(
+                    StateInterval(start=since, end=timestamp, resource=resource, state=current_state)
+                )
+            stack[-1] = (current_state, timestamp)
+        stack.append((state, timestamp))
+
+    def pop(self, resource: str, timestamp: float, state: str | None = None) -> None:
+        """Leave the current state on ``resource`` at ``timestamp``.
+
+        If ``state`` is given it must match the state being left (this guards
+        against mismatched enter/leave streams).
+        """
+        stack = self._stacks.get(resource)
+        if not stack:
+            raise TraceBuildError(f"leave without matching enter on {resource!r}")
+        current_state, since = stack.pop()
+        if state is not None and state != current_state:
+            raise TraceBuildError(
+                f"mismatched leave on {resource!r}: expected {current_state!r}, got {state!r}"
+            )
+        if timestamp < since:
+            raise TraceBuildError(
+                f"non-monotonic leave on {resource!r}: {timestamp} < {since}"
+            )
+        if timestamp > since:
+            self._intervals.append(
+                StateInterval(start=since, end=timestamp, resource=resource, state=current_state)
+            )
+        if stack:
+            parent_state, _ = stack[-1]
+            stack[-1] = (parent_state, timestamp)
+
+    def feed(self, events: Iterable[Event]) -> None:
+        """Replay a stream of :class:`Event` records (``point`` events are ignored)."""
+        for event in events:
+            if event.kind == ENTER:
+                self.push(event.resource, event.state, event.timestamp)
+            elif event.kind == LEAVE:
+                self.pop(event.resource, event.timestamp, event.state)
+            elif event.kind == POINT:
+                continue
+            else:  # pragma: no cover - Event validates kinds already
+                raise TraceBuildError(f"unknown event kind: {event.kind!r}")
+
+    def close_open_states(self, timestamp: float) -> int:
+        """Close every still-open state at ``timestamp``; returns how many were closed."""
+        closed = 0
+        for resource, stack in self._stacks.items():
+            while stack:
+                state, since = stack.pop()
+                if timestamp > since:
+                    self._intervals.append(
+                        StateInterval(start=since, end=timestamp, resource=resource, state=state)
+                    )
+                closed += 1
+        return closed
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+    def set_metadata(self, **values: Any) -> None:
+        """Attach metadata entries to the trace being built."""
+        self._metadata.update(values)
+
+    @property
+    def n_recorded(self) -> int:
+        """Number of intervals recorded so far."""
+        return len(self._intervals)
+
+    def build(self) -> Trace:
+        """Assemble the final trace.
+
+        Raises
+        ------
+        TraceBuildError
+            If some states are still open (call :meth:`close_open_states`
+            first) or if no interval has been recorded and no hierarchy was
+            provided.
+        """
+        still_open = [r for r, stack in self._stacks.items() if stack]
+        if still_open:
+            raise TraceBuildError(
+                f"cannot build trace: open states remain on {sorted(still_open)}"
+            )
+        hierarchy = self._hierarchy
+        if hierarchy is None:
+            if not self._seen_resources:
+                raise TraceBuildError("cannot build an empty trace without a hierarchy")
+            hierarchy = Hierarchy.flat(self._seen_resources)
+        return Trace(
+            self._intervals,
+            hierarchy=hierarchy,
+            states=self._states,
+            metadata=self._metadata,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _note_resource(self, resource: str) -> None:
+        if self._hierarchy is not None and resource not in self._hierarchy:
+            raise TraceBuildError(
+                f"resource {resource!r} is not a leaf of the provided hierarchy"
+            )
+        if resource not in self._seen_set:
+            self._seen_set.add(resource)
+            self._seen_resources.append(resource)
+
+
+def intervals_from_events(events: Iterable[Event]) -> list[StateInterval]:
+    """Convenience wrapper: convert an event stream into state intervals.
+
+    The stream must be complete (every ``enter`` matched by a ``leave``).
+    """
+    builder = TraceBuilder()
+    builder.feed(events)
+    open_count = sum(len(stack) for stack in builder._stacks.values())
+    if open_count:
+        raise TraceBuildError(f"{open_count} unmatched enter events")
+    return sorted(builder._intervals)

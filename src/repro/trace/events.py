@@ -1,0 +1,120 @@
+"""Event-level trace records.
+
+Raw traces contain timestamped events (function entries/exits, communications)
+associated with the resource that produced them.  This module defines the two
+record types used throughout the library:
+
+* :class:`Event` — a punctual record (``enter``/``leave``/``point``), the
+  shape produced by a Score-P-like tracer;
+* :class:`StateInterval` — a state with a start and an end on one resource,
+  the shape consumed by the microscopic model (Section III.A(3)).
+
+Events are converted to state intervals by :mod:`repro.trace.builder`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Event", "StateInterval", "EventError", "ENTER", "LEAVE", "POINT"]
+
+
+class EventError(ValueError):
+    """Raised when an invalid event or state interval is constructed."""
+
+
+ENTER = "enter"
+LEAVE = "leave"
+POINT = "point"
+_EVENT_KINDS = (ENTER, LEAVE, POINT)
+
+
+@dataclass(frozen=True)
+class Event:
+    """A punctual trace event.
+
+    Parameters
+    ----------
+    timestamp:
+        Time of the event (seconds, trace clock).
+    resource:
+        Name of the resource (leaf of the hierarchy) that produced it.
+    kind:
+        ``"enter"``, ``"leave"`` or ``"point"``.
+    state:
+        State (function) name the event refers to.
+    metadata:
+        Optional free-form payload (message size, partner rank, ...).
+    """
+
+    timestamp: float
+    resource: str
+    kind: str
+    state: str
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.timestamp):
+            raise EventError(f"non-finite timestamp: {self.timestamp!r}")
+        if self.kind not in _EVENT_KINDS:
+            raise EventError(f"unknown event kind: {self.kind!r}")
+        if not self.resource:
+            raise EventError("event resource must be non-empty")
+        if not self.state:
+            raise EventError("event state must be non-empty")
+
+
+@dataclass(frozen=True, order=True)
+class StateInterval:
+    """A state occupied by one resource over ``[start, end)``.
+
+    The ordering (by ``start`` then ``end``) is the natural sort order used
+    when serializing traces.
+    """
+
+    start: float
+    end: float
+    resource: str
+    state: str
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.start) and math.isfinite(self.end)):
+            raise EventError(
+                f"non-finite interval bounds: [{self.start!r}, {self.end!r})"
+            )
+        if self.end < self.start:
+            raise EventError(
+                f"interval end {self.end} precedes start {self.start}"
+            )
+        if not self.resource:
+            raise EventError("interval resource must be non-empty")
+        if not self.state:
+            raise EventError("interval state must be non-empty")
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval."""
+        return self.end - self.start
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Whether the interval intersects ``[start, end)`` with positive measure."""
+        return min(self.end, end) > max(self.start, start)
+
+    def clipped(self, start: float, end: float) -> "StateInterval | None":
+        """The part of the interval inside ``[start, end)`` or ``None`` if empty."""
+        lo = max(self.start, start)
+        hi = min(self.end, end)
+        if hi <= lo:
+            return None
+        return StateInterval(start=lo, end=hi, resource=self.resource, state=self.state)
+
+    def shifted(self, offset: float) -> "StateInterval":
+        """A copy of the interval translated by ``offset``."""
+        return StateInterval(
+            start=self.start + offset,
+            end=self.end + offset,
+            resource=self.resource,
+            state=self.state,
+        )

@@ -1,0 +1,248 @@
+"""Trace serialization.
+
+Two on-disk representations are provided:
+
+* a **CSV state-interval format** (one row per state interval) which is the
+  library's native interchange format and whose byte size is what the
+  Table II benchmark reports as "trace size";
+* a **Pajé-like event dump** (enter/leave lines) matching the shape of the
+  traces the original Ocelotl tool ingests, useful to exercise the
+  event-replay path of :class:`~repro.trace.builder.TraceBuilder`.
+
+Both formats carry the hierarchy as slash-joined leaf paths so a trace can be
+reloaded without external platform descriptions.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..core.hierarchy import Hierarchy
+from .builder import TraceBuilder
+from .events import StateInterval
+from .states import StateRegistry
+from .trace import Trace, TraceError
+
+__all__ = [
+    "write_csv",
+    "read_csv",
+    "csv_size_bytes",
+    "write_paje",
+    "read_paje",
+    "write_metadata",
+    "read_metadata",
+    "TraceIOError",
+]
+
+CSV_HEADER = ("resource_path", "state", "start", "end")
+
+
+class TraceIOError(ValueError):
+    """Raised when a trace file cannot be parsed."""
+
+
+# --------------------------------------------------------------------------- #
+# CSV state-interval format
+# --------------------------------------------------------------------------- #
+def _leaf_paths(hierarchy: Hierarchy) -> dict[str, str]:
+    """Map leaf name -> slash-joined path used on disk."""
+    return {leaf.name: "/".join(leaf.path) for leaf in hierarchy.leaves}
+
+
+def write_csv(trace: Trace, path: str | os.PathLike[str]) -> int:
+    """Write ``trace`` as CSV; returns the number of bytes written."""
+    paths = _leaf_paths(trace.hierarchy)
+    target = Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_HEADER)
+        for interval in trace.intervals:
+            writer.writerow(
+                (
+                    paths[interval.resource],
+                    interval.state,
+                    f"{interval.start:.12g}",
+                    f"{interval.end:.12g}",
+                )
+            )
+    return target.stat().st_size
+
+
+def csv_size_bytes(trace: Trace) -> int:
+    """Size in bytes of the CSV serialization, computed in memory."""
+    paths = _leaf_paths(trace.hierarchy)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_HEADER)
+    for interval in trace.intervals:
+        writer.writerow(
+            (
+                paths[interval.resource],
+                interval.state,
+                f"{interval.start:.12g}",
+                f"{interval.end:.12g}",
+            )
+        )
+    return len(buffer.getvalue().encode("utf-8"))
+
+
+def read_csv(
+    path: str | os.PathLike[str],
+    hierarchy: Hierarchy | None = None,
+    states: StateRegistry | None = None,
+) -> Trace:
+    """Read a CSV trace written by :func:`write_csv`.
+
+    When ``hierarchy`` is omitted it is rebuilt from the resource paths found
+    in the file (leaf order = order of first appearance).
+    """
+    source = Path(path)
+    intervals: list[StateInterval] = []
+    leaf_paths: list[tuple[str, ...]] = []
+    seen: set[tuple[str, ...]] = set()
+    with source.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != CSV_HEADER:
+            raise TraceIOError(f"{source}: missing or invalid CSV header: {header!r}")
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 4:
+                raise TraceIOError(f"{source}:{line_number}: expected 4 columns, got {len(row)}")
+            resource_path, state, start_text, end_text = row
+            parts = tuple(p for p in resource_path.split("/") if p)
+            if not parts:
+                raise TraceIOError(f"{source}:{line_number}: empty resource path")
+            try:
+                start = float(start_text)
+                end = float(end_text)
+            except ValueError as exc:
+                raise TraceIOError(f"{source}:{line_number}: invalid timestamps") from exc
+            if parts not in seen:
+                seen.add(parts)
+                leaf_paths.append(parts)
+            intervals.append(
+                StateInterval(start=start, end=end, resource=parts[-1], state=state)
+            )
+    if hierarchy is None:
+        if not leaf_paths:
+            raise TraceIOError(f"{source}: empty trace file")
+        hierarchy = Hierarchy.from_paths(leaf_paths)
+    return Trace(intervals, hierarchy=hierarchy, states=states)
+
+
+# --------------------------------------------------------------------------- #
+# Pajé-like enter/leave format
+# --------------------------------------------------------------------------- #
+def write_paje(trace: Trace, path: str | os.PathLike[str]) -> int:
+    """Write a Pajé-like event dump; returns the number of event lines written.
+
+    Format: one line per event, ``KIND timestamp resource_path state`` with
+    ``KIND`` in ``{PajePushState, PajePopState}``.
+    """
+    paths = _leaf_paths(trace.hierarchy)
+    events: list[tuple[float, int, str]] = []
+    for interval in trace.intervals:
+        resource_path = paths[interval.resource]
+        events.append(
+            (interval.start, 0, f"PajePushState {interval.start:.12g} {resource_path} {interval.state}")
+        )
+        events.append(
+            (interval.end, 1, f"PajePopState {interval.end:.12g} {resource_path} {interval.state}")
+        )
+    events.sort(key=lambda item: (item[0], item[1]))
+    target = Path(path)
+    with target.open("w") as handle:
+        for _, _, line in events:
+            handle.write(line + "\n")
+    return len(events)
+
+
+def read_paje(
+    path: str | os.PathLike[str],
+    hierarchy: Hierarchy | None = None,
+    states: StateRegistry | None = None,
+) -> Trace:
+    """Read a Pajé-like event dump written by :func:`write_paje`.
+
+    Push/pop events are matched per resource and state using a LIFO
+    discipline, which is sufficient for the flat state traces this library
+    produces.
+    """
+    source = Path(path)
+    open_states: dict[tuple[str, str], list[float]] = {}
+    intervals: list[StateInterval] = []
+    leaf_paths: list[tuple[str, ...]] = []
+    seen: set[tuple[str, ...]] = set()
+    with source.open("r") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise TraceIOError(f"{source}:{line_number}: expected 4 fields, got {len(parts)}")
+            kind, timestamp_text, resource_path, state = parts
+            try:
+                timestamp = float(timestamp_text)
+            except ValueError as exc:
+                raise TraceIOError(f"{source}:{line_number}: invalid timestamp") from exc
+            path_parts = tuple(p for p in resource_path.split("/") if p)
+            if not path_parts:
+                raise TraceIOError(f"{source}:{line_number}: empty resource path")
+            if path_parts not in seen:
+                seen.add(path_parts)
+                leaf_paths.append(path_parts)
+            resource = path_parts[-1]
+            key = (resource, state)
+            if kind == "PajePushState":
+                open_states.setdefault(key, []).append(timestamp)
+            elif kind == "PajePopState":
+                stack = open_states.get(key)
+                if not stack:
+                    raise TraceIOError(
+                        f"{source}:{line_number}: PajePopState without matching push for {key}"
+                    )
+                start = stack.pop()
+                intervals.append(StateInterval(start=start, end=timestamp, resource=resource, state=state))
+            else:
+                raise TraceIOError(f"{source}:{line_number}: unknown event kind {kind!r}")
+    dangling = {key: stack for key, stack in open_states.items() if stack}
+    if dangling:
+        raise TraceIOError(f"{source}: unmatched push events: {sorted(dangling)}")
+    if hierarchy is None:
+        if not leaf_paths:
+            raise TraceIOError(f"{source}: empty trace file")
+        hierarchy = Hierarchy.from_paths(leaf_paths)
+    return Trace(intervals, hierarchy=hierarchy, states=states)
+
+
+# --------------------------------------------------------------------------- #
+# Metadata side-car
+# --------------------------------------------------------------------------- #
+def write_metadata(trace: Trace, path: str | os.PathLike[str]) -> None:
+    """Write the trace metadata and state colours as a JSON side-car file."""
+    payload: dict[str, Any] = {
+        "metadata": trace.metadata,
+        "states": {name: trace.states.color(name) for name in trace.states.names},
+        "n_intervals": trace.n_intervals,
+        "n_resources": trace.hierarchy.n_leaves,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def read_metadata(path: str | os.PathLike[str]) -> dict[str, Any]:
+    """Read a JSON metadata side-car written by :func:`write_metadata`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceIOError(f"{path}: invalid JSON metadata") from exc
+    if not isinstance(payload, dict):
+        raise TraceIOError(f"{path}: metadata must be a JSON object")
+    return payload

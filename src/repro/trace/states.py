@@ -1,0 +1,161 @@
+"""State registry: the state dimension ``X`` of the trace model.
+
+A *state* is a timestamped event with a start and an end (e.g. an MPI
+function call and its return).  The paper puts no algebraic structure on the
+state set; this module only provides a stable mapping between state names and
+integer indices, plus display colours used by the visualization layer
+(Section IV associates a colour ``col_x`` with every state and renders each
+aggregate with the colour of its *mode* state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["StateRegistry", "StateRegistryError", "MPI_STATES", "mpi_state_registry"]
+
+
+class StateRegistryError(ValueError):
+    """Raised for unknown states or invalid registry manipulations."""
+
+
+#: Default colour cycle (hex RGB) used when a state has no explicit colour.
+_DEFAULT_COLORS: tuple[str, ...] = (
+    "#e6c545",  # yellow
+    "#56a849",  # green
+    "#d03f38",  # red
+    "#4472c4",  # blue
+    "#8e5bb5",  # purple
+    "#e87d2f",  # orange
+    "#5bb8c4",  # teal
+    "#9c6b4e",  # brown
+    "#b5b5b5",  # grey
+    "#e377c2",  # pink
+)
+
+#: Canonical MPI states produced by the simulated Score-P layer, with the
+#: colours used in the paper's Figure 1 (MPI_Init yellow, MPI_Send green,
+#: MPI_Wait red).
+MPI_STATES: Mapping[str, str] = {
+    "MPI_Init": "#e6c545",
+    "MPI_Send": "#56a849",
+    "MPI_Recv": "#4472c4",
+    "MPI_Wait": "#d03f38",
+    "MPI_Allreduce": "#8e5bb5",
+    "MPI_Finalize": "#b5b5b5",
+    "Compute": "#e87d2f",
+}
+
+
+@dataclass(frozen=True)
+class _StateInfo:
+    name: str
+    index: int
+    color: str
+
+
+class StateRegistry:
+    """Ordered mapping between state names and contiguous integer indices."""
+
+    def __init__(self, names: Iterable[str] = (), colors: Mapping[str, str] | None = None):
+        self._states: list[_StateInfo] = []
+        self._by_name: dict[str, _StateInfo] = {}
+        colors = dict(colors or {})
+        for name in names:
+            self.add(name, colors.get(name))
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, name: str, color: str | None = None) -> int:
+        """Register ``name`` (idempotent) and return its index."""
+        if not name:
+            raise StateRegistryError("state name must be non-empty")
+        existing = self._by_name.get(name)
+        if existing is not None:
+            return existing.index
+        index = len(self._states)
+        if color is None:
+            color = _DEFAULT_COLORS[index % len(_DEFAULT_COLORS)]
+        info = _StateInfo(name=name, index=index, color=color)
+        self._states.append(info)
+        self._by_name[name] = info
+        return index
+
+    def update(self, names: Iterable[str]) -> None:
+        """Register every name in ``names``."""
+        for name in names:
+            self.add(name)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def names(self) -> tuple[str, ...]:
+        """State names in index order."""
+        return tuple(info.name for info in self._states)
+
+    @property
+    def colors(self) -> tuple[str, ...]:
+        """Display colours in index order."""
+        return tuple(info.color for info in self._states)
+
+    def index(self, name: str) -> int:
+        """Index of state ``name``.
+
+        Raises
+        ------
+        StateRegistryError
+            If the state is unknown.
+        """
+        info = self._by_name.get(name)
+        if info is None:
+            raise StateRegistryError(f"unknown state: {name!r}")
+        return info.index
+
+    def name(self, index: int) -> str:
+        """Name of the state at ``index``."""
+        if not 0 <= index < len(self._states):
+            raise StateRegistryError(f"state index {index} out of range")
+        return self._states[index].name
+
+    def color(self, name_or_index: str | int) -> str:
+        """Display colour of a state, by name or by index."""
+        if isinstance(name_or_index, int):
+            return self._states[self._checked_index(name_or_index)].color
+        return self._states[self.index(name_or_index)].color
+
+    def _checked_index(self, index: int) -> int:
+        if not 0 <= index < len(self._states):
+            raise StateRegistryError(f"state index {index} out of range")
+        return index
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StateRegistry):
+            return NotImplemented
+        return self.names == other.names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"StateRegistry({list(self.names)!r})"
+
+    def copy(self) -> "StateRegistry":
+        """Independent copy of the registry."""
+        registry = StateRegistry()
+        for info in self._states:
+            registry.add(info.name, info.color)
+        return registry
+
+
+def mpi_state_registry() -> StateRegistry:
+    """Registry pre-populated with the canonical MPI states and paper colours."""
+    return StateRegistry(MPI_STATES.keys(), MPI_STATES)

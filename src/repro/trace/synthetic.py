@@ -1,0 +1,288 @@
+"""Synthetic trace generators.
+
+These generators produce traces with a controlled spatiotemporal structure,
+used by the unit tests, the examples and the Figure 3 benchmark (the paper's
+artificial trace with 12 resources, 20 microscopic time periods and two
+states).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.hierarchy import Hierarchy
+from .events import StateInterval
+from .states import StateRegistry
+from .trace import Trace
+
+__all__ = [
+    "trace_from_proportions",
+    "figure3_proportions",
+    "figure3_hierarchy",
+    "figure3_trace",
+    "random_trace",
+    "block_trace",
+    "phased_trace",
+]
+
+
+def trace_from_proportions(
+    proportions: np.ndarray,
+    hierarchy: Hierarchy,
+    state_names: Sequence[str],
+    slice_duration: float = 1.0,
+    start: float = 0.0,
+) -> Trace:
+    """Build a trace whose microscopic model matches ``proportions`` exactly.
+
+    Parameters
+    ----------
+    proportions:
+        Array of shape ``(n_resources, n_slices, n_states)`` with values in
+        ``[0, 1]``; for each resource and slice the states occupy the
+        corresponding fraction of the slice (fractions may sum to less than 1,
+        the remainder being idle time).
+    hierarchy:
+        Hierarchy whose leaves (in index order) correspond to the first axis.
+    state_names:
+        Names of the states along the last axis.
+    slice_duration:
+        Duration of each microscopic time period.
+    start:
+        Timestamp of the beginning of the trace.
+    """
+    rho = np.asarray(proportions, dtype=float)
+    if rho.ndim != 3:
+        raise ValueError("proportions must have shape (n_resources, n_slices, n_states)")
+    n_resources, n_slices, n_states = rho.shape
+    if n_resources != hierarchy.n_leaves:
+        raise ValueError(
+            f"proportions describe {n_resources} resources but the hierarchy has "
+            f"{hierarchy.n_leaves} leaves"
+        )
+    if n_states != len(state_names):
+        raise ValueError("state_names length must match the last axis of proportions")
+    if np.any(rho < -1e-12) or np.any(rho.sum(axis=2) > 1.0 + 1e-9):
+        raise ValueError("proportions must be non-negative and sum to at most 1 per cell")
+    if slice_duration <= 0:
+        raise ValueError("slice_duration must be positive")
+
+    registry = StateRegistry(state_names)
+    intervals: list[StateInterval] = []
+    leaf_names = hierarchy.leaf_names
+    for s in range(n_resources):
+        resource = leaf_names[s]
+        for t in range(n_slices):
+            cursor = start + t * slice_duration
+            for x in range(n_states):
+                duration = float(rho[s, t, x]) * slice_duration
+                if duration <= 0:
+                    continue
+                intervals.append(
+                    StateInterval(
+                        start=cursor,
+                        end=cursor + duration,
+                        resource=resource,
+                        state=state_names[x],
+                    )
+                )
+                cursor += duration
+    metadata = {
+        "generator": "trace_from_proportions",
+        "n_slices": n_slices,
+        "slice_duration": slice_duration,
+        "start": start,
+        "end": start + n_slices * slice_duration,
+    }
+    return Trace(intervals, hierarchy=hierarchy, states=registry, metadata=metadata)
+
+
+# --------------------------------------------------------------------------- #
+# The paper's Figure 3 artificial trace
+# --------------------------------------------------------------------------- #
+def figure3_hierarchy() -> Hierarchy:
+    """Hierarchy of the Figure 3 trace: 3 clusters SA, SB, SC of 4 resources."""
+    paths = []
+    for cluster_index, cluster in enumerate("ABC"):
+        for local in range(4):
+            resource = f"s{cluster_index * 4 + local + 1}"
+            paths.append((f"S{cluster}", resource))
+    return Hierarchy.from_paths(paths, root_name="S")
+
+
+def figure3_proportions() -> np.ndarray:
+    """Proportions ``rho_1(s, t)`` of the Figure 3 artificial trace.
+
+    The returned array has shape ``(12, 20)``; the second state's proportion
+    is ``1 - rho_1``.  The spatiotemporal structure follows the description of
+    Section III.D:
+
+    * slices 0-1 — homogeneous in time, heterogeneous in space (each resource
+      has its own level);
+    * slices 2-4 — homogeneous in time, heterogeneous in space except cluster
+      ``SA`` which is internally homogeneous;
+    * slices 5-6 — homogeneous in time and in space at the cluster level;
+    * slice 7 — fully homogeneous;
+    * slices 8-19 — ``SA`` homogeneous in space but varying over time, ``SB``
+      homogeneous in space and time, ``SC`` a more complex imbrication of
+      homogeneous and heterogeneous patterns.
+    """
+    rho = np.zeros((12, 20))
+    # T(1,2): distinct level per resource, constant over the two slices.
+    per_resource = np.linspace(0.05, 0.95, 12)
+    rho[:, 0:2] = per_resource[:, None]
+    # T(3,5): SA homogeneous at 0.8, SB/SC heterogeneous per resource.
+    rho[0:4, 2:5] = 0.8
+    rho[4:12, 2:5] = np.linspace(0.1, 0.9, 8)[:, None]
+    # T(6,7): cluster-level homogeneity.
+    rho[0:4, 5:7] = 0.2
+    rho[4:8, 5:7] = 0.5
+    rho[8:12, 5:7] = 0.9
+    # T(8): full homogeneity.
+    rho[:, 7] = 0.6
+    # T(9,20):
+    # SA: spatially homogeneous, temporally varying (a ramp with a step).
+    sa_profile = np.concatenate([np.linspace(0.1, 0.5, 6), np.linspace(0.9, 0.6, 6)])
+    rho[0:4, 8:20] = sa_profile[None, :]
+    # SB: homogeneous in space and time.
+    rho[4:8, 8:20] = 0.7
+    # SC: imbrication of homogeneous / heterogeneous patterns.
+    rho[8:10, 8:14] = 0.3   # s9, s10: low then high
+    rho[8:10, 14:20] = 0.9
+    rho[10, 8:20] = np.repeat([0.2, 0.6, 0.4, 0.8], 3)  # s11: changes every 3 slices
+    rho[11, 8:20] = 0.5     # s12: flat with a spike
+    rho[11, 13] = 0.95
+    return rho
+
+
+def figure3_trace(slice_duration: float = 1.0) -> Trace:
+    """The paper's Figure 3 artificial trace (12 resources, 20 slices, 2 states)."""
+    rho1 = figure3_proportions()
+    rho = np.stack([rho1, 1.0 - rho1], axis=2)
+    trace = trace_from_proportions(
+        rho,
+        hierarchy=figure3_hierarchy(),
+        state_names=("A", "B"),
+        slice_duration=slice_duration,
+    )
+    trace.metadata["figure"] = "figure3"
+    return trace
+
+
+# --------------------------------------------------------------------------- #
+# Parametric generators
+# --------------------------------------------------------------------------- #
+def random_trace(
+    n_resources: int = 8,
+    n_slices: int = 16,
+    n_states: int = 2,
+    seed: int = 0,
+    fanout: int = 2,
+    slice_duration: float = 1.0,
+) -> Trace:
+    """A trace with independent random state proportions in every cell.
+
+    Useful as worst-case (fully heterogeneous) input for the aggregation
+    algorithms and for property-based tests.
+    """
+    if n_states < 1:
+        raise ValueError("n_states must be at least 1")
+    rng = np.random.default_rng(seed)
+    raw = rng.random((n_resources, n_slices, n_states))
+    rho = raw / raw.sum(axis=2, keepdims=True)
+    hierarchy = Hierarchy.balanced(n_resources, fanout=fanout)
+    names = tuple(f"state{i}" for i in range(n_states))
+    trace = trace_from_proportions(rho, hierarchy, names, slice_duration=slice_duration)
+    trace.metadata["generator"] = "random_trace"
+    trace.metadata["seed"] = seed
+    return trace
+
+
+def block_trace(
+    n_resources: int = 8,
+    n_slices: int = 16,
+    n_blocks_time: int = 4,
+    n_blocks_space: int = 2,
+    seed: int = 0,
+    fanout: int = 2,
+    slice_duration: float = 1.0,
+) -> Trace:
+    """A trace made of perfectly homogeneous rectangular blocks.
+
+    The resource axis is split into ``n_blocks_space`` equal groups and the
+    time axis into ``n_blocks_time`` equal intervals; every block gets a
+    constant random proportion.  Ideal input to test that the aggregation
+    recovers coarse partitions.
+    """
+    if n_resources % n_blocks_space:
+        raise ValueError("n_resources must be divisible by n_blocks_space")
+    if n_slices % n_blocks_time:
+        raise ValueError("n_slices must be divisible by n_blocks_time")
+    rng = np.random.default_rng(seed)
+    block_values = rng.uniform(0.05, 0.95, size=(n_blocks_space, n_blocks_time))
+    rho1 = np.repeat(
+        np.repeat(block_values, n_resources // n_blocks_space, axis=0),
+        n_slices // n_blocks_time,
+        axis=1,
+    )
+    rho = np.stack([rho1, 1.0 - rho1], axis=2)
+    hierarchy = Hierarchy.balanced(n_resources, fanout=fanout)
+    trace = trace_from_proportions(rho, hierarchy, ("A", "B"), slice_duration=slice_duration)
+    trace.metadata["generator"] = "block_trace"
+    return trace
+
+
+def phased_trace(
+    n_resources: int = 16,
+    phase_durations: Sequence[float] = (2.0, 6.0, 2.0),
+    phase_states: Sequence[str] = ("init", "compute", "finalize"),
+    perturbed_resources: Sequence[int] = (),
+    perturbation_window: tuple[float, float] | None = None,
+    perturbation_state: str = "wait",
+    fanout: int = 4,
+) -> Trace:
+    """A trace with global phases and an optional localized perturbation.
+
+    Every resource traverses the same sequence of phases (mimicking an SPMD
+    application); resources listed in ``perturbed_resources`` additionally
+    spend ``perturbation_window`` in ``perturbation_state`` instead of the
+    phase state, which is the signal the anomaly-detection module looks for.
+    """
+    if len(phase_durations) != len(phase_states):
+        raise ValueError("phase_durations and phase_states must have the same length")
+    if any(d <= 0 for d in phase_durations):
+        raise ValueError("phase durations must be positive")
+    hierarchy = Hierarchy.balanced(n_resources, fanout=fanout)
+    names = hierarchy.leaf_names
+    registry = StateRegistry(list(phase_states) + [perturbation_state])
+    intervals: list[StateInterval] = []
+    boundaries = np.concatenate([[0.0], np.cumsum(phase_durations)])
+    perturbed = set(perturbed_resources)
+    for index, resource in enumerate(names):
+        for p, state in enumerate(phase_states):
+            start, end = float(boundaries[p]), float(boundaries[p + 1])
+            if (
+                index in perturbed
+                and perturbation_window is not None
+                and min(end, perturbation_window[1]) > max(start, perturbation_window[0])
+            ):
+                w0 = max(start, perturbation_window[0])
+                w1 = min(end, perturbation_window[1])
+                if w0 > start:
+                    intervals.append(StateInterval(start=start, end=w0, resource=resource, state=state))
+                intervals.append(
+                    StateInterval(start=w0, end=w1, resource=resource, state=perturbation_state)
+                )
+                if end > w1:
+                    intervals.append(StateInterval(start=w1, end=end, resource=resource, state=state))
+            else:
+                intervals.append(StateInterval(start=start, end=end, resource=resource, state=state))
+    metadata = {
+        "generator": "phased_trace",
+        "phases": list(phase_states),
+        "perturbed_resources": sorted(perturbed),
+        "perturbation_window": perturbation_window,
+    }
+    return Trace(intervals, hierarchy=hierarchy, states=registry, metadata=metadata)

@@ -1,0 +1,45 @@
+"""Visualization layer: overview layout, visual aggregation, renderers, Table I."""
+
+from .ascii import legend, render_label_grid, render_partition_ascii
+from .criteria_table import (
+    CRITERIA,
+    PAPER_TECHNIQUES,
+    SPATIOTEMPORAL_ROW,
+    TechniqueRow,
+    evaluate_overview_criteria,
+    format_table1,
+    table1_rows,
+)
+from .gantt import GanttMetrics, gantt_metrics, render_gantt_ascii
+from .layout import LaidOutAggregate, OverviewLayout, Rect
+from .modes import AggregateStyle, aggregate_style, partition_styles
+from .svg import render_partition_svg, render_visual_svg, save_svg
+from .visual import VisualAggregationResult, VisualItem, visual_aggregation
+
+__all__ = [
+    "AggregateStyle",
+    "aggregate_style",
+    "partition_styles",
+    "Rect",
+    "LaidOutAggregate",
+    "OverviewLayout",
+    "VisualItem",
+    "VisualAggregationResult",
+    "visual_aggregation",
+    "render_partition_svg",
+    "render_visual_svg",
+    "save_svg",
+    "render_partition_ascii",
+    "render_label_grid",
+    "legend",
+    "GanttMetrics",
+    "gantt_metrics",
+    "render_gantt_ascii",
+    "TechniqueRow",
+    "CRITERIA",
+    "PAPER_TECHNIQUES",
+    "SPATIOTEMPORAL_ROW",
+    "table1_rows",
+    "format_table1",
+    "evaluate_overview_criteria",
+]

@@ -1,0 +1,102 @@
+"""Terminal (ASCII) rendering of the spatiotemporal overview.
+
+Useful for tests, examples and headless environments: the overview is drawn
+as a character grid with one column per time slice and one row per resource
+(or per down-sampled group of resources).  Each cell shows the first letter
+of its aggregate's mode state, in upper case when the mode is dominant
+(``alpha`` above a threshold) and lower case otherwise; aggregate boundaries
+can optionally be marked.
+"""
+
+from __future__ import annotations
+
+from ..core.criteria import IntervalStatistics
+from ..core.partition import Partition
+from .modes import partition_styles
+
+__all__ = ["render_partition_ascii", "render_label_grid", "legend"]
+
+
+def _mode_char(state: str | None, alpha: float, alpha_threshold: float) -> str:
+    if state is None:
+        return "."
+    letter = state.replace("MPI_", "")[:1] or "?"
+    return letter.upper() if alpha >= alpha_threshold else letter.lower()
+
+
+def render_partition_ascii(
+    partition: Partition,
+    max_rows: int = 48,
+    alpha_threshold: float = 0.6,
+    show_boundaries: bool = False,
+    stats: IntervalStatistics | None = None,
+) -> str:
+    """Character-grid rendering of ``partition``.
+
+    Parameters
+    ----------
+    partition:
+        Partition to draw.
+    max_rows:
+        Maximum number of resource rows printed; when the model has more
+        resources, rows are down-sampled evenly (a poor man's visual
+        aggregation for the terminal).
+    alpha_threshold:
+        Mode dominance above which the state letter is upper-cased.
+    show_boundaries:
+        When true, cells at the start of a new aggregate (in time) are
+        prefixed by ``|`` instead of a space, making temporal cuts visible.
+    """
+    model = partition.model
+    stats = stats if stats is not None else partition.stats
+    styles = partition_styles(partition, stats)
+    by_key = {style.aggregate.key: style for style in styles}
+    labels = partition.label_matrix()
+    aggregates = partition.aggregates
+
+    n_resources, n_slices = labels.shape
+    if max_rows <= 0:
+        raise ValueError("max_rows must be positive")
+    step = max(1, -(-n_resources // max_rows))  # ceil division
+    lines: list[str] = []
+    header = "resource".ljust(16) + " " + "".join(str(t % 10) for t in range(n_slices))
+    lines.append(header)
+    for row_start in range(0, n_resources, step):
+        row = row_start  # representative resource of the down-sampled group
+        name = model.hierarchy.leaf_names[row]
+        cells: list[str] = []
+        previous_label = -1
+        for t in range(n_slices):
+            label = int(labels[row, t])
+            aggregate = aggregates[label]
+            style = by_key[aggregate.key]
+            char = _mode_char(style.mode_state, style.alpha, alpha_threshold)
+            if show_boundaries and label != previous_label:
+                char = "|" if t > 0 else char
+            cells.append(char)
+            previous_label = label
+        suffix = f"  (+{step - 1} more)" if step > 1 and row_start + step <= n_resources else ""
+        lines.append(name[:16].ljust(16) + " " + "".join(cells) + suffix)
+    return "\n".join(lines)
+
+
+def render_label_grid(partition: Partition, max_rows: int = 48) -> str:
+    """Grid of aggregate indices (mod 10), showing the partition structure only."""
+    labels = partition.label_matrix()
+    n_resources, n_slices = labels.shape
+    step = max(1, -(-n_resources // max_rows))
+    lines = []
+    for row in range(0, n_resources, step):
+        lines.append("".join(str(int(labels[row, t]) % 10) for t in range(n_slices)))
+    return "\n".join(lines)
+
+
+def legend(partition: Partition) -> str:
+    """One line per state: letter used in the ASCII grid and state name."""
+    states = partition.model.states
+    entries = []
+    for name in states.names:
+        letter = name.replace("MPI_", "")[:1].upper() or "?"
+        entries.append(f"{letter} = {name}")
+    entries.append(". = idle")
+    return "\n".join(entries)

@@ -1,0 +1,189 @@
+"""Table I: qualitative comparison of spatiotemporal scalability techniques.
+
+The paper evaluates eight visualization techniques against Elmqvist and
+Fekete's hierarchical-aggregation criteria (G1-G6) and two spatiotemporal
+criteria introduced by the authors (M1: both dimensions represented, M2: the
+reduction applies to both dimensions simultaneously).  A criterion can be
+satisfied for time only (``time``), space only (``space``), both dimensions
+(``both``) or not at all (``no``).
+
+This module encodes the published table, adds the paper's own technique (the
+spatiotemporal aggregation overview) and provides a programmatic check that
+the library's output actually meets the measurable criteria (entity budget,
+fidelity of rectangle areas, simultaneous reduction of both dimensions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.partition import Partition
+from .visual import visual_aggregation
+
+__all__ = [
+    "TechniqueRow",
+    "CRITERIA",
+    "PAPER_TECHNIQUES",
+    "SPATIOTEMPORAL_ROW",
+    "table1_rows",
+    "format_table1",
+    "evaluate_overview_criteria",
+]
+
+#: Criterion identifiers, in the column order of the paper's Table I.
+CRITERIA: tuple[str, ...] = ("G1", "G2", "G3", "G4", "G5", "G6", "M1", "M2")
+
+#: Satisfaction levels and their table glyphs.
+_GLYPHS: Mapping[str, str] = {"both": "*", "time": "t", "space": "s", "no": "-"}
+
+
+@dataclass(frozen=True)
+class TechniqueRow:
+    """One row of Table I."""
+
+    visualization: str
+    technique: str
+    tools: str
+    criteria: Mapping[str, str]
+
+    def __post_init__(self) -> None:
+        for key, value in self.criteria.items():
+            if key not in CRITERIA:
+                raise ValueError(f"unknown criterion {key!r}")
+            if value not in _GLYPHS:
+                raise ValueError(f"unknown satisfaction level {value!r} for {key}")
+
+    def level(self, criterion: str) -> str:
+        """Satisfaction level of one criterion (``"no"`` when unspecified)."""
+        return self.criteria.get(criterion, "no")
+
+    def satisfied_count(self) -> int:
+        """Number of criteria satisfied for both dimensions."""
+        return sum(1 for c in CRITERIA if self.level(c) == "both")
+
+
+#: The eight prior-work rows of the paper's Table I.
+PAPER_TECHNIQUES: tuple[TechniqueRow, ...] = (
+    TechniqueRow(
+        "Gantt Chart", "Pixel-guided (time), no aggregation (space)",
+        "Vampir, Paraver",
+        {"G1": "time", "G2": "both", "G3": "both", "G5": "no", "G6": "no",
+         "M1": "both", "M2": "no", "G4": "no"},
+    ),
+    TechniqueRow(
+        "Gantt Chart", "Visual aggregation (time), no aggregation (space)",
+        "Paje, LTTng Eclipse Viewer",
+        {"G1": "time", "G3": "both", "G4": "both", "G5": "both", "G6": "both",
+         "M1": "both", "G2": "no", "M2": "no"},
+    ),
+    TechniqueRow(
+        "Gantt Chart", "Time compression (time), hierarchical aggregation (space)",
+        "KPTrace Viewer",
+        {"G1": "space", "G3": "both", "G6": "both", "M1": "both",
+         "G2": "no", "G4": "no", "G5": "no", "M2": "no"},
+    ),
+    TechniqueRow(
+        "Gantt Chart", "Time abstraction (time), no aggregation (space)",
+        "Jumpshot",
+        {"G1": "time", "G2": "both", "G3": "both", "G4": "both", "G5": "both",
+         "G6": "both", "M1": "both", "M2": "no"},
+    ),
+    TechniqueRow(
+        "Timeline", "Pixel-guided (time, space)", "Vampir",
+        {"G1": "both", "G3": "time", "G6": "both", "M2": "both",
+         "G2": "no", "G4": "no", "G5": "no", "M1": "no"},
+    ),
+    TechniqueRow(
+        "Timeline", "Information aggregation (time, space)", "Ocelotl",
+        {"G1": "both", "G2": "both", "G3": "both", "G4": "both", "G5": "both",
+         "G6": "both", "M2": "both", "M1": "no"},
+    ),
+    TechniqueRow(
+        "Task Profile", "Clustering (space), mean operation (time)", "Vampir",
+        {"G1": "both", "G2": "both", "G3": "both", "G4": "both", "G5": "both",
+         "G6": "both", "M2": "both", "M1": "no"},
+    ),
+    TechniqueRow(
+        "Treemap/Topology", "Hierarchical aggregation (space), time integration (time)",
+        "Viva",
+        {"G1": "both", "G2": "both", "G3": "both", "G4": "both", "G5": "both",
+         "G6": "both", "M2": "both", "M1": "no"},
+    ),
+)
+
+#: The paper's own contribution, which satisfies every criterion.
+SPATIOTEMPORAL_ROW = TechniqueRow(
+    "Spatiotemporal overview",
+    "Information aggregation (time, space), visual aggregation",
+    "This library (Ocelotl spatiotemporal mode)",
+    {criterion: "both" for criterion in CRITERIA},
+)
+
+
+def table1_rows(include_contribution: bool = True) -> list[TechniqueRow]:
+    """All rows of Table I, optionally with the paper's contribution appended."""
+    rows = list(PAPER_TECHNIQUES)
+    if include_contribution:
+        rows.append(SPATIOTEMPORAL_ROW)
+    return rows
+
+
+def format_table1(rows: Sequence[TechniqueRow] | None = None) -> str:
+    """Fixed-width text rendering of Table I."""
+    rows = list(rows) if rows is not None else table1_rows()
+    header = (
+        "Visualization".ljust(26)
+        + "Technique".ljust(58)
+        + "Tools".ljust(40)
+        + " ".join(CRITERIA)
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        glyphs = " ".join(_GLYPHS[row.level(c)].ljust(2) for c in CRITERIA)
+        lines.append(
+            row.visualization.ljust(26) + row.technique[:56].ljust(58) + row.tools[:38].ljust(40) + glyphs
+        )
+    lines.append("")
+    lines.append("* = satisfied for both dimensions, t = time only, s = space only, - = not satisfied")
+    return "\n".join(lines)
+
+
+def evaluate_overview_criteria(
+    partition: Partition,
+    entity_budget: int = 2000,
+    height_px: int = 600,
+    threshold_px: float = 3.0,
+) -> dict[str, bool]:
+    """Programmatic check of the measurable criteria on an actual overview.
+
+    Returns a mapping criterion -> satisfied for the criteria that can be
+    verified mechanically:
+
+    * ``G1`` — after visual aggregation, the number of drawn entities is at
+      most ``entity_budget`` and every entity is at least ``threshold_px``
+      tall;
+    * ``G4`` — every rendering-time aggregate carries a marker
+      distinguishing it from data aggregates;
+    * ``G5`` — the drawn areas are faithful: the total rectangle area equals
+      the full canvas (no data is dropped or double-drawn);
+    * ``M1`` — both dimensions are represented (aggregates span time and
+      resources);
+    * ``M2`` — the reduction applies to both dimensions simultaneously (the
+      partition contains aggregates grouping several resources and several
+      slices at once, unless the model itself is degenerate).
+    """
+    result = visual_aggregation(partition, height_px=height_px, threshold_px=threshold_px)
+    px_per_leaf = height_px / partition.model.n_resources
+    g1 = result.n_items <= entity_budget and all(
+        item.node.n_leaves * px_per_leaf >= threshold_px or item.node.parent is None
+        for item in result.items
+    )
+    g4 = all(item.marker in ("diagonal", "cross") for item in result.visual_items())
+    covered_cells = sum(a.n_cells for a in partition)
+    g5 = covered_cells == partition.model.n_cells
+    m1 = partition.model.n_resources >= 1 and partition.model.n_slices >= 1
+    multi_cell = [a for a in partition if a.n_resources > 1 and a.n_slices > 1]
+    degenerate = partition.model.n_resources == 1 or partition.model.n_slices == 1
+    m2 = bool(multi_cell) or degenerate or partition.size == partition.model.n_cells
+    return {"G1": g1, "G4": g4, "G5": g5, "M1": m1, "M2": m2}

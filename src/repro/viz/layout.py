@@ -1,0 +1,138 @@
+"""Spatiotemporal layout of a partition.
+
+The overview canvas maps time to the horizontal axis and the hierarchy leaves
+to evenly spaced rows on the vertical axis (leaf order = hierarchy DFS
+order, so every aggregate is an axis-aligned rectangle).  This module
+computes those rectangles in data coordinates (seconds x leaf index) and in
+pixel coordinates for a given canvas size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.criteria import IntervalStatistics
+from ..core.partition import Aggregate, Partition
+from .modes import AggregateStyle, aggregate_style
+
+__all__ = ["Rect", "LaidOutAggregate", "OverviewLayout"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle (``x`` grows rightwards, ``y`` downwards)."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def x2(self) -> float:
+        """Right edge."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Bottom edge."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        """Width times height."""
+        return self.width * self.height
+
+    def scaled(self, sx: float, sy: float) -> "Rect":
+        """A copy with both axes scaled."""
+        return Rect(self.x * sx, self.y * sy, self.width * sx, self.height * sy)
+
+
+@dataclass(frozen=True)
+class LaidOutAggregate:
+    """An aggregate with its data-space rectangle and rendering style."""
+
+    aggregate: Aggregate
+    rect: Rect
+    style: AggregateStyle
+
+
+class OverviewLayout:
+    """Layout of a partition on the (time, resource) canvas.
+
+    Parameters
+    ----------
+    partition:
+        The partition to lay out.
+    stats:
+        Optional shared statistics (for mode/alpha computation).
+    """
+
+    def __init__(self, partition: Partition, stats: IntervalStatistics | None = None):
+        self._partition = partition
+        self._stats = stats if stats is not None else partition.stats
+        self._model = partition.model
+        self._edges = self._model.slicing.edges
+
+    @property
+    def partition(self) -> Partition:
+        """The laid-out partition."""
+        return self._partition
+
+    @property
+    def time_span(self) -> tuple[float, float]:
+        """Horizontal data range (trace start and end)."""
+        return float(self._edges[0]), float(self._edges[-1])
+
+    @property
+    def n_rows(self) -> int:
+        """Number of leaf rows."""
+        return self._model.n_resources
+
+    # ------------------------------------------------------------------ #
+    # Data-space rectangles
+    # ------------------------------------------------------------------ #
+    def data_rect(self, aggregate: Aggregate) -> Rect:
+        """Rectangle of an aggregate in (seconds, leaf-index) coordinates."""
+        x0 = float(self._edges[aggregate.i])
+        x1 = float(self._edges[aggregate.j + 1])
+        y0 = float(aggregate.node.leaf_start)
+        y1 = float(aggregate.node.leaf_end)
+        return Rect(x=x0, y=y0, width=x1 - x0, height=y1 - y0)
+
+    def items(self) -> list[LaidOutAggregate]:
+        """Every aggregate with its data rectangle and style."""
+        return [
+            LaidOutAggregate(
+                aggregate=aggregate,
+                rect=self.data_rect(aggregate),
+                style=aggregate_style(aggregate, self._stats),
+            )
+            for aggregate in self._partition
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Pixel-space rectangles
+    # ------------------------------------------------------------------ #
+    def pixel_rect(self, aggregate: Aggregate, width: int, height: int) -> Rect:
+        """Rectangle of an aggregate on a ``width x height`` pixel canvas."""
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        start, end = self.time_span
+        span = end - start
+        data = self.data_rect(aggregate)
+        sx = width / span if span > 0 else 1.0
+        sy = height / self.n_rows
+        return Rect(
+            x=(data.x - start) * sx,
+            y=data.y * sy,
+            width=data.width * sx,
+            height=data.height * sy,
+        )
+
+    def row_height(self, height: int) -> float:
+        """Pixel height allotted to one leaf row."""
+        return height / self.n_rows
+
+    def coverage_area(self) -> float:
+        """Total data-space area of the aggregates (sanity check: equals the canvas)."""
+        return sum(self.data_rect(a).area for a in self._partition)

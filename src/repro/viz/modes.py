@@ -1,0 +1,91 @@
+"""State modes and transparency of aggregates (Section IV).
+
+When a microscopic model has more than two states, drawing every state
+proportion inside an aggregate would clutter the view (criterion G3).  The
+paper instead colours each aggregate with its *mode* state (the state with the
+highest aggregated proportion) and modulates the colour intensity with the
+transparency ``alpha = rho_max / sum_x rho_x``, which lies in ``[1/|X|, 1]``
+and tells the analyst how dominant the mode is (criterion G2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.criteria import IntervalStatistics
+from ..core.partition import Aggregate, Partition
+
+__all__ = ["AggregateStyle", "aggregate_style", "partition_styles"]
+
+
+@dataclass(frozen=True)
+class AggregateStyle:
+    """Rendering attributes of one aggregate.
+
+    Attributes
+    ----------
+    aggregate:
+        The styled aggregate.
+    mode_state:
+        Name of the state with the highest aggregated proportion (``None``
+        when the aggregate contains no state occupancy at all — fully idle).
+    mode_index:
+        Index of the mode state (``-1`` when idle).
+    mode_proportion:
+        Aggregated proportion of the mode state.
+    alpha:
+        Transparency factor ``rho_max / sum_x rho_x`` (0 when idle).
+    color:
+        Display colour of the mode state (grey when idle).
+    """
+
+    aggregate: Aggregate
+    mode_state: str | None
+    mode_index: int
+    mode_proportion: float
+    alpha: float
+    color: str
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether no state occupies the aggregate at all."""
+        return self.mode_index < 0
+
+
+#: Colour used for aggregates with no state occupancy.
+IDLE_COLOR = "#f2f2f2"
+
+
+def aggregate_style(aggregate: Aggregate, stats: IntervalStatistics) -> AggregateStyle:
+    """Compute the mode state, transparency and colour of one aggregate."""
+    rho = np.asarray(stats.macro_proportions(aggregate.node, aggregate.i, aggregate.j))
+    total = float(rho.sum())
+    states = stats.model.states
+    if total <= 0:
+        return AggregateStyle(
+            aggregate=aggregate,
+            mode_state=None,
+            mode_index=-1,
+            mode_proportion=0.0,
+            alpha=0.0,
+            color=IDLE_COLOR,
+        )
+    mode_index = int(np.argmax(rho))
+    mode_proportion = float(rho[mode_index])
+    alpha = mode_proportion / total
+    return AggregateStyle(
+        aggregate=aggregate,
+        mode_state=states.name(mode_index),
+        mode_index=mode_index,
+        mode_proportion=mode_proportion,
+        alpha=alpha,
+        color=states.color(mode_index),
+    )
+
+
+def partition_styles(partition: Partition, stats: IntervalStatistics | None = None) -> list[AggregateStyle]:
+    """Styles of every aggregate of ``partition`` (in partition order)."""
+    stats = stats if stats is not None else partition.stats
+    return [aggregate_style(aggregate, stats) for aggregate in partition]

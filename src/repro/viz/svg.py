@@ -1,0 +1,177 @@
+"""SVG rendering of the spatiotemporal overview.
+
+Produces a self-contained SVG document (no external dependency) showing the
+aggregates of a partition — or the output of the visual aggregation pass —
+with the paper's visual encoding: one rectangle per aggregate, filled with
+the mode-state colour at opacity ``alpha``, visual aggregates marked with a
+diagonal or a cross, and a simple time axis plus state legend.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Sequence
+
+from ..core.criteria import IntervalStatistics
+from ..core.partition import Partition
+from .layout import OverviewLayout, Rect
+from .visual import VisualAggregationResult, VisualItem, visual_aggregation
+
+__all__ = ["render_partition_svg", "render_visual_svg", "save_svg"]
+
+_MARGIN_LEFT = 60
+_MARGIN_BOTTOM = 40
+_MARGIN_TOP = 16
+_MARGIN_RIGHT = 16
+_LEGEND_HEIGHT = 22
+
+
+def _svg_header(width: int, height: int) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="white"/>',
+    ]
+
+
+def _rect_svg(rect: Rect, color: str, alpha: float, title: str) -> str:
+    return (
+        f'<rect x="{rect.x:.2f}" y="{rect.y:.2f}" width="{max(rect.width, 0.5):.2f}" '
+        f'height="{max(rect.height, 0.5):.2f}" fill="{color}" fill-opacity="{alpha:.3f}" '
+        f'stroke="#404040" stroke-width="0.4"><title>{html.escape(title)}</title></rect>'
+    )
+
+
+def _marker_svg(rect: Rect, marker: str) -> str:
+    lines = [
+        f'<line x1="{rect.x:.2f}" y1="{rect.y2:.2f}" x2="{rect.x2:.2f}" y2="{rect.y:.2f}" '
+        f'stroke="#202020" stroke-width="0.8"/>'
+    ]
+    if marker == "cross":
+        lines.append(
+            f'<line x1="{rect.x:.2f}" y1="{rect.y:.2f}" x2="{rect.x2:.2f}" y2="{rect.y2:.2f}" '
+            f'stroke="#202020" stroke-width="0.8"/>'
+        )
+    return "".join(lines)
+
+
+def _axis_svg(layout: OverviewLayout, width: int, height: int) -> list[str]:
+    start, end = layout.time_span
+    parts = [
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP + height}" '
+        f'x2="{_MARGIN_LEFT + width}" y2="{_MARGIN_TOP + height}" stroke="black"/>'
+    ]
+    n_ticks = 6
+    for k in range(n_ticks + 1):
+        fraction = k / n_ticks
+        x = _MARGIN_LEFT + fraction * width
+        value = start + fraction * (end - start)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_MARGIN_TOP + height}" x2="{x:.1f}" '
+            f'y2="{_MARGIN_TOP + height + 4}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{_MARGIN_TOP + height + 16}" font-size="10" '
+            f'text-anchor="middle" font-family="sans-serif">{value:.2f}s</text>'
+        )
+    return parts
+
+
+def _legend_svg(states, width: int, y: float) -> list[str]:
+    parts = []
+    x = _MARGIN_LEFT
+    for name in states.names:
+        color = states.color(name)
+        parts.append(f'<rect x="{x}" y="{y}" width="10" height="10" fill="{color}"/>')
+        parts.append(
+            f'<text x="{x + 14}" y="{y + 9}" font-size="10" font-family="sans-serif">'
+            f"{html.escape(name)}</text>"
+        )
+        x += 14 + 7 * len(name) + 16
+    return parts
+
+
+def render_partition_svg(
+    partition: Partition,
+    width: int = 900,
+    height: int = 500,
+    stats: IntervalStatistics | None = None,
+    title: str | None = None,
+) -> str:
+    """SVG document showing every data aggregate of ``partition``."""
+    layout = OverviewLayout(partition, stats=stats)
+    plot_width = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = height - _MARGIN_TOP - _MARGIN_BOTTOM - _LEGEND_HEIGHT
+    parts = _svg_header(width, height)
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="12" font-size="12" text-anchor="middle" '
+            f'font-family="sans-serif">{html.escape(title)}</text>'
+        )
+    for item in layout.items():
+        rect = layout.pixel_rect(item.aggregate, plot_width, plot_height)
+        rect = Rect(rect.x + _MARGIN_LEFT, rect.y + _MARGIN_TOP, rect.width, rect.height)
+        label = (
+            f"{item.aggregate.node.full_name} T({item.aggregate.i},{item.aggregate.j}) "
+            f"mode={item.style.mode_state} alpha={item.style.alpha:.2f}"
+        )
+        parts.append(_rect_svg(rect, item.style.color, max(item.style.alpha, 0.08), label))
+    parts.extend(_axis_svg(layout, plot_width, plot_height))
+    parts.extend(_legend_svg(partition.model.states, width, _MARGIN_TOP + plot_height + 24))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_visual_svg(
+    partition: Partition,
+    width: int = 900,
+    height: int = 500,
+    threshold_px: float = 3.0,
+    stats: IntervalStatistics | None = None,
+    title: str | None = None,
+    visual: VisualAggregationResult | None = None,
+) -> str:
+    """SVG document after the visual aggregation pass (marked rectangles)."""
+    layout = OverviewLayout(partition, stats=stats)
+    plot_width = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_height = height - _MARGIN_TOP - _MARGIN_BOTTOM - _LEGEND_HEIGHT
+    if visual is None:
+        visual = visual_aggregation(
+            partition, height_px=plot_height, threshold_px=threshold_px, stats=stats
+        )
+    parts = _svg_header(width, height)
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="12" font-size="12" text-anchor="middle" '
+            f'font-family="sans-serif">{html.escape(title)}</text>'
+        )
+    model = partition.model
+    edges = model.slicing.edges
+    start, end = float(edges[0]), float(edges[-1])
+    sx = plot_width / (end - start) if end > start else 1.0
+    sy = plot_height / model.n_resources
+    for item in visual.items:
+        x0 = (float(edges[item.i]) - start) * sx + _MARGIN_LEFT
+        x1 = (float(edges[item.j + 1]) - start) * sx + _MARGIN_LEFT
+        y0 = item.node.leaf_start * sy + _MARGIN_TOP
+        y1 = item.node.leaf_end * sy + _MARGIN_TOP
+        rect = Rect(x0, y0, x1 - x0, y1 - y0)
+        label = (
+            f"{item.node.full_name} T({item.i},{item.j}) {item.kind} "
+            f"mode={item.style.mode_state}"
+        )
+        parts.append(_rect_svg(rect, item.style.color, max(item.style.alpha, 0.08), label))
+        if item.marker:
+            parts.append(_marker_svg(rect, item.marker))
+    parts.extend(_axis_svg(layout, plot_width, plot_height))
+    parts.extend(_legend_svg(model.states, width, _MARGIN_TOP + plot_height + 24))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(document: str, path: str) -> int:
+    """Write an SVG document to ``path``; returns the number of bytes written."""
+    data = document if document.endswith("\n") else document + "\n"
+    Path(path).write_text(data)
+    return len(data.encode("utf-8"))

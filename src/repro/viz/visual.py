@@ -1,0 +1,198 @@
+"""Visual aggregation (Section IV, Figure 3.f).
+
+When the number of resources exceeds the number of available pixel rows, the
+data aggregates produced by the algorithm can be thinner than one pixel and
+the entity budget (criterion G1) is violated.  *Visual aggregation* fixes
+this at rendering time: an aggregate whose height is below a threshold is not
+drawn; instead its closest ancestor tall enough to be visible is drawn, and
+the ancestor rectangle is marked so the analyst knows it hides finer data
+aggregates (criterion G4):
+
+* a **diagonal** marker when every hidden resource shares the same temporal
+  partitioning (the hidden aggregates only differ spatially);
+* a **cross** marker otherwise (the hidden aggregates also differ in time).
+
+The implementation promotes every too-small data aggregate to its deepest
+ancestor whose pixel height reaches the threshold (the *display node*), and
+groups the absorbed aggregates into visual aggregates per display node and
+maximal time span.  Cells remain covered exactly once: a given time slice of
+a display node is either covered by one kept data aggregate (at or above the
+display node) or entirely absorbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.criteria import IntervalStatistics
+from ..core.hierarchy import HierarchyNode
+from ..core.partition import Aggregate, Partition
+from .modes import AggregateStyle, aggregate_style
+
+__all__ = ["VisualItem", "VisualAggregationResult", "visual_aggregation"]
+
+
+@dataclass(frozen=True)
+class VisualItem:
+    """One rectangle of the final rendering.
+
+    Attributes
+    ----------
+    node:
+        Hierarchy node covered by the rectangle.
+    i, j:
+        Inclusive slice interval covered.
+    kind:
+        ``"data"`` for an untouched data aggregate, ``"visual"`` for a
+        rendering-time aggregate replacing hidden data aggregates.
+    marker:
+        ``None`` for data aggregates; ``"diagonal"`` or ``"cross"`` for
+        visual aggregates (see module docstring).
+    style:
+        Mode colour / transparency of the rectangle.
+    hidden:
+        Number of data aggregates hidden behind a visual rectangle (0 for
+        data items).
+    """
+
+    node: HierarchyNode
+    i: int
+    j: int
+    kind: str
+    marker: str | None
+    style: AggregateStyle
+    hidden: int = 0
+
+    @property
+    def n_cells(self) -> int:
+        """Microscopic cells covered by the rectangle."""
+        return self.node.n_leaves * (self.j - self.i + 1)
+
+
+@dataclass(frozen=True)
+class VisualAggregationResult:
+    """Output of :func:`visual_aggregation`."""
+
+    items: tuple[VisualItem, ...]
+    n_data: int
+    n_visual: int
+    threshold_px: float
+    height_px: int
+
+    @property
+    def n_items(self) -> int:
+        """Total number of drawn rectangles (the visual entity count of G1)."""
+        return len(self.items)
+
+    def data_items(self) -> list[VisualItem]:
+        """Untouched data aggregates."""
+        return [item for item in self.items if item.kind == "data"]
+
+    def visual_items(self) -> list[VisualItem]:
+        """Rendering-time aggregates."""
+        return [item for item in self.items if item.kind == "visual"]
+
+
+def _display_node(node: HierarchyNode, px_per_leaf: float, threshold: float) -> HierarchyNode:
+    """Deepest ancestor of ``node`` (possibly itself) tall enough to draw."""
+    current = node
+    while current.parent is not None and current.n_leaves * px_per_leaf < threshold:
+        current = current.parent
+    return current
+
+
+def visual_aggregation(
+    partition: Partition,
+    height_px: int = 600,
+    threshold_px: float = 3.0,
+    stats: IntervalStatistics | None = None,
+) -> VisualAggregationResult:
+    """Apply the paper's visual aggregation to a partition.
+
+    Parameters
+    ----------
+    partition:
+        The data partition produced by an aggregation algorithm.
+    height_px:
+        Height of the drawing canvas in pixels.
+    threshold_px:
+        Minimum visible height of a rectangle; aggregates thinner than this
+        are absorbed into their display node.
+    stats:
+        Optional shared interval statistics (for mode colours).
+    """
+    if height_px <= 0:
+        raise ValueError("height_px must be positive")
+    if threshold_px <= 0:
+        raise ValueError("threshold_px must be positive")
+    stats = stats if stats is not None else partition.stats
+    model = partition.model
+    px_per_leaf = height_px / model.n_resources
+
+    kept: list[Aggregate] = []
+    absorbed: dict[HierarchyNode, list[Aggregate]] = {}
+    for aggregate in partition:
+        if aggregate.node.n_leaves * px_per_leaf >= threshold_px:
+            kept.append(aggregate)
+        else:
+            display = _display_node(aggregate.node, px_per_leaf, threshold_px)
+            absorbed.setdefault(display, []).append(aggregate)
+
+    items: list[VisualItem] = [
+        VisualItem(
+            node=aggregate.node,
+            i=aggregate.i,
+            j=aggregate.j,
+            kind="data",
+            marker=None,
+            style=aggregate_style(aggregate, stats),
+            hidden=0,
+        )
+        for aggregate in kept
+    ]
+
+    n_visual = 0
+    for display, hidden_aggregates in absorbed.items():
+        # Slices of the display node entirely covered by hidden aggregates.
+        covered = sorted({t for a in hidden_aggregates for t in range(a.i, a.j + 1)})
+        # Split the covered slices into maximal contiguous runs.
+        runs: list[tuple[int, int]] = []
+        for t in covered:
+            if runs and t == runs[-1][1] + 1:
+                runs[-1] = (runs[-1][0], t)
+            else:
+                runs.append((t, t))
+        for run_start, run_end in runs:
+            inside = [
+                a for a in hidden_aggregates if not (a.j < run_start or a.i > run_end)
+            ]
+            # Marker: do all underlying resources share the same temporal
+            # partitioning over this run?
+            boundary_sets = {}
+            for a in inside:
+                key = (a.node.leaf_start, a.node.leaf_end)
+                boundary_sets.setdefault(key, set()).update({a.i, a.j})
+            unique_boundaries = {frozenset(b) for b in boundary_sets.values()}
+            marker = "diagonal" if len(unique_boundaries) <= 1 else "cross"
+            style = aggregate_style(Aggregate(display, run_start, run_end), stats)
+            items.append(
+                VisualItem(
+                    node=display,
+                    i=run_start,
+                    j=run_end,
+                    kind="visual",
+                    marker=marker,
+                    style=style,
+                    hidden=len(inside),
+                )
+            )
+            n_visual += 1
+
+    items.sort(key=lambda item: (item.node.leaf_start, item.i, item.node.leaf_end, item.j))
+    return VisualAggregationResult(
+        items=tuple(items),
+        n_data=len(kept),
+        n_visual=n_visual,
+        threshold_px=threshold_px,
+        height_px=height_px,
+    )

@@ -1,0 +1,156 @@
+"""Tests for repro.analysis (phases, anomalies, reports)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.anomaly import (
+    AnomalyWindow,
+    cluster_heterogeneity,
+    detect_deviating_cells,
+    detect_partition_disruptions,
+    deviation_matrix,
+    match_window,
+)
+from repro.analysis.phases import detect_phases, global_boundaries
+from repro.analysis.report import overview_report
+from repro.core.microscopic import MicroscopicModel
+from repro.core.spatiotemporal import aggregate_spatiotemporal
+from repro.trace.synthetic import phased_trace
+
+
+@pytest.fixture()
+def phased_setup():
+    """A 16-process trace with 3 global phases and a localized perturbation."""
+    trace = phased_trace(
+        n_resources=16,
+        phase_durations=(2.0, 6.0, 2.0),
+        phase_states=("init", "compute", "finalize"),
+        perturbed_resources=(4, 5, 6),
+        perturbation_window=(4.0, 5.0),
+        perturbation_state="wait",
+    )
+    model = MicroscopicModel.from_trace(trace, n_slices=20)
+    partition = aggregate_spatiotemporal(model, 0.6)
+    return trace, model, partition
+
+
+class TestPhases:
+    def test_global_boundaries_at_phase_changes(self, phased_setup):
+        _, model, partition = phased_setup
+        boundaries = global_boundaries(partition, min_fraction=0.6)
+        times = [model.slicing.edges[b] for b in boundaries]
+        # Phase changes at t=2 and t=8 must be among the global boundaries.
+        assert any(abs(t - 2.0) < 0.51 for t in times)
+        assert any(abs(t - 8.0) < 0.51 for t in times)
+
+    def test_detect_phases_dominant_states(self, phased_setup):
+        _, model, partition = phased_setup
+        phases = detect_phases(partition, model)
+        assert len(phases) >= 3
+        assert phases[0].dominant_state == "init"
+        assert phases[-1].dominant_state == "finalize"
+        dominant = {phase.dominant_state for phase in phases}
+        assert "compute" in dominant
+
+    def test_phases_cover_whole_span(self, phased_setup):
+        _, model, partition = phased_setup
+        phases = detect_phases(partition, model)
+        assert phases[0].start_slice == 0
+        assert phases[-1].end_slice == model.n_slices - 1
+        for left, right in zip(phases[:-1], phases[1:]):
+            assert right.start_slice == left.end_slice + 1
+
+    def test_phase_properties(self, phased_setup):
+        _, model, partition = phased_setup
+        phase = detect_phases(partition, model)[0]
+        assert phase.n_slices >= 1
+        assert phase.duration > 0
+        assert sum(phase.state_shares.values()) == pytest.approx(1.0)
+
+    def test_min_fraction_validation(self, phased_setup):
+        _, _, partition = phased_setup
+        with pytest.raises(ValueError):
+            global_boundaries(partition, min_fraction=0.0)
+
+
+class TestAnomalies:
+    def test_deviation_matrix_shape_and_range(self, phased_setup):
+        _, model, _ = phased_setup
+        deviations = deviation_matrix(model, states=("wait",))
+        assert deviations.shape == (16, 20)
+        assert np.all(deviations >= 0)
+
+    def test_deviating_cells_detects_injected_window(self, phased_setup):
+        trace, model, _ = phased_setup
+        windows = detect_deviating_cells(model, states=("wait",), threshold=0.2)
+        assert windows
+        top = windows[0]
+        assert match_window(top, 4.0, 5.0, tolerance=0.5)
+        # The involved resources are exactly the perturbed ones.
+        perturbed = {model.hierarchy.leaf_names[i] for i in (4, 5, 6)}
+        assert set(top.resources) == perturbed
+
+    def test_partition_disruptions_detects_minority_changes(self, phased_setup):
+        _, model, partition = phased_setup
+        windows = detect_partition_disruptions(partition)
+        assert windows
+        top = windows[0]
+        assert match_window(top, 4.0, 5.0, tolerance=0.6)
+        perturbed = {model.hierarchy.leaf_names[i] for i in (4, 5, 6)}
+        assert perturbed <= set(top.resources)
+
+    def test_no_deviation_in_homogeneous_trace(self):
+        trace = phased_trace(n_resources=8, phase_durations=(2.0, 2.0), phase_states=("a", "b"))
+        model = MicroscopicModel.from_trace(trace, n_slices=10)
+        windows = detect_deviating_cells(model, states=("a", "b"), threshold=0.3)
+        assert windows == []
+
+    def test_anomaly_window_properties(self):
+        window = AnomalyWindow(2, 4, 1.0, 2.5, ("r1", "r2"), 3.0)
+        assert window.n_resources == 2
+        assert window.duration == pytest.approx(1.5)
+
+    def test_match_window_validation(self):
+        window = AnomalyWindow(0, 1, 0.0, 1.0, (), 0.0)
+        with pytest.raises(ValueError):
+            match_window(window, 2.0, 1.0)
+        assert not match_window(window, 5.0, 6.0)
+
+    def test_detector_parameter_validation(self, phased_setup):
+        _, model, partition = phased_setup
+        with pytest.raises(ValueError):
+            detect_deviating_cells(model, threshold=0.0)
+        with pytest.raises(ValueError):
+            detect_partition_disruptions(partition, min_extra=0)
+        with pytest.raises(ValueError):
+            detect_partition_disruptions(partition, majority_fraction=0.0)
+
+    def test_unknown_blocking_states_yield_no_windows(self, phased_setup):
+        _, model, _ = phased_setup
+        assert detect_deviating_cells(model, states=("NotAState",)) == []
+
+    def test_cluster_heterogeneity(self, phased_setup):
+        _, _, partition = phased_setup
+        values = cluster_heterogeneity(partition, depth=1)
+        assert values
+        assert all(v > 0 for v in values.values())
+
+
+class TestReport:
+    def test_overview_report_content(self, phased_setup):
+        trace, model, partition = phased_setup
+        phases = detect_phases(partition, model)
+        anomalies = detect_deviating_cells(model, states=("wait",), threshold=0.2)
+        report = overview_report(trace, model, partition, phases, anomalies)
+        assert "Analysis report" in report
+        assert "aggregates" in report
+        assert "phase 0" in report
+        assert "anomaly 0" in report
+
+    def test_report_without_phases_or_anomalies(self, phased_setup):
+        trace, model, partition = phased_setup
+        report = overview_report(trace, model, partition)
+        assert "phases:" not in report
+        assert "anomalies:" not in report

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.microscopic import MicroscopicModel
+from repro.trace.states import StateRegistry
+from repro.trace.synthetic import figure3_trace, random_trace
+
+
+@pytest.fixture(scope="session")
+def figure3_model() -> MicroscopicModel:
+    """Microscopic model of the paper's artificial Figure 3 trace (12 x 20 x 2)."""
+    return MicroscopicModel.from_trace(figure3_trace(), n_slices=20)
+
+
+@pytest.fixture(scope="session")
+def random_model() -> MicroscopicModel:
+    """A small fully heterogeneous model (8 resources x 10 slices x 2 states)."""
+    trace = random_trace(n_resources=8, n_slices=10, n_states=2, seed=7)
+    return MicroscopicModel.from_trace(trace, n_slices=10)
+
+
+@pytest.fixture()
+def tiny_model() -> MicroscopicModel:
+    """A 4-resource x 4-slice x 2-state model small enough for exhaustive search."""
+    rng = np.random.default_rng(3)
+    rho1 = rng.uniform(0.1, 0.9, size=(4, 4))
+    rho = np.stack([rho1, 1.0 - rho1], axis=2)
+    hierarchy = Hierarchy.from_paths(
+        [("g0", "a"), ("g0", "b"), ("g1", "c"), ("g1", "d")]
+    )
+    states = StateRegistry(["x0", "x1"])
+    return MicroscopicModel.from_proportions(rho, hierarchy, states)
+
+
+@pytest.fixture()
+def blocky_model() -> MicroscopicModel:
+    """A model with two perfectly homogeneous space x time blocks.
+
+    Resources split in two groups of 2 (matching the hierarchy), time split in
+    two halves; each quadrant has a constant proportion.  The coarse optimal
+    partitions are known by construction.
+    """
+    rho1 = np.zeros((4, 6))
+    rho1[:2, :3] = 0.2
+    rho1[:2, 3:] = 0.8
+    rho1[2:, :3] = 0.6
+    rho1[2:, 3:] = 0.6
+    rho = np.stack([rho1, 1.0 - rho1], axis=2)
+    hierarchy = Hierarchy.from_paths(
+        [("g0", "a"), ("g0", "b"), ("g1", "c"), ("g1", "d")]
+    )
+    states = StateRegistry(["x0", "x1"])
+    return MicroscopicModel.from_proportions(rho, hierarchy, states)

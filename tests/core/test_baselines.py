@@ -1,0 +1,72 @@
+"""Tests for repro.core.baselines (grid and Cartesian-product baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import aggregate_cartesian, compare_partitions, grid_partition
+from repro.core.partition import Partition
+
+
+class TestGridPartition:
+    def test_grid_shapes(self, figure3_model):
+        partition = grid_partition(figure3_model, depth=1, n_intervals=4)
+        assert partition.size == 3 * 4
+        Partition(partition.aggregates, figure3_model)
+
+    def test_grid_depth_zero(self, figure3_model):
+        partition = grid_partition(figure3_model, depth=0, n_intervals=2)
+        assert partition.size == 2
+
+    def test_grid_leaf_depth(self, figure3_model):
+        partition = grid_partition(figure3_model, depth=2, n_intervals=20)
+        assert partition.size == figure3_model.n_cells
+
+    def test_grid_uneven_intervals(self, figure3_model):
+        partition = grid_partition(figure3_model, depth=0, n_intervals=3)
+        lengths = sorted(a.n_slices for a in partition)
+        assert sum(lengths) == figure3_model.n_slices
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_grid_invalid_intervals(self, figure3_model):
+        with pytest.raises(ValueError):
+            grid_partition(figure3_model, depth=0, n_intervals=0)
+        with pytest.raises(ValueError):
+            grid_partition(figure3_model, depth=0, n_intervals=50)
+
+
+class TestCartesian:
+    def test_cartesian_is_valid_partition(self, figure3_model):
+        partition = aggregate_cartesian(figure3_model, 0.3)
+        Partition(partition.aggregates, figure3_model)
+
+    def test_cartesian_is_product_shaped(self, figure3_model):
+        partition = aggregate_cartesian(figure3_model, 0.3)
+        nodes = {a.node for a in partition}
+        intervals = {(a.i, a.j) for a in partition}
+        assert partition.size == len(nodes) * len(intervals)
+
+
+class TestComparison:
+    def test_spatiotemporal_dominates_baselines(self, figure3_model):
+        """The paper's claim: the true spatiotemporal optimum carries at least
+        as much information (higher pIC) as the grid and Cartesian schemes."""
+        for p in (0.25, 0.5, 0.75):
+            comparison = compare_partitions(figure3_model, p)
+            by_label = {row["scheme"]: row["pIC"] for row in comparison.as_rows()}
+            assert by_label["spatiotemporal"] >= by_label["grid"] - 1e-9
+            assert by_label["spatiotemporal"] >= by_label["cartesian"] - 1e-9
+            assert comparison.best_by_pic() == "spatiotemporal"
+
+    def test_comparison_rows_structure(self, figure3_model):
+        comparison = compare_partitions(figure3_model, 0.5)
+        rows = comparison.as_rows()
+        assert {row["scheme"] for row in rows} == {"grid", "cartesian", "spatiotemporal"}
+        for row in rows:
+            assert row["aggregates"] > 0
+            assert row["gain"] >= 0
+
+    def test_comparison_with_sum_operator(self, figure3_model):
+        comparison = compare_partitions(figure3_model, 0.5, operator="sum")
+        by_label = {row["scheme"]: row["pIC"] for row in comparison.as_rows()}
+        assert by_label["spatiotemporal"] >= by_label["cartesian"] - 1e-9

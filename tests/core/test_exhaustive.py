@@ -1,0 +1,83 @@
+"""Tests for the brute-force partition enumerator (the optimality oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exhaustive import brute_force_optimum, count_partitions, enumerate_partitions
+from repro.core.hierarchy import Hierarchy
+from repro.core.microscopic import MicroscopicModel
+from repro.core.partition import Partition
+from repro.trace.states import StateRegistry
+
+
+def make_model(n_resources: int, n_slices: int, fanout: int = 2) -> MicroscopicModel:
+    rng = np.random.default_rng(n_resources * 31 + n_slices)
+    rho1 = rng.uniform(0.1, 0.9, size=(n_resources, n_slices))
+    rho = np.stack([rho1, 1.0 - rho1], axis=2)
+    return MicroscopicModel.from_proportions(
+        rho, Hierarchy.balanced(n_resources, fanout=fanout), StateRegistry(["x", "y"])
+    )
+
+
+class TestEnumeration:
+    def test_single_cell(self):
+        model = make_model(1, 1)
+        assert count_partitions(model) >= 1
+
+    def test_pure_temporal_counts(self):
+        """With a single resource the consistent partitions are the 2^(T-1)
+        compositions of the time axis (plus nothing else)."""
+        # A single leaf wrapped under a root: hierarchy cuts add no partition
+        # because the root and the leaf cover the same cells; dedup keeps one.
+        model = make_model(1, 4)
+        assert count_partitions(model) == 2 ** 3
+
+    def test_pure_spatial_counts(self):
+        """With a single slice and a 2-level binary hierarchy over 4 leaves the
+        hierarchy-consistent partitions are 5."""
+        model = make_model(4, 1)
+        # {root}, {g0, g1}, {g0, c, d}, {a, b, g1}, {a, b, c, d}
+        assert count_partitions(model) == 5
+
+    def test_partitions_are_valid(self):
+        model = make_model(2, 3)
+        for partition in enumerate_partitions(model):
+            Partition(partition.aggregates, model)
+
+    def test_partitions_are_distinct(self):
+        model = make_model(2, 3)
+        keys = [tuple(sorted(a.key for a in p)) for p in enumerate_partitions(model)]
+        assert len(keys) == len(set(keys))
+
+    def test_refuses_large_instances(self):
+        model = make_model(16, 8)
+        with pytest.raises(ValueError):
+            enumerate_partitions(model)
+
+    def test_microscopic_and_full_present(self):
+        model = make_model(2, 2)
+        partitions = enumerate_partitions(model)
+        sizes = {p.size for p in partitions}
+        assert 1 in sizes
+        assert model.n_cells in sizes
+
+
+class TestBruteForce:
+    def test_returns_best_value(self):
+        model = make_model(2, 3)
+        best_value, best_partition = brute_force_optimum(model, 0.5)
+        stats_value = sum(
+            0.5 * best_partition.stats.gain(a.node, a.i, a.j)
+            - 0.5 * best_partition.stats.loss(a.node, a.i, a.j)
+            for a in best_partition
+        )
+        assert best_value == pytest.approx(stats_value)
+
+    def test_extreme_p_values(self):
+        model = make_model(2, 2)
+        value_p0, partition_p0 = brute_force_optimum(model, 0.0)
+        assert value_p0 == pytest.approx(0.0, abs=1e-9)
+        value_p1, partition_p1 = brute_force_optimum(model, 1.0)
+        assert partition_p1.size <= partition_p0.size

@@ -1,0 +1,198 @@
+"""Tests for repro.core.hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchy import Hierarchy, HierarchyError, HierarchyNode
+
+
+def build_sample() -> Hierarchy:
+    return Hierarchy.from_paths(
+        [
+            ("clusterA", "m0", "r0"),
+            ("clusterA", "m0", "r1"),
+            ("clusterA", "m1", "r2"),
+            ("clusterB", "m2", "r3"),
+            ("clusterB", "m2", "r4"),
+        ],
+        root_name="site",
+    )
+
+
+class TestConstruction:
+    def test_from_paths_leaf_count(self):
+        h = build_sample()
+        assert h.n_leaves == 5
+        assert h.leaf_names == ("r0", "r1", "r2", "r3", "r4")
+
+    def test_from_paths_node_count(self):
+        h = build_sample()
+        # root + 2 clusters + 3 machines + 5 leaves
+        assert h.n_nodes == 11
+
+    def test_from_paths_depth(self):
+        assert build_sample().depth == 3
+
+    def test_flat(self):
+        h = Hierarchy.flat(["a", "b", "c"])
+        assert h.n_leaves == 3
+        assert h.depth == 1
+        assert h.root.name == "root"
+
+    def test_balanced_structure(self):
+        h = Hierarchy.balanced(8, fanout=2)
+        assert h.n_leaves == 8
+        assert all(len(node.children) in (0, 2) for node in h.iter_nodes())
+
+    def test_balanced_non_power(self):
+        h = Hierarchy.balanced(5, fanout=2)
+        assert h.n_leaves == 5
+        assert h.validate_partition([h.root])
+
+    def test_balanced_single_leaf(self):
+        h = Hierarchy.balanced(1)
+        assert h.n_leaves == 1
+        assert not h.root.is_leaf
+
+    def test_empty_paths_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy.from_paths([])
+
+    def test_duplicate_paths_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy.from_paths([("a", "x"), ("a", "x")])
+
+    def test_leaf_internal_collision_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy.from_paths([("a", "x"), ("a",)])
+
+    def test_duplicate_leaf_names_rejected(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy.from_paths([("a", "x"), ("b", "x")])
+
+    def test_balanced_invalid_args(self):
+        with pytest.raises(HierarchyError):
+            Hierarchy.balanced(0)
+        with pytest.raises(HierarchyError):
+            Hierarchy.balanced(4, fanout=1)
+
+
+class TestLeafRanges:
+    def test_leaf_ranges_are_contiguous(self):
+        h = build_sample()
+        for node in h.iter_nodes():
+            assert 0 <= node.leaf_start < node.leaf_end <= h.n_leaves
+
+    def test_root_covers_everything(self):
+        h = build_sample()
+        assert h.root.leaf_start == 0
+        assert h.root.leaf_end == h.n_leaves
+
+    def test_children_partition_parent_range(self):
+        h = build_sample()
+        for node in h.iter_nodes():
+            if node.children:
+                starts = sorted(c.leaf_start for c in node.children)
+                ends = sorted(c.leaf_end for c in node.children)
+                assert starts[0] == node.leaf_start
+                assert ends[-1] == node.leaf_end
+                # children are contiguous and non-overlapping
+                for left, right in zip(sorted(node.children, key=lambda c: c.leaf_start)[:-1],
+                                       sorted(node.children, key=lambda c: c.leaf_start)[1:]):
+                    assert left.leaf_end == right.leaf_start
+
+    def test_contains(self):
+        h = build_sample()
+        cluster_a = h.node_by_full_name("clusterA")
+        leaf = h.leaf("r1")
+        assert cluster_a.contains(leaf)
+        assert not leaf.contains(cluster_a)
+
+
+class TestQueries:
+    def test_leaf_index_roundtrip(self):
+        h = build_sample()
+        for i, name in enumerate(h.leaf_names):
+            assert h.leaf_index(name) == i
+            assert h.leaf(name).name == name
+
+    def test_unknown_leaf(self):
+        with pytest.raises(HierarchyError):
+            build_sample().leaf_index("nope")
+
+    def test_node_by_full_name(self):
+        h = build_sample()
+        node = h.node_by_full_name("clusterA/m0")
+        assert node.name == "m0"
+        with pytest.raises(HierarchyError):
+            h.node_by_full_name("clusterZ")
+
+    def test_iter_nodes_post_order_children_first(self):
+        h = build_sample()
+        seen = set()
+        for node in h.iter_nodes("post"):
+            for child in node.children:
+                assert child.index in seen
+            seen.add(node.index)
+
+    def test_iter_nodes_bad_order(self):
+        with pytest.raises(HierarchyError):
+            list(build_sample().iter_nodes("sideways"))
+
+    def test_nodes_at_depth(self):
+        h = build_sample()
+        assert [n.name for n in h.nodes_at_depth(1)] == ["clusterA", "clusterB"]
+
+    def test_level_partition_is_valid(self):
+        h = build_sample()
+        for depth in range(h.depth + 1):
+            parts = h.level_partition(depth)
+            assert h.validate_partition(parts)
+
+    def test_level_partition_negative_depth(self):
+        with pytest.raises(HierarchyError):
+            build_sample().level_partition(-1)
+
+    def test_ancestors(self):
+        h = build_sample()
+        leaf = h.leaf("r3")
+        names = [n.name for n in h.ancestors(leaf)]
+        assert names == ["m2", "clusterB", "site"]
+
+    def test_validate_partition_rejects_overlap(self):
+        h = build_sample()
+        cluster_a = h.node_by_full_name("clusterA")
+        assert not h.validate_partition([h.root, cluster_a])
+
+    def test_validate_partition_rejects_gap(self):
+        h = build_sample()
+        cluster_a = h.node_by_full_name("clusterA")
+        assert not h.validate_partition([cluster_a])
+
+    def test_contains_dunder_and_len(self):
+        h = build_sample()
+        assert "r0" in h
+        assert "zzz" not in h
+        assert len(h) == 5
+
+    def test_describe_mentions_every_leaf(self):
+        text = build_sample().describe()
+        for name in build_sample().leaf_names:
+            assert name in text
+
+    def test_full_name_and_path(self):
+        h = build_sample()
+        leaf = h.leaf("r2")
+        assert leaf.path == ("clusterA", "m1", "r2")
+        assert leaf.full_name == "clusterA/m1/r2"
+        assert h.root.path == ()
+
+    def test_subtree_sizes(self):
+        sizes = build_sample().subtree_sizes()
+        assert sizes["clusterA"] == 3
+        assert sizes["clusterB"] == 2
+
+    def test_map_leaves(self):
+        h = build_sample()
+        assert h.map_leaves(lambda n: n.name) == list(h.leaf_names)

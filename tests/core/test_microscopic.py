@@ -1,0 +1,168 @@
+"""Tests for repro.core.microscopic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.microscopic import MicroscopicModel, MicroscopicModelError
+from repro.core.timeslicing import TimeSlicing
+from repro.trace.events import StateInterval
+from repro.trace.states import StateRegistry
+from repro.trace.synthetic import figure3_proportions, figure3_trace
+from repro.trace.trace import Trace
+
+
+def simple_trace() -> Trace:
+    hierarchy = Hierarchy.flat(["a", "b"])
+    intervals = [
+        StateInterval(0.0, 2.0, "a", "work"),
+        StateInterval(2.0, 4.0, "a", "wait"),
+        StateInterval(0.0, 4.0, "b", "work"),
+    ]
+    return Trace(intervals, hierarchy)
+
+
+class TestFromTrace:
+    def test_shapes(self):
+        model = MicroscopicModel.from_trace(simple_trace(), n_slices=4)
+        assert model.n_resources == 2
+        assert model.n_slices == 4
+        assert model.n_states == 2
+        assert model.n_cells == 8
+
+    def test_durations_are_projected_correctly(self):
+        model = MicroscopicModel.from_trace(simple_trace(), n_slices=4)
+        work = model.states.index("work")
+        wait = model.states.index("wait")
+        a = model.hierarchy.leaf_index("a")
+        b = model.hierarchy.leaf_index("b")
+        assert model.durations[a, 0, work] == pytest.approx(1.0)
+        assert model.durations[a, 1, work] == pytest.approx(1.0)
+        assert model.durations[a, 2, work] == pytest.approx(0.0)
+        assert model.durations[a, 2, wait] == pytest.approx(1.0)
+        assert np.allclose(model.durations[b, :, work], 1.0)
+
+    def test_total_time_is_preserved(self):
+        trace = simple_trace()
+        model = MicroscopicModel.from_trace(trace, n_slices=7)
+        assert model.durations.sum() == pytest.approx(
+            sum(iv.duration for iv in trace.intervals)
+        )
+
+    def test_proportions_in_unit_range(self):
+        model = MicroscopicModel.from_trace(figure3_trace(), n_slices=20)
+        rho = model.proportions
+        assert np.all(rho >= 0)
+        assert np.all(rho.sum(axis=2) <= 1 + 1e-9)
+
+    def test_figure3_roundtrip(self):
+        """Slicing the synthetic Figure 3 trace recovers its designed proportions."""
+        model = MicroscopicModel.from_trace(figure3_trace(), n_slices=20)
+        expected = figure3_proportions()
+        a_index = model.states.index("A")
+        assert np.allclose(model.proportions[:, :, a_index], expected, atol=1e-9)
+
+    def test_empty_span_rejected(self):
+        hierarchy = Hierarchy.flat(["a"])
+        trace = Trace([], hierarchy)
+        with pytest.raises(MicroscopicModelError):
+            MicroscopicModel.from_trace(trace, n_slices=4)
+
+    def test_explicit_slicing_zoom(self):
+        trace = simple_trace()
+        slicing = TimeSlicing.regular(0.0, 2.0, 2)
+        model = MicroscopicModel.from_trace(trace, slicing=slicing)
+        assert model.n_slices == 2
+        # Only the first half of the trace is described.
+        assert model.durations.sum() == pytest.approx(4.0)
+
+    def test_shared_state_registry(self):
+        registry = StateRegistry(["idle", "work", "wait"])
+        model = MicroscopicModel.from_trace(simple_trace(), n_slices=2, states=registry)
+        assert model.states.index("idle") == 0
+        assert model.n_states == 3
+
+
+class TestValidation:
+    def test_rejects_wrong_resource_count(self):
+        hierarchy = Hierarchy.flat(["a", "b"])
+        slicing = TimeSlicing.regular(0, 1, 2)
+        states = StateRegistry(["x"])
+        with pytest.raises(MicroscopicModelError):
+            MicroscopicModel(np.zeros((3, 2, 1)), hierarchy, slicing, states)
+
+    def test_rejects_wrong_slice_count(self):
+        hierarchy = Hierarchy.flat(["a"])
+        slicing = TimeSlicing.regular(0, 1, 2)
+        states = StateRegistry(["x"])
+        with pytest.raises(MicroscopicModelError):
+            MicroscopicModel(np.zeros((1, 3, 1)), hierarchy, slicing, states)
+
+    def test_rejects_wrong_state_count(self):
+        hierarchy = Hierarchy.flat(["a"])
+        slicing = TimeSlicing.regular(0, 1, 2)
+        states = StateRegistry(["x", "y"])
+        with pytest.raises(MicroscopicModelError):
+            MicroscopicModel(np.zeros((1, 2, 1)), hierarchy, slicing, states)
+
+    def test_rejects_negative_durations(self):
+        hierarchy = Hierarchy.flat(["a"])
+        slicing = TimeSlicing.regular(0, 1, 2)
+        states = StateRegistry(["x"])
+        with pytest.raises(MicroscopicModelError):
+            MicroscopicModel(np.full((1, 2, 1), -0.1), hierarchy, slicing, states)
+
+    def test_rejects_duration_exceeding_slice(self):
+        hierarchy = Hierarchy.flat(["a"])
+        slicing = TimeSlicing.regular(0, 1, 2)  # slices of 0.5
+        states = StateRegistry(["x"])
+        with pytest.raises(MicroscopicModelError):
+            MicroscopicModel(np.full((1, 2, 1), 0.7), hierarchy, slicing, states)
+
+    def test_rejects_wrong_ndim(self):
+        hierarchy = Hierarchy.flat(["a"])
+        slicing = TimeSlicing.regular(0, 1, 2)
+        states = StateRegistry(["x"])
+        with pytest.raises(MicroscopicModelError):
+            MicroscopicModel(np.zeros((1, 2)), hierarchy, slicing, states)
+
+
+class TestAccessors:
+    def test_node_durations_sum_leaves(self, figure3_model):
+        hierarchy = figure3_model.hierarchy
+        cluster = hierarchy.node_by_full_name("SA")
+        direct = figure3_model.durations[cluster.leaf_start : cluster.leaf_end].sum(axis=0)
+        assert np.allclose(figure3_model.node_durations(cluster), direct)
+
+    def test_resource_durations(self, figure3_model):
+        row = figure3_model.resource_durations("s1")
+        assert row.shape == (20, 2)
+
+    def test_state_totals(self, figure3_model):
+        totals = figure3_model.state_totals()
+        assert set(totals) == {"A", "B"}
+        assert totals["A"] > 0
+
+    def test_active_proportion(self, figure3_model):
+        active = figure3_model.active_proportion()
+        assert np.allclose(active, 1.0)
+
+    def test_from_proportions(self):
+        hierarchy = Hierarchy.flat(["a", "b"])
+        states = StateRegistry(["x", "y"])
+        rho = np.full((2, 3, 2), 0.25)
+        model = MicroscopicModel.from_proportions(rho, hierarchy, states, slice_duration=2.0)
+        assert model.slicing.span == pytest.approx(6.0)
+        assert np.allclose(model.proportions, 0.25)
+
+    def test_npz_roundtrip(self, tmp_path, figure3_model):
+        path = tmp_path / "model.npz"
+        figure3_model.save_npz(str(path))
+        loaded = MicroscopicModel.load_npz(str(path))
+        assert loaded.n_resources == figure3_model.n_resources
+        assert loaded.n_slices == figure3_model.n_slices
+        assert loaded.states.names == figure3_model.states.names
+        assert np.allclose(loaded.durations, figure3_model.durations)
+        assert loaded.hierarchy.leaf_names == figure3_model.hierarchy.leaf_names

@@ -1,0 +1,160 @@
+"""Tests for repro.core.partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partition import Aggregate, Partition, PartitionError
+
+
+class TestAggregate:
+    def test_basic_properties(self, figure3_model):
+        node = figure3_model.hierarchy.node_by_full_name("SA")
+        aggregate = Aggregate(node, 2, 5)
+        assert aggregate.n_resources == 4
+        assert aggregate.n_slices == 4
+        assert aggregate.n_cells == 16
+        assert aggregate.resource_range == (0, 4)
+        assert not aggregate.is_microscopic
+
+    def test_microscopic_flag(self, figure3_model):
+        leaf = figure3_model.hierarchy.leaves[0]
+        assert Aggregate(leaf, 3, 3).is_microscopic
+
+    def test_invalid_interval(self, figure3_model):
+        leaf = figure3_model.hierarchy.leaves[0]
+        with pytest.raises(PartitionError):
+            Aggregate(leaf, 3, 2)
+        with pytest.raises(PartitionError):
+            Aggregate(leaf, -1, 2)
+
+    def test_covers(self, figure3_model):
+        node = figure3_model.hierarchy.node_by_full_name("SB")
+        aggregate = Aggregate(node, 5, 8)
+        assert aggregate.covers(4, 5)
+        assert aggregate.covers(7, 8)
+        assert not aggregate.covers(3, 5)
+        assert not aggregate.covers(4, 9)
+
+
+class TestPartitionValidation:
+    def test_microscopic_partition(self, figure3_model):
+        partition = Partition.microscopic(figure3_model)
+        assert partition.size == figure3_model.n_cells
+        assert partition.complexity_reduction() == pytest.approx(0.0)
+
+    def test_full_partition(self, figure3_model):
+        partition = Partition.full(figure3_model)
+        assert partition.size == 1
+        assert partition.complexity_reduction() == pytest.approx(1 - 1 / figure3_model.n_cells)
+
+    def test_rejects_empty(self, figure3_model):
+        with pytest.raises(PartitionError):
+            Partition([], figure3_model)
+
+    def test_rejects_overlap(self, figure3_model):
+        root = figure3_model.hierarchy.root
+        sa = figure3_model.hierarchy.node_by_full_name("SA")
+        with pytest.raises(PartitionError):
+            Partition([Aggregate(root, 0, 19), Aggregate(sa, 0, 5)], figure3_model)
+
+    def test_rejects_gap(self, figure3_model):
+        root = figure3_model.hierarchy.root
+        with pytest.raises(PartitionError):
+            Partition([Aggregate(root, 0, 10)], figure3_model)
+
+    def test_rejects_out_of_range_interval(self, figure3_model):
+        root = figure3_model.hierarchy.root
+        with pytest.raises(PartitionError):
+            Partition([Aggregate(root, 0, 25)], figure3_model)
+
+    def test_valid_mixed_partition(self, figure3_model):
+        h = figure3_model.hierarchy
+        aggregates = [
+            Aggregate(h.root, 0, 9),
+            Aggregate(h.node_by_full_name("SA"), 10, 19),
+            Aggregate(h.node_by_full_name("SB"), 10, 19),
+            Aggregate(h.node_by_full_name("SC"), 10, 14),
+            Aggregate(h.node_by_full_name("SC"), 15, 19),
+        ]
+        partition = Partition(aggregates, figure3_model)
+        assert partition.size == 5
+
+
+class TestPartitionMetrics:
+    def test_metrics_are_additive_over_aggregates(self, figure3_model):
+        h = figure3_model.hierarchy
+        partition = Partition(
+            [Aggregate(h.root, 0, 9), Aggregate(h.root, 10, 19)], figure3_model
+        )
+        stats = partition.stats
+        expected_gain = stats.gain(h.root, 0, 9) + stats.gain(h.root, 10, 19)
+        expected_loss = stats.loss(h.root, 0, 9) + stats.loss(h.root, 10, 19)
+        assert partition.gain() == pytest.approx(expected_gain)
+        assert partition.loss() == pytest.approx(expected_loss)
+        assert partition.pic(0.4) == pytest.approx(0.4 * expected_gain - 0.6 * expected_loss)
+
+    def test_pic_without_p_raises(self, figure3_model):
+        partition = Partition.full(figure3_model)
+        with pytest.raises(PartitionError):
+            partition.pic()
+
+    def test_microscopic_partition_has_zero_loss(self, figure3_model):
+        partition = Partition.microscopic(figure3_model)
+        assert partition.loss() == pytest.approx(0.0, abs=1e-6)
+        assert partition.normalized_loss() == pytest.approx(0.0, abs=1e-6)
+
+    def test_full_partition_loss_is_positive_on_heterogeneous_data(self, figure3_model):
+        partition = Partition.full(figure3_model)
+        assert partition.loss() > 0
+        assert 0 < partition.normalized_loss() < 1
+
+
+class TestPartitionStructure:
+    def test_label_matrix_covers_all_cells(self, figure3_model):
+        partition = Partition.full(figure3_model)
+        labels = partition.label_matrix()
+        assert labels.shape == (12, 20)
+        assert np.all(labels == 0)
+
+    def test_label_matrix_microscopic(self, figure3_model):
+        partition = Partition.microscopic(figure3_model)
+        labels = partition.label_matrix()
+        assert len(np.unique(labels)) == figure3_model.n_cells
+
+    def test_aggregate_at(self, figure3_model):
+        h = figure3_model.hierarchy
+        partition = Partition(
+            [Aggregate(h.root, 0, 9), Aggregate(h.root, 10, 19)], figure3_model
+        )
+        assert partition.aggregate_at(0, 5).j == 9
+        assert partition.aggregate_at(11, 15).i == 10
+
+    def test_temporal_cut_points(self, figure3_model):
+        h = figure3_model.hierarchy
+        partition = Partition(
+            [Aggregate(h.root, 0, 4), Aggregate(h.root, 5, 19)], figure3_model
+        )
+        assert partition.temporal_cut_points() == {5}
+
+    def test_aggregates_of_node_and_slice(self, figure3_model):
+        h = figure3_model.hierarchy
+        partition = Partition(
+            [Aggregate(h.root, 0, 9), Aggregate(h.root, 10, 19)], figure3_model
+        )
+        assert len(partition.aggregates_of_node(h.root)) == 2
+        assert len(partition.aggregates_overlapping_slice(10)) == 1
+
+    def test_equality_ignores_order(self, figure3_model):
+        h = figure3_model.hierarchy
+        a = Partition([Aggregate(h.root, 0, 9), Aggregate(h.root, 10, 19)], figure3_model)
+        b = Partition([Aggregate(h.root, 10, 19), Aggregate(h.root, 0, 9)], figure3_model)
+        assert a == b
+
+    def test_from_products(self, figure3_model):
+        h = figure3_model.hierarchy
+        nodes = [h.node_by_full_name(name) for name in ("SA", "SB", "SC")]
+        partition = Partition.from_products(figure3_model, nodes, [(0, 9), (10, 19)])
+        assert partition.size == 6
+        assert partition.is_consistent()

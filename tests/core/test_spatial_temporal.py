@@ -1,0 +1,146 @@
+"""Tests for the unidimensional aggregation algorithms (spatial and temporal)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.microscopic import MicroscopicModel
+from repro.core.partition import Partition
+from repro.core.spatial import SpatialAggregator, aggregate_spatial, time_integrated_model
+from repro.core.temporal import (
+    TemporalAggregator,
+    aggregate_temporal,
+    space_integrated_model,
+)
+from repro.trace.states import StateRegistry
+
+
+def spatial_block_model() -> MicroscopicModel:
+    """Two clusters with different but internally homogeneous behaviour."""
+    rho1 = np.zeros((4, 6))
+    rho1[:2, :] = 0.2
+    rho1[2:, :] = 0.8
+    rho = np.stack([rho1, 1.0 - rho1], axis=2)
+    hierarchy = Hierarchy.from_paths([("g0", "a"), ("g0", "b"), ("g1", "c"), ("g1", "d")])
+    return MicroscopicModel.from_proportions(rho, hierarchy, StateRegistry(["x", "y"]))
+
+
+def temporal_block_model() -> MicroscopicModel:
+    """Three temporal phases shared by every resource."""
+    rho1 = np.zeros((4, 9))
+    rho1[:, 0:3] = 0.1
+    rho1[:, 3:6] = 0.9
+    rho1[:, 6:9] = 0.5
+    rho = np.stack([rho1, 1.0 - rho1], axis=2)
+    hierarchy = Hierarchy.balanced(4, fanout=2)
+    return MicroscopicModel.from_proportions(rho, hierarchy, StateRegistry(["x", "y"]))
+
+
+class TestTimeIntegration:
+    def test_time_integrated_model_shape(self, figure3_model):
+        reduced = time_integrated_model(figure3_model)
+        assert reduced.n_slices == 1
+        assert reduced.n_resources == figure3_model.n_resources
+        assert np.allclose(
+            reduced.durations[:, 0, :], figure3_model.durations.sum(axis=1)
+        )
+
+    def test_space_integrated_model_shape(self, figure3_model):
+        reduced = space_integrated_model(figure3_model)
+        assert reduced.n_resources == 1
+        assert reduced.n_slices == figure3_model.n_slices
+        assert np.allclose(
+            reduced.durations[0], figure3_model.durations.mean(axis=0)
+        )
+
+    def test_space_integrated_model_sum_operator(self, figure3_model):
+        reduced = space_integrated_model(figure3_model, "sum")
+        assert np.allclose(
+            reduced.durations[0],
+            figure3_model.durations.sum(axis=0) / figure3_model.n_resources,
+        )
+
+
+class TestSpatialAggregation:
+    def test_recovers_cluster_structure(self):
+        model = spatial_block_model()
+        nodes = SpatialAggregator(model).optimal_nodes(0.5)
+        assert sorted(n.name for n in nodes) == ["g0", "g1"]
+
+    def test_p_one_keeps_root(self):
+        model = spatial_block_model()
+        nodes = SpatialAggregator(model).optimal_nodes(1.0)
+        assert [n.name for n in nodes] == [model.hierarchy.root.name]
+
+    def test_p_zero_on_heterogeneous_leaves(self, random_model):
+        nodes = SpatialAggregator(random_model).optimal_nodes(0.0)
+        assert all(n.is_leaf for n in nodes)
+        assert len(nodes) == random_model.n_resources
+
+    def test_partition_output_is_valid(self, figure3_model):
+        partition = aggregate_spatial(figure3_model, 0.3)
+        Partition(partition.aggregates, figure3_model)
+        assert all(a.i == 0 and a.j == figure3_model.n_slices - 1 for a in partition)
+
+    def test_nodes_form_partition_of_resources(self, figure3_model):
+        for p in (0.0, 0.4, 0.9):
+            nodes = SpatialAggregator(figure3_model).optimal_nodes(p)
+            assert figure3_model.hierarchy.validate_partition(nodes)
+
+    def test_invalid_p(self, figure3_model):
+        with pytest.raises(ValueError):
+            SpatialAggregator(figure3_model).optimal_nodes(2.0)
+
+    def test_optimal_pic_consistency(self):
+        model = spatial_block_model()
+        aggregator = SpatialAggregator(model)
+        assert aggregator.optimal_pic(0.5) >= aggregator.optimal_pic(0.0) - 1e-9
+
+
+class TestTemporalAggregation:
+    def test_recovers_phase_structure(self):
+        model = temporal_block_model()
+        intervals = TemporalAggregator(model).optimal_intervals(0.5)
+        assert intervals == [(0, 2), (3, 5), (6, 8)]
+
+    def test_p_one_single_interval(self):
+        model = temporal_block_model()
+        intervals = TemporalAggregator(model).optimal_intervals(1.0)
+        assert intervals == [(0, model.n_slices - 1)]
+
+    def test_intervals_cover_time_axis(self, figure3_model):
+        for p in (0.0, 0.3, 0.8):
+            intervals = TemporalAggregator(figure3_model).optimal_intervals(p)
+            covered = []
+            for i, j in intervals:
+                assert i <= j
+                covered.extend(range(i, j + 1))
+            assert covered == list(range(figure3_model.n_slices))
+
+    def test_partition_output_is_valid(self, figure3_model):
+        partition = aggregate_temporal(figure3_model, 0.4)
+        Partition(partition.aggregates, figure3_model)
+        root = figure3_model.hierarchy.root
+        assert all(a.node is root for a in partition)
+
+    def test_invalid_p(self, figure3_model):
+        with pytest.raises(ValueError):
+            TemporalAggregator(figure3_model).optimal_intervals(-0.2)
+
+    def test_optimal_pic_dominates_single_interval(self):
+        """At any p, the optimal segmentation scores at least as well as the
+        trivial single-interval segmentation evaluated at the same p."""
+        model = temporal_block_model()
+        aggregator = TemporalAggregator(model)
+        intervals = aggregator.optimal_intervals(0.5)
+        assert len(intervals) == 3
+        root = aggregator.stats.model.hierarchy.root
+        single = aggregator.stats.pic(root, 0, model.n_slices - 1, 0.5)
+        assert aggregator.optimal_pic(0.5) >= single - 1e-9
+
+    def test_number_of_intervals_decreases_with_p(self, figure3_model):
+        aggregator = TemporalAggregator(figure3_model)
+        counts = [len(aggregator.optimal_intervals(p)) for p in (0.05, 0.5, 1.0)]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,151 @@
+"""Tests for repro.core.timeslicing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.timeslicing import TimeSlicing, TimeSlicingError
+
+
+class TestConstruction:
+    def test_regular(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        assert ts.n_slices == 5
+        assert ts.start == 0.0
+        assert ts.end == 10.0
+        assert np.allclose(ts.durations, 2.0)
+
+    def test_irregular_edges(self):
+        ts = TimeSlicing([0.0, 1.0, 4.0, 5.0])
+        assert ts.n_slices == 3
+        assert np.allclose(ts.durations, [1.0, 3.0, 1.0])
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(TimeSlicingError):
+            TimeSlicing([0.0, 1.0, 1.0])
+
+    def test_rejects_single_edge(self):
+        with pytest.raises(TimeSlicingError):
+            TimeSlicing([0.0])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(TimeSlicingError):
+            TimeSlicing([0.0, np.inf])
+
+    def test_regular_invalid(self):
+        with pytest.raises(TimeSlicingError):
+            TimeSlicing.regular(0.0, 1.0, 0)
+        with pytest.raises(TimeSlicingError):
+            TimeSlicing.regular(1.0, 1.0, 3)
+
+    def test_equality(self):
+        assert TimeSlicing.regular(0, 1, 4) == TimeSlicing.regular(0, 1, 4)
+        assert TimeSlicing.regular(0, 1, 4) != TimeSlicing.regular(0, 1, 5)
+
+
+class TestQueries:
+    def test_slice_bounds(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        assert ts.slice_bounds(0) == (0.0, 2.0)
+        assert ts.slice_bounds(4) == (8.0, 10.0)
+
+    def test_slice_bounds_out_of_range(self):
+        with pytest.raises(TimeSlicingError):
+            TimeSlicing.regular(0, 10, 5).slice_bounds(5)
+
+    def test_interval_bounds_and_duration(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        assert ts.interval_bounds(1, 3) == (2.0, 8.0)
+        assert ts.interval_duration(1, 3) == pytest.approx(6.0)
+
+    def test_interval_bounds_invalid(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        with pytest.raises(TimeSlicingError):
+            ts.interval_bounds(3, 1)
+
+    def test_midpoints(self):
+        ts = TimeSlicing.regular(0.0, 4.0, 4)
+        assert np.allclose(ts.midpoints(), [0.5, 1.5, 2.5, 3.5])
+
+    def test_len_and_span(self):
+        ts = TimeSlicing.regular(1.0, 7.0, 3)
+        assert len(ts) == 3
+        assert ts.span == pytest.approx(6.0)
+
+
+class TestLocate:
+    def test_locate_interior(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        assert ts.locate(0.0) == 0
+        assert ts.locate(1.99) == 0
+        assert ts.locate(2.0) == 1
+        assert ts.locate(9.99) == 4
+
+    def test_locate_end_belongs_to_last_slice(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        assert ts.locate(10.0) == 4
+
+    def test_locate_outside(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        with pytest.raises(TimeSlicingError):
+            ts.locate(-0.1)
+        with pytest.raises(TimeSlicingError):
+            ts.locate(10.1)
+
+
+class TestOverlaps:
+    def test_overlap_single_slice(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        assert ts.overlaps(0.5, 1.5) == [(0, pytest.approx(1.0))]
+
+    def test_overlap_multiple_slices(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        result = ts.overlaps(1.0, 5.0)
+        assert [index for index, _ in result] == [0, 1, 2]
+        assert sum(d for _, d in result) == pytest.approx(4.0)
+
+    def test_overlap_whole_span(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        result = ts.overlaps(0.0, 10.0)
+        assert len(result) == 5
+        assert sum(d for _, d in result) == pytest.approx(10.0)
+
+    def test_overlap_clips_outside(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        result = ts.overlaps(-5.0, 3.0)
+        assert sum(d for _, d in result) == pytest.approx(3.0)
+
+    def test_overlap_disjoint_is_empty(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        assert ts.overlaps(11.0, 12.0) == []
+        assert ts.overlaps(-3.0, -1.0) == []
+
+    def test_overlap_zero_length(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        assert ts.overlaps(3.0, 3.0) == []
+
+    def test_overlap_invalid(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        with pytest.raises(TimeSlicingError):
+            ts.overlaps(5.0, 4.0)
+
+    def test_overlap_boundary_exact(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        result = ts.overlaps(2.0, 4.0)
+        assert result == [(1, pytest.approx(2.0))]
+
+    def test_overlap_matrix_row(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        row = ts.overlap_matrix_row(1.0, 5.0)
+        assert row.shape == (5,)
+        assert row.sum() == pytest.approx(4.0)
+        assert row[3] == 0.0
+
+    def test_total_overlap_preserves_duration(self):
+        ts = TimeSlicing.regular(0.0, 7.0, 13)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b = sorted(rng.uniform(0, 7, size=2))
+            total = sum(d for _, d in ts.overlaps(a, b))
+            assert total == pytest.approx(b - a, abs=1e-9)

@@ -1,0 +1,110 @@
+"""Tests for the experiment harness (Table II runner and figure series)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    figure1_series,
+    figure2_series,
+    figure3_series,
+    figure4_series,
+)
+from repro.experiments.runner import format_table2, run_case, table2_rows
+from repro.simulation.scenarios import case_a, case_c
+
+
+@pytest.fixture(scope="module")
+def small_case_a_result():
+    return run_case(case_a(iterations=12, n_processes=16), n_slices=20, p=0.7)
+
+
+class TestRunner:
+    def test_run_case_pipeline(self, small_case_a_result):
+        result = small_case_a_result
+        assert result.n_events > 0
+        assert result.trace_size_bytes > 0
+        assert result.partition.size >= 1
+        assert result.model.n_slices == 20
+        assert result.model.n_resources == 16
+
+    def test_timings_populated(self, small_case_a_result):
+        timings = small_case_a_result.timings
+        assert timings.simulation > 0
+        assert timings.trace_reading > 0
+        assert timings.microscopic_description > 0
+        assert timings.aggregation > 0
+        assert timings.reaggregation > 0
+        assert timings.preprocessing == pytest.approx(
+            timings.trace_reading + timings.microscopic_description
+        )
+
+    def test_keep_trace_writes_file(self, tmp_path):
+        result = run_case(
+            case_a(iterations=3, n_processes=8),
+            n_slices=10,
+            workdir=str(tmp_path),
+            keep_trace=True,
+        )
+        assert result.trace_path is not None
+        assert result.trace_size_bytes > 0
+
+    def test_table2_rows_and_format(self, small_case_a_result):
+        rows = table2_rows([small_case_a_result])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["case"] == "A"
+        assert row["application"].startswith("CG")
+        assert row["event_number"] == small_case_a_result.n_events
+        text = format_table2([small_case_a_result])
+        assert "Case A" in text
+        assert "Event number" in text
+        assert "Aggregation" in text
+
+
+class TestFigureSeries:
+    def test_figure1_series_small(self):
+        series = figure1_series(case_a(iterations=16, n_processes=16), p=0.7, n_slices=24)
+        # Phase structure: an MPI_Init-dominated phase first, then computation.
+        assert series.phases[0].dominant_state == "MPI_Init"
+        assert len(series.phases) >= 2
+        # One MPI_Wait-dominated process per machine (16 procs / 8 per machine = 2).
+        assert len(series.wait_dominated_resources) == 2
+        # The injected perturbation is detected.
+        assert series.injected_window is not None
+        assert series.detected_injected
+        assert 0 < len(series.affected_resources) <= 16
+        assert "MPI_Send" in series.mode_counts
+
+    def test_figure2_series(self, small_case_a_result):
+        series = figure2_series(small_case_a_result, width_px=200, height_px=100)
+        assert series.gantt.n_objects == small_case_a_result.trace.n_intervals
+        assert series.overview_items >= 1
+        assert series.entity_ratio > 1.0
+
+    def test_figure3_series_shape(self):
+        series = figure3_series()
+        assert series.microscopic_cells == 240
+        # Qualitative shape of Figure 3: the optimal spatiotemporal partitions
+        # are finer than the full aggregation and coarser than the microscopic
+        # model, and a higher p yields a coarser partition.
+        assert 1 < series.optimal_high_p.size < series.optimal_low_p.size < 240
+        # The spatiotemporal optimum dominates both baselines in pIC.
+        by_scheme = {row["scheme"]: row["pIC"] for row in series.comparison_rows}
+        assert by_scheme["spatiotemporal"] >= by_scheme["grid"] - 1e-9
+        assert by_scheme["spatiotemporal"] >= by_scheme["cartesian"] - 1e-9
+        # Visual aggregation reduces the entity count on a small canvas.
+        assert series.visual_items <= series.optimal_low_p.size
+        assert sum(series.visual_markers.values()) >= 1
+
+    def test_figure4_series_small(self):
+        series = figure4_series(
+            case_c(iterations=4, n_processes=48, platform_scale=0.08), p=0.7, n_slices=24
+        )
+        assert series.phases[0].dominant_state == "MPI_Init"
+        # All three Nancy clusters host ranks and appear in the heterogeneity map.
+        assert set(series.heterogeneity) == {"graphene", "graphite", "griffon"}
+        assert all(value > 0 for value in series.heterogeneity.values())
+        # The injected Griffon perturbation is detected.
+        assert series.injected_window is not None
+        assert series.detected_injected

@@ -1,0 +1,104 @@
+"""Integration tests: simulate -> trace -> I/O -> aggregate -> analyse -> render."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.anomaly import detect_deviating_cells, match_window
+from repro.analysis.phases import detect_phases
+from repro.analysis.report import overview_report
+from repro.core.microscopic import MicroscopicModel
+from repro.core.parameters import find_significant_parameters
+from repro.core.partition import Partition
+from repro.core.spatiotemporal import SpatiotemporalAggregator
+from repro.simulation.scenarios import case_a, case_c, run_scenario
+from repro.trace.io import read_csv, write_csv
+from repro.viz.ascii import render_partition_ascii
+from repro.viz.criteria_table import evaluate_overview_criteria
+from repro.viz.svg import render_visual_svg
+from repro.viz.visual import visual_aggregation
+
+
+@pytest.fixture(scope="module")
+def cg_pipeline(tmp_path_factory):
+    """Full pipeline on a scaled-down case A."""
+    scenario = case_a(iterations=20, n_processes=32)
+    trace = run_scenario(scenario)
+    path = tmp_path_factory.mktemp("cg") / "case_a.csv"
+    write_csv(trace, path)
+    loaded = read_csv(path, hierarchy=trace.hierarchy, states=trace.states)
+    loaded.metadata.update(trace.metadata)
+    model = MicroscopicModel.from_trace(loaded, n_slices=30)
+    aggregator = SpatiotemporalAggregator(model)
+    partition = aggregator.run(0.7)
+    return loaded, model, aggregator, partition
+
+
+class TestCGPipeline:
+    def test_partition_covers_grid(self, cg_pipeline):
+        _, model, _, partition = cg_pipeline
+        Partition(partition.aggregates, model)
+        assert 1 < partition.size < model.n_cells
+
+    def test_init_phase_detected(self, cg_pipeline):
+        _, model, _, partition = cg_pipeline
+        phases = detect_phases(partition, model)
+        assert phases[0].dominant_state == "MPI_Init"
+        assert phases[0].start_time == pytest.approx(model.slicing.start)
+
+    def test_injected_perturbation_recovered(self, cg_pipeline):
+        trace, model, _, _ = cg_pipeline
+        window = trace.metadata["perturbations"][0]
+        detected = detect_deviating_cells(model, threshold=0.1)
+        assert detected
+        slice_width = float(model.slicing.durations[0])
+        assert any(
+            match_window(w, window["start"], window["end"], tolerance=slice_width)
+            for w in detected
+        )
+
+    def test_significant_parameters_give_distinct_views(self, cg_pipeline):
+        _, _, aggregator, _ = cg_pipeline
+        values = find_significant_parameters(aggregator, max_depth=4)
+        assert len(values) >= 2
+        sizes = {aggregator.run(p).size for p in values}
+        assert len(sizes) >= 2
+
+    def test_overview_meets_measurable_criteria(self, cg_pipeline):
+        _, _, _, partition = cg_pipeline
+        verdict = evaluate_overview_criteria(partition, entity_budget=5000)
+        assert all(verdict.values())
+
+    def test_renderers_produce_output(self, cg_pipeline):
+        trace, model, _, partition = cg_pipeline
+        ascii_view = render_partition_ascii(partition, max_rows=16)
+        assert len(ascii_view.splitlines()) > 1
+        svg = render_visual_svg(partition, width=640, height=360)
+        assert svg.count("<rect") > 1
+        report = overview_report(trace, model, partition, detect_phases(partition, model))
+        assert "Analysis report" in report
+
+    def test_visual_aggregation_respects_entity_budget(self, cg_pipeline):
+        _, _, _, partition = cg_pipeline
+        result = visual_aggregation(partition, height_px=64, threshold_px=4.0)
+        assert result.n_items <= partition.size
+        # every drawn item is at least the threshold tall (or is the root)
+        px = 64 / partition.model.n_resources
+        assert all(
+            item.node.n_leaves * px >= 4.0 or item.node.parent is None
+            for item in result.items
+        )
+
+
+class TestLUPipeline:
+    def test_lu_multicluster_pipeline(self):
+        scenario = case_c(iterations=3, n_processes=56, platform_scale=0.08)
+        trace = run_scenario(scenario)
+        model = MicroscopicModel.from_trace(trace, n_slices=24)
+        partition = SpatiotemporalAggregator(model).run(0.7)
+        Partition(partition.aggregates, model)
+        phases = detect_phases(partition, model)
+        assert phases[0].dominant_state == "MPI_Init"
+        # All three clusters are present in the hierarchy.
+        clusters = {node.name for node in model.hierarchy.nodes_at_depth(1)}
+        assert clusters == {"graphene", "graphite", "griffon"}

@@ -1,0 +1,205 @@
+"""Tests for repro.platform (topology, network, Grid'5000 descriptions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.grid5000 import (
+    grenoble_site,
+    nancy_site,
+    rennes_parapide,
+    rennes_site,
+    site_for_case,
+)
+from repro.platform.network import LinkSpec, NetworkModel, PerturbationWindow
+from repro.platform.topology import (
+    ETHERNET_10G,
+    INFINIBAND_20G,
+    Cluster,
+    Machine,
+    NICType,
+    Platform,
+    PlatformError,
+)
+
+
+class TestTopology:
+    def test_cluster_uniform(self):
+        cluster = Cluster.uniform("c", 3, 4, INFINIBAND_20G)
+        assert cluster.n_machines == 3
+        assert cluster.n_cores == 12
+        assert cluster.machines[0].name == "c-1"
+
+    def test_cluster_validation(self):
+        with pytest.raises(PlatformError):
+            Cluster(name="c", machines=(), nic=INFINIBAND_20G)
+        with pytest.raises(PlatformError):
+            Cluster.uniform("c", 0, 4, INFINIBAND_20G)
+        with pytest.raises(PlatformError):
+            Cluster(
+                name="c",
+                machines=(Machine("m", 2), Machine("m", 2)),
+                nic=INFINIBAND_20G,
+            )
+
+    def test_machine_validation(self):
+        with pytest.raises(PlatformError):
+            Machine("m", 0)
+
+    def test_nic_validation(self):
+        with pytest.raises(PlatformError):
+            NICType("bad", bandwidth=0, latency=1e-6)
+
+    def test_platform_counts(self):
+        platform = Platform(
+            "site", (Cluster.uniform("a", 2, 4, INFINIBAND_20G), Cluster.uniform("b", 3, 2, ETHERNET_10G))
+        )
+        assert platform.n_clusters == 2
+        assert platform.n_machines == 5
+        assert platform.n_cores == 14
+        assert platform.cluster("a").n_cores == 8
+        with pytest.raises(PlatformError):
+            platform.cluster("z")
+
+    def test_platform_validation(self):
+        with pytest.raises(PlatformError):
+            Platform("site", ())
+        with pytest.raises(PlatformError):
+            Platform(
+                "site",
+                (Cluster.uniform("a", 1, 1, INFINIBAND_20G), Cluster.uniform("a", 1, 1, INFINIBAND_20G)),
+            )
+
+    def test_placement_block_order(self):
+        platform = Platform("site", (Cluster.uniform("a", 2, 2, INFINIBAND_20G),))
+        placements = platform.place(3)
+        assert [p.machine for p in placements] == ["a-1", "a-1", "a-2"]
+        assert [p.rank for p in placements] == [0, 1, 2]
+        assert placements[0].resource_name == "rank0"
+
+    def test_placement_capacity_check(self):
+        platform = Platform("site", (Cluster.uniform("a", 1, 2, INFINIBAND_20G),))
+        with pytest.raises(PlatformError):
+            platform.place(3)
+        with pytest.raises(PlatformError):
+            platform.place(0)
+
+    def test_hierarchy_from_placement(self):
+        platform = Platform("site", (Cluster.uniform("a", 2, 2, INFINIBAND_20G),))
+        hierarchy = platform.hierarchy(4)
+        assert hierarchy.n_leaves == 4
+        assert hierarchy.depth == 3
+        assert hierarchy.root.name == "site"
+        assert hierarchy.leaf_names == ("rank0", "rank1", "rank2", "rank3")
+
+    def test_describe(self):
+        text = rennes_parapide().describe()
+        assert "parapide" in text
+
+
+class TestGrid5000:
+    def test_case_a_platform(self):
+        platform = rennes_parapide()
+        assert platform.n_cores == 64
+        assert platform.n_clusters == 1
+
+    def test_case_b_platform(self):
+        platform = grenoble_site()
+        assert platform.n_cores == 512
+        assert {c.name for c in platform.clusters} == {"adonis", "edel", "genepi"}
+
+    def test_case_c_platform(self):
+        platform = nancy_site()
+        assert platform.n_cores >= 700
+        graphite = platform.cluster("graphite")
+        assert graphite.nic.name == "ethernet-10g"
+        assert graphite.machines[0].n_cores == 16
+        assert platform.cluster("graphene").machines[0].n_cores == 4
+
+    def test_case_d_platform(self):
+        platform = rennes_site()
+        assert platform.n_cores >= 900
+        assert platform.cluster("parapluie").machines[0].n_cores == 24
+
+    def test_site_for_case(self):
+        assert site_for_case("a").name == "rennes"
+        assert site_for_case("C").name == "nancy"
+        with pytest.raises(ValueError):
+            site_for_case("Z")
+
+
+class TestNetworkModel:
+    def make(self, perturbations=()):
+        platform = Platform(
+            "site",
+            (
+                Cluster.uniform("fast", 2, 2, INFINIBAND_20G),
+                Cluster.uniform("slow", 1, 4, ETHERNET_10G),
+            ),
+        )
+        placements = platform.place(8)
+        return platform, placements, NetworkModel(platform, placements, perturbations=perturbations)
+
+    def test_linkspec_validation(self):
+        with pytest.raises(PlatformError):
+            LinkSpec(latency=-1, bandwidth=1)
+        with pytest.raises(PlatformError):
+            LinkSpec(latency=0, bandwidth=0)
+        assert LinkSpec(1e-6, 1e9).transfer_time(1e6) == pytest.approx(1e-6 + 1e-3)
+
+    def test_intra_machine_is_fastest(self):
+        _, _, network = self.make()
+        same_machine = network.transfer_time(0, 1, 1e6)
+        same_cluster = network.transfer_time(0, 2, 1e6)
+        cross_cluster = network.transfer_time(0, 4, 1e6)
+        assert same_machine < same_cluster < cross_cluster
+
+    def test_ethernet_slower_than_infiniband(self):
+        _, _, network = self.make()
+        infiniband = network.transfer_time(0, 2, 1e6)  # fast-1 -> fast-2
+        ethernet = network.transfer_time(4, 5, 1e6)    # within slow-1? same machine
+        # ranks 4..7 are on the single slow machine, so compare cross-cluster paths
+        assert network.link(0, 4).bandwidth == ETHERNET_10G.bandwidth
+        assert infiniband < network.transfer_time(0, 4, 1e6)
+
+    def test_perturbation_window_behaviour(self):
+        window = PerturbationWindow(start=1.0, end=2.0, machines=frozenset({"fast-1"}), slowdown=10.0)
+        platform, placements, network = self.make(perturbations=[window])
+        quiet = network.transfer_time(0, 2, 1e6, time=0.5)
+        perturbed = network.transfer_time(0, 2, 1e6, time=1.5)
+        assert perturbed == pytest.approx(10.0 * quiet)
+        # Transfers not touching the perturbed machine are unaffected.
+        assert network.transfer_time(2, 4, 1e6, time=1.5) == pytest.approx(
+            network.transfer_time(2, 4, 1e6, time=0.5)
+        )
+
+    def test_perturbation_empty_machines_affects_all(self):
+        window = PerturbationWindow(start=0.0, end=1.0, slowdown=2.0)
+        _, _, network = self.make(perturbations=[window])
+        assert network.transfer_time(0, 2, 1e6, time=0.5) == pytest.approx(
+            2.0 * network.transfer_time(0, 2, 1e6, time=1.5)
+        )
+        assert network.perturbed_ranks() == set(range(8))
+
+    def test_perturbation_validation(self):
+        with pytest.raises(PlatformError):
+            PerturbationWindow(start=2.0, end=1.0)
+        with pytest.raises(PlatformError):
+            PerturbationWindow(start=0.0, end=1.0, slowdown=0.5)
+
+    def test_perturbed_ranks(self):
+        window = PerturbationWindow(start=0.0, end=1.0, machines=frozenset({"fast-2"}), slowdown=2.0)
+        _, placements, network = self.make(perturbations=[window])
+        assert network.perturbed_ranks() == {2, 3}
+
+    def test_unknown_rank(self):
+        _, _, network = self.make()
+        with pytest.raises(PlatformError):
+            network.transfer_time(0, 99, 10)
+
+    def test_helpers(self):
+        _, _, network = self.make()
+        assert network.same_machine(0, 1)
+        assert not network.same_machine(0, 2)
+        assert network.cluster_of(5) == "slow"
+        assert len(network.perturbations) == 0

@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the aggregation core."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.criteria import IntervalStatistics
+from repro.core.exhaustive import brute_force_optimum
+from repro.core.hierarchy import Hierarchy
+from repro.core.microscopic import MicroscopicModel
+from repro.core.partition import Partition
+from repro.core.spatiotemporal import SpatiotemporalAggregator
+from repro.trace.states import StateRegistry
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def model_strategy(max_resources: int = 8, max_slices: int = 8, max_states: int = 3):
+    """Random microscopic models with a balanced hierarchy."""
+
+    @st.composite
+    def build(draw):
+        n_resources = draw(st.integers(min_value=2, max_value=max_resources))
+        n_slices = draw(st.integers(min_value=2, max_value=max_slices))
+        n_states = draw(st.integers(min_value=1, max_value=max_states))
+        fanout = draw(st.sampled_from([2, 3]))
+        raw = draw(
+            arrays(
+                dtype=np.float64,
+                shape=(n_resources, n_slices, n_states),
+                elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            )
+        )
+        # Normalize so per-cell totals stay within [0, 1].
+        totals = raw.sum(axis=2, keepdims=True)
+        scale = np.where(totals > 1.0, totals, 1.0)
+        rho = raw / scale
+        hierarchy = Hierarchy.balanced(n_resources, fanout=fanout)
+        states = StateRegistry([f"s{i}" for i in range(n_states)])
+        return MicroscopicModel.from_proportions(rho, hierarchy, states)
+
+    return build()
+
+
+class TestCriteriaProperties:
+    @_SETTINGS
+    @given(model=model_strategy())
+    def test_mean_operator_loss_non_negative(self, model):
+        stats = IntervalStatistics(model, "mean")
+        for node in model.hierarchy.iter_nodes():
+            _, loss = stats.tables(node)
+            assert np.all(loss >= -1e-8)
+
+    @_SETTINGS
+    @given(model=model_strategy())
+    def test_sum_operator_gain_and_loss_non_negative(self, model):
+        stats = IntervalStatistics(model, "sum")
+        for node in model.hierarchy.iter_nodes():
+            gain, loss = stats.tables(node)
+            assert np.all(gain >= -1e-8)
+            assert np.all(loss >= -1e-8)
+
+    @_SETTINGS
+    @given(model=model_strategy())
+    def test_singleton_cells_have_zero_criteria(self, model):
+        stats = IntervalStatistics(model)
+        for leaf in model.hierarchy.leaves[:3]:
+            gain, loss = stats.tables(leaf)
+            diag = np.arange(model.n_slices)
+            assert np.allclose(gain[diag, diag], 0.0, atol=1e-9)
+            assert np.allclose(loss[diag, diag], 0.0, atol=1e-9)
+
+
+class TestAggregationProperties:
+    @_SETTINGS
+    @given(model=model_strategy(), p=st.floats(min_value=0.0, max_value=1.0))
+    def test_partition_is_always_a_valid_cover(self, model, p):
+        partition = SpatiotemporalAggregator(model).run(p)
+        # Explicit re-validation of the disjoint-cover property.
+        Partition(partition.aggregates, model)
+
+    @_SETTINGS
+    @given(model=model_strategy())
+    def test_p_one_is_always_the_full_aggregation_with_sum_operator(self, model):
+        """With the canonical sum operator the gain is superadditive, so at
+        p = 1 the root aggregate is always an optimal partition.  (With the
+        paper's mean operator, Eq. 3 taken literally can yield a negative gain
+        for extremely heterogeneous areas, in which case the optimum may stay
+        finer — the library follows the paper's equations.)"""
+        partition = SpatiotemporalAggregator(model, operator="sum").run(1.0)
+        assert partition.size == 1
+
+    @_SETTINGS
+    @given(model=model_strategy())
+    def test_p_zero_has_no_information_loss(self, model):
+        partition = SpatiotemporalAggregator(model).run(0.0)
+        assert partition.loss() <= 1e-6
+
+    @_SETTINGS
+    @given(model=model_strategy(), p=st.floats(min_value=0.0, max_value=1.0))
+    def test_optimum_dominates_trivial_partitions(self, model, p):
+        stats = IntervalStatistics(model)
+        aggregator = SpatiotemporalAggregator(model, stats=stats)
+        optimum = aggregator.optimal_pic(p)
+        for trivial in (Partition.microscopic(model, stats), Partition.full(model, stats)):
+            value = sum(
+                p * stats.gain(a.node, a.i, a.j) - (1 - p) * stats.loss(a.node, a.i, a.j)
+                for a in trivial
+            )
+            assert optimum >= value - 1e-8
+
+    @_SETTINGS
+    @given(
+        model=model_strategy(max_resources=4, max_slices=4, max_states=2),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_matches_brute_force_oracle(self, model, p):
+        aggregator = SpatiotemporalAggregator(model, epsilon=0.0)
+        best_value, _ = brute_force_optimum(model, p)
+        assert aggregator.optimal_pic(p) == pytest.approx(best_value, abs=1e-8)
+
+    @_SETTINGS
+    @given(model=model_strategy())
+    def test_partition_size_monotone_in_p(self, model):
+        aggregator = SpatiotemporalAggregator(model)
+        sizes = [aggregator.run(p).size for p in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))

@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the trace substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.microscopic import MicroscopicModel
+from repro.core.timeslicing import TimeSlicing
+from repro.trace.events import StateInterval
+from repro.trace.io import read_csv, write_csv
+from repro.trace.trace import Trace
+
+_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_piece_strategy = st.tuples(
+    st.sampled_from(["r0", "r1", "r2"]),
+    st.sampled_from(["send", "recv", "wait"]),
+    st.floats(min_value=0.001, max_value=10.0, allow_nan=False),  # busy width
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),     # idle gap
+)
+
+
+@st.composite
+def interval_list_strategy(draw, min_size=1, max_size=40):
+    """Non-overlapping per-resource state intervals (what a real tracer emits)."""
+    pieces = draw(st.lists(_piece_strategy, min_size=min_size, max_size=max_size))
+    cursors = {"r0": 0.0, "r1": 0.0, "r2": 0.0}
+    intervals = []
+    for resource, state, width, gap in pieces:
+        start = cursors[resource] + gap
+        end = start + width
+        cursors[resource] = end
+        intervals.append(StateInterval(start=start, end=end, resource=resource, state=state))
+    return intervals
+
+
+class TestTraceProperties:
+    @_SETTINGS
+    @given(intervals=interval_list_strategy())
+    def test_csv_roundtrip_preserves_every_interval(self, tmp_path_factory, intervals):
+        hierarchy = Hierarchy.flat(["r0", "r1", "r2"])
+        trace = Trace(intervals, hierarchy)
+        path = tmp_path_factory.mktemp("csv") / "trace.csv"
+        write_csv(trace, path)
+        loaded = read_csv(path, hierarchy=hierarchy)
+        assert loaded.n_intervals == trace.n_intervals
+        for original, reloaded in zip(trace.intervals, loaded.intervals):
+            assert reloaded.resource == original.resource
+            assert reloaded.state == original.state
+            assert reloaded.start == pytest.approx(original.start, rel=1e-6, abs=1e-9)
+            assert reloaded.end == pytest.approx(original.end, rel=1e-6, abs=1e-9)
+
+    @_SETTINGS
+    @given(
+        intervals=interval_list_strategy(),
+        n_slices=st.integers(min_value=1, max_value=40),
+    )
+    def test_microscopic_model_preserves_total_state_time(self, intervals, n_slices):
+        """Projecting intervals on slices must neither create nor lose time
+        (up to clipping at the observed span)."""
+        hierarchy = Hierarchy.flat(["r0", "r1", "r2"])
+        trace = Trace(intervals, hierarchy)
+        if trace.duration <= 0:
+            return
+        model = MicroscopicModel.from_trace(trace, n_slices=n_slices)
+        assert model.durations.sum() == pytest.approx(
+            sum(iv.duration for iv in trace.intervals), rel=1e-9, abs=1e-9
+        )
+
+    @_SETTINGS
+    @given(
+        start=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        span=st.floats(min_value=0.1, max_value=1000, allow_nan=False),
+        n_slices=st.integers(min_value=1, max_value=100),
+    )
+    def test_regular_slicing_durations_sum_to_span(self, start, span, n_slices):
+        slicing = TimeSlicing.regular(start, start + span, n_slices)
+        assert slicing.durations.sum() == pytest.approx(span, rel=1e-9)
+        assert np.all(slicing.durations > 0)
+
+    @_SETTINGS
+    @given(
+        bounds=st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ),
+        n_slices=st.integers(min_value=1, max_value=50),
+    )
+    def test_overlaps_never_exceed_interval_length(self, bounds, n_slices):
+        lo, hi = sorted(bounds)
+        slicing = TimeSlicing.regular(0.0, 100.0, n_slices)
+        overlaps = slicing.overlaps(lo, hi)
+        total = sum(d for _, d in overlaps)
+        assert total <= (hi - lo) + 1e-9
+        for index, duration in overlaps:
+            assert 0 <= index < n_slices
+            assert duration > 0

@@ -1,0 +1,218 @@
+"""Tests for the NAS CG / LU skeletons and the scenario harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.microscopic import MicroscopicModel
+from repro.platform.grid5000 import rennes_parapide
+from repro.platform.network import NetworkModel
+from repro.simulation.applications.cg import CGConfig, cg_program
+from repro.simulation.applications.lu import LUConfig, lu_grid_shape, lu_program
+from repro.simulation.mpi import MPISimulator
+from repro.simulation.scenarios import (
+    PerturbationSpec,
+    Scenario,
+    all_cases,
+    case_a,
+    case_b,
+    case_c,
+    case_d,
+    prepare_scenario,
+    run_scenario,
+)
+
+
+class TestConfigs:
+    def test_cg_config_validation(self):
+        with pytest.raises(ValueError):
+            CGConfig(n_processes=0)
+        with pytest.raises(ValueError):
+            CGConfig(n_processes=4, iterations=0)
+        with pytest.raises(ValueError):
+            CGConfig(n_processes=4, nas_class="Z")
+
+    def test_cg_class_scaling(self):
+        c = CGConfig(n_processes=4, nas_class="C")
+        b = CGConfig(n_processes=4, nas_class="B")
+        assert b.scaled_compute < c.scaled_compute
+        assert b.scaled_exchange < c.scaled_exchange
+
+    def test_lu_config_validation(self):
+        with pytest.raises(ValueError):
+            LUConfig(n_processes=0)
+        with pytest.raises(ValueError):
+            LUConfig(n_processes=4, pipeline_depth=0)
+        with pytest.raises(ValueError):
+            LUConfig(n_processes=4, allreduce_every=0)
+
+    def test_lu_grid_shape(self):
+        assert lu_grid_shape(16) == (4, 4)
+        assert lu_grid_shape(12) == (3, 4)
+        assert lu_grid_shape(7) == (1, 7)
+        assert lu_grid_shape(700) == (25, 28)
+        with pytest.raises(ValueError):
+            lu_grid_shape(0)
+
+
+def run_cg(n_processes=16, iterations=3, **kwargs):
+    platform = rennes_parapide()
+    placements = platform.place(n_processes)
+    network = NetworkModel(platform, placements)
+    config = CGConfig(n_processes=n_processes, iterations=iterations, **kwargs)
+    sim = MPISimulator(network, placements)
+    programs = {p.rank: cg_program(sim.rank(p.rank), config, placements) for p in placements}
+    sim.run(programs)
+    return sim.build_trace(platform.hierarchy(placements)), placements
+
+
+def run_lu(n_processes=16, iterations=2, **kwargs):
+    platform = rennes_parapide()
+    placements = platform.place(n_processes)
+    network = NetworkModel(platform, placements)
+    config = LUConfig(n_processes=n_processes, iterations=iterations, **kwargs)
+    sim = MPISimulator(network, placements)
+    programs = {p.rank: lu_program(sim.rank(p.rank), config, placements) for p in placements}
+    sim.run(programs)
+    return sim.build_trace(platform.hierarchy(placements)), placements
+
+
+class TestCGSkeleton:
+    def test_runs_to_completion(self):
+        trace, _ = run_cg()
+        assert trace.n_intervals > 0
+        states = {iv.state for iv in trace.intervals}
+        assert {"MPI_Init", "MPI_Send", "MPI_Wait", "MPI_Finalize"} <= states
+
+    def test_every_rank_traced(self):
+        trace, placements = run_cg()
+        resources = {iv.resource for iv in trace.intervals}
+        assert resources == {p.resource_name for p in placements}
+
+    def test_machine_leaders_are_wait_dominated(self):
+        """One process per machine is MPI_Wait-dominated, the others MPI_Send-dominated
+        (within the computation phase, i.e. excluding MPI_Init / Finalize)."""
+        trace, placements = run_cg(iterations=5)
+        model = MicroscopicModel.from_trace(trace, n_slices=20)
+        wait = model.states.index("MPI_Wait")
+        send = model.states.index("MPI_Send")
+        leaders = set()
+        by_machine = {}
+        for p in placements:
+            by_machine.setdefault(p.machine, []).append(p.rank)
+        for ranks in by_machine.values():
+            leaders.add(min(ranks))
+        for rank in range(len(placements)):
+            totals = model.durations[rank].sum(axis=0)
+            if rank in leaders:
+                assert totals[wait] > totals[send]
+            else:
+                assert totals[send] > totals[wait]
+
+    def test_compute_not_recorded_by_default(self):
+        trace, _ = run_cg()
+        assert all(iv.state != "Compute" for iv in trace.intervals)
+
+    def test_compute_recorded_when_requested(self):
+        trace, _ = run_cg(record_compute=True)
+        assert any(iv.state == "Compute" for iv in trace.intervals)
+
+    def test_single_process_degenerate_case(self):
+        trace, _ = run_cg(n_processes=1, iterations=2)
+        assert trace.n_intervals > 0
+
+
+class TestLUSkeleton:
+    def test_runs_to_completion(self):
+        trace, _ = run_lu()
+        states = {iv.state for iv in trace.intervals}
+        assert {"MPI_Init", "MPI_Recv", "MPI_Send", "MPI_Allreduce", "MPI_Finalize"} <= states
+
+    def test_every_rank_traced(self):
+        trace, placements = run_lu()
+        resources = {iv.resource for iv in trace.intervals}
+        assert resources == {p.resource_name for p in placements}
+
+    def test_wavefront_serialization(self):
+        """Interior ranks exchange with four neighbours, corner ranks with two,
+        and every non-origin rank spends a noticeable time blocked in MPI_Recv
+        waiting for the wavefront."""
+        trace, placements = run_lu(n_processes=16, iterations=2)
+        recv_count = {p.resource_name: 0 for p in placements}
+        recv_time = {p.resource_name: 0.0 for p in placements}
+        for iv in trace.intervals:
+            if iv.state == "MPI_Recv":
+                recv_count[iv.resource] += 1
+                recv_time[iv.resource] += iv.duration
+        # rank5 is interior of the 4x4 grid, rank0 the origin corner.
+        assert recv_count["rank5"] > recv_count["rank0"]
+        assert recv_time["rank5"] > 0
+
+    def test_non_square_process_count(self):
+        trace, _ = run_lu(n_processes=12, iterations=1)
+        assert trace.n_intervals > 0
+
+
+class TestScenarios:
+    def test_perturbation_spec_validation(self):
+        with pytest.raises(ValueError):
+            PerturbationSpec(start_fraction=0.5, end_fraction=0.4)
+        with pytest.raises(ValueError):
+            PerturbationSpec(start_fraction=0.1, end_fraction=0.2, n_machines=0)
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(
+                name="x", case="X", application="mm", nas_class="C", n_processes=4,
+                platform_factory=rennes_parapide, iterations=1,
+            )
+
+    def test_all_cases_match_paper_settings(self):
+        cases = all_cases()
+        assert cases["A"].n_processes == 64
+        assert cases["B"].n_processes == 512
+        assert cases["C"].n_processes == 700
+        assert cases["D"].n_processes == 900
+        assert cases["A"].application == "cg"
+        assert cases["C"].application == "lu"
+        assert cases["D"].nas_class == "B"
+        assert cases["C"].platform_factory().name == "nancy"
+
+    def test_scaled_copy(self):
+        small = case_a().scaled(processes=8, iterations=2)
+        assert small.n_processes == 8
+        assert small.iterations == 2
+        assert small.case == "A"
+
+    def test_prepare_scenario_builds_windows_inside_run(self):
+        prepared = prepare_scenario(case_a(iterations=10, n_processes=16))
+        assert len(prepared.perturbation_windows) == 1
+        window = prepared.perturbation_windows[0]
+        assert 0 < window.start < window.end <= prepared.estimated_duration
+        assert all(m.startswith("parapide") for m in window.machines)
+
+    def test_run_scenario_metadata(self):
+        trace = run_scenario(case_a(iterations=4, n_processes=16))
+        assert trace.metadata["case"] == "A"
+        assert trace.metadata["application"] == "CG"
+        assert trace.metadata["site"] == "rennes"
+        assert len(trace.metadata["perturbations"]) == 1
+        assert trace.hierarchy.n_leaves == 16
+        assert trace.n_intervals > 0
+
+    def test_run_scenario_case_c_scaled(self):
+        trace = run_scenario(case_c(iterations=2, n_processes=24))
+        assert trace.metadata["application"] == "LU"
+        clusters = trace.metadata["clusters"]
+        assert set(clusters) == {"graphene", "graphite", "griffon"}
+
+    def test_case_b_and_d_have_no_perturbation(self):
+        assert case_b().perturbations == ()
+        assert case_d().perturbations == ()
+
+    def test_run_scenario_deterministic(self):
+        scenario = case_a(iterations=3, n_processes=16)
+        a = run_scenario(scenario)
+        b = run_scenario(scenario)
+        assert a.n_intervals == b.n_intervals
+        assert a.duration == pytest.approx(b.duration)

@@ -1,0 +1,210 @@
+"""Tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.engine import Channel, Environment, Event, SimulationError, all_of
+
+
+class TestEnvironment:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(2.0)
+            log.append(env.now)
+            yield env.timeout(3.0)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [2.0, 5.0]
+
+    def test_processes_interleave_in_time_order(self):
+        env = Environment()
+        log = []
+
+        def proc(name, delay):
+            yield env.timeout(delay)
+            log.append(name)
+
+        env.process(proc("slow", 5.0))
+        env.process(proc("fast", 1.0))
+        env.run()
+        assert log == ["fast", "slow"]
+
+    def test_run_until(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(10.0)
+
+        env.process(proc())
+        reached = env.run(until=3.0)
+        assert reached == 3.0
+        assert not env.all_finished()
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_step_without_events(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_process_completion_value(self):
+        env = Environment()
+
+        def inner():
+            yield env.timeout(1.0)
+            return 42
+
+        def outer(results):
+            value = yield env.process(inner())
+            results.append(value)
+
+        results = []
+        env.process(outer(results))
+        env.run()
+        assert results == [42]
+
+    def test_yielding_non_event_fails(self):
+        env = Environment()
+
+        def bad():
+            yield "nope"
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_all_finished(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run()
+        assert env.all_finished()
+
+    def test_event_value_passed_to_process(self):
+        env = Environment()
+        received = []
+
+        def proc():
+            value = yield env.timeout(1.0, value="hello")
+            received.append(value)
+
+        env.process(proc())
+        env.run()
+        assert received == ["hello"]
+
+    def test_max_events(self):
+        env = Environment()
+
+        def proc():
+            for _ in range(10):
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run(max_events=3)
+        assert env.pending_events > 0
+
+
+class TestChannel:
+    def test_put_then_get(self):
+        env = Environment()
+        channel = Channel(env)
+        received = []
+
+        def consumer():
+            item = yield channel.get()
+            received.append(item)
+
+        channel.put("x")
+        env.process(consumer())
+        env.run()
+        assert received == ["x"]
+        assert channel.n_items == 0
+
+    def test_get_then_put_wakes_consumer(self):
+        env = Environment()
+        channel = Channel(env)
+        received = []
+
+        def consumer():
+            item = yield channel.get()
+            received.append((item, env.now))
+
+        def producer():
+            yield env.timeout(3.0)
+            channel.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert received == [("late", 3.0)]
+
+    def test_fifo_order(self):
+        env = Environment()
+        channel = Channel(env)
+        received = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield channel.get()
+                received.append(item)
+
+        for item in (1, 2, 3):
+            channel.put(item)
+        env.process(consumer())
+        env.run()
+        assert received == [1, 2, 3]
+
+    def test_n_waiting(self):
+        env = Environment()
+        channel = Channel(env)
+
+        def consumer():
+            yield channel.get()
+
+        env.process(consumer())
+        env.run()
+        assert channel.n_waiting == 1
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        env = Environment()
+        finished = []
+
+        def waiter():
+            values = yield all_of(env, [env.timeout(1.0, value="a"), env.timeout(4.0, value="b")])
+            finished.append((env.now, values))
+
+        env.process(waiter())
+        env.run()
+        assert finished == [(4.0, ["a", "b"])]
+
+    def test_empty_list(self):
+        env = Environment()
+        finished = []
+
+        def waiter():
+            values = yield all_of(env, [])
+            finished.append(values)
+
+        env.process(waiter())
+        env.run()
+        assert finished == [[]]

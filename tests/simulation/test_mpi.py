@@ -1,0 +1,222 @@
+"""Tests for the simulated MPI layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.network import NetworkModel, PerturbationWindow
+from repro.platform.topology import Cluster, INFINIBAND_20G, Platform
+from repro.simulation.mpi import MPISimulator, SimulationError, simulate_application
+
+
+def make_network(n_machines=2, cores=2, perturbations=()):
+    platform = Platform("site", (Cluster.uniform("c", n_machines, cores, INFINIBAND_20G),))
+    placements = platform.place(n_machines * cores)
+    network = NetworkModel(platform, placements, perturbations=perturbations)
+    return platform, placements, network
+
+
+class TestPrimitives:
+    def test_send_recv_records_states(self):
+        platform, placements, network = make_network()
+        sim = MPISimulator(network, placements)
+
+        def sender(ctx):
+            yield from ctx.send(1, 1e6)
+
+        def receiver(ctx):
+            yield from ctx.recv(0)
+
+        def idle(ctx):
+            yield from ctx.compute(0.001)
+
+        programs = {0: sender(sim.rank(0)), 1: receiver(sim.rank(1)),
+                    2: idle(sim.rank(2)), 3: idle(sim.rank(3))}
+        sim.run(programs)
+        trace = sim.build_trace(platform.hierarchy(placements))
+        states = {iv.state for iv in trace.intervals}
+        assert "MPI_Send" in states
+        assert "MPI_Recv" in states
+
+    def test_recv_blocks_until_arrival(self):
+        platform, placements, network = make_network()
+        sim = MPISimulator(network, placements)
+        recv_duration = {}
+
+        def sender(ctx):
+            yield from ctx.compute(0.5)  # receiver waits during this
+            yield from ctx.send(1, 1e6)
+
+        def receiver(ctx):
+            start = ctx.sim.env.now
+            yield from ctx.recv(0)
+            recv_duration["value"] = ctx.sim.env.now - start
+
+        def idle(ctx):
+            yield from ctx.compute(0.001)
+
+        sim.run({0: sender(sim.rank(0)), 1: receiver(sim.rank(1)),
+                 2: idle(sim.rank(2)), 3: idle(sim.rank(3))})
+        assert recv_duration["value"] >= 0.45  # roughly the sender's compute time
+
+    def test_wait_records_wait_state(self):
+        platform, placements, network = make_network()
+        sim = MPISimulator(network, placements)
+
+        def sender(ctx):
+            yield from ctx.compute(0.1)
+            yield from ctx.send(1, 1000)
+
+        def waiter(ctx):
+            yield from ctx.wait(0)
+
+        def idle(ctx):
+            yield from ctx.compute(0.001)
+
+        sim.run({0: sender(sim.rank(0)), 1: waiter(sim.rank(1)),
+                 2: idle(sim.rank(2)), 3: idle(sim.rank(3))})
+        trace = sim.build_trace(platform.hierarchy(placements))
+        waits = [iv for iv in trace.intervals if iv.state == "MPI_Wait"]
+        assert len(waits) == 1
+        assert waits[0].duration >= 0.05
+
+    def test_allreduce_synchronizes(self):
+        platform, placements, network = make_network()
+        sim = MPISimulator(network, placements)
+        completion_times = {}
+
+        def program(ctx, delay):
+            def body():
+                yield from ctx.compute(delay)
+                yield from ctx.allreduce(1e4)
+                completion_times[ctx.rank] = ctx.sim.env.now
+            return body()
+
+        sim.run({r: program(sim.rank(r), 0.1 * (r + 1)) for r in range(4)})
+        values = list(completion_times.values())
+        assert max(values) - min(values) < 1e-9
+        # The slowest participant (0.4 s of compute, +/- jitter) gates everyone.
+        assert min(values) >= 0.35
+
+    def test_compute_jitter_is_deterministic(self):
+        platform, placements, network = make_network()
+        durations = []
+        for _ in range(2):
+            sim = MPISimulator(network, placements, seed=3)
+
+            def program(ctx):
+                yield from ctx.compute(1.0)
+
+            def idle(ctx):
+                yield from ctx.compute(0.001)
+
+            sim.run({0: program(sim.rank(0)), 1: idle(sim.rank(1)),
+                     2: idle(sim.rank(2)), 3: idle(sim.rank(3))})
+            durations.append(sim.env.now)
+        assert durations[0] == pytest.approx(durations[1])
+
+    def test_unrecorded_compute_leaves_no_state(self):
+        platform, placements, network = make_network()
+        sim = MPISimulator(network, placements)
+
+        def program(ctx):
+            yield from ctx.compute(0.5, record=False)
+            yield from ctx.finalize()
+
+        def other(ctx):
+            yield from ctx.finalize()
+
+        sim.run({0: program(sim.rank(0)), 1: other(sim.rank(1)),
+                 2: other(sim.rank(2)), 3: other(sim.rank(3))})
+        trace = sim.build_trace(platform.hierarchy(placements))
+        assert all(iv.state != "Compute" for iv in trace.intervals)
+
+    def test_negative_compute_rejected(self):
+        _, placements, network = make_network()
+        sim = MPISimulator(network, placements)
+
+        def program(ctx):
+            yield from ctx.compute(-1.0)
+
+        def idle(ctx):
+            yield from ctx.compute(0.001)
+
+        programs = {0: program(sim.rank(0)), 1: idle(sim.rank(1)),
+                    2: idle(sim.rank(2)), 3: idle(sim.rank(3))}
+        with pytest.raises(SimulationError):
+            sim.run(programs)
+
+    def test_deadlock_detection(self):
+        _, placements, network = make_network()
+        sim = MPISimulator(network, placements)
+
+        def stuck(ctx):
+            yield from ctx.recv(3)  # never sent
+
+        def idle(ctx):
+            yield from ctx.compute(0.001)
+
+        programs = {0: stuck(sim.rank(0)), 1: idle(sim.rank(1)),
+                    2: idle(sim.rank(2)), 3: idle(sim.rank(3))}
+        with pytest.raises(SimulationError):
+            sim.run(programs)
+
+    def test_rank_validation(self):
+        _, placements, network = make_network()
+        sim = MPISimulator(network, placements)
+        with pytest.raises(SimulationError):
+            sim.rank(99)
+
+    def test_program_count_validation(self):
+        _, placements, network = make_network()
+        sim = MPISimulator(network, placements)
+        with pytest.raises(SimulationError):
+            sim.run({0: iter(())})
+
+
+class TestPerturbationEffect:
+    def test_perturbation_inflates_send_duration(self):
+        window = PerturbationWindow(start=0.0, end=100.0, machines=frozenset({"c-1"}), slowdown=20.0)
+        platform, placements, _ = make_network()
+        quiet_network = NetworkModel(platform, placements)
+        noisy_network = NetworkModel(platform, placements, perturbations=[window])
+
+        def run(network):
+            sim = MPISimulator(network, placements)
+
+            def sender(ctx):
+                yield from ctx.send(2, 1e7)  # to the other machine
+
+            def receiver(ctx):
+                yield from ctx.recv(0)
+
+            def idle(ctx):
+                yield from ctx.compute(0.001)
+
+            sim.run({0: sender(sim.rank(0)), 2: receiver(sim.rank(2)),
+                     1: idle(sim.rank(1)), 3: idle(sim.rank(3))})
+            trace = sim.build_trace(platform.hierarchy(placements))
+            return [iv for iv in trace.intervals if iv.state == "MPI_Send"][0].duration
+
+        assert run(noisy_network) == pytest.approx(20.0 * run(quiet_network), rel=1e-6)
+
+
+class TestSimulateApplication:
+    def test_simulate_application_wrapper(self):
+        platform, placements, network = make_network()
+
+        def factory(ctx):
+            def program():
+                yield from ctx.init(0.05)
+                yield from ctx.allreduce(1e3)
+                yield from ctx.finalize()
+            return program()
+
+        trace = simulate_application(
+            network, placements, factory, hierarchy=platform.hierarchy(placements),
+            metadata={"app": "demo"},
+        )
+        assert trace.metadata["app"] == "demo"
+        assert trace.metadata["n_processes"] == 4
+        assert {iv.state for iv in trace.intervals} == {"MPI_Init", "MPI_Allreduce", "MPI_Finalize"}
+        assert trace.hierarchy.n_leaves == 4

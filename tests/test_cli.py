@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "--output", "t.csv"])
+        assert args.case == "A"
+        assert args.output == "t.csv"
+        assert args.platform_scale == 1.0
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze", "t.csv"])
+        assert args.slices == 30
+        assert args.parameter == 0.7
+        assert args.operator == "mean"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--case", "Z", "--output", "t.csv"])
+
+
+class TestCommands:
+    def test_simulate_then_analyze(self, tmp_path, capsys):
+        trace_path = tmp_path / "case_a.csv"
+        meta_path = tmp_path / "case_a.json"
+        code = main([
+            "simulate", "--case", "A", "--processes", "16", "--iterations", "6",
+            "--platform-scale", "0.25",
+            "--output", str(trace_path), "--metadata", str(meta_path),
+        ])
+        assert code == 0
+        assert trace_path.exists()
+        assert meta_path.exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        svg_path = tmp_path / "overview.svg"
+        code = main([
+            "analyze", str(trace_path), "--slices", "20", "-p", "0.6",
+            "--svg", str(svg_path), "--ascii",
+        ])
+        assert code == 0
+        assert svg_path.exists()
+        out = capsys.readouterr().out
+        assert "Analysis report" in out
+        assert "aggregates" in out
+
+    def test_analyze_rejects_bad_parameter(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.csv"
+        main([
+            "simulate", "--case", "A", "--processes", "8", "--iterations", "2",
+            "--platform-scale", "0.25", "--output", str(trace_path),
+        ])
+        capsys.readouterr()
+        assert main(["analyze", str(trace_path), "-p", "1.5"]) == 2
+
+    def test_analyze_sum_operator(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.csv"
+        main([
+            "simulate", "--case", "A", "--processes", "8", "--iterations", "3",
+            "--platform-scale", "0.25", "--output", str(trace_path),
+        ])
+        capsys.readouterr()
+        assert main(["analyze", str(trace_path), "--operator", "sum", "--slices", "12"]) == 0
+        assert "Analysis report" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Tests for repro.trace.events and repro.trace.states."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.events import ENTER, LEAVE, POINT, Event, EventError, StateInterval
+from repro.trace.states import MPI_STATES, StateRegistry, StateRegistryError, mpi_state_registry
+
+
+class TestEvent:
+    def test_valid_event(self):
+        event = Event(1.5, "rank0", ENTER, "MPI_Send", {"size": 128})
+        assert event.timestamp == 1.5
+        assert event.metadata["size"] == 128
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(EventError):
+            Event(0.0, "rank0", "begin", "MPI_Send")
+
+    def test_rejects_nan_timestamp(self):
+        with pytest.raises(EventError):
+            Event(float("nan"), "rank0", ENTER, "MPI_Send")
+
+    def test_rejects_empty_fields(self):
+        with pytest.raises(EventError):
+            Event(0.0, "", ENTER, "MPI_Send")
+        with pytest.raises(EventError):
+            Event(0.0, "rank0", LEAVE, "")
+
+    def test_point_kind_allowed(self):
+        assert Event(0.0, "rank0", POINT, "marker").kind == POINT
+
+
+class TestStateInterval:
+    def test_duration(self):
+        interval = StateInterval(1.0, 3.5, "rank0", "Compute")
+        assert interval.duration == pytest.approx(2.5)
+
+    def test_zero_length_allowed(self):
+        assert StateInterval(1.0, 1.0, "rank0", "Compute").duration == 0.0
+
+    def test_rejects_reversed_bounds(self):
+        with pytest.raises(EventError):
+            StateInterval(2.0, 1.0, "rank0", "Compute")
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(EventError):
+            StateInterval(0.0, float("inf"), "rank0", "Compute")
+
+    def test_rejects_empty_resource_or_state(self):
+        with pytest.raises(EventError):
+            StateInterval(0.0, 1.0, "", "Compute")
+        with pytest.raises(EventError):
+            StateInterval(0.0, 1.0, "rank0", "")
+
+    def test_overlaps(self):
+        interval = StateInterval(1.0, 3.0, "r", "s")
+        assert interval.overlaps(2.0, 4.0)
+        assert not interval.overlaps(3.0, 4.0)
+        assert not interval.overlaps(0.0, 1.0)
+
+    def test_clipped(self):
+        interval = StateInterval(1.0, 3.0, "r", "s")
+        clipped = interval.clipped(2.0, 5.0)
+        assert clipped is not None
+        assert (clipped.start, clipped.end) == (2.0, 3.0)
+        assert interval.clipped(4.0, 5.0) is None
+
+    def test_shifted(self):
+        interval = StateInterval(1.0, 3.0, "r", "s").shifted(2.0)
+        assert (interval.start, interval.end) == (3.0, 5.0)
+
+    def test_ordering(self):
+        a = StateInterval(1.0, 2.0, "r", "s")
+        b = StateInterval(0.5, 2.0, "r", "s")
+        assert sorted([a, b])[0] is b
+
+
+class TestStateRegistry:
+    def test_add_and_lookup(self):
+        registry = StateRegistry()
+        assert registry.add("work") == 0
+        assert registry.add("wait") == 1
+        assert registry.add("work") == 0  # idempotent
+        assert registry.index("wait") == 1
+        assert registry.name(0) == "work"
+        assert len(registry) == 2
+
+    def test_unknown_state(self):
+        registry = StateRegistry(["a"])
+        with pytest.raises(StateRegistryError):
+            registry.index("b")
+        with pytest.raises(StateRegistryError):
+            registry.name(5)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(StateRegistryError):
+            StateRegistry().add("")
+
+    def test_colors_default_cycle(self):
+        registry = StateRegistry(["a", "b"])
+        assert registry.color("a") != registry.color("b")
+        assert registry.color(0) == registry.color("a")
+
+    def test_explicit_colors(self):
+        registry = StateRegistry(["a"], colors={"a": "#123456"})
+        assert registry.color("a") == "#123456"
+
+    def test_copy_is_independent(self):
+        registry = StateRegistry(["a"])
+        clone = registry.copy()
+        clone.add("b")
+        assert "b" not in registry
+        assert "b" in clone
+
+    def test_equality_and_iteration(self):
+        assert StateRegistry(["a", "b"]) == StateRegistry(["a", "b"])
+        assert StateRegistry(["a"]) != StateRegistry(["b"])
+        assert list(StateRegistry(["a", "b"])) == ["a", "b"]
+
+    def test_mpi_registry(self):
+        registry = mpi_state_registry()
+        assert set(MPI_STATES) <= set(registry.names)
+        assert registry.color("MPI_Wait") == MPI_STATES["MPI_Wait"]

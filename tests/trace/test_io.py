@@ -1,0 +1,156 @@
+"""Tests for repro.trace.io (CSV and Pajé-like formats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.trace.events import StateInterval
+from repro.trace.io import (
+    TraceIOError,
+    csv_size_bytes,
+    read_csv,
+    read_metadata,
+    read_paje,
+    write_csv,
+    write_metadata,
+    write_paje,
+)
+from repro.trace.synthetic import figure3_trace
+from repro.trace.trace import Trace
+
+
+def hierarchical_trace() -> Trace:
+    hierarchy = Hierarchy.from_paths(
+        [("cl", "m0", "r0"), ("cl", "m0", "r1"), ("cl", "m1", "r2")]
+    )
+    intervals = [
+        StateInterval(0.0, 1.0, "r0", "work"),
+        StateInterval(0.5, 2.0, "r1", "wait"),
+        StateInterval(0.0, 2.0, "r2", "work"),
+    ]
+    return Trace(intervals, hierarchy, metadata={"case": "io"})
+
+
+class TestCSV:
+    def test_roundtrip_preserves_intervals(self, tmp_path):
+        trace = hierarchical_trace()
+        path = tmp_path / "trace.csv"
+        size = write_csv(trace, path)
+        assert size == path.stat().st_size
+        loaded = read_csv(path)
+        assert loaded.n_intervals == trace.n_intervals
+        assert loaded.intervals == trace.intervals
+
+    def test_roundtrip_preserves_hierarchy_structure(self, tmp_path):
+        trace = hierarchical_trace()
+        path = tmp_path / "trace.csv"
+        write_csv(trace, path)
+        loaded = read_csv(path)
+        assert loaded.hierarchy.leaf_names == trace.hierarchy.leaf_names
+        assert loaded.hierarchy.depth == trace.hierarchy.depth
+
+    def test_roundtrip_with_explicit_hierarchy(self, tmp_path):
+        trace = hierarchical_trace()
+        path = tmp_path / "trace.csv"
+        write_csv(trace, path)
+        loaded = read_csv(path, hierarchy=trace.hierarchy, states=trace.states)
+        assert loaded.hierarchy is trace.hierarchy
+        assert loaded.states.names[: len(trace.states)] == trace.states.names
+
+    def test_csv_size_bytes_matches_file(self, tmp_path):
+        trace = figure3_trace()
+        path = tmp_path / "trace.csv"
+        on_disk = write_csv(trace, path)
+        assert csv_size_bytes(trace) == on_disk
+
+    def test_invalid_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n")
+        with pytest.raises(TraceIOError):
+            read_csv(path)
+
+    def test_invalid_column_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("resource_path,state,start,end\na,b,c\n")
+        with pytest.raises(TraceIOError):
+            read_csv(path)
+
+    def test_invalid_timestamps(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("resource_path,state,start,end\ncl/r0,work,zero,1\n")
+        with pytest.raises(TraceIOError):
+            read_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("resource_path,state,start,end\n")
+        with pytest.raises(TraceIOError):
+            read_csv(path)
+
+
+class TestPaje:
+    def test_roundtrip(self, tmp_path):
+        trace = hierarchical_trace()
+        path = tmp_path / "trace.paje"
+        n_events = write_paje(trace, path)
+        assert n_events == 2 * trace.n_intervals
+        loaded = read_paje(path)
+        assert sorted(loaded.intervals) == sorted(trace.intervals)
+        assert loaded.hierarchy.leaf_names == trace.hierarchy.leaf_names
+
+    def test_events_are_time_sorted(self, tmp_path):
+        trace = hierarchical_trace()
+        path = tmp_path / "trace.paje"
+        write_paje(trace, path)
+        timestamps = [float(line.split()[1]) for line in path.read_text().splitlines()]
+        assert timestamps == sorted(timestamps)
+
+    def test_unmatched_pop(self, tmp_path):
+        path = tmp_path / "bad.paje"
+        path.write_text("PajePopState 1.0 cl/r0 work\n")
+        with pytest.raises(TraceIOError):
+            read_paje(path)
+
+    def test_unmatched_push(self, tmp_path):
+        path = tmp_path / "bad.paje"
+        path.write_text("PajePushState 1.0 cl/r0 work\n")
+        with pytest.raises(TraceIOError):
+            read_paje(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.paje"
+        path.write_text("PajeWeird 1.0 cl/r0 work\n")
+        with pytest.raises(TraceIOError):
+            read_paje(path)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.paje"
+        path.write_text(
+            "# header comment\n\nPajePushState 0.0 cl/r0 work\nPajePopState 1.0 cl/r0 work\n"
+        )
+        loaded = read_paje(path)
+        assert loaded.n_intervals == 1
+
+
+class TestMetadata:
+    def test_roundtrip(self, tmp_path):
+        trace = hierarchical_trace()
+        path = tmp_path / "meta.json"
+        write_metadata(trace, path)
+        payload = read_metadata(path)
+        assert payload["metadata"]["case"] == "io"
+        assert payload["n_intervals"] == trace.n_intervals
+        assert "work" in payload["states"]
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "meta.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceIOError):
+            read_metadata(path)
+
+    def test_non_object_json(self, tmp_path):
+        path = tmp_path / "meta.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(TraceIOError):
+            read_metadata(path)

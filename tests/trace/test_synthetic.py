@@ -1,0 +1,139 @@
+"""Tests for repro.trace.synthetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.microscopic import MicroscopicModel
+from repro.trace.synthetic import (
+    block_trace,
+    figure3_hierarchy,
+    figure3_proportions,
+    figure3_trace,
+    phased_trace,
+    random_trace,
+    trace_from_proportions,
+)
+
+
+class TestFromProportions:
+    def test_exact_reconstruction(self):
+        hierarchy = Hierarchy.flat(["a", "b"])
+        rho = np.array(
+            [[[0.25, 0.5], [1.0, 0.0]], [[0.0, 0.0], [0.3, 0.3]]]
+        )  # (2 resources, 2 slices, 2 states)
+        trace = trace_from_proportions(rho, hierarchy, ("x", "y"), slice_duration=2.0)
+        model = MicroscopicModel.from_trace(trace, n_slices=2)
+        assert np.allclose(model.proportions, rho, atol=1e-12)
+
+    def test_rejects_bad_shapes(self):
+        hierarchy = Hierarchy.flat(["a"])
+        with pytest.raises(ValueError):
+            trace_from_proportions(np.zeros((2, 2)), hierarchy, ("x",))
+        with pytest.raises(ValueError):
+            trace_from_proportions(np.zeros((2, 2, 1)), hierarchy, ("x",))
+        with pytest.raises(ValueError):
+            trace_from_proportions(np.zeros((1, 2, 2)), hierarchy, ("x",))
+
+    def test_rejects_invalid_proportions(self):
+        hierarchy = Hierarchy.flat(["a"])
+        with pytest.raises(ValueError):
+            trace_from_proportions(np.full((1, 2, 2), 0.8), hierarchy, ("x", "y"))
+
+    def test_rejects_bad_slice_duration(self):
+        hierarchy = Hierarchy.flat(["a"])
+        with pytest.raises(ValueError):
+            trace_from_proportions(np.zeros((1, 2, 1)), hierarchy, ("x",), slice_duration=0)
+
+
+class TestFigure3:
+    def test_hierarchy_shape(self):
+        hierarchy = figure3_hierarchy()
+        assert hierarchy.n_leaves == 12
+        assert [n.name for n in hierarchy.nodes_at_depth(1)] == ["SA", "SB", "SC"]
+
+    def test_proportions_shape_and_range(self):
+        rho = figure3_proportions()
+        assert rho.shape == (12, 20)
+        assert np.all(rho >= 0) and np.all(rho <= 1)
+
+    def test_structural_properties(self):
+        """The designed structure matches the paper's description of Fig. 3.d."""
+        rho = figure3_proportions()
+        # Slices 0-1: constant in time, heterogeneous in space.
+        assert np.allclose(rho[:, 0], rho[:, 1])
+        assert len(np.unique(np.round(rho[:, 0], 6))) == 12
+        # Slices 2-4: SA homogeneous.
+        assert np.allclose(rho[0:4, 2:5], 0.8)
+        # Slice 7 fully homogeneous.
+        assert len(np.unique(np.round(rho[:, 7], 9))) == 1
+        # SB constant over slices 8-19.
+        assert np.allclose(rho[4:8, 8:20], 0.7)
+        # SA varies over time in slices 8-19.
+        assert len(np.unique(np.round(rho[0, 8:20], 9))) > 1
+
+    def test_trace_matches_proportions(self):
+        trace = figure3_trace()
+        assert trace.hierarchy.n_leaves == 12
+        model = MicroscopicModel.from_trace(trace, n_slices=20)
+        a = model.states.index("A")
+        assert np.allclose(model.proportions[:, :, a], figure3_proportions(), atol=1e-9)
+
+
+class TestGenerators:
+    def test_random_trace_properties(self):
+        trace = random_trace(n_resources=6, n_slices=5, n_states=3, seed=1)
+        assert trace.hierarchy.n_leaves == 6
+        model = MicroscopicModel.from_trace(trace, n_slices=5)
+        assert model.n_states == 3
+        assert np.allclose(model.proportions.sum(axis=2), 1.0, atol=1e-9)
+
+    def test_random_trace_deterministic(self):
+        a = random_trace(seed=5)
+        b = random_trace(seed=5)
+        assert a.intervals == b.intervals
+
+    def test_random_trace_invalid_states(self):
+        with pytest.raises(ValueError):
+            random_trace(n_states=0)
+
+    def test_block_trace_structure(self):
+        trace = block_trace(n_resources=8, n_slices=8, n_blocks_time=2, n_blocks_space=2, seed=2)
+        model = MicroscopicModel.from_trace(trace, n_slices=8)
+        rho = model.proportions[:, :, 0]
+        # Within a block all values are equal.
+        assert np.allclose(rho[:4, :4], rho[0, 0])
+        assert np.allclose(rho[4:, 4:], rho[4, 4])
+
+    def test_block_trace_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            block_trace(n_resources=7, n_blocks_space=2)
+        with pytest.raises(ValueError):
+            block_trace(n_slices=7, n_blocks_time=2)
+
+    def test_phased_trace_phases(self):
+        trace = phased_trace(n_resources=8, phase_durations=(1.0, 2.0), phase_states=("init", "compute"))
+        durations = trace.state_durations()
+        assert durations["init"] == pytest.approx(8.0)
+        assert durations["compute"] == pytest.approx(16.0)
+
+    def test_phased_trace_perturbation(self):
+        trace = phased_trace(
+            n_resources=8,
+            phase_durations=(1.0, 4.0),
+            phase_states=("init", "compute"),
+            perturbed_resources=(2, 3),
+            perturbation_window=(2.0, 3.0),
+            perturbation_state="wait",
+        )
+        durations = trace.state_durations()
+        assert durations["wait"] == pytest.approx(2.0)
+        assert trace.metadata["perturbed_resources"] == [2, 3]
+
+    def test_phased_trace_validation(self):
+        with pytest.raises(ValueError):
+            phased_trace(phase_durations=(1.0,), phase_states=("a", "b"))
+        with pytest.raises(ValueError):
+            phased_trace(phase_durations=(0.0, 1.0), phase_states=("a", "b"))

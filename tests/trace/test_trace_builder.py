@@ -1,0 +1,217 @@
+"""Tests for repro.trace.trace and repro.trace.builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.trace.builder import TraceBuilder, TraceBuildError, intervals_from_events
+from repro.trace.events import ENTER, LEAVE, Event, StateInterval
+from repro.trace.states import StateRegistry
+from repro.trace.trace import Trace, TraceError
+
+
+def sample_trace() -> Trace:
+    hierarchy = Hierarchy.flat(["a", "b"])
+    intervals = [
+        StateInterval(0.0, 1.0, "a", "init"),
+        StateInterval(1.0, 3.0, "a", "work"),
+        StateInterval(0.0, 0.5, "b", "init"),
+        StateInterval(0.5, 3.0, "b", "work"),
+    ]
+    return Trace(intervals, hierarchy, metadata={"app": "demo"})
+
+
+class TestTrace:
+    def test_basic_properties(self):
+        trace = sample_trace()
+        assert trace.n_intervals == 4
+        assert trace.n_events == 8
+        assert trace.start == 0.0
+        assert trace.end == 3.0
+        assert trace.duration == 3.0
+        assert len(trace) == 4
+        assert trace.metadata["app"] == "demo"
+
+    def test_intervals_sorted(self):
+        trace = sample_trace()
+        starts = [iv.start for iv in trace.intervals]
+        assert starts == sorted(starts)
+
+    def test_states_registered(self):
+        trace = sample_trace()
+        assert set(trace.states.names) == {"init", "work"}
+
+    def test_rejects_unknown_resource(self):
+        hierarchy = Hierarchy.flat(["a"])
+        with pytest.raises(TraceError):
+            Trace([StateInterval(0, 1, "z", "s")], hierarchy)
+
+    def test_empty_trace(self):
+        trace = Trace([], Hierarchy.flat(["a"]))
+        assert trace.n_intervals == 0
+        assert trace.duration == 0.0
+
+    def test_intervals_of(self):
+        trace = sample_trace()
+        assert len(trace.intervals_of("a")) == 2
+        with pytest.raises(TraceError):
+            trace.intervals_of("z")
+
+    def test_intervals_by_resource_includes_empty(self):
+        hierarchy = Hierarchy.flat(["a", "b"])
+        trace = Trace([StateInterval(0, 1, "a", "s")], hierarchy)
+        grouped = trace.intervals_by_resource()
+        assert grouped["b"] == []
+
+    def test_filter_and_restrict(self):
+        trace = sample_trace()
+        work_only = trace.restricted_to_states(["work"])
+        assert all(iv.state == "work" for iv in work_only)
+        long_only = trace.filter(lambda iv: iv.duration > 1.0)
+        assert long_only.n_intervals == 2
+
+    def test_time_window(self):
+        trace = sample_trace()
+        window = trace.time_window(0.5, 1.5)
+        assert window.start >= 0.5
+        assert window.end <= 1.5
+        # b's init interval [0, 0.5) falls entirely outside the window.
+        assert window.n_intervals == 3
+        with pytest.raises(TraceError):
+            trace.time_window(2.0, 1.0)
+
+    def test_statistics(self):
+        stats = sample_trace().statistics()
+        assert stats.n_intervals == 4
+        assert stats.n_events == 8
+        assert stats.total_busy_time == pytest.approx(6.0)
+        assert stats.intervals_per_state["work"] == 2
+        assert stats.duration == pytest.approx(3.0)
+
+    def test_state_durations(self):
+        durations = sample_trace().state_durations()
+        assert durations["init"] == pytest.approx(1.5)
+        assert durations["work"] == pytest.approx(4.5)
+
+    def test_check_non_overlapping(self):
+        sample_trace().check_non_overlapping()
+        hierarchy = Hierarchy.flat(["a"])
+        bad = Trace(
+            [StateInterval(0, 2, "a", "s"), StateInterval(1, 3, "a", "s")], hierarchy
+        )
+        with pytest.raises(TraceError):
+            bad.check_non_overlapping()
+
+    def test_merged_with(self):
+        trace = sample_trace()
+        other = Trace(
+            [StateInterval(3.0, 4.0, "a", "finalize")], trace.hierarchy, metadata={"extra": 1}
+        )
+        merged = trace.merged_with(other)
+        assert merged.n_intervals == 5
+        assert merged.metadata["extra"] == 1
+        assert "finalize" in merged.states
+
+    def test_merged_with_different_hierarchy_rejected(self):
+        trace = sample_trace()
+        other = Trace([], Hierarchy.flat(["x", "y"]))
+        with pytest.raises(TraceError):
+            trace.merged_with(other)
+
+
+class TestTraceBuilder:
+    def test_record_and_build(self):
+        builder = TraceBuilder()
+        builder.record("a", "work", 0.0, 1.0)
+        builder.record("b", "work", 0.0, 2.0)
+        builder.set_metadata(case="X")
+        trace = builder.build()
+        assert trace.n_intervals == 2
+        assert trace.hierarchy.n_leaves == 2
+        assert trace.metadata["case"] == "X"
+
+    def test_push_pop_flat_semantics(self):
+        builder = TraceBuilder()
+        builder.push("a", "outer", 0.0)
+        builder.push("a", "inner", 1.0)
+        builder.pop("a", 2.0, "inner")
+        builder.pop("a", 3.0, "outer")
+        trace = builder.build()
+        durations = trace.state_durations()
+        assert durations["outer"] == pytest.approx(2.0)
+        assert durations["inner"] == pytest.approx(1.0)
+
+    def test_pop_without_push(self):
+        builder = TraceBuilder()
+        with pytest.raises(TraceBuildError):
+            builder.pop("a", 1.0)
+
+    def test_mismatched_pop_state(self):
+        builder = TraceBuilder()
+        builder.push("a", "x", 0.0)
+        with pytest.raises(TraceBuildError):
+            builder.pop("a", 1.0, "y")
+
+    def test_non_monotonic_rejected(self):
+        builder = TraceBuilder()
+        builder.push("a", "x", 5.0)
+        with pytest.raises(TraceBuildError):
+            builder.pop("a", 4.0)
+
+    def test_build_with_open_states_rejected(self):
+        builder = TraceBuilder()
+        builder.push("a", "x", 0.0)
+        with pytest.raises(TraceBuildError):
+            builder.build()
+
+    def test_close_open_states(self):
+        builder = TraceBuilder()
+        builder.push("a", "x", 0.0)
+        builder.push("b", "y", 0.0)
+        assert builder.close_open_states(2.0) == 2
+        trace = builder.build()
+        assert trace.n_intervals == 2
+
+    def test_feed_events(self):
+        events = [
+            Event(0.0, "a", ENTER, "work"),
+            Event(1.0, "a", LEAVE, "work"),
+            Event(0.5, "b", ENTER, "work"),
+            Event(2.0, "b", LEAVE, "work"),
+        ]
+        builder = TraceBuilder()
+        builder.feed(events)
+        assert builder.build().n_intervals == 2
+
+    def test_intervals_from_events(self):
+        events = [
+            Event(0.0, "a", ENTER, "work"),
+            Event(1.5, "a", LEAVE, "work"),
+        ]
+        intervals = intervals_from_events(events)
+        assert intervals == [StateInterval(0.0, 1.5, "a", "work")]
+
+    def test_intervals_from_events_unmatched(self):
+        events = [Event(0.0, "a", ENTER, "work")]
+        with pytest.raises(TraceBuildError):
+            intervals_from_events(events)
+
+    def test_builder_with_explicit_hierarchy(self):
+        hierarchy = Hierarchy.flat(["a", "b"])
+        builder = TraceBuilder(hierarchy=hierarchy)
+        builder.record("a", "x", 0, 1)
+        with pytest.raises(TraceBuildError):
+            builder.record("z", "x", 0, 1)
+        assert builder.build().hierarchy is hierarchy
+
+    def test_builder_empty_without_hierarchy(self):
+        with pytest.raises(TraceBuildError):
+            TraceBuilder().build()
+
+    def test_builder_shared_registry(self):
+        registry = StateRegistry(["idle"])
+        builder = TraceBuilder(states=registry)
+        builder.record("a", "work", 0, 1)
+        trace = builder.build()
+        assert trace.states.names[0] == "idle"

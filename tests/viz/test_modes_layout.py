@@ -1,0 +1,106 @@
+"""Tests for repro.viz.modes and repro.viz.layout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.criteria import IntervalStatistics
+from repro.core.hierarchy import Hierarchy
+from repro.core.microscopic import MicroscopicModel
+from repro.core.partition import Aggregate, Partition
+from repro.core.spatiotemporal import aggregate_spatiotemporal
+from repro.trace.states import StateRegistry
+from repro.viz.layout import OverviewLayout, Rect
+from repro.viz.modes import IDLE_COLOR, aggregate_style, partition_styles
+
+
+class TestModes:
+    def test_mode_is_dominant_state(self, figure3_model):
+        stats = IntervalStatistics(figure3_model)
+        sa = figure3_model.hierarchy.node_by_full_name("SA")
+        # SA over slices 2-4 has rho_A = 0.8 -> mode A with alpha 0.8.
+        style = aggregate_style(Aggregate(sa, 2, 4), stats)
+        assert style.mode_state == "A"
+        assert style.mode_proportion == pytest.approx(0.8, abs=1e-9)
+        assert style.alpha == pytest.approx(0.8, abs=1e-9)
+        assert style.color == figure3_model.states.color("A")
+        assert not style.is_idle
+
+    def test_alpha_bounds(self, figure3_model):
+        """alpha lies in [1/|X|, 1] for non-idle aggregates (Section IV)."""
+        partition = aggregate_spatiotemporal(figure3_model, 0.4)
+        for style in partition_styles(partition):
+            assert style.alpha >= 1.0 / figure3_model.n_states - 1e-9
+            assert style.alpha <= 1.0 + 1e-9
+
+    def test_idle_aggregate(self):
+        hierarchy = Hierarchy.flat(["a", "b"])
+        states = StateRegistry(["x", "y"])
+        rho = np.zeros((2, 3, 2))
+        rho[:, 0, 0] = 0.5
+        model = MicroscopicModel.from_proportions(rho, hierarchy, states)
+        stats = IntervalStatistics(model)
+        idle_style = aggregate_style(Aggregate(hierarchy.root, 1, 2), stats)
+        assert idle_style.is_idle
+        assert idle_style.mode_state is None
+        assert idle_style.color == IDLE_COLOR
+        assert idle_style.alpha == 0.0
+
+    def test_partition_styles_align_with_aggregates(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.5)
+        styles = partition_styles(partition)
+        assert len(styles) == partition.size
+        assert [s.aggregate for s in styles] == list(partition.aggregates)
+
+
+class TestLayout:
+    def test_rect_helpers(self):
+        rect = Rect(1.0, 2.0, 3.0, 4.0)
+        assert rect.x2 == 4.0
+        assert rect.y2 == 6.0
+        assert rect.area == 12.0
+        scaled = rect.scaled(2.0, 0.5)
+        assert (scaled.width, scaled.height) == (6.0, 2.0)
+
+    def test_data_rect_matches_interval_and_leaf_range(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.5)
+        layout = OverviewLayout(partition)
+        for aggregate in partition:
+            rect = layout.data_rect(aggregate)
+            assert rect.x == pytest.approx(float(figure3_model.slicing.edges[aggregate.i]))
+            assert rect.width == pytest.approx(
+                figure3_model.slicing.interval_duration(aggregate.i, aggregate.j)
+            )
+            assert rect.y == aggregate.node.leaf_start
+            assert rect.height == aggregate.n_resources
+
+    def test_coverage_area_equals_canvas(self, figure3_model):
+        """Criterion G5 (fidelity): the drawn area equals the data area exactly."""
+        partition = aggregate_spatiotemporal(figure3_model, 0.3)
+        layout = OverviewLayout(partition)
+        expected = figure3_model.slicing.span * figure3_model.n_resources
+        assert layout.coverage_area() == pytest.approx(expected)
+
+    def test_pixel_rect_scaling(self, figure3_model):
+        partition = Partition.full(figure3_model)
+        layout = OverviewLayout(partition)
+        rect = layout.pixel_rect(partition.aggregates[0], width=800, height=400)
+        assert rect.x == pytest.approx(0.0)
+        assert rect.width == pytest.approx(800.0)
+        assert rect.height == pytest.approx(400.0)
+
+    def test_pixel_rect_rejects_bad_canvas(self, figure3_model):
+        partition = Partition.full(figure3_model)
+        layout = OverviewLayout(partition)
+        with pytest.raises(ValueError):
+            layout.pixel_rect(partition.aggregates[0], 0, 100)
+
+    def test_items_and_row_height(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.5)
+        layout = OverviewLayout(partition)
+        items = layout.items()
+        assert len(items) == partition.size
+        assert layout.n_rows == 12
+        assert layout.row_height(600) == pytest.approx(50.0)
+        assert layout.time_span == (0.0, 20.0)

@@ -1,0 +1,221 @@
+"""Tests for visual aggregation, SVG/ASCII renderers, Gantt metrics and Table I."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spatiotemporal import aggregate_spatiotemporal
+from repro.trace.synthetic import figure3_trace, random_trace
+from repro.viz.ascii import legend, render_label_grid, render_partition_ascii
+from repro.viz.criteria_table import (
+    CRITERIA,
+    PAPER_TECHNIQUES,
+    SPATIOTEMPORAL_ROW,
+    TechniqueRow,
+    evaluate_overview_criteria,
+    format_table1,
+    table1_rows,
+)
+from repro.viz.gantt import gantt_metrics, render_gantt_ascii
+from repro.viz.svg import render_partition_svg, render_visual_svg, save_svg
+from repro.viz.visual import visual_aggregation
+
+
+class TestVisualAggregation:
+    def test_no_aggregation_when_rows_are_tall(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.3)
+        result = visual_aggregation(partition, height_px=600, threshold_px=3.0)
+        assert result.n_visual == 0
+        assert result.n_data == partition.size
+        assert result.n_items == partition.size
+
+    def test_small_rows_are_promoted(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.3)
+        # 48 px for 12 resources -> 4 px per leaf; aggregates of single leaves
+        # (4 px < 8 px threshold) must be hidden behind their parents.
+        result = visual_aggregation(partition, height_px=48, threshold_px=8.0)
+        assert result.n_visual > 0
+        assert result.n_items < partition.size
+        px_per_leaf = 48 / 12
+        for item in result.items:
+            assert item.node.n_leaves * px_per_leaf >= 8.0 or item.node.parent is None
+
+    def test_cells_covered_exactly_once(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.3)
+        result = visual_aggregation(partition, height_px=48, threshold_px=8.0)
+        coverage = np.zeros((figure3_model.n_resources, figure3_model.n_slices), dtype=int)
+        for item in result.items:
+            coverage[item.node.leaf_start : item.node.leaf_end, item.i : item.j + 1] += 1
+        assert np.all(coverage == 1)
+
+    def test_markers_distinguish_visual_items(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.3)
+        result = visual_aggregation(partition, height_px=48, threshold_px=8.0)
+        for item in result.visual_items():
+            assert item.marker in ("diagonal", "cross")
+            assert item.hidden > 0
+        for item in result.data_items():
+            assert item.marker is None
+            assert item.hidden == 0
+
+    def test_diagonal_marker_for_identical_temporal_partitioning(self, figure3_model):
+        """Hidden aggregates that only differ spatially get the diagonal marker."""
+        from repro.core.partition import Aggregate, Partition
+
+        h = figure3_model.hierarchy
+        leaves = h.leaves
+        aggregates = []
+        for leaf in leaves:
+            aggregates.append(Aggregate(leaf, 0, 9))
+            aggregates.append(Aggregate(leaf, 10, 19))
+        partition = Partition(aggregates, figure3_model)
+        result = visual_aggregation(partition, height_px=24, threshold_px=8.0)
+        assert result.n_data == 0
+        assert all(item.marker == "diagonal" for item in result.visual_items())
+
+    def test_invalid_parameters(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.3)
+        with pytest.raises(ValueError):
+            visual_aggregation(partition, height_px=0)
+        with pytest.raises(ValueError):
+            visual_aggregation(partition, threshold_px=0)
+
+
+class TestSVG:
+    def test_partition_svg_structure(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.4)
+        document = render_partition_svg(partition, title="figure 3")
+        assert document.startswith("<svg")
+        assert document.rstrip().endswith("</svg>")
+        assert document.count("<rect") >= partition.size
+        assert "figure 3" in document
+
+    def test_visual_svg_contains_markers(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.3)
+        # A high threshold forces leaf-level aggregates behind cluster-level
+        # visual aggregates, which are drawn with diagonal/cross markers.
+        document = render_visual_svg(partition, height=200, threshold_px=40.0)
+        assert "<line" in document
+
+    def test_svg_legend_mentions_states(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.4)
+        document = render_partition_svg(partition)
+        for name in figure3_model.states.names:
+            assert name in document
+
+    def test_save_svg(self, tmp_path, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.4)
+        path = tmp_path / "overview.svg"
+        n_bytes = save_svg(render_partition_svg(partition), str(path))
+        assert path.stat().st_size == n_bytes
+
+
+class TestAscii:
+    def test_grid_dimensions(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.4)
+        text = render_partition_ascii(partition)
+        lines = text.splitlines()
+        assert len(lines) == 13  # header + 12 resources
+        assert all(len(line) >= 20 for line in lines[1:])
+
+    def test_downsampling(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.4)
+        text = render_partition_ascii(partition, max_rows=4)
+        assert len(text.splitlines()) <= 7
+
+    def test_boundaries_marker(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.4)
+        text = render_partition_ascii(partition, show_boundaries=True)
+        assert "|" in text
+
+    def test_invalid_max_rows(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.4)
+        with pytest.raises(ValueError):
+            render_partition_ascii(partition, max_rows=0)
+
+    def test_label_grid(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.4)
+        grid = render_label_grid(partition)
+        assert len(grid.splitlines()) == 12
+
+    def test_legend(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.4)
+        text = legend(partition)
+        assert "A" in text and "idle" in text
+
+
+class TestGantt:
+    def test_cluttered_on_small_screen(self):
+        trace = random_trace(n_resources=64, n_slices=40, seed=1)
+        metrics = gantt_metrics(trace, width_px=100, height_px=40)
+        assert metrics.cluttered
+        assert metrics.row_height_px < 1.0
+
+    def test_not_cluttered_on_large_screen_small_trace(self):
+        trace = figure3_trace()
+        metrics = gantt_metrics(trace, width_px=1920, height_px=1080)
+        assert metrics.n_objects == trace.n_intervals
+        assert not metrics.cluttered
+
+    def test_sub_pixel_fraction_bounds(self):
+        trace = figure3_trace()
+        metrics = gantt_metrics(trace, width_px=30, height_px=1000)
+        assert 0.0 <= metrics.sub_pixel_fraction <= 1.0
+        assert metrics.sub_pixel_objects <= metrics.n_objects
+
+    def test_invalid_screen(self):
+        with pytest.raises(ValueError):
+            gantt_metrics(figure3_trace(), width_px=0)
+
+    def test_render_gantt_ascii(self):
+        trace = figure3_trace()
+        text = render_gantt_ascii(trace, width=40, max_rows=6)
+        lines = text.splitlines()
+        assert len(lines) <= 6
+        assert all(len(line) == 17 + 40 for line in lines)
+
+    def test_render_gantt_invalid(self):
+        with pytest.raises(ValueError):
+            render_gantt_ascii(figure3_trace(), width=0)
+
+
+class TestTable1:
+    def test_paper_rows_count(self):
+        assert len(PAPER_TECHNIQUES) == 8
+        assert len(table1_rows()) == 9
+        assert len(table1_rows(include_contribution=False)) == 8
+
+    def test_contribution_satisfies_everything(self):
+        assert SPATIOTEMPORAL_ROW.satisfied_count() == len(CRITERIA)
+
+    def test_no_prior_technique_satisfies_everything(self):
+        """The paper's point: no existing tool meets all G and M criteria."""
+        for row in PAPER_TECHNIQUES:
+            assert row.satisfied_count() < len(CRITERIA)
+
+    def test_prior_tools_miss_m1_or_m2(self):
+        for row in PAPER_TECHNIQUES:
+            assert row.level("M1") != "both" or row.level("M2") != "both"
+
+    def test_row_validation(self):
+        with pytest.raises(ValueError):
+            TechniqueRow("x", "y", "z", {"G9": "both"})
+        with pytest.raises(ValueError):
+            TechniqueRow("x", "y", "z", {"G1": "maybe"})
+
+    def test_format_table(self):
+        text = format_table1()
+        assert "Ocelotl" in text
+        assert "Vampir" in text
+        for criterion in CRITERIA:
+            assert criterion in text
+
+    def test_evaluate_overview_criteria(self, figure3_model):
+        partition = aggregate_spatiotemporal(figure3_model, 0.3)
+        verdict = evaluate_overview_criteria(partition, entity_budget=500, height_px=600)
+        assert verdict["G1"] is True
+        assert verdict["G4"] is True
+        assert verdict["G5"] is True
+        assert verdict["M1"] is True
+        assert verdict["M2"] is True
