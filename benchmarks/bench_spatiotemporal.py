@@ -1,0 +1,230 @@
+"""Scaling benchmark of the spatiotemporal aggregation engine.
+
+Times Algorithm 1 on a ``slices x resources`` grid of synthetic microscopic
+models, comparing the per-cell reference dynamic program (the seed
+implementation, kept as ``compute_tables_reference``) against the vectorized
+anti-diagonal sweep, and optionally the process-pool parallel path.  Every
+grid cell also checks that the two implementations return bit-identical
+tables, so the speedup numbers are guaranteed to describe the same
+computation.
+
+Results are written as ``BENCH_spatiotemporal.json`` (at the repository root
+by default), seeding the performance trajectory.  CI runs the ``--smoke``
+grid and gates regressions with ``--check-against``: the comparison uses the
+*speedup ratio* (vectorized vs reference on the same machine), which is
+stable across runner hardware, unlike absolute wall-clock.
+
+Usage::
+
+    python benchmarks/bench_spatiotemporal.py                 # full grid
+    python benchmarks/bench_spatiotemporal.py --smoke \
+        --output BENCH_smoke.json \
+        --check-against BENCH_spatiotemporal.json --max-regression 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.hierarchy import Hierarchy  # noqa: E402
+from repro.core.microscopic import MicroscopicModel  # noqa: E402
+from repro.core.spatiotemporal import SpatiotemporalAggregator  # noqa: E402
+from repro.trace.states import StateRegistry  # noqa: E402
+
+FULL_GRID = {"slices": (20, 40, 60, 80), "resources": (16, 64, 128)}
+SMOKE_GRID = {"slices": (20, 60), "resources": (16, 64)}
+
+
+def build_model(n_resources: int, n_slices: int, n_states: int, seed: int) -> MicroscopicModel:
+    """Synthetic microscopic model with a balanced hierarchy (deterministic)."""
+    rng = np.random.default_rng(seed)
+    hierarchy = Hierarchy.balanced(n_resources, fanout=2)
+    states = StateRegistry([f"s{i}" for i in range(n_states)])
+    # Dirichlet rows with one extra component keep per-cell totals below 1
+    # (the remainder models idle time), matching real trace proportions.
+    rho = rng.dirichlet(np.ones(n_states + 1), size=(n_resources, n_slices))[:, :, :n_states]
+    return MicroscopicModel.from_proportions(rho, hierarchy, states)
+
+
+def time_call(func, repeats: int) -> tuple[float, object]:
+    """Best-of-``repeats`` wall-clock of ``func()`` and its last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def tables_identical(left, right) -> bool:
+    """Whether two per-node table mappings are bit-for-bit identical."""
+    if left.keys() != right.keys():
+        return False
+    return all(
+        np.array_equal(left[key].pic, right[key].pic)
+        and np.array_equal(left[key].cut, right[key].cut)
+        and np.array_equal(left[key].count, right[key].count)
+        for key in left
+    )
+
+
+def bench_cell(
+    n_slices: int,
+    n_resources: int,
+    n_states: int,
+    p: float,
+    repeats: int,
+    jobs: int,
+    seed: int,
+) -> dict:
+    """One grid cell: reference vs vectorized (vs parallel) on the same model."""
+    model = build_model(n_resources, n_slices, n_states, seed)
+    aggregator = SpatiotemporalAggregator(model)
+
+    # Warm the interval-statistics engine once so both DP legs measure the
+    # dynamic program itself, then record how long the warm-up took.
+    stats_start = time.perf_counter()
+    for node in model.hierarchy.iter_nodes("post"):
+        aggregator.stats.tables(node)
+    stats_seconds = time.perf_counter() - stats_start
+
+    seconds_percell, reference = time_call(
+        lambda: aggregator.compute_tables_reference(p), repeats
+    )
+    seconds_vectorized, vectorized = time_call(lambda: aggregator.compute_tables(p), repeats)
+    identical = tables_identical(reference, vectorized)
+
+    row = {
+        "slices": n_slices,
+        "resources": n_resources,
+        "states": n_states,
+        "nodes": model.hierarchy.n_nodes,
+        "stats_seconds": round(stats_seconds, 6),
+        "seconds_percell": round(seconds_percell, 6),
+        "seconds_vectorized": round(seconds_vectorized, 6),
+        "speedup": round(seconds_percell / seconds_vectorized, 3),
+        "tables_identical": identical,
+    }
+    if jobs > 1:
+        seconds_jobs, parallel = time_call(
+            lambda: aggregator.compute_tables(p, jobs=jobs), repeats
+        )
+        row["jobs"] = jobs
+        row["seconds_jobs"] = round(seconds_jobs, 6)
+        row["parallel_identical"] = tables_identical(vectorized, parallel)
+    return row
+
+
+def check_regression(results: list[dict], baseline_path: Path, max_regression: float) -> int:
+    """Compare speedup ratios against a committed baseline; 0 when acceptable."""
+    baseline = json.loads(baseline_path.read_text())
+    reference = {
+        (row["slices"], row["resources"]): row["speedup"] for row in baseline["results"]
+    }
+    failures = []
+    for row in results:
+        key = (row["slices"], row["resources"])
+        if key not in reference:
+            continue
+        floor = reference[key] / max_regression
+        if row["speedup"] < floor:
+            failures.append(
+                f"  slices={key[0]} resources={key[1]}: speedup {row['speedup']:.2f}x "
+                f"< allowed floor {floor:.2f}x (baseline {reference[key]:.2f}x)"
+            )
+    if failures:
+        print(f"REGRESSION against {baseline_path} (>{max_regression}x):")
+        print("\n".join(failures))
+        return 1
+    checked = sum(1 for row in results if (row["slices"], row["resources"]) in reference)
+    if checked == 0:
+        print(
+            f"REGRESSION CHECK INVALID: no grid cell overlaps {baseline_path} — "
+            "the gate would pass vacuously; align the grid with the baseline"
+        )
+        return 1
+    print(f"regression check ok: {checked} grid cells within {max_regression}x of baseline")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grid for CI smoke runs")
+    parser.add_argument("--slices", type=str, default=None,
+                        help="comma-separated slice counts (overrides the grid)")
+    parser.add_argument("--resources", type=str, default=None,
+                        help="comma-separated resource counts (overrides the grid)")
+    parser.add_argument("--states", type=int, default=4, help="number of states (default: 4)")
+    parser.add_argument("-p", "--parameter", type=float, default=0.5,
+                        help="gain/loss trade-off (default: 0.5)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions, best is kept (default: 3)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="also time the process-pool path with this many workers")
+    parser.add_argument("--seed", type=int, default=0, help="synthetic model seed")
+    parser.add_argument("--output", type=Path, default=ROOT / "BENCH_spatiotemporal.json",
+                        help="JSON output path (default: BENCH_spatiotemporal.json at the repo root)")
+    parser.add_argument("--check-against", type=Path, default=None,
+                        help="baseline BENCH json to gate speedup regressions against")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="maximum allowed speedup degradation factor (default: 2.0)")
+    args = parser.parse_args(argv)
+
+    grid = SMOKE_GRID if args.smoke else FULL_GRID
+    slices = [int(v) for v in args.slices.split(",")] if args.slices else list(grid["slices"])
+    resources = (
+        [int(v) for v in args.resources.split(",")] if args.resources else list(grid["resources"])
+    )
+
+    results = []
+    for n_resources in resources:
+        for n_slices in slices:
+            row = bench_cell(
+                n_slices, n_resources, args.states, args.parameter,
+                args.repeats, args.jobs, args.seed,
+            )
+            print(
+                f"slices={n_slices:>4} resources={n_resources:>4} "
+                f"percell={row['seconds_percell']:.3f}s "
+                f"vectorized={row['seconds_vectorized']:.3f}s "
+                f"speedup={row['speedup']:.1f}x identical={row['tables_identical']}"
+            )
+            if not row["tables_identical"]:
+                print("FATAL: vectorized tables diverge from the reference", file=sys.stderr)
+                return 1
+            results.append(row)
+
+    payload = {
+        "benchmark": "spatiotemporal_aggregation",
+        "config": {
+            "p": args.parameter,
+            "states": args.states,
+            "fanout": 2,
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "grid": "smoke" if args.smoke else "full",
+        },
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check_against is not None:
+        return check_regression(results, args.check_against, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

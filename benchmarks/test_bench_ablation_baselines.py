@@ -10,7 +10,6 @@ verifies the dominance at every p.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from bench_utils import write_result
 

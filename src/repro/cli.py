@@ -17,13 +17,20 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 from .analysis import detect_deviating_cells, detect_phases, overview_report
 from .core import MicroscopicModel, SpatiotemporalAggregator
+from .core.hierarchy import HierarchyError
+from .core.microscopic import MicroscopicModelError
+from .core.timeslicing import TimeSlicingError
 from .simulation import case_a, case_b, case_c, case_d, run_scenario
 from .trace import read_csv, write_csv, write_metadata
+from .trace.events import EventError
+from .trace.io import TraceIOError
+from .trace.trace import TraceError
 from .viz import render_partition_ascii, render_visual_svg, save_svg
 
 __all__ = ["main", "build_parser"]
@@ -68,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--ascii", action="store_true", help="print an ASCII overview")
     analyze.add_argument("--anomaly-threshold", type=float, default=0.1,
                          help="excess blocking proportion flagged as anomalous (default: 0.1)")
+    analyze.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the aggregation (default: 1, serial; "
+                              "parallel runs return the same partition)")
     return parser
 
 
@@ -93,9 +103,29 @@ def _command_analyze(args: argparse.Namespace) -> int:
     if not 0.0 <= args.parameter <= 1.0:
         print("error: -p must be in [0, 1]", file=sys.stderr)
         return 2
-    trace = read_csv(args.trace)
-    model = MicroscopicModel.from_trace(trace, n_slices=args.slices)
-    aggregator = SpatiotemporalAggregator(model, operator=args.operator)
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    if args.slices < 1:
+        print("error: --slices must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        trace = read_csv(args.trace)
+    except FileNotFoundError:
+        print(f"error: trace file not found: {args.trace}", file=sys.stderr)
+        return 2
+    except IsADirectoryError:
+        print(f"error: {args.trace} is a directory, not a trace CSV", file=sys.stderr)
+        return 2
+    except (TraceIOError, TraceError, EventError, HierarchyError) as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    try:
+        model = MicroscopicModel.from_trace(trace, n_slices=args.slices)
+    except (MicroscopicModelError, TimeSlicingError) as exc:
+        print(f"error: cannot build the microscopic model: {exc}", file=sys.stderr)
+        return 2
+    aggregator = SpatiotemporalAggregator(model, operator=args.operator, jobs=args.jobs)
     partition = aggregator.run(args.parameter)
     phases = detect_phases(partition, model)
     anomalies = detect_deviating_cells(model, threshold=args.anomaly_threshold)
@@ -113,10 +143,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "simulate":
-        return _command_simulate(args)
-    if args.command == "analyze":
-        return _command_analyze(args)
+    try:
+        if args.command == "simulate":
+            return _command_simulate(args)
+        if args.command == "analyze":
+            return _command_analyze(args)
+    except BrokenPipeError:
+        # Reader closed early (e.g. `repro analyze ... | head`).  Point both
+        # streams at devnull so the interpreter's final flush cannot traceback
+        # either, and exit non-zero: the run may have been interrupted while
+        # reporting an error, so success must not be claimed.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        os.dup2(devnull, sys.stderr.fileno())
+        return 1
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

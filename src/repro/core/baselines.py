@@ -22,7 +22,7 @@ import numpy as np
 from .criteria import IntervalStatistics
 from .microscopic import MicroscopicModel
 from .operators import AggregationOperator
-from .partition import Aggregate, Partition
+from .partition import Partition
 from .spatial import SpatialAggregator
 from .spatiotemporal import SpatiotemporalAggregator
 from .temporal import TemporalAggregator
@@ -143,8 +143,9 @@ def compare_partitions(
     losses: list[float] = []
     pics: list[float] = []
     for label, partition in schemes.items():
-        gain = sum(shared_stats.gain(a.node, a.i, a.j) for a in partition)
-        loss = sum(shared_stats.loss(a.node, a.i, a.j) for a in partition)
+        pairs = [shared_stats.gain_loss_at(a.node, a.i, a.j) for a in partition]
+        gain = sum(pair[0] for pair in pairs)
+        loss = sum(pair[1] for pair in pairs)
         labels.append(label)
         sizes.append(partition.size)
         gains.append(float(gain))

@@ -1,4 +1,4 @@
-"""Per-node, per-interval gain/loss tables (the algorithm's "Data Input").
+"""Incremental per-node, per-interval statistics engine (the algorithm's "Data Input").
 
 The spatiotemporal algorithm needs, for every node ``S_k`` of the hierarchy
 and every time interval ``T_(i,j)``, the information gain and loss of the
@@ -6,21 +6,33 @@ corresponding aggregate.  The paper computes these by iterating over the
 cells of per-node upper-triangular matrices nested in a tree recursion, in
 ``O(|S| |T|^2)`` time.
 
-:class:`IntervalStatistics` implements the same computation with numpy prefix
-sums:
+:class:`IntervalStatistics` implements the same computation incrementally
+with two layers of prefix sums:
 
-* a prefix sum over the *resource* axis gives node-level per-slice sums in
-  constant time per node thanks to the contiguous leaf ranges of
-  :class:`~repro.core.hierarchy.Hierarchy`;
-* a prefix sum over the *time* axis gives interval sums for every ``(i, j)``
-  pair at once by broadcasting.
+* a prefix sum over the *resource* axis (cached on the model, see
+  :meth:`~repro.core.microscopic.MicroscopicModel.cumulative_tables`) gives
+  node-level per-slice sums in constant time per node thanks to the
+  contiguous leaf ranges of :class:`~repro.core.hierarchy.Hierarchy`;
+* a per-node prefix sum over the *time* axis (``(T + 1, X)``, cached per
+  node) answers the pre-reduced sums of **any** interval ``(i, j)`` in O(1)
+  — two table lookups — through :meth:`interval_sums_at`, and yields the
+  full ``(T, T)`` interval tables for every ``(i, j)`` pair at once by
+  broadcasting the very same subtraction.
 
-The resulting ``(|T|, |T|)`` gain and loss tables (upper triangle valid) are
+Because the scalar O(1) path and the broadcast table path evaluate exactly
+the same floating-point operations on the same prefix values, their results
+are bit-for-bit identical (a property the test suite asserts).
+
+The resulting ``(T, T)`` gain and loss tables (upper triangle valid) are
 cached per node and shared by the spatial, temporal and spatiotemporal
-aggregators as well as by the partition quality metrics.
+aggregators as well as by the partition quality metrics; the scalar path
+serves point queries (partition scoring, brute-force oracles, viz tooltips)
+without materializing any quadratic table.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -34,11 +46,24 @@ from .operators import (
     xlogx,
 )
 
-__all__ = ["IntervalStatistics"]
+__all__ = ["IntervalStatistics", "NodePrefixes"]
+
+
+@dataclass(frozen=True)
+class NodePrefixes:
+    """Time-axis prefix sums of one hierarchy node (each ``(T + 1, X)``).
+
+    ``prefix[j + 1] - prefix[i]`` is the sum over slices ``i..j`` — the O(1)
+    building block for every interval statistic of the node.
+    """
+
+    durations: np.ndarray
+    rho: np.ndarray
+    rho_log_rho: np.ndarray
 
 
 class IntervalStatistics:
-    """Vectorized gain/loss/pIC evaluation for hierarchy nodes x time intervals.
+    """Incremental gain/loss/pIC evaluation for hierarchy nodes x time intervals.
 
     Parameters
     ----------
@@ -56,27 +81,27 @@ class IntervalStatistics:
     ):
         self._model = model
         self._operator = get_operator(operator)
-        durations = model.durations  # (R, T, X)
-        proportions = model.proportions  # (R, T, X)
-        rho_log_rho = xlogx(proportions)
+        (
+            self._prefix_durations,
+            self._prefix_rho,
+            self._prefix_rho_log_rho,
+        ) = model.cumulative_tables()
 
-        # Prefix sums over the resource axis: shape (R + 1, T, X).
-        zeros = np.zeros((1,) + durations.shape[1:])
-        self._prefix_durations = np.concatenate([zeros, np.cumsum(durations, axis=0)])
-        self._prefix_rho = np.concatenate([zeros, np.cumsum(proportions, axis=0)])
-        self._prefix_rho_log_rho = np.concatenate([zeros, np.cumsum(rho_log_rho, axis=0)])
-
-        # Interval durations tau[i, j] = sum_{t=i..j} d(t), shape (T, T).
+        # Interval total durations: cumulative d(t) so that the duration of
+        # slices i..j is cumulative[j + 1] - cumulative[i] (O(1) per query).
         slice_durations = model.slice_durations
-        cumulative = np.concatenate([[0.0], np.cumsum(slice_durations)])
+        self._cumulative_slice_durations = np.concatenate(
+            [[0.0], np.cumsum(slice_durations)]
+        )
+        cumulative = self._cumulative_slice_durations
         self._interval_durations = cumulative[None, 1:] - cumulative[:-1, None]
         # Interval lengths (number of slices), shape (T, T).
         indices = np.arange(model.n_slices)
         self._interval_lengths = indices[None, :] - indices[:, None] + 1
 
-        self._upper_mask = self._interval_lengths >= 1
+        self._prefix_cache: dict[int, NodePrefixes] = {}
         self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        self._macro_cache: dict[int, np.ndarray] = {}
+        self._point_cache: dict[tuple[int, int, int], tuple[float, float]] = {}
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -97,38 +122,73 @@ class IntervalStatistics:
         return self._model.n_slices
 
     # ------------------------------------------------------------------ #
-    # Node-level reductions
+    # Node-level prefix tables
     # ------------------------------------------------------------------ #
-    def _node_slice_sums(self, node: HierarchyNode) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Per-slice sums over the leaves of ``node``: three ``(T, X)`` arrays."""
+    def node_prefixes(self, node: HierarchyNode) -> NodePrefixes:
+        """Cached time-prefix tables of ``node`` (three ``(T + 1, X)`` arrays).
+
+        Computing them is O(|T| |X|) per node — one resource-prefix lookup
+        plus one cumulative sum — after which any interval statistic of the
+        node is answered in O(1).
+        """
+        cached = self._prefix_cache.get(node.index)
+        if cached is not None:
+            return cached
         a, b = node.leaf_start, node.leaf_end
         if not 0 <= a < b <= self._model.n_resources:
             raise ValueError(f"node {node.name!r} has an invalid leaf range [{a}, {b})")
-        durations = self._prefix_durations[b] - self._prefix_durations[a]
-        rho = self._prefix_rho[b] - self._prefix_rho[a]
-        rho_log_rho = self._prefix_rho_log_rho[b] - self._prefix_rho_log_rho[a]
-        return durations, rho, rho_log_rho
+
+        def time_prefix(cumulative: np.ndarray) -> np.ndarray:
+            per_slice = cumulative[b] - cumulative[a]  # (T, X)
+            zeros = np.zeros((1, per_slice.shape[1]))
+            return np.concatenate([zeros, np.cumsum(per_slice, axis=0)])
+
+        prefixes = NodePrefixes(
+            durations=time_prefix(self._prefix_durations),
+            rho=time_prefix(self._prefix_rho),
+            rho_log_rho=time_prefix(self._prefix_rho_log_rho),
+        )
+        self._prefix_cache[node.index] = prefixes
+        return prefixes
+
+    def interval_sums_at(self, node: HierarchyNode, i: int, j: int) -> IntervalSums:
+        """Pre-reduced quantities of the single aggregate ``(node, T_(i,j))``.
+
+        O(1): every field is the difference of two prefix-table rows.  The
+        per-state arrays have shape ``(X,)``.
+        """
+        self._check_interval(i, j)
+        prefixes = self.node_prefixes(node)
+        cumulative = self._cumulative_slice_durations
+        return IntervalSums(
+            sum_durations=prefixes.durations[j + 1] - prefixes.durations[i],
+            total_duration=cumulative[j + 1] - cumulative[i],
+            n_resources=node.n_leaves,
+            sum_rho=prefixes.rho[j + 1] - prefixes.rho[i],
+            sum_rho_log_rho=prefixes.rho_log_rho[j + 1] - prefixes.rho_log_rho[i],
+            n_cells=node.n_leaves * (j - i + 1),
+        )
 
     def interval_sums(self, node: HierarchyNode) -> IntervalSums:
         """All pre-reduced quantities of ``node`` for every interval at once.
 
         The per-state arrays have shape ``(T, T, X)`` (first axis ``i``,
         second axis ``j``); only the upper triangle ``j >= i`` is meaningful.
+        Each table is the broadcast form of the same prefix subtraction used
+        by :meth:`interval_sums_at`.
         """
-        durations, rho, rho_log_rho = self._node_slice_sums(node)
-        n_slices = self.n_slices
+        prefixes = self.node_prefixes(node)
 
-        def interval_table(values: np.ndarray) -> np.ndarray:
-            prefix = np.concatenate([np.zeros((1, values.shape[1])), np.cumsum(values, axis=0)])
+        def interval_table(prefix: np.ndarray) -> np.ndarray:
             # table[i, j] = prefix[j + 1] - prefix[i]
             return prefix[None, 1:, :] - prefix[:-1, None, :]
 
         return IntervalSums(
-            sum_durations=interval_table(durations),
+            sum_durations=interval_table(prefixes.durations),
             total_duration=self._interval_durations,
             n_resources=node.n_leaves,
-            sum_rho=interval_table(rho),
-            sum_rho_log_rho=interval_table(rho_log_rho),
+            sum_rho=interval_table(prefixes.rho),
+            sum_rho_log_rho=interval_table(prefixes.rho_log_rho),
             n_cells=node.n_leaves * self._interval_lengths,
         )
 
@@ -152,21 +212,38 @@ class IntervalStatistics:
         self._cache[node.index] = (gain, loss)
         return gain, loss
 
+    def gain_loss_at(self, node: HierarchyNode, i: int, j: int) -> tuple[float, float]:
+        """``(gain, loss)`` of the single aggregate ``(node, T_(i,j))`` in O(1).
+
+        Uses the cached ``(T, T)`` tables when they already exist; otherwise
+        evaluates the operator on the O(1) scalar sums, which is bit-for-bit
+        identical to the corresponding table entry.
+        """
+        cached = self._cache.get(node.index)
+        if cached is not None:
+            self._check_interval(i, j)
+            return float(cached[0][i, j]), float(cached[1][i, j])
+        key = (node.index, i, j)
+        point = self._point_cache.get(key)
+        if point is None:
+            sums = self.interval_sums_at(node, i, j)
+            gain, loss = self._operator.gain_loss(sums)
+            point = (float(gain), float(loss))
+            self._point_cache[key] = point
+        return point
+
     def gain(self, node: HierarchyNode, i: int, j: int) -> float:
         """Gain of the aggregate ``(node, T_(i,j))``."""
-        self._check_interval(i, j)
-        return float(self.tables(node)[0][i, j])
+        return self.gain_loss_at(node, i, j)[0]
 
     def loss(self, node: HierarchyNode, i: int, j: int) -> float:
         """Loss of the aggregate ``(node, T_(i,j))``."""
-        self._check_interval(i, j)
-        return float(self.tables(node)[1][i, j])
+        return self.gain_loss_at(node, i, j)[1]
 
     def pic(self, node: HierarchyNode, i: int, j: int, p: float) -> float:
         """pIC of the aggregate ``(node, T_(i,j))`` at trade-off ``p``."""
-        gain, loss = self.tables(node)
-        self._check_interval(i, j)
-        return float(pic(gain[i, j], loss[i, j], p))
+        gain, loss = self.gain_loss_at(node, i, j)
+        return float(pic(gain, loss, p))
 
     def pic_table(self, node: HierarchyNode, p: float) -> np.ndarray:
         """Full ``(T, T)`` pIC table of ``node`` at trade-off ``p``."""
@@ -178,13 +255,8 @@ class IntervalStatistics:
     # ------------------------------------------------------------------ #
     def macro_proportions(self, node: HierarchyNode, i: int, j: int) -> np.ndarray:
         """Aggregated per-state proportions ``rho_x(S_k, T_(i,j))`` (Eq. 1)."""
-        self._check_interval(i, j)
-        table = self._macro_cache.get(node.index)
-        if table is None:
-            sums = self.interval_sums(node)
-            table = self._operator.macro_proportions(sums)
-            self._macro_cache[node.index] = table
-        return np.asarray(table[i, j])
+        sums = self.interval_sums_at(node, i, j)
+        return np.asarray(self._operator.macro_proportions(sums))
 
     # ------------------------------------------------------------------ #
     # Totals over the microscopic partition

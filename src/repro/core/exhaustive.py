@@ -101,16 +101,20 @@ def brute_force_optimum(
     model: MicroscopicModel,
     p: float,
     operator: "AggregationOperator | str | None" = None,
+    stats: IntervalStatistics | None = None,
 ) -> tuple[float, Partition]:
-    """Best pIC and one optimal partition found by exhaustive search."""
-    stats = IntervalStatistics(model, operator)
+    """Best pIC and one optimal partition found by exhaustive search.
+
+    Every aggregate is scored through the O(1) point queries of the shared
+    :class:`IntervalStatistics` engine (pass ``stats`` to reuse one across
+    calls).
+    """
+    if stats is None:
+        stats = IntervalStatistics(model, operator)
     best_value = -float("inf")
     best_partition: Partition | None = None
     for partition in enumerate_partitions(model):
-        value = sum(
-            p * stats.gain(a.node, a.i, a.j) - (1.0 - p) * stats.loss(a.node, a.i, a.j)
-            for a in partition
-        )
+        value = sum(stats.pic(a.node, a.i, a.j, p) for a in partition)
         if value > best_value:
             best_value = value
             best_partition = partition

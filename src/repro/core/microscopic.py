@@ -87,6 +87,7 @@ class MicroscopicModel:
         self._hierarchy = hierarchy
         self._slicing = slicing
         self._states = states
+        self._cumulatives: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -205,6 +206,29 @@ class MicroscopicModel:
     def proportions(self) -> np.ndarray:
         """The ``rho_x(s, t)`` cube, shape ``(R, T, X)``."""
         return self._durations / self.slice_durations[None, :, None]
+
+    def cumulative_tables(self) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Resource-axis prefix sums shared by every interval-statistics engine.
+
+        Returns three ``(R + 1, T, X)`` arrays — cumulative ``d_x(s, t)``,
+        cumulative ``rho_x(s, t)`` and cumulative ``rho log2 rho`` — such that
+        the per-slice sums of any hierarchy node (a contiguous leaf range
+        ``[a, b)``) are ``table[b] - table[a]``.  Computed once per model and
+        cached, so every :class:`~repro.core.criteria.IntervalStatistics`
+        built over the same model shares them.
+        """
+        if self._cumulatives is None:
+            from .operators import xlogx  # local import: operators imports nothing from here
+
+            durations = self._durations
+            proportions = self.proportions
+            zeros = np.zeros((1,) + durations.shape[1:])
+            self._cumulatives = (
+                np.concatenate([zeros, np.cumsum(durations, axis=0)]),
+                np.concatenate([zeros, np.cumsum(proportions, axis=0)]),
+                np.concatenate([zeros, np.cumsum(xlogx(proportions), axis=0)]),
+            )
+        return self._cumulatives
 
     def resource_durations(self, resource: str) -> np.ndarray:
         """``d_x(s, t)`` for a single resource, shape ``(T, X)``."""

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from .criteria import IntervalStatistics
 from .hierarchy import HierarchyNode
 from .microscopic import MicroscopicModel
@@ -102,8 +100,7 @@ class SpatialAggregator:
         last = self._reduced.n_slices - 1
         decisions: dict[int, _NodeDecision] = {}
         for node in self._model.hierarchy.iter_nodes("post"):
-            gain, loss = self._stats.tables(node)
-            own = float(p * gain[0, last] - (1.0 - p) * loss[0, last])
+            own = self._stats.pic(node, 0, last, p)
             if node.children:
                 children_sum = float(sum(decisions[c.index].pic for c in node.children))
                 if children_sum > own + self.EPSILON:
@@ -126,11 +123,7 @@ class SpatialAggregator:
         """pIC of the optimal spatial partition (on the reduced data)."""
         nodes = self.optimal_nodes(p)
         last = self._reduced.n_slices - 1
-        total = 0.0
-        for node in nodes:
-            gain, loss = self._stats.tables(node)
-            total += float(p * gain[0, last] - (1.0 - p) * loss[0, last])
-        return total
+        return float(sum(self._stats.pic(node, 0, last, p) for node in nodes))
 
     def run(self, p: float) -> Partition:
         """Optimal spatial partition expressed over the full time span.

@@ -14,18 +14,35 @@ optimal partition of the area ``(S_k, T_(i,j))`` together with a *cut* value:
 * ``cut[i, j] == c`` with ``i <= c < j`` — temporal cut after slice ``c``.
 
 The recursion over children nested in the iteration over cells reproduces
-Algorithm 1 exactly; the temporal-cut search for one cell is vectorized with
-numpy, keeping the overall ``O(|S| |T|^3)`` complexity with a small constant.
+Algorithm 1; instead of visiting the ``O(|T|^2)`` cells of a node one by one,
+the dynamic program sweeps the table *anti-diagonal by anti-diagonal* (all
+intervals of the same length at once): strided views expose, for every start
+``i`` simultaneously, the candidate values ``best[i, i+k] + best[i+k+1, j]``
+of every cut position ``k``, so one interval length costs a constant number
+of vectorized operations instead of ``O(|T|)`` Python-level iterations.  The
+arithmetic is exactly the per-cell recurrence — same additions, same maxima,
+same tie-breaking — so the result is bit-for-bit identical to the reference
+per-cell implementation (kept as :meth:`compute_tables_reference` and checked
+by the property tests), while the overall ``O(|S| |T|^3)`` work runs at numpy
+speed.
+
+Independent hierarchy subtrees only interact at their common ancestors, so
+the per-subtree table computations are embarrassingly parallel; passing
+``jobs > 1`` distributes them over a process pool and merges the per-subtree
+results in the parent (exposed as ``repro analyze --jobs``).
+
 The optimal partition is recovered by replaying the cuts from the root and
 the whole time span.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 from .criteria import IntervalStatistics
 from .hierarchy import HierarchyNode
@@ -37,6 +54,8 @@ __all__ = ["SpatiotemporalAggregator", "aggregate_spatiotemporal", "NodeTables"]
 
 #: Sentinel cut value meaning "spatial cut" (split between children).
 SPATIAL_CUT = -1
+
+_INT64_MAX = np.iinfo(np.int64).max
 
 
 @dataclass(frozen=True)
@@ -63,6 +82,119 @@ class NodeTables:
     count: np.ndarray
 
 
+def _cut_windows(table: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The two strided windows the anti-diagonal sweep reads ``table`` through.
+
+    ``left[i, k] = table[i, i + k]`` — the finalized cells of row ``i`` (the
+    left part of a cut after slice ``i + k``) — and ``right[r, m] =
+    table[r - m, r]`` — the finalized cells above ``(r, r)`` in column ``r``
+    (the right parts, read upwards).  Both are zero-copy views aliasing
+    ``table``, so in-place updates between sweeps are visible immediately.
+
+    The rectangular hull of either window extends past the underlying buffer;
+    callers must only access the in-bounds slices ``left[:T - L, :L]`` and
+    ``right[L:, :L]`` for an interval length ``L``, which is exactly what
+    :func:`_temporal_cuts` does.
+    """
+    n = table.shape[0]
+    s0, s1 = table.strides
+    left = as_strided(table, shape=(n, n), strides=(s0 + s1, s1))
+    right = as_strided(table, shape=(n, n), strides=(s0 + s1, -s0))
+    return left, right
+
+
+def _temporal_cuts(
+    best: np.ndarray, cut: np.ndarray, count: np.ndarray, epsilon: float
+) -> None:
+    """Apply the optimal temporal cuts to ``best``/``cut``/``count`` in place.
+
+    ``best`` must already hold, for every cell, the better of "no cut" and
+    "spatial cut".  Sweeps interval lengths in increasing order; every
+    candidate read touches only shorter (finalized) intervals.
+    """
+    n_slices = best.shape[0]
+    all_starts = np.arange(n_slices)
+    best_left, best_right = _cut_windows(best)
+    count_left, count_right = _cut_windows(count)
+    for length in range(1, n_slices):
+        starts = all_starts[: n_slices - length]
+        ends = starts + length
+        m = n_slices - length
+        # values[i, k] = best[i, i + k] + best[i + k + 1, i + length]; the
+        # right window is read upwards, hence the reversed column slice.
+        values = best_left[:m, :length] + best_right[length:, length - 1 :: -1]
+        counts = count_left[:m, :length] + count_right[length:, length - 1 :: -1]
+        top = values.max(axis=1, keepdims=True)
+        # Among cuts whose pIC ties with the best one, prefer the coarsest
+        # resulting partition (argmin returns the first minimal cut).
+        eligible = values >= top - epsilon
+        k = np.where(eligible, counts, _INT64_MAX).argmin(axis=1)
+        value = values[starts, k]
+        cut_count = counts[starts, k]
+        current = best[starts, ends]
+        current_count = count[starts, ends]
+        improve = (value > current + epsilon) | (
+            (value > current - epsilon) & (cut_count < current_count)
+        )
+        if improve.any():
+            rows = starts[improve]
+            cols = rows + length
+            best[rows, cols] = value[improve]
+            count[rows, cols] = cut_count[improve]
+            cut[rows, cols] = rows + k[improve]
+
+
+def _find_node(root: HierarchyNode, index: int) -> HierarchyNode:
+    for node in root.iter_subtree("post"):
+        if node.index == index:
+            return node
+    raise ValueError(f"no hierarchy node with index {index}")
+
+
+#: Per-worker aggregator, installed once by the pool initializer so that the
+#: model (and its cumulative prefix tables) is serialized once per worker
+#: process rather than once per submitted subtree.
+_WORKER_AGGREGATOR: "SpatiotemporalAggregator | None" = None
+
+
+def _init_worker(
+    model: MicroscopicModel,
+    operator: "AggregationOperator | str | None",
+    epsilon: float,
+) -> None:
+    global _WORKER_AGGREGATOR
+    _WORKER_AGGREGATOR = SpatiotemporalAggregator(model, operator=operator, epsilon=epsilon)
+
+
+def _subtree_worker(p: float, node_index: int) -> dict[int, NodeTables]:
+    """Process-pool entry point: full tables of one hierarchy subtree."""
+    aggregator = _WORKER_AGGREGATOR
+    assert aggregator is not None, "worker used before _init_worker ran"
+    subtree_root = _find_node(aggregator.model.hierarchy.root, node_index)
+    tables: dict[int, NodeTables] = {}
+    for node in subtree_root.iter_subtree("post"):
+        tables[node.index] = aggregator._node_tables(node, p, tables)
+    return tables
+
+
+def _select_frontier(root: HierarchyNode, jobs: int) -> list[HierarchyNode]:
+    """Independent subtrees to distribute over ``jobs`` workers.
+
+    Starting from the root, repeatedly expands the widest frontier node until
+    at least ``jobs`` subtrees are available (or only leaves remain); wider
+    subtrees dominate the work, so expanding them first balances the pool.
+    """
+    frontier = [root]
+    while len(frontier) < jobs:
+        expandable = [node for node in frontier if node.children]
+        if not expandable:
+            break
+        widest = max(expandable, key=lambda node: node.n_leaves)
+        frontier.remove(widest)
+        frontier.extend(widest.children)
+    return frontier
+
+
 class SpatiotemporalAggregator:
     """Optimal spatiotemporal aggregation of a microscopic model.
 
@@ -75,6 +207,10 @@ class SpatiotemporalAggregator:
     stats:
         Optional pre-computed :class:`IntervalStatistics` to share across
         aggregators.
+    jobs:
+        Default process-pool width for :meth:`compute_tables`; ``None``/``0``/
+        ``1`` keep the computation serial.  Parallel and serial runs return
+        identical tables.
 
     Notes
     -----
@@ -97,10 +233,16 @@ class SpatiotemporalAggregator:
         operator: "AggregationOperator | str | None" = None,
         stats: IntervalStatistics | None = None,
         epsilon: float | None = None,
+        jobs: int | None = None,
     ):
         self._model = model
         self._stats = stats if stats is not None else IntervalStatistics(model, operator)
+        # Resolved operator instance (picklable) — what the process-pool
+        # workers re-instantiate their own statistics engine with.
+        self._operator = self._stats.operator
         self._epsilon = self.EPSILON if epsilon is None else float(epsilon)
+        self._jobs = jobs
+        self._triu: "tuple[np.ndarray, np.ndarray] | None" = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -118,38 +260,96 @@ class SpatiotemporalAggregator:
     # ------------------------------------------------------------------ #
     # Dynamic program
     # ------------------------------------------------------------------ #
-    def compute_tables(self, p: float) -> Mapping[int, NodeTables]:
+    def _node_base_tables(
+        self, node: HierarchyNode, p: float, tables: Mapping[int, NodeTables]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """No-cut pIC, cut and count tables of ``node``, spatial cut applied."""
+        n_slices = self._model.n_slices
+        if self._triu is None:
+            self._triu = np.triu_indices(n_slices)
+        upper_i, upper_j = self._triu
+        gain, loss = self._stats.tables(node)
+        best = p * gain - (1.0 - p) * loss
+        cut = np.full((n_slices, n_slices), 0, dtype=np.int64)
+        cut[upper_i, upper_j] = upper_j  # "no cut" default
+        count = np.ones((n_slices, n_slices), dtype=np.int64)
+
+        if node.children:
+            children_sum = np.zeros_like(best)
+            children_count = np.zeros_like(count)
+            for child in node.children:
+                children_sum = children_sum + tables[child.index].pic
+                children_count = children_count + tables[child.index].count
+            spatial_better = (children_sum > best + self._epsilon) | (
+                (children_sum > best - self._epsilon) & (children_count < count)
+            )
+            best = np.where(spatial_better, children_sum, best)
+            cut = np.where(spatial_better, SPATIAL_CUT, cut)
+            count = np.where(spatial_better, children_count, count)
+        return best, cut, count
+
+    def _node_tables(
+        self, node: HierarchyNode, p: float, tables: Mapping[int, NodeTables]
+    ) -> NodeTables:
+        """Optimal tables of one node given its children's tables."""
+        best, cut, count = self._node_base_tables(node, p, tables)
+        _temporal_cuts(best, cut, count, self._epsilon)
+        return NodeTables(pic=best, cut=cut, count=count)
+
+    def compute_tables(self, p: float, jobs: int | None = None) -> Mapping[int, NodeTables]:
         """Run Algorithm 1 and return the per-node pIC / cut tables.
 
-        The mapping is keyed by ``node.index``.
+        The mapping is keyed by ``node.index``.  ``jobs`` overrides the
+        constructor default; any value above 1 computes independent hierarchy
+        subtrees in a process pool before merging at their ancestors.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        jobs = self._jobs if jobs is None else jobs
+        if jobs is not None and jobs > 1:
+            return self._compute_tables_parallel(p, int(jobs))
+        tables: dict[int, NodeTables] = {}
+        for node in self._model.hierarchy.iter_nodes("post"):
+            tables[node.index] = self._node_tables(node, p, tables)
+        return tables
+
+    def _compute_tables_parallel(self, p: float, jobs: int) -> Mapping[int, NodeTables]:
+        """Distribute independent subtrees over a process pool, merge ancestors."""
+        root = self._model.hierarchy.root
+        frontier = _select_frontier(root, jobs)
+        if len(frontier) <= 1:
+            return self.compute_tables(p, jobs=1)
+        tables: dict[int, NodeTables] = {}
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(frontier)),
+            initializer=_init_worker,
+            initargs=(self._model, self._operator, self._epsilon),
+        ) as pool:
+            futures = [pool.submit(_subtree_worker, p, node.index) for node in frontier]
+            for future in futures:
+                tables.update(future.result())
+        # The remaining nodes are the frontier's strict ancestors; post-order
+        # guarantees children are available when their parent is reached.
+        for node in self._model.hierarchy.iter_nodes("post"):
+            if node.index not in tables:
+                tables[node.index] = self._node_tables(node, p, tables)
+        return tables
+
+    def compute_tables_reference(self, p: float) -> Mapping[int, NodeTables]:
+        """Per-cell reference implementation of Algorithm 1.
+
+        Visits every cell ``(i, j)`` of every node in an explicit Python loop,
+        exactly as the paper describes.  Kept as the correctness oracle for
+        the vectorized sweep (the property tests assert bit-identical tables)
+        and as the "before" leg of ``benchmarks/bench_spatiotemporal.py``.
         """
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"p must be in [0, 1], got {p}")
         n_slices = self._model.n_slices
-        tables: dict[int, NodeTables] = {}
-        upper_i, upper_j = np.triu_indices(n_slices)
-
         epsilon = self._epsilon
+        tables: dict[int, NodeTables] = {}
         for node in self._model.hierarchy.iter_nodes("post"):
-            gain, loss = self._stats.tables(node)
-            best = p * gain - (1.0 - p) * loss
-            cut = np.full((n_slices, n_slices), 0, dtype=np.int64)
-            cut[upper_i, upper_j] = upper_j  # "no cut" default
-            count = np.ones((n_slices, n_slices), dtype=np.int64)
-
-            if node.children:
-                children_sum = np.zeros_like(best)
-                children_count = np.zeros_like(count)
-                for child in node.children:
-                    children_sum = children_sum + tables[child.index].pic
-                    children_count = children_count + tables[child.index].count
-                spatial_better = (children_sum > best + epsilon) | (
-                    (children_sum > best - epsilon) & (children_count < count)
-                )
-                best = np.where(spatial_better, children_sum, best)
-                cut = np.where(spatial_better, SPATIAL_CUT, cut)
-                count = np.where(spatial_better, children_count, count)
-
+            best, cut, count = self._node_base_tables(node, p, tables)
             # Temporal cuts: rows from the last slice upwards, columns left to
             # right, so that every sub-interval referenced is already optimal.
             for i in range(n_slices - 1, -1, -1):
@@ -159,10 +359,8 @@ class SpatiotemporalAggregator:
                     values = row[i:j] + best[i + 1 : j + 1, j]
                     counts = row_count[i:j] + count[i + 1 : j + 1, j]
                     top = values.max()
-                    # Among cuts whose pIC ties with the best one, prefer the
-                    # coarsest resulting partition.
                     eligible = values >= top - epsilon
-                    k = int(np.where(eligible, counts, np.iinfo(np.int64).max).argmin())
+                    k = int(np.where(eligible, counts, _INT64_MAX).argmin())
                     value = values[k]
                     cut_count = int(counts[k])
                     if value > row[j] + epsilon or (
@@ -171,7 +369,6 @@ class SpatiotemporalAggregator:
                         row[j] = value
                         row_count[j] = cut_count
                         cut[i, j] = i + k
-
             tables[node.index] = NodeTables(pic=best, cut=cut, count=count)
         return tables
 
@@ -184,9 +381,9 @@ class SpatiotemporalAggregator:
     # ------------------------------------------------------------------ #
     # Partition recovery
     # ------------------------------------------------------------------ #
-    def run(self, p: float) -> Partition:
+    def run(self, p: float, jobs: int | None = None) -> Partition:
         """Compute and return the optimal partition at trade-off ``p``."""
-        tables = self.compute_tables(p)
+        tables = self.compute_tables(p, jobs=jobs)
         aggregates = self._recover(tables)
         return Partition(
             aggregates,
@@ -228,6 +425,7 @@ def aggregate_spatiotemporal(
     model: MicroscopicModel,
     p: float,
     operator: "AggregationOperator | str | None" = None,
+    jobs: int | None = None,
 ) -> Partition:
     """One-shot convenience wrapper around :class:`SpatiotemporalAggregator`."""
-    return SpatiotemporalAggregator(model, operator=operator).run(p)
+    return SpatiotemporalAggregator(model, operator=operator, jobs=jobs).run(p)

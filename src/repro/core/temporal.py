@@ -98,8 +98,7 @@ class TemporalAggregator:
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"p must be in [0, 1], got {p}")
         root = self._reduced.hierarchy.root
-        gain, loss = self._stats.tables(root)
-        pic_table = p * gain - (1.0 - p) * loss
+        pic_table = self._stats.pic_table(root, p)
         n_slices = self._reduced.n_slices
 
         # best[j] = optimal pIC of a segmentation of slices 0..j-1 (best[0] = 0).

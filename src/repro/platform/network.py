@@ -15,7 +15,7 @@ quiet ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from .topology import Placement, Platform, PlatformError

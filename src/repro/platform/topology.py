@@ -9,7 +9,7 @@ resource hierarchy consumed by the aggregation algorithms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from ..core.hierarchy import Hierarchy

@@ -23,7 +23,7 @@ Timing model
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generator, Iterable, Sequence
 
 import numpy as np
@@ -109,6 +109,7 @@ class MPISimulator:
         self._collectives: dict[str, list[_Collective]] = {}
         self._collective_cursor: dict[tuple[str, int], int] = {}
         self._rng = np.random.default_rng(seed)
+        self._seed = seed
         self._noise: dict[int, np.random.Generator] = {}
 
     # ------------------------------------------------------------------ #
@@ -127,7 +128,9 @@ class MPISimulator:
         """Deterministic multiplicative jitter for compute durations."""
         generator = self._noise.get(rank)
         if generator is None:
-            generator = np.random.default_rng((hash(("noise", rank)) ^ 0xA5A5) & 0xFFFFFFFF)
+            # Seeded from (simulation seed, rank) only — `hash()` would be
+            # PYTHONHASHSEED-salted and change between interpreters.
+            generator = np.random.default_rng((self._seed, 0xA5A5, rank))
             self._noise[rank] = generator
         return float(1.0 + scale * (generator.random() - 0.5))
 

@@ -17,8 +17,8 @@ use ``scaled()`` for the even smaller instances used in unit tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable
 
 from ..platform.grid5000 import grenoble_site, nancy_site, rennes_parapide, rennes_site
 from ..platform.network import NetworkModel, PerturbationWindow

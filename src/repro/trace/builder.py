@@ -12,9 +12,9 @@ from __future__ import annotations
 from typing import Any, Iterable, Mapping
 
 from ..core.hierarchy import Hierarchy
-from .events import ENTER, LEAVE, POINT, Event, EventError, StateInterval
+from .events import ENTER, LEAVE, POINT, Event, StateInterval
 from .states import StateRegistry
-from .trace import Trace, TraceError
+from .trace import Trace
 
 __all__ = ["TraceBuilder", "TraceBuildError", "intervals_from_events"]
 

@@ -20,13 +20,13 @@ import io
 import json
 import os
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any
 
 from ..core.hierarchy import Hierarchy
 from .builder import TraceBuilder
 from .events import StateInterval
 from .states import StateRegistry
-from .trace import Trace, TraceError
+from .trace import Trace
 
 __all__ = [
     "write_csv",

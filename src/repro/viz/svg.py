@@ -11,12 +11,11 @@ from __future__ import annotations
 
 import html
 from pathlib import Path
-from typing import Sequence
 
 from ..core.criteria import IntervalStatistics
 from ..core.partition import Partition
 from .layout import OverviewLayout, Rect
-from .visual import VisualAggregationResult, VisualItem, visual_aggregation
+from .visual import VisualAggregationResult, visual_aggregation
 
 __all__ = ["render_partition_svg", "render_visual_svg", "save_svg"]
 
@@ -46,12 +45,12 @@ def _rect_svg(rect: Rect, color: str, alpha: float, title: str) -> str:
 def _marker_svg(rect: Rect, marker: str) -> str:
     lines = [
         f'<line x1="{rect.x:.2f}" y1="{rect.y2:.2f}" x2="{rect.x2:.2f}" y2="{rect.y:.2f}" '
-        f'stroke="#202020" stroke-width="0.8"/>'
+        'stroke="#202020" stroke-width="0.8"/>'
     ]
     if marker == "cross":
         lines.append(
             f'<line x1="{rect.x:.2f}" y1="{rect.y:.2f}" x2="{rect.x2:.2f}" y2="{rect.y2:.2f}" '
-            f'stroke="#202020" stroke-width="0.8"/>'
+            'stroke="#202020" stroke-width="0.8"/>'
         )
     return "".join(lines)
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.hierarchy import Hierarchy, HierarchyError, HierarchyNode
+from repro.core.hierarchy import Hierarchy, HierarchyError
 
 
 def build_sample() -> Hierarchy:

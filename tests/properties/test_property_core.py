@@ -129,7 +129,37 @@ class TestAggregationProperties:
 
     @_SETTINGS
     @given(model=model_strategy())
-    def test_partition_size_monotone_in_p(self, model):
-        aggregator = SpatiotemporalAggregator(model)
+    def test_partition_size_monotone_in_p_with_sum_operator(self, model):
+        """With the canonical sum operator (non-negative, superadditive gain)
+        raising p can only coarsen the optimal partition.  The paper's mean
+        operator does not guarantee this: Eq. 3 taken literally can yield a
+        negative gain for extremely heterogeneous areas (see
+        test_p_one_is_always_the_full_aggregation_with_sum_operator), which
+        lets a higher p occasionally prefer a *finer* partition."""
+        aggregator = SpatiotemporalAggregator(model, operator="sum")
         sizes = [aggregator.run(p).size for p in (0.0, 0.25, 0.5, 0.75, 1.0)]
         assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_mean_operator_size_not_monotone_counterexample(self):
+        """Pinned counterexample: the paper's mean operator is *not* size
+        monotone in p (here sizes go 8 -> 9 between p=0.25 and p=0.5), and
+        every one of those partitions is nevertheless a true optimum of its
+        pIC — the non-monotonicity is a property of Eq. 1-3's possibly
+        negative gain, not an aggregation bug.  If this ever starts failing,
+        the operator semantics changed and the sum-only restriction of the
+        monotonicity property above should be revisited."""
+        raw = np.zeros((3, 4, 1))
+        raw[0, 3, 0] = 1.0
+        raw[1, :, 0] = [0.8967856041928328, 0.02623239894424045,
+                        0.5941068785279069, 0.7843009257459952]
+        raw[2, :, 0] = [0.0, 1.0, 0.05190766639746147, 0.03912840157229192]
+        hierarchy = Hierarchy.balanced(3)
+        states = StateRegistry(["s0"])
+        model = MicroscopicModel.from_proportions(raw, hierarchy, states)
+        aggregator = SpatiotemporalAggregator(model)
+        ps = (0.0, 0.25, 0.5, 0.75, 1.0)
+        sizes = [aggregator.run(p).size for p in ps]
+        assert sizes == [10, 8, 9, 9, 1]
+        for p in ps:
+            best_value, _ = brute_force_optimum(model, p)
+            assert aggregator.optimal_pic(p) == pytest.approx(best_value, abs=1e-9)

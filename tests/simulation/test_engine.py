@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.simulation.engine import Channel, Environment, Event, SimulationError, all_of
+from repro.simulation.engine import Channel, Environment, SimulationError, all_of
 
 
 class TestEnvironment:

@@ -73,3 +73,87 @@ class TestCommands:
         capsys.readouterr()
         assert main(["analyze", str(trace_path), "--operator", "sum", "--slices", "12"]) == 0
         assert "Analysis report" in capsys.readouterr().out
+
+
+class TestAnalyzeErrors:
+    def test_missing_trace_file_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "nope.csv")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: trace file not found" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_malformed_header_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("this,is,not,a\ntrace,file,0,1\n")
+        code = main(["analyze", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: cannot read trace" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_malformed_timestamps_are_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("resource_path,state,start,end\nm/r0,Running,zero,one\n")
+        code = main(["analyze", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "invalid timestamps" in captured.err
+
+    def test_reversed_interval_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("resource_path,state,start,end\nm/r0,Running,5,2\n")
+        code = main(["analyze", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: cannot read trace" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_non_finite_timestamps_are_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("resource_path,state,start,end\nm/r0,Running,0,inf\n")
+        code = main(["analyze", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "Traceback" not in captured.err
+
+    def test_empty_trace_file_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "empty.csv"
+        bad.write_text("resource_path,state,start,end\n")
+        code = main(["analyze", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: cannot read trace" in captured.err
+
+    def test_directory_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "is a directory" in captured.err
+
+    def test_rejects_non_positive_slices(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "t.csv"), "--slices", "0"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--slices must be at least 1" in captured.err
+
+    def test_rejects_non_positive_jobs(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "t.csv"), "--jobs", "0"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--jobs must be at least 1" in captured.err
+
+
+class TestAnalyzeJobs:
+    def test_parallel_analyze_matches_serial(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.csv"
+        main([
+            "simulate", "--case", "A", "--processes", "8", "--iterations", "3",
+            "--platform-scale", "0.25", "--output", str(trace_path),
+        ])
+        capsys.readouterr()
+        assert main(["analyze", str(trace_path), "--slices", "12"]) == 0
+        serial_report = capsys.readouterr().out
+        assert main(["analyze", str(trace_path), "--slices", "12", "--jobs", "2"]) == 0
+        parallel_report = capsys.readouterr().out
+        assert parallel_report == serial_report
