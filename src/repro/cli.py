@@ -1,17 +1,24 @@
 """Command-line interface.
 
-Two subcommands cover the typical workflow without writing Python:
+Four subcommands cover the typical workflow without writing Python:
 
 * ``simulate`` — run one of the paper's scenarios (cases A–D, optionally
   scaled down) and write the trace as a CSV file;
-* ``analyze`` — read a trace CSV, build the microscopic model, run the
-  spatiotemporal aggregation and print the analysis report (optionally
-  writing an SVG overview and an ASCII overview).
+* ``analyze`` — read a trace (CSV or ``.rtz`` store), build the microscopic
+  model, run the spatiotemporal aggregation and print the analysis report
+  as text or, with ``--json``, as the service's machine-readable payload;
+* ``convert`` — convert a CSV trace into a chunked binary ``.rtz`` store
+  (optionally pre-building microscopic models for chosen slice counts);
+* ``serve`` — pin one or more traces in memory and answer aggregation
+  queries over a JSON HTTP API (``GET /traces``, ``POST /analyze``,
+  ``POST /sweep``, ``GET /health``).
 
 Usage::
 
     python -m repro simulate --case A --processes 32 --output case_a.csv
     python -m repro analyze case_a.csv --slices 30 -p 0.7 --svg overview.svg
+    python -m repro convert case_a.csv case_a.rtz --model-slices 30,60
+    python -m repro serve case_a.rtz --port 8000
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .analysis import detect_deviating_cells, detect_phases, overview_report
@@ -30,7 +38,7 @@ from .simulation import case_a, case_b, case_c, case_d, run_scenario
 from .trace import read_csv, write_csv, write_metadata
 from .trace.events import EventError
 from .trace.io import TraceIOError
-from .trace.trace import TraceError
+from .trace.trace import Trace, TraceError
 from .viz import render_partition_ascii, render_visual_svg, save_svg
 
 __all__ = ["main", "build_parser"]
@@ -78,6 +86,30 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the aggregation (default: 1, serial; "
                               "parallel runs return the same partition)")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the machine-readable JSON report (byte-identical to "
+                              "the service's POST /analyze) instead of the text report")
+
+    convert = subparsers.add_parser(
+        "convert", help="convert a CSV trace into a binary .rtz trace store"
+    )
+    convert.add_argument("trace", help="CSV trace file (written by 'simulate' or write_csv)")
+    convert.add_argument("output", help="store directory to create (conventionally *.rtz)")
+    convert.add_argument("--chunk-rows", type=int, default=None,
+                         help="rows per columnar chunk file (default: 65536)")
+    convert.add_argument("--model-slices", default=None,
+                         help="comma-separated slice counts to pre-build microscopic "
+                              "models for (e.g. '30,60'); served queries at those slice "
+                              "counts then skip model construction entirely")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve traces over a JSON HTTP API (see repro.service)"
+    )
+    serve.add_argument("traces", nargs="+",
+                       help="traces to serve: .rtz store directories or CSV files")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port (default: 8000; 0 picks a free port)")
     return parser
 
 
@@ -92,14 +124,43 @@ def _command_simulate(args: argparse.Namespace) -> int:
     print(f"simulating case {args.case}: {scenario.application.upper()} class "
           f"{scenario.nas_class}, {scenario.n_processes} processes ...", file=sys.stderr)
     trace = run_scenario(scenario)
-    size = write_csv(trace, args.output)
-    if args.metadata:
-        write_metadata(trace, args.metadata)
+    try:
+        size = write_csv(trace, args.output)
+        if args.metadata:
+            write_metadata(trace, args.metadata)
+    except OSError as exc:
+        print(f"error: cannot write output: {exc}", file=sys.stderr)
+        return 2
     print(f"wrote {trace.n_events} events ({size} bytes) to {args.output}")
     return 0
 
 
+def _load_trace_argument(path_text: str) -> "Trace | int":
+    """Load a trace argument (CSV file or ``.rtz`` store) as a :class:`Trace`.
+
+    Returns the trace on success, an exit code on failure (after printing
+    the error).
+    """
+    from .store import is_store, open_store
+
+    try:
+        if is_store(path_text):
+            return open_store(path_text).load_trace()
+        return read_csv(path_text)
+    except FileNotFoundError:
+        print(f"error: trace file not found: {path_text}", file=sys.stderr)
+        return 2
+    except IsADirectoryError:
+        print(f"error: {path_text} is a directory, not a trace CSV", file=sys.stderr)
+        return 2
+    except (TraceIOError, TraceError, EventError, HierarchyError) as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+
+
 def _command_analyze(args: argparse.Namespace) -> int:
+    from .store import is_store, open_store
+
     if not 0.0 <= args.parameter <= 1.0:
         print("error: -p must be in [0, 1]", file=sys.stderr)
         return 2
@@ -109,33 +170,160 @@ def _command_analyze(args: argparse.Namespace) -> int:
     if args.slices < 1:
         print("error: --slices must be at least 1", file=sys.stderr)
         return 2
+    if args.json and args.ascii:
+        print("error: --json and --ascii are mutually exclusive", file=sys.stderr)
+        return 2
+    store = None
+    trace: "Trace | None" = None
+    if is_store(args.trace):
+        try:
+            store = open_store(args.trace)
+        except TraceIOError as exc:
+            print(f"error: cannot read trace: {exc}", file=sys.stderr)
+            return 2
+    else:
+        loaded = _load_trace_argument(args.trace)
+        if isinstance(loaded, int):
+            return loaded
+        trace = loaded
     try:
-        trace = read_csv(args.trace)
-    except FileNotFoundError:
-        print(f"error: trace file not found: {args.trace}", file=sys.stderr)
-        return 2
-    except IsADirectoryError:
-        print(f"error: {args.trace} is a directory, not a trace CSV", file=sys.stderr)
-        return 2
-    except (TraceIOError, TraceError, EventError, HierarchyError) as exc:
-        print(f"error: cannot read trace: {exc}", file=sys.stderr)
-        return 2
-    try:
-        model = MicroscopicModel.from_trace(trace, n_slices=args.slices)
+        if store is not None:
+            # Columnar fast path: cached model (prefix tables included) or a
+            # vectorized discretization — bit-identical to from_trace.
+            model = store.model(args.slices)
+        else:
+            model = MicroscopicModel.from_trace(trace, n_slices=args.slices)
     except (MicroscopicModelError, TimeSlicingError) as exc:
         print(f"error: cannot build the microscopic model: {exc}", file=sys.stderr)
+        return 2
+    except TraceIOError as exc:  # corrupt store discovered on column load
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
         return 2
     aggregator = SpatiotemporalAggregator(model, operator=args.operator, jobs=args.jobs)
     partition = aggregator.run(args.parameter)
     phases = detect_phases(partition, model)
     anomalies = detect_deviating_cells(model, threshold=args.anomaly_threshold)
-    print(overview_report(trace, model, partition, phases, anomalies))
-    if args.ascii:
-        print()
-        print(render_partition_ascii(partition))
+    if args.json:
+        from .service import AnalysisResult, analysis_payload, serialize_payload, trace_summary
+        from .store import trace_digest
+
+        if store is not None:
+            summary = trace_summary(
+                store.digest, store.n_intervals, store.hierarchy.n_leaves,
+                len(store.states), store.start, store.end, store.metadata,
+            )
+        else:
+            summary = trace_summary(
+                trace_digest(trace), trace.n_intervals, trace.hierarchy.n_leaves,
+                len(trace.states), trace.start, trace.end, trace.metadata,
+            )
+        payload = analysis_payload(
+            summary,
+            AnalysisResult(partition=partition, phases=phases, anomalies=anomalies),
+            {
+                "p": args.parameter,
+                "slices": args.slices,
+                "operator": args.operator,
+                "anomaly_threshold": args.anomaly_threshold,
+            },
+        )
+        print(serialize_payload(payload))
+    else:
+        if trace is None:
+            assert store is not None
+            try:
+                trace = store.load_trace()  # the text report quotes interval counts
+            except TraceIOError as exc:
+                print(f"error: cannot read trace: {exc}", file=sys.stderr)
+                return 2
+        print(overview_report(trace, model, partition, phases, anomalies))
+        if args.ascii:
+            print()
+            print(render_partition_ascii(partition))
     if args.svg:
-        save_svg(render_visual_svg(partition, title=f"{args.trace} (p={args.parameter})"), args.svg)
-        print(f"\nSVG overview written to {args.svg}")
+        try:
+            save_svg(
+                render_visual_svg(partition, title=f"{args.trace} (p={args.parameter})"),
+                args.svg,
+            )
+        except OSError as exc:
+            print(f"error: cannot write SVG: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(f"SVG overview written to {args.svg}", file=sys.stderr)
+        else:
+            print(f"\nSVG overview written to {args.svg}")
+    return 0
+
+
+def _command_convert(args: argparse.Namespace) -> int:
+    from .store import DEFAULT_CHUNK_ROWS, StoreError, save_store
+
+    loaded = _load_trace_argument(args.trace)
+    if isinstance(loaded, int):
+        return loaded
+    trace = loaded
+    model_slices: list[int] = []
+    if args.model_slices:
+        try:
+            model_slices = [int(v) for v in args.model_slices.split(",") if v.strip()]
+        except ValueError:
+            print(f"error: invalid --model-slices: {args.model_slices!r}", file=sys.stderr)
+            return 2
+        if any(s < 1 for s in model_slices):
+            print("error: --model-slices values must be at least 1", file=sys.stderr)
+            return 2
+    chunk_rows = args.chunk_rows if args.chunk_rows is not None else DEFAULT_CHUNK_ROWS
+    try:
+        store = save_store(trace, args.output, chunk_rows=chunk_rows)
+        for n_slices in model_slices:
+            store.model(n_slices)
+    except (StoreError, OSError) as exc:
+        print(f"error: cannot write store: {exc}", file=sys.stderr)
+        return 2
+    extra = f", models for slices {model_slices}" if model_slices else ""
+    print(
+        f"wrote {store.n_intervals} intervals to {args.output} "
+        f"(digest {store.digest[:12]}…{extra})"
+    )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import AnalysisSession, ServiceError, build_server
+    from .store import is_store, open_store
+
+    sessions: "dict[str, AnalysisSession]" = {}
+    for path_text in args.traces:
+        name = Path(path_text).stem or path_text
+        if name in sessions:
+            print(f"error: duplicate trace name {name!r} (rename one input)", file=sys.stderr)
+            return 2
+        if is_store(path_text):
+            try:
+                sessions[name] = AnalysisSession(open_store(path_text), name=name)
+            except TraceIOError as exc:
+                print(f"error: cannot open store: {exc}", file=sys.stderr)
+                return 2
+        else:
+            loaded = _load_trace_argument(path_text)
+            if isinstance(loaded, int):
+                return loaded
+            sessions[name] = AnalysisSession(loaded, name=name)
+    try:
+        server = build_server(sessions, host=args.host, port=args.port)
+    except (ServiceError, OSError) as exc:
+        print(f"error: cannot start the service: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"serving {len(sessions)} trace(s) on http://{host}:{port} "
+          f"({', '.join(sorted(sessions))})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -148,6 +336,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_simulate(args)
         if args.command == "analyze":
             return _command_analyze(args)
+        if args.command == "convert":
+            return _command_convert(args)
+        if args.command == "serve":
+            return _command_serve(args)
     except BrokenPipeError:
         # Reader closed early (e.g. `repro analyze ... | head`).  Point both
         # streams at devnull so the interpreter's final flush cannot traceback

@@ -134,6 +134,70 @@ class MicroscopicModel:
         return cls(durations, hierarchy, slicing, registry)
 
     @classmethod
+    def from_columns(
+        cls,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        resource_ids: np.ndarray,
+        state_ids: np.ndarray,
+        hierarchy: Hierarchy,
+        states: StateRegistry,
+        n_slices: int = 30,
+        slicing: TimeSlicing | None = None,
+        chunk_rows: int = 65536,
+    ) -> "MicroscopicModel":
+        """Discretize columnar interval arrays without materializing a trace.
+
+        Semantically equivalent to :meth:`from_trace` on the same intervals —
+        bit-for-bit: each interval's per-slice overlaps are computed with the
+        same min/max arithmetic as :meth:`TimeSlicing.overlaps` and
+        accumulated in the same (row, then slice) order, so a store-backed
+        service returns exactly the partitions a CSV batch run produces.  The
+        rows must be in the canonical trace order (sorted by start, end), as
+        written by :func:`repro.store.save_store`.
+
+        Works in chunks of ``chunk_rows`` rows so the scratch overlap matrix
+        stays small regardless of the trace size.
+        """
+        starts = np.ascontiguousarray(starts, dtype=float)
+        ends = np.ascontiguousarray(ends, dtype=float)
+        resource_ids = np.ascontiguousarray(resource_ids, dtype=np.int64)
+        state_ids = np.ascontiguousarray(state_ids, dtype=np.int64)
+        n_rows = starts.size
+        if not (ends.size == resource_ids.size == state_ids.size == n_rows):
+            raise MicroscopicModelError("column arrays must have the same length")
+        if n_rows and (
+            resource_ids.min() < 0
+            or resource_ids.max() >= hierarchy.n_leaves
+            or state_ids.min() < 0
+            or state_ids.max() >= len(states)
+        ):
+            raise MicroscopicModelError("resource or state id out of range")
+        if slicing is None:
+            if n_rows == 0 or not ends.max() > starts.min():
+                raise MicroscopicModelError(
+                    "cannot slice a trace with an empty time span"
+                )
+            slicing = TimeSlicing.regular(float(starts.min()), float(ends.max()), n_slices)
+        edges = slicing.edges
+        n_slices = slicing.n_slices
+        durations = np.zeros((hierarchy.n_leaves, n_slices, len(states)))
+        flat = durations.reshape(-1)
+        for chunk_start in range(0, n_rows, max(1, chunk_rows)):
+            sl = slice(chunk_start, chunk_start + chunk_rows)
+            lo = np.maximum(starts[sl], edges[0])[:, None]
+            hi = np.minimum(ends[sl], edges[-1])[:, None]
+            # overlap[i, t] = min(hi, edges[t+1]) - max(lo, edges[t]); <= 0
+            # outside the touched slice range, exactly as TimeSlicing.overlaps.
+            overlap = np.minimum(hi, edges[None, 1:]) - np.maximum(lo, edges[None, :-1])
+            rows, cols = np.nonzero(overlap > 0)
+            cell = (
+                resource_ids[sl][rows] * n_slices + cols
+            ) * len(states) + state_ids[sl][rows]
+            np.add.at(flat, cell, overlap[rows, cols])
+        return cls(durations, hierarchy, slicing, states)
+
+    @classmethod
     def from_proportions(
         cls,
         proportions: np.ndarray,
@@ -250,30 +314,50 @@ class MicroscopicModel:
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
-    def save_npz(self, path: str) -> None:
-        """Save the cube and its dimension descriptions to an ``.npz`` file."""
-        np.savez_compressed(
-            path,
-            durations=self._durations,
-            edges=self._slicing.edges,
-            leaf_paths=np.array(
+    def save_npz(self, path: str, include_tables: bool = False) -> None:
+        """Save the cube and its dimension descriptions to an ``.npz`` file.
+
+        With ``include_tables=True`` the cached resource-axis prefix sums of
+        :meth:`cumulative_tables` are persisted as well (computing them first
+        if needed), so a reloaded model skips straight to answering interval
+        statistics queries — this is what the trace store's model cache uses.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "durations": self._durations,
+            "edges": self._slicing.edges,
+            "leaf_paths": np.array(
                 ["/".join(leaf.path) for leaf in self._hierarchy.leaves], dtype=object
             ),
-            state_names=np.array(list(self._states.names), dtype=object),
-        )
+            "state_names": np.array(list(self._states.names), dtype=object),
+        }
+        if include_tables:
+            cum_durations, cum_proportions, cum_xlogx = self.cumulative_tables()
+            arrays["cum_durations"] = cum_durations
+            arrays["cum_proportions"] = cum_proportions
+            arrays["cum_xlogx"] = cum_xlogx
+        np.savez_compressed(path, **arrays)
 
     @classmethod
     def load_npz(cls, path: str) -> "MicroscopicModel":
-        """Load a model saved by :meth:`save_npz`."""
+        """Load a model saved by :meth:`save_npz` (restoring cached tables)."""
         with np.load(path, allow_pickle=True) as data:
             durations = data["durations"]
             edges = data["edges"]
             leaf_paths = [tuple(p.split("/")) for p in data["leaf_paths"].tolist()]
             state_names = data["state_names"].tolist()
+            cumulatives = None
+            if "cum_durations" in data:
+                cumulatives = (
+                    data["cum_durations"],
+                    data["cum_proportions"],
+                    data["cum_xlogx"],
+                )
         hierarchy = Hierarchy.from_paths(leaf_paths)
         slicing = TimeSlicing(edges)
         states = StateRegistry(state_names)
-        return cls(durations, hierarchy, slicing, states)
+        model = cls(durations, hierarchy, slicing, states)
+        model._cumulatives = cumulatives
+        return model
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -1,0 +1,35 @@
+"""Aggregation query service: cached analysis sessions and the HTTP API.
+
+Turns the batch library into the interactive system the paper describes:
+:class:`AnalysisSession` pins a trace and its models in memory behind an LRU
+result cache, and :func:`build_server` exposes sessions over a stdlib JSON
+HTTP API (``repro serve``).
+"""
+
+from .http import TraceServiceServer, build_server
+from .serializer import (
+    ANALYSIS_SCHEMA,
+    SWEEP_SCHEMA,
+    AnalysisResult,
+    analysis_payload,
+    run_analysis,
+    serialize_payload,
+    trace_summary,
+)
+from .session import MAX_SLICES, OPERATORS, AnalysisSession, ServiceError
+
+__all__ = [
+    "ANALYSIS_SCHEMA",
+    "SWEEP_SCHEMA",
+    "AnalysisResult",
+    "run_analysis",
+    "analysis_payload",
+    "serialize_payload",
+    "trace_summary",
+    "AnalysisSession",
+    "ServiceError",
+    "OPERATORS",
+    "MAX_SLICES",
+    "TraceServiceServer",
+    "build_server",
+]

@@ -1,0 +1,190 @@
+"""Stdlib HTTP front-end for the analysis service (``repro serve``).
+
+A :class:`~http.server.ThreadingHTTPServer` exposing a small JSON API over a
+registry of :class:`~repro.service.session.AnalysisSession`:
+
+* ``GET /health`` — liveness plus aggregate cache statistics;
+* ``GET /traces`` — the served traces and their content digests;
+* ``POST /analyze`` — one aggregation query, ``{"trace": name, "p": 0.7,
+  "slices": 30, "operator": "mean"}`` (every field optional; ``trace``
+  defaults to the only served trace).  The response body is byte-identical
+  to ``repro analyze --json`` on the same content and parameters;
+* ``POST /sweep`` — batch multi-``p`` sweep, ``{"trace": name, "ps": [...]}``
+  (omit ``ps`` to get the significant-parameter search).
+
+No third-party web framework: the service must run wherever the library
+does, and the stdlib threading server is plenty for an analysis cache whose
+hot path is a dictionary lookup.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from ..trace.io import TraceIOError
+from .serializer import serialize_payload
+from .session import AnalysisSession, ServiceError
+
+__all__ = ["TraceServiceServer", "build_server", "MAX_BODY_BYTES"]
+
+#: Largest accepted request body; queries are tiny, anything bigger is abuse.
+MAX_BODY_BYTES = 1 << 20
+
+
+class TraceServiceServer(ThreadingHTTPServer):
+    """Threading HTTP server holding the session registry."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], sessions: Mapping[str, AnalysisSession]):
+        if not sessions:
+            raise ServiceError("the service needs at least one trace")
+        self.sessions: dict[str, AnalysisSession] = dict(sessions)
+        super().__init__(address, ServiceHandler)
+
+    def resolve(self, name: "str | None") -> AnalysisSession:
+        """Session by name; the single session when ``name`` is omitted."""
+        if name is None:
+            if len(self.sessions) == 1:
+                return next(iter(self.sessions.values()))
+            raise LookupError(
+                f"multiple traces served ({sorted(self.sessions)}); "
+                "the request must name one"
+            )
+        try:
+            return self.sessions[name]
+        except KeyError:
+            raise LookupError(f"unknown trace {name!r}") from None
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Request handler: routes, JSON bodies, error mapping."""
+
+    server: TraceServiceServer
+    protocol_version = "HTTP/1.1"
+    #: Advertised by ``GET /health``; bump alongside the payload schemas.
+    server_version = "repro-serve/1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # keep stdout/stderr clean; CI parses the CLI's own output
+
+    # ------------------------------------------------------------------ #
+    # Response plumbing
+    # ------------------------------------------------------------------ #
+    def _send(self, status: int, body: str) -> None:
+        data = (body + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        if self.close_connection:
+            # Set when the request body was left unread — advertise that the
+            # connection is done so well-behaved clients do not pipeline.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
+        self._send(status, serialize_payload(payload))
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message, "status": status})
+
+    def _read_body(self) -> dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            # The body length is unknowable, so the connection cannot be
+            # reused: unread body bytes would be parsed as the next request.
+            self.close_connection = True
+            raise ServiceError("invalid Content-Length header") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            self.close_connection = True  # body left unread — do not reuse
+            raise ServiceError(
+                f"request body must be between 0 and {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ServiceError("request body must be a JSON object")
+        return body
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/health":
+            sessions = self.server.sessions.values()
+            caches = [session.cache_info() for session in sessions]
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "service": self.server_version,
+                    "n_traces": len(self.server.sessions),
+                    "cache": {
+                        "hits": sum(c["hits"] for c in caches),
+                        "misses": sum(c["misses"] for c in caches),
+                        "entries": sum(c["entries"] for c in caches),
+                    },
+                },
+            )
+        elif path == "/traces":
+            self._send_json(
+                200,
+                {
+                    "traces": [
+                        self.server.sessions[name].summary()
+                        for name in sorted(self.server.sessions)
+                    ]
+                },
+            )
+        else:
+            self._send_error(404, f"no such endpoint: {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path not in ("/analyze", "/sweep"):
+            self._send_error(404, f"no such endpoint: {path}")
+            return
+        try:
+            body = self._read_body()
+            session = self.server.resolve(body.get("trace"))
+            if path == "/analyze":
+                text = session.aggregate_json(
+                    p=body.get("p", 0.7),
+                    slices=body.get("slices", 30),
+                    operator=body.get("operator", "mean"),
+                    anomaly_threshold=body.get("anomaly_threshold", 0.1),
+                )
+                self._send(200, text)
+            else:
+                payload = session.sweep(
+                    ps=body.get("ps"),
+                    slices=body.get("slices", 30),
+                    operator=body.get("operator", "mean"),
+                )
+                self._send_json(200, payload)
+        except ServiceError as exc:
+            self._send_error(400, str(exc))
+        except LookupError as exc:
+            self._send_error(404, str(exc))
+        except TraceIOError as exc:
+            # Store went bad underneath a live server (deleted chunk, bit rot).
+            self._send_error(500, f"trace store error: {exc}")
+
+
+def build_server(
+    sessions: Mapping[str, AnalysisSession],
+    host: str = "127.0.0.1",
+    port: int = 8000,
+) -> TraceServiceServer:
+    """Bind a :class:`TraceServiceServer` (``port=0`` picks a free port)."""
+    return TraceServiceServer((host, port), sessions)

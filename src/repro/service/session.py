@@ -1,0 +1,318 @@
+"""Long-lived analysis sessions with cached results.
+
+An :class:`AnalysisSession` pins one trace — a :class:`~repro.store.TraceStore`
+or an in-memory :class:`~repro.trace.Trace` — together with its discretized
+microscopic models and interval-statistics engines, and answers ``aggregate``
+queries through an LRU cache keyed by ``(digest, slices, operator, p)``.
+This is what turns the paper's one-shot batch pipeline into the interactive
+workflow it describes: sliding ``p`` re-runs only the (already fast) dynamic
+program the first time and is a dictionary lookup after that.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Sequence
+
+from ..core.microscopic import MicroscopicModel
+from ..core.parameters import find_significant_parameters, quality_curve
+from ..core.spatiotemporal import SpatiotemporalAggregator
+from ..store.format import trace_digest
+from ..store.store import TraceStore
+from ..trace.trace import Trace
+from .serializer import (
+    SWEEP_SCHEMA,
+    analysis_payload,
+    run_analysis,
+    serialize_payload,
+    trace_summary,
+)
+
+__all__ = ["AnalysisSession", "ServiceError", "OPERATORS", "MAX_SLICES"]
+
+#: Operators a query may request (mirrors ``repro analyze --operator``).
+OPERATORS = ("mean", "sum")
+#: Upper bound on requested slices — the dynamic program is O(|S| |T|^3), so
+#: an unbounded request could wedge a shared server.
+MAX_SLICES = 512
+#: Default number of retained analysis results per session.
+DEFAULT_CACHE_SIZE = 128
+
+
+class ServiceError(ValueError):
+    """Raised for invalid query parameters (maps to HTTP 400)."""
+
+
+class AnalysisSession:
+    """One trace pinned in memory, with model, engine and result caches.
+
+    Parameters
+    ----------
+    source:
+        A :class:`TraceStore` (models come from / are persisted to the store's
+        cache) or a :class:`Trace` (models are built in memory).
+    name:
+        Public name used by the HTTP registry.
+    cache_size:
+        Maximum retained analysis results (least recently used evicted).
+
+    Notes
+    -----
+    All public query methods are thread-safe: a per-session lock serializes
+    model construction and aggregation, so one session can be shared by every
+    thread of :class:`~repro.service.http.TraceServiceServer`.
+    """
+
+    def __init__(
+        self,
+        source: "TraceStore | Trace",
+        name: str = "trace",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ):
+        if cache_size < 1:
+            raise ServiceError("cache_size must be at least 1")
+        self._name = name
+        self._store: TraceStore | None = None
+        self._trace: Trace | None = None
+        if isinstance(source, TraceStore):
+            self._store = source
+            self._digest = source.digest
+        elif isinstance(source, Trace):
+            self._trace = source
+            self._digest = trace_digest(source)
+        else:
+            raise ServiceError(f"unsupported session source: {type(source).__name__}")
+        self._models: dict[int, MicroscopicModel] = {}
+        self._aggregators: dict[tuple[int, str], SpatiotemporalAggregator] = {}
+        self._results: "OrderedDict[tuple, str]" = OrderedDict()
+        self._cache_size = cache_size
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Registry name of the session."""
+        return self._name
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the pinned trace."""
+        return self._digest
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-friendly description for ``GET /traces``."""
+        if self._store is not None:
+            info = self._store.summary()
+            info["source"] = "store"
+        else:
+            trace = self._trace
+            assert trace is not None
+            info = {
+                "digest": self._digest,
+                "n_intervals": trace.n_intervals,
+                "n_resources": trace.hierarchy.n_leaves,
+                "n_states": len(trace.states),
+                "states": list(trace.states.names),
+                "start": trace.start,
+                "end": trace.end,
+                "metadata": dict(trace.metadata),
+                "source": "memory",
+            }
+        info["name"] = self._name
+        info["cache"] = self.cache_info()
+        return info
+
+    def cache_info(self) -> dict[str, int]:
+        """Result-cache statistics."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "entries": len(self._results),
+                "max_entries": self._cache_size,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Model / aggregator plumbing
+    # ------------------------------------------------------------------ #
+    def _validate(self, p: float, slices: int, operator: str) -> tuple[float, int, str]:
+        try:
+            p = float(p)
+            slices = int(slices)
+        except (TypeError, ValueError):
+            raise ServiceError("p must be a number and slices an integer") from None
+        if not 0.0 <= p <= 1.0:
+            raise ServiceError(f"p must be in [0, 1], got {p}")
+        if not 1 <= slices <= MAX_SLICES:
+            raise ServiceError(f"slices must be in [1, {MAX_SLICES}], got {slices}")
+        if operator not in OPERATORS:
+            raise ServiceError(
+                f"unknown operator {operator!r}; expected one of {list(OPERATORS)}"
+            )
+        return p, slices, operator
+
+    def model(self, slices: int = 30) -> MicroscopicModel:
+        """The microscopic model at ``slices`` slices (cached)."""
+        with self._lock:
+            model = self._models.get(slices)
+            if model is None:
+                if self._store is not None:
+                    model = self._store.model(slices)
+                else:
+                    assert self._trace is not None
+                    model = MicroscopicModel.from_trace(self._trace, n_slices=slices)
+                self._models[slices] = model
+            return model
+
+    def aggregator(self, slices: int = 30, operator: str = "mean") -> SpatiotemporalAggregator:
+        """The aggregation engine for ``(slices, operator)`` (cached).
+
+        Engines share the model's prefix-sum arrays, and their per-node
+        gain/loss tables are ``p``-independent, so a slider sweep over ``p``
+        re-runs only the dynamic program.
+        """
+        with self._lock:
+            key = (slices, operator)
+            aggregator = self._aggregators.get(key)
+            if aggregator is None:
+                aggregator = SpatiotemporalAggregator(self.model(slices), operator=operator)
+                self._aggregators[key] = aggregator
+            return aggregator
+
+    def _trace_section(self) -> dict[str, Any]:
+        if self._store is not None:
+            store = self._store
+            return trace_summary(
+                self._digest,
+                store.n_intervals,
+                store.hierarchy.n_leaves,
+                len(store.states),
+                store.start,
+                store.end,
+                store.metadata,
+            )
+        trace = self._trace
+        assert trace is not None
+        return trace_summary(
+            self._digest,
+            trace.n_intervals,
+            trace.hierarchy.n_leaves,
+            len(trace.states),
+            trace.start,
+            trace.end,
+            trace.metadata,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def aggregate_json(
+        self,
+        p: float = 0.7,
+        slices: int = 30,
+        operator: str = "mean",
+        anomaly_threshold: float = 0.1,
+    ) -> str:
+        """Canonical JSON text of one aggregation query (LRU-cached).
+
+        The cache key is ``(digest, slices, operator, p, anomaly_threshold)``
+        — content-addressed, so two sessions serving byte-identical traces
+        under different names would produce interchangeable entries.
+        """
+        p, slices, operator = self._validate(p, slices, operator)
+        try:
+            anomaly_threshold = float(anomaly_threshold)
+        except (TypeError, ValueError):
+            raise ServiceError("anomaly_threshold must be a number") from None
+        key = (self._digest, slices, operator, p, anomaly_threshold)
+        with self._lock:
+            cached = self._results.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._results.move_to_end(key)
+                return cached
+            self._misses += 1
+            model = self.model(slices)
+            result = run_analysis(
+                model,
+                p,
+                aggregator=self.aggregator(slices, operator),
+                anomaly_threshold=anomaly_threshold,
+            )
+            payload = analysis_payload(
+                self._trace_section(),
+                result,
+                {
+                    "p": p,
+                    "slices": slices,
+                    "operator": operator,
+                    "anomaly_threshold": anomaly_threshold,
+                },
+            )
+            text = serialize_payload(payload)
+            self._results[key] = text
+            while len(self._results) > self._cache_size:
+                self._results.popitem(last=False)
+            return text
+
+    def aggregate(
+        self,
+        p: float = 0.7,
+        slices: int = 30,
+        operator: str = "mean",
+        anomaly_threshold: float = 0.1,
+    ) -> dict[str, Any]:
+        """Like :meth:`aggregate_json` but parsed back into a dict."""
+        return json.loads(self.aggregate_json(p, slices, operator, anomaly_threshold))
+
+    def sweep(
+        self,
+        ps: "Sequence[float] | None" = None,
+        slices: int = 30,
+        operator: str = "mean",
+    ) -> dict[str, Any]:
+        """Batch multi-``p`` sweep: the data behind an interactive slider.
+
+        With explicit ``ps``, evaluates the quality curve at those trade-offs;
+        without, runs the dichotomic search of
+        :func:`~repro.core.parameters.find_significant_parameters` and reports
+        one representative ``p`` per distinct overview.  Tables are shared
+        across the whole sweep through the session's cached aggregator.
+        """
+        _, slices, operator = self._validate(0.0, slices, operator)
+        if ps is not None:
+            try:
+                ps = [float(p) for p in ps]
+            except (TypeError, ValueError):
+                raise ServiceError("ps must be a list of numbers") from None
+            for p in ps:
+                self._validate(p, slices, operator)
+        with self._lock:
+            aggregator = self.aggregator(slices, operator)
+            significant: "list[float] | None" = None
+            if ps is None:
+                significant = find_significant_parameters(aggregator)
+                ps = significant
+            points = quality_curve(aggregator, ps=ps)
+        return {
+            "schema": SWEEP_SCHEMA,
+            "trace": self._trace_section(),
+            "params": {"slices": slices, "operator": operator},
+            "significant": significant,
+            "points": [
+                {
+                    "p": point.p,
+                    "size": point.size,
+                    "gain": point.gain,
+                    "loss": point.loss,
+                    "pic": point.pic,
+                }
+                for point in points
+            ],
+        }

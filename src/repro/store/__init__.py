@@ -1,0 +1,34 @@
+"""Persistent binary trace store (the ``.rtz`` format).
+
+Converts traces into chunked columnar arrays with content digests and an
+on-disk microscopic-model cache, so interactive sessions and the analysis
+service never re-parse CSV or rebuild models.  See :mod:`repro.store.format`
+for the on-disk layout.
+"""
+
+from .format import (
+    DEFAULT_CHUNK_ROWS,
+    FORMAT,
+    STORE_SUFFIX,
+    StoreError,
+    StoreIntegrityError,
+    TraceColumns,
+    columns_digest,
+    trace_digest,
+)
+from .store import TraceStore, is_store, open_store, save_store
+
+__all__ = [
+    "FORMAT",
+    "STORE_SUFFIX",
+    "DEFAULT_CHUNK_ROWS",
+    "StoreError",
+    "StoreIntegrityError",
+    "TraceColumns",
+    "columns_digest",
+    "trace_digest",
+    "TraceStore",
+    "save_store",
+    "open_store",
+    "is_store",
+]

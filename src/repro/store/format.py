@@ -1,0 +1,180 @@
+"""On-disk format of the ``.rtz`` trace store.
+
+A store is a directory with a small JSON manifest, two JSON side-cars for the
+dimensions, the interval data as chunked columnar ``.npz`` files, and an
+optional cache of discretized microscopic models:
+
+.. code-block:: text
+
+    trace.rtz/
+        manifest.json        format version, content digest, chunk index
+        hierarchy.json       leaf paths (slash-free, as JSON arrays)
+        states.json          state names + display colours, in index order
+        chunks/chunk-00000.npz   starts, ends, resource_ids, state_ids
+        models/slices-30.npz     cached MicroscopicModel (+ prefix tables)
+
+The columnar layout (four parallel arrays per chunk: ``float64`` starts and
+ends, ``int32`` resource and state ids) is what the analysis engine consumes
+directly — :meth:`repro.core.MicroscopicModel.from_columns` never
+materializes per-interval Python objects.  The **content digest** is a
+SHA-256 over the canonical little-endian bytes of the columns plus the
+dimension side-cars; it identifies the trace *content* independently of the
+container, so a CSV file and its converted store hash identically and can
+share result-cache entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..trace.io import TraceIOError
+from ..trace.trace import Trace
+
+__all__ = [
+    "FORMAT",
+    "STORE_SUFFIX",
+    "MANIFEST_FILE",
+    "HIERARCHY_FILE",
+    "STATES_FILE",
+    "CHUNK_DIR",
+    "MODEL_DIR",
+    "DEFAULT_CHUNK_ROWS",
+    "StoreError",
+    "StoreIntegrityError",
+    "TraceColumns",
+    "columns_digest",
+    "trace_digest",
+]
+
+#: Format identifier written to (and required from) every manifest.
+FORMAT = "rtz/1"
+#: Conventional store directory suffix (informational; not enforced).
+STORE_SUFFIX = ".rtz"
+MANIFEST_FILE = "manifest.json"
+HIERARCHY_FILE = "hierarchy.json"
+STATES_FILE = "states.json"
+CHUNK_DIR = "chunks"
+MODEL_DIR = "models"
+#: Default rows per chunk file (~2 MB of columnar data).
+DEFAULT_CHUNK_ROWS = 65536
+
+
+class StoreError(TraceIOError):
+    """Raised when a trace store is missing, malformed or unreadable."""
+
+
+class StoreIntegrityError(StoreError):
+    """Raised when store contents do not match the manifest digest."""
+
+
+@dataclass(frozen=True)
+class TraceColumns:
+    """The columnar representation of a trace's intervals.
+
+    Rows are in the canonical trace order (sorted by ``(start, end)``), the
+    order :class:`repro.trace.Trace` maintains internally, so round-trips
+    through the store preserve interval order exactly.
+    """
+
+    starts: np.ndarray
+    ends: np.ndarray
+    resource_ids: np.ndarray
+    state_ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.starts.size
+        if not (self.ends.size == self.resource_ids.size == self.state_ids.size == n):
+            raise StoreError("trace columns must have the same length")
+
+    @property
+    def n_rows(self) -> int:
+        """Number of state intervals."""
+        return int(self.starts.size)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "TraceColumns":
+        """Encode a trace's intervals against its own hierarchy and registry."""
+        n = trace.n_intervals
+        starts = np.empty(n, dtype="<f8")
+        ends = np.empty(n, dtype="<f8")
+        resource_ids = np.empty(n, dtype="<i4")
+        state_ids = np.empty(n, dtype="<i4")
+        leaf_index = {name: i for i, name in enumerate(trace.hierarchy.leaf_names)}
+        state_index = {name: i for i, name in enumerate(trace.states.names)}
+        for row, interval in enumerate(trace.intervals):
+            starts[row] = interval.start
+            ends[row] = interval.end
+            resource_ids[row] = leaf_index[interval.resource]
+            state_ids[row] = state_index[interval.state]
+        return cls(starts, ends, resource_ids, state_ids)
+
+    def slice(self, start: int, stop: int) -> "TraceColumns":
+        """Row slice ``[start, stop)`` (used to write chunk files)."""
+        return TraceColumns(
+            self.starts[start:stop],
+            self.ends[start:stop],
+            self.resource_ids[start:stop],
+            self.state_ids[start:stop],
+        )
+
+    @classmethod
+    def concatenate(cls, parts: Sequence["TraceColumns"]) -> "TraceColumns":
+        """Reassemble chunked columns in chunk order."""
+        if not parts:
+            empty_f = np.empty(0, dtype="<f8")
+            empty_i = np.empty(0, dtype="<i4")
+            return cls(empty_f, empty_f.copy(), empty_i, empty_i.copy())
+        return cls(
+            np.concatenate([p.starts for p in parts]),
+            np.concatenate([p.ends for p in parts]),
+            np.concatenate([p.resource_ids for p in parts]),
+            np.concatenate([p.state_ids for p in parts]),
+        )
+
+
+def _canonical_json(value: Any) -> bytes:
+    return json.dumps(value, sort_keys=True, default=str).encode("utf-8")
+
+
+def columns_digest(
+    columns: TraceColumns,
+    leaf_paths: Sequence[Sequence[str]],
+    state_names: Sequence[str],
+    metadata: Mapping[str, Any],
+) -> str:
+    """SHA-256 content digest of a trace in columnar form.
+
+    The digest covers the dimension descriptions and the canonical
+    little-endian bytes of the four columns, so it is independent of chunking
+    and container format.
+    """
+    digest = hashlib.sha256()
+    digest.update(FORMAT.encode("ascii") + b"\n")
+    digest.update(_canonical_json([list(path) for path in leaf_paths]) + b"\n")
+    digest.update(_canonical_json(list(state_names)) + b"\n")
+    digest.update(_canonical_json(dict(metadata)) + b"\n")
+    digest.update(np.ascontiguousarray(columns.starts, dtype="<f8").tobytes())
+    digest.update(np.ascontiguousarray(columns.ends, dtype="<f8").tobytes())
+    digest.update(np.ascontiguousarray(columns.resource_ids, dtype="<i4").tobytes())
+    digest.update(np.ascontiguousarray(columns.state_ids, dtype="<i4").tobytes())
+    return digest.hexdigest()
+
+
+def trace_digest(trace: Trace) -> str:
+    """Content digest of an in-memory trace.
+
+    Equal to the digest of the store :func:`repro.store.save_store` would
+    write for this trace — the service uses it to key result caches so batch
+    (CSV) and served (store) runs of the same content share entries.
+    """
+    return columns_digest(
+        TraceColumns.from_trace(trace),
+        [leaf.path for leaf in trace.hierarchy.leaves],
+        trace.states.names,
+        trace.metadata,
+    )

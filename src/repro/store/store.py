@@ -1,0 +1,445 @@
+"""Persistent ``.rtz`` trace stores: :func:`save_store` / :func:`open_store`.
+
+The store is the persistence layer between the trace substrate and the
+analysis service: a CSV trace is converted once (``repro convert``) and every
+later session loads columnar arrays straight into numpy — an order of
+magnitude faster than re-parsing CSV — while the microscopic-model cache
+makes a reopened trace skip model construction (and even the prefix-sum
+warm-up of the interval-statistics engine) entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.microscopic import MicroscopicModel
+from ..core.timeslicing import TimeSlicing
+from ..core.hierarchy import Hierarchy
+from ..trace.events import StateInterval
+from ..trace.states import StateRegistry
+from ..trace.trace import Trace
+from .format import (
+    CHUNK_DIR,
+    DEFAULT_CHUNK_ROWS,
+    FORMAT,
+    HIERARCHY_FILE,
+    MANIFEST_FILE,
+    MODEL_DIR,
+    STATES_FILE,
+    StoreError,
+    StoreIntegrityError,
+    TraceColumns,
+    columns_digest,
+)
+
+__all__ = ["TraceStore", "save_store", "open_store", "is_store"]
+
+_CHUNK_KEYS = ("starts", "ends", "resource_ids", "state_ids")
+
+
+def is_store(path: "str | os.PathLike[str]") -> bool:
+    """Whether ``path`` looks like a trace store (a dir with a manifest)."""
+    return Path(path).is_dir() and (Path(path) / MANIFEST_FILE).is_file()
+
+
+def _read_json(path: Path, what: str) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise StoreError(f"{path}: missing {what}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StoreError(f"{path}: unreadable {what}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise StoreError(f"{path}: {what} must be a JSON object")
+    return payload
+
+
+class TraceStore:
+    """An opened ``.rtz`` store.
+
+    Cheap to open — only the manifest and dimension side-cars are read; the
+    interval columns are loaded (and digest-verified) on first access and the
+    microscopic model comes from the on-disk cache when available.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        manifest: Mapping[str, Any],
+        hierarchy: Hierarchy,
+        states: StateRegistry,
+    ):
+        self._path = path
+        self._manifest = dict(manifest)
+        self._hierarchy = hierarchy
+        self._states = states
+        self._columns: TraceColumns | None = None
+        self._trace: Trace | None = None
+        self._models: dict[int, MicroscopicModel] = {}
+
+    # ------------------------------------------------------------------ #
+    # Manifest accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Path:
+        """Store directory."""
+        return self._path
+
+    @property
+    def digest(self) -> str:
+        """Content digest recorded in the manifest."""
+        return str(self._manifest["digest"])
+
+    @property
+    def n_intervals(self) -> int:
+        """Number of state intervals."""
+        return int(self._manifest["n_intervals"])
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The resource hierarchy, rebuilt from the side-car."""
+        return self._hierarchy
+
+    @property
+    def states(self) -> StateRegistry:
+        """State registry (names and display colours) from the side-car."""
+        return self._states
+
+    @property
+    def start(self) -> float:
+        """Earliest interval start recorded at save time."""
+        return float(self._manifest.get("start", 0.0))
+
+    @property
+    def end(self) -> float:
+        """Latest interval end recorded at save time."""
+        return float(self._manifest.get("end", 0.0))
+
+    @property
+    def metadata(self) -> dict[str, Any]:
+        """Free-form trace metadata recorded at save time."""
+        return dict(self._manifest.get("metadata", {}))
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-friendly description used by ``GET /traces``."""
+        return {
+            "digest": self.digest,
+            "n_intervals": self.n_intervals,
+            "n_resources": self._hierarchy.n_leaves,
+            "n_states": len(self._states),
+            "states": list(self._states.names),
+            "start": self._manifest.get("start"),
+            "end": self._manifest.get("end"),
+            "metadata": self.metadata,
+            "cached_model_slices": self.cached_model_slices(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Column access
+    # ------------------------------------------------------------------ #
+    def columns(self) -> TraceColumns:
+        """All interval columns, concatenated from the chunk files.
+
+        The first call reads every chunk, verifies the row counts and the
+        content digest against the manifest, and caches the result.
+
+        Raises
+        ------
+        StoreError
+            When a chunk file is missing or malformed.
+        StoreIntegrityError
+            When the loaded content does not hash to the manifest digest.
+        """
+        if self._columns is not None:
+            return self._columns
+        parts: list[TraceColumns] = []
+        for entry in self._manifest.get("chunks", []):
+            chunk_path = self._path / entry["file"]
+            try:
+                with np.load(chunk_path) as data:
+                    part = TraceColumns(*(np.ascontiguousarray(data[k]) for k in _CHUNK_KEYS))
+            except FileNotFoundError:
+                raise StoreError(f"{chunk_path}: missing chunk file") from None
+            except Exception as exc:  # np.load raises a zoo: OSError, zipfile, pickle…
+                raise StoreError(f"{chunk_path}: unreadable chunk: {exc}") from exc
+            if part.n_rows != int(entry.get("rows", part.n_rows)):
+                raise StoreIntegrityError(
+                    f"{chunk_path}: {part.n_rows} rows, manifest says {entry.get('rows')}"
+                )
+            parts.append(part)
+        columns = TraceColumns.concatenate(parts)
+        if columns.n_rows != self.n_intervals:
+            raise StoreIntegrityError(
+                f"{self._path}: {columns.n_rows} rows in chunks, "
+                f"manifest says {self.n_intervals}"
+            )
+        actual = columns_digest(
+            columns,
+            [leaf.path for leaf in self._hierarchy.leaves],
+            self._states.names,
+            self.metadata,
+        )
+        if actual != self.digest:
+            raise StoreIntegrityError(
+                f"{self._path}: content digest {actual[:12]}… does not match "
+                f"manifest digest {self.digest[:12]}…"
+            )
+        self._columns = columns
+        return columns
+
+    def load_trace(self) -> Trace:
+        """Materialize the full :class:`~repro.trace.Trace`.
+
+        Only needed for interval-level work (re-serialization, filtering);
+        the analysis path goes straight from :meth:`columns` to
+        :meth:`model` without per-interval Python objects.
+        """
+        if self._trace is not None:
+            return self._trace
+        columns = self.columns()
+        leaf_names = self._hierarchy.leaf_names
+        state_names = self._states.names
+        resources = [leaf_names[i] for i in columns.resource_ids.tolist()]
+        states = [state_names[i] for i in columns.state_ids.tolist()]
+        intervals = list(
+            map(StateInterval, columns.starts.tolist(), columns.ends.tolist(), resources, states)
+        )
+        self._trace = Trace.from_sorted_intervals(
+            intervals, self._hierarchy, self._states.copy(), self.metadata
+        )
+        return self._trace
+
+    # ------------------------------------------------------------------ #
+    # Model cache
+    # ------------------------------------------------------------------ #
+    def model_cache_path(self, n_slices: int) -> Path:
+        """On-disk location of the cached model for ``n_slices`` slices."""
+        return self._path / MODEL_DIR / f"slices-{int(n_slices)}.npz"
+
+    def cached_model_slices(self) -> list[int]:
+        """Slice counts with a persisted model, in increasing order."""
+        model_dir = self._path / MODEL_DIR
+        found: list[int] = []
+        if model_dir.is_dir():
+            for entry in model_dir.glob("slices-*.npz"):
+                try:
+                    found.append(int(entry.stem.split("-", 1)[1]))
+                except ValueError:
+                    continue
+        return sorted(found)
+
+    def model(self, n_slices: int = 30, persist: bool = True) -> MicroscopicModel:
+        """The microscopic model at ``n_slices`` slices.
+
+        Resolution order: in-memory cache, then the on-disk model cache
+        (durations *and* the prefix-sum tables of the interval-statistics
+        engine, so no per-query warm-up remains), then a fresh vectorized
+        discretization of the columns — which is persisted back to the store
+        unless ``persist=False`` (write failures on read-only stores are
+        ignored; the model is still returned).
+        """
+        n_slices = int(n_slices)
+        model = self._models.get(n_slices)
+        if model is not None:
+            return model
+        model = self._load_cached_model(n_slices)
+        if model is None:
+            columns = self.columns()
+            model = MicroscopicModel.from_columns(
+                columns.starts,
+                columns.ends,
+                columns.resource_ids,
+                columns.state_ids,
+                self._hierarchy,
+                self._states,
+                n_slices=n_slices,
+            )
+            model.cumulative_tables()
+            if persist:
+                self._save_cached_model(n_slices, model)
+        self._models[n_slices] = model
+        return model
+
+    def _load_cached_model(self, n_slices: int) -> MicroscopicModel | None:
+        """The persisted model, or ``None`` on any miss *or* damage.
+
+        The model cache is derived data, always reproducible from the
+        (digest-verified) columns, so it fails open: an unreadable or
+        shape-mismatched file is treated as a miss and rebuilt — unlike the
+        chunks, where corruption is a hard :class:`StoreIntegrityError`.
+        """
+        path = self.model_cache_path(n_slices)
+        if not path.is_file():
+            return None
+        try:
+            with np.load(path, allow_pickle=True) as data:
+                durations = data["durations"]
+                edges = data["edges"]
+                cumulatives = None
+                if "cum_durations" in data:
+                    cumulatives = (
+                        data["cum_durations"],
+                        data["cum_proportions"],
+                        data["cum_xlogx"],
+                    )
+        except Exception:  # np.load raises a zoo: OSError, zipfile, pickle…
+            return None
+        if durations.shape != (self._hierarchy.n_leaves, n_slices, len(self._states)):
+            return None
+        model = MicroscopicModel(durations, self._hierarchy, TimeSlicing(edges), self._states)
+        model._cumulatives = cumulatives
+        return model
+
+    def _save_cached_model(self, n_slices: int, model: MicroscopicModel) -> None:
+        path = self.model_cache_path(n_slices)
+        temp = path.with_suffix(".tmp.npz")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            cum_durations, cum_proportions, cum_xlogx = model.cumulative_tables()
+            np.savez(
+                temp,
+                durations=model.durations,
+                edges=model.slicing.edges,
+                cum_durations=cum_durations,
+                cum_proportions=cum_proportions,
+                cum_xlogx=cum_xlogx,
+            )
+            # Atomic publish: a crash mid-write leaves a .tmp file, never a
+            # truncated cache entry.
+            temp.replace(path)
+        except OSError:
+            temp.unlink(missing_ok=True)  # read-only store: serve from memory
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TraceStore({str(self._path)!r}, n_intervals={self.n_intervals}, "
+            f"digest={self.digest[:12]}…)"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Writing
+# --------------------------------------------------------------------------- #
+def save_store(
+    trace: Trace,
+    path: "str | os.PathLike[str]",
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> TraceStore:
+    """Write ``trace`` as an ``.rtz`` store directory and return it opened.
+
+    ``path`` must not exist, be an empty directory, or be an existing store
+    (which is then replaced atomically enough for single-writer use: side-cars
+    first, manifest last, stale model caches removed).
+    """
+    if chunk_rows < 1:
+        raise StoreError("chunk_rows must be at least 1")
+    target = Path(path)
+    if target.exists():
+        if not target.is_dir():
+            raise StoreError(f"{target}: exists and is not a directory")
+        if any(target.iterdir()) and not is_store(target):
+            raise StoreError(f"{target}: refusing to overwrite a non-store directory")
+        shutil.rmtree(target)
+    columns = TraceColumns.from_trace(trace)
+    leaf_paths = [leaf.path for leaf in trace.hierarchy.leaves]
+    digest = columns_digest(columns, leaf_paths, trace.states.names, trace.metadata)
+
+    (target / CHUNK_DIR).mkdir(parents=True)
+    chunks = []
+    for index, start in enumerate(range(0, max(columns.n_rows, 1), chunk_rows)):
+        part = columns.slice(start, start + chunk_rows)
+        name = f"{CHUNK_DIR}/chunk-{index:05d}.npz"
+        np.savez(
+            target / name,
+            starts=part.starts,
+            ends=part.ends,
+            resource_ids=part.resource_ids,
+            state_ids=part.state_ids,
+        )
+        chunks.append({"file": name, "rows": part.n_rows})
+
+    (target / HIERARCHY_FILE).write_text(
+        json.dumps(
+            {
+                "root": trace.hierarchy.root.name,
+                "leaf_paths": [list(p) for p in leaf_paths],
+            },
+            indent=2,
+        )
+    )
+    (target / STATES_FILE).write_text(
+        json.dumps(
+            {
+                "names": list(trace.states.names),
+                "colors": list(trace.states.colors),
+            },
+            indent=2,
+        )
+    )
+    manifest = {
+        "format": FORMAT,
+        "digest": digest,
+        "n_intervals": columns.n_rows,
+        "chunk_rows": chunk_rows,
+        "chunks": chunks,
+        "start": trace.start,
+        "end": trace.end,
+        "metadata": dict(trace.metadata),
+    }
+    (target / MANIFEST_FILE).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    return open_store(target)
+
+
+# --------------------------------------------------------------------------- #
+# Reading
+# --------------------------------------------------------------------------- #
+def open_store(path: "str | os.PathLike[str]") -> TraceStore:
+    """Open an ``.rtz`` store directory written by :func:`save_store`.
+
+    Only the manifest and side-cars are read here; columns and models load
+    lazily.  Raises :class:`StoreError` (a :class:`~repro.trace.TraceIOError`)
+    when the directory is not a valid store.
+    """
+    target = Path(path)
+    if not target.is_dir():
+        raise StoreError(f"{target}: not a trace store directory")
+    manifest = _read_json(target / MANIFEST_FILE, "store manifest")
+    if manifest.get("format") != FORMAT:
+        raise StoreError(
+            f"{target}: unsupported store format {manifest.get('format')!r} "
+            f"(expected {FORMAT!r})"
+        )
+    for key in ("digest", "n_intervals", "chunks"):
+        if key not in manifest:
+            raise StoreError(f"{target}: manifest is missing {key!r}")
+
+    hierarchy_doc = _read_json(target / HIERARCHY_FILE, "hierarchy side-car")
+    leaf_paths = hierarchy_doc.get("leaf_paths")
+    if not isinstance(leaf_paths, list) or not leaf_paths:
+        raise StoreError(f"{target}: hierarchy side-car has no leaf paths")
+    try:
+        hierarchy = Hierarchy.from_paths(
+            [tuple(p) for p in leaf_paths], root_name=str(hierarchy_doc.get("root", "root"))
+        )
+    except ValueError as exc:
+        raise StoreError(f"{target}: invalid hierarchy side-car: {exc}") from exc
+
+    states_doc = _read_json(target / STATES_FILE, "state side-car")
+    names = states_doc.get("names")
+    if not isinstance(names, list):
+        raise StoreError(f"{target}: state side-car has no names")
+    colors = states_doc.get("colors") or []
+    try:
+        registry = StateRegistry()
+        for index, name in enumerate(names):
+            registry.add(str(name), colors[index] if index < len(colors) else None)
+    except ValueError as exc:
+        raise StoreError(f"{target}: invalid state side-car: {exc}") from exc
+
+    return TraceStore(target, manifest, hierarchy, registry)

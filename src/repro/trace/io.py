@@ -20,7 +20,7 @@ import io
 import json
 import os
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 from ..core.hierarchy import Hierarchy
 from .builder import TraceBuilder
@@ -54,40 +54,36 @@ def _leaf_paths(hierarchy: Hierarchy) -> dict[str, str]:
     return {leaf.name: "/".join(leaf.path) for leaf in hierarchy.leaves}
 
 
+def _csv_rows(trace: Trace) -> "Iterator[tuple[str, str, str, str]]":
+    """Header then one row per interval — the single source of CSV truth.
+
+    Both :func:`write_csv` and :func:`csv_size_bytes` serialize exactly these
+    rows, so the reported "trace size" (Table II) can never drift from the
+    bytes actually written.
+    """
+    paths = _leaf_paths(trace.hierarchy)
+    yield CSV_HEADER
+    for interval in trace.intervals:
+        yield (
+            paths[interval.resource],
+            interval.state,
+            f"{interval.start:.12g}",
+            f"{interval.end:.12g}",
+        )
+
+
 def write_csv(trace: Trace, path: str | os.PathLike[str]) -> int:
     """Write ``trace`` as CSV; returns the number of bytes written."""
-    paths = _leaf_paths(trace.hierarchy)
     target = Path(path)
     with target.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(CSV_HEADER)
-        for interval in trace.intervals:
-            writer.writerow(
-                (
-                    paths[interval.resource],
-                    interval.state,
-                    f"{interval.start:.12g}",
-                    f"{interval.end:.12g}",
-                )
-            )
+        csv.writer(handle).writerows(_csv_rows(trace))
     return target.stat().st_size
 
 
 def csv_size_bytes(trace: Trace) -> int:
     """Size in bytes of the CSV serialization, computed in memory."""
-    paths = _leaf_paths(trace.hierarchy)
     buffer = io.StringIO()
-    writer = csv.writer(buffer)
-    writer.writerow(CSV_HEADER)
-    for interval in trace.intervals:
-        writer.writerow(
-            (
-                paths[interval.resource],
-                interval.state,
-                f"{interval.start:.12g}",
-                f"{interval.end:.12g}",
-            )
-        )
+    csv.writer(buffer).writerows(_csv_rows(trace))
     return len(buffer.getvalue().encode("utf-8"))
 
 
@@ -171,9 +167,15 @@ def read_paje(
 ) -> Trace:
     """Read a Pajé-like event dump written by :func:`write_paje`.
 
-    Push/pop events are matched per resource and state using a LIFO
-    discipline, which is sufficient for the flat state traces this library
-    produces.
+    Push/pop events are matched per resource and state using a FIFO
+    discipline.  For the non-overlapping per-resource traces a well-formed
+    tracer emits this reproduces the original intervals exactly — including
+    back-to-back same-state intervals, where the new interval's push and the
+    old one's pop share a timestamp (pushes are written first at equal
+    timestamps, so LIFO would pair the pop with the *new* push and corrupt
+    the round-trip).  Overlapping same-state intervals on one resource are
+    inherently ambiguous in the event stream; FIFO then picks one valid
+    duration-preserving decomposition.
     """
     source = Path(path)
     open_states: dict[tuple[str, str], list[float]] = {}
@@ -204,12 +206,12 @@ def read_paje(
             if kind == "PajePushState":
                 open_states.setdefault(key, []).append(timestamp)
             elif kind == "PajePopState":
-                stack = open_states.get(key)
-                if not stack:
+                queue = open_states.get(key)
+                if not queue:
                     raise TraceIOError(
                         f"{source}:{line_number}: PajePopState without matching push for {key}"
                     )
-                start = stack.pop()
+                start = queue.pop(0)
                 intervals.append(StateInterval(start=start, end=timestamp, resource=resource, state=state))
             else:
                 raise TraceIOError(f"{source}:{line_number}: unknown event kind {kind!r}")

@@ -83,6 +83,37 @@ class Trace:
         self._intervals: tuple[StateInterval, ...] = tuple(sorted_intervals)
 
     # ------------------------------------------------------------------ #
+    # Trusted constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_sorted_intervals(
+        cls,
+        intervals: Sequence[StateInterval],
+        hierarchy: Hierarchy,
+        states: StateRegistry | None = None,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "Trace":
+        """Build a trace from pre-validated, pre-sorted intervals.
+
+        Skips the sort and the per-interval resource/state bookkeeping of the
+        regular constructor.  The caller guarantees that ``intervals`` are in
+        the canonical ``(start, end)`` order, that every resource is a leaf of
+        ``hierarchy`` and that ``states`` already registers every state
+        appearing in the trace — which is exactly what
+        :func:`repro.store.open_store` re-reads from a digest-checked store.
+        """
+        if states is None:
+            states = StateRegistry()
+            for interval in intervals:
+                states.add(interval.state)
+        trace = cls.__new__(cls)
+        trace._hierarchy = hierarchy
+        trace._states = states
+        trace._metadata = dict(metadata or {})
+        trace._intervals = tuple(intervals)
+        return trace
+
+    # ------------------------------------------------------------------ #
     # Basic accessors
     # ------------------------------------------------------------------ #
     @property

@@ -2,9 +2,23 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def small_trace_csv(tmp_path, capsys):
+    """A scaled-down case-A trace CSV, stdout drained."""
+    path = tmp_path / "small.csv"
+    assert main([
+        "simulate", "--case", "A", "--processes", "8", "--iterations", "3",
+        "--platform-scale", "0.25", "--output", str(path),
+    ]) == 0
+    capsys.readouterr()
+    return path
 
 
 class TestParser:
@@ -142,6 +156,127 @@ class TestAnalyzeErrors:
         captured = capsys.readouterr()
         assert code == 2
         assert "--jobs must be at least 1" in captured.err
+
+
+class TestAnalyzeJson:
+    def test_json_report_is_machine_readable(self, small_trace_csv, capsys):
+        assert main(["analyze", str(small_trace_csv), "--json", "--slices", "12"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["schema"] == "repro.analysis/1"
+        assert payload["params"]["slices"] == 12
+        assert payload["partition"]["size"] >= 1
+        assert len(payload["trace"]["digest"]) == 64
+        assert "Analysis report" not in out
+
+    def test_json_is_deterministic(self, small_trace_csv, capsys):
+        assert main(["analyze", str(small_trace_csv), "--json", "--slices", "12"]) == 0
+        first = capsys.readouterr().out
+        assert main(["analyze", str(small_trace_csv), "--json", "--slices", "12"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_json_and_ascii_are_mutually_exclusive(self, small_trace_csv, capsys):
+        assert main(["analyze", str(small_trace_csv), "--json", "--ascii"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_json_keeps_stdout_pure_with_svg(self, small_trace_csv, tmp_path, capsys):
+        svg = tmp_path / "o.svg"
+        assert main([
+            "analyze", str(small_trace_csv), "--json", "--slices", "10", "--svg", str(svg),
+        ]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout is pure JSON
+        assert "SVG overview written" in captured.err
+        assert svg.exists()
+
+
+class TestConvert:
+    def test_convert_then_analyze_store_matches_csv(self, small_trace_csv, tmp_path, capsys):
+        store = tmp_path / "small.rtz"
+        assert main(["convert", str(small_trace_csv), str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "digest" in out
+        assert main(["analyze", str(small_trace_csv), "--slices", "12"]) == 0
+        from_csv = capsys.readouterr().out
+        assert main(["analyze", str(store), "--slices", "12"]) == 0
+        from_store = capsys.readouterr().out
+        assert from_store == from_csv
+
+    def test_convert_prebuilds_models(self, small_trace_csv, tmp_path, capsys):
+        store = tmp_path / "small.rtz"
+        assert main([
+            "convert", str(small_trace_csv), str(store), "--model-slices", "10,20",
+        ]) == 0
+        assert (store / "models" / "slices-10.npz").is_file()
+        assert (store / "models" / "slices-20.npz").is_file()
+
+    def test_convert_rejects_bad_model_slices(self, small_trace_csv, tmp_path, capsys):
+        assert main([
+            "convert", str(small_trace_csv), str(tmp_path / "s.rtz"),
+            "--model-slices", "ten",
+        ]) == 2
+        assert "invalid --model-slices" in capsys.readouterr().err
+
+    def test_convert_missing_input_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["convert", str(tmp_path / "nope.csv"), str(tmp_path / "s.rtz")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+
+class TestOutputPathErrors:
+    def test_simulate_into_missing_directory(self, tmp_path, capsys):
+        code = main([
+            "simulate", "--case", "A", "--processes", "8", "--iterations", "2",
+            "--platform-scale", "0.25",
+            "--output", str(tmp_path / "no" / "such" / "dir" / "t.csv"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: cannot write output" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_analyze_svg_into_missing_directory(self, small_trace_csv, tmp_path, capsys):
+        code = main([
+            "analyze", str(small_trace_csv), "--slices", "10",
+            "--svg", str(tmp_path / "missing" / "overview.svg"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: cannot write SVG" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_simulate_metadata_into_missing_directory(self, tmp_path, capsys):
+        code = main([
+            "simulate", "--case", "A", "--processes", "8", "--iterations", "2",
+            "--platform-scale", "0.25", "--output", str(tmp_path / "t.csv"),
+            "--metadata", str(tmp_path / "missing" / "meta.json"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: cannot write output" in captured.err
+
+    def test_convert_refuses_occupied_directory(self, small_trace_csv, tmp_path, capsys):
+        occupied = tmp_path / "occupied"
+        occupied.mkdir()
+        (occupied / "keep.txt").write_text("keep")
+        assert main(["convert", str(small_trace_csv), str(occupied)]) == 2
+        assert "cannot write store" in capsys.readouterr().err
+        assert (occupied / "keep.txt").exists()
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "a.rtz"])
+        assert args.traces == ["a.rtz"]
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+
+    def test_serve_duplicate_names_rejected(self, small_trace_csv, capsys):
+        assert main(["serve", str(small_trace_csv), str(small_trace_csv)]) == 2
+        assert "duplicate trace name" in capsys.readouterr().err
+
+    def test_serve_missing_trace_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope.csv")]) == 2
+        assert "not found" in capsys.readouterr().err
 
 
 class TestAnalyzeJobs:
