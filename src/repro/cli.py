@@ -9,15 +9,20 @@ Four subcommands cover the typical workflow without writing Python:
   as text or, with ``--json``, as the service's machine-readable payload;
 * ``convert`` — convert a CSV trace into a chunked binary ``.rtz`` store
   (optionally pre-building microscopic models for chosen slice counts);
+* ``stream`` — tail a growing CSV/Pajé source into an ``.rtz`` store:
+  appended rows become appended chunks (cheap steady state), dimension
+  changes trigger a rebuild with a bumped generation;
 * ``serve`` — pin one or more traces in memory and answer aggregation
   queries over a JSON HTTP API (``GET /traces``, ``POST /analyze``,
-  ``POST /sweep``, ``GET /health``).
+  ``POST /sweep``, ``POST /append``, ``GET /health``).
 
 Usage::
 
     python -m repro simulate --case A --processes 32 --output case_a.csv
     python -m repro analyze case_a.csv --slices 30 -p 0.7 --svg overview.svg
+    python -m repro analyze case_a.csv --slices 30 --window last:6
     python -m repro convert case_a.csv case_a.rtz --model-slices 30,60
+    python -m repro stream live.csv live.rtz --follow --poll 0.5
     python -m repro serve case_a.rtz --port 8000
 """
 
@@ -89,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--json", action="store_true",
                          help="emit the machine-readable JSON report (byte-identical to "
                               "the service's POST /analyze) instead of the text report")
+    analyze.add_argument("--window", default=None, metavar="last:K|T0:T1",
+                         help="restrict the analysis to a slice window: 'last:K' for the "
+                              "trailing K slices or 'T0:T1' for the slices covering the "
+                              "time span [T0, T1)")
 
     convert = subparsers.add_parser(
         "convert", help="convert a CSV trace into a binary .rtz trace store"
@@ -101,6 +110,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated slice counts to pre-build microscopic "
                               "models for (e.g. '30,60'); served queries at those slice "
                               "counts then skip model construction entirely")
+
+    stream = subparsers.add_parser(
+        "stream", help="tail a growing CSV/Paje trace into a binary .rtz store"
+    )
+    stream.add_argument("source", help="trace file being written by a tracer (CSV or Paje)")
+    stream.add_argument("store", help="store directory to create/grow (conventionally *.rtz)")
+    stream.add_argument("--source-format", choices=["csv", "paje"], default=None,
+                        help="source format (default: 'paje' for *.paje files, else 'csv')")
+    stream.add_argument("--follow", action="store_true",
+                        help="keep polling the source instead of a one-shot sync")
+    stream.add_argument("--poll", type=float, default=1.0,
+                        help="seconds between polls with --follow (default: 1.0)")
+    stream.add_argument("--max-polls", type=int, default=None,
+                        help="stop --follow after this many polls (mainly for scripting)")
+    stream.add_argument("--chunk-rows", type=int, default=None,
+                        help="rows per columnar chunk file (default: 65536)")
 
     serve = subparsers.add_parser(
         "serve", help="serve traces over a JSON HTTP API (see repro.service)"
@@ -158,6 +183,37 @@ def _load_trace_argument(path_text: str) -> "Trace | int":
         return 2
 
 
+def _parse_window_argument(text: str) -> "tuple | None":
+    """Parse ``--window`` (``last:K`` or ``T0:T1``) into a window spec.
+
+    Returns the normalized spec tuple used by the service layer, or ``None``
+    (after printing an error) when the argument is malformed.
+    """
+    if text.startswith("last:"):
+        try:
+            k = int(text[len("last:"):])
+        except ValueError:
+            print(f"error: invalid --window {text!r}: K must be an integer", file=sys.stderr)
+            return None
+        if k < 1:
+            print("error: --window last:K needs K >= 1", file=sys.stderr)
+            return None
+        return ("last", k)
+    parts = text.split(":")
+    if len(parts) == 2:
+        try:
+            t0, t1 = float(parts[0]), float(parts[1])
+        except ValueError:
+            t0 = t1 = None
+        if t0 is not None and t1 > t0:
+            return ("span", t0, t1)
+    print(
+        f"error: invalid --window {text!r}: expected 'last:K' or 'T0:T1' with T0 < T1",
+        file=sys.stderr,
+    )
+    return None
+
+
 def _command_analyze(args: argparse.Namespace) -> int:
     from .store import is_store, open_store
 
@@ -173,6 +229,11 @@ def _command_analyze(args: argparse.Namespace) -> int:
     if args.json and args.ascii:
         print("error: --json and --ascii are mutually exclusive", file=sys.stderr)
         return 2
+    window_spec = None
+    if args.window:
+        window_spec = _parse_window_argument(args.window)
+        if window_spec is None:
+            return 2
     store = None
     trace: "Trace | None" = None
     if is_store(args.trace):
@@ -199,6 +260,19 @@ def _command_analyze(args: argparse.Namespace) -> int:
     except TraceIOError as exc:  # corrupt store discovered on column load
         print(f"error: cannot read trace: {exc}", file=sys.stderr)
         return 2
+    window_section_payload = None
+    if window_spec is not None:
+        # Same resolution code the service uses, so `analyze --window --json`
+        # on a static store matches a windowed POST /analyze at generation 0.
+        from .service.session import ServiceError, resolve_window_bounds, window_section
+
+        try:
+            a, b = resolve_window_bounds(model, window_spec)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        window_section_payload = window_section(model, a, b, window_spec)
+        model = model.window(a, b)
     aggregator = SpatiotemporalAggregator(model, operator=args.operator, jobs=args.jobs)
     partition = aggregator.run(args.parameter)
     phases = detect_phases(partition, model)
@@ -211,21 +285,29 @@ def _command_analyze(args: argparse.Namespace) -> int:
             summary = trace_summary(
                 store.digest, store.n_intervals, store.hierarchy.n_leaves,
                 len(store.states), store.start, store.end, store.metadata,
+                generation=store.generation,
             )
         else:
             summary = trace_summary(
                 trace_digest(trace), trace.n_intervals, trace.hierarchy.n_leaves,
                 len(trace.states), trace.start, trace.end, trace.metadata,
             )
+        params = {
+            "p": args.parameter,
+            "slices": args.slices,
+            "operator": args.operator,
+            "anomaly_threshold": args.anomaly_threshold,
+        }
+        if window_spec is not None:
+            if window_spec[0] == "last":
+                params["last_k_slices"] = window_spec[1]
+            else:
+                params["window"] = [window_spec[1], window_spec[2]]
         payload = analysis_payload(
             summary,
             AnalysisResult(partition=partition, phases=phases, anomalies=anomalies),
-            {
-                "p": args.parameter,
-                "slices": args.slices,
-                "operator": args.operator,
-                "anomaly_threshold": args.anomaly_threshold,
-            },
+            params,
+            window=window_section_payload,
         )
         print(serialize_payload(payload))
     else:
@@ -289,6 +371,65 @@ def _command_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace) -> int:
+    import time
+
+    from .store import StoreError, sync_store
+    from .trace import read_paje
+
+    if args.chunk_rows is not None and args.chunk_rows < 1:
+        print("error: --chunk-rows must be at least 1", file=sys.stderr)
+        return 2
+    if args.follow and args.poll <= 0:
+        print("error: --poll must be positive", file=sys.stderr)
+        return 2
+    if args.max_polls is not None and args.max_polls < 1:
+        print("error: --max-polls must be at least 1", file=sys.stderr)
+        return 2
+    source_format = args.source_format
+    if source_format is None:
+        source_format = "paje" if Path(args.source).suffix == ".paje" else "csv"
+    reader = read_paje if source_format == "paje" else read_csv
+
+    from .store import DEFAULT_CHUNK_ROWS
+
+    chunk_rows = args.chunk_rows if args.chunk_rows is not None else DEFAULT_CHUNK_ROWS
+    polls = 0
+    writer = None  # reused across polls so appends stay O(new rows)
+    try:
+        while True:
+            polls += 1
+            try:
+                trace = reader(args.source)
+            except (FileNotFoundError, TraceIOError, EventError) as exc:
+                # With --follow a tracer may not have produced a complete
+                # file yet (or the final line is mid-write); retry next poll.
+                if not args.follow:
+                    print(f"error: cannot read trace: {exc}", file=sys.stderr)
+                    return 2
+                print(f"waiting: {exc}", file=sys.stderr)
+            else:
+                try:
+                    result = sync_store(
+                        trace, args.store, chunk_rows=chunk_rows, writer=writer
+                    )
+                    writer = result.writer
+                except (StoreError, OSError) as exc:
+                    print(f"error: cannot update store: {exc}", file=sys.stderr)
+                    return 2
+                if result.action != "unchanged" or not args.follow:
+                    print(
+                        f"{result.action}: {args.store} at {result.n_intervals} intervals "
+                        f"(generation {result.generation}, +{result.appended_rows} rows)",
+                        flush=True,
+                    )
+            if not args.follow or (args.max_polls is not None and polls >= args.max_polls):
+                return 0
+            time.sleep(args.poll)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from .service import AnalysisSession, ServiceError, build_server
     from .store import is_store, open_store
@@ -338,6 +479,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_analyze(args)
         if args.command == "convert":
             return _command_convert(args)
+        if args.command == "stream":
+            return _command_stream(args)
         if args.command == "serve":
             return _command_serve(args)
     except BrokenPipeError:

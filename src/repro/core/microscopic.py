@@ -12,7 +12,7 @@ in :mod:`repro.core`.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -196,6 +196,138 @@ class MicroscopicModel:
             ) * len(states) + state_ids[sl][rows]
             np.add.at(flat, cell, overlap[rows, cols])
         return cls(durations, hierarchy, slicing, states)
+
+    def extend(
+        self,
+        starts: "np.ndarray | Any",
+        ends: "np.ndarray | None" = None,
+        resource_ids: "np.ndarray | None" = None,
+        state_ids: "np.ndarray | None" = None,
+        chunk_rows: int = 65536,
+    ) -> "MicroscopicModel":
+        """A new model covering this one plus appended interval columns.
+
+        The streaming counterpart of :meth:`from_columns`: the time axis grows
+        by whole slices of the existing width (see
+        :meth:`~repro.core.timeslicing.TimeSlicing.extended_to`) and only the
+        tail work is done — O(new intervals) discretization plus a prefix-sum
+        recomputation restricted to the slice columns the new rows touch.  The
+        result is **bit-identical** (durations and all three cumulative
+        tables) to ``from_columns`` over the concatenated rows with the
+        extended slicing, because
+
+        * ``np.add.at`` accumulates contributions one row at a time in row
+          order, so "old totals + tail contributions" is the same left-fold
+          as a single pass over all rows, and
+        * the resource-axis ``cumsum`` of :meth:`cumulative_tables` is
+          independent per time column, so untouched columns can be copied
+          from the cached tables verbatim.
+
+        Accepts either four column arrays or a single object exposing
+        ``starts`` / ``ends`` / ``resource_ids`` / ``state_ids`` attributes
+        (e.g. :class:`repro.store.TraceColumns`).  Rows must continue the
+        canonical trace order (sorted by start, then end).  The receiver is
+        left untouched; cached cumulative tables are carried forward, updated,
+        when present.
+        """
+        if ends is None and hasattr(starts, "starts"):
+            columns = starts
+            starts, ends, resource_ids, state_ids = (
+                columns.starts, columns.ends, columns.resource_ids, columns.state_ids,
+            )
+        starts = np.ascontiguousarray(starts, dtype=float)
+        ends = np.ascontiguousarray(ends, dtype=float)
+        resource_ids = np.ascontiguousarray(resource_ids, dtype=np.int64)
+        state_ids = np.ascontiguousarray(state_ids, dtype=np.int64)
+        n_rows = starts.size
+        if not (ends.size == resource_ids.size == state_ids.size == n_rows):
+            raise MicroscopicModelError("column arrays must have the same length")
+        if n_rows == 0:
+            return self
+        if (
+            resource_ids.min() < 0
+            or resource_ids.max() >= self.n_resources
+            or state_ids.min() < 0
+            or state_ids.max() >= self.n_states
+        ):
+            raise MicroscopicModelError("resource or state id out of range")
+
+        slicing = self._slicing.extended_to(float(ends.max()))
+        edges = slicing.edges
+        n_old = self.n_slices
+        n_slices = slicing.n_slices
+        n_states = self.n_states
+        durations = np.zeros((self.n_resources, n_slices, n_states))
+        durations[:, :n_old, :] = self._durations
+        flat = durations.reshape(-1)
+        touched = np.zeros(n_slices, dtype=bool)
+        touched[n_old:] = True
+        for chunk_start in range(0, n_rows, max(1, chunk_rows)):
+            sl = slice(chunk_start, chunk_start + chunk_rows)
+            lo = np.maximum(starts[sl], edges[0])[:, None]
+            hi = np.minimum(ends[sl], edges[-1])[:, None]
+            overlap = np.minimum(hi, edges[None, 1:]) - np.maximum(lo, edges[None, :-1])
+            rows, cols = np.nonzero(overlap > 0)
+            cell = (
+                resource_ids[sl][rows] * n_slices + cols
+            ) * n_states + state_ids[sl][rows]
+            np.add.at(flat, cell, overlap[rows, cols])
+            touched[cols] = True
+
+        model = MicroscopicModel(durations, self._hierarchy, slicing, self._states)
+        if self._cumulatives is not None:
+            model._cumulatives = self._extended_cumulatives(model, touched, n_old)
+        return model
+
+    def _extended_cumulatives(
+        self,
+        extended: "MicroscopicModel",
+        touched: np.ndarray,
+        n_old: int,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Cumulative tables of ``extended``, recomputing only touched columns."""
+        from .operators import xlogx  # local import: operators imports nothing from here
+
+        assert self._cumulatives is not None
+        dirty = np.flatnonzero(touched)
+        shape = (self.n_resources + 1, extended.n_slices, self.n_states)
+        tables = tuple(np.empty(shape) for _ in range(3))
+        for table, old in zip(tables, self._cumulatives):
+            table[:, :n_old, :] = old
+        sub_durations = extended._durations[:, dirty, :]
+        sub_proportions = sub_durations / extended.slice_durations[dirty][None, :, None]
+        zeros = np.zeros((1,) + sub_durations.shape[1:])
+        for table, sub in zip(
+            tables, (sub_durations, sub_proportions, xlogx(sub_proportions))
+        ):
+            table[:, dirty, :] = np.concatenate([zeros, np.cumsum(sub, axis=0)])
+        return tables
+
+    def window(self, start: int, stop: int) -> "MicroscopicModel":
+        """The sub-model restricted to the slice range ``[start, stop)``.
+
+        Durations are the corresponding column slice of the cube and the
+        slicing keeps the absolute slice edges, so reported times stay in
+        trace coordinates.  Cached cumulative tables are sliced along the
+        time axis — the per-column resource prefix sums are unaffected by
+        dropping other columns — so a windowed query over a warmed-up model
+        pays no prefix recomputation.
+        """
+        start = int(start)
+        stop = int(stop)
+        if not 0 <= start < stop <= self.n_slices:
+            raise MicroscopicModelError(
+                f"invalid slice window [{start}, {stop}) for |T| = {self.n_slices}"
+            )
+        slicing = TimeSlicing(self._slicing.edges[start : stop + 1])
+        model = MicroscopicModel(
+            self._durations[:, start:stop, :], self._hierarchy, slicing, self._states
+        )
+        if self._cumulatives is not None:
+            model._cumulatives = tuple(
+                table[:, start:stop, :] for table in self._cumulatives
+            )
+        return model
 
     @classmethod
     def from_proportions(

@@ -62,6 +62,29 @@ class TimeSlicing:
             raise TimeSlicingError("end must be greater than start")
         return cls(np.linspace(start, end, n_slices + 1))
 
+    def extended_to(self, end: float) -> "TimeSlicing":
+        """A slicing that covers ``end`` by appending whole slices.
+
+        The appended slices reuse the width of the **last** existing slice, so
+        a regular slicing stays regular and every existing edge keeps its
+        exact floating-point value — the property that lets
+        :meth:`~repro.core.microscopic.MicroscopicModel.extend` stay
+        bit-identical to a from-scratch discretization over the same edges.
+        Returns ``self`` when ``end`` is already covered.
+        """
+        if not np.isfinite(end):
+            raise TimeSlicingError(f"extension end must be finite, got {end}")
+        if end <= self.end:
+            return self
+        width = float(self._edges[-1] - self._edges[-2])
+        n_new = max(1, int(np.ceil((end - self.end) / width)))
+        # Float dust can leave the last appended edge a hair short of ``end``;
+        # one more slice restores the invariant end <= edges[-1].
+        while float(self._edges[-1] + n_new * width) < end:
+            n_new += 1
+        appended = self._edges[-1] + width * np.arange(1, n_new + 1)
+        return TimeSlicing(np.concatenate([self._edges, appended]))
+
     # ------------------------------------------------------------------ #
     # Basic properties
     # ------------------------------------------------------------------ #

@@ -63,11 +63,6 @@ class CaseResult:
         """Number of punctual events in the trace."""
         return self.trace.n_events
 
-    @property
-    def n_processes(self) -> int:
-        """Number of MPI processes."""
-        return self.model.n_resources
-
 
 def run_case(
     scenario: Scenario,

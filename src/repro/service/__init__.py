@@ -16,7 +16,13 @@ from .serializer import (
     serialize_payload,
     trace_summary,
 )
-from .session import MAX_SLICES, OPERATORS, AnalysisSession, ServiceError
+from .session import (
+    MAX_SLICES,
+    OPERATORS,
+    AnalysisSession,
+    ServiceError,
+    StaleGenerationError,
+)
 
 __all__ = [
     "ANALYSIS_SCHEMA",
@@ -28,6 +34,7 @@ __all__ = [
     "trace_summary",
     "AnalysisSession",
     "ServiceError",
+    "StaleGenerationError",
     "OPERATORS",
     "MAX_SLICES",
     "TraceServiceServer",

@@ -10,7 +10,18 @@ registry of :class:`~repro.service.session.AnalysisSession`:
   defaults to the only served trace).  The response body is byte-identical
   to ``repro analyze --json`` on the same content and parameters;
 * ``POST /sweep`` — batch multi-``p`` sweep, ``{"trace": name, "ps": [...]}``
-  (omit ``ps`` to get the significant-parameter search).
+  (omit ``ps`` to get the significant-parameter search);
+* ``POST /append`` — streaming ingestion into a store-backed session,
+  ``{"trace": name, "intervals": [[start, end, "resource", "state"], ...]}``;
+  rows must continue the canonical ``(start, end)`` order and reference known
+  resources/states.  Bumps the trace *generation*; the response echoes it.
+
+``/analyze`` and ``/sweep`` accept two optional windowing parameters for live
+traces — ``"last_k_slices": k`` or ``"window": [t0, t1]`` — evaluated against
+the session's incrementally grown streaming model, plus an optional
+``"generation": g`` pin; a query whose expected generation lost a race with
+an append is answered with **409 Conflict** rather than a silently stale or
+torn result (re-read the generation and retry).
 
 No third-party web framework: the service must run wherever the library
 does, and the stdlib threading server is plenty for an analysis cache whose
@@ -25,7 +36,7 @@ from typing import Any, Mapping
 
 from ..trace.io import TraceIOError
 from .serializer import serialize_payload
-from .session import AnalysisSession, ServiceError
+from .session import AnalysisSession, ServiceError, StaleGenerationError
 
 __all__ = ["TraceServiceServer", "build_server", "MAX_BODY_BYTES"]
 
@@ -151,7 +162,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0].rstrip("/")
-        if path not in ("/analyze", "/sweep"):
+        if path not in ("/analyze", "/sweep", "/append"):
             self._send_error(404, f"no such endpoint: {path}")
             return
         try:
@@ -163,15 +174,32 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     slices=body.get("slices", 30),
                     operator=body.get("operator", "mean"),
                     anomaly_threshold=body.get("anomaly_threshold", 0.1),
+                    last_k_slices=body.get("last_k_slices"),
+                    window=body.get("window"),
+                    generation=body.get("generation"),
                 )
                 self._send(200, text)
-            else:
+            elif path == "/sweep":
                 payload = session.sweep(
                     ps=body.get("ps"),
                     slices=body.get("slices", 30),
                     operator=body.get("operator", "mean"),
+                    last_k_slices=body.get("last_k_slices"),
+                    window=body.get("window"),
+                    generation=body.get("generation"),
                 )
                 self._send_json(200, payload)
+            else:
+                intervals = body.get("intervals")
+                if not isinstance(intervals, list):
+                    raise ServiceError(
+                        'append body must carry "intervals": '
+                        "[[start, end, resource, state], ...]"
+                    )
+                self._send_json(200, session.append(intervals))
+        except StaleGenerationError as exc:
+            # Subclass of ServiceError: must be mapped before the 400 branch.
+            self._send_error(409, str(exc))
         except ServiceError as exc:
             self._send_error(400, str(exc))
         except LookupError as exc:

@@ -72,10 +72,17 @@ def trace_summary(
     start: float,
     end: float,
     metadata: Mapping[str, Any],
+    generation: int = 0,
 ) -> dict[str, Any]:
-    """The ``trace`` section of every payload (store- and CSV-backed alike)."""
+    """The ``trace`` section of every payload (store- and CSV-backed alike).
+
+    ``generation`` is the store's append counter (0 for CSV and freshly
+    converted stores) so a client can tell which content snapshot an analysis
+    describes when the trace grows while being served.
+    """
     return {
         "digest": digest,
+        "generation": int(generation),
         "n_intervals": int(n_intervals),
         "n_events": 2 * int(n_intervals),
         "n_resources": int(n_resources),
@@ -108,6 +115,7 @@ def analysis_payload(
     trace: Mapping[str, Any],
     result: AnalysisResult,
     params: Mapping[str, Any],
+    window: "Mapping[str, Any] | None" = None,
 ) -> dict[str, Any]:
     """Assemble the machine-readable overview report.
 
@@ -120,13 +128,20 @@ def analysis_payload(
     params:
         The query parameters (``p``, ``slices``, ``operator``,
         ``anomaly_threshold``) echoed back verbatim.
+    window:
+        For windowed queries, the resolved window description (slice range in
+        the streaming model's axis plus absolute times); omitted from the
+        payload when ``None`` so whole-trace payloads keep their exact
+        pre-streaming byte layout.
     """
     partition = result.partition
     model = partition.model
+    payload_window = {} if window is None else {"window": dict(window)}
     return {
         "schema": ANALYSIS_SCHEMA,
         "trace": dict(trace),
         "params": dict(params),
+        **payload_window,
         "model": {
             "n_resources": model.n_resources,
             "n_slices": model.n_slices,

@@ -14,13 +14,21 @@ from __future__ import annotations
 import json
 import threading
 from collections import OrderedDict
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
+
+import numpy as np
 
 from ..core.microscopic import MicroscopicModel
 from ..core.parameters import find_significant_parameters, quality_curve
 from ..core.spatiotemporal import SpatiotemporalAggregator
-from ..store.format import trace_digest
-from ..store.store import TraceStore
+from ..store.format import (
+    StoreError,
+    StoreIntegrityError,
+    StoreRewrittenError,
+    trace_digest,
+)
+from ..store.store import TraceStore, open_store
+from ..store.writer import StoreWriter
 from ..trace.trace import Trace
 from .serializer import (
     SWEEP_SCHEMA,
@@ -30,7 +38,13 @@ from .serializer import (
     trace_summary,
 )
 
-__all__ = ["AnalysisSession", "ServiceError", "OPERATORS", "MAX_SLICES"]
+__all__ = [
+    "AnalysisSession",
+    "ServiceError",
+    "StaleGenerationError",
+    "OPERATORS",
+    "MAX_SLICES",
+]
 
 #: Operators a query may request (mirrors ``repro analyze --operator``).
 OPERATORS = ("mean", "sum")
@@ -43,6 +57,58 @@ DEFAULT_CACHE_SIZE = 128
 
 class ServiceError(ValueError):
     """Raised for invalid query parameters (maps to HTTP 400)."""
+
+
+class StaleGenerationError(ServiceError):
+    """Raised when a query raced an append that bumped the store generation.
+
+    Maps to HTTP 409 (Conflict): the client's view of the trace content is
+    out of date — re-read the current generation (``GET /traces`` or the
+    ``generation`` field of the ``POST /append`` response) and retry.
+    """
+
+
+def resolve_window_bounds(model: MicroscopicModel, spec: tuple) -> tuple[int, int]:
+    """Resolve a window spec to slice indices ``[a, b)`` of ``model``.
+
+    Specs are the normalized tuples of
+    :meth:`AnalysisSession._validate_window`: ``("last", k)`` selects the
+    trailing ``k`` slices (clamped to the axis), ``("span", t0, t1)`` the
+    smallest run of whole slices covering ``[t0, t1)``.
+    """
+    n_slices = model.n_slices
+    if spec[0] == "last":
+        k = min(spec[1], n_slices)
+        return n_slices - k, n_slices
+    t0, t1 = spec[1], spec[2]
+    edges = model.slicing.edges
+    if t1 <= float(edges[0]) or t0 >= float(edges[-1]):
+        raise ServiceError(
+            f"window [{t0}, {t1}) does not overlap the trace span "
+            f"[{float(edges[0])}, {float(edges[-1])}]"
+        )
+    a = max(int(np.searchsorted(edges, t0, side="right")) - 1, 0)
+    b = min(max(int(np.searchsorted(edges, t1, side="left")), a + 1), n_slices)
+    return a, b
+
+
+def window_section(
+    model: MicroscopicModel, a: int, b: int, spec: tuple
+) -> dict[str, Any]:
+    """The JSON ``window`` section describing a resolved window."""
+    edges = model.slicing.edges
+    requested: dict[str, Any] = (
+        {"last_k_slices": spec[1]}
+        if spec[0] == "last"
+        else {"t0": spec[1], "t1": spec[2]}
+    )
+    return {
+        "requested": requested,
+        "slices": [int(a), int(b)],
+        "start_time": float(edges[a]),
+        "end_time": float(edges[b]),
+        "stream_slices": model.n_slices,
+    }
 
 
 class AnalysisSession:
@@ -85,12 +151,22 @@ class AnalysisSession:
         else:
             raise ServiceError(f"unsupported session source: {type(source).__name__}")
         self._models: dict[int, MicroscopicModel] = {}
+        # Streaming models: slice width pinned when first built, grown by
+        # MicroscopicModel.extend on every append instead of being rebuilt.
+        # Windowed queries run on these; whole-trace queries use _models,
+        # which are re-discretized per generation (batch semantics).
+        self._stream_models: dict[int, MicroscopicModel] = {}
         self._aggregators: dict[tuple[int, str], SpatiotemporalAggregator] = {}
         self._results: "OrderedDict[tuple, str]" = OrderedDict()
         self._cache_size = cache_size
         self._hits = 0
         self._misses = 0
+        self._generation = self._store.generation if self._store is not None else 0
+        self._writer: StoreWriter | None = None
         self._lock = threading.RLock()
+        # Test seam for the append/analyze race: called by aggregate_json
+        # after it captured the generation but before it takes the lock.
+        self._race_hook: "Any | None" = None
 
     # ------------------------------------------------------------------ #
     # Identity
@@ -105,6 +181,11 @@ class AnalysisSession:
         """Content digest of the pinned trace."""
         return self._digest
 
+    @property
+    def generation(self) -> int:
+        """Append generation of the pinned trace (0 for in-memory traces)."""
+        return self._generation
+
     def summary(self) -> dict[str, Any]:
         """JSON-friendly description for ``GET /traces``."""
         if self._store is not None:
@@ -115,6 +196,7 @@ class AnalysisSession:
             assert trace is not None
             info = {
                 "digest": self._digest,
+                "generation": 0,
                 "n_intervals": trace.n_intervals,
                 "n_resources": trace.hierarchy.n_leaves,
                 "n_states": len(trace.states),
@@ -157,6 +239,53 @@ class AnalysisSession:
             )
         return p, slices, operator
 
+    @staticmethod
+    def _validate_window(
+        last_k_slices: "int | None", window: "Sequence[float] | None"
+    ) -> "tuple | None":
+        """Normalize the two window spellings into an internal spec tuple."""
+        if last_k_slices is not None and window is not None:
+            raise ServiceError("last_k_slices and window are mutually exclusive")
+        if last_k_slices is not None:
+            try:
+                k = int(last_k_slices)
+            except (TypeError, ValueError):
+                raise ServiceError("last_k_slices must be an integer") from None
+            if k < 1:
+                raise ServiceError(f"last_k_slices must be at least 1, got {k}")
+            return ("last", k)
+        if window is not None:
+            try:
+                t0, t1 = (float(value) for value in window)
+            except (TypeError, ValueError):
+                raise ServiceError("window must be a [t0, t1) pair of numbers") from None
+            if not t1 > t0:
+                raise ServiceError(f"window must satisfy t0 < t1, got [{t0}, {t1})")
+            return ("span", t0, t1)
+        return None
+
+    def _check_generation(self, generation: "int | None") -> None:
+        if generation is None:
+            return
+        try:
+            expected = int(generation)
+        except (TypeError, ValueError):
+            raise ServiceError("generation must be an integer") from None
+        if expected != self._generation:
+            raise StaleGenerationError(
+                f"trace is at generation {self._generation}, "
+                f"request expected {expected}"
+            )
+
+    def _window_bounds(self, model: MicroscopicModel, spec: tuple) -> tuple[int, int]:
+        return resolve_window_bounds(model, spec)
+
+    @staticmethod
+    def _window_payload(
+        model: MicroscopicModel, a: int, b: int, spec: tuple
+    ) -> dict[str, Any]:
+        return window_section(model, a, b, spec)
+
     def model(self, slices: int = 30) -> MicroscopicModel:
         """The microscopic model at ``slices`` slices (cached)."""
         with self._lock:
@@ -185,6 +314,26 @@ class AnalysisSession:
                 self._aggregators[key] = aggregator
             return aggregator
 
+    def stream_model(self, slices: int = 30) -> MicroscopicModel:
+        """The streaming (fixed slice width) model for windowed queries.
+
+        Built once per session — the slice width is the span at build time
+        divided by ``slices`` — then grown by
+        :meth:`~repro.core.MicroscopicModel.extend` on each append, so a
+        refresh costs O(new intervals + touched columns) instead of a full
+        re-discretization.  For in-memory sessions (no appends possible) this
+        is simply the regular model.
+        """
+        with self._lock:
+            if self._store is None:
+                return self.model(slices)
+            model = self._stream_models.get(slices)
+            if model is None:
+                model = self.model(slices)
+                model.cumulative_tables()
+                self._stream_models[slices] = model
+            return model
+
     def _trace_section(self) -> dict[str, Any]:
         if self._store is not None:
             store = self._store
@@ -196,6 +345,7 @@ class AnalysisSession:
                 store.start,
                 store.end,
                 store.metadata,
+                generation=self._generation,
             )
         trace = self._trace
         assert trace is not None
@@ -207,6 +357,7 @@ class AnalysisSession:
             trace.start,
             trace.end,
             trace.metadata,
+            generation=self._generation,
         )
 
     # ------------------------------------------------------------------ #
@@ -218,42 +369,85 @@ class AnalysisSession:
         slices: int = 30,
         operator: str = "mean",
         anomaly_threshold: float = 0.1,
+        last_k_slices: "int | None" = None,
+        window: "Sequence[float] | None" = None,
+        generation: "int | None" = None,
     ) -> str:
         """Canonical JSON text of one aggregation query (LRU-cached).
 
-        The cache key is ``(digest, slices, operator, p, anomaly_threshold)``
-        — content-addressed, so two sessions serving byte-identical traces
-        under different names would produce interchangeable entries.
+        The cache key is ``(digest, generation, slices, operator, p,
+        anomaly_threshold, window)`` — content-addressed *and* generation-
+        scoped: entries computed before an append are purged wholesale when
+        the generation moves, so a stale result can never be served.
+
+        ``last_k_slices`` / ``window`` restrict the analysis to a tail or
+        time window of the **streaming** model (fixed slice width, grown
+        incrementally on appends) — the live-monitoring query shape.
+        ``generation`` optionally pins the content snapshot the client
+        expects; a mismatch (e.g. an ``/append`` landed first) raises
+        :class:`StaleGenerationError` → HTTP 409.
         """
         p, slices, operator = self._validate(p, slices, operator)
         try:
             anomaly_threshold = float(anomaly_threshold)
         except (TypeError, ValueError):
             raise ServiceError("anomaly_threshold must be a number") from None
-        key = (self._digest, slices, operator, p, anomaly_threshold)
+        window_spec = self._validate_window(last_k_slices, window)
+        entry_generation = self._generation
+        if self._race_hook is not None:
+            self._race_hook()
         with self._lock:
+            # Both checks run under the lock: the client's pin against the
+            # authoritative generation, and the entry snapshot against it (an
+            # append that slipped in between validation and the lock).
+            self._check_generation(generation)
+            if self._generation != entry_generation:
+                raise StaleGenerationError(
+                    f"trace moved to generation {self._generation} while the "
+                    f"query (generation {entry_generation}) was in flight"
+                )
+            key = (
+                self._digest, self._generation, slices, operator, p,
+                anomaly_threshold, window_spec,
+            )
             cached = self._results.get(key)
             if cached is not None:
                 self._hits += 1
                 self._results.move_to_end(key)
                 return cached
             self._misses += 1
-            model = self.model(slices)
-            result = run_analysis(
-                model,
-                p,
-                aggregator=self.aggregator(slices, operator),
-                anomaly_threshold=anomaly_threshold,
-            )
+            params: dict[str, Any] = {
+                "p": p,
+                "slices": slices,
+                "operator": operator,
+                "anomaly_threshold": anomaly_threshold,
+            }
+            if window_spec is None:
+                model = self.model(slices)
+                result = run_analysis(
+                    model,
+                    p,
+                    aggregator=self.aggregator(slices, operator),
+                    anomaly_threshold=anomaly_threshold,
+                )
+                window_section = None
+            else:
+                stream = self.stream_model(slices)
+                a, b = self._window_bounds(stream, window_spec)
+                windowed = stream.window(a, b)
+                result = run_analysis(
+                    windowed,
+                    p,
+                    aggregator=SpatiotemporalAggregator(windowed, operator=operator),
+                    anomaly_threshold=anomaly_threshold,
+                )
+                window_section = self._window_payload(stream, a, b, window_spec)
+                if window_spec[0] == "last":
+                    params["last_k_slices"] = window_spec[1]
+                else:
+                    params["window"] = [window_spec[1], window_spec[2]]
             payload = analysis_payload(
-                self._trace_section(),
-                result,
-                {
-                    "p": p,
-                    "slices": slices,
-                    "operator": operator,
-                    "anomaly_threshold": anomaly_threshold,
-                },
+                self._trace_section(), result, params, window=window_section
             )
             text = serialize_payload(payload)
             self._results[key] = text
@@ -267,15 +461,26 @@ class AnalysisSession:
         slices: int = 30,
         operator: str = "mean",
         anomaly_threshold: float = 0.1,
+        last_k_slices: "int | None" = None,
+        window: "Sequence[float] | None" = None,
+        generation: "int | None" = None,
     ) -> dict[str, Any]:
         """Like :meth:`aggregate_json` but parsed back into a dict."""
-        return json.loads(self.aggregate_json(p, slices, operator, anomaly_threshold))
+        return json.loads(
+            self.aggregate_json(
+                p, slices, operator, anomaly_threshold,
+                last_k_slices=last_k_slices, window=window, generation=generation,
+            )
+        )
 
     def sweep(
         self,
         ps: "Sequence[float] | None" = None,
         slices: int = 30,
         operator: str = "mean",
+        last_k_slices: "int | None" = None,
+        window: "Sequence[float] | None" = None,
+        generation: "int | None" = None,
     ) -> dict[str, Any]:
         """Batch multi-``p`` sweep: the data behind an interactive slider.
 
@@ -284,6 +489,8 @@ class AnalysisSession:
         :func:`~repro.core.parameters.find_significant_parameters` and reports
         one representative ``p`` per distinct overview.  Tables are shared
         across the whole sweep through the session's cached aggregator.
+        ``last_k_slices`` / ``window`` sweep over the corresponding window of
+        the streaming model instead of the whole trace.
         """
         _, slices, operator = self._validate(0.0, slices, operator)
         if ps is not None:
@@ -293,17 +500,42 @@ class AnalysisSession:
                 raise ServiceError("ps must be a list of numbers") from None
             for p in ps:
                 self._validate(p, slices, operator)
+        window_spec = self._validate_window(last_k_slices, window)
+        entry_generation = self._generation
+        if self._race_hook is not None:
+            self._race_hook()
         with self._lock:
-            aggregator = self.aggregator(slices, operator)
+            self._check_generation(generation)
+            if self._generation != entry_generation:
+                raise StaleGenerationError(
+                    f"trace moved to generation {self._generation} while the "
+                    f"sweep (generation {entry_generation}) was in flight"
+                )
+            params: dict[str, Any] = {"slices": slices, "operator": operator}
+            window_section = None
+            if window_spec is None:
+                aggregator = self.aggregator(slices, operator)
+            else:
+                stream = self.stream_model(slices)
+                a, b = self._window_bounds(stream, window_spec)
+                aggregator = SpatiotemporalAggregator(
+                    stream.window(a, b), operator=operator
+                )
+                window_section = self._window_payload(stream, a, b, window_spec)
+                if window_spec[0] == "last":
+                    params["last_k_slices"] = window_spec[1]
+                else:
+                    params["window"] = [window_spec[1], window_spec[2]]
             significant: "list[float] | None" = None
             if ps is None:
                 significant = find_significant_parameters(aggregator)
                 ps = significant
             points = quality_curve(aggregator, ps=ps)
-        return {
+            trace_section = self._trace_section()
+        payload = {
             "schema": SWEEP_SCHEMA,
-            "trace": self._trace_section(),
-            "params": {"slices": slices, "operator": operator},
+            "trace": trace_section,
+            "params": params,
             "significant": significant,
             "points": [
                 {
@@ -316,3 +548,101 @@ class AnalysisSession:
                 for point in points
             ],
         }
+        if window_section is not None:
+            payload["window"] = window_section
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Streaming ingestion
+    # ------------------------------------------------------------------ #
+    def append(self, intervals: "Iterable[Sequence[Any]]") -> dict[str, Any]:
+        """Append ``(start, end, resource, state)`` rows to the pinned store.
+
+        Store-backed sessions only.  The rows go through a lazily created
+        :class:`~repro.store.StoreWriter`; the session then refreshes itself
+        incrementally — streaming models are grown with
+        :meth:`~repro.core.MicroscopicModel.extend`, whole-trace models and
+        aggregators are dropped for lazy rebuild, and result-cache entries of
+        older generations are evicted.
+        """
+        if self._store is None:
+            raise ServiceError(
+                "append requires a store-backed session (in-memory traces are frozen)"
+            )
+        rows = list(intervals)
+        if not rows:
+            with self._lock:
+                return self._append_receipt(0)
+        with self._lock:
+            if self._writer is None:
+                self._writer = StoreWriter(self._store.path)
+            try:
+                self._writer.append_intervals(rows)
+            except StoreIntegrityError:
+                raise  # store corruption / concurrent writer: a server-side 500
+            except StoreError as exc:
+                # Batch validation (unknown names, out-of-order rows, bad
+                # timestamps) is the client's mistake: a 400.
+                raise ServiceError(str(exc)) from exc
+            self._absorb_refresh(self._store.refresh())
+            return self._append_receipt(len(rows))
+
+    def refresh(self) -> dict[str, Any]:
+        """Pick up store growth produced by an *external* writer.
+
+        Embedders tailing a store written by ``repro stream`` call this
+        periodically.  Appends are absorbed incrementally; a rewritten store
+        (``StoreRewrittenError``) is reopened from scratch.
+        """
+        if self._store is None:
+            raise ServiceError("refresh requires a store-backed session")
+        with self._lock:
+            try:
+                self._absorb_refresh(self._store.refresh())
+            except StoreRewrittenError:
+                self._store = open_store(self._store.path)
+                self._models.clear()
+                self._stream_models.clear()
+                self._aggregators.clear()
+                self._after_generation_change()
+            return self._append_receipt(None)
+
+    def _absorb_refresh(self, tail: "Any | None") -> None:
+        """Apply a :meth:`TraceStore.refresh` tail to the session caches."""
+        if tail is None:
+            return
+        self._stream_models = {
+            slices: model.extend(tail)
+            for slices, model in self._stream_models.items()
+        }
+        # Whole-trace models discretize the *current* span into `slices`
+        # regular slices; after an append that span changed, so these are
+        # rebuilt lazily (keeping /analyze byte-identical to a batch run on
+        # the grown trace).
+        self._models.clear()
+        self._aggregators.clear()
+        self._after_generation_change()
+
+    def _after_generation_change(self) -> None:
+        assert self._store is not None
+        self._digest = self._store.digest
+        self._generation = self._store.generation
+        # A writer whose view no longer matches the store was bypassed by an
+        # external writer (or a rebuild): drop it so the next append opens a
+        # fresh one instead of failing its pre-commit check forever.
+        if self._writer is not None and self._writer.digest != self._digest:
+            self._writer = None
+        for key in [k for k in self._results if k[1] != self._generation]:
+            del self._results[key]
+
+    def _append_receipt(self, appended: "int | None") -> dict[str, Any]:
+        assert self._store is not None
+        receipt = {
+            "name": self._name,
+            "digest": self._digest,
+            "generation": self._generation,
+            "n_intervals": self._store.n_intervals,
+        }
+        if appended is not None:
+            receipt["appended"] = int(appended)
+        return receipt

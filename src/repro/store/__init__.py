@@ -10,13 +10,17 @@ from .format import (
     DEFAULT_CHUNK_ROWS,
     FORMAT,
     STORE_SUFFIX,
+    RollingColumnsDigest,
     StoreError,
     StoreIntegrityError,
+    StoreRewrittenError,
     TraceColumns,
     columns_digest,
     trace_digest,
 )
 from .store import TraceStore, is_store, open_store, save_store
+from .stream import SyncResult, sync_store
+from .writer import StoreWriter
 
 __all__ = [
     "FORMAT",
@@ -24,10 +28,15 @@ __all__ = [
     "DEFAULT_CHUNK_ROWS",
     "StoreError",
     "StoreIntegrityError",
+    "StoreRewrittenError",
+    "RollingColumnsDigest",
     "TraceColumns",
     "columns_digest",
     "trace_digest",
     "TraceStore",
+    "StoreWriter",
+    "SyncResult",
+    "sync_store",
     "save_store",
     "open_store",
     "is_store",

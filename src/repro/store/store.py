@@ -34,6 +34,7 @@ from .format import (
     STATES_FILE,
     StoreError,
     StoreIntegrityError,
+    StoreRewrittenError,
     TraceColumns,
     columns_digest,
 )
@@ -58,6 +59,35 @@ def _read_json(path: Path, what: str) -> dict:
     if not isinstance(payload, dict):
         raise StoreError(f"{path}: {what} must be a JSON object")
     return payload
+
+
+def _validate_manifest(target: Path, manifest: Mapping[str, Any]) -> None:
+    if manifest.get("format") != FORMAT:
+        raise StoreError(
+            f"{target}: unsupported store format {manifest.get('format')!r} "
+            f"(expected {FORMAT!r})"
+        )
+    for key in ("digest", "n_intervals", "chunks"):
+        if key not in manifest:
+            raise StoreError(f"{target}: manifest is missing {key!r}")
+
+
+def _load_chunk(store_path: Path, entry: Mapping[str, Any], index: int) -> TraceColumns:
+    """Read and row-count-check one chunk file listed in a manifest."""
+    chunk_path = store_path / str(entry["file"])
+    try:
+        with np.load(chunk_path) as data:
+            part = TraceColumns(*(np.ascontiguousarray(data[k]) for k in _CHUNK_KEYS))
+    except FileNotFoundError:
+        raise StoreError(f"{chunk_path}: missing chunk file (chunk {index})") from None
+    except Exception as exc:  # np.load raises a zoo: OSError, zipfile, pickle…
+        raise StoreError(f"{chunk_path}: unreadable chunk {index}: {exc}") from exc
+    if part.n_rows != int(entry.get("rows", part.n_rows)):
+        raise StoreIntegrityError(
+            f"{chunk_path}: chunk {index} has {part.n_rows} rows, "
+            f"manifest says {entry.get('rows')}"
+        )
+    return part
 
 
 class TraceStore:
@@ -102,6 +132,17 @@ class TraceStore:
         return int(self._manifest["n_intervals"])
 
     @property
+    def generation(self) -> int:
+        """Append generation: 0 at creation, +1 per committed append.
+
+        Pre-streaming stores have no ``generation`` manifest key and read as
+        generation 0.  The service keys its result caches on this counter so
+        entries computed against an older content snapshot are evicted, never
+        served.
+        """
+        return int(self._manifest.get("generation", 0))
+
+    @property
     def hierarchy(self) -> Hierarchy:
         """The resource hierarchy, rebuilt from the side-car."""
         return self._hierarchy
@@ -130,6 +171,7 @@ class TraceStore:
         """JSON-friendly description used by ``GET /traces``."""
         return {
             "digest": self.digest,
+            "generation": self.generation,
             "n_intervals": self.n_intervals,
             "n_resources": self._hierarchy.n_leaves,
             "n_states": len(self._states),
@@ -158,21 +200,10 @@ class TraceStore:
         """
         if self._columns is not None:
             return self._columns
-        parts: list[TraceColumns] = []
-        for entry in self._manifest.get("chunks", []):
-            chunk_path = self._path / entry["file"]
-            try:
-                with np.load(chunk_path) as data:
-                    part = TraceColumns(*(np.ascontiguousarray(data[k]) for k in _CHUNK_KEYS))
-            except FileNotFoundError:
-                raise StoreError(f"{chunk_path}: missing chunk file") from None
-            except Exception as exc:  # np.load raises a zoo: OSError, zipfile, pickle…
-                raise StoreError(f"{chunk_path}: unreadable chunk: {exc}") from exc
-            if part.n_rows != int(entry.get("rows", part.n_rows)):
-                raise StoreIntegrityError(
-                    f"{chunk_path}: {part.n_rows} rows, manifest says {entry.get('rows')}"
-                )
-            parts.append(part)
+        parts = [
+            _load_chunk(self._path, entry, index)
+            for index, entry in enumerate(self._manifest.get("chunks", []))
+        ]
         columns = TraceColumns.concatenate(parts)
         if columns.n_rows != self.n_intervals:
             raise StoreIntegrityError(
@@ -192,6 +223,113 @@ class TraceStore:
             )
         self._columns = columns
         return columns
+
+    def refresh(self) -> "TraceColumns | None":
+        """Pick up rows appended by a :class:`~repro.store.StoreWriter`.
+
+        Re-reads the manifest and, when the store grew, loads **only the new
+        chunk files** — already-loaded columns are reused, the appended tail
+        is digest-verified as part of the full content hash (in-memory bytes,
+        no re-read of old chunks) — then drops the derived caches (trace,
+        models) that describe the old content.
+
+        Returns the appended tail as :class:`TraceColumns` (what
+        :meth:`~repro.core.MicroscopicModel.extend` consumes), or ``None``
+        when nothing changed.
+
+        Raises
+        ------
+        StoreError
+            When the store was deleted out from under the session or a new
+            chunk is missing/unreadable.
+        StoreRewrittenError
+            When the on-disk store is no longer an append-only continuation
+            of the opened one (chunk list shrank or diverged) — reopen it.
+        StoreIntegrityError
+            When the grown content does not hash to the new manifest digest.
+        """
+        manifest = _read_json(self._path / MANIFEST_FILE, "store manifest")
+        _validate_manifest(self._path, manifest)
+        if (
+            manifest.get("digest") == self.digest
+            and int(manifest.get("generation", 0)) == self.generation
+            and int(manifest["n_intervals"]) == self.n_intervals
+        ):
+            return None
+        old_chunks = list(self._manifest.get("chunks", []))
+        new_chunks = list(manifest.get("chunks", []))
+        grown = (
+            len(new_chunks) >= len(old_chunks)
+            and new_chunks[: len(old_chunks)] == old_chunks
+            and int(manifest["n_intervals"]) >= self.n_intervals
+        )
+        if not grown:
+            raise StoreRewrittenError(
+                f"{self._path}: store was rewritten, not appended "
+                f"(generation {self.generation} -> {manifest.get('generation', 0)}); "
+                "reopen it"
+            )
+        old_rows = self.n_intervals
+        old_manifest = self._manifest
+        if self._columns is None:
+            # Nothing cached yet: adopt the new manifest and do a plain cold
+            # load (which digest-verifies the current content), then confirm
+            # the first old_rows rows still hash to the *old* digest — a
+            # rebuild that happens to reuse the chunk layout must not be
+            # absorbed as an append.
+            self._manifest = dict(manifest)
+            try:
+                columns = self.columns()
+            except StoreError:
+                self._manifest = old_manifest
+                raise
+            prefix_digest = columns_digest(
+                columns.slice(0, old_rows),
+                [leaf.path for leaf in self._hierarchy.leaves],
+                self._states.names,
+                dict(old_manifest.get("metadata", {})),
+            )
+            if prefix_digest != str(old_manifest["digest"]):
+                self._manifest = old_manifest
+                self._columns = None
+                raise StoreRewrittenError(
+                    f"{self._path}: rows before the append point no longer hash "
+                    f"to the previous digest — store was rewritten, not appended; "
+                    "reopen it"
+                )
+        else:
+            parts = [self._columns] + [
+                _load_chunk(self._path, entry, index)
+                for index, entry in enumerate(new_chunks[len(old_chunks):], start=len(old_chunks))
+            ]
+            columns = TraceColumns.concatenate(parts)
+            if columns.n_rows != int(manifest["n_intervals"]):
+                raise StoreIntegrityError(
+                    f"{self._path}: {columns.n_rows} rows in chunks, "
+                    f"manifest says {manifest['n_intervals']}"
+                )
+            actual = columns_digest(
+                columns,
+                [leaf.path for leaf in self._hierarchy.leaves],
+                self._states.names,
+                dict(manifest.get("metadata", {})),
+            )
+            if actual != str(manifest["digest"]):
+                # The cached prefix is known-good (digest-verified at load),
+                # so either the tail/manifest is corrupt or the whole store
+                # was rebuilt under a coincidentally identical chunk layout.
+                # Treat it as a rewrite: reopening re-verifies from disk and
+                # surfaces genuine corruption as StoreIntegrityError there.
+                raise StoreRewrittenError(
+                    f"{self._path}: content digest {actual[:12]}… does not match "
+                    f"manifest digest {str(manifest['digest'])[:12]}… after refresh "
+                    "— store was rewritten or corrupted; reopen it"
+                )
+            self._manifest = dict(manifest)
+            self._columns = columns
+        self._trace = None
+        self._models.clear()
+        return columns.slice(old_rows, columns.n_rows)
 
     def load_trace(self) -> Trace:
         """Materialize the full :class:`~repro.trace.Trace`.
@@ -279,6 +417,11 @@ class TraceStore:
             return None
         try:
             with np.load(path, allow_pickle=True) as data:
+                # A cache entry without a digest, or with another content's
+                # digest, describes different columns (e.g. the store was
+                # appended to after the model was cached): treat as a miss.
+                if "digest" not in data or str(data["digest"]) != self.digest:
+                    return None
                 durations = data["durations"]
                 edges = data["edges"]
                 cumulatives = None
@@ -306,6 +449,7 @@ class TraceStore:
                 temp,
                 durations=model.durations,
                 edges=model.slicing.edges,
+                digest=np.array(self.digest),
                 cum_durations=cum_durations,
                 cum_proportions=cum_proportions,
                 cum_xlogx=cum_xlogx,
@@ -330,12 +474,16 @@ def save_store(
     trace: Trace,
     path: "str | os.PathLike[str]",
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    generation: int = 0,
 ) -> TraceStore:
     """Write ``trace`` as an ``.rtz`` store directory and return it opened.
 
     ``path`` must not exist, be an empty directory, or be an existing store
     (which is then replaced atomically enough for single-writer use: side-cars
-    first, manifest last, stale model caches removed).
+    first, manifest last, stale model caches removed).  ``generation`` seeds
+    the append counter — :func:`repro.store.sync_store` passes the replaced
+    store's generation + 1 when it has to rebuild, so service sessions still
+    notice the content moved on.
     """
     if chunk_rows < 1:
         raise StoreError("chunk_rows must be at least 1")
@@ -385,6 +533,7 @@ def save_store(
     manifest = {
         "format": FORMAT,
         "digest": digest,
+        "generation": int(generation),
         "n_intervals": columns.n_rows,
         "chunk_rows": chunk_rows,
         "chunks": chunks,
@@ -410,14 +559,7 @@ def open_store(path: "str | os.PathLike[str]") -> TraceStore:
     if not target.is_dir():
         raise StoreError(f"{target}: not a trace store directory")
     manifest = _read_json(target / MANIFEST_FILE, "store manifest")
-    if manifest.get("format") != FORMAT:
-        raise StoreError(
-            f"{target}: unsupported store format {manifest.get('format')!r} "
-            f"(expected {FORMAT!r})"
-        )
-    for key in ("digest", "n_intervals", "chunks"):
-        if key not in manifest:
-            raise StoreError(f"{target}: manifest is missing {key!r}")
+    _validate_manifest(target, manifest)
 
     hierarchy_doc = _read_json(target / HIERARCHY_FILE, "hierarchy side-car")
     leaf_paths = hierarchy_doc.get("leaf_paths")

@@ -74,11 +74,6 @@ class OverviewLayout:
         self._edges = self._model.slicing.edges
 
     @property
-    def partition(self) -> Partition:
-        """The laid-out partition."""
-        return self._partition
-
-    @property
     def time_span(self) -> tuple[float, float]:
         """Horizontal data range (trace start and end)."""
         return float(self._edges[0]), float(self._edges[-1])

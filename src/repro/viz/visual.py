@@ -63,11 +63,6 @@ class VisualItem:
     style: AggregateStyle
     hidden: int = 0
 
-    @property
-    def n_cells(self) -> int:
-        """Microscopic cells covered by the rectangle."""
-        return self.node.n_leaves * (self.j - self.i + 1)
-
 
 @dataclass(frozen=True)
 class VisualAggregationResult:

@@ -166,3 +166,82 @@ class TestAccessors:
         assert loaded.states.names == figure3_model.states.names
         assert np.allclose(loaded.durations, figure3_model.durations)
         assert loaded.hierarchy.leaf_names == figure3_model.hierarchy.leaf_names
+
+
+class TestExtend:
+    """Unit tests for the streaming extend/window paths; the bit-identity
+    differential properties live in tests/properties/test_property_stream.py."""
+
+    def _base(self):
+        trace = simple_trace()
+        model = MicroscopicModel.from_trace(trace, n_slices=4)
+        return trace, model
+
+    def test_empty_batch_returns_self(self):
+        _, model = self._base()
+        empty = np.empty(0)
+        assert model.extend(empty, empty, empty.astype(int), empty.astype(int)) is model
+
+    def test_extend_grows_whole_slices_with_fixed_width(self):
+        _, model = self._base()
+        extended = model.extend(
+            np.array([4.0]), np.array([6.5]), np.array([0]), np.array([0])
+        )
+        assert extended is not model
+        assert extended.n_slices == 7  # 4 old + ceil(2.5 / 1.0) new
+        assert np.array_equal(extended.slicing.edges[:5], model.slicing.edges)
+        assert np.allclose(np.diff(extended.slicing.edges), 1.0)
+        # Old cells untouched, new duration landed in the tail slices.
+        assert np.array_equal(extended.durations[:, :4, :], model.durations)
+        assert extended.durations[0, 4:, 0].sum() == pytest.approx(2.5)
+
+    def test_extend_accepts_a_columns_object(self):
+        _, model = self._base()
+
+        class Columns:
+            starts = np.array([4.0])
+            ends = np.array([5.0])
+            resource_ids = np.array([1])
+            state_ids = np.array([0])
+
+        extended = model.extend(Columns())
+        assert extended.n_slices == 5
+
+    def test_extend_updates_cells_in_old_slices(self):
+        _, model = self._base()
+        before = model.durations[1, 3, 0]
+        extended = model.extend(
+            np.array([3.5]), np.array([4.0]), np.array([1]), np.array([1])
+        )
+        assert extended.n_slices == 4  # still covered: no new slices
+        assert extended.durations[1, 3, 1] == pytest.approx(0.5)
+        assert extended.durations[1, 3, 0] == before
+
+    def test_extend_validates_lengths_and_ids(self):
+        _, model = self._base()
+        with pytest.raises(MicroscopicModelError, match="same length"):
+            model.extend(np.array([1.0]), np.array([2.0, 3.0]), np.array([0]), np.array([0]))
+        with pytest.raises(MicroscopicModelError, match="out of range"):
+            model.extend(np.array([4.0]), np.array([5.0]), np.array([9]), np.array([0]))
+        with pytest.raises(MicroscopicModelError, match="out of range"):
+            model.extend(np.array([4.0]), np.array([5.0]), np.array([0]), np.array([-1]))
+
+    def test_window_slices_durations_and_edges(self):
+        _, model = self._base()
+        window = model.window(1, 3)
+        assert window.n_slices == 2
+        assert np.array_equal(window.slicing.edges, model.slicing.edges[1:4])
+        assert np.array_equal(window.durations, model.durations[:, 1:3, :])
+
+    def test_window_carries_cumulative_tables(self):
+        _, model = self._base()
+        tables = model.cumulative_tables()
+        window = model.window(1, 3)
+        for fast, parent in zip(window.cumulative_tables(), tables):
+            assert np.array_equal(fast, parent[:, 1:3, :])
+
+    def test_window_bounds_validated(self):
+        _, model = self._base()
+        for start, stop in [(-1, 2), (2, 2), (3, 2), (0, 5)]:
+            with pytest.raises(MicroscopicModelError, match="window"):
+                model.window(start, stop)

@@ -149,3 +149,29 @@ class TestOverlaps:
             a, b = sorted(rng.uniform(0, 7, size=2))
             total = sum(d for _, d in ts.overlaps(a, b))
             assert total == pytest.approx(b - a, abs=1e-9)
+
+
+class TestExtendedTo:
+    def test_returns_self_when_covered(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        assert ts.extended_to(10.0) is ts
+        assert ts.extended_to(3.0) is ts
+
+    def test_appends_whole_slices_of_last_width(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        grown = ts.extended_to(13.5)
+        assert grown.n_slices == 7
+        assert np.array_equal(grown.edges[:6], ts.edges)
+        assert np.allclose(np.diff(grown.edges), 2.0)
+        assert grown.end >= 13.5
+
+    def test_irregular_slicing_extends_with_last_width(self):
+        ts = TimeSlicing([0.0, 1.0, 4.0])
+        grown = ts.extended_to(9.0)
+        assert np.allclose(np.diff(grown.edges)[2:], 3.0)
+        assert grown.end >= 9.0
+
+    def test_non_finite_end_rejected(self):
+        ts = TimeSlicing.regular(0.0, 10.0, 5)
+        with pytest.raises(TimeSlicingError, match="finite"):
+            ts.extended_to(float("nan"))

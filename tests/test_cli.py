@@ -292,3 +292,148 @@ class TestAnalyzeJobs:
         assert main(["analyze", str(trace_path), "--slices", "12", "--jobs", "2"]) == 0
         parallel_report = capsys.readouterr().out
         assert parallel_report == serial_report
+
+
+class TestStream:
+    def _grow(self, source, full_lines, upto):
+        source.write_text("\n".join(full_lines[:upto]) + "\n")
+
+    def test_create_append_unchanged_cycle(self, small_trace_csv, tmp_path, capsys):
+        lines = small_trace_csv.read_text().splitlines()
+        live = tmp_path / "live.csv"
+        store = tmp_path / "live.rtz"
+        # Keep every state (MPI_Finalize rows sit at the very end) in the
+        # prefix: a late new state changes the store dimensions, which is a
+        # rebuild, not an append.
+        cut = len(lines) - 4
+        self._grow(live, lines, cut)
+        assert main(["stream", str(live), str(store)]) == 0
+        assert "created" in capsys.readouterr().out
+        self._grow(live, lines, len(lines))
+        assert main(["stream", str(live), str(store)]) == 0
+        assert "appended" in capsys.readouterr().out
+        assert main(["stream", str(live), str(store)]) == 0
+        assert "unchanged" in capsys.readouterr().out
+        # The streamed store is content-identical to a one-shot convert.
+        assert main(["convert", str(small_trace_csv), str(tmp_path / "ref.rtz")]) == 0
+        capsys.readouterr()
+        streamed = json.loads((store / "manifest.json").read_text())
+        reference = json.loads((tmp_path / "ref.rtz" / "manifest.json").read_text())
+        assert streamed["digest"] == reference["digest"]
+        assert streamed["generation"] == 1
+
+    def test_follow_with_max_polls_terminates(self, small_trace_csv, tmp_path, capsys):
+        store = tmp_path / "live.rtz"
+        code = main([
+            "stream", str(small_trace_csv), str(store),
+            "--follow", "--poll", "0.01", "--max-polls", "3",
+        ])
+        assert code == 0
+        assert "created" in capsys.readouterr().out
+        assert (store / "manifest.json").exists()
+
+    def test_missing_source_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["stream", str(tmp_path / "nope.csv"), str(tmp_path / "s.rtz")]) == 2
+        captured = capsys.readouterr()
+        assert "error: cannot read trace" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bad_options_rejected(self, small_trace_csv, tmp_path, capsys):
+        store = str(tmp_path / "s.rtz")
+        assert main(["stream", str(small_trace_csv), store, "--chunk-rows", "0"]) == 2
+        assert main(["stream", str(small_trace_csv), store, "--follow", "--poll", "0"]) == 2
+        assert main(["stream", str(small_trace_csv), store, "--max-polls", "0"]) == 2
+        capsys.readouterr()
+
+    def test_paje_source_streams_via_rebuild(self, small_trace_csv, tmp_path, capsys):
+        from repro.trace.io import read_csv, write_paje
+
+        trace = read_csv(small_trace_csv)
+        paje = tmp_path / "live.paje"
+        write_paje(trace, paje)
+        store = tmp_path / "live.rtz"
+        assert main(["stream", str(paje), str(store)]) == 0
+        assert "created" in capsys.readouterr().out
+        assert json.loads((store / "manifest.json").read_text())["n_intervals"] == trace.n_intervals
+
+
+class TestAnalyzeWindow:
+    def test_window_last_k_json(self, small_trace_csv, capsys):
+        assert main([
+            "analyze", str(small_trace_csv), "--slices", "10", "--json",
+            "--window", "last:3",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["window"]["slices"] == [7, 10]
+        assert payload["window"]["stream_slices"] == 10
+        assert payload["model"]["n_slices"] == 3
+        assert payload["params"]["last_k_slices"] == 3
+
+    def test_window_time_span_json(self, small_trace_csv, capsys):
+        assert main([
+            "analyze", str(small_trace_csv), "--slices", "10", "--json",
+            "--window", "last:10",
+        ]) == 0
+        whole = json.loads(capsys.readouterr().out)
+        t0 = whole["trace"]["start"]
+        t1 = whole["trace"]["end"]
+        assert main([
+            "analyze", str(small_trace_csv), "--slices", "10", "--json",
+            "--window", f"{t0}:{t1}",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["window"]["slices"] == [0, 10]
+
+    def test_window_text_report(self, small_trace_csv, capsys):
+        assert main([
+            "analyze", str(small_trace_csv), "--slices", "10", "--window", "last:2",
+        ]) == 0
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_window_matches_served_store_at_generation_zero(self, small_trace_csv, tmp_path, capsys):
+        import threading
+        import urllib.request
+
+        from repro.service import AnalysisSession, build_server
+        from repro.store import open_store
+
+        store_path = tmp_path / "t.rtz"
+        assert main(["convert", str(small_trace_csv), str(store_path)]) == 0
+        capsys.readouterr()
+        assert main([
+            "analyze", str(store_path), "--json", "--slices", "10",
+            "--window", "last:3",
+        ]) == 0
+        cli_output = capsys.readouterr().out
+
+        server = build_server(
+            {"t": AnalysisSession(open_store(store_path), name="t")}, port=0
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.server_address[1]}/analyze",
+                data=json.dumps({"slices": 10, "last_k_slices": 3}).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request) as rsp:
+                body = rsp.read().decode()
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert body == cli_output
+
+    def test_invalid_window_specs_exit_2(self, small_trace_csv, capsys):
+        for spec in ["bad", "last:0", "last:x", "5:1", "a:b"]:
+            assert main([
+                "analyze", str(small_trace_csv), "--slices", "10", "--window", spec,
+            ]) == 2
+            assert "error" in capsys.readouterr().err
+
+    def test_window_outside_span_exits_2(self, small_trace_csv, capsys):
+        assert main([
+            "analyze", str(small_trace_csv), "--slices", "10",
+            "--window", "1e9:2e9",
+        ]) == 2
+        assert "does not overlap" in capsys.readouterr().err
