@@ -1,0 +1,352 @@
+"""Corpus manifests: a directory of traces analyzed and compared as one unit.
+
+A *corpus* is an ordered collection of traces — ``.rtz`` store directories
+and/or raw CSV/Pajé files — rooted at one directory.  Two ways to describe
+one:
+
+* **discovery** — point :func:`load_corpus` at a directory and every store
+  and trace file found there (sorted by name) becomes an entry;
+* **manifest** — a ``corpus.json`` file listing the members explicitly,
+  optionally pinning each member's **content digest**.  Digest-pinned entries
+  are verified when the trace is opened for analysis, so a corpus run can
+  prove it analyzed exactly the content the manifest froze — the same
+  guarantee the store manifest gives a single trace, lifted to the corpus
+  level.
+
+Manifest layout (``repro.corpus/1``)::
+
+    {
+      "format": "repro.corpus/1",
+      "traces": [
+        {"name": "case_a", "path": "case_a.rtz", "kind": "store", "digest": "..."},
+        {"name": "case_b", "path": "case_b.csv", "kind": "csv", "digest": "..."}
+      ]
+    }
+
+``path`` is relative to the manifest's directory (absolute paths are
+accepted); ``kind`` and ``digest`` are optional — ``kind`` is inferred from
+the path when omitted, and entries without a ``digest`` skip verification.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Iterator, Union
+
+from ..store.format import trace_digest
+from ..store.store import TraceStore, is_store, open_store
+from ..trace.io import TraceIOError, read_csv, read_paje
+from ..trace.trace import Trace
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "MANIFEST_NAME",
+    "CorpusError",
+    "CorpusIntegrityError",
+    "CorpusEntry",
+    "Corpus",
+    "discover_corpus",
+    "load_corpus",
+    "write_corpus_manifest",
+]
+
+#: Manifest format tag; bump on incompatible layout changes.
+CORPUS_FORMAT = "repro.corpus/1"
+#: Conventional manifest file name inside a corpus directory.
+MANIFEST_NAME = "corpus.json"
+#: Trace kinds a corpus can reference.
+_KINDS = ("store", "csv", "paje")
+
+
+class CorpusError(TraceIOError):
+    """Raised when a corpus directory or manifest cannot be read."""
+
+
+class CorpusIntegrityError(CorpusError):
+    """Raised when a member trace does not hash to its manifest digest."""
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One member trace of a corpus.
+
+    Attributes
+    ----------
+    name:
+        Unique name inside the corpus (defaults to the path's stem).
+    path:
+        Absolute path of the store directory or trace file.
+    kind:
+        ``"store"``, ``"csv"`` or ``"paje"``.
+    digest:
+        Expected content digest, or ``None`` when the manifest does not pin
+        one.  Verified by :meth:`load` / :meth:`current_digest` consumers.
+    """
+
+    name: str
+    path: Path
+    kind: str
+    digest: "str | None" = None
+
+    def load(self) -> "TraceStore | Trace":
+        """Open the member trace, verifying the pinned digest when present.
+
+        Returns the opened :class:`~repro.store.TraceStore` (store entries;
+        digest checked against the store manifest, so verification is free)
+        or the parsed :class:`~repro.trace.Trace` (file entries; digest
+        recomputed from the parsed content).
+
+        Raises
+        ------
+        TraceIOError
+            When the member cannot be read (missing, malformed, ...).
+        CorpusIntegrityError
+            When the member's content digest does not match the pinned one.
+        """
+        if self.kind == "store":
+            source: "TraceStore | Trace" = open_store(self.path)
+            actual = source.digest
+        else:
+            reader = read_paje if self.kind == "paje" else read_csv
+            try:
+                source = reader(self.path)
+            except FileNotFoundError:
+                raise CorpusError(f"{self.path}: corpus member not found") from None
+            actual = trace_digest(source)
+        if self.digest is not None and actual != self.digest:
+            raise CorpusIntegrityError(
+                f"{self.path}: content digest {actual[:12]}… does not match the "
+                f"corpus manifest digest {self.digest[:12]}… (trace {self.name!r})"
+            )
+        return source
+
+    def current_digest(self) -> str:
+        """The member's current content digest (loads file entries)."""
+        if self.kind == "store":
+            return open_store(self.path).digest
+        reader = read_paje if self.kind == "paje" else read_csv
+        return trace_digest(reader(self.path))
+
+
+def _entry_kind(path: Path) -> "str | None":
+    """The corpus kind of ``path``, or ``None`` when it is not a trace."""
+    if is_store(path):
+        return "store"
+    if path.is_file() and path.suffix.lower() == ".csv":
+        return "csv"
+    if path.is_file() and path.suffix.lower() == ".paje":
+        return "paje"
+    return None
+
+
+def entry_for_path(
+    path: "str | os.PathLike[str]", name: "str | None" = None
+) -> CorpusEntry:
+    """A standalone :class:`CorpusEntry` for one trace path (no corpus).
+
+    Used by ``repro compare A B`` to reuse the corpus analysis pipeline on
+    ad-hoc traces.  The entry carries no pinned digest.
+    """
+    target = Path(path)
+    if not target.exists():
+        raise CorpusError(f"{target}: trace not found")
+    kind = _entry_kind(target)
+    if kind is None:
+        raise CorpusError(
+            f"{target}: not a trace store or a recognized trace file (.csv/.paje)"
+        )
+    return CorpusEntry(name=name or target.stem or target.name, path=target.resolve(), kind=kind)
+
+
+class Corpus:
+    """An ordered, name-addressable collection of trace entries."""
+
+    def __init__(self, root: Path, entries: "list[CorpusEntry]"):
+        self._root = Path(root)
+        self._entries = tuple(sorted(entries, key=lambda e: e.name))
+        by_name: dict[str, CorpusEntry] = {}
+        for entry in self._entries:
+            if entry.kind not in _KINDS:
+                raise CorpusError(
+                    f"{self._root}: unknown trace kind {entry.kind!r} for "
+                    f"{entry.name!r} (expected one of {list(_KINDS)})"
+                )
+            if entry.name in by_name:
+                raise CorpusError(
+                    f"{self._root}: duplicate trace name {entry.name!r} "
+                    f"({by_name[entry.name].path} vs {entry.path})"
+                )
+            by_name[entry.name] = entry
+        if not by_name:
+            raise CorpusError(f"{self._root}: corpus contains no traces")
+        self._by_name = by_name
+
+    @property
+    def root(self) -> Path:
+        """Directory the corpus is rooted at."""
+        return self._root
+
+    @property
+    def entries(self) -> tuple[CorpusEntry, ...]:
+        """The member entries, sorted by name."""
+        return self._entries
+
+    @property
+    def names(self) -> "list[str]":
+        """Member names, sorted."""
+        return [entry.name for entry in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        return iter(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def entry(self, name: str) -> CorpusEntry:
+        """The entry called ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LookupError(
+                f"unknown corpus trace {name!r}; expected one of {self.names}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Corpus({str(self._root)!r}, n_traces={len(self._entries)})"
+
+
+def discover_corpus(root: "str | os.PathLike[str]") -> Corpus:
+    """Build a corpus by scanning ``root`` for stores and trace files.
+
+    Every ``.rtz`` store directory and every ``*.csv`` / ``*.paje`` file
+    directly under ``root`` becomes an entry named after its stem.  When a
+    store and a trace file share a stem — the normal leftover of
+    ``repro convert case_a.csv case_a.rtz`` run in place — the **store
+    wins** (it is the converted artifact of the same content; pin digests
+    with :func:`write_corpus_manifest` to catch a source file that drifted
+    after conversion, or list both sides explicitly in a manifest under
+    distinct names).  Two *files* sharing a stem (``a.csv`` + ``a.paje``)
+    stay ambiguous and are rejected.  Entries carry no pinned digests —
+    freeze them with :func:`write_corpus_manifest`.
+    """
+    base = Path(root)
+    if not base.is_dir():
+        raise CorpusError(f"{base}: not a corpus directory")
+    stores: dict[str, CorpusEntry] = {}
+    files: list[CorpusEntry] = []
+    for child in sorted(base.iterdir()):
+        kind = _entry_kind(child)
+        if kind is None:
+            continue
+        entry = CorpusEntry(name=child.stem or child.name, path=child.resolve(), kind=kind)
+        if kind == "store":
+            stores[entry.name] = entry
+        else:
+            files.append(entry)
+    entries = list(stores.values()) + [f for f in files if f.name not in stores]
+    return Corpus(base, entries)
+
+
+def _load_manifest(manifest_path: Path) -> Corpus:
+    try:
+        payload = json.loads(manifest_path.read_text())
+    except FileNotFoundError:
+        raise CorpusError(f"{manifest_path}: corpus manifest not found") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CorpusError(f"{manifest_path}: unreadable corpus manifest: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise CorpusError(f"{manifest_path}: corpus manifest is not UTF-8: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CorpusError(f"{manifest_path}: corpus manifest must be a JSON object")
+    if payload.get("format") != CORPUS_FORMAT:
+        raise CorpusError(
+            f"{manifest_path}: unsupported corpus format {payload.get('format')!r} "
+            f"(expected {CORPUS_FORMAT!r})"
+        )
+    traces = payload.get("traces")
+    if not isinstance(traces, list) or not traces:
+        raise CorpusError(f"{manifest_path}: corpus manifest lists no traces")
+    root = manifest_path.parent
+    entries: list[CorpusEntry] = []
+    for index, raw in enumerate(traces):
+        if not isinstance(raw, dict) or "path" not in raw:
+            raise CorpusError(
+                f"{manifest_path}: trace entry {index} must be an object with a 'path'"
+            )
+        member = Path(str(raw["path"]))
+        if not member.is_absolute():
+            member = root / member
+        member = member.resolve()
+        kind = raw.get("kind")
+        if kind is None:
+            kind = _entry_kind(member)
+            if kind is None:
+                raise CorpusError(
+                    f"{manifest_path}: trace entry {index} ({member}) is neither a "
+                    "store nor a recognized trace file"
+                )
+        digest = raw.get("digest")
+        if digest is not None and not isinstance(digest, str):
+            raise CorpusError(f"{manifest_path}: trace entry {index} has a non-string digest")
+        name = str(raw.get("name") or member.stem or member.name)
+        entries.append(CorpusEntry(name=name, path=member, kind=str(kind), digest=digest))
+    return Corpus(root, entries)
+
+
+def load_corpus(path: "str | os.PathLike[str]") -> Corpus:
+    """Load a corpus from a directory or an explicit manifest file.
+
+    A directory containing a ``corpus.json`` loads the manifest (with digest
+    pins); a directory without one is discovered; a ``.json`` file is read
+    as a manifest rooted at its parent directory.
+    """
+    target = Path(path)
+    if target.is_dir():
+        manifest = target / MANIFEST_NAME
+        if manifest.is_file():
+            return _load_manifest(manifest)
+        return discover_corpus(target)
+    if target.is_file():
+        return _load_manifest(target)
+    raise CorpusError(f"{target}: not a corpus directory or manifest file")
+
+
+def write_corpus_manifest(
+    corpus: Corpus, path: "Union[str, os.PathLike[str], None]" = None
+) -> Path:
+    """Write ``corpus`` as a manifest with current content digests.
+
+    Every entry's digest is (re)computed from the member's current content,
+    so the written manifest freezes the corpus exactly as it is on disk.
+    Returns the manifest path (default: ``corpus.json`` at the corpus root).
+    """
+    target = Path(path) if path is not None else corpus.root / MANIFEST_NAME
+    entries = [replace(entry, digest=entry.current_digest()) for entry in corpus]
+    payload: dict[str, Any] = {
+        "format": CORPUS_FORMAT,
+        "traces": [
+            {
+                "name": entry.name,
+                "path": _manifest_path(entry.path, target.parent),
+                "kind": entry.kind,
+                "digest": entry.digest,
+            }
+            for entry in entries
+        ],
+    }
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def _manifest_path(member: Path, root: Path) -> str:
+    """Relative POSIX path of ``member`` under ``root`` (absolute otherwise)."""
+    try:
+        return member.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return str(member)

@@ -1,0 +1,236 @@
+"""Corpus-scale batch analysis: fan one analysis per trace over a worker pool.
+
+:func:`run_batch` analyzes every member of a :class:`~repro.batch.Corpus`
+with the same parameters — one shard per trace, distributed over a process
+pool when ``jobs > 1`` — and returns the per-trace analysis payloads plus
+the corpus ranking of :func:`~repro.batch.compare.batch_payload`.
+
+Per-trace payloads are assembled by the exact code path behind
+``repro analyze --json`` / ``POST /analyze`` (:func:`analyze_entry`), so a
+batch run over a corpus is byte-identical to analyzing each member
+individually.  Store-backed members go through
+:meth:`~repro.store.TraceStore.model`, i.e. they *reuse the engine's
+persisted model caches* — a corpus of converted stores skips CSV parsing and
+model construction entirely and spends its time in the dynamic program.
+
+Error policy: a member that fails to load or analyze (missing file, digest
+mismatch, corrupt store) is recorded as a :class:`BatchTraceFailure` carrying
+the trace's **path** and the error, and the remaining members still run.  A
+worker process that dies outright (segfault, OOM kill) raises
+:class:`BatchWorkerError` naming the member whose shard was in flight —
+callers never see a bare ``multiprocessing`` traceback.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.microscopic import MicroscopicModel
+from ..service.serializer import analysis_payload, run_analysis, trace_summary
+from ..store.format import trace_digest
+from ..store.store import TraceStore
+from .compare import batch_payload
+from .corpus import Corpus, CorpusEntry
+
+__all__ = [
+    "BatchTraceFailure",
+    "BatchWorkerError",
+    "BatchResult",
+    "analysis_params",
+    "analyze_entry",
+    "run_batch",
+]
+
+#: Operators a batch run accepts (mirrors ``repro analyze --operator``).
+_OPERATORS = ("mean", "sum")
+
+
+class BatchWorkerError(RuntimeError):
+    """A batch worker process died before returning its trace's result."""
+
+
+@dataclass(frozen=True)
+class BatchTraceFailure:
+    """One corpus member that could not be analyzed."""
+
+    name: str
+    path: str
+    kind: str
+    error: str
+
+    def as_payload(self) -> dict[str, str]:
+        """JSON-friendly form used in batch payloads and CLI output."""
+        return {"name": self.name, "path": self.path, "kind": self.kind, "error": self.error}
+
+
+@dataclass
+class BatchResult:
+    """Everything one corpus batch run produced."""
+
+    params: dict[str, Any]
+    results: dict[str, dict[str, Any]]
+    failures: "list[BatchTraceFailure]"
+
+    @property
+    def ok(self) -> bool:
+        """Whether every corpus member was analyzed."""
+        return not self.failures
+
+    def payload(self) -> dict[str, Any]:
+        """The machine-readable batch payload (results + corpus ranking)."""
+        return batch_payload(
+            self.results,
+            self.params,
+            errors=[failure.as_payload() for failure in self.failures],
+        )
+
+
+def analysis_params(
+    p: float, slices: int, operator: str, anomaly_threshold: float
+) -> dict[str, Any]:
+    """The canonical ``params`` echo shared with ``repro analyze --json``."""
+    return {
+        "p": p,
+        "slices": slices,
+        "operator": operator,
+        "anomaly_threshold": anomaly_threshold,
+    }
+
+
+def _validate(p: float, slices: int, operator: str, jobs: int) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    if slices < 1:
+        raise ValueError(f"slices must be at least 1, got {slices}")
+    if operator not in _OPERATORS:
+        raise ValueError(f"unknown operator {operator!r}; expected one of {list(_OPERATORS)}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+
+
+def analyze_entry(
+    entry: CorpusEntry,
+    p: float = 0.7,
+    slices: int = 30,
+    operator: str = "mean",
+    anomaly_threshold: float = 0.1,
+) -> "tuple[dict[str, Any], MicroscopicModel]":
+    """Analyze one corpus member; returns ``(payload, model)``.
+
+    The payload is byte-for-byte the ``repro analyze --json`` report of the
+    member at the same parameters (after canonical serialization).  The
+    model is returned alongside for comparison consumers
+    (:func:`~repro.batch.compare.compare_payload`).
+    """
+    source = entry.load()
+    if isinstance(source, TraceStore):
+        model = source.model(slices)
+        summary = trace_summary(
+            source.digest,
+            source.n_intervals,
+            source.hierarchy.n_leaves,
+            len(source.states),
+            source.start,
+            source.end,
+            source.metadata,
+            generation=source.generation,
+        )
+    else:
+        model = MicroscopicModel.from_trace(source, n_slices=slices)
+        summary = trace_summary(
+            trace_digest(source),
+            source.n_intervals,
+            source.hierarchy.n_leaves,
+            len(source.states),
+            source.start,
+            source.end,
+            source.metadata,
+        )
+    result = run_analysis(
+        model, p, operator=operator, anomaly_threshold=anomaly_threshold
+    )
+    payload = analysis_payload(
+        summary, result, analysis_params(p, slices, operator, anomaly_threshold)
+    )
+    return payload, model
+
+
+def _batch_worker(
+    entry: CorpusEntry, p: float, slices: int, operator: str, anomaly_threshold: float
+) -> "tuple[str, dict[str, Any] | None, tuple[str, str] | None]":
+    """Process-pool entry point: one member's payload or its failure record."""
+    try:
+        payload, _ = analyze_entry(
+            entry, p=p, slices=slices, operator=operator,
+            anomaly_threshold=anomaly_threshold,
+        )
+        return entry.name, payload, None
+    except Exception as exc:  # propagated as data: the pool must keep going
+        return entry.name, None, (type(exc).__name__, str(exc))
+
+
+def run_batch(
+    corpus: Corpus,
+    p: float = 0.7,
+    slices: int = 30,
+    operator: str = "mean",
+    anomaly_threshold: float = 0.1,
+    jobs: int = 1,
+) -> BatchResult:
+    """Analyze every corpus member; ``jobs`` workers, one shard per trace.
+
+    ``jobs=1`` runs serially in-process (no pool overhead, easiest to debug);
+    ``jobs>1`` distributes members over a process pool.  Serial and parallel
+    runs produce identical payloads — workers are pure functions of
+    ``(entry, params)``.
+    """
+    _validate(p, slices, operator, jobs)
+    params = analysis_params(p, slices, operator, anomaly_threshold)
+    results: dict[str, dict[str, Any]] = {}
+    failures: list[BatchTraceFailure] = []
+
+    def record(entry: CorpusEntry, payload: "dict[str, Any] | None",
+               error: "tuple[str, str] | None") -> None:
+        if payload is not None:
+            results[entry.name] = payload
+        else:
+            assert error is not None
+            failures.append(
+                BatchTraceFailure(
+                    name=entry.name, path=str(entry.path),
+                    kind=error[0], error=error[1],
+                )
+            )
+
+    entries = corpus.entries
+    if jobs == 1 or len(entries) == 1:
+        for entry in entries:
+            _, payload, error = _batch_worker(entry, p, slices, operator, anomaly_threshold)
+            record(entry, payload, error)
+    else:
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(entries))) as pool:
+                futures = [
+                    (entry, pool.submit(_batch_worker, entry, p, slices, operator,
+                                        anomaly_threshold))
+                    for entry in entries
+                ]
+                for entry, future in futures:
+                    try:
+                        _, payload, error = future.result()
+                    except BrokenProcessPool as exc:
+                        raise BatchWorkerError(
+                            f"a batch worker crashed while the shard for "
+                            f"{entry.path} (trace {entry.name!r}) was in flight; "
+                            f"rerun with --jobs 1 to isolate the failing trace"
+                        ) from exc
+                    record(entry, payload, error)
+        except BrokenProcessPool as exc:  # pool died outside result() calls
+            raise BatchWorkerError(
+                "the batch worker pool crashed before all shards completed; "
+                "rerun with --jobs 1 to isolate the failing trace"
+            ) from exc
+    return BatchResult(params=params, results=results, failures=failures)

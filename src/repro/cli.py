@@ -1,29 +1,39 @@
 """Command-line interface.
 
-Four subcommands cover the typical workflow without writing Python:
+Seven subcommands cover the typical workflow without writing Python:
 
 * ``simulate`` — run one of the paper's scenarios (cases A–D, optionally
   scaled down) and write the trace as a CSV file;
 * ``analyze`` — read a trace (CSV or ``.rtz`` store), build the microscopic
   model, run the spatiotemporal aggregation and print the analysis report
   as text or, with ``--json``, as the service's machine-readable payload;
+* ``batch`` — analyze every trace of a *corpus* (a directory or manifest of
+  stores and trace files), fanning one shard per trace over a process pool
+  (``--jobs``), and print the corpus summary ranked by heterogeneity;
+* ``compare`` — cross-trace comparison of two traces at matched parameters:
+  partition diff, per-resource deviation deltas, summary deltas;
 * ``convert`` — convert a CSV trace into a chunked binary ``.rtz`` store
   (optionally pre-building microscopic models for chosen slice counts);
 * ``stream`` — tail a growing CSV/Pajé source into an ``.rtz`` store:
   appended rows become appended chunks (cheap steady state), dimension
   changes trigger a rebuild with a bumped generation;
-* ``serve`` — pin one or more traces in memory and answer aggregation
-  queries over a JSON HTTP API (``GET /traces``, ``POST /analyze``,
-  ``POST /sweep``, ``POST /append``, ``GET /health``).
+* ``serve`` — answer aggregation queries over a JSON HTTP API
+  (``GET /traces``, ``POST /analyze``, ``POST /sweep``, ``POST /append``,
+  ``POST /batch``, ``POST /compare``, ``GET /health``); traces are pinned
+  explicitly and/or served lazily from a corpus (``--corpus``) behind an
+  LRU bound (``--max-sessions``).
 
 Usage::
 
     python -m repro simulate --case A --processes 32 --output case_a.csv
     python -m repro analyze case_a.csv --slices 30 -p 0.7 --svg overview.svg
     python -m repro analyze case_a.csv --slices 30 --window last:6
+    python -m repro batch runs/ --jobs 4 --output reports/
+    python -m repro compare case_a.rtz case_c.rtz --json
     python -m repro convert case_a.csv case_a.rtz --model-slices 30,60
     python -m repro stream live.csv live.rtz --follow --poll 0.5
     python -m repro serve case_a.rtz --port 8000
+    python -m repro serve --corpus runs/ --max-sessions 16
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from typing import Sequence
 from .analysis import detect_deviating_cells, detect_phases, overview_report
 from .core import MicroscopicModel, SpatiotemporalAggregator
 from .core.hierarchy import HierarchyError
+from .core.spatiotemporal import AggregationWorkerError
 from .core.microscopic import MicroscopicModelError
 from .core.timeslicing import TimeSlicingError
 from .simulation import case_a, case_b, case_c, case_d, run_scenario
@@ -99,6 +110,49 @@ def build_parser() -> argparse.ArgumentParser:
                               "trailing K slices or 'T0:T1' for the slices covering the "
                               "time span [T0, T1)")
 
+    batch = subparsers.add_parser(
+        "batch", help="analyze every trace of a corpus and rank them by heterogeneity"
+    )
+    batch.add_argument("corpus",
+                       help="corpus directory (stores + CSV/Paje files, optionally "
+                            "with a corpus.json manifest) or a manifest file")
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="worker processes, one corpus trace per shard "
+                            "(default: 1, serial; results are identical)")
+    batch.add_argument("-p", "--parameter", type=float, default=0.7,
+                       help="gain/loss trade-off in [0, 1] (default: 0.7)")
+    batch.add_argument("--slices", type=int, default=30,
+                       help="number of microscopic time slices (default: 30)")
+    batch.add_argument("--operator", choices=["mean", "sum"], default="mean",
+                       help="aggregation operator (default: mean)")
+    batch.add_argument("--anomaly-threshold", type=float, default=0.1,
+                       help="excess blocking proportion flagged as anomalous (default: 0.1)")
+    batch.add_argument("--output", default=None, metavar="DIR",
+                       help="write per-trace analysis JSON files and batch.json here")
+    batch.add_argument("--json", action="store_true",
+                       help="print the machine-readable batch payload instead of "
+                            "the summary table")
+    batch.add_argument("--write-manifest", action="store_true",
+                       help="freeze the corpus: write corpus.json with current "
+                            "content digests and exit (no analysis)")
+
+    compare = subparsers.add_parser(
+        "compare", help="compare two traces: partition diff, deviation deltas"
+    )
+    compare.add_argument("trace_a", help="first trace (CSV, Paje or .rtz store)")
+    compare.add_argument("trace_b", help="second trace (CSV, Paje or .rtz store)")
+    compare.add_argument("-p", "--parameter", type=float, default=0.7,
+                         help="gain/loss trade-off in [0, 1] (default: 0.7)")
+    compare.add_argument("--slices", type=int, default=30,
+                         help="number of microscopic time slices (default: 30)")
+    compare.add_argument("--operator", choices=["mean", "sum"], default="mean",
+                         help="aggregation operator (default: mean)")
+    compare.add_argument("--anomaly-threshold", type=float, default=0.1,
+                         help="excess blocking proportion flagged as anomalous (default: 0.1)")
+    compare.add_argument("--json", action="store_true",
+                         help="emit the machine-readable comparison payload "
+                              "(byte-identical to the service's POST /compare)")
+
     convert = subparsers.add_parser(
         "convert", help="convert a CSV trace into a binary .rtz trace store"
     )
@@ -130,8 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve", help="serve traces over a JSON HTTP API (see repro.service)"
     )
-    serve.add_argument("traces", nargs="+",
-                       help="traces to serve: .rtz store directories or CSV files")
+    serve.add_argument("traces", nargs="*",
+                       help="traces to pin in memory: .rtz store directories or CSV files")
+    serve.add_argument("--corpus", default=None, metavar="PATH",
+                       help="also serve every member of this corpus (directory or "
+                            "manifest), opened lazily behind an LRU bound")
+    serve.add_argument("--max-sessions", type=int, default=None,
+                       help="maximum concurrently resident corpus sessions "
+                            "(default: 8; pinned traces do not count)")
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8000,
                        help="TCP port (default: 8000; 0 picks a free port)")
@@ -274,7 +334,13 @@ def _command_analyze(args: argparse.Namespace) -> int:
         window_section_payload = window_section(model, a, b, window_spec)
         model = model.window(a, b)
     aggregator = SpatiotemporalAggregator(model, operator=args.operator, jobs=args.jobs)
-    partition = aggregator.run(args.parameter)
+    try:
+        partition = aggregator.run(args.parameter)
+    except AggregationWorkerError as exc:
+        # A worker process died (OOM kill, segfault): name the trace and exit
+        # cleanly instead of dumping the pool's multiprocessing traceback.
+        print(f"error: parallel aggregation of {args.trace} failed: {exc}", file=sys.stderr)
+        return 2
     phases = detect_phases(partition, model)
     anomalies = detect_deviating_cells(model, threshold=args.anomaly_threshold)
     if args.json:
@@ -335,6 +401,123 @@ def _command_analyze(args: argparse.Namespace) -> int:
             print(f"SVG overview written to {args.svg}", file=sys.stderr)
         else:
             print(f"\nSVG overview written to {args.svg}")
+    return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    from .batch import (
+        BatchWorkerError,
+        batch_report,
+        load_corpus,
+        run_batch,
+        write_corpus_manifest,
+    )
+    from .batch.corpus import CorpusError
+    from .service import serialize_payload
+
+    if not 0.0 <= args.parameter <= 1.0:
+        print("error: -p must be in [0, 1]", file=sys.stderr)
+        return 2
+    if args.slices < 1:
+        print("error: --slices must be at least 1", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        corpus = load_corpus(args.corpus)
+    except CorpusError as exc:
+        print(f"error: cannot load corpus: {exc}", file=sys.stderr)
+        return 2
+    if args.write_manifest:
+        try:
+            manifest = write_corpus_manifest(corpus)
+        except (TraceIOError, OSError) as exc:
+            print(f"error: cannot write corpus manifest: {exc}", file=sys.stderr)
+            return 2
+        print(f"froze {len(corpus)} trace(s) into {manifest}")
+        return 0
+    try:
+        result = run_batch(
+            corpus,
+            p=args.parameter,
+            slices=args.slices,
+            operator=args.operator,
+            anomaly_threshold=args.anomaly_threshold,
+            jobs=args.jobs,
+        )
+    except BatchWorkerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = result.payload()
+    if args.output:
+        out_dir = Path(args.output)
+        try:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for name in sorted(result.results):
+                target = out_dir / f"{name}.analysis.json"
+                target.write_text(serialize_payload(result.results[name]) + "\n")
+            (out_dir / "batch.json").write_text(serialize_payload(payload) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write batch output: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(serialize_payload(payload))
+    else:
+        print(batch_report(payload))
+        if args.output:
+            print(f"\nper-trace reports written to {args.output}")
+    for failure in result.failures:
+        print(
+            f"error: cannot analyze {failure.name} ({failure.path}): {failure.error}",
+            file=sys.stderr,
+        )
+    return 0 if result.ok else 2
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    from .batch import analysis_params, analyze_entry, compare_payload, compare_report
+    from .batch.corpus import CorpusError, entry_for_path
+    from .core.microscopic import MicroscopicModelError
+    from .core.timeslicing import TimeSlicingError
+    from .service import serialize_payload
+
+    if not 0.0 <= args.parameter <= 1.0:
+        print("error: -p must be in [0, 1]", file=sys.stderr)
+        return 2
+    if args.slices < 1:
+        print("error: --slices must be at least 1", file=sys.stderr)
+        return 2
+    sides = []
+    for path_text in (args.trace_a, args.trace_b):
+        try:
+            entry = entry_for_path(path_text)
+            payload, model = analyze_entry(
+                entry,
+                p=args.parameter,
+                slices=args.slices,
+                operator=args.operator,
+                anomaly_threshold=args.anomaly_threshold,
+            )
+        except CorpusError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (TraceIOError, TraceError, EventError, HierarchyError) as exc:
+            print(f"error: cannot read trace {path_text}: {exc}", file=sys.stderr)
+            return 2
+        except (MicroscopicModelError, TimeSlicingError) as exc:
+            print(f"error: cannot analyze {path_text}: {exc}", file=sys.stderr)
+            return 2
+        sides.append((entry.name, payload, model))
+    payload = compare_payload(
+        *sides[0],
+        *sides[1],
+        analysis_params(args.parameter, args.slices, args.operator, args.anomaly_threshold),
+    )
+    if args.json:
+        print(serialize_payload(payload))
+    else:
+        print(compare_report(payload))
     return 0
 
 
@@ -431,9 +614,15 @@ def _command_stream(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    from .service import AnalysisSession, ServiceError, build_server
+    from .service import AnalysisSession, ServiceError, SessionRegistry, build_server
     from .store import is_store, open_store
 
+    if not args.traces and not args.corpus:
+        print("error: nothing to serve: give trace paths and/or --corpus", file=sys.stderr)
+        return 2
+    if args.max_sessions is not None and args.max_sessions < 1:
+        print("error: --max-sessions must be at least 1", file=sys.stderr)
+        return 2
     sessions: "dict[str, AnalysisSession]" = {}
     for path_text in args.traces:
         name = Path(path_text).stem or path_text
@@ -451,14 +640,29 @@ def _command_serve(args: argparse.Namespace) -> int:
             if isinstance(loaded, int):
                 return loaded
             sessions[name] = AnalysisSession(loaded, name=name)
+    corpus = None
+    if args.corpus:
+        from .batch import load_corpus
+        from .batch.corpus import CorpusError
+
+        try:
+            corpus = load_corpus(args.corpus)
+        except CorpusError as exc:
+            print(f"error: cannot load corpus: {exc}", file=sys.stderr)
+            return 2
+    registry_kwargs = {}
+    if args.max_sessions is not None:
+        registry_kwargs["max_sessions"] = args.max_sessions
     try:
-        server = build_server(sessions, host=args.host, port=args.port)
+        registry = SessionRegistry(sessions=sessions, corpus=corpus, **registry_kwargs)
+        server = build_server(registry, host=args.host, port=args.port)
     except (ServiceError, OSError) as exc:
         print(f"error: cannot start the service: {exc}", file=sys.stderr)
         return 2
     host, port = server.server_address[:2]
-    print(f"serving {len(sessions)} trace(s) on http://{host}:{port} "
-          f"({', '.join(sorted(sessions))})", flush=True)
+    names = registry.names()
+    print(f"serving {len(names)} trace(s) on http://{host}:{port} "
+          f"({', '.join(names)})", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -477,6 +681,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_simulate(args)
         if args.command == "analyze":
             return _command_analyze(args)
+        if args.command == "batch":
+            return _command_batch(args)
+        if args.command == "compare":
+            return _command_compare(args)
         if args.command == "convert":
             return _command_convert(args)
         if args.command == "stream":

@@ -15,7 +15,11 @@ from .operators import MeanOperator, SumOperator, get_operator, pic, xlogx
 from .parameters import QualityPoint, find_significant_parameters, quality_curve
 from .partition import Aggregate, Partition, PartitionError
 from .spatial import SpatialAggregator, aggregate_spatial
-from .spatiotemporal import SpatiotemporalAggregator, aggregate_spatiotemporal
+from .spatiotemporal import (
+    AggregationWorkerError,
+    SpatiotemporalAggregator,
+    aggregate_spatiotemporal,
+)
 from .temporal import TemporalAggregator, aggregate_temporal
 from .timeslicing import TimeSlicing, TimeSlicingError
 
@@ -41,6 +45,7 @@ __all__ = [
     "TemporalAggregator",
     "aggregate_temporal",
     "SpatiotemporalAggregator",
+    "AggregationWorkerError",
     "aggregate_spatiotemporal",
     "grid_partition",
     "aggregate_cartesian",

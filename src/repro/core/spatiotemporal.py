@@ -38,6 +38,7 @@ the whole time span.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -50,7 +51,22 @@ from .microscopic import MicroscopicModel
 from .operators import AggregationOperator
 from .partition import Aggregate, Partition
 
-__all__ = ["SpatiotemporalAggregator", "aggregate_spatiotemporal", "NodeTables"]
+__all__ = [
+    "SpatiotemporalAggregator",
+    "AggregationWorkerError",
+    "aggregate_spatiotemporal",
+    "NodeTables",
+]
+
+
+class AggregationWorkerError(RuntimeError):
+    """A parallel aggregation worker died before returning its subtree.
+
+    Raised instead of the pool's bare :class:`BrokenProcessPool` so callers
+    (the CLI, the batch runner) can report *which computation* failed and
+    exit cleanly rather than dumping a ``multiprocessing`` traceback.  The
+    original pool failure is kept as ``__cause__``.
+    """
 
 #: Sentinel cut value meaning "spatial cut" (split between children).
 SPATIAL_CUT = -1
@@ -320,14 +336,21 @@ class SpatiotemporalAggregator:
         if len(frontier) <= 1:
             return self.compute_tables(p, jobs=1)
         tables: dict[int, NodeTables] = {}
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(frontier)),
-            initializer=_init_worker,
-            initargs=(self._model, self._operator, self._epsilon),
-        ) as pool:
-            futures = [pool.submit(_subtree_worker, p, node.index) for node in frontier]
-            for future in futures:
-                tables.update(future.result())
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(frontier)),
+                initializer=_init_worker,
+                initargs=(self._model, self._operator, self._epsilon),
+            ) as pool:
+                futures = [pool.submit(_subtree_worker, p, node.index) for node in frontier]
+                for future in futures:
+                    tables.update(future.result())
+        except BrokenProcessPool as exc:
+            raise AggregationWorkerError(
+                f"a parallel aggregation worker crashed (jobs={jobs}, "
+                f"{len(frontier)} subtrees in flight); rerun with jobs=1 for a "
+                "serial aggregation of the same partition"
+            ) from exc
         # The remaining nodes are the frontier's strict ancestors; post-order
         # guarantees children are available when their parent is reached.
         for node in self._model.hierarchy.iter_nodes("post"):

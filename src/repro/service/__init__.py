@@ -7,6 +7,7 @@ HTTP API (``repro serve``).
 """
 
 from .http import TraceServiceServer, build_server
+from .registry import DEFAULT_MAX_SESSIONS, SessionRegistry
 from .serializer import (
     ANALYSIS_SCHEMA,
     SWEEP_SCHEMA,
@@ -38,5 +39,7 @@ __all__ = [
     "OPERATORS",
     "MAX_SLICES",
     "TraceServiceServer",
+    "SessionRegistry",
+    "DEFAULT_MAX_SESSIONS",
     "build_server",
 ]

@@ -14,7 +14,19 @@ registry of :class:`~repro.service.session.AnalysisSession`:
 * ``POST /append`` — streaming ingestion into a store-backed session,
   ``{"trace": name, "intervals": [[start, end, "resource", "state"], ...]}``;
   rows must continue the canonical ``(start, end)`` order and reference known
-  resources/states.  Bumps the trace *generation*; the response echoes it.
+  resources/states.  Bumps the trace *generation*; the response echoes it;
+* ``POST /batch`` — one analysis per served trace, ``{"traces": [names],
+  "p": 0.7, "slices": 30}`` (omit ``traces`` to analyze every served trace);
+  the response is the corpus batch payload of ``repro batch --json``:
+  per-trace analysis payloads plus the heterogeneity ranking;
+* ``POST /compare`` — cross-trace comparison, ``{"a": name, "b": name,
+  "p": 0.7, "slices": 30}``.  The response body is byte-identical to
+  ``repro compare --json`` on the same content and parameters.
+
+Traces come from a :class:`~repro.service.registry.SessionRegistry`: pinned
+sessions stay resident forever, corpus members (``repro serve --corpus``)
+are opened lazily and kept in an LRU of at most ``--max-sessions``
+concurrently resident sessions.
 
 ``/analyze`` and ``/sweep`` accept two optional windowing parameters for live
 traces — ``"last_k_slices": k`` or ``"window": [t0, t1]`` — evaluated against
@@ -34,7 +46,9 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
+from ..batch.compare import batch_payload, compare_payload
 from ..trace.io import TraceIOError
+from .registry import SessionRegistry
 from .serializer import serialize_payload
 from .session import AnalysisSession, ServiceError, StaleGenerationError
 
@@ -49,25 +63,20 @@ class TraceServiceServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], sessions: Mapping[str, AnalysisSession]):
-        if not sessions:
-            raise ServiceError("the service needs at least one trace")
-        self.sessions: dict[str, AnalysisSession] = dict(sessions)
+    def __init__(
+        self,
+        address: tuple[str, int],
+        sessions: "Mapping[str, AnalysisSession] | SessionRegistry",
+    ):
+        if isinstance(sessions, SessionRegistry):
+            self.registry = sessions
+        else:
+            self.registry = SessionRegistry(sessions=sessions)
         super().__init__(address, ServiceHandler)
 
     def resolve(self, name: "str | None") -> AnalysisSession:
         """Session by name; the single session when ``name`` is omitted."""
-        if name is None:
-            if len(self.sessions) == 1:
-                return next(iter(self.sessions.values()))
-            raise LookupError(
-                f"multiple traces served ({sorted(self.sessions)}); "
-                "the request must name one"
-            )
-        try:
-            return self.sessions[name]
-        except KeyError:
-            raise LookupError(f"unknown trace {name!r}") from None
+        return self.registry.resolve(name)
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -132,14 +141,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/health":
-            sessions = self.server.sessions.values()
-            caches = [session.cache_info() for session in sessions]
+            registry = self.server.registry
+            caches = [session.cache_info() for session in registry.loaded()]
             self._send_json(
                 200,
                 {
                     "status": "ok",
                     "service": self.server_version,
-                    "n_traces": len(self.server.sessions),
+                    "n_traces": registry.stats()["n_traces"],
+                    "registry": registry.stats(),
                     "cache": {
                         "hits": sum(c["hits"] for c in caches),
                         "misses": sum(c["misses"] for c in caches),
@@ -148,25 +158,119 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 },
             )
         elif path == "/traces":
-            self._send_json(
-                200,
-                {
-                    "traces": [
-                        self.server.sessions[name].summary()
-                        for name in sorted(self.server.sessions)
-                    ]
-                },
-            )
+            self._send_json(200, self.server.registry.traces_payload())
         else:
             self._send_error(404, f"no such endpoint: {path}")
 
+    def _handle_batch(self, body: Mapping[str, Any]) -> None:
+        """``POST /batch``: one analysis per named (or every) served trace.
+
+        Mirrors ``repro batch``: traces are analyzed **one at a time** (so
+        the registry's LRU bound keeps corpus memory flat — sessions are
+        never all resident at once) and an unreadable member is recorded in
+        the payload's ``errors`` section with its path rather than aborting
+        the whole request.  Unknown names and invalid parameters are still
+        request errors (404 / 400)."""
+        registry = self.server.registry
+        names = body.get("traces")
+        if names is None:
+            names = registry.names()
+        elif not isinstance(names, list) or not all(
+            isinstance(name, str) for name in names
+        ):
+            raise ServiceError('"traces" must be a list of served trace names')
+        if not names:
+            raise ServiceError("batch request selects no traces")
+        for name in names:
+            if name not in registry.names():
+                raise LookupError(
+                    f"unknown trace {name!r}; served traces: {registry.names()}"
+                )
+        params: dict[str, Any] = {}
+        results: dict[str, Any] = {}
+        errors: list[dict[str, str]] = []
+        for name in names:
+            try:
+                result = registry.get(name).aggregate(
+                    p=body.get("p", 0.7),
+                    slices=body.get("slices", 30),
+                    operator=body.get("operator", "mean"),
+                    anomaly_threshold=body.get("anomaly_threshold", 0.1),
+                )
+            except StaleGenerationError:
+                raise  # a 409, not a per-trace failure
+            except ServiceError:
+                raise  # invalid parameters fail every trace alike: a 400
+            except TraceIOError as exc:
+                # Unreadable/corrupt/tampered member: record and keep going,
+                # exactly like run_batch's BatchTraceFailure.
+                errors.append(
+                    {
+                        "name": name,
+                        "path": registry.describe(name),
+                        "kind": type(exc).__name__,
+                        "error": str(exc),
+                    }
+                )
+                continue
+            results[name] = result
+            params = result["params"]
+        self._send_json(200, batch_payload(results, params, errors=errors))
+
+    def _handle_compare(self, body: Mapping[str, Any]) -> None:
+        """``POST /compare``: byte-identical to ``repro compare --json``."""
+        sides = {}
+        for side in ("a", "b"):
+            name = body.get(side)
+            if not isinstance(name, str):
+                raise ServiceError(
+                    'compare body must name two served traces: {"a": ..., "b": ...}'
+                )
+            sides[side] = self.server.registry.get(name)
+        payloads = {}
+        models = {}
+        params: dict[str, Any] = {}
+        for side, session in sides.items():
+            result = session.aggregate(
+                p=body.get("p", 0.7),
+                slices=body.get("slices", 30),
+                operator=body.get("operator", "mean"),
+                anomaly_threshold=body.get("anomaly_threshold", 0.1),
+            )
+            payloads[side] = result
+            models[side] = session.model(result["params"]["slices"])
+            # The aggregate and the model are fetched under separate lock
+            # acquisitions; an /append landing between them would mix two
+            # content snapshots in one comparison.  Appends bump the
+            # generation before any cache is rebuilt, so re-reading it after
+            # the model fetch detects the race — answered 409 like /analyze.
+            if session.generation != result["trace"]["generation"]:
+                raise StaleGenerationError(
+                    f"trace {session.name!r} moved to generation "
+                    f"{session.generation} while the comparison (generation "
+                    f"{result['trace']['generation']}) was in flight"
+                )
+            params = result["params"]
+        payload = compare_payload(
+            sides["a"].name, payloads["a"], models["a"],
+            sides["b"].name, payloads["b"], models["b"],
+            params,
+        )
+        self._send_json(200, payload)
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0].rstrip("/")
-        if path not in ("/analyze", "/sweep", "/append"):
+        if path not in ("/analyze", "/sweep", "/append", "/batch", "/compare"):
             self._send_error(404, f"no such endpoint: {path}")
             return
         try:
             body = self._read_body()
+            if path == "/batch":
+                self._handle_batch(body)
+                return
+            if path == "/compare":
+                self._handle_compare(body)
+                return
             session = self.server.resolve(body.get("trace"))
             if path == "/analyze":
                 text = session.aggregate_json(
@@ -210,9 +314,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
 
 def build_server(
-    sessions: Mapping[str, AnalysisSession],
+    sessions: "Mapping[str, AnalysisSession] | SessionRegistry",
     host: str = "127.0.0.1",
     port: int = 8000,
 ) -> TraceServiceServer:
-    """Bind a :class:`TraceServiceServer` (``port=0`` picks a free port)."""
+    """Bind a :class:`TraceServiceServer` (``port=0`` picks a free port).
+
+    ``sessions`` is either a plain mapping of pinned sessions (wrapped into a
+    :class:`~repro.service.registry.SessionRegistry`) or a pre-built registry
+    (corpus-aware serving).
+    """
     return TraceServiceServer((host, port), sessions)

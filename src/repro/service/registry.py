@@ -1,0 +1,196 @@
+"""Corpus-aware session registry with LRU-bounded concurrent sessions.
+
+The pre-corpus service pinned every served trace in memory for the lifetime
+of the process — fine for a handful of traces, unworkable for a corpus of
+hundreds.  :class:`SessionRegistry` distinguishes two member classes:
+
+* **pinned** sessions — passed in explicitly (``repro serve a.rtz b.csv``);
+  always resident, never evicted (unchanged pre-corpus behaviour);
+* **corpus** sessions — named by a :class:`~repro.batch.Corpus`; opened
+  lazily on first query (digest-verified against the corpus manifest) and
+  kept in an LRU of at most ``max_sessions`` concurrently resident sessions.
+
+Eviction only drops the registry's reference: requests already holding the
+session finish normally, and the next query for that name reopens it from
+the store (whose on-disk model cache makes the reopen cheap).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Iterable, Mapping
+
+from ..batch.corpus import Corpus
+from ..store.store import TraceStore
+from ..trace.trace import Trace
+from .session import AnalysisSession, ServiceError
+
+__all__ = ["SessionRegistry", "DEFAULT_MAX_SESSIONS"]
+
+#: Default bound on concurrently resident corpus-opened sessions.
+DEFAULT_MAX_SESSIONS = 8
+
+
+class SessionRegistry:
+    """Name-addressable analysis sessions over pinned traces and a corpus.
+
+    Parameters
+    ----------
+    sessions:
+        Pinned sessions by name (may be empty).
+    corpus:
+        Optional corpus whose members are served lazily.
+    max_sessions:
+        Upper bound on concurrently resident corpus-opened sessions (the
+        LRU size).  Pinned sessions do not count against it.
+
+    Notes
+    -----
+    All methods are thread-safe; the registry lock is never held while a
+    session computes, only around the name table and the LRU.
+    """
+
+    def __init__(
+        self,
+        sessions: "Mapping[str, AnalysisSession] | None" = None,
+        corpus: "Corpus | None" = None,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+    ):
+        if max_sessions < 1:
+            raise ServiceError("max_sessions must be at least 1")
+        self._pinned: dict[str, AnalysisSession] = dict(sessions or {})
+        self._corpus = corpus
+        self._max_sessions = int(max_sessions)
+        self._lru: "OrderedDict[str, AnalysisSession]" = OrderedDict()
+        self._opened = 0
+        self._evicted = 0
+        self._lock = threading.RLock()
+        if corpus is not None:
+            overlap = sorted(set(self._pinned) & set(corpus.names))
+            if overlap:
+                raise ServiceError(
+                    f"trace names served both pinned and from the corpus: {overlap}"
+                )
+        if not self._pinned and corpus is None:
+            raise ServiceError("the service needs at least one trace")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def max_sessions(self) -> int:
+        """The LRU bound for corpus-opened sessions."""
+        return self._max_sessions
+
+    def names(self) -> "list[str]":
+        """Every addressable trace name (pinned + corpus), sorted."""
+        names = set(self._pinned)
+        if self._corpus is not None:
+            names.update(self._corpus.names)
+        return sorted(names)
+
+    def loaded(self) -> "list[AnalysisSession]":
+        """Currently resident sessions (pinned first, then LRU order)."""
+        with self._lock:
+            return [
+                *(self._pinned[name] for name in sorted(self._pinned)),
+                *self._lru.values(),
+            ]
+
+    def stats(self) -> dict[str, int]:
+        """Registry counters for ``GET /health``."""
+        with self._lock:
+            return {
+                "n_traces": len(self.names()),
+                "n_resident": len(self._pinned) + len(self._lru),
+                "max_sessions": self._max_sessions,
+                "opened": self._opened,
+                "evicted": self._evicted,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> AnalysisSession:
+        """The session for ``name``, opening it from the corpus if needed.
+
+        Raises :class:`LookupError` for unknown names and
+        :class:`~repro.trace.io.TraceIOError` (incl. corpus digest
+        mismatches) when a corpus member cannot be opened.
+        """
+        with self._lock:
+            session = self._pinned.get(name)
+            if session is not None:
+                return session
+            session = self._lru.get(name)
+            if session is not None:
+                self._lru.move_to_end(name)
+                return session
+        if self._corpus is None or name not in self._corpus:
+            raise LookupError(f"unknown trace {name!r}; served traces: {self.names()}")
+        # Load outside the lock: opening and digest-verifying a member can be
+        # slow and must not serialize queries against resident sessions.
+        source = self._corpus.entry(name).load()
+        session = self._new_session(source, name)
+        with self._lock:
+            existing = self._lru.get(name)
+            if existing is not None:  # another thread won the race
+                self._lru.move_to_end(name)
+                return existing
+            self._lru[name] = session
+            self._opened += 1
+            while len(self._lru) > self._max_sessions:
+                self._lru.popitem(last=False)
+                self._evicted += 1
+            return session
+
+    @staticmethod
+    def _new_session(source: "TraceStore | Trace", name: str) -> AnalysisSession:
+        return AnalysisSession(source, name=name)
+
+    def resolve(self, name: "str | None") -> AnalysisSession:
+        """Session by name; the single served trace when ``name`` is omitted."""
+        if name is None:
+            names = self.names()
+            if len(names) == 1:
+                return self.get(names[0])
+            raise LookupError(
+                f"multiple traces served ({names}); the request must name one"
+            )
+        return self.get(name)
+
+    def resolve_many(self, names: "Iterable[str] | None") -> "list[AnalysisSession]":
+        """Sessions for ``names`` (every served trace when ``None``).
+
+        Materializes every session at once — with a large corpus, prefer
+        iterating names and calling :meth:`get` one at a time so the LRU
+        bound keeps residency flat (``POST /batch`` does exactly that).
+        """
+        wanted = self.names() if names is None else list(names)
+        return [self.get(str(name)) for name in wanted]
+
+    def describe(self, name: str) -> str:
+        """A path-like description of ``name`` for error reporting.
+
+        The corpus member's path when the name comes from the corpus, else
+        the bare name (pinned sessions have no backing path to quote).
+        """
+        if self._corpus is not None and name in self._corpus:
+            return str(self._corpus.entry(name).path)
+        return name
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    def traces_payload(self) -> dict[str, Any]:
+        """The ``GET /traces`` body: resident summaries + every served name."""
+        with self._lock:
+            resident = {
+                **{name: session for name, session in self._pinned.items()},
+                **self._lru,
+            }
+        return {
+            "traces": [resident[name].summary() for name in sorted(resident)],
+            "available": self.names(),
+        }

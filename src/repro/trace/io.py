@@ -22,11 +22,11 @@ import os
 from pathlib import Path
 from typing import Any, Iterator
 
-from ..core.hierarchy import Hierarchy
+from ..core.hierarchy import Hierarchy, HierarchyError
 from .builder import TraceBuilder
-from .events import StateInterval
+from .events import EventError, StateInterval
 from .states import StateRegistry
-from .trace import Trace
+from .trace import Trace, TraceError
 
 __all__ = [
     "write_csv",
@@ -43,7 +43,42 @@ CSV_HEADER = ("resource_path", "state", "start", "end")
 
 
 class TraceIOError(ValueError):
-    """Raised when a trace file cannot be parsed."""
+    """Raised when a trace file cannot be parsed.
+
+    Every parse failure of :func:`read_csv` / :func:`read_paje` — malformed
+    rows, undecodable bytes, invalid timestamps or intervals, inconsistent
+    resource paths — is reported as a :class:`TraceIOError` (or a subclass)
+    whose message names the offending file and, for row-level problems, the
+    1-based line number.  Internal exception types (``csv.Error``,
+    ``UnicodeDecodeError``, :class:`~repro.trace.events.EventError`, ...)
+    never leak to callers of the readers.
+    """
+
+
+def _build_hierarchy(source: Path, leaf_paths: "list[tuple[str, ...]]") -> Hierarchy:
+    """Rebuild the hierarchy from on-disk resource paths, as a parse step."""
+    if not leaf_paths:
+        raise TraceIOError(f"{source}: empty trace file")
+    try:
+        return Hierarchy.from_paths(leaf_paths)
+    except HierarchyError as exc:
+        # E.g. one path is both a leaf and an interior node of another.
+        raise TraceIOError(f"{source}: inconsistent resource paths: {exc}") from exc
+
+
+def _build_trace(
+    source: Path,
+    intervals: "list[StateInterval]",
+    hierarchy: Hierarchy,
+    states: "StateRegistry | None",
+) -> Trace:
+    """Assemble the trace, mapping content errors to :class:`TraceIOError`."""
+    try:
+        return Trace(intervals, hierarchy=hierarchy, states=states)
+    except (TraceError, EventError) as exc:
+        # A caller-provided hierarchy/registry may reject the file's content
+        # (unknown resource, conflicting state): still an unreadable trace.
+        raise TraceIOError(f"{source}: invalid trace content: {exc}") from exc
 
 
 # --------------------------------------------------------------------------- #
@@ -103,34 +138,50 @@ def read_csv(
     seen: set[tuple[str, ...]] = set()
     with source.open("r", newline="") as handle:
         reader = csv.reader(handle)
-        header = next(reader, None)
-        if header is None or tuple(header) != CSV_HEADER:
-            raise TraceIOError(f"{source}: missing or invalid CSV header: {header!r}")
-        for line_number, row in enumerate(reader, start=2):
-            if not row:
-                continue
-            if len(row) != 4:
-                raise TraceIOError(f"{source}:{line_number}: expected 4 columns, got {len(row)}")
-            resource_path, state, start_text, end_text = row
-            parts = tuple(p for p in resource_path.split("/") if p)
-            if not parts:
-                raise TraceIOError(f"{source}:{line_number}: empty resource path")
-            try:
-                start = float(start_text)
-                end = float(end_text)
-            except ValueError as exc:
-                raise TraceIOError(f"{source}:{line_number}: invalid timestamps") from exc
-            if parts not in seen:
-                seen.add(parts)
-                leaf_paths.append(parts)
-            intervals.append(
-                StateInterval(start=start, end=end, resource=parts[-1], state=state)
-            )
+        line_number = 1
+        try:
+            header = next(reader, None)
+            if header is None or tuple(header) != CSV_HEADER:
+                raise TraceIOError(f"{source}: missing or invalid CSV header: {header!r}")
+            for line_number, row in enumerate(reader, start=2):
+                if not row:
+                    continue
+                if len(row) != 4:
+                    raise TraceIOError(
+                        f"{source}:{line_number}: expected 4 columns, got {len(row)}"
+                    )
+                resource_path, state, start_text, end_text = row
+                parts = tuple(p for p in resource_path.split("/") if p)
+                if not parts:
+                    raise TraceIOError(f"{source}:{line_number}: empty resource path")
+                try:
+                    start = float(start_text)
+                    end = float(end_text)
+                except ValueError as exc:
+                    raise TraceIOError(f"{source}:{line_number}: invalid timestamps") from exc
+                if parts not in seen:
+                    seen.add(parts)
+                    leaf_paths.append(parts)
+                try:
+                    interval = StateInterval(
+                        start=start, end=end, resource=parts[-1], state=state
+                    )
+                except EventError as exc:
+                    # Reversed or non-finite interval bounds, empty state name.
+                    raise TraceIOError(
+                        f"{source}:{line_number}: invalid interval: {exc}"
+                    ) from exc
+                intervals.append(interval)
+        except csv.Error as exc:
+            # Malformed CSV structure (NUL bytes, unterminated quotes, ...).
+            raise TraceIOError(
+                f"{source}:{max(reader.line_num, line_number)}: malformed CSV: {exc}"
+            ) from exc
+        except UnicodeDecodeError as exc:
+            raise TraceIOError(f"{source}: not valid UTF-8 text: {exc}") from exc
     if hierarchy is None:
-        if not leaf_paths:
-            raise TraceIOError(f"{source}: empty trace file")
-        hierarchy = Hierarchy.from_paths(leaf_paths)
-    return Trace(intervals, hierarchy=hierarchy, states=states)
+        hierarchy = _build_hierarchy(source, leaf_paths)
+    return _build_trace(source, intervals, hierarchy, states)
 
 
 # --------------------------------------------------------------------------- #
@@ -183,46 +234,59 @@ def read_paje(
     leaf_paths: list[tuple[str, ...]] = []
     seen: set[tuple[str, ...]] = set()
     with source.open("r") as handle:
-        for line_number, raw_line in enumerate(handle, start=1):
-            line = raw_line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split()
-            if len(parts) != 4:
-                raise TraceIOError(f"{source}:{line_number}: expected 4 fields, got {len(parts)}")
-            kind, timestamp_text, resource_path, state = parts
-            try:
-                timestamp = float(timestamp_text)
-            except ValueError as exc:
-                raise TraceIOError(f"{source}:{line_number}: invalid timestamp") from exc
-            path_parts = tuple(p for p in resource_path.split("/") if p)
-            if not path_parts:
-                raise TraceIOError(f"{source}:{line_number}: empty resource path")
-            if path_parts not in seen:
-                seen.add(path_parts)
-                leaf_paths.append(path_parts)
-            resource = path_parts[-1]
-            key = (resource, state)
-            if kind == "PajePushState":
-                open_states.setdefault(key, []).append(timestamp)
-            elif kind == "PajePopState":
-                queue = open_states.get(key)
-                if not queue:
+        line_number = 0
+        try:
+            for line_number, raw_line in enumerate(handle, start=1):
+                line = raw_line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 4:
                     raise TraceIOError(
-                        f"{source}:{line_number}: PajePopState without matching push for {key}"
+                        f"{source}:{line_number}: expected 4 fields, got {len(parts)}"
                     )
-                start = queue.pop(0)
-                intervals.append(StateInterval(start=start, end=timestamp, resource=resource, state=state))
-            else:
-                raise TraceIOError(f"{source}:{line_number}: unknown event kind {kind!r}")
+                kind, timestamp_text, resource_path, state = parts
+                try:
+                    timestamp = float(timestamp_text)
+                except ValueError as exc:
+                    raise TraceIOError(f"{source}:{line_number}: invalid timestamp") from exc
+                path_parts = tuple(p for p in resource_path.split("/") if p)
+                if not path_parts:
+                    raise TraceIOError(f"{source}:{line_number}: empty resource path")
+                if path_parts not in seen:
+                    seen.add(path_parts)
+                    leaf_paths.append(path_parts)
+                resource = path_parts[-1]
+                key = (resource, state)
+                if kind == "PajePushState":
+                    open_states.setdefault(key, []).append(timestamp)
+                elif kind == "PajePopState":
+                    queue = open_states.get(key)
+                    if not queue:
+                        raise TraceIOError(
+                            f"{source}:{line_number}: PajePopState without matching push for {key}"
+                        )
+                    start = queue.pop(0)
+                    try:
+                        interval = StateInterval(
+                            start=start, end=timestamp, resource=resource, state=state
+                        )
+                    except EventError as exc:
+                        # Pop before its push, or a non-finite timestamp pair.
+                        raise TraceIOError(
+                            f"{source}:{line_number}: invalid interval: {exc}"
+                        ) from exc
+                    intervals.append(interval)
+                else:
+                    raise TraceIOError(f"{source}:{line_number}: unknown event kind {kind!r}")
+        except UnicodeDecodeError as exc:
+            raise TraceIOError(f"{source}: not valid UTF-8 text: {exc}") from exc
     dangling = {key: stack for key, stack in open_states.items() if stack}
     if dangling:
         raise TraceIOError(f"{source}: unmatched push events: {sorted(dangling)}")
     if hierarchy is None:
-        if not leaf_paths:
-            raise TraceIOError(f"{source}: empty trace file")
-        hierarchy = Hierarchy.from_paths(leaf_paths)
-    return Trace(intervals, hierarchy=hierarchy, states=states)
+        hierarchy = _build_hierarchy(source, leaf_paths)
+    return _build_trace(source, intervals, hierarchy, states)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,150 @@
+"""Anomaly detection against scenario ground truth for cases B and D.
+
+Cases A and C carry perturbations in the paper and are exercised by the
+integration/experiment tests; the timing-scalability cases B (CG on
+Grenoble) and D (LU on Rennes) never were.  Here each gets an *injected*
+perturbation (a scaled scenario with an added
+:class:`~repro.simulation.scenarios.PerturbationSpec`), and both detectors —
+:func:`detect_deviating_cells` on the microscopic model and
+:func:`detect_partition_disruptions` on the aggregated overview — must
+recover the injected window through :func:`match_window`, exactly as the
+ground-truth metadata records it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.anomaly import (
+    detect_deviating_cells,
+    detect_partition_disruptions,
+    match_window,
+)
+from repro.core.microscopic import MicroscopicModel
+from repro.core.spatiotemporal import SpatiotemporalAggregator
+from repro.simulation.scenarios import (
+    PerturbationSpec,
+    case_b,
+    case_d,
+    run_scenario,
+)
+
+
+def _perturbed_case_b():
+    """Case B (CG, Grenoble) scaled down, with an Edel contention window."""
+    base = case_b(n_processes=32, iterations=6, platform_scale=0.15)
+    return replace(
+        base,
+        perturbations=(
+            PerturbationSpec(
+                start_fraction=0.45,
+                end_fraction=0.75,
+                cluster="edel",
+                n_machines=2,
+                slowdown=50.0,
+                label="injected Edel contention",
+            ),
+        ),
+    )
+
+
+def _perturbed_case_d():
+    """Case D (LU, Rennes) scaled down, with a Paradent contention window."""
+    base = case_d(n_processes=32, iterations=4, platform_scale=0.1)
+    return replace(
+        base,
+        perturbations=(
+            PerturbationSpec(
+                start_fraction=0.3,
+                end_fraction=0.85,
+                cluster="paradent",
+                n_machines=3,
+                slowdown=60.0,
+                label="injected Paradent contention",
+            ),
+        ),
+    )
+
+
+@pytest.fixture(scope="module", params=["B", "D"])
+def perturbed_run(request):
+    """Trace, model and partition of a perturbed case B or D run."""
+    scenario = {"B": _perturbed_case_b, "D": _perturbed_case_d}[request.param]()
+    trace = run_scenario(scenario)
+    model = MicroscopicModel.from_trace(trace, n_slices=24)
+    partition = SpatiotemporalAggregator(model).run(0.7)
+    return request.param, trace, model, partition
+
+
+class TestGroundTruthMetadata:
+    def test_injected_window_recorded(self, perturbed_run):
+        case, trace, _, _ = perturbed_run
+        [window] = trace.metadata["perturbations"]
+        assert window["end"] > window["start"] > 0
+        assert len(window["machines"]) >= 2
+        expected_cluster = {"B": "edel", "D": "paradent"}[case]
+        assert all(m.startswith(expected_cluster) for m in window["machines"])
+
+    def test_case_metadata_preserved(self, perturbed_run):
+        case, trace, _, _ = perturbed_run
+        assert trace.metadata["case"] == case
+
+
+class TestDeviatingCells:
+    def test_detects_injected_window(self, perturbed_run):
+        _, trace, model, _ = perturbed_run
+        [window] = trace.metadata["perturbations"]
+        detected = detect_deviating_cells(model, threshold=0.1)
+        assert detected, "no deviating-cell window found at all"
+        slice_width = float(model.slicing.durations[0])
+        assert any(
+            match_window(w, window["start"], window["end"], tolerance=slice_width)
+            for w in detected
+        ), f"no detected window overlaps the injected [{window['start']}, {window['end']})"
+
+    def test_detected_resources_are_real_leaves(self, perturbed_run):
+        _, _, model, _ = perturbed_run
+        leaves = set(model.hierarchy.leaf_names)
+        for window in detect_deviating_cells(model, threshold=0.1):
+            assert window.resources, "a window must involve at least one resource"
+            assert set(window.resources) <= leaves
+
+    def test_windows_ranked_by_score(self, perturbed_run):
+        _, _, model, _ = perturbed_run
+        scores = [w.score for w in detect_deviating_cells(model, threshold=0.1)]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestPartitionDisruptions:
+    def test_detects_injected_window(self, perturbed_run):
+        _, trace, model, partition = perturbed_run
+        [window] = trace.metadata["perturbations"]
+        detected = detect_partition_disruptions(partition)
+        assert detected, "no disruption window found at all"
+        slice_width = float(model.slicing.durations[0])
+        assert any(
+            match_window(w, window["start"], window["end"], tolerance=slice_width)
+            for w in detected
+        ), f"no disruption overlaps the injected [{window['start']}, {window['end']})"
+
+    def test_disruption_windows_are_well_formed(self, perturbed_run):
+        """Windows name real resources; minority coverage is per aggregate,
+        so a long window's union may reach every resource — but never none."""
+        _, _, model, partition = perturbed_run
+        leaves = set(model.hierarchy.leaf_names)
+        for window in detect_partition_disruptions(partition):
+            assert 0 < window.n_resources <= model.n_resources
+            assert set(window.resources) <= leaves
+            assert window.duration > 0
+
+
+class TestUnperturbedBaseline:
+    @pytest.mark.parametrize("factory,kwargs", [
+        (case_b, dict(n_processes=32, iterations=6, platform_scale=0.15)),
+        (case_d, dict(n_processes=32, iterations=4, platform_scale=0.1)),
+    ])
+    def test_unperturbed_run_records_no_ground_truth(self, factory, kwargs):
+        trace = run_scenario(factory(**kwargs))
+        assert trace.metadata["perturbations"] == []

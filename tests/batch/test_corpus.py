@@ -1,0 +1,238 @@
+"""Tests for repro.batch.corpus (discovery, manifests, digest verification)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch.corpus import (
+    CORPUS_FORMAT,
+    Corpus,
+    CorpusEntry,
+    CorpusError,
+    CorpusIntegrityError,
+    discover_corpus,
+    entry_for_path,
+    load_corpus,
+    write_corpus_manifest,
+)
+from repro.store import TraceStore, save_store
+from repro.trace.io import write_csv, write_paje
+from repro.trace.trace import Trace
+from repro.trace.synthetic import random_trace
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    """A mixed corpus: one store, one CSV, one Paje file, one non-trace file."""
+    t0 = random_trace(n_resources=4, n_slices=6, n_states=2, seed=0)
+    t1 = random_trace(n_resources=4, n_slices=6, n_states=2, seed=1)
+    t2 = random_trace(n_resources=4, n_slices=6, n_states=2, seed=2)
+    save_store(t0, tmp_path / "alpha.rtz")
+    write_csv(t1, tmp_path / "beta.csv")
+    write_paje(t2, tmp_path / "gamma.paje")
+    (tmp_path / "notes.txt").write_text("not a trace\n")
+    return tmp_path
+
+
+class TestDiscovery:
+    def test_discovers_stores_and_trace_files(self, corpus_dir):
+        corpus = discover_corpus(corpus_dir)
+        assert corpus.names == ["alpha", "beta", "gamma"]
+        kinds = {entry.name: entry.kind for entry in corpus}
+        assert kinds == {"alpha": "store", "beta": "csv", "gamma": "paje"}
+
+    def test_discovery_skips_non_traces(self, corpus_dir):
+        assert "notes" not in discover_corpus(corpus_dir)
+
+    def test_discovered_entries_have_no_digest(self, corpus_dir):
+        assert all(entry.digest is None for entry in discover_corpus(corpus_dir))
+
+    def test_empty_directory_is_an_error(self, tmp_path):
+        with pytest.raises(CorpusError, match="no traces"):
+            discover_corpus(tmp_path)
+
+    def test_store_shadows_its_source_csv(self, tmp_path):
+        """`repro convert case_a.csv case_a.rtz` in place must stay usable:
+        the converted store wins the stem, the source CSV is skipped."""
+        trace = random_trace(n_resources=4, n_slices=6, n_states=2, seed=0)
+        write_csv(trace, tmp_path / "case_a.csv")
+        save_store(trace, tmp_path / "case_a.rtz")
+        corpus = discover_corpus(tmp_path)
+        assert corpus.names == ["case_a"]
+        assert corpus.entry("case_a").kind == "store"
+
+    def test_two_files_sharing_a_stem_stay_ambiguous(self, tmp_path):
+        trace = random_trace(n_resources=4, n_slices=6, n_states=2, seed=0)
+        write_csv(trace, tmp_path / "t.csv")
+        write_paje(trace, tmp_path / "t.paje")
+        with pytest.raises(CorpusError, match="duplicate trace name"):
+            discover_corpus(tmp_path)
+
+    def test_missing_directory_is_an_error(self, tmp_path):
+        with pytest.raises(CorpusError, match="not a corpus directory"):
+            discover_corpus(tmp_path / "nope")
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        trace = random_trace(n_resources=4, n_slices=4, seed=0)
+        write_csv(trace, tmp_path / "t.csv")
+        entries = [
+            CorpusEntry("t", tmp_path / "t.csv", "csv"),
+            CorpusEntry("t", tmp_path / "t.csv", "csv"),
+        ]
+        with pytest.raises(CorpusError, match="duplicate trace name"):
+            Corpus(tmp_path, entries)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(CorpusError, match="unknown trace kind"):
+            Corpus(tmp_path, [CorpusEntry("t", tmp_path / "t.bin", "binary")])
+
+
+class TestManifest:
+    def test_write_then_load_roundtrip(self, corpus_dir):
+        manifest = write_corpus_manifest(discover_corpus(corpus_dir))
+        assert manifest == corpus_dir / "corpus.json"
+        corpus = load_corpus(corpus_dir)
+        assert corpus.names == ["alpha", "beta", "gamma"]
+        assert all(len(entry.digest) == 64 for entry in corpus)
+
+    def test_manifest_paths_are_relative(self, corpus_dir):
+        write_corpus_manifest(discover_corpus(corpus_dir))
+        payload = json.loads((corpus_dir / "corpus.json").read_text())
+        assert payload["format"] == CORPUS_FORMAT
+        assert [t["path"] for t in payload["traces"]] == [
+            "alpha.rtz", "beta.csv", "gamma.paje",
+        ]
+
+    def test_load_corpus_from_manifest_file(self, corpus_dir):
+        manifest = write_corpus_manifest(discover_corpus(corpus_dir))
+        corpus = load_corpus(manifest)
+        assert corpus.names == ["alpha", "beta", "gamma"]
+
+    def test_load_corpus_on_plain_directory_discovers(self, corpus_dir):
+        assert load_corpus(corpus_dir).names == ["alpha", "beta", "gamma"]
+
+    def test_missing_path_is_an_error(self, tmp_path):
+        with pytest.raises(CorpusError, match="not a corpus"):
+            load_corpus(tmp_path / "missing")
+
+    def test_malformed_manifest_json(self, tmp_path):
+        bad = tmp_path / "corpus.json"
+        bad.write_text("{not json")
+        with pytest.raises(CorpusError, match="unreadable corpus manifest"):
+            load_corpus(tmp_path)
+
+    def test_manifest_must_be_an_object(self, tmp_path):
+        (tmp_path / "corpus.json").write_text("[1, 2]")
+        with pytest.raises(CorpusError, match="JSON object"):
+            load_corpus(tmp_path)
+
+    def test_unsupported_format_tag(self, tmp_path):
+        (tmp_path / "corpus.json").write_text(json.dumps({"format": "nope/9", "traces": []}))
+        with pytest.raises(CorpusError, match="unsupported corpus format"):
+            load_corpus(tmp_path)
+
+    def test_manifest_without_traces(self, tmp_path):
+        (tmp_path / "corpus.json").write_text(json.dumps({"format": CORPUS_FORMAT, "traces": []}))
+        with pytest.raises(CorpusError, match="lists no traces"):
+            load_corpus(tmp_path)
+
+    def test_entry_without_path_rejected(self, tmp_path):
+        (tmp_path / "corpus.json").write_text(
+            json.dumps({"format": CORPUS_FORMAT, "traces": [{"name": "x"}]})
+        )
+        with pytest.raises(CorpusError, match="object with a 'path'"):
+            load_corpus(tmp_path)
+
+    def test_entry_pointing_nowhere_rejected(self, tmp_path):
+        (tmp_path / "corpus.json").write_text(
+            json.dumps({"format": CORPUS_FORMAT, "traces": [{"path": "ghost.rtz"}]})
+        )
+        with pytest.raises(CorpusError, match="neither a store nor"):
+            load_corpus(tmp_path)
+
+    def test_non_string_digest_rejected(self, corpus_dir):
+        (corpus_dir / "corpus.json").write_text(
+            json.dumps(
+                {"format": CORPUS_FORMAT,
+                 "traces": [{"path": "beta.csv", "digest": 7}]}
+            )
+        )
+        with pytest.raises(CorpusError, match="non-string digest"):
+            load_corpus(corpus_dir)
+
+
+class TestDigestVerification:
+    def test_store_entry_verifies_cheaply(self, corpus_dir):
+        write_corpus_manifest(discover_corpus(corpus_dir))
+        entry = load_corpus(corpus_dir).entry("alpha")
+        assert isinstance(entry.load(), TraceStore)
+
+    def test_csv_entry_verifies_content_digest(self, corpus_dir):
+        write_corpus_manifest(discover_corpus(corpus_dir))
+        entry = load_corpus(corpus_dir).entry("beta")
+        assert isinstance(entry.load(), Trace)
+
+    def test_mutated_csv_fails_verification(self, corpus_dir):
+        write_corpus_manifest(discover_corpus(corpus_dir))
+        target = corpus_dir / "beta.csv"
+        text = target.read_text().splitlines()
+        text[1] = text[1].replace("state0", "other", 1)
+        target.write_text("\n".join(text) + "\n")
+        with pytest.raises(CorpusIntegrityError, match="does not match"):
+            load_corpus(corpus_dir).entry("beta").load()
+
+    def test_mutated_store_fails_verification(self, corpus_dir):
+        corpus = discover_corpus(corpus_dir)
+        write_corpus_manifest(corpus)
+        # Replace the store with different content under the same path.
+        save_store(
+            random_trace(n_resources=4, n_slices=6, n_states=2, seed=9),
+            corpus_dir / "alpha.rtz",
+        )
+        with pytest.raises(CorpusIntegrityError, match="does not match"):
+            load_corpus(corpus_dir).entry("alpha").load()
+
+    def test_deleted_member_is_a_corpus_error(self, corpus_dir):
+        write_corpus_manifest(discover_corpus(corpus_dir))
+        (corpus_dir / "beta.csv").unlink()
+        corpus = load_corpus(corpus_dir)
+        with pytest.raises(CorpusError):
+            corpus.entry("beta").load()
+
+    def test_unpinned_entry_skips_verification(self, corpus_dir):
+        entry = discover_corpus(corpus_dir).entry("beta")
+        assert entry.digest is None
+        entry.load()  # no digest to verify against
+
+
+class TestEntryForPath:
+    def test_store_and_csv_kinds(self, corpus_dir):
+        assert entry_for_path(corpus_dir / "alpha.rtz").kind == "store"
+        assert entry_for_path(corpus_dir / "beta.csv").kind == "csv"
+        assert entry_for_path(corpus_dir / "gamma.paje").kind == "paje"
+
+    def test_name_defaults_to_stem(self, corpus_dir):
+        assert entry_for_path(corpus_dir / "beta.csv").name == "beta"
+        assert entry_for_path(corpus_dir / "beta.csv", name="x").name == "x"
+
+    def test_missing_path(self, tmp_path):
+        with pytest.raises(CorpusError, match="not found"):
+            entry_for_path(tmp_path / "nope.csv")
+
+    def test_unrecognized_file(self, corpus_dir):
+        with pytest.raises(CorpusError, match="not a trace store"):
+            entry_for_path(corpus_dir / "notes.txt")
+
+
+class TestCorpusContainer:
+    def test_entry_lookup_and_contains(self, corpus_dir):
+        corpus = discover_corpus(corpus_dir)
+        assert corpus.entry("alpha").name == "alpha"
+        assert "alpha" in corpus and "nope" not in corpus
+        assert len(corpus) == 3
+
+    def test_unknown_entry_raises_lookup_error(self, corpus_dir):
+        with pytest.raises(LookupError, match="unknown corpus trace"):
+            discover_corpus(corpus_dir).entry("nope")

@@ -1,0 +1,248 @@
+"""Fuzz/property tests for the ingestion edge (read_csv / read_paje).
+
+The contract under test: feeding the readers *any* bytes — malformed,
+truncated, mutated or adversarial — either returns a valid
+:class:`~repro.trace.Trace` or raises a :class:`~repro.trace.io.TraceIOError`
+(subclasses included) whose message names the offending file, with the
+1-based line number for row-level problems.  Internal exception types —
+``csv.Error``, ``UnicodeDecodeError``, ``IndexError``, ``KeyError``,
+:class:`EventError`, :class:`TraceError`, :class:`HierarchyError`, bare
+``ValueError`` — must never escape.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.trace.io import TraceIOError, read_csv, read_paje, write_csv, write_paje
+from repro.trace.synthetic import random_trace
+from repro.trace.trace import Trace
+
+_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+def _assert_reader_contract(reader, path):
+    """The only acceptable outcomes: a Trace, or TraceIOError naming the file."""
+    try:
+        result = reader(path)
+    except TraceIOError as exc:
+        assert path.name in str(exc), f"error does not name the file: {exc}"
+        return None
+    # Bare ValueError (not TraceIOError), IndexError, csv.Error, EventError,
+    # UnicodeDecodeError etc. propagate out of the `except` above and fail
+    # the test with their own traceback — which is exactly the leak we hunt.
+    assert isinstance(result, Trace)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Random garbage
+# --------------------------------------------------------------------------- #
+_garbage_text = st.text(
+    alphabet=st.characters(min_codepoint=0, max_codepoint=0x2FF),
+    max_size=400,
+)
+
+
+class TestGarbageInputs:
+    @_SETTINGS
+    @given(content=_garbage_text)
+    def test_csv_reader_never_leaks_on_text_garbage(self, tmp_path, content):
+        path = tmp_path / "fuzz.csv"
+        path.write_text("resource_path,state,start,end\n" + content)
+        _assert_reader_contract(read_csv, path)
+
+    @_SETTINGS
+    @given(content=_garbage_text)
+    def test_paje_reader_never_leaks_on_text_garbage(self, tmp_path, content):
+        path = tmp_path / "fuzz.paje"
+        path.write_text(content)
+        _assert_reader_contract(read_paje, path)
+
+    @_SETTINGS
+    @given(blob=st.binary(max_size=300))
+    def test_csv_reader_never_leaks_on_binary_garbage(self, tmp_path, blob):
+        path = tmp_path / "fuzz.csv"
+        path.write_bytes(b"resource_path,state,start,end\n" + blob)
+        _assert_reader_contract(read_csv, path)
+
+    @_SETTINGS
+    @given(blob=st.binary(max_size=300))
+    def test_paje_reader_never_leaks_on_binary_garbage(self, tmp_path, blob):
+        path = tmp_path / "fuzz.paje"
+        path.write_bytes(blob)
+        _assert_reader_contract(read_paje, path)
+
+
+# --------------------------------------------------------------------------- #
+# Truncations and mutations of valid files
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def valid_csv_bytes(tmp_path_factory):
+    trace = random_trace(n_resources=4, n_slices=8, n_states=3, seed=11)
+    path = tmp_path_factory.mktemp("fuzz") / "valid.csv"
+    write_csv(trace, path)
+    return path.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def valid_paje_bytes(tmp_path_factory):
+    trace = random_trace(n_resources=4, n_slices=8, n_states=3, seed=11)
+    path = tmp_path_factory.mktemp("fuzz") / "valid.paje"
+    write_paje(trace, path)
+    return path.read_bytes()
+
+
+class TestTruncationsAndMutations:
+    @_SETTINGS
+    @given(data=st.data())
+    def test_truncated_csv_never_leaks(self, tmp_path, valid_csv_bytes, data):
+        cut = data.draw(st.integers(min_value=0, max_value=len(valid_csv_bytes)))
+        path = tmp_path / "cut.csv"
+        path.write_bytes(valid_csv_bytes[:cut])
+        _assert_reader_contract(read_csv, path)
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_truncated_paje_never_leaks(self, tmp_path, valid_paje_bytes, data):
+        cut = data.draw(st.integers(min_value=0, max_value=len(valid_paje_bytes)))
+        path = tmp_path / "cut.paje"
+        path.write_bytes(valid_paje_bytes[:cut])
+        _assert_reader_contract(read_paje, path)
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_mutated_csv_never_leaks(self, tmp_path, valid_csv_bytes, data):
+        blob = bytearray(valid_csv_bytes)
+        for _ in range(data.draw(st.integers(min_value=1, max_value=8))):
+            index = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+            blob[index] = data.draw(st.integers(min_value=0, max_value=255))
+        path = tmp_path / "mut.csv"
+        path.write_bytes(bytes(blob))
+        _assert_reader_contract(read_csv, path)
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_mutated_paje_never_leaks(self, tmp_path, valid_paje_bytes, data):
+        blob = bytearray(valid_paje_bytes)
+        for _ in range(data.draw(st.integers(min_value=1, max_value=8))):
+            index = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+            blob[index] = data.draw(st.integers(min_value=0, max_value=255))
+        path = tmp_path / "mut.paje"
+        path.write_bytes(bytes(blob))
+        _assert_reader_contract(read_paje, path)
+
+
+# --------------------------------------------------------------------------- #
+# Known adversarial regressions (each one leaked a non-TraceIOError once)
+# --------------------------------------------------------------------------- #
+class TestAdversarialRegressions:
+    def test_csv_nul_byte_does_not_leak(self, tmp_path):
+        # Python >= 3.11 csv accepts NUL bytes in fields; older versions
+        # raise csv.Error.  Either way the reader contract must hold.
+        path = tmp_path / "nul.csv"
+        path.write_bytes(b"resource_path,state,start,end\nm/r0,Run\x00ning,0,1\n")
+        _assert_reader_contract(read_csv, path)
+
+    def test_csv_oversized_field_reports_malformed_csv(self, tmp_path):
+        # A field beyond csv.field_size_limit() raises csv.Error internally;
+        # the reader must translate it, with the line number.
+        path = tmp_path / "huge.csv"
+        path.write_text(
+            "resource_path,state,start,end\n"
+            f'm/r0,"{"x" * 200_000}",0,1\n'
+        )
+        with pytest.raises(TraceIOError, match="malformed CSV"):
+            read_csv(path)
+
+    def test_csv_non_utf8_bytes(self, tmp_path):
+        path = tmp_path / "latin.csv"
+        path.write_bytes(b"resource_path,state,start,end\nm/r0,\xff\xfe,0,1\n")
+        with pytest.raises(TraceIOError, match="UTF-8|malformed"):
+            read_csv(path)
+
+    def test_csv_reversed_interval_has_line_context(self, tmp_path):
+        path = tmp_path / "rev.csv"
+        path.write_text("resource_path,state,start,end\nm/r0,Running,5,2\n")
+        with pytest.raises(TraceIOError, match=re.escape("rev.csv:2")):
+            read_csv(path)
+
+    def test_csv_nan_timestamp_rejected_with_line_context(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("resource_path,state,start,end\nm/r0,Running,nan,1\n")
+        with pytest.raises(TraceIOError, match=re.escape("nan.csv:2")):
+            read_csv(path)
+
+    def test_csv_infinite_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "inf.csv"
+        path.write_text("resource_path,state,start,end\nm/r0,Running,0,inf\n")
+        with pytest.raises(TraceIOError, match="invalid interval"):
+            read_csv(path)
+
+    def test_csv_conflicting_hierarchy_paths(self, tmp_path):
+        # "m" is a leaf on line 2 but an interior node on line 3.
+        path = tmp_path / "conflict.csv"
+        path.write_text(
+            "resource_path,state,start,end\nm,Running,0,1\nm/r0,Running,0,1\n"
+        )
+        with pytest.raises(
+            TraceIOError, match="inconsistent resource paths|invalid trace content"
+        ):
+            read_csv(path)
+
+    def test_csv_unknown_resource_with_provided_hierarchy(self, tmp_path):
+        from repro.core.hierarchy import Hierarchy
+
+        path = tmp_path / "foreign.csv"
+        path.write_text("resource_path,state,start,end\nm/rX,Running,0,1\n")
+        with pytest.raises(TraceIOError, match="invalid trace content"):
+            read_csv(path, hierarchy=Hierarchy.flat(["r0", "r1"]))
+
+    def test_csv_empty_state_name_rejected(self, tmp_path):
+        path = tmp_path / "state.csv"
+        path.write_text("resource_path,state,start,end\nm/r0,,0,1\n")
+        with pytest.raises(TraceIOError, match="invalid interval"):
+            read_csv(path)
+
+    def test_paje_pop_before_push_time(self, tmp_path):
+        path = tmp_path / "order.paje"
+        path.write_text(
+            "PajePushState 5.0 m/r0 Running\nPajePopState 2.0 m/r0 Running\n"
+        )
+        with pytest.raises(TraceIOError, match="invalid interval"):
+            read_paje(path)
+
+    def test_paje_nan_timestamps_rejected(self, tmp_path):
+        path = tmp_path / "nan.paje"
+        path.write_text(
+            "PajePushState nan m/r0 Running\nPajePopState 1.0 m/r0 Running\n"
+        )
+        with pytest.raises(TraceIOError, match="invalid interval"):
+            read_paje(path)
+
+    def test_paje_conflicting_hierarchy_paths(self, tmp_path):
+        path = tmp_path / "conflict.paje"
+        path.write_text(
+            "PajePushState 0 m Running\nPajePopState 1 m Running\n"
+            "PajePushState 0 m/r0 Running\nPajePopState 1 m/r0 Running\n"
+        )
+        with pytest.raises(
+            TraceIOError, match="inconsistent resource paths|invalid trace content"
+        ):
+            read_paje(path)
+
+    def test_error_messages_carry_line_numbers(self, tmp_path):
+        path = tmp_path / "ctx.csv"
+        path.write_text(
+            "resource_path,state,start,end\nm/r0,Running,0,1\nm/r0,Running,zero,one\n"
+        )
+        with pytest.raises(TraceIOError, match=re.escape("ctx.csv:3")):
+            read_csv(path)

@@ -437,3 +437,220 @@ class TestAnalyzeWindow:
             "--window", "1e9:2e9",
         ]) == 2
         assert "does not overlap" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    @pytest.fixture()
+    def corpus_dir(self, tmp_path, capsys):
+        """Two small simulated traces (one converted to a store) as a corpus."""
+        root = tmp_path / "corpus"
+        root.mkdir()
+        csv_a = tmp_path / "a.csv"
+        assert main([
+            "simulate", "--case", "A", "--processes", "8", "--iterations", "3",
+            "--platform-scale", "0.25", "--output", str(csv_a),
+        ]) == 0
+        assert main(["convert", str(csv_a), str(root / "a.rtz")]) == 0
+        assert main([
+            "simulate", "--case", "B", "--processes", "8", "--iterations", "2",
+            "--platform-scale", "0.1", "--output", str(root / "b.csv"),
+        ]) == 0
+        capsys.readouterr()
+        return root
+
+    def test_batch_prints_summary_table(self, corpus_dir, capsys):
+        assert main(["batch", str(corpus_dir), "--slices", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "Corpus batch report: 2 of 2" in out
+        assert "heterogeneity" in out
+        assert "a" in out and "b" in out
+
+    def test_batch_json_payload(self, corpus_dir, capsys):
+        assert main(["batch", str(corpus_dir), "--slices", "12", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.batch/1"
+        assert sorted(payload["results"]) == ["a", "b"]
+
+    def test_batch_output_files_match_analyze_json(self, corpus_dir, tmp_path, capsys):
+        out_dir = tmp_path / "reports"
+        assert main([
+            "batch", str(corpus_dir), "--slices", "12", "--output", str(out_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert (out_dir / "batch.json").exists()
+        assert main([
+            "analyze", str(corpus_dir / "a.rtz"), "--slices", "12", "--json",
+        ]) == 0
+        direct = capsys.readouterr().out
+        assert (out_dir / "a.analysis.json").read_text() == direct
+
+    def test_batch_jobs_identical_output(self, corpus_dir, capsys):
+        assert main(["batch", str(corpus_dir), "--slices", "12", "--json"]) == 0
+        serial = capsys.readouterr().out
+        assert main([
+            "batch", str(corpus_dir), "--slices", "12", "--json", "--jobs", "2",
+        ]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_batch_write_manifest_freezes_digests(self, corpus_dir, capsys):
+        assert main(["batch", str(corpus_dir), "--write-manifest"]) == 0
+        assert "froze 2 trace(s)" in capsys.readouterr().out
+        manifest = json.loads((corpus_dir / "corpus.json").read_text())
+        assert all(len(t["digest"]) == 64 for t in manifest["traces"])
+
+    def test_batch_failing_trace_exits_2_with_path(self, corpus_dir, capsys):
+        bad = corpus_dir / "broken.csv"
+        bad.write_text("resource_path,state,start,end\nm/r0,Running,zero,one\n")
+        code = main(["batch", str(corpus_dir), "--slices", "12"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "broken.csv" in captured.err
+        assert "Traceback" not in captured.err
+        # The healthy traces were still analyzed and reported.
+        assert "Corpus batch report: 2 of 3" in captured.out
+
+    def test_batch_empty_corpus_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["batch", str(empty)]) == 2
+        assert "cannot load corpus" in capsys.readouterr().err
+
+    def test_batch_parameter_validation(self, corpus_dir, capsys):
+        assert main(["batch", str(corpus_dir), "-p", "1.5"]) == 2
+        assert main(["batch", str(corpus_dir), "--slices", "0"]) == 2
+        assert main(["batch", str(corpus_dir), "--jobs", "0"]) == 2
+        capsys.readouterr()
+
+    def test_batch_worker_pool_crash_exits_2_with_path(self, corpus_dir, capsys, monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.batch import runner as runner_module
+
+        class CrashingFuture:
+            def result(self):
+                raise BrokenProcessPool("worker died")
+
+        class CrashingPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args):
+                return CrashingFuture()
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", CrashingPool)
+        code = main(["batch", str(corpus_dir), "--slices", "12", "--jobs", "2"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "a.rtz" in captured.err  # the in-flight trace path is named
+        assert "Traceback" not in captured.err
+
+
+class TestCompareCommand:
+    def test_compare_text_report(self, small_trace_csv, tmp_path, capsys):
+        other = tmp_path / "other.csv"
+        assert main([
+            "simulate", "--case", "A", "--processes", "8", "--iterations", "4",
+            "--platform-scale", "0.25", "--output", str(other),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "compare", str(small_trace_csv), str(other), "--slices", "12",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Comparison report" in out
+        assert "partition diff" in out
+
+    def test_compare_json_is_deterministic(self, small_trace_csv, tmp_path, capsys):
+        store = tmp_path / "s.rtz"
+        assert main(["convert", str(small_trace_csv), str(store)]) == 0
+        capsys.readouterr()
+        args = ["compare", str(small_trace_csv), str(store), "--slices", "12", "--json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert payload["schema"] == "repro.compare/1"
+        # Same content through CSV and store: digests match, diff is empty.
+        assert payload["a"]["trace"]["digest"] == payload["b"]["trace"]["digest"]
+        assert payload["partition_diff"]["jaccard"] == 1.0
+
+    def test_compare_missing_trace_exits_2(self, small_trace_csv, tmp_path, capsys):
+        assert main([
+            "compare", str(small_trace_csv), str(tmp_path / "nope.csv"),
+        ]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_compare_malformed_trace_exits_2(self, small_trace_csv, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("resource_path,state,start,end\nm/r0,Running,zero,one\n")
+        assert main(["compare", str(small_trace_csv), str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read trace" in err and "Traceback" not in err
+
+    def test_compare_parameter_validation(self, small_trace_csv, capsys):
+        assert main([
+            "compare", str(small_trace_csv), str(small_trace_csv), "-p", "2.0",
+        ]) == 2
+        assert main([
+            "compare", str(small_trace_csv), str(small_trace_csv), "--slices", "0",
+        ]) == 2
+        capsys.readouterr()
+
+
+class TestAnalyzeJobsErrorPropagation:
+    def test_worker_crash_exits_2_naming_the_trace(self, small_trace_csv, capsys, monkeypatch):
+        """Regression: a dead pool worker must not dump a multiprocessing
+        traceback — the CLI reports the failing trace and exits 2."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.core import spatiotemporal as spatiotemporal_module
+
+        class CrashingFuture:
+            def result(self):
+                raise BrokenProcessPool("worker died")
+
+        class CrashingPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, *args):
+                return CrashingFuture()
+
+        monkeypatch.setattr(spatiotemporal_module, "ProcessPoolExecutor", CrashingPool)
+        code = main(["analyze", str(small_trace_csv), "--slices", "10", "--jobs", "2"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert str(small_trace_csv) in captured.err
+        assert "parallel aggregation" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_serial_analyze_unaffected_by_the_guard(self, small_trace_csv, capsys):
+        assert main(["analyze", str(small_trace_csv), "--slices", "10", "--jobs", "1"]) == 0
+        assert "Analysis report" in capsys.readouterr().out
+
+
+class TestServeCorpusOptions:
+    def test_serve_requires_traces_or_corpus(self, capsys):
+        assert main(["serve"]) == 2
+        assert "nothing to serve" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_max_sessions(self, tmp_path, capsys):
+        assert main(["serve", "--corpus", str(tmp_path), "--max-sessions", "0"]) == 2
+        assert "--max-sessions" in capsys.readouterr().err
+
+    def test_serve_missing_corpus_exits_2(self, tmp_path, capsys):
+        assert main(["serve", "--corpus", str(tmp_path / "nope")]) == 2
+        assert "cannot load corpus" in capsys.readouterr().err
