@@ -49,6 +49,8 @@ if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
 
+from common import GateMetric, check_ratio_regression, time_call  # noqa: E402
+
 from repro.batch import analysis_params, discover_corpus, run_batch  # noqa: E402
 from repro.core.microscopic import MicroscopicModel  # noqa: E402
 from repro.service.serializer import (  # noqa: E402
@@ -68,16 +70,6 @@ FULL_GRID = [(6, 64, 60, 600)]
 SMOKE_GRID = [(6, 64, 60, 600)]
 #: Pool widths benchmarked against jobs=1.
 JOB_WIDTHS = (2, 4)
-
-
-def time_call(func, repeats: int) -> float:
-    """Best-of-``repeats`` wall-clock of ``func()``."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        func()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def _naive_pipeline(csv_paths, p, slices):
@@ -178,57 +170,31 @@ def check_regression(
     min_jobs_speedup: float,
 ) -> int:
     """Gate the pipeline ratio always; gate pool scaling on capable CPUs."""
-    baseline = json.loads(baseline_path.read_text())
-    reference = {
-        (row["n_traces"], row["resources"], row["slices"]): row
-        for row in baseline["results"]
-    }
-    failures = []
-    checked = 0
     cpu_count = os.cpu_count() or 1
     jobs_gate_active = cpu_count >= 4
-    for row in results:
-        ref = reference.get((row["n_traces"], row["resources"], row["slices"]))
-        if ref is None:
-            continue
-        checked += 1
-        floor = max(ref["pipeline_speedup"] / max_regression, min_pipeline_speedup)
-        if row["pipeline_speedup"] < floor:
-            failures.append(
-                f"  traces={row['n_traces']} resources={row['resources']} "
-                f"slices={row['slices']}: pipeline_speedup "
-                f"{row['pipeline_speedup']:.2f}x < floor {floor:.2f}x "
-                f"(baseline {ref['pipeline_speedup']:.2f}x, "
-                f"hard minimum {min_pipeline_speedup:.0f}x)"
-            )
-        if jobs_gate_active and row["jobs4_speedup"] < min_jobs_speedup:
-            failures.append(
-                f"  traces={row['n_traces']} resources={row['resources']} "
-                f"slices={row['slices']}: jobs4_speedup "
-                f"{row['jobs4_speedup']:.2f}x < {min_jobs_speedup:.0f}x floor "
-                f"on a {cpu_count}-CPU machine"
-            )
-    if failures:
-        print(f"REGRESSION against {baseline_path} (>{max_regression}x):")
-        print("\n".join(failures))
-        return 1
-    if checked == 0:
-        print(
-            f"REGRESSION CHECK INVALID: no grid cell overlaps {baseline_path} — "
-            "the gate would pass vacuously; align the grid with the baseline"
-        )
-        return 1
-    scaling_note = (
-        f"jobs gate active (cpu_count={cpu_count})"
-        if jobs_gate_active
-        else f"jobs gate skipped (cpu_count={cpu_count} < 4: pool scaling unmeasurable)"
+    return check_ratio_regression(
+        results,
+        baseline_path,
+        key_fields=("n_traces", "resources", "slices"),
+        metrics=[
+            GateMetric(
+                "pipeline_speedup",
+                max_regression=max_regression,
+                min_ratio=min_pipeline_speedup,
+                note=f"hard minimum {min_pipeline_speedup:.0f}x",
+            ),
+            GateMetric(
+                "jobs4_speedup",
+                min_ratio=min_jobs_speedup,
+                active=jobs_gate_active,
+                note=(
+                    f"jobs gate on a {cpu_count}-CPU machine"
+                    if jobs_gate_active
+                    else f"cpu_count={cpu_count} < 4: pool scaling unmeasurable"
+                ),
+            ),
+        ],
     )
-    print(
-        f"regression check ok: {checked} grid cells within {max_regression}x of "
-        f"baseline, pipeline_speedup above the {min_pipeline_speedup:.0f}x floor; "
-        f"{scaling_note}"
-    )
-    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:

@@ -37,6 +37,8 @@ if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
 from repro.core.hierarchy import Hierarchy  # noqa: E402
+from common import GateMetric, check_ratio_regression, timed_call  # noqa: E402
+
 from repro.core.microscopic import MicroscopicModel  # noqa: E402
 from repro.core.spatiotemporal import SpatiotemporalAggregator  # noqa: E402
 from repro.trace.states import StateRegistry  # noqa: E402
@@ -54,17 +56,6 @@ def build_model(n_resources: int, n_slices: int, n_states: int, seed: int) -> Mi
     # (the remainder models idle time), matching real trace proportions.
     rho = rng.dirichlet(np.ones(n_states + 1), size=(n_resources, n_slices))[:, :, :n_states]
     return MicroscopicModel.from_proportions(rho, hierarchy, states)
-
-
-def time_call(func, repeats: int) -> tuple[float, object]:
-    """Best-of-``repeats`` wall-clock of ``func()`` and its last result."""
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = func()
-        best = min(best, time.perf_counter() - start)
-    return best, result
 
 
 def tables_identical(left, right) -> bool:
@@ -99,10 +90,10 @@ def bench_cell(
         aggregator.stats.tables(node)
     stats_seconds = time.perf_counter() - stats_start
 
-    seconds_percell, reference = time_call(
+    seconds_percell, reference = timed_call(
         lambda: aggregator.compute_tables_reference(p), repeats
     )
-    seconds_vectorized, vectorized = time_call(lambda: aggregator.compute_tables(p), repeats)
+    seconds_vectorized, vectorized = timed_call(lambda: aggregator.compute_tables(p), repeats)
     identical = tables_identical(reference, vectorized)
 
     row = {
@@ -117,7 +108,7 @@ def bench_cell(
         "tables_identical": identical,
     }
     if jobs > 1:
-        seconds_jobs, parallel = time_call(
+        seconds_jobs, parallel = timed_call(
             lambda: aggregator.compute_tables(p, jobs=jobs), repeats
         )
         row["jobs"] = jobs
@@ -128,34 +119,12 @@ def bench_cell(
 
 def check_regression(results: list[dict], baseline_path: Path, max_regression: float) -> int:
     """Compare speedup ratios against a committed baseline; 0 when acceptable."""
-    baseline = json.loads(baseline_path.read_text())
-    reference = {
-        (row["slices"], row["resources"]): row["speedup"] for row in baseline["results"]
-    }
-    failures = []
-    for row in results:
-        key = (row["slices"], row["resources"])
-        if key not in reference:
-            continue
-        floor = reference[key] / max_regression
-        if row["speedup"] < floor:
-            failures.append(
-                f"  slices={key[0]} resources={key[1]}: speedup {row['speedup']:.2f}x "
-                f"< allowed floor {floor:.2f}x (baseline {reference[key]:.2f}x)"
-            )
-    if failures:
-        print(f"REGRESSION against {baseline_path} (>{max_regression}x):")
-        print("\n".join(failures))
-        return 1
-    checked = sum(1 for row in results if (row["slices"], row["resources"]) in reference)
-    if checked == 0:
-        print(
-            f"REGRESSION CHECK INVALID: no grid cell overlaps {baseline_path} — "
-            "the gate would pass vacuously; align the grid with the baseline"
-        )
-        return 1
-    print(f"regression check ok: {checked} grid cells within {max_regression}x of baseline")
-    return 0
+    return check_ratio_regression(
+        results,
+        baseline_path,
+        key_fields=("slices", "resources"),
+        metrics=[GateMetric("speedup", max_regression=max_regression)],
+    )
 
 
 def main(argv: "list[str] | None" = None) -> int:

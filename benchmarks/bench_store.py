@@ -32,12 +32,13 @@ import argparse
 import json
 import shutil
 import sys
-import time
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
+
+from common import GateMetric, check_ratio_regression, time_call  # noqa: E402
 
 from repro.service import AnalysisSession  # noqa: E402
 from repro.store import open_store, save_store  # noqa: E402
@@ -48,16 +49,6 @@ from repro.trace.synthetic import random_trace  # noqa: E402
 #: intervals per resource, so the last row is ~61k intervals (~2.5 MB CSV).
 FULL_GRID = [(16, 20, 60), (64, 60, 240)]
 SMOKE_GRID = [(16, 20, 60)]
-
-
-def time_call(func, repeats: int) -> float:
-    """Best-of-``repeats`` wall-clock of ``func()``."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        func()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def directory_bytes(path: Path) -> int:
@@ -139,40 +130,19 @@ def check_regression(
     >1000x cache win, while a 50x swing of the load ratio would mean the
     store is broken.
     """
-    baseline = json.loads(baseline_path.read_text())
-    reference = {
-        (row["resources"], row["slices"]): row for row in baseline["results"]
-    }
-    failures = []
-    checked = 0
-    for row in results:
-        ref = reference.get((row["resources"], row["slices"]))
-        if ref is None:
-            continue
-        checked += 1
-        for metric, factor in (
-            ("load_speedup", max_regression),
-            ("query_speedup", max_regression_query),
-        ):
-            floor = ref[metric] / factor
-            if row[metric] < floor:
-                failures.append(
-                    f"  resources={row['resources']} slices={row['slices']}: "
-                    f"{metric} {row[metric]:.2f}x < allowed floor {floor:.2f}x "
-                    f"(baseline {ref[metric]:.2f}x)"
-                )
-    if failures:
-        print(f"REGRESSION against {baseline_path} (>{max_regression}x):")
-        print("\n".join(failures))
-        return 1
-    if checked == 0:
-        print(
-            f"REGRESSION CHECK INVALID: no grid cell overlaps {baseline_path} — "
-            "the gate would pass vacuously; align the grid with the baseline"
-        )
-        return 1
-    print(f"regression check ok: {checked} grid cells within {max_regression}x of baseline")
-    return 0
+    return check_ratio_regression(
+        results,
+        baseline_path,
+        key_fields=("resources", "slices"),
+        metrics=[
+            GateMetric("load_speedup", max_regression=max_regression),
+            GateMetric(
+                "query_speedup",
+                max_regression=max_regression_query,
+                note="loose factor: microsecond-scale warm leg",
+            ),
+        ],
+    )
 
 
 def main(argv: "list[str] | None" = None) -> int:

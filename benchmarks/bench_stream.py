@@ -37,13 +37,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
+from common import GateMetric, check_ratio_regression, time_call  # noqa: E402
 
 from repro.core.microscopic import MicroscopicModel  # noqa: E402
 from repro.core.spatiotemporal import SpatiotemporalAggregator  # noqa: E402
@@ -62,16 +62,6 @@ TAIL_FRACTION = 0.05
 #: Windowed re-query: the slices the 5% tail lands in (3 of 60, plus the
 #: partially filled slice before them).
 WINDOW_SLICES = 3
-
-
-def time_call(func, repeats: int) -> float:
-    """Best-of-``repeats`` wall-clock of ``func()``."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        func()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def _windowed_payload(store: TraceStore, model: MicroscopicModel, p: float) -> str:
@@ -214,40 +204,19 @@ def check_regression(
     min_speedup: float,
 ) -> int:
     """Gate on the committed baseline ratio and the absolute 10x floor."""
-    baseline = json.loads(baseline_path.read_text())
-    reference = {
-        (row["resources"], row["slices"]): row for row in baseline["results"]
-    }
-    failures = []
-    checked = 0
-    for row in results:
-        ref = reference.get((row["resources"], row["slices"]))
-        if ref is None:
-            continue
-        checked += 1
-        floor = max(ref["incremental_speedup"] / max_regression, min_speedup)
-        if row["incremental_speedup"] < floor:
-            failures.append(
-                f"  resources={row['resources']} slices={row['slices']}: "
-                f"incremental_speedup {row['incremental_speedup']:.2f}x < floor "
-                f"{floor:.2f}x (baseline {ref['incremental_speedup']:.2f}x, "
-                f"hard minimum {min_speedup:.0f}x)"
+    return check_ratio_regression(
+        results,
+        baseline_path,
+        key_fields=("resources", "slices"),
+        metrics=[
+            GateMetric(
+                "incremental_speedup",
+                max_regression=max_regression,
+                min_ratio=min_speedup,
+                note=f"hard minimum {min_speedup:.0f}x",
             )
-    if failures:
-        print(f"REGRESSION against {baseline_path} (>{max_regression}x):")
-        print("\n".join(failures))
-        return 1
-    if checked == 0:
-        print(
-            f"REGRESSION CHECK INVALID: no grid cell overlaps {baseline_path} — "
-            "the gate would pass vacuously; align the grid with the baseline"
-        )
-        return 1
-    print(
-        f"regression check ok: {checked} grid cells within {max_regression}x of "
-        f"baseline and above the {min_speedup:.0f}x floor"
+        ],
     )
-    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:

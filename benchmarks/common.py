@@ -1,0 +1,126 @@
+"""Shared benchmark helpers: wall-clock timing and the ratio regression gate.
+
+Every ``bench_*.py`` script times a fast leg against a reference leg and
+gates CI on the *speedup ratio* (same-runner ratios are stable across
+hardware, absolute times are not).  The timing loop and the gate logic used
+to be copy-pasted per script; they live here now:
+
+* :func:`time_call` / :func:`timed_call` — best-of-N wall-clock;
+* :class:`GateMetric` + :func:`check_ratio_regression` — compare each grid
+  cell's ratio fields against a committed baseline file, with an optional
+  per-metric absolute floor and an activity switch (e.g. pool-scaling gates
+  that only make sense on multi-core runners).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+
+def time_call(func: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock of ``func()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def timed_call(func: Callable[[], object], repeats: int) -> "tuple[float, object]":
+    """Best-of-``repeats`` wall-clock of ``func()`` and its last result."""
+    best = float("inf")
+    result: object = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@dataclass(frozen=True)
+class GateMetric:
+    """One gated ratio field of a benchmark's result rows.
+
+    ``max_regression`` allows the ratio to degrade by that factor relative
+    to the committed baseline; ``min_ratio`` is an absolute acceptance floor
+    (the larger floor wins when both are set).  ``active=False`` records the
+    metric in the OK message as skipped (e.g. a pool-scaling gate on a
+    single-CPU runner); ``note`` is appended to its failure lines.
+    """
+
+    name: str
+    max_regression: "float | None" = None
+    min_ratio: "float | None" = None
+    active: bool = True
+    note: str = ""
+
+
+def check_ratio_regression(
+    results: "Sequence[dict]",
+    baseline_path: Path,
+    key_fields: "Sequence[str]",
+    metrics: "Sequence[GateMetric]",
+) -> int:
+    """Gate ``results`` against the committed baseline; returns an exit code.
+
+    Rows are matched to baseline rows on ``key_fields``.  A run whose grid
+    shares no cell with the baseline is itself a failure — the gate must
+    never pass vacuously.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    reference = {
+        tuple(row[field] for field in key_fields): row
+        for row in baseline["results"]
+    }
+    failures = []
+    checked = 0
+    for row in results:
+        ref = reference.get(tuple(row[field] for field in key_fields))
+        if ref is None:
+            continue
+        checked += 1
+        label = " ".join(f"{field}={row[field]}" for field in key_fields)
+        for metric in metrics:
+            if not metric.active:
+                continue
+            floor = 0.0
+            if metric.max_regression is not None:
+                floor = float(ref[metric.name]) / metric.max_regression
+            if metric.min_ratio is not None:
+                floor = max(floor, metric.min_ratio)
+            if float(row[metric.name]) < floor:
+                note = f"; {metric.note}" if metric.note else ""
+                failures.append(
+                    f"  {label}: {metric.name} {float(row[metric.name]):.2f}x "
+                    f"< allowed floor {floor:.2f}x "
+                    f"(baseline {float(ref[metric.name]):.2f}x{note})"
+                )
+    if failures:
+        print(f"REGRESSION against {baseline_path}:")
+        print("\n".join(failures))
+        return 1
+    if checked == 0:
+        print(
+            f"REGRESSION CHECK INVALID: no grid cell overlaps {baseline_path} — "
+            "the gate would pass vacuously; align the grid with the baseline"
+        )
+        return 1
+    gated = [metric.name for metric in metrics if metric.active]
+    skipped = [
+        f"{metric.name} ({metric.note})" if metric.note else metric.name
+        for metric in metrics
+        if not metric.active
+    ]
+    message = (
+        f"regression check ok: {checked} grid cells pass "
+        f"[{', '.join(gated)}] against {baseline_path.name}"
+    )
+    if skipped:
+        message += f"; skipped gates: {', '.join(skipped)}"
+    print(message)
+    return 0

@@ -33,7 +33,9 @@ True
 
 from . import core, trace
 
-__version__ = "1.0.0"
+#: Package version; kept in sync with ``pyproject.toml`` (a unit test pins
+#: the two equal, so installed metadata and PYTHONPATH checkouts agree).
+__version__ = "1.1.0"
 
 from .core import (
     Aggregate,

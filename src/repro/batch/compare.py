@@ -1,38 +1,28 @@
-"""Cross-trace comparison: partition diffs, deviation deltas, corpus ranking.
+"""Cross-trace comparison and corpus-ranking *reports* (text rendering).
 
-The paper's workflow is comparative — case A against case C, a healthy run
-against a perturbed one.  This module turns two single-trace analysis results
-into one *comparison payload*:
-
-* **partition diff** — aggregates present in both overviews at the matched
-  trade-off ``p`` versus aggregates unique to either side, keyed by their
-  grid footprint ``(leaf_start, leaf_end, slice_start, slice_end)``, with a
-  Jaccard similarity of the two aggregate sets;
-* **deviation delta** — per-resource mean excess blocking occupancy
-  (:func:`repro.analysis.anomaly.deviation_matrix`) of A minus B, for
-  grid-compatible traces, ranked by magnitude;
-* **summary delta** — the partition metrics (size, gain, loss, pIC,
-  complexity reduction, normalized loss, heterogeneity) side by side.
-
-Payloads are canonical-JSON serializable through
-:func:`repro.service.serializer.serialize_payload`, and the same assembly
-code feeds ``repro compare --json`` and the service's ``POST /compare``, so
-the two are byte-identical for the same content and parameters.
-
-The module also builds the **corpus summary** of a batch run: one row per
-trace ranked by *heterogeneity* — aggregates per microscopic cell, i.e. how
-fragmented the optimal overview is.  A homogeneous, well-behaved run
-aggregates into a handful of large blocks (low score); a perturbed or
-imbalanced one needs many small aggregates (high score), which is exactly
-the paper's visual cue lifted to a sortable number.
+The machine-readable payloads — partition diffs keyed by grid footprint with
+Jaccard similarity, per-resource deviation deltas, summary deltas, and the
+corpus heterogeneity ranking — are assembled by
+:mod:`repro.pipeline.payloads` (the single producer feeding ``repro compare
+--json`` / ``POST /compare`` and ``repro batch --json`` / ``POST /batch``,
+byte-identical by construction).  This module re-exports those builders
+under their historical names and renders the payloads as the plain-text
+reports the CLI prints by default.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
-from ..analysis.anomaly import BLOCKING_STATES, deviation_matrix
-from ..core.microscopic import MicroscopicModel
+from ..pipeline.payloads import (
+    BATCH_SCHEMA,
+    COMPARE_SCHEMA,
+    SUMMARY_KEYS as _SUMMARY_KEYS,
+    batch_payload,
+    batch_summary_rows,
+    compare_payload,
+    heterogeneity_score,
+)
 
 __all__ = [
     "COMPARE_SCHEMA",
@@ -45,205 +35,7 @@ __all__ = [
     "batch_report",
 ]
 
-COMPARE_SCHEMA = "repro.compare/1"
-BATCH_SCHEMA = "repro.batch/1"
 
-#: Partition metrics echoed side by side in the summary delta.
-_SUMMARY_KEYS = (
-    "size",
-    "gain",
-    "loss",
-    "pic",
-    "complexity_reduction",
-    "normalized_loss",
-)
-
-
-def heterogeneity_score(payload: Mapping[str, Any]) -> float:
-    """Aggregates per microscopic cell of one analysis payload, in [0, 1].
-
-    ``size / (n_resources * n_slices)``: 0 ≈ one aggregate covers everything
-    (perfectly homogeneous), 1 = no aggregation possible at this ``p``.
-    """
-    model = payload["model"]
-    cells = int(model["n_resources"]) * int(model["n_slices"])
-    return float(payload["partition"]["size"]) / float(cells)
-
-
-def _aggregate_key(entry: Mapping[str, Any]) -> tuple[int, int, int, int]:
-    return (
-        int(entry["leaf_start"]),
-        int(entry["leaf_end"]),
-        int(entry["slice_start"]),
-        int(entry["slice_end"]),
-    )
-
-
-def _partition_diff(
-    payload_a: Mapping[str, Any], payload_b: Mapping[str, Any]
-) -> dict[str, Any]:
-    """Diff the two aggregate sets by grid footprint."""
-    by_key_a = {_aggregate_key(e): e for e in payload_a["partition"]["aggregates"]}
-    by_key_b = {_aggregate_key(e): e for e in payload_b["partition"]["aggregates"]}
-    matched = sorted(set(by_key_a) & set(by_key_b))
-    only_a = sorted(set(by_key_a) - set(by_key_b))
-    only_b = sorted(set(by_key_b) - set(by_key_a))
-    union = len(by_key_a) + len(by_key_b) - len(matched)
-    return {
-        "n_matched": len(matched),
-        "n_only_a": len(only_a),
-        "n_only_b": len(only_b),
-        "jaccard": (len(matched) / union) if union else 1.0,
-        "matched": [dict(by_key_a[key]) for key in matched],
-        "only_a": [dict(by_key_a[key]) for key in only_a],
-        "only_b": [dict(by_key_b[key]) for key in only_b],
-    }
-
-
-def _deviation_delta(
-    model_a: MicroscopicModel,
-    model_b: MicroscopicModel,
-    states: Sequence[str] = BLOCKING_STATES,
-) -> "list[dict[str, Any]]":
-    """Per-resource mean excess blocking of A minus B (grid-compatible only)."""
-    mean_a = deviation_matrix(model_a, states).mean(axis=1)
-    mean_b = deviation_matrix(model_b, states).mean(axis=1)
-    rows = [
-        {
-            "resource": name,
-            "a": float(mean_a[index]),
-            "b": float(mean_b[index]),
-            "delta": float(mean_a[index] - mean_b[index]),
-        }
-        for index, name in enumerate(model_a.hierarchy.leaf_names)
-    ]
-    rows.sort(key=lambda row: (-abs(row["delta"]), row["resource"]))
-    return rows
-
-
-def _summary_delta(
-    payload_a: Mapping[str, Any], payload_b: Mapping[str, Any]
-) -> dict[str, Any]:
-    part_a, part_b = payload_a["partition"], payload_b["partition"]
-    delta: dict[str, Any] = {}
-    for key in _SUMMARY_KEYS:
-        a, b = float(part_a[key]), float(part_b[key])
-        delta[key] = {"a": a, "b": b, "delta": a - b}
-    het_a, het_b = heterogeneity_score(payload_a), heterogeneity_score(payload_b)
-    delta["heterogeneity"] = {"a": het_a, "b": het_b, "delta": het_a - het_b}
-    delta["n_phases"] = {
-        "a": len(payload_a["phases"]),
-        "b": len(payload_b["phases"]),
-        "delta": len(payload_a["phases"]) - len(payload_b["phases"]),
-    }
-    delta["n_anomalies"] = {
-        "a": len(payload_a["anomalies"]),
-        "b": len(payload_b["anomalies"]),
-        "delta": len(payload_a["anomalies"]) - len(payload_b["anomalies"]),
-    }
-    return delta
-
-
-def compare_payload(
-    name_a: str,
-    payload_a: Mapping[str, Any],
-    model_a: MicroscopicModel,
-    name_b: str,
-    payload_b: Mapping[str, Any],
-    model_b: MicroscopicModel,
-    params: Mapping[str, Any],
-) -> dict[str, Any]:
-    """Assemble the machine-readable comparison of two analysis results.
-
-    ``payload_a`` / ``payload_b`` are the single-trace analysis payloads
-    (the exact ``repro analyze --json`` dicts) the comparison is derived
-    from; ``model_a`` / ``model_b`` their microscopic models (needed for the
-    deviation matrices).  The partition diff is always computed (the key
-    space is the common grid footprint); the per-resource deviation delta
-    requires grid-compatible traces (same resource names, same slice count)
-    and is ``None`` otherwise.
-    """
-    same_resources = (
-        list(model_a.hierarchy.leaf_names) == list(model_b.hierarchy.leaf_names)
-    )
-    same_slices = model_a.n_slices == model_b.n_slices
-    deviation = (
-        _deviation_delta(model_a, model_b) if same_resources and same_slices else None
-    )
-    return {
-        "schema": COMPARE_SCHEMA,
-        "params": dict(params),
-        "a": {"name": name_a, "trace": dict(payload_a["trace"])},
-        "b": {"name": name_b, "trace": dict(payload_b["trace"])},
-        "comparable": {
-            "same_resources": same_resources,
-            "same_slices": same_slices,
-            "same_states": list(model_a.states.names) == list(model_b.states.names),
-        },
-        "partition_diff": _partition_diff(payload_a, payload_b),
-        "deviation_delta": deviation,
-        "summary_delta": _summary_delta(payload_a, payload_b),
-    }
-
-
-# --------------------------------------------------------------------------- #
-# Corpus summary (batch ranking)
-# --------------------------------------------------------------------------- #
-def batch_summary_rows(results: Mapping[str, Mapping[str, Any]]) -> "list[dict[str, Any]]":
-    """One ranking row per analyzed trace, most heterogeneous first.
-
-    Ties (identical heterogeneity) fall back to the trace name, so the
-    ranking — and therefore the serialized batch payload — is deterministic.
-    """
-    rows = []
-    for name, payload in results.items():
-        partition = payload["partition"]
-        rows.append(
-            {
-                "name": name,
-                "digest": payload["trace"]["digest"],
-                "n_intervals": payload["trace"]["n_intervals"],
-                "n_resources": payload["model"]["n_resources"],
-                "n_slices": payload["model"]["n_slices"],
-                "size": partition["size"],
-                "pic": partition["pic"],
-                "normalized_loss": partition["normalized_loss"],
-                "complexity_reduction": partition["complexity_reduction"],
-                "heterogeneity": heterogeneity_score(payload),
-                "n_anomalies": len(payload["anomalies"]),
-            }
-        )
-    rows.sort(key=lambda row: (-row["heterogeneity"], row["name"]))
-    for rank, row in enumerate(rows, start=1):
-        row["rank"] = rank
-    return rows
-
-
-def batch_payload(
-    results: Mapping[str, Mapping[str, Any]],
-    params: Mapping[str, Any],
-    errors: "Sequence[Mapping[str, Any]] | None" = None,
-) -> dict[str, Any]:
-    """The machine-readable result of one corpus batch run."""
-    payload: dict[str, Any] = {
-        "schema": BATCH_SCHEMA,
-        "params": dict(params),
-        "corpus": {
-            "n_traces": len(results) + len(errors or ()),
-            "n_analyzed": len(results),
-            "n_failed": len(errors or ()),
-        },
-        "results": {name: dict(results[name]) for name in sorted(results)},
-        "summary": batch_summary_rows(results),
-    }
-    if errors:
-        payload["errors"] = [dict(error) for error in errors]
-    return payload
-
-
-# --------------------------------------------------------------------------- #
-# Human-readable reports
-# --------------------------------------------------------------------------- #
 def compare_report(payload: Mapping[str, Any]) -> str:
     """Plain-text rendering of a comparison payload (CLI default output)."""
     a, b = payload["a"], payload["b"]

@@ -3,13 +3,15 @@
 :func:`run_batch` analyzes every member of a :class:`~repro.batch.Corpus`
 with the same parameters — one shard per trace, distributed over a process
 pool when ``jobs > 1`` — and returns the per-trace analysis payloads plus
-the corpus ranking of :func:`~repro.batch.compare.batch_payload`.
+the corpus ranking of :func:`~repro.pipeline.payloads.batch_payload`.
 
-Per-trace payloads are assembled by the exact code path behind
-``repro analyze --json`` / ``POST /analyze`` (:func:`analyze_entry`), so a
-batch run over a corpus is byte-identical to analyzing each member
-individually.  Store-backed members go through
-:meth:`~repro.store.TraceStore.model`, i.e. they *reuse the engine's
+Per-trace payloads are produced by the pipeline's one-shot path
+(:func:`~repro.pipeline.executor.analyze_source` through
+:mod:`repro.pipeline.payloads`) — the exact code behind
+``repro analyze --json`` / ``POST /analyze`` — so a batch run over a corpus
+is byte-identical to analyzing each member individually, by construction.
+Store-backed members resolve through
+:class:`~repro.pipeline.resolver.StoreSource`, i.e. they *reuse the engine's
 persisted model caches* — a corpus of converted stores skips CSV parsing and
 model construction entirely and spends its time in the dynamic program.
 
@@ -29,10 +31,10 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core.microscopic import MicroscopicModel
-from ..service.serializer import analysis_payload, run_analysis, trace_summary
-from ..store.format import trace_digest
-from ..store.store import TraceStore
-from .compare import batch_payload
+from ..pipeline.executor import analyze_source
+from ..pipeline.payloads import batch_payload
+from ..pipeline.requests import AnalysisRequest, BatchRequest
+from ..pipeline.resolver import as_source
 from .corpus import Corpus, CorpusEntry
 
 __all__ = [
@@ -43,9 +45,6 @@ __all__ = [
     "analyze_entry",
     "run_batch",
 ]
-
-#: Operators a batch run accepts (mirrors ``repro analyze --operator``).
-_OPERATORS = ("mean", "sum")
 
 
 class BatchWorkerError(RuntimeError):
@@ -92,23 +91,9 @@ def analysis_params(
     p: float, slices: int, operator: str, anomaly_threshold: float
 ) -> dict[str, Any]:
     """The canonical ``params`` echo shared with ``repro analyze --json``."""
-    return {
-        "p": p,
-        "slices": slices,
-        "operator": operator,
-        "anomaly_threshold": anomaly_threshold,
-    }
-
-
-def _validate(p: float, slices: int, operator: str, jobs: int) -> None:
-    if not 0.0 <= p <= 1.0:
-        raise ValueError(f"p must be in [0, 1], got {p}")
-    if slices < 1:
-        raise ValueError(f"slices must be at least 1, got {slices}")
-    if operator not in _OPERATORS:
-        raise ValueError(f"unknown operator {operator!r}; expected one of {list(_OPERATORS)}")
-    if jobs < 1:
-        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    return AnalysisRequest(
+        p=p, slices=slices, operator=operator, anomaly_threshold=anomaly_threshold
+    ).params()
 
 
 def analyze_entry(
@@ -120,42 +105,20 @@ def analyze_entry(
 ) -> "tuple[dict[str, Any], MicroscopicModel]":
     """Analyze one corpus member; returns ``(payload, model)``.
 
-    The payload is byte-for-byte the ``repro analyze --json`` report of the
+    A thin adapter over :func:`repro.pipeline.executor.analyze_source`: the
+    payload is byte-for-byte the ``repro analyze --json`` report of the
     member at the same parameters (after canonical serialization).  The
     model is returned alongside for comparison consumers
-    (:func:`~repro.batch.compare.compare_payload`).
+    (:func:`~repro.pipeline.payloads.compare_payload`).
     """
-    source = entry.load()
-    if isinstance(source, TraceStore):
-        model = source.model(slices)
-        summary = trace_summary(
-            source.digest,
-            source.n_intervals,
-            source.hierarchy.n_leaves,
-            len(source.states),
-            source.start,
-            source.end,
-            source.metadata,
-            generation=source.generation,
-        )
-    else:
-        model = MicroscopicModel.from_trace(source, n_slices=slices)
-        summary = trace_summary(
-            trace_digest(source),
-            source.n_intervals,
-            source.hierarchy.n_leaves,
-            len(source.states),
-            source.start,
-            source.end,
-            source.metadata,
-        )
-    result = run_analysis(
-        model, p, operator=operator, anomaly_threshold=anomaly_threshold
+    source = as_source(entry.load())
+    outcome = analyze_source(
+        source,
+        AnalysisRequest(
+            p=p, slices=slices, operator=operator, anomaly_threshold=anomaly_threshold
+        ),
     )
-    payload = analysis_payload(
-        summary, result, analysis_params(p, slices, operator, anomaly_threshold)
-    )
-    return payload, model
+    return outcome.payload(), outcome.model
 
 
 def _batch_worker(
@@ -187,8 +150,13 @@ def run_batch(
     runs produce identical payloads — workers are pure functions of
     ``(entry, params)``.
     """
-    _validate(p, slices, operator, jobs)
-    params = analysis_params(p, slices, operator, anomaly_threshold)
+    request = BatchRequest(
+        p=p, slices=slices, operator=operator,
+        anomaly_threshold=anomaly_threshold, jobs=jobs,
+    ).validated()
+    p, slices, operator = request.p, request.slices, request.operator
+    anomaly_threshold, jobs = request.anomaly_threshold, request.jobs
+    params = request.member_request().params()
     results: dict[str, dict[str, Any]] = {}
     failures: list[BatchTraceFailure] = []
 

@@ -1,12 +1,13 @@
-"""Command-line interface.
+"""Command-line interface: thin adapters over :mod:`repro.pipeline`.
 
 Seven subcommands cover the typical workflow without writing Python:
 
 * ``simulate`` — run one of the paper's scenarios (cases A–D, optionally
   scaled down) and write the trace as a CSV file;
-* ``analyze`` — read a trace (CSV or ``.rtz`` store), build the microscopic
-  model, run the spatiotemporal aggregation and print the analysis report
-  as text or, with ``--json``, as the service's machine-readable payload;
+* ``analyze`` — read a trace (CSV, Pajé or ``.rtz`` store), build the
+  microscopic model, run the spatiotemporal aggregation and print the
+  analysis report as text or, with ``--json``, as the service's
+  machine-readable payload;
 * ``batch`` — analyze every trace of a *corpus* (a directory or manifest of
   stores and trace files), fanning one shard per trace over a process pool
   (``--jobs``), and print the corpus summary ranked by heterogeneity;
@@ -21,13 +22,21 @@ Seven subcommands cover the typical workflow without writing Python:
   (``GET /traces``, ``POST /analyze``, ``POST /sweep``, ``POST /append``,
   ``POST /batch``, ``POST /compare``, ``GET /health``); traces are pinned
   explicitly and/or served lazily from a corpus (``--corpus``) behind an
-  LRU bound (``--max-sessions``).
+  LRU bound (``--max-sessions``); SIGTERM/SIGINT shut the server down
+  gracefully (in-flight requests drain, sessions are released).
+
+Every query-shaped command builds a typed request
+(:class:`~repro.pipeline.requests.AnalysisRequest` and friends), resolves
+its traces through :func:`~repro.pipeline.resolver.resolve_path`, and lets
+the pipeline executor and :mod:`repro.pipeline.payloads` do the work — the
+CLI owns flag parsing and error phrasing, nothing else.
 
 Usage::
 
     python -m repro simulate --case A --processes 32 --output case_a.csv
     python -m repro analyze case_a.csv --slices 30 -p 0.7 --svg overview.svg
     python -m repro analyze case_a.csv --slices 30 --window last:6
+    python -m repro analyze case_a.csv --operator max --json
     python -m repro batch runs/ --jobs 4 --output reports/
     python -m repro compare case_a.rtz case_c.rtz --json
     python -m repro convert case_a.csv case_a.rtz --model-slices 30,60
@@ -44,11 +53,11 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from .analysis import detect_deviating_cells, detect_phases, overview_report
-from .core import MicroscopicModel, SpatiotemporalAggregator
+from .analysis import overview_report
 from .core.hierarchy import HierarchyError
-from .core.spatiotemporal import AggregationWorkerError
 from .core.microscopic import MicroscopicModelError
+from .core.operators import available_operators
+from .core.spatiotemporal import AggregationWorkerError
 from .core.timeslicing import TimeSlicingError
 from .simulation import case_a, case_b, case_c, case_d, run_scenario
 from .trace import read_csv, write_csv, write_metadata
@@ -61,6 +70,19 @@ __all__ = ["main", "build_parser"]
 
 _CASE_FACTORIES = {"A": case_a, "B": case_b, "C": case_c, "D": case_d}
 
+#: CLI phrasing for shared-validator failures, keyed by the offending field.
+_FLAG_ERROR_TEXT = {
+    "p": "-p must be in [0, 1]",
+    "slices": "--slices must be at least 1",
+    "jobs": "--jobs must be at least 1",
+}
+
+
+def _package_version() -> str:
+    from .pipeline.payloads import package_version
+
+    return package_version()
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
@@ -68,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Spatiotemporal aggregation of execution traces (CLUSTER 2014 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}",
+        help="print the package version and exit",
+    )
+    operators = list(available_operators())
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     simulate = subparsers.add_parser(
@@ -86,14 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="optional JSON side-car file for the run metadata")
 
     analyze = subparsers.add_parser(
-        "analyze", help="aggregate a trace CSV and print the analysis report"
+        "analyze", help="aggregate a trace and print the analysis report"
     )
-    analyze.add_argument("trace", help="CSV trace file (written by 'simulate' or write_csv)")
+    analyze.add_argument("trace", help="trace to analyze (CSV, Paje or .rtz store)")
     analyze.add_argument("--slices", type=int, default=30,
                          help="number of microscopic time slices (default: 30, as in the paper)")
     analyze.add_argument("-p", "--parameter", type=float, default=0.7,
                          help="gain/loss trade-off in [0, 1] (default: 0.7)")
-    analyze.add_argument("--operator", choices=["mean", "sum"], default="mean",
+    analyze.add_argument("--operator", choices=operators, default="mean",
                          help="aggregation operator (default: the paper's mean operator)")
     analyze.add_argument("--svg", default=None, help="write an SVG overview to this path")
     analyze.add_argument("--ascii", action="store_true", help="print an ASCII overview")
@@ -123,7 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="gain/loss trade-off in [0, 1] (default: 0.7)")
     batch.add_argument("--slices", type=int, default=30,
                        help="number of microscopic time slices (default: 30)")
-    batch.add_argument("--operator", choices=["mean", "sum"], default="mean",
+    batch.add_argument("--operator", choices=operators, default="mean",
                        help="aggregation operator (default: mean)")
     batch.add_argument("--anomaly-threshold", type=float, default=0.1,
                        help="excess blocking proportion flagged as anomalous (default: 0.1)")
@@ -145,7 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="gain/loss trade-off in [0, 1] (default: 0.7)")
     compare.add_argument("--slices", type=int, default=30,
                          help="number of microscopic time slices (default: 30)")
-    compare.add_argument("--operator", choices=["mean", "sum"], default="mean",
+    compare.add_argument("--operator", choices=operators, default="mean",
                          help="aggregation operator (default: mean)")
     compare.add_argument("--anomaly-threshold", type=float, default=0.1,
                          help="excess blocking proportion flagged as anomalous (default: 0.1)")
@@ -220,18 +247,16 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_trace_argument(path_text: str) -> "Trace | int":
-    """Load a trace argument (CSV file or ``.rtz`` store) as a :class:`Trace`.
+def _resolve_trace_argument(path_text: str) -> "object | int":
+    """Resolve a trace argument into a pipeline :class:`TraceSource`.
 
-    Returns the trace on success, an exit code on failure (after printing
+    Returns the source on success, an exit code on failure (after printing
     the error).
     """
-    from .store import is_store, open_store
+    from .pipeline import resolve_path
 
     try:
-        if is_store(path_text):
-            return open_store(path_text).load_trace()
-        return read_csv(path_text)
+        return resolve_path(path_text)
     except FileNotFoundError:
         print(f"error: trace file not found: {path_text}", file=sys.stderr)
         return 2
@@ -243,155 +268,97 @@ def _load_trace_argument(path_text: str) -> "Trace | int":
         return 2
 
 
-def _parse_window_argument(text: str) -> "tuple | None":
-    """Parse ``--window`` (``last:K`` or ``T0:T1``) into a window spec.
+def _load_trace_argument(path_text: str) -> "Trace | int":
+    """Load a trace argument fully into memory (convert/serve consumers)."""
+    source = _resolve_trace_argument(path_text)
+    if isinstance(source, int):
+        return source
+    try:
+        return source.load_trace()  # type: ignore[union-attr]
+    except TraceIOError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
 
-    Returns the normalized spec tuple used by the service layer, or ``None``
-    (after printing an error) when the argument is malformed.
-    """
-    if text.startswith("last:"):
-        try:
-            k = int(text[len("last:"):])
-        except ValueError:
-            print(f"error: invalid --window {text!r}: K must be an integer", file=sys.stderr)
-            return None
-        if k < 1:
-            print("error: --window last:K needs K >= 1", file=sys.stderr)
-            return None
-        return ("last", k)
-    parts = text.split(":")
-    if len(parts) == 2:
-        try:
-            t0, t1 = float(parts[0]), float(parts[1])
-        except ValueError:
-            t0 = t1 = None
-        if t0 is not None and t1 > t0:
-            return ("span", t0, t1)
-    print(
-        f"error: invalid --window {text!r}: expected 'last:K' or 'T0:T1' with T0 < T1",
-        file=sys.stderr,
-    )
-    return None
+
+def _flag_error(exc: "Exception") -> str:
+    """CLI phrasing of a shared-validator RequestError."""
+    field = getattr(exc, "field", None)
+    return _FLAG_ERROR_TEXT.get(field, str(exc))
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
-    from .store import is_store, open_store
+    from .pipeline import (
+        AnalysisRequest,
+        PipelineError,
+        RequestError,
+        WindowSpec,
+        analyze_source,
+    )
 
-    if not 0.0 <= args.parameter <= 1.0:
-        print("error: -p must be in [0, 1]", file=sys.stderr)
-        return 2
-    if args.jobs < 1:
-        print("error: --jobs must be at least 1", file=sys.stderr)
-        return 2
-    if args.slices < 1:
-        print("error: --slices must be at least 1", file=sys.stderr)
+    window = None
+    if args.window:
+        try:
+            window = WindowSpec.parse_text(args.window)
+        except PipelineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        request = AnalysisRequest(
+            p=args.parameter,
+            slices=args.slices,
+            operator=args.operator,
+            anomaly_threshold=args.anomaly_threshold,
+            window=window,
+            jobs=args.jobs,
+        ).validated()
+    except RequestError as exc:
+        print(f"error: {_flag_error(exc)}", file=sys.stderr)
         return 2
     if args.json and args.ascii:
         print("error: --json and --ascii are mutually exclusive", file=sys.stderr)
         return 2
-    window_spec = None
-    if args.window:
-        window_spec = _parse_window_argument(args.window)
-        if window_spec is None:
-            return 2
-    store = None
-    trace: "Trace | None" = None
-    if is_store(args.trace):
-        try:
-            store = open_store(args.trace)
-        except TraceIOError as exc:
-            print(f"error: cannot read trace: {exc}", file=sys.stderr)
-            return 2
-    else:
-        loaded = _load_trace_argument(args.trace)
-        if isinstance(loaded, int):
-            return loaded
-        trace = loaded
+    source = _resolve_trace_argument(args.trace)
+    if isinstance(source, int):
+        return source
     try:
-        if store is not None:
-            # Columnar fast path: cached model (prefix tables included) or a
-            # vectorized discretization — bit-identical to from_trace.
-            model = store.model(args.slices)
-        else:
-            model = MicroscopicModel.from_trace(trace, n_slices=args.slices)
+        outcome = analyze_source(source, request)
     except (MicroscopicModelError, TimeSlicingError) as exc:
         print(f"error: cannot build the microscopic model: {exc}", file=sys.stderr)
         return 2
     except TraceIOError as exc:  # corrupt store discovered on column load
         print(f"error: cannot read trace: {exc}", file=sys.stderr)
         return 2
-    window_section_payload = None
-    if window_spec is not None:
-        # Same resolution code the service uses, so `analyze --window --json`
-        # on a static store matches a windowed POST /analyze at generation 0.
-        from .service.session import ServiceError, resolve_window_bounds, window_section
-
-        try:
-            a, b = resolve_window_bounds(model, window_spec)
-        except ServiceError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        window_section_payload = window_section(model, a, b, window_spec)
-        model = model.window(a, b)
-    aggregator = SpatiotemporalAggregator(model, operator=args.operator, jobs=args.jobs)
-    try:
-        partition = aggregator.run(args.parameter)
+    except PipelineError as exc:  # e.g. a window outside the trace span
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except AggregationWorkerError as exc:
         # A worker process died (OOM kill, segfault): name the trace and exit
         # cleanly instead of dumping the pool's multiprocessing traceback.
         print(f"error: parallel aggregation of {args.trace} failed: {exc}", file=sys.stderr)
         return 2
-    phases = detect_phases(partition, model)
-    anomalies = detect_deviating_cells(model, threshold=args.anomaly_threshold)
     if args.json:
-        from .service import AnalysisResult, analysis_payload, serialize_payload, trace_summary
-        from .store import trace_digest
-
-        if store is not None:
-            summary = trace_summary(
-                store.digest, store.n_intervals, store.hierarchy.n_leaves,
-                len(store.states), store.start, store.end, store.metadata,
-                generation=store.generation,
-            )
-        else:
-            summary = trace_summary(
-                trace_digest(trace), trace.n_intervals, trace.hierarchy.n_leaves,
-                len(trace.states), trace.start, trace.end, trace.metadata,
-            )
-        params = {
-            "p": args.parameter,
-            "slices": args.slices,
-            "operator": args.operator,
-            "anomaly_threshold": args.anomaly_threshold,
-        }
-        if window_spec is not None:
-            if window_spec[0] == "last":
-                params["last_k_slices"] = window_spec[1]
-            else:
-                params["window"] = [window_spec[1], window_spec[2]]
-        payload = analysis_payload(
-            summary,
-            AnalysisResult(partition=partition, phases=phases, anomalies=anomalies),
-            params,
-            window=window_section_payload,
-        )
-        print(serialize_payload(payload))
+        print(outcome.payload_text())
     else:
-        if trace is None:
-            assert store is not None
-            try:
-                trace = store.load_trace()  # the text report quotes interval counts
-            except TraceIOError as exc:
-                print(f"error: cannot read trace: {exc}", file=sys.stderr)
-                return 2
-        print(overview_report(trace, model, partition, phases, anomalies))
+        try:
+            trace = source.load_trace()  # the text report quotes interval counts
+        except TraceIOError as exc:
+            print(f"error: cannot read trace: {exc}", file=sys.stderr)
+            return 2
+        result = outcome.result
+        print(overview_report(
+            trace, outcome.analysis_model, result.partition, result.phases,
+            result.anomalies,
+        ))
         if args.ascii:
             print()
-            print(render_partition_ascii(partition))
+            print(render_partition_ascii(outcome.result.partition))
     if args.svg:
         try:
             save_svg(
-                render_visual_svg(partition, title=f"{args.trace} (p={args.parameter})"),
+                render_visual_svg(
+                    outcome.result.partition,
+                    title=f"{args.trace} (p={args.parameter})",
+                ),
                 args.svg,
             )
         except OSError as exc:
@@ -413,16 +380,18 @@ def _command_batch(args: argparse.Namespace) -> int:
         write_corpus_manifest,
     )
     from .batch.corpus import CorpusError
-    from .service import serialize_payload
+    from .pipeline import BatchRequest, RequestError, serialize_payload
 
-    if not 0.0 <= args.parameter <= 1.0:
-        print("error: -p must be in [0, 1]", file=sys.stderr)
-        return 2
-    if args.slices < 1:
-        print("error: --slices must be at least 1", file=sys.stderr)
-        return 2
-    if args.jobs < 1:
-        print("error: --jobs must be at least 1", file=sys.stderr)
+    try:
+        request = BatchRequest(
+            p=args.parameter,
+            slices=args.slices,
+            operator=args.operator,
+            anomaly_threshold=args.anomaly_threshold,
+            jobs=args.jobs,
+        ).validated()
+    except RequestError as exc:
+        print(f"error: {_flag_error(exc)}", file=sys.stderr)
         return 2
     try:
         corpus = load_corpus(args.corpus)
@@ -440,11 +409,11 @@ def _command_batch(args: argparse.Namespace) -> int:
     try:
         result = run_batch(
             corpus,
-            p=args.parameter,
-            slices=args.slices,
-            operator=args.operator,
-            anomaly_threshold=args.anomaly_threshold,
-            jobs=args.jobs,
+            p=request.p,
+            slices=request.slices,
+            operator=request.operator,
+            anomaly_threshold=request.anomaly_threshold,
+            jobs=request.jobs,
         )
     except BatchWorkerError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -476,17 +445,19 @@ def _command_batch(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    from .batch import analysis_params, analyze_entry, compare_payload, compare_report
+    from .batch import analyze_entry, compare_report
     from .batch.corpus import CorpusError, entry_for_path
-    from .core.microscopic import MicroscopicModelError
-    from .core.timeslicing import TimeSlicingError
-    from .service import serialize_payload
+    from .pipeline import CompareRequest, RequestError, compare_payload, serialize_payload
 
-    if not 0.0 <= args.parameter <= 1.0:
-        print("error: -p must be in [0, 1]", file=sys.stderr)
-        return 2
-    if args.slices < 1:
-        print("error: --slices must be at least 1", file=sys.stderr)
+    try:
+        request = CompareRequest(
+            p=args.parameter,
+            slices=args.slices,
+            operator=args.operator,
+            anomaly_threshold=args.anomaly_threshold,
+        ).validated()
+    except RequestError as exc:
+        print(f"error: {_flag_error(exc)}", file=sys.stderr)
         return 2
     sides = []
     for path_text in (args.trace_a, args.trace_b):
@@ -494,10 +465,10 @@ def _command_compare(args: argparse.Namespace) -> int:
             entry = entry_for_path(path_text)
             payload, model = analyze_entry(
                 entry,
-                p=args.parameter,
-                slices=args.slices,
-                operator=args.operator,
-                anomaly_threshold=args.anomaly_threshold,
+                p=request.p,
+                slices=request.slices,
+                operator=request.operator,
+                anomaly_threshold=request.anomaly_threshold,
             )
         except CorpusError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -512,7 +483,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     payload = compare_payload(
         *sides[0],
         *sides[1],
-        analysis_params(args.parameter, args.slices, args.operator, args.anomaly_threshold),
+        request.side_request().params(),
     )
     if args.json:
         print(serialize_payload(payload))
@@ -614,6 +585,9 @@ def _command_stream(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from .service import AnalysisSession, ServiceError, SessionRegistry, build_server
     from .store import is_store, open_store
 
@@ -661,6 +635,22 @@ def _command_serve(args: argparse.Namespace) -> int:
         return 2
     host, port = server.server_address[:2]
     names = registry.names()
+
+    # Graceful shutdown: SIGTERM/SIGINT stop accepting connections, drain
+    # in-flight requests (bounded), close the listener and release every
+    # registry session — then exit 0.  shutdown() must run off the serving
+    # thread (it blocks until serve_forever returns), hence the helper thread.
+    stopping = threading.Event()
+
+    def _request_shutdown(signum: int, frame: object) -> None:
+        if stopping.is_set():
+            return
+        stopping.set()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _request_shutdown)
+        signal.signal(signal.SIGINT, _request_shutdown)
     print(f"serving {len(names)} trace(s) on http://{host}:{port} "
           f"({', '.join(names)})", flush=True)
     try:
@@ -668,7 +658,11 @@ def _command_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        server.wait_idle()
         server.server_close()
+        registry.close()
+    if stopping.is_set():
+        print("shutdown complete", file=sys.stderr)
     return 0
 
 

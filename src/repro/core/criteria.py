@@ -42,11 +42,28 @@ from .operators import (
     AggregationOperator,
     IntervalSums,
     get_operator,
+    operator_requires,
     pic,
     xlogx,
 )
 
 __all__ = ["IntervalStatistics", "NodePrefixes"]
+
+
+def _running_extrema_table(per_slice: np.ndarray, ufunc: np.ufunc) -> np.ndarray:
+    """``(T, T, X)`` interval extrema of a per-slice ``(T, X)`` array.
+
+    ``table[i, j] = ufunc.reduce(per_slice[i..j])`` via a running accumulate
+    per start row; the lower triangle (``j < i``) is left at zero, matching
+    the masked lower triangles of the sum-based interval tables.  Extrema are
+    exactly associative, so each entry is bit-identical to the scalar
+    ``per_slice[i:j + 1]`` reduction of :meth:`IntervalStatistics.interval_sums_at`.
+    """
+    n_slices, n_states = per_slice.shape
+    table = np.zeros((n_slices, n_slices, n_states))
+    for i in range(n_slices):
+        table[i, i:] = ufunc.accumulate(per_slice[i:], axis=0)
+    return table
 
 
 @dataclass(frozen=True)
@@ -103,6 +120,13 @@ class IntervalStatistics:
         self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._point_cache: dict[tuple[int, int, int], tuple[float, float]] = {}
 
+        # Optional quantities beyond the paper's six sums, supplied only when
+        # the operator's `requires` attribute asks for them (std, max, min).
+        self._requires = frozenset(operator_requires(self._operator))
+        self._prefix_sq: "np.ndarray | None" = None  # (R + 1, T, X) cum rho^2
+        self._sq_prefix_cache: dict[int, np.ndarray] = {}  # per-node (T + 1, X)
+        self._extrema_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
     # ------------------------------------------------------------------ #
     # Accessors
     # ------------------------------------------------------------------ #
@@ -151,15 +175,59 @@ class IntervalStatistics:
         self._prefix_cache[node.index] = prefixes
         return prefixes
 
+    def _node_sq_prefix(self, node: HierarchyNode) -> np.ndarray:
+        """Cached ``(T + 1, X)`` time prefix of ``sum_s rho^2`` for ``node``."""
+        cached = self._sq_prefix_cache.get(node.index)
+        if cached is not None:
+            return cached
+        if self._prefix_sq is None:
+            proportions = self._model.proportions
+            zeros = np.zeros((1,) + proportions.shape[1:])
+            self._prefix_sq = np.concatenate(
+                [zeros, np.cumsum(proportions * proportions, axis=0)]
+            )
+        a, b = node.leaf_start, node.leaf_end
+        per_slice = self._prefix_sq[b] - self._prefix_sq[a]  # (T, X)
+        zeros = np.zeros((1, per_slice.shape[1]))
+        prefix = np.concatenate([zeros, np.cumsum(per_slice, axis=0)])
+        self._sq_prefix_cache[node.index] = prefix
+        return prefix
+
+    def _node_extrema(self, node: HierarchyNode) -> tuple[np.ndarray, np.ndarray]:
+        """Cached per-slice ``(max, min)`` of ``rho`` over ``node``'s leaves.
+
+        Two ``(T, X)`` arrays.  Extrema are not prefix-summable, but they are
+        exactly associative (the maximum of an area is the maximum of its
+        per-slice maxima), so the scalar point path and the running-extrema
+        table path below are bit-identical by construction.
+        """
+        cached = self._extrema_cache.get(node.index)
+        if cached is not None:
+            return cached
+        a, b = node.leaf_start, node.leaf_end
+        props = self._model.proportions[a:b]
+        extrema = (props.max(axis=0), props.min(axis=0))
+        self._extrema_cache[node.index] = extrema
+        return extrema
+
     def interval_sums_at(self, node: HierarchyNode, i: int, j: int) -> IntervalSums:
         """Pre-reduced quantities of the single aggregate ``(node, T_(i,j))``.
 
-        O(1): every field is the difference of two prefix-table rows.  The
+        O(1): every field is the difference of two prefix-table rows (the
+        optional extrema fields of min/max operators are O(|T_(i,j)|)).  The
         per-state arrays have shape ``(X,)``.
         """
         self._check_interval(i, j)
         prefixes = self.node_prefixes(node)
         cumulative = self._cumulative_slice_durations
+        extras: dict[str, np.ndarray] = {}
+        if "sum_sq_rho" in self._requires:
+            sq = self._node_sq_prefix(node)
+            extras["sum_sq_rho"] = sq[j + 1] - sq[i]
+        if "minmax_rho" in self._requires:
+            per_max, per_min = self._node_extrema(node)
+            extras["max_rho"] = per_max[i : j + 1].max(axis=0)
+            extras["min_rho"] = per_min[i : j + 1].min(axis=0)
         return IntervalSums(
             sum_durations=prefixes.durations[j + 1] - prefixes.durations[i],
             total_duration=cumulative[j + 1] - cumulative[i],
@@ -167,6 +235,7 @@ class IntervalStatistics:
             sum_rho=prefixes.rho[j + 1] - prefixes.rho[i],
             sum_rho_log_rho=prefixes.rho_log_rho[j + 1] - prefixes.rho_log_rho[i],
             n_cells=node.n_leaves * (j - i + 1),
+            **extras,
         )
 
     def interval_sums(self, node: HierarchyNode) -> IntervalSums:
@@ -183,6 +252,13 @@ class IntervalStatistics:
             # table[i, j] = prefix[j + 1] - prefix[i]
             return prefix[None, 1:, :] - prefix[:-1, None, :]
 
+        extras: dict[str, np.ndarray] = {}
+        if "sum_sq_rho" in self._requires:
+            extras["sum_sq_rho"] = interval_table(self._node_sq_prefix(node))
+        if "minmax_rho" in self._requires:
+            per_max, per_min = self._node_extrema(node)
+            extras["max_rho"] = _running_extrema_table(per_max, np.maximum)
+            extras["min_rho"] = _running_extrema_table(per_min, np.minimum)
         return IntervalSums(
             sum_durations=interval_table(prefixes.durations),
             total_duration=self._interval_durations,
@@ -190,6 +266,7 @@ class IntervalStatistics:
             sum_rho=interval_table(prefixes.rho),
             sum_rho_log_rho=interval_table(prefixes.rho_log_rho),
             n_cells=node.n_leaves * self._interval_lengths,
+            **extras,
         )
 
     # ------------------------------------------------------------------ #

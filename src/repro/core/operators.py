@@ -1,4 +1,4 @@
-"""Aggregation operators and information measures (Section III.B-C).
+"""Aggregation operators, their registry, and information measures (Section III.B-C).
 
 Aggregating a spatiotemporal area ``(S_k, T_(i,j))`` replaces its microscopic
 cells by a single macro value per state and quantifies two effects:
@@ -10,28 +10,50 @@ cells by a single macro value per state and quantifies two effects:
 The parametrized information criterion (Eq. 4) is
 ``pIC = p * gain - (1 - p) * loss``.
 
-Two operators are provided:
+Operators are looked up by name through a **registry**
+(:func:`register_operator` / :func:`available_operators` /
+:func:`get_operator`), which is the single source of the operator vocabulary
+exposed by ``repro analyze --operator``, ``repro batch``, ``POST /analyze``
+and ``POST /sweep``.  Five operators ship built in:
 
-* :class:`MeanOperator` implements Eq. 1-3 *exactly as written in the paper*:
-  the aggregated proportion is the duration-weighted resource-averaged
-  proportion.  (With this convention the gain of a heterogeneous area can be
-  slightly negative; the paper keeps the formulas simple and so do we.)
-* :class:`SumOperator` implements the canonical Lamarche-Perrin criterion used
-  by the earlier Viva / temporal-Ocelotl work, where the macro value is the
-  *sum* of microscopic values; its gain is always non-negative and
-  superadditive, and its loss compares the microscopic distribution with a
-  uniform redistribution of the sum.
+* :class:`MeanOperator` (``mean``) implements Eq. 1-3 *exactly as written in
+  the paper*: the aggregated proportion is the duration-weighted
+  resource-averaged proportion.  (With this convention the gain of a
+  heterogeneous area can be slightly negative; the paper keeps the formulas
+  simple and so do we.)
+* :class:`SumOperator` (``sum``) implements the canonical Lamarche-Perrin
+  criterion used by the earlier Viva / temporal-Ocelotl work, where the macro
+  value is the *sum* of microscopic values; its gain is always non-negative
+  and superadditive, and its loss compares the microscopic distribution with
+  a uniform redistribution of the sum.
+* :class:`MaxOperator` / :class:`MinOperator` (``max`` / ``min``) summarize an
+  area by its per-state extreme proportion — the "worst/best cell wins" view
+  an analyst uses to hunt stragglers and idle pockets.  Gain follows the
+  Eq. 3 template with the extreme substituted as the macro value; the loss
+  is the **magnitude** of the Eq. 2 log-likelihood mismatch (a KL divergence
+  only represents a mean, so the raw mismatch would be structurally signed
+  for an extreme) — non-negative, zero iff the area is homogeneous.
+* :class:`StdOperator` (``std``) summarizes an area by the per-state
+  population standard deviation of its microscopic proportions — a direct
+  heterogeneity lens: homogeneous areas collapse to ~0, noisy ones stand
+  out.  Loss uses the same magnitude convention as ``max``/``min``.
 
-Both operators work on pre-reduced interval sums so that the whole
-``(i, j)`` triangular table of a node is evaluated in one vectorized call.
+Most operators work on pre-reduced interval *sums* so that the whole
+``(i, j)`` triangular table of a node is evaluated in one vectorized call;
+operators that need more than sums declare it via their ``requires``
+attribute and the statistics engine supplies the matching
+:class:`IntervalSums` fields (sum of squares for ``std``, running extrema for
+``max``/``min``), computed so that the scalar O(1) point path and the
+broadcast table path stay bit-for-bit identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Any, Callable, Dict, Optional, Protocol, Tuple, Union, runtime_checkable
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "xlogx",
@@ -39,12 +61,22 @@ __all__ = [
     "AggregationOperator",
     "MeanOperator",
     "SumOperator",
+    "MaxOperator",
+    "MinOperator",
+    "StdOperator",
     "IntervalSums",
+    "register_operator",
+    "available_operators",
     "get_operator",
+    "pic",
 ]
 
+#: Alias for the float arrays flowing through the operators; the dtype is
+#: always float64 but the shapes vary (scalar, (X,), (T, T, X), ...).
+FloatArray = npt.NDArray[np.float64]
 
-def xlogx(values: np.ndarray | float) -> np.ndarray | float:
+
+def xlogx(values: Union[FloatArray, float]) -> Union[FloatArray, float]:
     """``v * log2(v)`` with the convention ``0 * log2(0) = 0``.
 
     Negative inputs (which can only arise from floating-point noise) are
@@ -59,7 +91,7 @@ def xlogx(values: np.ndarray | float) -> np.ndarray | float:
     return result
 
 
-def safe_log2(values: np.ndarray) -> np.ndarray:
+def safe_log2(values: FloatArray) -> FloatArray:
     """``log2(v)`` where ``v > 0`` and ``0`` elsewhere (callers must guard usage)."""
     arr = np.asarray(values, dtype=float)
     result = np.zeros_like(arr)
@@ -73,8 +105,10 @@ class IntervalSums:
     """Pre-reduced quantities of one or many spatiotemporal areas.
 
     Every array is broadcastable; the last axis is the state axis ``X`` for
-    the per-state quantities.  These are exactly the intermediary data listed
-    in the paper's "Data Input" paragraph.
+    the per-state quantities.  The first six fields are exactly the
+    intermediary data listed in the paper's "Data Input" paragraph; the
+    optional tail fields are supplied by the statistics engine only when the
+    operator's ``requires`` attribute asks for them.
 
     Attributes
     ----------
@@ -90,34 +124,88 @@ class IntervalSums:
         ``sum_{(s,t)} rho_x(s, t) log2 rho_x(s, t)`` — shape ``(..., X)``.
     n_cells:
         number of microscopic cells ``|S_k| * |T_(i,j)|`` — shape ``(...)``.
+    sum_sq_rho:
+        ``sum_{(s,t)} rho_x(s, t)^2`` — shape ``(..., X)``; present when the
+        operator requires ``"sum_sq_rho"`` (the ``std`` operator).
+    max_rho:
+        ``max_{(s,t)} rho_x(s, t)`` — shape ``(..., X)``; present when the
+        operator requires ``"minmax_rho"``.
+    min_rho:
+        ``min_{(s,t)} rho_x(s, t)`` — shape ``(..., X)``; present when the
+        operator requires ``"minmax_rho"``.
     """
 
-    sum_durations: np.ndarray
-    total_duration: np.ndarray
-    n_resources: np.ndarray | int
-    sum_rho: np.ndarray
-    sum_rho_log_rho: np.ndarray
-    n_cells: np.ndarray | int
+    sum_durations: FloatArray
+    total_duration: FloatArray
+    n_resources: Union[FloatArray, int]
+    sum_rho: FloatArray
+    sum_rho_log_rho: FloatArray
+    n_cells: Union[FloatArray, int]
+    sum_sq_rho: Optional[FloatArray] = None
+    max_rho: Optional[FloatArray] = None
+    min_rho: Optional[FloatArray] = None
 
 
+@runtime_checkable
 class AggregationOperator(Protocol):
-    """Interface shared by the aggregation operators."""
+    """Interface shared by the aggregation operators.
+
+    ``requires`` names the optional :class:`IntervalSums` fields the operator
+    reads beyond the paper's six sums (``"sum_sq_rho"``, ``"minmax_rho"``);
+    the statistics engine only materializes what is asked for.
+    """
 
     name: str
+    requires: Tuple[str, ...]
 
-    def macro_proportions(self, sums: IntervalSums) -> np.ndarray:
+    def macro_proportions(self, sums: IntervalSums) -> FloatArray:
         """Aggregated per-state value ``rho_x(S_k, T_(i,j))`` — shape ``(..., X)``."""
+        ...
 
-    def gain_loss(self, sums: IntervalSums) -> tuple[np.ndarray, np.ndarray]:
+    def gain_loss(self, sums: IntervalSums) -> Tuple[FloatArray, FloatArray]:
         """Per-area gain and loss, summed over states — both of shape ``(...)``."""
+        ...
+
+
+def _representative_gain_loss(
+    macro: FloatArray, sums: IntervalSums, absolute_loss: bool = False
+) -> Tuple[FloatArray, FloatArray]:
+    """Eq. 3 (gain) and Eq. 2 (loss) with ``macro`` as the aggregated value.
+
+    Shared by every operator whose macro value *represents* the microscopic
+    proportions (mean, max, min, std): the gain compares the entropy of the
+    macro value with the summed microscopic entropy, the loss measures the
+    log-likelihood mismatch ``sum rho (log rho - log macro)`` between the
+    microscopic values and the representative.  When the macro value is zero
+    and every microscopic value is zero too, both terms must vanish.
+
+    For the mean operator the mismatch is a KL divergence and therefore
+    non-negative by Gibbs' inequality.  For other representatives (max, min,
+    std) its sign is structural, not informational — e.g. ``rho <= max``
+    makes every term non-positive — so those operators pass
+    ``absolute_loss=True`` to take the *magnitude* of the mismatch: a loss
+    that is zero iff every cell equals the representative and positive
+    otherwise, keeping ``loss >= 0`` (and the pIC trade-off meaningful) for
+    every registered operator.
+    """
+    log_macro = safe_log2(macro)
+    gain_per_state = xlogx(macro) - sums.sum_rho_log_rho
+    loss_per_state = sums.sum_rho_log_rho - sums.sum_rho * log_macro
+    dead = (macro <= 0) & (sums.sum_rho <= 0)
+    gain_per_state = np.where(dead, 0.0, gain_per_state)
+    loss_per_state = np.where(dead, 0.0, loss_per_state)
+    if absolute_loss:
+        loss_per_state = np.abs(loss_per_state)
+    return gain_per_state.sum(axis=-1), loss_per_state.sum(axis=-1)
 
 
 class MeanOperator:
     """Paper operator (Eq. 1-3): the macro value is the averaged proportion."""
 
     name = "mean"
+    requires: Tuple[str, ...] = ()
 
-    def macro_proportions(self, sums: IntervalSums) -> np.ndarray:
+    def macro_proportions(self, sums: IntervalSums) -> FloatArray:
         """Eq. 1: duration-weighted proportion averaged over the resources."""
         denominator = np.asarray(sums.n_resources, dtype=float) * np.asarray(
             sums.total_duration, dtype=float
@@ -125,30 +213,22 @@ class MeanOperator:
         denominator = np.where(denominator > 0, denominator, 1.0)
         return np.asarray(sums.sum_durations, dtype=float) / denominator[..., None]
 
-    def gain_loss(self, sums: IntervalSums) -> tuple[np.ndarray, np.ndarray]:
+    def gain_loss(self, sums: IntervalSums) -> Tuple[FloatArray, FloatArray]:
         """Eq. 3 (gain) and Eq. 2 (loss), summed over the state axis."""
-        rho_macro = self.macro_proportions(sums)
-        log_macro = safe_log2(rho_macro)
-        gain_per_state = xlogx(rho_macro) - sums.sum_rho_log_rho
-        loss_per_state = sums.sum_rho_log_rho - sums.sum_rho * log_macro
-        # When the macro value is zero every microscopic value is zero too and
-        # both terms must vanish.
-        zero_macro = rho_macro <= 0
-        gain_per_state = np.where(zero_macro & (sums.sum_rho <= 0), 0.0, gain_per_state)
-        loss_per_state = np.where(zero_macro & (sums.sum_rho <= 0), 0.0, loss_per_state)
-        return gain_per_state.sum(axis=-1), loss_per_state.sum(axis=-1)
+        return _representative_gain_loss(self.macro_proportions(sums), sums)
 
 
 class SumOperator:
     """Canonical Lamarche-Perrin operator: the macro value is the summed proportion."""
 
     name = "sum"
+    requires: Tuple[str, ...] = ()
 
-    def macro_proportions(self, sums: IntervalSums) -> np.ndarray:
+    def macro_proportions(self, sums: IntervalSums) -> FloatArray:
         """The aggregated value is simply ``sum_{(s,t)} rho_x(s, t)``."""
         return np.asarray(sums.sum_rho, dtype=float)
 
-    def gain_loss(self, sums: IntervalSums) -> tuple[np.ndarray, np.ndarray]:
+    def gain_loss(self, sums: IntervalSums) -> Tuple[FloatArray, FloatArray]:
         """Entropy gain and KL loss against a uniform redistribution of the sum."""
         total = np.asarray(sums.sum_rho, dtype=float)
         n_cells = np.asarray(sums.n_cells, dtype=float)
@@ -162,28 +242,142 @@ class SumOperator:
         return gain_per_state.sum(axis=-1), loss_per_state.sum(axis=-1)
 
 
-_OPERATORS: dict[str, type] = {"mean": MeanOperator, "sum": SumOperator}
+class MaxOperator:
+    """The macro value is the per-state maximum proportion over the area's cells."""
+
+    name = "max"
+    requires: Tuple[str, ...] = ("minmax_rho",)
+
+    def macro_proportions(self, sums: IntervalSums) -> FloatArray:
+        """``max_{(s,t) in area} rho_x(s, t)`` per state."""
+        if sums.max_rho is None:
+            raise ValueError("the 'max' operator needs IntervalSums.max_rho")
+        return np.asarray(sums.max_rho, dtype=float)
+
+    def gain_loss(self, sums: IntervalSums) -> Tuple[FloatArray, FloatArray]:
+        """Eq. 2-3 template with the maximum as the representative value.
+
+        The loss is the magnitude of the log-likelihood mismatch (see
+        :func:`_representative_gain_loss`): non-negative, zero iff every
+        cell already equals the representative.
+        """
+        return _representative_gain_loss(self.macro_proportions(sums), sums, absolute_loss=True)
 
 
-def get_operator(name_or_operator: "str | AggregationOperator | None") -> AggregationOperator:
-    """Resolve an operator from a name, an instance, or ``None`` (paper default)."""
+class MinOperator:
+    """The macro value is the per-state minimum proportion over the area's cells."""
+
+    name = "min"
+    requires: Tuple[str, ...] = ("minmax_rho",)
+
+    def macro_proportions(self, sums: IntervalSums) -> FloatArray:
+        """``min_{(s,t) in area} rho_x(s, t)`` per state."""
+        if sums.min_rho is None:
+            raise ValueError("the 'min' operator needs IntervalSums.min_rho")
+        return np.asarray(sums.min_rho, dtype=float)
+
+    def gain_loss(self, sums: IntervalSums) -> Tuple[FloatArray, FloatArray]:
+        """Eq. 2-3 template with the minimum as the representative value.
+
+        The loss is the magnitude of the log-likelihood mismatch (see
+        :func:`_representative_gain_loss`): non-negative, zero iff every
+        cell already equals the representative.
+        """
+        return _representative_gain_loss(self.macro_proportions(sums), sums, absolute_loss=True)
+
+
+class StdOperator:
+    """The macro value is the per-state population standard deviation of the cells."""
+
+    name = "std"
+    requires: Tuple[str, ...] = ("sum_sq_rho",)
+
+    def macro_proportions(self, sums: IntervalSums) -> FloatArray:
+        """``std_{(s,t) in area} rho_x(s, t)`` per state (population convention).
+
+        Computed from the pre-reduced sums as ``sqrt(E[rho^2] - E[rho]^2)``
+        with the (numerically possible) negative variance clipped to zero.
+        """
+        if sums.sum_sq_rho is None:
+            raise ValueError("the 'std' operator needs IntervalSums.sum_sq_rho")
+        n_cells = np.asarray(sums.n_cells, dtype=float)
+        n_cells = np.where(n_cells > 0, n_cells, 1.0)
+        mean = np.asarray(sums.sum_rho, dtype=float) / n_cells[..., None]
+        mean_sq = np.asarray(sums.sum_sq_rho, dtype=float) / n_cells[..., None]
+        return np.sqrt(np.maximum(mean_sq - mean * mean, 0.0))
+
+    def gain_loss(self, sums: IntervalSums) -> Tuple[FloatArray, FloatArray]:
+        """Eq. 2-3 template with the standard deviation as the representative value.
+
+        The loss is the magnitude of the log-likelihood mismatch (see
+        :func:`_representative_gain_loss`): non-negative, zero iff every
+        cell already equals the representative.
+        """
+        return _representative_gain_loss(self.macro_proportions(sums), sums, absolute_loss=True)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, Callable[[], AggregationOperator]] = {}
+
+
+def register_operator(
+    factory: Callable[[], AggregationOperator], name: Optional[str] = None
+) -> Callable[[], AggregationOperator]:
+    """Register an operator factory (usually the class itself) under ``name``.
+
+    ``name`` defaults to the factory's ``name`` class attribute.  Registering
+    a name twice replaces the previous factory, so embedders can override a
+    built-in.  Returns the factory so it can be used as a decorator.
+    """
+    key = name if name is not None else str(getattr(factory, "name"))
+    if not key:
+        raise ValueError("operator name must be a non-empty string")
+    _REGISTRY[key] = factory
+    return factory
+
+
+def available_operators() -> Tuple[str, ...]:
+    """The registered operator names, sorted — the public operator vocabulary."""
+    return tuple(sorted(_REGISTRY))
+
+
+for _factory in (MeanOperator, SumOperator, MaxOperator, MinOperator, StdOperator):
+    register_operator(_factory)
+
+
+def get_operator(
+    name_or_operator: Union[str, AggregationOperator, None],
+) -> AggregationOperator:
+    """Resolve an operator from a registry name, an instance, or ``None`` (paper default)."""
     if name_or_operator is None:
-        return MeanOperator()
+        # Resolve the default through the registry too, so an embedder's
+        # override of "mean" also governs callers that omit the operator.
+        name_or_operator = "mean"
     if isinstance(name_or_operator, str):
         try:
-            return _OPERATORS[name_or_operator]()
+            return _REGISTRY[name_or_operator]()
         except KeyError:
             raise ValueError(
-                f"unknown operator {name_or_operator!r}; expected one of {sorted(_OPERATORS)}"
+                f"unknown operator {name_or_operator!r}; "
+                f"expected one of {list(available_operators())}"
             ) from None
     return name_or_operator
 
 
-def pic(gain: np.ndarray | float, loss: np.ndarray | float, p: float) -> np.ndarray | float:
+def operator_requires(operator: Any) -> Tuple[str, ...]:
+    """The optional :class:`IntervalSums` fields ``operator`` declares it needs."""
+    return tuple(getattr(operator, "requires", ()))
+
+
+__all__.append("operator_requires")
+
+
+def pic(
+    gain: Union[FloatArray, float], loss: Union[FloatArray, float], p: float
+) -> Union[FloatArray, float]:
     """Parametrized information criterion (Eq. 4): ``p * gain - (1 - p) * loss``."""
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"p must be in [0, 1], got {p}")
     return p * np.asarray(gain, dtype=float) - (1.0 - p) * np.asarray(loss, dtype=float)
-
-
-__all__.append("pic")

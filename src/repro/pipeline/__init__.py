@@ -1,0 +1,106 @@
+"""The unified analysis pipeline: request → plan → execute → serialize.
+
+Every frontend — ``repro analyze`` / ``batch`` / ``compare``, the HTTP
+service, batch workers and stream re-queries — is a thin adapter over this
+package:
+
+* :mod:`repro.pipeline.requests` — typed, frozen request dataclasses
+  (:class:`AnalysisRequest`, :class:`SweepRequest`, :class:`BatchRequest`,
+  :class:`CompareRequest`) sharing one parameter validator;
+* :mod:`repro.pipeline.window` — the single window vocabulary
+  (:class:`WindowSpec`) behind ``--window last:K|T0:T1`` and the HTTP
+  ``last_k_slices`` / ``window`` fields;
+* :mod:`repro.pipeline.resolver` — the :class:`TraceSource` protocol
+  unifying CSV, Pajé, ``.rtz`` stores, corpus members and in-memory traces;
+* :mod:`repro.pipeline.executor` — :func:`analyze_source` (one-shot) and
+  :class:`AnalysisEngine` (cached, generation-aware, streaming-capable), the
+  only orchestrators of model / aggregator / cache lifecycles;
+* :mod:`repro.pipeline.payloads` — the **only** producer of the
+  analysis / sweep / batch / compare JSON payloads, so byte-identity across
+  frontends holds by construction.
+
+Errors raise :class:`PipelineError` (CLI exit 2 / HTTP 400) or
+:class:`StaleGenerationError` (HTTP 409).
+"""
+
+from .errors import PipelineError, RequestError, StaleGenerationError
+from .executor import (
+    DEFAULT_CACHE_SIZE,
+    AnalysisEngine,
+    AnalysisOutcome,
+    analyze_source,
+)
+from .payloads import (
+    ANALYSIS_SCHEMA,
+    BATCH_SCHEMA,
+    COMPARE_SCHEMA,
+    SWEEP_SCHEMA,
+    AnalysisResult,
+    analysis_payload,
+    batch_payload,
+    batch_summary_rows,
+    compare_payload,
+    heterogeneity_score,
+    meta_section,
+    package_version,
+    run_analysis,
+    serialize_payload,
+    sweep_payload,
+    trace_summary,
+)
+from .requests import (
+    MAX_SLICES,
+    AnalysisRequest,
+    BatchRequest,
+    CompareRequest,
+    SweepRequest,
+    validate_analysis_params,
+)
+from .resolver import (
+    MemorySource,
+    StoreSource,
+    TraceSource,
+    as_source,
+    resolve_path,
+)
+from .window import WindowSpec, resolve_window_bounds, window_section
+
+__all__ = [
+    "PipelineError",
+    "RequestError",
+    "StaleGenerationError",
+    "DEFAULT_CACHE_SIZE",
+    "AnalysisEngine",
+    "AnalysisOutcome",
+    "analyze_source",
+    "ANALYSIS_SCHEMA",
+    "SWEEP_SCHEMA",
+    "COMPARE_SCHEMA",
+    "BATCH_SCHEMA",
+    "AnalysisResult",
+    "analysis_payload",
+    "batch_payload",
+    "batch_summary_rows",
+    "compare_payload",
+    "heterogeneity_score",
+    "meta_section",
+    "package_version",
+    "run_analysis",
+    "serialize_payload",
+    "sweep_payload",
+    "trace_summary",
+    "MAX_SLICES",
+    "AnalysisRequest",
+    "BatchRequest",
+    "CompareRequest",
+    "SweepRequest",
+    "validate_analysis_params",
+    "MemorySource",
+    "StoreSource",
+    "TraceSource",
+    "as_source",
+    "resolve_path",
+    "WindowSpec",
+    "resolve_window_bounds",
+    "window_section",
+]

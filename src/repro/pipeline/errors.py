@@ -1,0 +1,41 @@
+"""Error taxonomy of the analysis pipeline.
+
+Every frontend maps these the same way: :class:`PipelineError` (and its
+subclasses) is the client's mistake — CLI exit code 2, HTTP 400 — while
+:class:`StaleGenerationError` is the specific "your snapshot moved" conflict
+— HTTP 409, retry after re-reading the generation.
+
+The service layer's historical names (``ServiceError``) are aliases of these
+classes, so ``except`` clauses and ``pytest.raises`` written against either
+spelling keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PipelineError", "RequestError", "StaleGenerationError"]
+
+
+class PipelineError(ValueError):
+    """Raised for invalid pipeline requests (maps to CLI exit 2 / HTTP 400)."""
+
+
+class RequestError(PipelineError):
+    """An invalid request parameter, tagged with the offending field.
+
+    ``field`` lets frontends keep their own phrasing for flag errors (the CLI
+    says ``--slices must be at least 1`` where the HTTP API says ``slices
+    must be in [1, 512]``) while sharing one validator.
+    """
+
+    def __init__(self, message: str, field: "str | None" = None) -> None:
+        super().__init__(message)
+        self.field = field
+
+
+class StaleGenerationError(PipelineError):
+    """Raised when a query raced an append that bumped the store generation.
+
+    Maps to HTTP 409 (Conflict): the client's view of the trace content is
+    out of date — re-read the current generation (``GET /traces`` or the
+    ``generation`` field of the ``POST /append`` response) and retry.
+    """

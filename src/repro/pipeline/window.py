@@ -1,0 +1,158 @@
+"""One window vocabulary for every frontend.
+
+A *window* restricts an analysis to a tail (``last:K`` / ``last_k_slices``)
+or a time span (``T0:T1`` / ``[t0, t1)``) of the streaming model.  Before the
+pipeline layer existed, the CLI and the HTTP service each parsed, validated
+and resolved windows on their own; this module is now the only
+implementation.  Both frontends' historical error texts are preserved —
+:meth:`WindowSpec.parse_text` speaks CLI (``--window``), and
+:meth:`WindowSpec.from_query` speaks the HTTP body vocabulary
+(``last_k_slices`` / ``window``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.microscopic import MicroscopicModel
+from .errors import PipelineError
+
+__all__ = ["WindowSpec", "resolve_window_bounds", "window_section"]
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A normalized, hashable window request.
+
+    ``kind`` is ``"last"`` (use ``k``) or ``"span"`` (use ``t0``/``t1``).
+    Instances are valid by construction — build them through
+    :meth:`last`, :meth:`span`, :meth:`parse_text` or :meth:`from_query`.
+    """
+
+    kind: str
+    k: int = 0
+    t0: float = 0.0
+    t1: float = 0.0
+
+    @classmethod
+    def last(cls, k: int) -> "WindowSpec":
+        """The trailing ``k`` slices."""
+        return cls(kind="last", k=int(k))
+
+    @classmethod
+    def span(cls, t0: float, t1: float) -> "WindowSpec":
+        """The slices covering the time span ``[t0, t1)``."""
+        return cls(kind="span", t0=float(t0), t1=float(t1))
+
+    @classmethod
+    def parse_text(cls, text: str) -> "WindowSpec":
+        """Parse the CLI spelling (``last:K`` or ``T0:T1``).
+
+        Raises :class:`PipelineError` with the CLI's historical error texts
+        (the caller prefixes ``error:``).
+        """
+        if text.startswith("last:"):
+            try:
+                k = int(text[len("last:"):])
+            except ValueError:
+                raise PipelineError(
+                    f"invalid --window {text!r}: K must be an integer"
+                ) from None
+            if k < 1:
+                raise PipelineError("--window last:K needs K >= 1")
+            return cls.last(k)
+        parts = text.split(":")
+        if len(parts) == 2:
+            try:
+                t0, t1 = float(parts[0]), float(parts[1])
+            except ValueError:
+                pass
+            else:
+                if t1 > t0:
+                    return cls.span(t0, t1)
+        raise PipelineError(
+            f"invalid --window {text!r}: expected 'last:K' or 'T0:T1' with T0 < T1"
+        )
+
+    @classmethod
+    def from_query(
+        cls,
+        last_k_slices: "int | None" = None,
+        window: "Sequence[float] | None" = None,
+    ) -> "Optional[WindowSpec]":
+        """Normalize the two HTTP body spellings (or neither) into a spec.
+
+        Raises :class:`PipelineError` with the service's historical error
+        texts (mapped to HTTP 400).
+        """
+        if last_k_slices is not None and window is not None:
+            raise PipelineError("last_k_slices and window are mutually exclusive")
+        if last_k_slices is not None:
+            try:
+                k = int(last_k_slices)
+            except (TypeError, ValueError):
+                raise PipelineError("last_k_slices must be an integer") from None
+            if k < 1:
+                raise PipelineError(f"last_k_slices must be at least 1, got {k}")
+            return cls.last(k)
+        if window is not None:
+            try:
+                t0, t1 = (float(value) for value in window)
+            except (TypeError, ValueError):
+                raise PipelineError("window must be a [t0, t1) pair of numbers") from None
+            if not t1 > t0:
+                raise PipelineError(f"window must satisfy t0 < t1, got [{t0}, {t1})")
+            return cls.span(t0, t1)
+        return None
+
+    def params_entry(self) -> Dict[str, Any]:
+        """The ``params`` echo of this window in analysis/sweep payloads."""
+        if self.kind == "last":
+            return {"last_k_slices": self.k}
+        return {"window": [self.t0, self.t1]}
+
+    def requested_entry(self) -> Dict[str, Any]:
+        """The ``window.requested`` section of a windowed payload."""
+        if self.kind == "last":
+            return {"last_k_slices": self.k}
+        return {"t0": self.t0, "t1": self.t1}
+
+
+def resolve_window_bounds(model: MicroscopicModel, spec: WindowSpec) -> Tuple[int, int]:
+    """Resolve ``spec`` to slice indices ``[a, b)`` of ``model``.
+
+    ``last`` selects the trailing ``k`` slices (clamped to the axis);
+    ``span`` the smallest run of whole slices covering ``[t0, t1)``.  A span
+    that does not overlap the trace raises :class:`PipelineError`.
+    """
+    n_slices = model.n_slices
+    if spec.kind == "last":
+        k = min(spec.k, n_slices)
+        return n_slices - k, n_slices
+    t0, t1 = spec.t0, spec.t1
+    edges = model.slicing.edges
+    if t1 <= float(edges[0]) or t0 >= float(edges[-1]):
+        raise PipelineError(
+            f"window [{t0}, {t1}) does not overlap the trace span "
+            f"[{float(edges[0])}, {float(edges[-1])}]"
+        )
+    a = max(int(np.searchsorted(edges, t0, side="right")) - 1, 0)
+    b = min(max(int(np.searchsorted(edges, t1, side="left")), a + 1), n_slices)
+    return a, b
+
+
+def window_section(
+    model: MicroscopicModel, a: int, b: int, spec: WindowSpec
+) -> Dict[str, Any]:
+    """The JSON ``window`` section describing a resolved window."""
+    edges = model.slicing.edges
+    return {
+        "requested": spec.requested_entry(),
+        "slices": [int(a), int(b)],
+        "start_time": float(edges[a]),
+        "end_time": float(edges[b]),
+        "stream_slices": model.n_slices,
+    }

@@ -43,19 +43,46 @@ hot path is a dictionary lookup.
 from __future__ import annotations
 
 import json
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
-from ..batch.compare import batch_payload, compare_payload
+from ..pipeline.payloads import batch_payload, compare_payload, package_version, serialize_payload
+from ..pipeline.requests import AnalysisRequest, SweepRequest
 from ..trace.io import TraceIOError
 from .registry import SessionRegistry
-from .serializer import serialize_payload
 from .session import AnalysisSession, ServiceError, StaleGenerationError
 
 __all__ = ["TraceServiceServer", "build_server", "MAX_BODY_BYTES"]
 
 #: Largest accepted request body; queries are tiny, anything bigger is abuse.
 MAX_BODY_BYTES = 1 << 20
+
+
+def _analysis_request(body: Mapping[str, Any]) -> AnalysisRequest:
+    """The typed pipeline request of an ``/analyze``-shaped JSON body."""
+    return AnalysisRequest.from_query(
+        p=body.get("p", 0.7),
+        slices=body.get("slices", 30),
+        operator=body.get("operator", "mean"),
+        anomaly_threshold=body.get("anomaly_threshold", 0.1),
+        last_k_slices=body.get("last_k_slices"),
+        window=body.get("window"),
+        generation=body.get("generation"),
+    )
+
+
+def _sweep_request(body: Mapping[str, Any]) -> SweepRequest:
+    """The typed pipeline request of a ``/sweep``-shaped JSON body."""
+    return SweepRequest.from_query(
+        ps=body.get("ps"),
+        slices=body.get("slices", 30),
+        operator=body.get("operator", "mean"),
+        last_k_slices=body.get("last_k_slices"),
+        window=body.get("window"),
+        generation=body.get("generation"),
+    )
 
 
 class TraceServiceServer(ThreadingHTTPServer):
@@ -72,11 +99,43 @@ class TraceServiceServer(ThreadingHTTPServer):
             self.registry = sessions
         else:
             self.registry = SessionRegistry(sessions=sessions)
+        self._active_connections = 0
+        self._active_lock = threading.Lock()
         super().__init__(address, ServiceHandler)
 
     def resolve(self, name: "str | None") -> AnalysisSession:
         """Session by name; the single session when ``name`` is omitted."""
         return self.registry.resolve(name)
+
+    # ------------------------------------------------------------------ #
+    # Graceful shutdown support
+    # ------------------------------------------------------------------ #
+    def process_request_thread(self, request: Any, client_address: Any) -> None:
+        """Track live connection threads so shutdown can drain them."""
+        with self._active_lock:
+            self._active_connections += 1
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._active_lock:
+                self._active_connections -= 1
+
+    def wait_idle(self, timeout: float = 5.0) -> bool:
+        """Wait until no connection thread is live (bounded by ``timeout``).
+
+        Used by ``repro serve`` between ``shutdown()`` and ``server_close()``
+        so in-flight requests finish before the process exits.  Idle
+        keep-alive connections count as live, hence the bound; returns
+        whether the server drained fully.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._active_lock:
+                if self._active_connections == 0:
+                    return True
+            time.sleep(0.02)
+        with self._active_lock:
+            return self._active_connections == 0
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -148,6 +207,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 {
                     "status": "ok",
                     "service": self.server_version,
+                    "version": package_version(),
                     "n_traces": registry.stats()["n_traces"],
                     "registry": registry.stats(),
                     "cache": {
@@ -186,17 +246,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 raise LookupError(
                     f"unknown trace {name!r}; served traces: {registry.names()}"
                 )
+        request = _analysis_request(body)
         params: dict[str, Any] = {}
         results: dict[str, Any] = {}
         errors: list[dict[str, str]] = []
         for name in names:
             try:
-                result = registry.get(name).aggregate(
-                    p=body.get("p", 0.7),
-                    slices=body.get("slices", 30),
-                    operator=body.get("operator", "mean"),
-                    anomaly_threshold=body.get("anomaly_threshold", 0.1),
-                )
+                result = registry.get(name).execute_dict(request)
             except StaleGenerationError:
                 raise  # a 409, not a per-trace failure
             except ServiceError:
@@ -227,16 +283,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     'compare body must name two served traces: {"a": ..., "b": ...}'
                 )
             sides[side] = self.server.registry.get(name)
+        request = _analysis_request(body)
         payloads = {}
         models = {}
         params: dict[str, Any] = {}
         for side, session in sides.items():
-            result = session.aggregate(
-                p=body.get("p", 0.7),
-                slices=body.get("slices", 30),
-                operator=body.get("operator", "mean"),
-                anomaly_threshold=body.get("anomaly_threshold", 0.1),
-            )
+            result = session.execute_dict(request)
             payloads[side] = result
             models[side] = session.model(result["params"]["slices"])
             # The aggregate and the model are fetched under separate lock
@@ -273,26 +325,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 return
             session = self.server.resolve(body.get("trace"))
             if path == "/analyze":
-                text = session.aggregate_json(
-                    p=body.get("p", 0.7),
-                    slices=body.get("slices", 30),
-                    operator=body.get("operator", "mean"),
-                    anomaly_threshold=body.get("anomaly_threshold", 0.1),
-                    last_k_slices=body.get("last_k_slices"),
-                    window=body.get("window"),
-                    generation=body.get("generation"),
-                )
-                self._send(200, text)
+                self._send(200, session.execute(_analysis_request(body)))
             elif path == "/sweep":
-                payload = session.sweep(
-                    ps=body.get("ps"),
-                    slices=body.get("slices", 30),
-                    operator=body.get("operator", "mean"),
-                    last_k_slices=body.get("last_k_slices"),
-                    window=body.get("window"),
-                    generation=body.get("generation"),
-                )
-                self._send_json(200, payload)
+                self._send_json(200, session.run_sweep(_sweep_request(body)))
             else:
                 intervals = body.get("intervals")
                 if not isinstance(intervals, list):

@@ -180,6 +180,18 @@ class SessionRegistry:
             return str(self._corpus.entry(name).path)
         return name
 
+    def close(self) -> None:
+        """Release every resident session (graceful-shutdown hook).
+
+        Sessions hold no OS handles between queries, so closing is dropping
+        the references: corpus LRU entries and pinned sessions are cleared so
+        their models and result caches can be reclaimed.  ``repro serve``
+        calls this after the HTTP server has drained on SIGTERM/SIGINT.
+        """
+        with self._lock:
+            self._lru.clear()
+            self._pinned.clear()
+
     # ------------------------------------------------------------------ #
     # Summaries
     # ------------------------------------------------------------------ #

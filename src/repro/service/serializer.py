@@ -1,23 +1,23 @@
-"""Canonical JSON serialization of analysis results.
+"""Back-compat shim: the canonical serializer lives in :mod:`repro.pipeline.payloads`.
 
-One serializer feeds both delivery channels — ``repro analyze --json`` and
-the HTTP service's ``POST /analyze`` — so the two are byte-identical for the
-same ``(trace content, slices, p, operator)``.  Canonical form: ``indent=2``,
-``sort_keys=True``, floats as Python ``repr`` (exact round-trip), no trailing
-whitespace; callers append a single final newline when writing to a stream.
+Every payload — analysis, sweep, batch, compare — is assembled by
+:mod:`repro.pipeline.payloads`, the single producer that makes
+``repro analyze --json`` and ``POST /analyze`` byte-identical by
+construction.  This module re-exports the analysis-side names under their
+historical import path (``repro.service.serializer``) for existing
+embedders, tests and benchmarks.
 """
 
-from __future__ import annotations
-
-import json
-from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
-
-from ..analysis.anomaly import AnomalyWindow, detect_deviating_cells
-from ..analysis.phases import Phase, detect_phases
-from ..core.microscopic import MicroscopicModel
-from ..core.partition import Partition
-from ..core.spatiotemporal import SpatiotemporalAggregator
+from ..pipeline.payloads import (
+    ANALYSIS_SCHEMA,
+    SWEEP_SCHEMA,
+    AnalysisResult,
+    analysis_payload,
+    run_analysis,
+    serialize_payload,
+    sweep_payload,
+    trace_summary,
+)
 
 __all__ = [
     "ANALYSIS_SCHEMA",
@@ -26,165 +26,6 @@ __all__ = [
     "run_analysis",
     "trace_summary",
     "analysis_payload",
+    "sweep_payload",
     "serialize_payload",
 ]
-
-ANALYSIS_SCHEMA = "repro.analysis/1"
-SWEEP_SCHEMA = "repro.sweep/1"
-
-
-@dataclass(frozen=True)
-class AnalysisResult:
-    """Everything one analysis run produces, before serialization."""
-
-    partition: Partition
-    phases: "Sequence[Phase]"
-    anomalies: "Sequence[AnomalyWindow]"
-
-
-def run_analysis(
-    model: MicroscopicModel,
-    p: float,
-    aggregator: SpatiotemporalAggregator | None = None,
-    operator: str | None = None,
-    anomaly_threshold: float = 0.1,
-    jobs: int | None = None,
-) -> AnalysisResult:
-    """The analysis pipeline shared by the CLI and the service.
-
-    Aggregation, phase detection and anomaly detection — exactly the steps of
-    ``repro analyze`` — so every consumer of the JSON payload sees the same
-    results for the same model and parameters.
-    """
-    if aggregator is None:
-        aggregator = SpatiotemporalAggregator(model, operator=operator, jobs=jobs)
-    partition = aggregator.run(p, jobs=jobs)
-    phases = detect_phases(partition, model)
-    anomalies = detect_deviating_cells(model, threshold=anomaly_threshold)
-    return AnalysisResult(partition=partition, phases=phases, anomalies=anomalies)
-
-
-def trace_summary(
-    digest: str,
-    n_intervals: int,
-    n_resources: int,
-    n_states: int,
-    start: float,
-    end: float,
-    metadata: Mapping[str, Any],
-    generation: int = 0,
-) -> dict[str, Any]:
-    """The ``trace`` section of every payload (store- and CSV-backed alike).
-
-    ``generation`` is the store's append counter (0 for CSV and freshly
-    converted stores) so a client can tell which content snapshot an analysis
-    describes when the trace grows while being served.
-    """
-    return {
-        "digest": digest,
-        "generation": int(generation),
-        "n_intervals": int(n_intervals),
-        "n_events": 2 * int(n_intervals),
-        "n_resources": int(n_resources),
-        "n_states": int(n_states),
-        "start": float(start),
-        "end": float(end),
-        "duration": float(end) - float(start),
-        # JSON-normalized (tuples become lists, keys become strings) so a
-        # memory-backed session and its saved store serialize identically.
-        "metadata": json.loads(json.dumps(dict(metadata), default=str)),
-    }
-
-
-def _aggregate_entry(partition: Partition, index: int) -> dict[str, Any]:
-    aggregate = partition.aggregates[index]
-    edges = partition.model.slicing.edges
-    return {
-        "node": aggregate.node.full_name,
-        "depth": aggregate.node.depth,
-        "leaf_start": aggregate.node.leaf_start,
-        "leaf_end": aggregate.node.leaf_end,
-        "slice_start": aggregate.i,
-        "slice_end": aggregate.j,
-        "start_time": float(edges[aggregate.i]),
-        "end_time": float(edges[aggregate.j + 1]),
-    }
-
-
-def analysis_payload(
-    trace: Mapping[str, Any],
-    result: AnalysisResult,
-    params: Mapping[str, Any],
-    window: "Mapping[str, Any] | None" = None,
-) -> dict[str, Any]:
-    """Assemble the machine-readable overview report.
-
-    Parameters
-    ----------
-    trace:
-        Output of :func:`trace_summary`.
-    result:
-        Output of :func:`run_analysis`.
-    params:
-        The query parameters (``p``, ``slices``, ``operator``,
-        ``anomaly_threshold``) echoed back verbatim.
-    window:
-        For windowed queries, the resolved window description (slice range in
-        the streaming model's axis plus absolute times); omitted from the
-        payload when ``None`` so whole-trace payloads keep their exact
-        pre-streaming byte layout.
-    """
-    partition = result.partition
-    model = partition.model
-    payload_window = {} if window is None else {"window": dict(window)}
-    return {
-        "schema": ANALYSIS_SCHEMA,
-        "trace": dict(trace),
-        "params": dict(params),
-        **payload_window,
-        "model": {
-            "n_resources": model.n_resources,
-            "n_slices": model.n_slices,
-            "n_states": model.n_states,
-            "states": list(model.states.names),
-        },
-        "partition": {
-            "size": partition.size,
-            "gain": partition.gain(),
-            "loss": partition.loss(),
-            "pic": partition.pic(),
-            "complexity_reduction": partition.complexity_reduction(),
-            "normalized_loss": partition.normalized_loss(),
-            "aggregates": [
-                _aggregate_entry(partition, index)
-                for index in range(partition.size)
-            ],
-        },
-        "phases": [
-            {
-                "start_slice": phase.start_slice,
-                "end_slice": phase.end_slice,
-                "start_time": phase.start_time,
-                "end_time": phase.end_time,
-                "dominant_state": phase.dominant_state,
-                "state_shares": dict(phase.state_shares),
-            }
-            for phase in result.phases
-        ],
-        "anomalies": [
-            {
-                "start_slice": window.start_slice,
-                "end_slice": window.end_slice,
-                "start_time": window.start_time,
-                "end_time": window.end_time,
-                "score": window.score,
-                "resources": list(window.resources),
-            }
-            for window in result.anomalies
-        ],
-    }
-
-
-def serialize_payload(payload: Mapping[str, Any]) -> str:
-    """Canonical JSON text of a payload (no trailing newline)."""
-    return json.dumps(payload, indent=2, sort_keys=True, default=str)

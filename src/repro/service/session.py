@@ -1,42 +1,31 @@
-"""Long-lived analysis sessions with cached results.
+"""Long-lived analysis sessions: the service adapter over the pipeline engine.
 
-An :class:`AnalysisSession` pins one trace — a :class:`~repro.store.TraceStore`
-or an in-memory :class:`~repro.trace.Trace` — together with its discretized
-microscopic models and interval-statistics engines, and answers ``aggregate``
-queries through an LRU cache keyed by ``(digest, slices, operator, p)``.
-This is what turns the paper's one-shot batch pipeline into the interactive
-workflow it describes: sliding ``p`` re-runs only the (already fast) dynamic
-program the first time and is a dictionary lookup after that.
+An :class:`AnalysisSession` is a named
+:class:`~repro.pipeline.executor.AnalysisEngine` — one trace pinned in
+memory with its models, statistics engines and the generation-keyed LRU of
+serialized results — plus the loosely typed keyword API the HTTP handlers
+and embedders speak (``aggregate_json(p=0.7, slices=30, ...)``).  All the
+orchestration lives in :mod:`repro.pipeline`; this module only translates
+keyword queries into typed requests.
+
+``ServiceError`` / ``StaleGenerationError`` are the pipeline's error classes
+under their historical service names, so existing ``except`` clauses keep
+working (400 and 409 mapping unchanged).
 """
 
 from __future__ import annotations
 
 import json
-import threading
-from collections import OrderedDict
-from typing import Any, Iterable, Sequence
+from typing import Any, Dict, Optional, Sequence, Union
 
-import numpy as np
-
-from ..core.microscopic import MicroscopicModel
-from ..core.parameters import find_significant_parameters, quality_curve
-from ..core.spatiotemporal import SpatiotemporalAggregator
-from ..store.format import (
-    StoreError,
-    StoreIntegrityError,
-    StoreRewrittenError,
-    trace_digest,
-)
-from ..store.store import TraceStore, open_store
-from ..store.writer import StoreWriter
+from ..core.operators import available_operators
+from ..pipeline.errors import PipelineError, StaleGenerationError
+from ..pipeline.executor import DEFAULT_CACHE_SIZE, AnalysisEngine
+from ..pipeline.requests import MAX_SLICES, AnalysisRequest, SweepRequest
+from ..pipeline.resolver import TraceSource
+from ..pipeline.window import resolve_window_bounds, window_section
+from ..store.store import TraceStore
 from ..trace.trace import Trace
-from .serializer import (
-    SWEEP_SCHEMA,
-    analysis_payload,
-    run_analysis,
-    serialize_payload,
-    trace_summary,
-)
 
 __all__ = [
     "AnalysisSession",
@@ -44,324 +33,49 @@ __all__ = [
     "StaleGenerationError",
     "OPERATORS",
     "MAX_SLICES",
+    "DEFAULT_CACHE_SIZE",
+    "resolve_window_bounds",
+    "window_section",
 ]
 
-#: Operators a query may request (mirrors ``repro analyze --operator``).
-OPERATORS = ("mean", "sum")
-#: Upper bound on requested slices — the dynamic program is O(|S| |T|^3), so
-#: an unbounded request could wedge a shared server.
-MAX_SLICES = 512
-#: Default number of retained analysis results per session.
-DEFAULT_CACHE_SIZE = 128
+#: The pipeline's request-error class under its historical service name.
+ServiceError = PipelineError
+
+#: Snapshot of the registered operator names at import time (mirrors
+#: ``repro analyze --operator``).  Validation always consults the live
+#: registry via :func:`repro.core.operators.available_operators`, so an
+#: operator registered later is accepted by queries even though this
+#: convenience constant does not grow; call ``available_operators()`` for
+#: the current vocabulary.
+OPERATORS = available_operators()
 
 
-class ServiceError(ValueError):
-    """Raised for invalid query parameters (maps to HTTP 400)."""
-
-
-class StaleGenerationError(ServiceError):
-    """Raised when a query raced an append that bumped the store generation.
-
-    Maps to HTTP 409 (Conflict): the client's view of the trace content is
-    out of date — re-read the current generation (``GET /traces`` or the
-    ``generation`` field of the ``POST /append`` response) and retry.
-    """
-
-
-def resolve_window_bounds(model: MicroscopicModel, spec: tuple) -> tuple[int, int]:
-    """Resolve a window spec to slice indices ``[a, b)`` of ``model``.
-
-    Specs are the normalized tuples of
-    :meth:`AnalysisSession._validate_window`: ``("last", k)`` selects the
-    trailing ``k`` slices (clamped to the axis), ``("span", t0, t1)`` the
-    smallest run of whole slices covering ``[t0, t1)``.
-    """
-    n_slices = model.n_slices
-    if spec[0] == "last":
-        k = min(spec[1], n_slices)
-        return n_slices - k, n_slices
-    t0, t1 = spec[1], spec[2]
-    edges = model.slicing.edges
-    if t1 <= float(edges[0]) or t0 >= float(edges[-1]):
-        raise ServiceError(
-            f"window [{t0}, {t1}) does not overlap the trace span "
-            f"[{float(edges[0])}, {float(edges[-1])}]"
-        )
-    a = max(int(np.searchsorted(edges, t0, side="right")) - 1, 0)
-    b = min(max(int(np.searchsorted(edges, t1, side="left")), a + 1), n_slices)
-    return a, b
-
-
-def window_section(
-    model: MicroscopicModel, a: int, b: int, spec: tuple
-) -> dict[str, Any]:
-    """The JSON ``window`` section describing a resolved window."""
-    edges = model.slicing.edges
-    requested: dict[str, Any] = (
-        {"last_k_slices": spec[1]}
-        if spec[0] == "last"
-        else {"t0": spec[1], "t1": spec[2]}
-    )
-    return {
-        "requested": requested,
-        "slices": [int(a), int(b)],
-        "start_time": float(edges[a]),
-        "end_time": float(edges[b]),
-        "stream_slices": model.n_slices,
-    }
-
-
-class AnalysisSession:
-    """One trace pinned in memory, with model, engine and result caches.
+class AnalysisSession(AnalysisEngine):
+    """One served trace: a named pipeline engine with the keyword query API.
 
     Parameters
     ----------
     source:
-        A :class:`TraceStore` (models come from / are persisted to the store's
-        cache) or a :class:`Trace` (models are built in memory).
+        A :class:`~repro.store.TraceStore` (models come from / are persisted
+        to the store's cache), a :class:`~repro.trace.Trace` (models are
+        built in memory) or a pre-wrapped
+        :class:`~repro.pipeline.resolver.TraceSource`.
     name:
         Public name used by the HTTP registry.
     cache_size:
         Maximum retained analysis results (least recently used evicted).
-
-    Notes
-    -----
-    All public query methods are thread-safe: a per-session lock serializes
-    model construction and aggregation, so one session can be shared by every
-    thread of :class:`~repro.service.http.TraceServiceServer`.
     """
 
     def __init__(
         self,
-        source: "TraceStore | Trace",
+        source: "Union[TraceSource, TraceStore, Trace]",
         name: str = "trace",
         cache_size: int = DEFAULT_CACHE_SIZE,
-    ):
-        if cache_size < 1:
-            raise ServiceError("cache_size must be at least 1")
-        self._name = name
-        self._store: TraceStore | None = None
-        self._trace: Trace | None = None
-        if isinstance(source, TraceStore):
-            self._store = source
-            self._digest = source.digest
-        elif isinstance(source, Trace):
-            self._trace = source
-            self._digest = trace_digest(source)
-        else:
-            raise ServiceError(f"unsupported session source: {type(source).__name__}")
-        self._models: dict[int, MicroscopicModel] = {}
-        # Streaming models: slice width pinned when first built, grown by
-        # MicroscopicModel.extend on every append instead of being rebuilt.
-        # Windowed queries run on these; whole-trace queries use _models,
-        # which are re-discretized per generation (batch semantics).
-        self._stream_models: dict[int, MicroscopicModel] = {}
-        self._aggregators: dict[tuple[int, str], SpatiotemporalAggregator] = {}
-        self._results: "OrderedDict[tuple, str]" = OrderedDict()
-        self._cache_size = cache_size
-        self._hits = 0
-        self._misses = 0
-        self._generation = self._store.generation if self._store is not None else 0
-        self._writer: StoreWriter | None = None
-        self._lock = threading.RLock()
-        # Test seam for the append/analyze race: called by aggregate_json
-        # after it captured the generation but before it takes the lock.
-        self._race_hook: "Any | None" = None
+    ) -> None:
+        super().__init__(source, name=name, cache_size=cache_size)
 
     # ------------------------------------------------------------------ #
-    # Identity
-    # ------------------------------------------------------------------ #
-    @property
-    def name(self) -> str:
-        """Registry name of the session."""
-        return self._name
-
-    @property
-    def digest(self) -> str:
-        """Content digest of the pinned trace."""
-        return self._digest
-
-    @property
-    def generation(self) -> int:
-        """Append generation of the pinned trace (0 for in-memory traces)."""
-        return self._generation
-
-    def summary(self) -> dict[str, Any]:
-        """JSON-friendly description for ``GET /traces``."""
-        if self._store is not None:
-            info = self._store.summary()
-            info["source"] = "store"
-        else:
-            trace = self._trace
-            assert trace is not None
-            info = {
-                "digest": self._digest,
-                "generation": 0,
-                "n_intervals": trace.n_intervals,
-                "n_resources": trace.hierarchy.n_leaves,
-                "n_states": len(trace.states),
-                "states": list(trace.states.names),
-                "start": trace.start,
-                "end": trace.end,
-                "metadata": dict(trace.metadata),
-                "source": "memory",
-            }
-        info["name"] = self._name
-        info["cache"] = self.cache_info()
-        return info
-
-    def cache_info(self) -> dict[str, int]:
-        """Result-cache statistics."""
-        with self._lock:
-            return {
-                "hits": self._hits,
-                "misses": self._misses,
-                "entries": len(self._results),
-                "max_entries": self._cache_size,
-            }
-
-    # ------------------------------------------------------------------ #
-    # Model / aggregator plumbing
-    # ------------------------------------------------------------------ #
-    def _validate(self, p: float, slices: int, operator: str) -> tuple[float, int, str]:
-        try:
-            p = float(p)
-            slices = int(slices)
-        except (TypeError, ValueError):
-            raise ServiceError("p must be a number and slices an integer") from None
-        if not 0.0 <= p <= 1.0:
-            raise ServiceError(f"p must be in [0, 1], got {p}")
-        if not 1 <= slices <= MAX_SLICES:
-            raise ServiceError(f"slices must be in [1, {MAX_SLICES}], got {slices}")
-        if operator not in OPERATORS:
-            raise ServiceError(
-                f"unknown operator {operator!r}; expected one of {list(OPERATORS)}"
-            )
-        return p, slices, operator
-
-    @staticmethod
-    def _validate_window(
-        last_k_slices: "int | None", window: "Sequence[float] | None"
-    ) -> "tuple | None":
-        """Normalize the two window spellings into an internal spec tuple."""
-        if last_k_slices is not None and window is not None:
-            raise ServiceError("last_k_slices and window are mutually exclusive")
-        if last_k_slices is not None:
-            try:
-                k = int(last_k_slices)
-            except (TypeError, ValueError):
-                raise ServiceError("last_k_slices must be an integer") from None
-            if k < 1:
-                raise ServiceError(f"last_k_slices must be at least 1, got {k}")
-            return ("last", k)
-        if window is not None:
-            try:
-                t0, t1 = (float(value) for value in window)
-            except (TypeError, ValueError):
-                raise ServiceError("window must be a [t0, t1) pair of numbers") from None
-            if not t1 > t0:
-                raise ServiceError(f"window must satisfy t0 < t1, got [{t0}, {t1})")
-            return ("span", t0, t1)
-        return None
-
-    def _check_generation(self, generation: "int | None") -> None:
-        if generation is None:
-            return
-        try:
-            expected = int(generation)
-        except (TypeError, ValueError):
-            raise ServiceError("generation must be an integer") from None
-        if expected != self._generation:
-            raise StaleGenerationError(
-                f"trace is at generation {self._generation}, "
-                f"request expected {expected}"
-            )
-
-    def _window_bounds(self, model: MicroscopicModel, spec: tuple) -> tuple[int, int]:
-        return resolve_window_bounds(model, spec)
-
-    @staticmethod
-    def _window_payload(
-        model: MicroscopicModel, a: int, b: int, spec: tuple
-    ) -> dict[str, Any]:
-        return window_section(model, a, b, spec)
-
-    def model(self, slices: int = 30) -> MicroscopicModel:
-        """The microscopic model at ``slices`` slices (cached)."""
-        with self._lock:
-            model = self._models.get(slices)
-            if model is None:
-                if self._store is not None:
-                    model = self._store.model(slices)
-                else:
-                    assert self._trace is not None
-                    model = MicroscopicModel.from_trace(self._trace, n_slices=slices)
-                self._models[slices] = model
-            return model
-
-    def aggregator(self, slices: int = 30, operator: str = "mean") -> SpatiotemporalAggregator:
-        """The aggregation engine for ``(slices, operator)`` (cached).
-
-        Engines share the model's prefix-sum arrays, and their per-node
-        gain/loss tables are ``p``-independent, so a slider sweep over ``p``
-        re-runs only the dynamic program.
-        """
-        with self._lock:
-            key = (slices, operator)
-            aggregator = self._aggregators.get(key)
-            if aggregator is None:
-                aggregator = SpatiotemporalAggregator(self.model(slices), operator=operator)
-                self._aggregators[key] = aggregator
-            return aggregator
-
-    def stream_model(self, slices: int = 30) -> MicroscopicModel:
-        """The streaming (fixed slice width) model for windowed queries.
-
-        Built once per session — the slice width is the span at build time
-        divided by ``slices`` — then grown by
-        :meth:`~repro.core.MicroscopicModel.extend` on each append, so a
-        refresh costs O(new intervals + touched columns) instead of a full
-        re-discretization.  For in-memory sessions (no appends possible) this
-        is simply the regular model.
-        """
-        with self._lock:
-            if self._store is None:
-                return self.model(slices)
-            model = self._stream_models.get(slices)
-            if model is None:
-                model = self.model(slices)
-                model.cumulative_tables()
-                self._stream_models[slices] = model
-            return model
-
-    def _trace_section(self) -> dict[str, Any]:
-        if self._store is not None:
-            store = self._store
-            return trace_summary(
-                self._digest,
-                store.n_intervals,
-                store.hierarchy.n_leaves,
-                len(store.states),
-                store.start,
-                store.end,
-                store.metadata,
-                generation=self._generation,
-            )
-        trace = self._trace
-        assert trace is not None
-        return trace_summary(
-            self._digest,
-            trace.n_intervals,
-            trace.hierarchy.n_leaves,
-            len(trace.states),
-            trace.start,
-            trace.end,
-            trace.metadata,
-            generation=self._generation,
-        )
-
-    # ------------------------------------------------------------------ #
-    # Queries
+    # Keyword query API (HTTP body vocabulary)
     # ------------------------------------------------------------------ #
     def aggregate_json(
         self,
@@ -369,91 +83,29 @@ class AnalysisSession:
         slices: int = 30,
         operator: str = "mean",
         anomaly_threshold: float = 0.1,
-        last_k_slices: "int | None" = None,
+        last_k_slices: Optional[int] = None,
         window: "Sequence[float] | None" = None,
-        generation: "int | None" = None,
+        generation: Optional[int] = None,
     ) -> str:
         """Canonical JSON text of one aggregation query (LRU-cached).
 
-        The cache key is ``(digest, generation, slices, operator, p,
-        anomaly_threshold, window)`` — content-addressed *and* generation-
-        scoped: entries computed before an append are purged wholesale when
-        the generation moves, so a stale result can never be served.
-
-        ``last_k_slices`` / ``window`` restrict the analysis to a tail or
-        time window of the **streaming** model (fixed slice width, grown
-        incrementally on appends) — the live-monitoring query shape.
-        ``generation`` optionally pins the content snapshot the client
-        expects; a mismatch (e.g. an ``/append`` landed first) raises
-        :class:`StaleGenerationError` → HTTP 409.
+        See :meth:`repro.pipeline.executor.AnalysisEngine.execute` for the
+        caching and generation semantics; this wrapper only validates and
+        normalizes the keyword vocabulary (service bounds applied:
+        ``slices <= MAX_SLICES``).
         """
-        p, slices, operator = self._validate(p, slices, operator)
-        try:
-            anomaly_threshold = float(anomaly_threshold)
-        except (TypeError, ValueError):
-            raise ServiceError("anomaly_threshold must be a number") from None
-        window_spec = self._validate_window(last_k_slices, window)
-        entry_generation = self._generation
-        if self._race_hook is not None:
-            self._race_hook()
-        with self._lock:
-            # Both checks run under the lock: the client's pin against the
-            # authoritative generation, and the entry snapshot against it (an
-            # append that slipped in between validation and the lock).
-            self._check_generation(generation)
-            if self._generation != entry_generation:
-                raise StaleGenerationError(
-                    f"trace moved to generation {self._generation} while the "
-                    f"query (generation {entry_generation}) was in flight"
-                )
-            key = (
-                self._digest, self._generation, slices, operator, p,
-                anomaly_threshold, window_spec,
+        return self.execute(
+            AnalysisRequest.from_query(
+                p=p,
+                slices=slices,
+                operator=operator,
+                anomaly_threshold=anomaly_threshold,
+                last_k_slices=last_k_slices,
+                window=window,
+                generation=generation,
+                max_slices=MAX_SLICES,
             )
-            cached = self._results.get(key)
-            if cached is not None:
-                self._hits += 1
-                self._results.move_to_end(key)
-                return cached
-            self._misses += 1
-            params: dict[str, Any] = {
-                "p": p,
-                "slices": slices,
-                "operator": operator,
-                "anomaly_threshold": anomaly_threshold,
-            }
-            if window_spec is None:
-                model = self.model(slices)
-                result = run_analysis(
-                    model,
-                    p,
-                    aggregator=self.aggregator(slices, operator),
-                    anomaly_threshold=anomaly_threshold,
-                )
-                window_section = None
-            else:
-                stream = self.stream_model(slices)
-                a, b = self._window_bounds(stream, window_spec)
-                windowed = stream.window(a, b)
-                result = run_analysis(
-                    windowed,
-                    p,
-                    aggregator=SpatiotemporalAggregator(windowed, operator=operator),
-                    anomaly_threshold=anomaly_threshold,
-                )
-                window_section = self._window_payload(stream, a, b, window_spec)
-                if window_spec[0] == "last":
-                    params["last_k_slices"] = window_spec[1]
-                else:
-                    params["window"] = [window_spec[1], window_spec[2]]
-            payload = analysis_payload(
-                self._trace_section(), result, params, window=window_section
-            )
-            text = serialize_payload(payload)
-            self._results[key] = text
-            while len(self._results) > self._cache_size:
-                self._results.popitem(last=False)
-            return text
+        )
 
     def aggregate(
         self,
@@ -461,188 +113,43 @@ class AnalysisSession:
         slices: int = 30,
         operator: str = "mean",
         anomaly_threshold: float = 0.1,
-        last_k_slices: "int | None" = None,
+        last_k_slices: Optional[int] = None,
         window: "Sequence[float] | None" = None,
-        generation: "int | None" = None,
-    ) -> dict[str, Any]:
+        generation: Optional[int] = None,
+    ) -> Dict[str, Any]:
         """Like :meth:`aggregate_json` but parsed back into a dict."""
-        return json.loads(
+        result: Dict[str, Any] = json.loads(
             self.aggregate_json(
                 p, slices, operator, anomaly_threshold,
                 last_k_slices=last_k_slices, window=window, generation=generation,
             )
         )
+        return result
 
     def sweep(
         self,
         ps: "Sequence[float] | None" = None,
         slices: int = 30,
         operator: str = "mean",
-        last_k_slices: "int | None" = None,
+        last_k_slices: Optional[int] = None,
         window: "Sequence[float] | None" = None,
-        generation: "int | None" = None,
-    ) -> dict[str, Any]:
+        generation: Optional[int] = None,
+    ) -> Dict[str, Any]:
         """Batch multi-``p`` sweep: the data behind an interactive slider.
 
-        With explicit ``ps``, evaluates the quality curve at those trade-offs;
-        without, runs the dichotomic search of
-        :func:`~repro.core.parameters.find_significant_parameters` and reports
-        one representative ``p`` per distinct overview.  Tables are shared
-        across the whole sweep through the session's cached aggregator.
-        ``last_k_slices`` / ``window`` sweep over the corresponding window of
-        the streaming model instead of the whole trace.
+        See :meth:`repro.pipeline.executor.AnalysisEngine.run_sweep`.
         """
-        _, slices, operator = self._validate(0.0, slices, operator)
-        if ps is not None:
-            try:
-                ps = [float(p) for p in ps]
-            except (TypeError, ValueError):
-                raise ServiceError("ps must be a list of numbers") from None
-            for p in ps:
-                self._validate(p, slices, operator)
-        window_spec = self._validate_window(last_k_slices, window)
-        entry_generation = self._generation
-        if self._race_hook is not None:
-            self._race_hook()
-        with self._lock:
-            self._check_generation(generation)
-            if self._generation != entry_generation:
-                raise StaleGenerationError(
-                    f"trace moved to generation {self._generation} while the "
-                    f"sweep (generation {entry_generation}) was in flight"
-                )
-            params: dict[str, Any] = {"slices": slices, "operator": operator}
-            window_section = None
-            if window_spec is None:
-                aggregator = self.aggregator(slices, operator)
-            else:
-                stream = self.stream_model(slices)
-                a, b = self._window_bounds(stream, window_spec)
-                aggregator = SpatiotemporalAggregator(
-                    stream.window(a, b), operator=operator
-                )
-                window_section = self._window_payload(stream, a, b, window_spec)
-                if window_spec[0] == "last":
-                    params["last_k_slices"] = window_spec[1]
-                else:
-                    params["window"] = [window_spec[1], window_spec[2]]
-            significant: "list[float] | None" = None
-            if ps is None:
-                significant = find_significant_parameters(aggregator)
-                ps = significant
-            points = quality_curve(aggregator, ps=ps)
-            trace_section = self._trace_section()
-        payload = {
-            "schema": SWEEP_SCHEMA,
-            "trace": trace_section,
-            "params": params,
-            "significant": significant,
-            "points": [
-                {
-                    "p": point.p,
-                    "size": point.size,
-                    "gain": point.gain,
-                    "loss": point.loss,
-                    "pic": point.pic,
-                }
-                for point in points
-            ],
-        }
-        if window_section is not None:
-            payload["window"] = window_section
-        return payload
-
-    # ------------------------------------------------------------------ #
-    # Streaming ingestion
-    # ------------------------------------------------------------------ #
-    def append(self, intervals: "Iterable[Sequence[Any]]") -> dict[str, Any]:
-        """Append ``(start, end, resource, state)`` rows to the pinned store.
-
-        Store-backed sessions only.  The rows go through a lazily created
-        :class:`~repro.store.StoreWriter`; the session then refreshes itself
-        incrementally — streaming models are grown with
-        :meth:`~repro.core.MicroscopicModel.extend`, whole-trace models and
-        aggregators are dropped for lazy rebuild, and result-cache entries of
-        older generations are evicted.
-        """
-        if self._store is None:
-            raise ServiceError(
-                "append requires a store-backed session (in-memory traces are frozen)"
+        return self.run_sweep(
+            SweepRequest.from_query(
+                ps=ps,
+                slices=slices,
+                operator=operator,
+                last_k_slices=last_k_slices,
+                window=window,
+                generation=generation,
+                max_slices=MAX_SLICES,
             )
-        rows = list(intervals)
-        if not rows:
-            with self._lock:
-                return self._append_receipt(0)
-        with self._lock:
-            if self._writer is None:
-                self._writer = StoreWriter(self._store.path)
-            try:
-                self._writer.append_intervals(rows)
-            except StoreIntegrityError:
-                raise  # store corruption / concurrent writer: a server-side 500
-            except StoreError as exc:
-                # Batch validation (unknown names, out-of-order rows, bad
-                # timestamps) is the client's mistake: a 400.
-                raise ServiceError(str(exc)) from exc
-            self._absorb_refresh(self._store.refresh())
-            return self._append_receipt(len(rows))
+        )
 
-    def refresh(self) -> dict[str, Any]:
-        """Pick up store growth produced by an *external* writer.
-
-        Embedders tailing a store written by ``repro stream`` call this
-        periodically.  Appends are absorbed incrementally; a rewritten store
-        (``StoreRewrittenError``) is reopened from scratch.
-        """
-        if self._store is None:
-            raise ServiceError("refresh requires a store-backed session")
-        with self._lock:
-            try:
-                self._absorb_refresh(self._store.refresh())
-            except StoreRewrittenError:
-                self._store = open_store(self._store.path)
-                self._models.clear()
-                self._stream_models.clear()
-                self._aggregators.clear()
-                self._after_generation_change()
-            return self._append_receipt(None)
-
-    def _absorb_refresh(self, tail: "Any | None") -> None:
-        """Apply a :meth:`TraceStore.refresh` tail to the session caches."""
-        if tail is None:
-            return
-        self._stream_models = {
-            slices: model.extend(tail)
-            for slices, model in self._stream_models.items()
-        }
-        # Whole-trace models discretize the *current* span into `slices`
-        # regular slices; after an append that span changed, so these are
-        # rebuilt lazily (keeping /analyze byte-identical to a batch run on
-        # the grown trace).
-        self._models.clear()
-        self._aggregators.clear()
-        self._after_generation_change()
-
-    def _after_generation_change(self) -> None:
-        assert self._store is not None
-        self._digest = self._store.digest
-        self._generation = self._store.generation
-        # A writer whose view no longer matches the store was bypassed by an
-        # external writer (or a rebuild): drop it so the next append opens a
-        # fresh one instead of failing its pre-commit check forever.
-        if self._writer is not None and self._writer.digest != self._digest:
-            self._writer = None
-        for key in [k for k in self._results if k[1] != self._generation]:
-            del self._results[key]
-
-    def _append_receipt(self, appended: "int | None") -> dict[str, Any]:
-        assert self._store is not None
-        receipt = {
-            "name": self._name,
-            "digest": self._digest,
-            "generation": self._generation,
-            "n_intervals": self._store.n_intervals,
-        }
-        if appended is not None:
-            receipt["appended"] = int(appended)
-        return receipt
+    # Streaming ingestion (`append` / `refresh`) is inherited unchanged from
+    # the pipeline engine.

@@ -1,0 +1,121 @@
+"""Tests for the typed pipeline requests and the shared validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operators import available_operators
+from repro.pipeline import (
+    MAX_SLICES,
+    AnalysisRequest,
+    BatchRequest,
+    CompareRequest,
+    RequestError,
+    SweepRequest,
+    WindowSpec,
+    validate_analysis_params,
+)
+
+
+class TestSharedValidator:
+    def test_normalizes_types(self):
+        assert validate_analysis_params("0.5", "12", "mean") == (0.5, 12, "mean")
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1, float("nan")])
+    def test_p_range(self, p):
+        with pytest.raises(RequestError, match=r"p must be in \[0, 1\]") as excinfo:
+            validate_analysis_params(p, 10, "mean")
+        assert excinfo.value.field == "p"
+
+    def test_p_coercion_error_text(self):
+        with pytest.raises(RequestError, match="p must be a number and slices an integer"):
+            validate_analysis_params("high", 10, "mean")
+
+    def test_slices_floor_without_cap(self):
+        with pytest.raises(RequestError, match="slices must be at least 1") as excinfo:
+            validate_analysis_params(0.5, 0, "mean")
+        assert excinfo.value.field == "slices"
+
+    def test_slices_cap_with_service_bound(self):
+        with pytest.raises(RequestError, match=rf"slices must be in \[1, {MAX_SLICES}\]"):
+            validate_analysis_params(0.5, MAX_SLICES + 1, "mean", max_slices=MAX_SLICES)
+        # No cap: a one-shot frontend may go beyond the service bound.
+        assert validate_analysis_params(0.5, MAX_SLICES + 1, "mean")[1] == MAX_SLICES + 1
+
+    def test_operator_vocabulary_is_the_registry(self):
+        with pytest.raises(RequestError, match="unknown operator 'median'") as excinfo:
+            validate_analysis_params(0.5, 10, "median")
+        for name in available_operators():
+            assert name in str(excinfo.value)
+        for name in available_operators():
+            assert validate_analysis_params(0.5, 10, name)[2] == name
+
+
+class TestAnalysisRequest:
+    def test_from_query_builds_window_and_generation(self):
+        request = AnalysisRequest.from_query(
+            p="0.25", slices="8", operator="sum", last_k_slices="3", generation="2",
+        )
+        assert request == AnalysisRequest(
+            p=0.25, slices=8, operator="sum", anomaly_threshold=0.1,
+            window=WindowSpec.last(3), generation=2,
+        )
+
+    def test_params_echo_includes_the_window(self):
+        request = AnalysisRequest(p=0.5, slices=10, window=WindowSpec.span(1.0, 2.0))
+        assert request.params() == {
+            "p": 0.5, "slices": 10, "operator": "mean", "anomaly_threshold": 0.1,
+            "window": [1.0, 2.0],
+        }
+        bare = AnalysisRequest(p=0.5, slices=10)
+        assert "window" not in bare.params() and "last_k_slices" not in bare.params()
+
+    def test_bad_threshold_and_generation(self):
+        with pytest.raises(RequestError, match="anomaly_threshold must be a number"):
+            AnalysisRequest.from_query(anomaly_threshold="often")
+        with pytest.raises(RequestError, match="generation must be an integer"):
+            AnalysisRequest.from_query(generation="latest")
+
+    def test_validated_checks_jobs(self):
+        with pytest.raises(RequestError, match="jobs must be at least 1") as excinfo:
+            AnalysisRequest(jobs=0).validated()
+        assert excinfo.value.field == "jobs"
+
+    def test_requests_are_hashable_cache_keys(self):
+        a = AnalysisRequest(p=0.5, window=WindowSpec.last(2))
+        b = AnalysisRequest(p=0.5, window=WindowSpec.last(2))
+        assert hash(a) == hash(b) and a == b
+
+
+class TestSweepRequest:
+    def test_ps_normalized(self):
+        request = SweepRequest.from_query(ps=["0.1", 0.9], slices=8)
+        assert request.ps == (0.1, 0.9)
+
+    def test_bad_ps(self):
+        with pytest.raises(RequestError, match="ps must be a list of numbers"):
+            SweepRequest.from_query(ps=["fast"])
+        with pytest.raises(RequestError, match=r"p must be in \[0, 1\]"):
+            SweepRequest.from_query(ps=[0.5, 2.0])
+
+    def test_params_echo(self):
+        request = SweepRequest.from_query(slices=8, operator="sum", last_k_slices=2)
+        assert request.params() == {
+            "slices": 8, "operator": "sum", "last_k_slices": 2,
+        }
+
+
+class TestBatchAndCompare:
+    def test_batch_member_request_matches_analyze(self):
+        batch = BatchRequest(p=0.4, slices=16, operator="sum", jobs=4).validated()
+        assert batch.member_request().params() == AnalysisRequest(
+            p=0.4, slices=16, operator="sum"
+        ).params()
+
+    def test_compare_side_request(self):
+        compare = CompareRequest(p=0.4, slices=16).validated()
+        assert compare.side_request() == AnalysisRequest(p=0.4, slices=16)
+
+    def test_batch_rejects_bad_jobs(self):
+        with pytest.raises(RequestError, match="jobs must be at least 1"):
+            BatchRequest(jobs=0).validated()

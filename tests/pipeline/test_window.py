@@ -1,0 +1,98 @@
+"""Regression tests for the unified window layer.
+
+The CLI's ``--window`` parser and the service's ``last_k_slices``/``window``
+validator used to be two implementations; they are one
+(:class:`repro.pipeline.window.WindowSpec`) now.  These tests pin the
+**historical error texts of both frontends** so the deduplication cannot
+drift either vocabulary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.microscopic import MicroscopicModel
+from repro.pipeline import PipelineError, WindowSpec, resolve_window_bounds, window_section
+from repro.trace.synthetic import block_trace
+
+
+@pytest.fixture(scope="module")
+def model() -> MicroscopicModel:
+    trace = block_trace(n_resources=4, n_slices=12, n_blocks_time=3, seed=5)
+    return MicroscopicModel.from_trace(trace, n_slices=12)
+
+
+class TestCliSpelling:
+    def test_last_k(self):
+        assert WindowSpec.parse_text("last:3") == WindowSpec.last(3)
+
+    def test_time_span(self):
+        assert WindowSpec.parse_text("1.5:4.0") == WindowSpec.span(1.5, 4.0)
+
+    @pytest.mark.parametrize("text,message", [
+        ("last:x", "invalid --window 'last:x': K must be an integer"),
+        ("last:0", "--window last:K needs K >= 1"),
+        ("bad", "invalid --window 'bad': expected 'last:K' or 'T0:T1' with T0 < T1"),
+        ("5:1", "invalid --window '5:1': expected 'last:K' or 'T0:T1' with T0 < T1"),
+        ("a:b", "invalid --window 'a:b': expected 'last:K' or 'T0:T1' with T0 < T1"),
+        ("1:2:3", "invalid --window '1:2:3': expected 'last:K' or 'T0:T1' with T0 < T1"),
+    ])
+    def test_error_texts_are_the_cli_historicals(self, text, message):
+        with pytest.raises(PipelineError) as excinfo:
+            WindowSpec.parse_text(text)
+        assert str(excinfo.value) == message
+
+
+class TestServiceSpelling:
+    def test_last_k(self):
+        assert WindowSpec.from_query(last_k_slices=4) == WindowSpec.last(4)
+
+    def test_span(self):
+        assert WindowSpec.from_query(window=[0.5, 2.5]) == WindowSpec.span(0.5, 2.5)
+
+    def test_neither_is_none(self):
+        assert WindowSpec.from_query() is None
+
+    @pytest.mark.parametrize("kwargs,message", [
+        ({"last_k_slices": 2, "window": [0, 1]},
+         "last_k_slices and window are mutually exclusive"),
+        ({"last_k_slices": "soon"}, "last_k_slices must be an integer"),
+        ({"last_k_slices": 0}, "last_k_slices must be at least 1, got 0"),
+        ({"window": "wide"}, "window must be a [t0, t1) pair of numbers"),
+        ({"window": [3.0, 1.0]}, "window must satisfy t0 < t1, got [3.0, 1.0)"),
+    ])
+    def test_error_texts_are_the_service_historicals(self, kwargs, message):
+        with pytest.raises(PipelineError) as excinfo:
+            WindowSpec.from_query(**kwargs)
+        assert str(excinfo.value) == message
+
+
+class TestResolution:
+    def test_last_clamps_to_the_axis(self, model):
+        assert resolve_window_bounds(model, WindowSpec.last(3)) == (9, 12)
+        assert resolve_window_bounds(model, WindowSpec.last(99)) == (0, 12)
+
+    def test_span_covers_whole_slices(self, model):
+        edges = model.slicing.edges
+        a, b = resolve_window_bounds(
+            model, WindowSpec.span(float(edges[2]) + 1e-9, float(edges[5]) - 1e-9)
+        )
+        assert (a, b) == (2, 5)
+
+    def test_disjoint_span_is_an_error(self, model):
+        with pytest.raises(PipelineError, match="does not overlap"):
+            resolve_window_bounds(model, WindowSpec.span(1e9, 2e9))
+
+    def test_section_shape(self, model):
+        spec = WindowSpec.last(2)
+        a, b = resolve_window_bounds(model, spec)
+        section = window_section(model, a, b, spec)
+        assert section["requested"] == {"last_k_slices": 2}
+        assert section["slices"] == [10, 12]
+        assert section["stream_slices"] == 12
+        span = WindowSpec.span(0.0, 1.0)
+        assert window_section(model, 0, 1, span)["requested"] == {"t0": 0.0, "t1": 1.0}
+
+    def test_params_entries(self):
+        assert WindowSpec.last(5).params_entry() == {"last_k_slices": 5}
+        assert WindowSpec.span(1.0, 2.0).params_entry() == {"window": [1.0, 2.0]}
