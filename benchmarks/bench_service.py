@@ -1,0 +1,272 @@
+"""HTTP load benchmark of the service tier: 1 shard vs N shards.
+
+Drives the real stack end to end — client threads → the consistent-hash
+front-end router → shard worker processes running the stdlib HTTP server —
+and records request latency (p50/p99) plus throughput (traces/sec) over a
+(shards × concurrency) grid.  Before timing, the byte-identity tripwire
+asserts every ``/v1/analyze`` payload of the sharded cluster equals the
+1-shard cluster's bytes for the same request.
+
+Absolute latency depends entirely on the runner, so CI gates on
+``throughput_ratio`` — each cell's throughput relative to the 1-shard leg at
+the same concurrency *measured in the same run*.  On a single-CPU runner the
+ratio hovers around 1 (shards add process hops but no parallel compute); the
+gate catches the service tier suddenly serializing or the router adding a
+pathological per-request cost, not hardware noise.
+
+Usage::
+
+    python benchmarks/bench_service.py                   # full grid
+    python benchmarks/bench_service.py --smoke \
+        --output BENCH_service_smoke.json \
+        --check-against BENCH_service.json --max-regression 2.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from common import GateMetric, check_ratio_regression  # noqa: E402
+
+from repro.batch import discover_corpus, write_corpus_manifest  # noqa: E402
+from repro.service.cluster import ClusterConfig, start_cluster  # noqa: E402
+from repro.store import save_store  # noqa: E402
+from repro.trace.synthetic import random_trace  # noqa: E402
+
+#: Shard counts compared; 1 is the reference leg of every ratio.
+SHARD_GRID = (1, 4)
+#: Client concurrency levels (worker threads issuing requests back-to-back).
+CONCURRENCY_GRID = (1, 16, 64)
+#: Served corpus: N small stores, analysis slices per query.
+N_TRACES = 8
+QUERY_SLICES = 20
+#: Total requests per grid cell (split across the worker threads).
+FULL_REQUESTS = 640
+SMOKE_REQUESTS = 96
+
+
+def _percentile(sorted_values: "list[float]", fraction: float) -> float:
+    index = min(len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def _build_corpus(workdir: Path, seed: int) -> Path:
+    for index in range(N_TRACES):
+        save_store(
+            random_trace(
+                n_resources=8, n_slices=QUERY_SLICES, n_states=3,
+                seed=seed + index,
+            ),
+            workdir / f"svc{index}.rtz",
+        )
+    write_corpus_manifest(discover_corpus(workdir))
+    return workdir
+
+
+def _analyze_bytes(port: int, name: str) -> bytes:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request(
+            "POST", "/v1/analyze",
+            body=json.dumps({"trace": name, "p": 0.7, "slices": QUERY_SLICES}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        data = response.read()
+        if response.status != 200:
+            raise RuntimeError(f"warmup for {name!r} answered {response.status}: {data!r}")
+        return data
+    finally:
+        conn.close()
+
+
+def run_leg(
+    port: int, names: "list[str]", concurrency: int, total_requests: int
+) -> "tuple[list[float], float]":
+    """``total_requests`` split over ``concurrency`` keep-alive workers."""
+    per_worker = max(1, total_requests // concurrency)
+    latencies: "list[float]" = []
+    errors: "list[str]" = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(worker_id: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        local: "list[float]" = []
+        try:
+            barrier.wait()
+            for request_id in range(per_worker):
+                name = names[(worker_id + request_id) % len(names)]
+                body = json.dumps(
+                    {"trace": name, "p": 0.7, "slices": QUERY_SLICES}
+                ).encode()
+                started = time.perf_counter()
+                conn.request(
+                    "POST", "/v1/analyze", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                response.read()
+                local.append(time.perf_counter() - started)
+                if response.status != 200:
+                    raise RuntimeError(f"request answered {response.status}")
+        except Exception as exc:  # surfaced after the join
+            with lock:
+                errors.append(f"worker {worker_id}: {exc}")
+        finally:
+            conn.close()
+            with lock:
+                latencies.extend(local)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise RuntimeError("benchmark leg failed: " + "; ".join(errors[:3]))
+    return latencies, wall
+
+
+def bench_shards(
+    corpus: Path, shards: int, total_requests: int, seed: int
+) -> "tuple[list[dict], dict[str, bytes]]":
+    """All concurrency cells for one shard count, plus the identity payloads."""
+    handle = start_cluster(
+        [], corpus=corpus, shards=shards, port=0,
+        config=ClusterConfig(max_inflight=256, respawn=True),
+    )
+    thread = threading.Thread(target=handle.serve_forever, daemon=True)
+    thread.start()
+    try:
+        port = handle.address[1]
+        names = sorted(handle.server.routing)
+        # Warm every session and capture the identity payloads: after this,
+        # the measured path is the service tier itself (routing, HTTP, the
+        # session result cache), the paper's interactive regime.
+        payloads = {name: _analyze_bytes(port, name) for name in names}
+        rows = []
+        for concurrency in CONCURRENCY_GRID:
+            latencies, wall = run_leg(port, names, concurrency, total_requests)
+            latencies.sort()
+            rows.append({
+                "shards": shards,
+                "concurrency": concurrency,
+                "requests": len(latencies),
+                "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+                "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+                "traces_per_sec": round(len(latencies) / wall, 2),
+            })
+            print(
+                f"shards={shards} concurrency={concurrency:>3} "
+                f"requests={rows[-1]['requests']:>5} "
+                f"p50={rows[-1]['p50_ms']:7.2f}ms p99={rows[-1]['p99_ms']:7.2f}ms "
+                f"throughput={rows[-1]['traces_per_sec']:8.1f}/s"
+            )
+        return rows, payloads
+    finally:
+        handle.close()
+
+
+def check_regression(
+    results: "list[dict]", baseline_path: Path, max_regression: float
+) -> int:
+    return check_ratio_regression(
+        results,
+        baseline_path,
+        key_fields=("shards", "concurrency"),
+        metrics=[
+            GateMetric(
+                "throughput_ratio",
+                max_regression=max_regression,
+                note="N-shard throughput relative to 1 shard, same run",
+            )
+        ],
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="fewer requests per cell for CI smoke runs")
+    parser.add_argument("--seed", type=int, default=0, help="synthetic trace seed")
+    parser.add_argument("--workdir", type=Path, default=None,
+                        help="scratch directory for stores (default: a temp dir)")
+    parser.add_argument("--output", type=Path, default=ROOT / "BENCH_service.json",
+                        help="JSON output path (default: BENCH_service.json)")
+    parser.add_argument("--check-against", type=Path, default=None,
+                        help="baseline BENCH json to gate ratio regressions against")
+    parser.add_argument("--max-regression", type=float, default=2.5,
+                        help="maximum allowed throughput_ratio degradation factor "
+                             "(default: 2.5)")
+    args = parser.parse_args(argv)
+    total_requests = SMOKE_REQUESTS if args.smoke else FULL_REQUESTS
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = args.workdir if args.workdir is not None else Path(tmp)
+        workdir.mkdir(parents=True, exist_ok=True)
+        corpus = _build_corpus(workdir, args.seed)
+        results: "list[dict]" = []
+        reference_payloads: "dict[str, bytes]" = {}
+        reference_throughput: "dict[int, float]" = {}
+        for shards in SHARD_GRID:
+            rows, payloads = bench_shards(corpus, shards, total_requests, args.seed)
+            if not reference_payloads:
+                reference_payloads = payloads
+            elif payloads != reference_payloads:
+                differing = sorted(
+                    name for name in payloads
+                    if payloads[name] != reference_payloads.get(name)
+                )
+                raise AssertionError(
+                    f"/v1/analyze payloads differ between shard counts: {differing}"
+                )
+            for row in rows:
+                if row["shards"] == SHARD_GRID[0]:
+                    reference_throughput[row["concurrency"]] = row["traces_per_sec"]
+                row["throughput_ratio"] = round(
+                    row["traces_per_sec"] / reference_throughput[row["concurrency"]], 3
+                )
+                results.append(row)
+    print(f"byte-identity: {len(reference_payloads)} traces identical across "
+          f"shard counts {SHARD_GRID}")
+
+    payload = {
+        "benchmark": "service_cluster",
+        "config": {
+            "traces": N_TRACES,
+            "slices": QUERY_SLICES,
+            "requests_per_cell": total_requests,
+            "seed": args.seed,
+            "grid": "smoke" if args.smoke else "full",
+        },
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check_against is not None:
+        return check_regression(results, args.check_against, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

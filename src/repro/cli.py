@@ -222,6 +222,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8000,
                        help="TCP port (default: 8000; 0 picks a free port)")
+    serve.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="run N shard worker processes behind a consistent-hash "
+                            "routing front-end (default: one in-process server)")
+    serve.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                       help="bound on concurrently in-flight analyze/batch requests "
+                            "at the cluster front (default: 64; requires --shards)")
+    serve.add_argument("--rate-limit", type=float, default=None, metavar="RPS",
+                       help="per-client requests/second on POST routes at the "
+                            "cluster front (default: off; requires --shards)")
+    serve.add_argument("--request-timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-request shard proxy timeout at the cluster front "
+                            "(default: 30; requires --shards)")
     return parser
 
 
@@ -597,6 +609,17 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.max_sessions is not None and args.max_sessions < 1:
         print("error: --max-sessions must be at least 1", file=sys.stderr)
         return 2
+    if args.shards is not None:
+        return _command_serve_cluster(args)
+    for flag, value in (
+        ("--max-inflight", args.max_inflight),
+        ("--rate-limit", args.rate_limit),
+        ("--request-timeout", args.request_timeout),
+    ):
+        if value is not None:
+            print(f"error: {flag} requires --shards (it configures the "
+                  "cluster front-end)", file=sys.stderr)
+            return 2
     sessions: "dict[str, AnalysisSession]" = {}
     for path_text in args.traces:
         name = Path(path_text).stem or path_text
@@ -661,6 +684,84 @@ def _command_serve(args: argparse.Namespace) -> int:
         server.wait_idle()
         server.server_close()
         registry.close()
+    if stopping.is_set():
+        print("shutdown complete", file=sys.stderr)
+    return 0
+
+
+def _command_serve_cluster(args: argparse.Namespace) -> int:
+    """``repro serve --shards N``: shard workers behind the routing front."""
+    import dataclasses
+    import signal
+    import threading
+
+    from .service import ServiceError
+    from .service.cluster import ClusterConfig, start_cluster
+
+    if args.shards < 1:
+        print("error: --shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.max_inflight is not None and args.max_inflight < 1:
+        print("error: --max-inflight must be at least 1", file=sys.stderr)
+        return 2
+    if args.rate_limit is not None and args.rate_limit <= 0:
+        print("error: --rate-limit must be positive", file=sys.stderr)
+        return 2
+    if args.request_timeout is not None and args.request_timeout <= 0:
+        print("error: --request-timeout must be positive", file=sys.stderr)
+        return 2
+    overrides = {
+        key: value
+        for key, value in (
+            ("max_inflight", args.max_inflight),
+            ("rate_limit", args.rate_limit),
+            ("request_timeout", args.request_timeout),
+        )
+        if value is not None
+    }
+    config = dataclasses.replace(ClusterConfig(), **overrides)
+    try:
+        handle = start_cluster(
+            args.traces,
+            corpus=args.corpus,
+            shards=args.shards,
+            host=args.host,
+            port=args.port,
+            max_sessions=args.max_sessions,
+            config=config,
+        )
+    except (ServiceError, TraceIOError, OSError) as exc:
+        print(f"error: cannot start the service: {exc}", file=sys.stderr)
+        return 2
+    host, port = handle.address
+    names = sorted(handle.server.routing)
+
+    # Same drain protocol as single-process serve, extended to the workers:
+    # stop the supervisor, drain the front, then SIGTERM each shard (whose
+    # own handler drains and closes before the worker exits).
+    stopping = threading.Event()
+
+    def _request_shutdown(signum: int, frame: object) -> None:
+        if stopping.is_set():
+            return
+        stopping.set()
+        threading.Thread(target=handle.server.shutdown, daemon=True).start()
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, _request_shutdown)
+        signal.signal(signal.SIGINT, _request_shutdown)
+    print(f"serving {len(names)} trace(s) on http://{host}:{port} "
+          f"across {args.shards} shard(s) ({', '.join(names)})", flush=True)
+    try:
+        handle.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        handle.server.stop_supervisor()
+        handle.server.wait_idle(config.drain_timeout)
+        handle.server.server_close()
+        for shard in handle.shards:
+            shard.stop()
     if stopping.is_set():
         print("shutdown complete", file=sys.stderr)
     return 0

@@ -25,6 +25,7 @@ from ..core.partition import Partition
 from ..core.spatiotemporal import SpatiotemporalAggregator
 
 __all__ = [
+    "API_VERSION",
     "ANALYSIS_SCHEMA",
     "SWEEP_SCHEMA",
     "COMPARE_SCHEMA",
@@ -42,6 +43,11 @@ __all__ = [
     "batch_payload",
     "serialize_payload",
 ]
+
+#: Version prefix of the service's HTTP API (``/v1/...`` routes); quoted in
+#: every payload ``meta`` block and by ``GET /health``.  Bump only on an
+#: incompatible route/body redesign — additive changes stay within ``v1``.
+API_VERSION = "v1"
 
 ANALYSIS_SCHEMA = "repro.analysis/1"
 SWEEP_SCHEMA = "repro.sweep/1"
@@ -84,7 +90,7 @@ def package_version() -> str:
 
 def meta_section() -> Dict[str, Any]:
     """The ``meta`` block stamped into every payload."""
-    return {"version": package_version()}
+    return {"api": API_VERSION, "version": package_version()}
 
 
 @dataclass(frozen=True)

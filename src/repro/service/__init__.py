@@ -6,8 +6,15 @@ result cache, and :func:`build_server` exposes sessions over a stdlib JSON
 HTTP API (``repro serve``).
 """
 
+from .cluster import (
+    ClusterConfig,
+    ClusterHandle,
+    HashRing,
+    start_cluster,
+)
 from .http import TraceServiceServer, build_server
 from .registry import DEFAULT_MAX_SESSIONS, SessionRegistry
+from .routes import ROUTES, resolve_route
 from .serializer import (
     ANALYSIS_SCHEMA,
     SWEEP_SCHEMA,
@@ -42,4 +49,10 @@ __all__ = [
     "SessionRegistry",
     "DEFAULT_MAX_SESSIONS",
     "build_server",
+    "ClusterConfig",
+    "ClusterHandle",
+    "HashRing",
+    "start_cluster",
+    "ROUTES",
+    "resolve_route",
 ]

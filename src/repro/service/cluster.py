@@ -1,0 +1,882 @@
+"""Sharded service tier: a consistent-hash router over shard worker processes.
+
+``repro serve --shards N`` stands up **N shard workers** — each a full
+:class:`~repro.service.http.TraceServiceServer` in its own process, bound to
+an ephemeral loopback port — behind one **front-end router**
+(:class:`ClusterFrontServer`).  The front consistent-hashes each trace's
+content digest onto the shard ring, so every trace has exactly one owner
+shard holding its sessions, caches and (for store-backed traces) its single
+append writer.
+
+Design choices, in the order they matter:
+
+* **Byte-identity by construction.**  The front proxies request and response
+  bodies as raw bytes; the payloads a client sees are produced by the very
+  same handler code whether it talks to ``--shards 1`` or ``--shards 8``.
+  The only front-side re-serialization is the ``/v1/batch`` merge, which
+  rebuilds the payload through :func:`~repro.pipeline.payloads.batch_payload`
+  — the same function the shard uses — from the per-shard results.
+* **Every shard can name every trace.**  Shards load the full corpus
+  *description* (cheap) but only pre-warm the sessions they own, so routing
+  keeps memory sharded in steady state while error messages (``unknown trace
+  ... served traces: [...]``) and cross-shard ``/v1/compare`` stay identical
+  to the single-process server.
+* **Production guard-rails live at the front**: per-request proxy timeouts
+  (504 ``shard_timeout``), a bounded in-flight counter on the expensive
+  routes (429 ``overloaded`` + ``Retry-After``), an optional per-client
+  token-bucket rate limit (429 ``rate_limited``), ``/healthz``/``/readyz``
+  probes, and a supervisor that respawns dead shard workers (requests racing
+  a dead shard answer 503 ``shard_unavailable``).
+* **Graceful drain.**  ``SIGTERM`` on the front stops the supervisor, drains
+  in-flight front requests, then ``SIGTERM``\\ s each shard — whose own
+  handler drains and closes exactly like single-process ``repro serve``.
+
+Everything is stdlib: :mod:`multiprocessing` workers, :mod:`http.client`
+proxying, :mod:`hashlib` ring hashing.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import http.client
+import json
+import multiprocessing
+import multiprocessing.connection
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..batch.corpus import Corpus, CorpusEntry, entry_for_path, load_corpus
+from ..pipeline.errors import RequestError
+from ..pipeline.payloads import (
+    API_VERSION,
+    batch_payload,
+    package_version,
+)
+from ..store.store import open_store
+from .http import DrainableThreadingHTTPServer, JSONHandler, build_server, read_raw_body
+from .registry import DEFAULT_MAX_SESSIONS, SessionRegistry, paginate_entries
+from .routes import Route, deprecation_headers, parse_traces_query, resolve_route
+from .session import AnalysisSession, ServiceError
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterFrontServer",
+    "ClusterHandle",
+    "HashRing",
+    "ShardHandle",
+    "ShardSpec",
+    "ShardTimeoutError",
+    "ShardUnavailableError",
+    "TokenBucketLimiter",
+    "plan_cluster",
+    "routing_digest",
+    "start_cluster",
+]
+
+
+class ShardUnavailableError(Exception):
+    """A shard worker could not be reached (died, restarting, refused)."""
+
+
+class ShardTimeoutError(Exception):
+    """A shard worker did not answer within the request timeout."""
+
+
+# --------------------------------------------------------------------------- #
+# Consistent hashing
+# --------------------------------------------------------------------------- #
+class HashRing:
+    """A consistent-hash ring mapping string keys onto shard indexes.
+
+    Each shard contributes ``replicas`` virtual points (sha256 of
+    ``"shard-{i}:{r}"``), so key ownership is spread evenly and — the point
+    of consistent hashing — changing the shard count moves only ``~1/N`` of
+    the keys instead of reshuffling everything.
+    """
+
+    def __init__(self, n_shards: int, replicas: int = 64):
+        if n_shards < 1:
+            raise ServiceError("the cluster needs at least one shard")
+        points: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                points.append((self._hash(f"shard-{shard}:{replica}"), shard))
+        points.sort()
+        self.n_shards = n_shards
+        self._hashes = [point for point, _ in points]
+        self._shards = [shard for _, shard in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def lookup(self, key: str) -> int:
+        """The shard index owning ``key``."""
+        index = bisect.bisect_right(self._hashes, self._hash(key))
+        return self._shards[index % len(self._shards)]
+
+
+def routing_digest(entry: CorpusEntry) -> str:
+    """The stable content key a trace is routed by.
+
+    Manifest-pinned digests are used as-is; store entries read the digest
+    from the store manifest (cheap — no chunk is touched); file entries hash
+    their raw bytes.  The key only has to be *stable and content-derived* —
+    it need not equal the analysis-level trace digest — so raw-byte hashing
+    keeps startup from parsing every CSV in the corpus just to route it.
+    """
+    if entry.digest is not None:
+        return entry.digest
+    if entry.kind == "store":
+        return str(open_store(entry.path).digest)
+    digest = hashlib.sha256()
+    with open(entry.path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# Shard workers
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a shard worker process needs to build its server.
+
+    Picklable (plain strings/tuples) so it crosses ``multiprocessing`` start
+    methods.  ``owned`` lists the trace names this shard is the router-chosen
+    owner of: those are served resident (pinned paths) or pre-warmed into the
+    registry LRU (corpus members, capped at ``max_sessions``); every other
+    served name stays resolvable but is only opened on demand.
+    """
+
+    index: int
+    host: str
+    trace_paths: Tuple[str, ...]
+    corpus_path: Optional[str]
+    owned: Tuple[str, ...]
+    max_sessions: int
+
+
+def _shard_registry(spec: ShardSpec) -> SessionRegistry:
+    """Build the worker's registry: owned pinned traces resident, rest lazy."""
+    owned = set(spec.owned)
+    pinned: Dict[str, AnalysisSession] = {}
+    lazy: List[CorpusEntry] = []
+    for raw in spec.trace_paths:
+        entry = entry_for_path(raw)
+        if entry.name in owned:
+            # Owned pinned traces stay resident forever (never LRU-evicted),
+            # matching single-process `repro serve path...` — in particular
+            # appends against in-memory traces cannot be evicted away.
+            pinned[entry.name] = AnalysisSession(entry.load(), name=entry.name)
+        else:
+            lazy.append(entry)
+    root = Path(spec.corpus_path) if spec.corpus_path else Path(".")
+    if spec.corpus_path:
+        lazy.extend(load_corpus(spec.corpus_path).entries)
+    corpus = Corpus(root, lazy) if lazy else None
+    registry = SessionRegistry(
+        sessions=pinned, corpus=corpus, max_sessions=spec.max_sessions
+    )
+    if corpus is not None:
+        # Pre-warm the owned corpus slice so the first request is not a cold
+        # open; respect the LRU bound (a shard owning more corpus members
+        # than max_sessions warms only the first page).
+        for name in sorted(owned & set(corpus.names))[: spec.max_sessions]:
+            registry.get(name)
+    return registry
+
+
+def _shard_main(
+    spec: ShardSpec, conn: "multiprocessing.connection.Connection"
+) -> None:
+    """Shard worker entry point: build the registry, serve, drain on SIGTERM."""
+    import signal
+
+    try:
+        registry = _shard_registry(spec)
+        server = build_server(registry, host=spec.host, port=0)
+    except BaseException as exc:  # report startup failure to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+
+    stopping = threading.Event()
+
+    def _stop(signum: int, frame: Any) -> None:
+        if stopping.is_set():
+            return
+        stopping.set()
+        # shutdown() must not run on the signal-handling (main) thread: it
+        # blocks until serve_forever — also on this thread — exits.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    # Ctrl-C lands on the whole foreground process group; the front drives
+    # shard shutdown via SIGTERM, so the worker ignores the stray SIGINT.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    conn.send(("ready", server.server_address[1]))
+    conn.close()
+    try:
+        server.serve_forever(poll_interval=0.05)
+    finally:
+        server.wait_idle()
+        server.server_close()
+        registry.close()
+
+
+class ShardHandle:
+    """Parent-side handle of one shard worker process.
+
+    Owns spawning (and respawning) the worker and the ready handshake: the
+    child announces its ephemeral port — or a startup error — through a
+    one-shot pipe before the parent wires it into the ring.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        start_timeout: float = 60.0,
+        mp_context: "Any | None" = None,
+    ):
+        self.spec = spec
+        self.index = spec.index
+        self.host = spec.host
+        self.port: Optional[int] = None
+        self.process: "multiprocessing.process.BaseProcess | None" = None
+        self.respawns = 0
+        self._start_timeout = start_timeout
+        self._mp = mp_context if mp_context is not None else multiprocessing.get_context()
+
+    def start(self) -> None:
+        """Spawn the worker and wait for its ready/error handshake."""
+        parent_conn, child_conn = self._mp.Pipe(duplex=False)
+        process = self._mp.Process(
+            target=_shard_main,
+            args=(self.spec, child_conn),
+            name=f"repro-shard-{self.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(self._start_timeout):
+                process.terminate()
+                process.join(2.0)
+                raise ServiceError(
+                    f"shard {self.index} did not report ready within "
+                    f"{self._start_timeout:g}s"
+                )
+            kind, value = parent_conn.recv()
+        except EOFError:
+            process.join(2.0)
+            raise ServiceError(
+                f"shard {self.index} died during startup"
+            ) from None
+        finally:
+            parent_conn.close()
+        if kind != "ready":
+            process.join(2.0)
+            raise ServiceError(f"shard {self.index} failed to start: {value}")
+        self.process = process
+        self.port = int(value)
+
+    def alive(self) -> bool:
+        """Whether the worker process is currently running."""
+        return self.process is not None and self.process.is_alive()
+
+    def respawn(self) -> None:
+        """Replace a dead worker with a fresh one (same spec, new port)."""
+        if self.process is not None:
+            self.process.join(0.1)  # reap the corpse; no-op if still alive
+        self.respawns += 1
+        self.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """SIGTERM the worker (graceful drain), escalating to SIGKILL."""
+        process = self.process
+        self.process = None
+        if process is None:
+            return
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout)
+            if process.is_alive():
+                process.kill()
+                process.join(2.0)
+
+
+# --------------------------------------------------------------------------- #
+# Front-end limits
+# --------------------------------------------------------------------------- #
+class TokenBucketLimiter:
+    """Per-client token buckets: ``rate`` requests/second, ``burst`` deep."""
+
+    def __init__(self, rate: float, burst: "float | None" = None):
+        if rate <= 0:
+            raise ServiceError("rate limit must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(2.0 * rate, 1.0)
+        if self.burst < 1.0:
+            raise ServiceError("rate-limit burst must allow at least one request")
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._lock = threading.Lock()
+
+    def acquire(self, key: str, now: "float | None" = None) -> float:
+        """Take one token for ``key``; 0.0 when allowed, else seconds to wait."""
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            tokens, updated = self._buckets.get(key, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - updated) * self.rate)
+            if tokens >= 1.0:
+                self._buckets[key] = (tokens - 1.0, now)
+                return 0.0
+            self._buckets[key] = (tokens, now)
+            return (1.0 - tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Front-end knobs of the sharded service (all have safe defaults)."""
+
+    #: Concurrent in-flight bound on the expensive routes (analyze/batch);
+    #: requests beyond it answer 429 ``overloaded`` with ``Retry-After``.
+    max_inflight: int = 64
+    #: Per-client requests/second on POST routes; ``None`` disables limiting.
+    rate_limit: Optional[float] = None
+    #: Token-bucket depth; defaults to ``2 * rate_limit``.
+    rate_burst: Optional[float] = None
+    #: Proxy timeout per shard request; exceeding it answers 504.
+    request_timeout: float = 30.0
+    #: Timeout of the per-shard probes behind ``/readyz`` and ``/v1/health``.
+    probe_timeout: float = 2.0
+    #: Respawn dead shard workers (the supervisor thread); tests disable it
+    #: to assert the 503 a dead shard produces.
+    respawn: bool = True
+    #: Supervisor poll interval in seconds.
+    respawn_poll: float = 0.25
+    #: How long a shard worker may take to report ready.
+    start_timeout: float = 60.0
+    #: Drain bound for in-flight requests during shutdown.
+    drain_timeout: float = 5.0
+
+
+# --------------------------------------------------------------------------- #
+# Front-end server
+# --------------------------------------------------------------------------- #
+class ClusterFrontServer(DrainableThreadingHTTPServer):
+    """The routing front-end: owns the shard table and the limit counters."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        shards: "Sequence[ShardHandle]",
+        routing: Mapping[str, int],
+        config: "ClusterConfig | None" = None,
+    ):
+        self.shards = list(shards)
+        self.routing = dict(routing)
+        self.config = config if config is not None else ClusterConfig()
+        self.limiter = (
+            TokenBucketLimiter(self.config.rate_limit, self.config.rate_burst)
+            if self.config.rate_limit
+            else None
+        )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._supervisor: Optional[threading.Thread] = None
+        self._supervisor_stop = threading.Event()
+        super().__init__(address, ClusterFrontHandler)
+
+    # -- in-flight bound ------------------------------------------------- #
+    def try_acquire(self) -> bool:
+        with self._inflight_lock:
+            if self._inflight >= self.config.max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    # -- rate limit ------------------------------------------------------ #
+    def allow_client(self, key: str) -> float:
+        """0.0 when the client may proceed, else seconds until it may retry."""
+        if self.limiter is None:
+            return 0.0
+        return self.limiter.acquire(key)
+
+    # -- supervisor ------------------------------------------------------ #
+    def start_supervisor(self) -> None:
+        """Start the respawn watchdog (no-op when ``config.respawn`` is off)."""
+        if not self.config.respawn or self._supervisor is not None:
+            return
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-shard-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def stop_supervisor(self) -> None:
+        self._supervisor_stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(5.0)
+            self._supervisor = None
+
+    def _supervise(self) -> None:
+        while not self._supervisor_stop.wait(self.config.respawn_poll):
+            for shard in self.shards:
+                if self._supervisor_stop.is_set():
+                    return
+                if not shard.alive():
+                    try:
+                        shard.respawn()
+                    except ServiceError:
+                        # Startup failed; leave the shard dead (requests keep
+                        # answering 503) and retry on the next poll.
+                        continue
+
+
+class ClusterFrontHandler(JSONHandler):
+    """Front-end request handler: limits, routing, proxying, fan-out merges."""
+
+    server: ClusterFrontServer
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, method: str) -> None:
+        path, _, query = self.path.partition("?")
+        resolved = resolve_route(method, path)
+        if resolved is None:
+            self._extra_headers = ()
+            self._send_error(
+                404, f"no such endpoint: {path.rstrip('/') or '/'}", code="not_found"
+            )
+            return
+        route, is_legacy = resolved
+        self._extra_headers = deprecation_headers(route) if is_legacy else ()
+        server = self.server
+        if method == "POST" and server.limiter is not None:
+            client = self.client_address[0]
+            wait = server.allow_client(client)
+            if wait > 0.0:
+                retry = max(1, int(wait + 0.999))
+                self.close_connection = True  # request body left unread
+                self._send_error(
+                    429,
+                    f"client {client} exceeded the rate limit "
+                    f"({server.config.rate_limit:g} requests/s); "
+                    f"retry in {retry}s",
+                    code="rate_limited",
+                    retry_after=retry,
+                )
+                return
+        acquired = False
+        if route.cluster_limited:
+            if not server.try_acquire():
+                self.close_connection = True  # request body left unread
+                self._send_error(
+                    429,
+                    f"service is at its in-flight capacity "
+                    f"({server.config.max_inflight} requests); retry shortly",
+                    code="overloaded",
+                    retry_after=1,
+                )
+                return
+            acquired = True
+        try:
+            getattr(self, f"_handle_{route.name}")(route, query)
+        except RequestError as exc:
+            self._send_error(400, str(exc), field=exc.field)
+        except ServiceError as exc:
+            self._send_error(400, str(exc))
+        except ShardTimeoutError as exc:
+            self._send_error(504, str(exc), code="shard_timeout")
+        except ShardUnavailableError as exc:
+            self._send_error(
+                503, str(exc), code="shard_unavailable", retry_after=1
+            )
+        finally:
+            if acquired:
+                server.release()
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    # ------------------------------------------------------------------ #
+    # Proxy plumbing
+    # ------------------------------------------------------------------ #
+    def _proxy(
+        self,
+        shard: ShardHandle,
+        method: str,
+        path: str,
+        body: "bytes | None" = None,
+        timeout: "float | None" = None,
+    ) -> Tuple[int, bytes]:
+        """One request against ``shard``; raises the shard failure exceptions."""
+        if timeout is None:
+            timeout = self.server.config.request_timeout
+        port = shard.port
+        if port is None:
+            raise ShardUnavailableError(
+                f"shard {shard.index} is unavailable: worker has no port yet "
+                "(starting up); retry shortly"
+            )
+        conn = http.client.HTTPConnection(shard.host, port, timeout=timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        except (socket.timeout, TimeoutError):
+            raise ShardTimeoutError(
+                f"shard {shard.index} did not answer within {timeout:g}s"
+            ) from None
+        except (ConnectionError, http.client.HTTPException, OSError) as exc:
+            raise ShardUnavailableError(
+                f"shard {shard.index} is unavailable "
+                f"({type(exc).__name__}); the worker died or is restarting — "
+                "retry shortly"
+            ) from exc
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _lenient_body(raw: bytes) -> "dict[str, Any] | None":
+        """Parse the body far enough to route it; ``None`` when malformed.
+
+        Malformed bodies are still *forwarded* (to shard 0), so the canonical
+        400 envelope is produced by the same shard-side validation code the
+        single-process server runs.
+        """
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        return body if isinstance(body, dict) else None
+
+    def _route_target(self, route: Route, body: "dict[str, Any] | None") -> ShardHandle:
+        """The shard a request belongs to.
+
+        Unroutable requests (malformed body, unknown name, ambiguous omitted
+        name) go to shard 0, whose full-corpus registry answers the canonical
+        400/404 envelope.  ``/v1/compare`` routes by side ``a``; the owning
+        shard lazily opens ``b`` even when it belongs elsewhere.
+        """
+        shards = self.server.shards
+        routing = self.server.routing
+        if not isinstance(body, dict):
+            return shards[0]
+        key = body.get("a") if route.name == "compare" else body.get("trace")
+        if key is None and len(routing) == 1:
+            return shards[next(iter(routing.values()))]
+        if isinstance(key, str) and key in routing:
+            return shards[routing[key]]
+        return shards[0]
+
+    def _forward(self, route: Route, query: str) -> None:
+        """Proxy one POST body to its owner shard and relay the raw answer."""
+        raw = read_raw_body(self)
+        shard = self._route_target(route, self._lenient_body(raw))
+        status, data = self._proxy(shard, "POST", route.path, body=raw)
+        self._send_bytes(status, data)
+
+    # ------------------------------------------------------------------ #
+    # GET handlers
+    # ------------------------------------------------------------------ #
+    def _handle_health(self, route: Route, query: str) -> None:
+        server = self.server
+        cfg = server.config
+        alive = 0
+        cache = {"hits": 0, "misses": 0, "entries": 0}
+        for shard in server.shards:
+            try:
+                status, data = self._proxy(
+                    shard, "GET", "/v1/health", timeout=cfg.probe_timeout
+                )
+            except (ShardUnavailableError, ShardTimeoutError):
+                continue
+            if status != 200:
+                continue
+            alive += 1
+            shard_cache = json.loads(data).get("cache", {})
+            for key in cache:
+                cache[key] += int(shard_cache.get(key, 0))
+        self._send_json(
+            200,
+            {
+                "api": API_VERSION,
+                "status": "ok" if alive == len(server.shards) else "degraded",
+                "service": self.server_version,
+                "version": package_version(),
+                "n_traces": len(server.routing),
+                "cluster": {
+                    "shards": len(server.shards),
+                    "alive": alive,
+                    "respawns": sum(shard.respawns for shard in server.shards),
+                },
+                "cache": cache,
+            },
+        )
+
+    def _handle_healthz(self, route: Route, query: str) -> None:
+        self._send_json(200, {"status": "ok"})
+
+    def _handle_readyz(self, route: Route, query: str) -> None:
+        cfg = self.server.config
+        dead: List[int] = []
+        for shard in self.server.shards:
+            try:
+                status, _ = self._proxy(
+                    shard, "GET", "/healthz", timeout=cfg.probe_timeout
+                )
+            except (ShardUnavailableError, ShardTimeoutError):
+                dead.append(shard.index)
+                continue
+            if status != 200:
+                dead.append(shard.index)
+        if dead:
+            self._send_error(
+                503,
+                f"shards not answering: {dead}",
+                code="not_ready",
+                retry_after=1,
+            )
+            return
+        self._send_json(
+            200, {"status": "ready", "shards": len(self.server.shards)}
+        )
+
+    def _handle_traces(self, route: Route, query: str) -> None:
+        """Merge the per-shard listings, then filter/paginate at the front.
+
+        Each shard lists every name it can resolve, so the front keeps only
+        the entries a shard *owns* — those carry the authoritative residency
+        and cache statistics — and applies the same pagination helper the
+        single-process registry uses.
+        """
+        limit, offset, digest = parse_traces_query(query)
+        routing = self.server.routing
+        merged: Dict[str, Dict[str, Any]] = {}
+        for shard in self.server.shards:
+            status, data = self._proxy(shard, "GET", "/v1/traces?limit=0")
+            if status != 200:
+                self._send_bytes(status, data)
+                return
+            for entry in json.loads(data)["traces"]:
+                if routing.get(entry["name"]) == shard.index:
+                    merged[entry["name"]] = entry
+        entries = [merged[name] for name in sorted(merged)]
+        page, meta = paginate_entries(
+            entries, limit=limit, offset=offset, digest=digest
+        )
+        self._send_json(
+            200,
+            {"available": sorted(self.server.routing), "meta": meta, "traces": page},
+        )
+
+    # ------------------------------------------------------------------ #
+    # POST handlers
+    # ------------------------------------------------------------------ #
+    def _handle_analyze(self, route: Route, query: str) -> None:
+        self._forward(route, query)
+
+    def _handle_sweep(self, route: Route, query: str) -> None:
+        self._forward(route, query)
+
+    def _handle_append(self, route: Route, query: str) -> None:
+        self._forward(route, query)
+
+    def _handle_compare(self, route: Route, query: str) -> None:
+        self._forward(route, query)
+
+    def _handle_batch(self, route: Route, query: str) -> None:
+        """Fan ``/v1/batch`` out by owner shard and merge the results.
+
+        The merged payload is rebuilt through the same
+        :func:`~repro.pipeline.payloads.batch_payload` the shard handler
+        uses — summary and ranking are recomputed deterministically from the
+        union of per-shard results, so the bytes match a single server
+        analyzing the same names.  Any shard-level failure (400/404/409)
+        is relayed verbatim; validation of malformed requests is delegated
+        to shard 0 so the canonical envelopes stay byte-identical.
+        """
+        raw = read_raw_body(self)
+        body = self._lenient_body(raw)
+        routing = self.server.routing
+        shards = self.server.shards
+        names = body.get("traces") if body is not None else None
+        if names is None:
+            names = sorted(routing)
+        if (
+            body is None
+            or not isinstance(names, list)
+            or not names
+            or not all(isinstance(name, str) and name in routing for name in names)
+        ):
+            # Malformed/unknown selections: let shard 0 produce the
+            # canonical 400/404 envelope.
+            status, data = self._proxy(shards[0], "POST", route.path, body=raw)
+            self._send_bytes(status, data)
+            return
+        groups: Dict[int, List[str]] = {}
+        for name in names:
+            groups.setdefault(routing[name], []).append(name)
+        params: Dict[str, Any] = {}
+        results: Dict[str, Any] = {}
+        failures: Dict[str, Dict[str, str]] = {}
+        for index in sorted(groups):
+            sub_body = dict(body)
+            sub_body["traces"] = groups[index]
+            status, data = self._proxy(
+                shards[index],
+                "POST",
+                route.path,
+                body=json.dumps(sub_body).encode("utf-8"),
+            )
+            if status != 200:
+                self._send_bytes(status, data)
+                return
+            payload = json.loads(data)
+            results.update(payload["results"])
+            if payload["results"]:
+                params = payload["params"]
+            for failure in payload.get("errors", []):
+                failures[failure["name"]] = failure
+        errors = [failures[name] for name in names if name in failures]
+        self._send_json(200, batch_payload(results, params, errors=errors))
+
+
+# --------------------------------------------------------------------------- #
+# Cluster assembly
+# --------------------------------------------------------------------------- #
+def plan_cluster(
+    trace_paths: "Iterable[str | Path]",
+    corpus: "str | Path | None" = None,
+    shards: int = 1,
+    host: str = "127.0.0.1",
+    max_sessions: "int | None" = None,
+) -> Tuple[List[ShardSpec], Dict[str, int]]:
+    """Partition the served traces across ``shards`` workers.
+
+    Builds the combined corpus description once (validating duplicate names
+    with the canonical error messages), routes every trace by its
+    :func:`routing_digest` on the :class:`HashRing`, and returns the
+    per-shard specs plus the ``name -> shard index`` routing table the front
+    uses.
+    """
+    paths = [str(path) for path in trace_paths]
+    entries = [entry_for_path(path) for path in paths]
+    if corpus is not None:
+        entries.extend(load_corpus(corpus).entries)
+    root = Path(corpus) if corpus is not None else Path(".")
+    combined = Corpus(root, entries)  # validates duplicates / emptiness
+    ring = HashRing(shards)
+    routing = {
+        entry.name: ring.lookup(routing_digest(entry)) for entry in combined
+    }
+    owned: Dict[int, List[str]] = {index: [] for index in range(shards)}
+    for name in sorted(routing):
+        owned[routing[name]].append(name)
+    effective = max_sessions if max_sessions is not None else DEFAULT_MAX_SESSIONS
+    specs = [
+        ShardSpec(
+            index=index,
+            host=host,
+            trace_paths=tuple(paths),
+            corpus_path=str(corpus) if corpus is not None else None,
+            owned=tuple(owned[index]),
+            max_sessions=effective,
+        )
+        for index in range(shards)
+    ]
+    return specs, routing
+
+
+class ClusterHandle:
+    """A running cluster: the front server plus its shard worker handles."""
+
+    def __init__(self, server: ClusterFrontServer, shards: List[ShardHandle]):
+        self.server = server
+        self.shards = shards
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.server.server_address[:2]
+        return str(host), int(port)
+
+    def serve_forever(self) -> None:
+        self.server.serve_forever(poll_interval=0.05)
+
+    def close(self) -> None:
+        """Graceful drain: front first, then SIGTERM each shard worker.
+
+        Requires :meth:`serve_forever` to be running in another thread (the
+        CLI and the tests both run it that way); in-flight front requests
+        finish within ``config.drain_timeout`` before the workers are told
+        to drain themselves.
+        """
+        self.server.stop_supervisor()
+        self.server.shutdown()
+        self.server.wait_idle(self.server.config.drain_timeout)
+        self.server.server_close()
+        for shard in self.shards:
+            shard.stop()
+
+
+def start_cluster(
+    trace_paths: "Iterable[str | Path]",
+    corpus: "str | Path | None" = None,
+    shards: int = 1,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    max_sessions: "int | None" = None,
+    config: "ClusterConfig | None" = None,
+) -> ClusterHandle:
+    """Spawn the shard workers and bind the front-end router.
+
+    Workers are started sequentially (each handshakes its ephemeral port);
+    a worker that fails to start tears the already-started ones down before
+    the error propagates.  The respawn supervisor is started when
+    ``config.respawn`` is enabled.  ``port=0`` picks a free front port.
+    """
+    config = config if config is not None else ClusterConfig()
+    specs, routing = plan_cluster(
+        trace_paths,
+        corpus=corpus,
+        shards=shards,
+        host=host if host not in ("", "0.0.0.0") else "127.0.0.1",
+        max_sessions=max_sessions,
+    )
+    handles: List[ShardHandle] = []
+    try:
+        for spec in specs:
+            handle = ShardHandle(spec, start_timeout=config.start_timeout)
+            handle.start()
+            handles.append(handle)
+        front = ClusterFrontServer((host, port), handles, routing, config)
+    except BaseException:
+        for handle in handles:
+            handle.stop(timeout=2.0)
+        raise
+    front.start_supervisor()
+    return ClusterHandle(front, handles)

@@ -1,43 +1,49 @@
 """Stdlib HTTP front-end for the analysis service (``repro serve``).
 
-A :class:`~http.server.ThreadingHTTPServer` exposing a small JSON API over a
-registry of :class:`~repro.service.session.AnalysisSession`:
+A :class:`~http.server.ThreadingHTTPServer` exposing the versioned ``v1``
+JSON API over a registry of :class:`~repro.service.session.AnalysisSession`.
+The route table lives in :mod:`repro.service.routes`; the endpoints are:
 
-* ``GET /health`` — liveness plus aggregate cache statistics;
-* ``GET /traces`` — the served traces and their content digests;
-* ``POST /analyze`` — one aggregation query, ``{"trace": name, "p": 0.7,
+* ``GET /v1/health`` — liveness plus aggregate cache statistics (quotes the
+  package and API versions);
+* ``GET /healthz`` / ``GET /readyz`` — k8s-style liveness/readiness probes;
+* ``GET /v1/traces`` — paginated listing of the served traces
+  (``?limit=``/``?offset=``, ``?digest=`` exact-match filter, with
+  ``meta.total`` / ``meta.next_offset`` in the payload);
+* ``POST /v1/analyze`` — one aggregation query, ``{"trace": name, "p": 0.7,
   "slices": 30, "operator": "mean"}`` (every field optional; ``trace``
   defaults to the only served trace).  The response body is byte-identical
   to ``repro analyze --json`` on the same content and parameters;
-* ``POST /sweep`` — batch multi-``p`` sweep, ``{"trace": name, "ps": [...]}``
-  (omit ``ps`` to get the significant-parameter search);
-* ``POST /append`` — streaming ingestion into a store-backed session,
+* ``POST /v1/sweep`` — batch multi-``p`` sweep, ``{"trace": name, "ps":
+  [...]}`` (omit ``ps`` to get the significant-parameter search);
+* ``POST /v1/append`` — streaming ingestion into a store-backed session,
   ``{"trace": name, "intervals": [[start, end, "resource", "state"], ...]}``;
-  rows must continue the canonical ``(start, end)`` order and reference known
-  resources/states.  Bumps the trace *generation*; the response echoes it;
-* ``POST /batch`` — one analysis per served trace, ``{"traces": [names],
-  "p": 0.7, "slices": 30}`` (omit ``traces`` to analyze every served trace);
-  the response is the corpus batch payload of ``repro batch --json``:
-  per-trace analysis payloads plus the heterogeneity ranking;
-* ``POST /compare`` — cross-trace comparison, ``{"a": name, "b": name,
-  "p": 0.7, "slices": 30}``.  The response body is byte-identical to
-  ``repro compare --json`` on the same content and parameters.
+* ``POST /v1/batch`` — one analysis per served trace (the corpus batch
+  payload of ``repro batch --json``);
+* ``POST /v1/compare`` — cross-trace comparison, byte-identical to
+  ``repro compare --json``.
 
-Traces come from a :class:`~repro.service.registry.SessionRegistry`: pinned
-sessions stay resident forever, corpus members (``repro serve --corpus``)
-are opened lazily and kept in an LRU of at most ``--max-sessions``
-concurrently resident sessions.
+The historical unversioned paths (``/analyze``, ``/traces``, ...) remain as
+aliases answering identically plus a ``Deprecation: true`` header and a
+``Link`` to their ``/v1`` successor.
+
+Every error — any endpoint, any status — carries the one envelope of
+:func:`repro.pipeline.errors.error_envelope`::
+
+    {"error": {"code": "invalid_request", "message": "...", "field": "p"}}
 
 ``/analyze`` and ``/sweep`` accept two optional windowing parameters for live
 traces — ``"last_k_slices": k`` or ``"window": [t0, t1]`` — evaluated against
 the session's incrementally grown streaming model, plus an optional
 ``"generation": g`` pin; a query whose expected generation lost a race with
-an append is answered with **409 Conflict** rather than a silently stale or
-torn result (re-read the generation and retry).
+an append is answered with **409 Conflict** (code ``stale_generation``)
+rather than a silently stale or torn result.
 
 No third-party web framework: the service must run wherever the library
 does, and the stdlib threading server is plenty for an analysis cache whose
-hot path is a dictionary lookup.
+hot path is a dictionary lookup.  ``repro serve --shards N`` wraps this very
+server in shard worker processes behind the consistent-hash router of
+:mod:`repro.service.cluster`.
 """
 
 from __future__ import annotations
@@ -46,18 +52,56 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional, Tuple
 
-from ..pipeline.payloads import batch_payload, compare_payload, package_version, serialize_payload
+from ..pipeline.errors import RequestError, error_envelope
+from ..pipeline.payloads import (
+    API_VERSION,
+    batch_payload,
+    compare_payload,
+    package_version,
+    serialize_payload,
+)
 from ..pipeline.requests import AnalysisRequest, SweepRequest
 from ..trace.io import TraceIOError
 from .registry import SessionRegistry
+from .routes import Route, deprecation_headers, parse_traces_query, resolve_route
 from .session import AnalysisSession, ServiceError, StaleGenerationError
 
-__all__ = ["TraceServiceServer", "build_server", "MAX_BODY_BYTES"]
+__all__ = [
+    "DrainableThreadingHTTPServer",
+    "JSONHandler",
+    "TraceServiceServer",
+    "build_server",
+    "read_raw_body",
+    "MAX_BODY_BYTES",
+]
 
 #: Largest accepted request body; queries are tiny, anything bigger is abuse.
 MAX_BODY_BYTES = 1 << 20
+
+
+def read_raw_body(handler: BaseHTTPRequestHandler) -> bytes:
+    """Read a bounded request body, with the canonical error phrasing.
+
+    Shared by the single-process handler and the cluster front-end router so
+    both reject malformed ``Content-Length`` headers and oversized bodies
+    with byte-identical envelopes.  Marks the connection non-reusable when
+    body bytes were left unread.
+    """
+    try:
+        length = int(handler.headers.get("Content-Length") or 0)
+    except ValueError:
+        # The body length is unknowable, so the connection cannot be
+        # reused: unread body bytes would be parsed as the next request.
+        handler.close_connection = True
+        raise ServiceError("invalid Content-Length header") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        handler.close_connection = True  # body left unread — do not reuse
+        raise ServiceError(
+            f"request body must be between 0 and {MAX_BODY_BYTES} bytes"
+        )
+    return handler.rfile.read(length) if length else b""
 
 
 def _analysis_request(body: Mapping[str, Any]) -> AnalysisRequest:
@@ -85,31 +129,19 @@ def _sweep_request(body: Mapping[str, Any]) -> SweepRequest:
     )
 
 
-class TraceServiceServer(ThreadingHTTPServer):
-    """Threading HTTP server holding the session registry."""
+class DrainableThreadingHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server whose shutdown can drain in-flight requests."""
 
     daemon_threads = True
+    #: Listen backlog: the stdlib default of 5 drops (RST) connection bursts
+    #: that a 64-client benchmark — or any load spike — routinely produces.
+    request_queue_size = 128
 
-    def __init__(
-        self,
-        address: tuple[str, int],
-        sessions: "Mapping[str, AnalysisSession] | SessionRegistry",
-    ):
-        if isinstance(sessions, SessionRegistry):
-            self.registry = sessions
-        else:
-            self.registry = SessionRegistry(sessions=sessions)
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         self._active_connections = 0
         self._active_lock = threading.Lock()
-        super().__init__(address, ServiceHandler)
+        super().__init__(*args, **kwargs)
 
-    def resolve(self, name: "str | None") -> AnalysisSession:
-        """Session by name; the single session when ``name`` is omitted."""
-        return self.registry.resolve(name)
-
-    # ------------------------------------------------------------------ #
-    # Graceful shutdown support
-    # ------------------------------------------------------------------ #
     def process_request_thread(self, request: Any, client_address: Any) -> None:
         """Track live connection threads so shutdown can drain them."""
         with self._active_lock:
@@ -138,25 +170,54 @@ class TraceServiceServer(ThreadingHTTPServer):
             return self._active_connections == 0
 
 
-class ServiceHandler(BaseHTTPRequestHandler):
-    """Request handler: routes, JSON bodies, error mapping."""
+class TraceServiceServer(DrainableThreadingHTTPServer):
+    """Threading HTTP server holding the session registry."""
 
-    server: TraceServiceServer
+    def __init__(
+        self,
+        address: tuple[str, int],
+        sessions: "Mapping[str, AnalysisSession] | SessionRegistry",
+    ):
+        if isinstance(sessions, SessionRegistry):
+            self.registry = sessions
+        else:
+            self.registry = SessionRegistry(sessions=sessions)
+        super().__init__(address, ServiceHandler)
+
+    def resolve(self, name: "str | None") -> AnalysisSession:
+        """Session by name; the single session when ``name`` is omitted."""
+        return self.registry.resolve(name)
+
+
+class JSONHandler(BaseHTTPRequestHandler):
+    """Response plumbing shared by the shard handler and the cluster front.
+
+    Subclasses dispatch against the shared route table and send canonical
+    payloads / error envelopes through :meth:`_send_json` /
+    :meth:`_send_error`; ``_extra_headers`` carries per-request response
+    headers (deprecation notices on legacy aliases).
+    """
+
     protocol_version = "HTTP/1.1"
+    #: Response headers and body leave in separate writes; with Nagle on,
+    #: the body write stalls behind the peer's delayed ACK (~40ms per
+    #: request on loopback).  An analysis-cache hit is sub-millisecond, so
+    #: the stall would dominate service latency 40:1.
+    disable_nagle_algorithm = True
     #: Advertised by ``GET /health``; bump alongside the payload schemas.
     server_version = "repro-serve/1"
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # keep stdout/stderr clean; CI parses the CLI's own output
 
-    # ------------------------------------------------------------------ #
-    # Response plumbing
-    # ------------------------------------------------------------------ #
-    def _send(self, status: int, body: str) -> None:
-        data = (body + "\n").encode("utf-8")
+    _extra_headers: "Tuple[Tuple[str, str], ...]" = ()
+
+    def _send_bytes(self, status: int, data: bytes) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(data)))
+        for header, value in self._extra_headers:
+            self.send_header(header, value)
         if self.close_connection:
             # Set when the request body was left unread — advertise that the
             # connection is done so well-behaved clients do not pipeline.
@@ -164,26 +225,35 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _send(self, status: int, body: str) -> None:
+        self._send_bytes(status, (body + "\n").encode("utf-8"))
+
     def _send_json(self, status: int, payload: Mapping[str, Any]) -> None:
         self._send(status, serialize_payload(payload))
 
-    def _send_error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message, "status": status})
+    def _send_error(
+        self,
+        status: int,
+        message: str,
+        code: str = "invalid_request",
+        field: Optional[str] = None,
+        retry_after: Optional[int] = None,
+    ) -> None:
+        if retry_after is not None:
+            self._extra_headers = (
+                *self._extra_headers,
+                ("Retry-After", str(int(retry_after))),
+            )
+        self._send_json(status, error_envelope(message, code=code, field=field))
+
+
+class ServiceHandler(JSONHandler):
+    """Request handler: routes, JSON bodies, error mapping."""
+
+    server: TraceServiceServer
 
     def _read_body(self) -> dict[str, Any]:
-        try:
-            length = int(self.headers.get("Content-Length") or 0)
-        except ValueError:
-            # The body length is unknowable, so the connection cannot be
-            # reused: unread body bytes would be parsed as the next request.
-            self.close_connection = True
-            raise ServiceError("invalid Content-Length header") from None
-        if length < 0 or length > MAX_BODY_BYTES:
-            self.close_connection = True  # body left unread — do not reuse
-            raise ServiceError(
-                f"request body must be between 0 and {MAX_BODY_BYTES} bytes"
-            )
-        raw = self.rfile.read(length) if length else b""
+        raw = read_raw_body(self)
         if not raw:
             return {}
         try:
@@ -197,33 +267,105 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # Routes
     # ------------------------------------------------------------------ #
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        if path == "/health":
-            registry = self.server.registry
-            caches = [session.cache_info() for session in registry.loaded()]
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "service": self.server_version,
-                    "version": package_version(),
-                    "n_traces": registry.stats()["n_traces"],
-                    "registry": registry.stats(),
-                    "cache": {
-                        "hits": sum(c["hits"] for c in caches),
-                        "misses": sum(c["misses"] for c in caches),
-                        "entries": sum(c["entries"] for c in caches),
-                    },
-                },
+    def _dispatch(self, method: str) -> None:
+        path, _, query = self.path.partition("?")
+        resolved = resolve_route(method, path)
+        if resolved is None:
+            self._extra_headers = ()
+            self._send_error(
+                404, f"no such endpoint: {path.rstrip('/') or '/'}", code="not_found"
             )
-        elif path == "/traces":
-            self._send_json(200, self.server.registry.traces_payload())
-        else:
-            self._send_error(404, f"no such endpoint: {path}")
+            return
+        route, is_legacy = resolved
+        self._extra_headers = deprecation_headers(route) if is_legacy else ()
+        try:
+            getattr(self, f"_handle_{route.name}")(route, query)
+        except StaleGenerationError as exc:
+            # Subclass of ServiceError: must be mapped before the 400 branch.
+            self._send_error(409, str(exc), code="stale_generation")
+        except RequestError as exc:
+            self._send_error(400, str(exc), field=exc.field)
+        except ServiceError as exc:
+            self._send_error(400, str(exc))
+        except LookupError as exc:
+            self._send_error(404, str(exc), code="not_found")
+        except TraceIOError as exc:
+            # Store went bad underneath a live server (deleted chunk, bit rot).
+            self._send_error(500, f"trace store error: {exc}", code="internal")
 
-    def _handle_batch(self, body: Mapping[str, Any]) -> None:
-        """``POST /batch``: one analysis per named (or every) served trace.
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    # ------------------------------------------------------------------ #
+    # GET handlers
+    # ------------------------------------------------------------------ #
+    def _handle_health(self, route: Route, query: str) -> None:
+        registry = self.server.registry
+        caches = [session.cache_info() for session in registry.loaded()]
+        self._send_json(
+            200,
+            {
+                "api": API_VERSION,
+                "status": "ok",
+                "service": self.server_version,
+                "version": package_version(),
+                "n_traces": registry.stats()["n_traces"],
+                "registry": registry.stats(),
+                "cache": {
+                    "hits": sum(c["hits"] for c in caches),
+                    "misses": sum(c["misses"] for c in caches),
+                    "entries": sum(c["entries"] for c in caches),
+                },
+            },
+        )
+
+    def _handle_healthz(self, route: Route, query: str) -> None:
+        self._send_json(200, {"status": "ok"})
+
+    def _handle_readyz(self, route: Route, query: str) -> None:
+        # A single-process server is ready as soon as it accepts connections:
+        # the registry was validated at startup.  The cluster front-end
+        # overrides this with a real all-shards-answering probe.
+        self._send_json(200, {"status": "ready"})
+
+    def _handle_traces(self, route: Route, query: str) -> None:
+        limit, offset, digest = parse_traces_query(query)
+        self._send_json(
+            200,
+            self.server.registry.traces_payload(
+                limit=limit, offset=offset, digest=digest
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # POST handlers
+    # ------------------------------------------------------------------ #
+    def _handle_analyze(self, route: Route, query: str) -> None:
+        body = self._read_body()
+        session = self.server.resolve(body.get("trace"))
+        self._send(200, session.execute(_analysis_request(body)))
+
+    def _handle_sweep(self, route: Route, query: str) -> None:
+        body = self._read_body()
+        session = self.server.resolve(body.get("trace"))
+        self._send_json(200, session.run_sweep(_sweep_request(body)))
+
+    def _handle_append(self, route: Route, query: str) -> None:
+        body = self._read_body()
+        session = self.server.resolve(body.get("trace"))
+        intervals = body.get("intervals")
+        if not isinstance(intervals, list):
+            raise ServiceError(
+                'append body must carry "intervals": '
+                "[[start, end, resource, state], ...]"
+            )
+        self._send_json(200, session.append(intervals))
+
+    def _handle_batch(self, route: Route, query: str) -> None:
+        """``POST /v1/batch``: one analysis per named (or every) served trace.
 
         Mirrors ``repro batch``: traces are analyzed **one at a time** (so
         the registry's LRU bound keeps corpus memory flat — sessions are
@@ -231,6 +373,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
         the payload's ``errors`` section with its path rather than aborting
         the whole request.  Unknown names and invalid parameters are still
         request errors (404 / 400)."""
+        body = self._read_body()
         registry = self.server.registry
         names = body.get("traces")
         if names is None:
@@ -273,8 +416,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
             params = result["params"]
         self._send_json(200, batch_payload(results, params, errors=errors))
 
-    def _handle_compare(self, body: Mapping[str, Any]) -> None:
-        """``POST /compare``: byte-identical to ``repro compare --json``."""
+    def _handle_compare(self, route: Route, query: str) -> None:
+        """``POST /v1/compare``: byte-identical to ``repro compare --json``."""
+        body = self._read_body()
         sides = {}
         for side in ("a", "b"):
             name = body.get(side)
@@ -309,43 +453,6 @@ class ServiceHandler(BaseHTTPRequestHandler):
             params,
         )
         self._send_json(200, payload)
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.split("?", 1)[0].rstrip("/")
-        if path not in ("/analyze", "/sweep", "/append", "/batch", "/compare"):
-            self._send_error(404, f"no such endpoint: {path}")
-            return
-        try:
-            body = self._read_body()
-            if path == "/batch":
-                self._handle_batch(body)
-                return
-            if path == "/compare":
-                self._handle_compare(body)
-                return
-            session = self.server.resolve(body.get("trace"))
-            if path == "/analyze":
-                self._send(200, session.execute(_analysis_request(body)))
-            elif path == "/sweep":
-                self._send_json(200, session.run_sweep(_sweep_request(body)))
-            else:
-                intervals = body.get("intervals")
-                if not isinstance(intervals, list):
-                    raise ServiceError(
-                        'append body must carry "intervals": '
-                        "[[start, end, resource, state], ...]"
-                    )
-                self._send_json(200, session.append(intervals))
-        except StaleGenerationError as exc:
-            # Subclass of ServiceError: must be mapped before the 400 branch.
-            self._send_error(409, str(exc))
-        except ServiceError as exc:
-            self._send_error(400, str(exc))
-        except LookupError as exc:
-            self._send_error(404, str(exc))
-        except TraceIOError as exc:
-            # Store went bad underneath a live server (deleted chunk, bit rot).
-            self._send_error(500, f"trace store error: {exc}")
 
 
 def build_server(

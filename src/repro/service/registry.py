@@ -26,7 +26,34 @@ from ..store.store import TraceStore
 from ..trace.trace import Trace
 from .session import AnalysisSession, ServiceError
 
-__all__ = ["SessionRegistry", "DEFAULT_MAX_SESSIONS"]
+__all__ = ["SessionRegistry", "DEFAULT_MAX_SESSIONS", "paginate_entries"]
+
+
+def paginate_entries(
+    entries: "list[dict[str, Any]]",
+    limit: "int | None" = None,
+    offset: int = 0,
+    digest: "str | None" = None,
+) -> "tuple[list[dict[str, Any]], dict[str, Any]]":
+    """Apply the ``GET /v1/traces`` digest filter and pagination.
+
+    Shared by the single-process registry and the cluster front-end (which
+    merges per-shard listings before paginating), so both produce identical
+    ``meta.total`` / ``meta.next_offset`` blocks.  ``limit=None`` returns
+    everything after ``offset``.
+    """
+    if digest is not None:
+        entries = [entry for entry in entries if entry.get("digest") == digest]
+    total = len(entries)
+    end = total if limit is None else min(offset + limit, total)
+    page = entries[offset:end]
+    meta: "dict[str, Any]" = {
+        "limit": limit,
+        "next_offset": end if end < total else None,
+        "offset": offset,
+        "total": total,
+    }
+    return page, meta
 
 #: Default bound on concurrently resident corpus-opened sessions.
 DEFAULT_MAX_SESSIONS = 8
@@ -195,14 +222,50 @@ class SessionRegistry:
     # ------------------------------------------------------------------ #
     # Summaries
     # ------------------------------------------------------------------ #
-    def traces_payload(self) -> dict[str, Any]:
-        """The ``GET /traces`` body: resident summaries + every served name."""
+    def listing_entries(self) -> "list[dict[str, Any]]":
+        """One listing entry per served name, sorted by name.
+
+        Resident sessions contribute their full summary (digest, generation,
+        cache statistics) tagged ``"resident": true``; corpus members that
+        are not currently loaded contribute a cheap placeholder carrying the
+        manifest-pinned digest when the corpus froze one (no trace is opened
+        just to be listed).
+        """
         with self._lock:
             resident = {
                 **{name: session for name, session in self._pinned.items()},
                 **self._lru,
             }
-        return {
-            "traces": [resident[name].summary() for name in sorted(resident)],
-            "available": self.names(),
-        }
+        entries: "list[dict[str, Any]]" = []
+        for name in self.names():
+            session = resident.get(name)
+            if session is not None:
+                entry = session.summary()
+                entry["resident"] = True
+            else:
+                assert self._corpus is not None  # only corpus members are lazy
+                member = self._corpus.entry(name)
+                entry = {
+                    "name": name,
+                    "kind": member.kind,
+                    "digest": member.digest,
+                    "resident": False,
+                }
+            entries.append(entry)
+        return entries
+
+    def traces_payload(
+        self,
+        limit: "int | None" = None,
+        offset: int = 0,
+        digest: "str | None" = None,
+    ) -> dict[str, Any]:
+        """The ``GET /v1/traces`` body: a filtered, paginated listing.
+
+        Defaults return everything (library callers); the HTTP handler passes
+        the parsed query parameters, bounding corpus listings.
+        """
+        page, meta = paginate_entries(
+            self.listing_entries(), limit=limit, offset=offset, digest=digest
+        )
+        return {"available": self.names(), "meta": meta, "traces": page}

@@ -39,7 +39,7 @@ class TestSingleSourceOfTruth:
         assert package_version() == repro.__version__
 
     def test_meta_section_shape(self):
-        assert meta_section() == {"version": package_version()}
+        assert meta_section() == {"api": "v1", "version": package_version()}
 
 
 class TestSurfaces:
@@ -57,7 +57,7 @@ class TestSurfaces:
         write_csv(block_trace(n_resources=4, n_slices=8, n_blocks_time=2, seed=1), csv)
         assert main(["analyze", str(csv), "--slices", "8", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["meta"] == {"version": package_version()}
+        assert payload["meta"] == {"api": "v1", "version": package_version()}
 
     def test_sweep_batch_and_compare_payloads_carry_meta(self, tmp_path, capsys):
         from repro.batch import load_corpus, run_batch
@@ -68,17 +68,17 @@ class TestSurfaces:
         trace = block_trace(n_resources=4, n_slices=8, n_blocks_time=2, seed=2)
         session = AnalysisSession(trace, name="t")
         assert session.sweep(ps=[0.5], slices=8)["meta"] == {
-            "version": package_version()
+            "api": "v1", "version": package_version()
         }
         corpus_dir = tmp_path / "runs"
         corpus_dir.mkdir()
         write_csv(trace, corpus_dir / "t.csv")
         batch = run_batch(load_corpus(corpus_dir), slices=8).payload()
-        assert batch["meta"] == {"version": package_version()}
+        assert batch["meta"] == {"api": "v1", "version": package_version()}
         assert main(["compare", str(corpus_dir / "t.csv"), str(corpus_dir / "t.csv"),
                      "--slices", "8", "--json"]) == 0
         compare = json.loads(capsys.readouterr().out)
-        assert compare["meta"] == {"version": package_version()}
+        assert compare["meta"] == {"api": "v1", "version": package_version()}
 
     def test_health_endpoint_quotes_the_version(self):
         import threading

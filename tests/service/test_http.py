@@ -68,7 +68,7 @@ class TestEndpoints:
     def test_analyze_requires_trace_name_with_many_traces(self, server):
         status, body = _post(server, "/analyze", {"p": 0.5})
         assert status == 404
-        assert "must name one" in json.loads(body)["error"]
+        assert "must name one" in json.loads(body)["error"]["message"]
 
     def test_analyze_named_trace(self, server):
         status, body = _post(server, "/analyze", {"trace": "blocks", "p": 0.5, "slices": 12})
@@ -100,7 +100,7 @@ class TestEndpoints:
     def test_bad_parameter_400(self, server):
         status, body = _post(server, "/analyze", {"trace": "blocks", "p": 7})
         assert status == 400
-        assert "p must be in" in json.loads(body)["error"]
+        assert "p must be in" in json.loads(body)["error"]["message"]
 
     def test_bad_anomaly_threshold_400(self, server):
         status, body = _post(
@@ -108,7 +108,7 @@ class TestEndpoints:
             {"trace": "blocks", "slices": 12, "anomaly_threshold": "abc"},
         )
         assert status == 400
-        assert "anomaly_threshold" in json.loads(body)["error"]
+        assert "anomaly_threshold" in json.loads(body)["error"]["message"]
 
     def test_malformed_content_length_400(self, server):
         import http.client

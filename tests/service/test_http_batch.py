@@ -96,22 +96,22 @@ class TestBatchEndpoint:
     def test_batch_unknown_trace_is_404(self, server):
         status, body = _post(server, "/batch", {"traces": ["ghost"]})
         assert status == 404
-        assert "unknown trace" in json.loads(body)["error"]
+        assert "unknown trace" in json.loads(body)["error"]["message"]
 
     def test_batch_traces_must_be_a_list_of_names(self, server):
         status, body = _post(server, "/batch", {"traces": "calm"})
         assert status == 400
-        assert "list of served trace names" in json.loads(body)["error"]
+        assert "list of served trace names" in json.loads(body)["error"]["message"]
 
     def test_batch_bad_parameter_is_400(self, server):
         status, body = _post(server, "/batch", {"p": 3.0})
         assert status == 400
-        assert "p must be" in json.loads(body)["error"]
+        assert "p must be" in json.loads(body)["error"]["message"]
 
     def test_batch_empty_selection_is_400(self, server):
         status, body = _post(server, "/batch", {"traces": []})
         assert status == 400
-        assert "selects no traces" in json.loads(body)["error"]
+        assert "selects no traces" in json.loads(body)["error"]["message"]
 
     def test_batch_records_unreadable_member_and_keeps_going(self, tmp_path):
         """A corrupt corpus member lands in the payload's errors section with
@@ -176,12 +176,12 @@ class TestCompareEndpoint:
     def test_compare_requires_both_names(self, server):
         status, body = _post(server, "/compare", {"a": "calm"})
         assert status == 400
-        assert "must name two" in json.loads(body)["error"]
+        assert "must name two" in json.loads(body)["error"]["message"]
 
     def test_compare_unknown_name_is_404(self, server):
         status, body = _post(server, "/compare", {"a": "calm", "b": "ghost"})
         assert status == 404
-        assert "unknown trace" in json.loads(body)["error"]
+        assert "unknown trace" in json.loads(body)["error"]["message"]
 
     def test_compare_detects_the_perturbation_shift(self, server):
         _, body = _post(server, "/compare", {"a": "calm", "b": "noisy", "slices": 10})

@@ -138,12 +138,31 @@ class TestResolution:
 
 
 class TestTracesPayload:
-    def test_lists_resident_summaries_and_all_names(self, corpus):
+    def test_lists_every_name_with_residency_flags(self, corpus):
         registry = SessionRegistry(corpus=corpus, max_sessions=2)
         registry.get("t1")
         payload = registry.traces_payload()
         assert payload["available"] == ["t0", "t1", "t2", "t3"]
-        assert [t["name"] for t in payload["traces"]] == ["t1"]
+        assert [t["name"] for t in payload["traces"]] == ["t0", "t1", "t2", "t3"]
+        residency = {t["name"]: t["resident"] for t in payload["traces"]}
+        assert residency == {"t0": False, "t1": True, "t2": False, "t3": False}
+        # Non-resident members are listed from the manifest alone (digest
+        # pinned there), no trace is opened just to be listed.
+        assert registry.stats()["n_resident"] == 1
+        assert payload["meta"] == {
+            "limit": None, "next_offset": None, "offset": 0, "total": 4
+        }
+
+    def test_pagination_and_digest_filter(self, corpus):
+        registry = SessionRegistry(corpus=corpus, max_sessions=2)
+        page = registry.traces_payload(limit=2, offset=1)
+        assert [t["name"] for t in page["traces"]] == ["t1", "t2"]
+        assert page["meta"]["total"] == 4
+        assert page["meta"]["next_offset"] == 3
+        digest = registry.get("t2").summary()["digest"]
+        filtered = registry.traces_payload(digest=digest)
+        assert [t["name"] for t in filtered["traces"]] == ["t2"]
+        assert filtered["meta"]["total"] == 1
 
     def test_mixed_csv_and_store_corpus(self, tmp_path):
         save_store(random_trace(n_resources=4, n_slices=6, seed=0), tmp_path / "a.rtz")

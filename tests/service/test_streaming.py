@@ -247,14 +247,14 @@ class TestHttpStreaming:
     def test_append_without_intervals_400(self, server):
         status, payload = _post(server, "/append", {"trace": "live"})
         assert status == 400
-        assert "intervals" in payload["error"]
+        assert "intervals" in payload["error"]["message"]
 
     def test_append_bad_rows_400(self, server):
         status, payload = _post(
             server, "/append", {"trace": "live", "intervals": [[0.0, 1.0, "ghost", "x"]]}
         )
         assert status == 400
-        assert "unknown resource" in payload["error"]
+        assert "unknown resource" in payload["error"]["message"]
 
     def test_stale_generation_maps_to_409(self, server, session, parts):
         _, batches = parts
@@ -263,7 +263,7 @@ class TestHttpStreaming:
             server, "/analyze", {"p": 0.5, "slices": 10, "generation": 0}
         )
         assert status == 409
-        assert "generation" in payload["error"]
+        assert "generation" in payload["error"]["message"]
 
     def test_windowed_analyze_over_http_matches_session(self, server, session):
         status, payload = _post(
