@@ -49,7 +49,7 @@ if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
 
-from common import GateMetric, check_ratio_regression, time_call  # noqa: E402
+from common import bench_meta, GateMetric, check_ratio_regression, time_call  # noqa: E402
 
 from repro.batch import analysis_params, discover_corpus, run_batch  # noqa: E402
 from repro.core.microscopic import MicroscopicModel  # noqa: E402
@@ -250,6 +250,7 @@ def main(argv: "list[str] | None" = None) -> int:
     cpu_count = os.cpu_count() or 1
     payload = {
         "benchmark": "batch_corpus",
+        "meta": bench_meta(),
         "config": {
             "p": args.parameter,
             "states": args.states,

@@ -36,7 +36,7 @@ ROOT = Path(__file__).resolve().parent.parent
 if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
-from common import GateMetric, check_ratio_regression  # noqa: E402
+from common import bench_meta, GateMetric, check_ratio_regression  # noqa: E402
 
 from repro.batch import discover_corpus, write_corpus_manifest  # noqa: E402
 from repro.service.cluster import ClusterConfig, start_cluster  # noqa: E402
@@ -53,6 +53,15 @@ QUERY_SLICES = 20
 #: Total requests per grid cell (split across the worker threads).
 FULL_REQUESTS = 640
 SMOKE_REQUESTS = 96
+#: The instrumentation-overhead cell: p50 with the metrics/tracing layer on
+#: vs off, measured in the same run (hardware-stable, like the ratios).
+OVERHEAD_SHARDS = 1
+OVERHEAD_CONCURRENCY = 16
+#: Alternating round schedule for the overhead gate — fixed regardless of
+#: ``--smoke``: the gate compares two p50s a few percent apart, which takes
+#: a couple of thousand samples per mode to resolve.
+OVERHEAD_ROUNDS = 40
+OVERHEAD_ROUND_REQUESTS = 8
 
 
 def _percentile(sorted_values: "list[float]", fraction: float) -> float:
@@ -184,6 +193,156 @@ def bench_shards(
         handle.close()
 
 
+def _interleaved_load(
+    ports: "dict[bool, int]", names: "list[str]"
+) -> "tuple[dict[bool, list[float]], list[str]]":
+    """Drive both clusters with the same persistent workers, round-about.
+
+    ``OVERHEAD_CONCURRENCY`` worker threads each hold one keep-alive
+    connection per cluster and walk the same round schedule — a barrier per
+    round, then ``OVERHEAD_ROUND_REQUESTS`` requests against that round's
+    cluster.  The whole box serves exactly one mode at any moment (so
+    queueing under load is measured honestly), modes swap every ~100ms (so
+    both sample the same machine state), and no thread or connection is
+    ever re-created mid-measurement (so setup cost cannot leak into the
+    samples of one mode).
+    """
+    schedule: "list[bool]" = []
+    for round_index in range(OVERHEAD_ROUNDS):
+        # FT TF FT TF ... — adjacent opposite pairs cancel linear drift.
+        pair = (False, True) if round_index % 2 == 0 else (True, False)
+        schedule.extend(pair)
+    barrier = threading.Barrier(OVERHEAD_CONCURRENCY)
+    lock = threading.Lock()
+    step_samples: "list[list[float]]" = [[] for _ in schedule]
+    errors: "list[str]" = []
+
+    def worker(worker_id: int) -> None:
+        conns = {
+            mode: http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+            for mode, port in ports.items()
+        }
+        local: "list[list[float]]" = [[] for _ in schedule]
+        try:
+            for step, mode in enumerate(schedule):
+                barrier.wait()
+                conn = conns[mode]
+                samples = local[step]
+                for request_id in range(OVERHEAD_ROUND_REQUESTS):
+                    name = names[(worker_id + step + request_id) % len(names)]
+                    body = json.dumps(
+                        {"trace": name, "p": 0.7, "slices": QUERY_SLICES}
+                    ).encode()
+                    started = time.perf_counter()
+                    conn.request(
+                        "POST", "/v1/analyze", body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = conn.getresponse()
+                    response.read()
+                    samples.append(time.perf_counter() - started)
+                    if response.status != 200:
+                        raise RuntimeError(f"request answered {response.status}")
+        except Exception as exc:  # surfaced after the join
+            with lock:
+                errors.append(f"worker {worker_id}: {exc}")
+            barrier.abort()
+        finally:
+            for conn in conns.values():
+                conn.close()
+            with lock:
+                for step, samples in enumerate(local):
+                    step_samples[step].extend(samples)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(OVERHEAD_CONCURRENCY)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return schedule, step_samples, errors
+
+
+def bench_overhead(corpus: Path) -> dict:
+    """p50 latency with observability on vs off, interleaved round-by-round.
+
+    Sequential legs cannot resolve a few-percent overhead here: p50 swings
+    of ~10% between legs come from machine state (CPU frequency, cache
+    residency) and dwarf the signal.  So *both* clusters — one bare, one
+    instrumented — stay alive for the whole measurement and the same worker
+    pool alternates rounds between them (see :func:`_interleaved_load`).
+    """
+    handles: "dict[bool, object]" = {}
+    ports: "dict[bool, int]" = {}
+    names_by: "dict[bool, list[str]]" = {}
+    try:
+        for instrument in (False, True):
+            handle = start_cluster(
+                [], corpus=corpus, shards=OVERHEAD_SHARDS, port=0,
+                config=ClusterConfig(
+                    max_inflight=256, respawn=True, instrument=instrument
+                ),
+            )
+            thread = threading.Thread(target=handle.serve_forever, daemon=True)
+            thread.start()
+            handles[instrument] = handle
+            ports[instrument] = handle.address[1]
+            names_by[instrument] = sorted(handle.server.routing)
+        for instrument in (False, True):  # warm every session result cache
+            for name in names_by[instrument]:
+                _analyze_bytes(ports[instrument], name)
+        schedule, step_samples, errors = _interleaved_load(
+            ports, names_by[False]
+        )
+        if errors:
+            raise RuntimeError(
+                "overhead measurement failed: " + "; ".join(errors[:3])
+            )
+    finally:
+        for handle in handles.values():
+            handle.close()
+    # One p50 per round; each adjacent bare/instrumented pair (~100ms
+    # apart, same machine state) contributes one ratio, and the median
+    # over all pairs is what one noisy round cannot drag.
+    round_p50s = [
+        _percentile(sorted(samples), 0.50) for samples in step_samples
+    ]
+    ratios: "list[float]" = []
+    pooled: "dict[bool, list[float]]" = {False: [], True: []}
+    for step in range(0, len(schedule), 2):
+        pair = {
+            schedule[step]: round_p50s[step],
+            schedule[step + 1]: round_p50s[step + 1],
+        }
+        ratios.append(pair[True] / pair[False])
+    for step, mode in enumerate(schedule):
+        pooled[mode].extend(step_samples[step])
+    ratios.sort()
+    ratio = ratios[len(ratios) // 2]
+    for values in pooled.values():
+        values.sort()
+    bare = _percentile(pooled[False], 0.50)
+    instrumented = _percentile(pooled[True], 0.50)
+    row = {
+        "shards": OVERHEAD_SHARDS,
+        "concurrency": OVERHEAD_CONCURRENCY,
+        "rounds": OVERHEAD_ROUNDS,
+        "round_requests": OVERHEAD_ROUND_REQUESTS,
+        "p50_bare_ms": round(bare * 1e3, 3),
+        "p50_instrumented_ms": round(instrumented * 1e3, 3),
+        "overhead_ratio": round(ratio, 3),
+    }
+    print(
+        f"overhead: shards={OVERHEAD_SHARDS} concurrency={OVERHEAD_CONCURRENCY} "
+        f"p50 bare={row['p50_bare_ms']:.2f}ms "
+        f"instrumented={row['p50_instrumented_ms']:.2f}ms "
+        f"median paired-round ratio={row['overhead_ratio']:.3f}x"
+    )
+    return row
+
+
 def check_regression(
     results: "list[dict]", baseline_path: Path, max_regression: float
 ) -> int:
@@ -215,6 +374,11 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--max-regression", type=float, default=2.5,
                         help="maximum allowed throughput_ratio degradation factor "
                              "(default: 2.5)")
+    parser.add_argument("--max-overhead", type=float, default=1.05,
+                        help="maximum allowed instrumented/bare p50 ratio "
+                             "(default: 1.05, i.e. observability may cost 5%%)")
+    parser.add_argument("--skip-overhead", action="store_true",
+                        help="skip the instrumentation-overhead cell")
     args = parser.parse_args(argv)
     total_requests = SMOKE_REQUESTS if args.smoke else FULL_REQUESTS
 
@@ -246,11 +410,13 @@ def main(argv: "list[str] | None" = None) -> int:
                     row["traces_per_sec"] / reference_throughput[row["concurrency"]], 3
                 )
                 results.append(row)
+        overhead = None if args.skip_overhead else bench_overhead(corpus)
     print(f"byte-identity: {len(reference_payloads)} traces identical across "
           f"shard counts {SHARD_GRID}")
 
     payload = {
         "benchmark": "service_cluster",
+        "meta": bench_meta(),
         "config": {
             "traces": N_TRACES,
             "slices": QUERY_SLICES,
@@ -260,9 +426,18 @@ def main(argv: "list[str] | None" = None) -> int:
         },
         "results": results,
     }
+    if overhead is not None:
+        payload["overhead"] = overhead
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
 
+    if overhead is not None and overhead["overhead_ratio"] > args.max_overhead:
+        print(
+            f"OVERHEAD REGRESSION: instrumented/bare p50 "
+            f"{overhead['overhead_ratio']:.3f}x exceeds the "
+            f"{args.max_overhead:.2f}x bound"
+        )
+        return 1
     if args.check_against is not None:
         return check_regression(results, args.check_against, args.max_regression)
     return 0

@@ -37,7 +37,7 @@ if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
 from repro.core.hierarchy import Hierarchy  # noqa: E402
-from common import GateMetric, check_ratio_regression, timed_call  # noqa: E402
+from common import bench_meta, GateMetric, check_ratio_regression, timed_call  # noqa: E402
 
 from repro.core.microscopic import MicroscopicModel  # noqa: E402
 from repro.core.spatiotemporal import SpatiotemporalAggregator  # noqa: E402
@@ -177,6 +177,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     payload = {
         "benchmark": "spatiotemporal_aggregation",
+        "meta": bench_meta(),
         "config": {
             "p": args.parameter,
             "states": args.states,

@@ -38,7 +38,7 @@ ROOT = Path(__file__).resolve().parent.parent
 if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
-from common import GateMetric, check_ratio_regression, time_call  # noqa: E402
+from common import bench_meta, GateMetric, check_ratio_regression, time_call  # noqa: E402
 
 from repro.service import AnalysisSession  # noqa: E402
 from repro.store import open_store, save_store  # noqa: E402
@@ -193,6 +193,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     payload = {
         "benchmark": "trace_store",
+        "meta": bench_meta(),
         "config": {
             "p": args.parameter,
             "states": args.states,

@@ -43,7 +43,7 @@ ROOT = Path(__file__).resolve().parent.parent
 if str(ROOT / "src") not in sys.path:
     sys.path.insert(0, str(ROOT / "src"))
 
-from common import GateMetric, check_ratio_regression, time_call  # noqa: E402
+from common import bench_meta, GateMetric, check_ratio_regression, time_call  # noqa: E402
 
 from repro.core.microscopic import MicroscopicModel  # noqa: E402
 from repro.core.spatiotemporal import SpatiotemporalAggregator  # noqa: E402
@@ -266,6 +266,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     payload = {
         "benchmark": "stream_refresh",
+        "meta": bench_meta(),
         "config": {
             "p": args.parameter,
             "states": args.states,

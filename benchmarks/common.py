@@ -9,16 +9,50 @@ to be copy-pasted per script; they live here now:
 * :class:`GateMetric` + :func:`check_ratio_regression` — compare each grid
   cell's ratio fields against a committed baseline file, with an optional
   per-metric absolute floor and an activity switch (e.g. pool-scaling gates
-  that only make sense on multi-core runners).
+  that only make sense on multi-core runners);
+* :func:`bench_meta` — the provenance block stamped into every
+  ``BENCH_*.json`` (commit, host resources, interpreter, timestamp) so a
+  committed baseline records what produced it.
 """
 
 from __future__ import annotations
 
+import datetime
 import json
+import os
+import platform
+import subprocess
+import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Any, Callable, Dict, Sequence
+
+
+def bench_meta() -> "Dict[str, Any]":
+    """Provenance of a benchmark run, embedded as the payload's ``meta``.
+
+    Keys are stable so tooling can diff baselines: ``git_commit`` falls back
+    to ``"unknown"`` outside a checkout (e.g. an sdist build).
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10, check=False,
+        ).stdout.strip() or "unknown"
+    except OSError:
+        commit = "unknown"
+    return {
+        "git_commit": commit,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+        "argv": list(sys.argv[1:]),
+    }
 
 
 def time_call(func: Callable[[], object], repeats: int) -> float:

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core.microscopic import MicroscopicModel
+from ..obs.tracing import span
 from ..pipeline.executor import analyze_source
 from ..pipeline.payloads import batch_payload
 from ..pipeline.requests import AnalysisRequest, BatchRequest
@@ -175,12 +176,19 @@ def run_batch(
 
     entries = corpus.entries
     if jobs == 1 or len(entries) == 1:
+        # Spans recorded on the serial path nest under the caller's trace;
+        # process-pool workers run in their own interpreters, so the
+        # parallel branch records only the fan-out envelope below.
         for entry in entries:
-            _, payload, error = _batch_worker(entry, p, slices, operator, anomaly_threshold)
+            with span("batch.member", trace=entry.name):
+                _, payload, error = _batch_worker(
+                    entry, p, slices, operator, anomaly_threshold
+                )
             record(entry, payload, error)
     else:
         try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(entries))) as pool:
+            with span("batch.fanout", traces=len(entries), jobs=jobs), \
+                    ProcessPoolExecutor(max_workers=min(jobs, len(entries))) as pool:
                 futures = [
                     (entry, pool.submit(_batch_worker, entry, p, slices, operator,
                                         anomaly_threshold))

@@ -136,6 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="restrict the analysis to a slice window: 'last:K' for the "
                               "trailing K slices or 'T0:T1' for the slices covering the "
                               "time span [T0, T1)")
+    analyze.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="record a span trace of this run and write it as "
+                              "Chrome trace-event JSON (open in chrome://tracing "
+                              "or Perfetto)")
 
     batch = subparsers.add_parser(
         "batch", help="analyze every trace of a corpus and rank them by heterogeneity"
@@ -234,6 +238,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--request-timeout", type=float, default=None, metavar="SECONDS",
                        help="per-request shard proxy timeout at the cluster front "
                             "(default: 30; requires --shards)")
+    serve.add_argument("--log-format", choices=["text", "json"], default=None,
+                       help="emit structured request logs to stderr: 'json' for "
+                            "one JSON object per line, 'text' for human-readable "
+                            "lines (default: logging stays off)")
+    serve.add_argument("--log-level", choices=["debug", "info", "warning", "error"],
+                       default="info",
+                       help="log verbosity with --log-format (default: info)")
+    serve.add_argument("--trace-sample", type=int, default=None, metavar="N",
+                       help="record a span tree for one request in N on "
+                            "GET /v1/debug/trace (default: 16; 1 traces every "
+                            "request; metrics and logs always cover all)")
     return parser
 
 
@@ -299,6 +314,7 @@ def _flag_error(exc: "Exception") -> str:
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
+    from .obs.tracing import span, start_trace
     from .pipeline import (
         AnalysisRequest,
         PipelineError,
@@ -329,57 +345,90 @@ def _command_analyze(args: argparse.Namespace) -> int:
     if args.json and args.ascii:
         print("error: --json and --ascii are mutually exclusive", file=sys.stderr)
         return 2
-    source = _resolve_trace_argument(args.trace)
-    if isinstance(source, int):
-        return source
-    try:
-        outcome = analyze_source(source, request)
-    except (MicroscopicModelError, TimeSlicingError) as exc:
-        print(f"error: cannot build the microscopic model: {exc}", file=sys.stderr)
-        return 2
-    except TraceIOError as exc:  # corrupt store discovered on column load
-        print(f"error: cannot read trace: {exc}", file=sys.stderr)
-        return 2
-    except PipelineError as exc:  # e.g. a window outside the trace span
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except AggregationWorkerError as exc:
-        # A worker process died (OOM kill, segfault): name the trace and exit
-        # cleanly instead of dumping the pool's multiprocessing traceback.
-        print(f"error: parallel aggregation of {args.trace} failed: {exc}", file=sys.stderr)
-        return 2
-    if args.json:
-        print(outcome.payload_text())
-    else:
+
+    def run() -> int:
+        with span("analyze.resolve", trace=args.trace):
+            source = _resolve_trace_argument(args.trace)
+        if isinstance(source, int):
+            return source
         try:
-            trace = source.load_trace()  # the text report quotes interval counts
-        except TraceIOError as exc:
+            with span("analyze.pipeline", operator=args.operator):
+                outcome = analyze_source(source, request)
+        except (MicroscopicModelError, TimeSlicingError) as exc:
+            print(f"error: cannot build the microscopic model: {exc}", file=sys.stderr)
+            return 2
+        except TraceIOError as exc:  # corrupt store discovered on column load
             print(f"error: cannot read trace: {exc}", file=sys.stderr)
             return 2
-        result = outcome.result
-        print(overview_report(
-            trace, outcome.analysis_model, result.partition, result.phases,
-            result.anomalies,
-        ))
-        if args.ascii:
-            print()
-            print(render_partition_ascii(outcome.result.partition))
-    if args.svg:
-        try:
-            save_svg(
-                render_visual_svg(
-                    outcome.result.partition,
-                    title=f"{args.trace} (p={args.parameter})",
-                ),
-                args.svg,
-            )
-        except OSError as exc:
-            print(f"error: cannot write SVG: {exc}", file=sys.stderr)
+        except PipelineError as exc:  # e.g. a window outside the trace span
+            print(f"error: {exc}", file=sys.stderr)
             return 2
-        if args.json:
-            print(f"SVG overview written to {args.svg}", file=sys.stderr)
-        else:
-            print(f"\nSVG overview written to {args.svg}")
+        except AggregationWorkerError as exc:
+            # A worker process died (OOM kill, segfault): name the trace and exit
+            # cleanly instead of dumping the pool's multiprocessing traceback.
+            print(f"error: parallel aggregation of {args.trace} failed: {exc}",
+                  file=sys.stderr)
+            return 2
+        with span("analyze.report", json=args.json):
+            if args.json:
+                print(outcome.payload_text())
+            else:
+                try:
+                    trace = source.load_trace()  # the text report quotes interval counts
+                except TraceIOError as exc:
+                    print(f"error: cannot read trace: {exc}", file=sys.stderr)
+                    return 2
+                result = outcome.result
+                print(overview_report(
+                    trace, outcome.analysis_model, result.partition, result.phases,
+                    result.anomalies,
+                ))
+                if args.ascii:
+                    print()
+                    print(render_partition_ascii(outcome.result.partition))
+        if args.svg:
+            try:
+                with span("analyze.svg"):
+                    save_svg(
+                        render_visual_svg(
+                            outcome.result.partition,
+                            title=f"{args.trace} (p={args.parameter})",
+                        ),
+                        args.svg,
+                    )
+            except OSError as exc:
+                print(f"error: cannot write SVG: {exc}", file=sys.stderr)
+                return 2
+            if args.json:
+                print(f"SVG overview written to {args.svg}", file=sys.stderr)
+            else:
+                print(f"\nSVG overview written to {args.svg}")
+        return 0
+
+    if args.trace_out is None:
+        return run()
+    with start_trace("analyze", trace=args.trace, p=args.parameter) as recorder:
+        code = run()
+    if code != 0:
+        return code
+    import json as json_module
+
+    profile = {
+        "traceEvents": recorder.chrome_events(),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "request_id": recorder.request_id,
+            "coverage": round(recorder.coverage(), 4),
+        },
+    }
+    try:
+        Path(args.trace_out).write_text(json_module.dumps(profile) + "\n")
+    except OSError as exc:
+        print(f"error: cannot write trace profile: {exc}", file=sys.stderr)
+        return 2
+    print(f"Chrome trace profile written to {args.trace_out} "
+          f"({len(profile['traceEvents'])} spans)", file=sys.stderr)
     return 0
 
 
@@ -611,6 +660,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         return 2
     if args.shards is not None:
         return _command_serve_cluster(args)
+    if args.trace_sample is not None and args.trace_sample < 1:
+        print("error: --trace-sample must be at least 1", file=sys.stderr)
+        return 2
+    if args.log_format is not None:
+        from .obs.logging import configure_logging
+
+        configure_logging(args.log_format, args.log_level)
     for flag, value in (
         ("--max-inflight", args.max_inflight),
         ("--rate-limit", args.rate_limit),
@@ -652,7 +708,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         registry_kwargs["max_sessions"] = args.max_sessions
     try:
         registry = SessionRegistry(sessions=sessions, corpus=corpus, **registry_kwargs)
-        server = build_server(registry, host=args.host, port=args.port)
+        server_kwargs = {}
+        if args.trace_sample is not None:
+            server_kwargs["trace_sample"] = args.trace_sample
+        server = build_server(registry, host=args.host, port=args.port, **server_kwargs)
     except (ServiceError, OSError) as exc:
         print(f"error: cannot start the service: {exc}", file=sys.stderr)
         return 2
@@ -710,15 +769,25 @@ def _command_serve_cluster(args: argparse.Namespace) -> int:
     if args.request_timeout is not None and args.request_timeout <= 0:
         print("error: --request-timeout must be positive", file=sys.stderr)
         return 2
+    if args.trace_sample is not None and args.trace_sample < 1:
+        print("error: --trace-sample must be at least 1", file=sys.stderr)
+        return 2
     overrides = {
         key: value
         for key, value in (
             ("max_inflight", args.max_inflight),
             ("rate_limit", args.rate_limit),
             ("request_timeout", args.request_timeout),
+            ("log_format", args.log_format),
+            ("trace_sample", args.trace_sample),
         )
         if value is not None
     }
+    if args.log_format is not None:
+        from .obs.logging import configure_logging
+
+        overrides["log_level"] = args.log_level
+        configure_logging(args.log_format, args.log_level)
     config = dataclasses.replace(ClusterConfig(), **overrides)
     try:
         handle = start_cluster(

@@ -415,15 +415,17 @@ class MicroscopicModel:
         """
         if self._cumulatives is None:
             from .operators import xlogx  # local import: operators imports nothing from here
+            from ..obs.tracing import span  # local import: obs is a leaf package
 
-            durations = self._durations
-            proportions = self.proportions
-            zeros = np.zeros((1,) + durations.shape[1:])
-            self._cumulatives = (
-                np.concatenate([zeros, np.cumsum(durations, axis=0)]),
-                np.concatenate([zeros, np.cumsum(proportions, axis=0)]),
-                np.concatenate([zeros, np.cumsum(xlogx(proportions), axis=0)]),
-            )
+            with span("prefix.tables", shape=str(self._durations.shape)):
+                durations = self._durations
+                proportions = self.proportions
+                zeros = np.zeros((1,) + durations.shape[1:])
+                self._cumulatives = (
+                    np.concatenate([zeros, np.cumsum(durations, axis=0)]),
+                    np.concatenate([zeros, np.cumsum(proportions, axis=0)]),
+                    np.concatenate([zeros, np.cumsum(xlogx(proportions), axis=0)]),
+                )
         return self._cumulatives
 
     def resource_durations(self, resource: str) -> np.ndarray:

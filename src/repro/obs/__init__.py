@@ -1,0 +1,56 @@
+"""Dependency-free observability toolkit for the service and pipeline tiers.
+
+Three legs, all stdlib-only so the package stays importable everywhere the
+analysis core runs:
+
+- :mod:`repro.obs.metrics` — counters, gauges and histograms rendered in the
+  Prometheus text exposition format, plus a parser/merger so the cluster
+  front-end can fold shard scrapes into one page.
+- :mod:`repro.obs.tracing` — request-scoped span recording with a ContextVar
+  carrier, a bounded ring of recent request traces, and Chrome trace-event
+  JSON export (loadable in ``chrome://tracing`` / Perfetto).
+- :mod:`repro.obs.logging` — structured JSON-lines logging with request-id
+  correlation for access logs and diagnostics.
+
+:mod:`repro.obs.middleware` ties the three together for the HTTP servers.
+"""
+
+from repro.obs.logging import access_log, configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_expositions,
+    parse_exposition,
+)
+from repro.obs.middleware import ServerObservability
+from repro.obs.tracing import (
+    Span,
+    TraceRing,
+    current_request_id,
+    current_trace,
+    new_request_id,
+    span,
+    start_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ServerObservability",
+    "Span",
+    "TraceRing",
+    "access_log",
+    "configure_logging",
+    "current_request_id",
+    "current_trace",
+    "get_logger",
+    "merge_expositions",
+    "new_request_id",
+    "parse_exposition",
+    "span",
+    "start_trace",
+]

@@ -1,0 +1,153 @@
+"""Structured logging for the service tier.
+
+Everything hangs off the ``repro`` logger namespace.  By default the package
+stays silent (a ``NullHandler`` and no propagation, so library users keep
+control of their root logger).  ``repro serve`` calls
+:func:`configure_logging` to attach a stderr handler in either human ``text``
+or machine ``json`` format — the latter emits one JSON object per line with
+the request id threaded in from the active trace.
+
+:func:`access_log` writes the one-per-request access line the servers emit:
+request id, route, method, status, duration, and (on the front) shard.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs.tracing import current_request_id
+
+__all__ = [
+    "ACCESS_LOGGER",
+    "JSONFormatter",
+    "access_log",
+    "configure_logging",
+    "get_logger",
+]
+
+_ROOT_NAME = "repro"
+
+#: Fields of LogRecord that are bookkeeping, not user payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime"}
+
+
+class JSONFormatter(logging.Formatter):
+    """One JSON object per line; extras become top-level keys."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: "Dict[str, Any]" = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        request_id = getattr(record, "request_id", None) or current_request_id()
+        if request_id is not None:
+            entry["request_id"] = request_id
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key == "request_id" or key.startswith("_"):
+                continue
+            entry[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, sort_keys=True, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Readable single-line format carrying the same correlation fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        request_id = getattr(record, "request_id", None) or current_request_id()
+        parts = [stamp, record.levelname, record.name]
+        if request_id is not None:
+            parts.append(f"[{request_id}]")
+        parts.append(record.getMessage())
+        extras = [
+            f"{key}={value}"
+            for key, value in sorted(record.__dict__.items())
+            if key not in _RESERVED and key != "request_id"
+            and not key.startswith("_")
+        ]
+        if extras:
+            parts.append(" ".join(extras))
+        line = " ".join(parts)
+        if record.exc_info and record.exc_info[0] is not None:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace."""
+    return logging.getLogger(f"{_ROOT_NAME}.{name}" if name else _ROOT_NAME)
+
+
+# Library default: silent unless the application configures us.
+_root = logging.getLogger(_ROOT_NAME)
+if not _root.handlers:
+    _root.addHandler(logging.NullHandler())
+_root.propagate = False
+
+
+def configure_logging(
+    log_format: str = "text",
+    level: str = "info",
+    stream: "Optional[Any]" = None,
+) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger tree.
+
+    ``log_format`` is ``"text"`` or ``"json"``; ``level`` a standard logging
+    level name.  Idempotent: reconfiguring replaces the previous handler.
+    """
+    if log_format not in ("text", "json"):
+        raise ValueError(f"unknown log format {log_format!r}")
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JSONFormatter() if log_format == "json" else TextFormatter())
+    root = logging.getLogger(_ROOT_NAME)
+    for existing in list(root.handlers):
+        if not isinstance(existing, logging.NullHandler):
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return root
+
+
+#: The access-log logger, exported so hot paths can pre-check
+#: ``isEnabledFor`` before paying for an :func:`access_log` call.
+ACCESS_LOGGER = logging.getLogger(f"{_ROOT_NAME}.access")
+_access = ACCESS_LOGGER
+
+
+def access_log(
+    request_id: str,
+    route: str,
+    method: str,
+    status: int,
+    duration_s: float,
+    shard: "Optional[int]" = None,
+    **extra: Any,
+) -> None:
+    """One structured access-log line per completed request."""
+    if not _access.isEnabledFor(logging.INFO):  # silent by default: skip the
+        return                                  # field building entirely
+    fields: "Dict[str, Any]" = {
+        "request_id": request_id,
+        "route": route,
+        "method": method,
+        "status": status,
+        "duration_ms": round(duration_s * 1e3, 3),
+    }
+    if shard is not None:
+        fields["shard"] = shard
+    fields.update(extra)
+    _access.info("%s %s -> %d", method, route, status, extra=fields)

@@ -1,0 +1,472 @@
+"""Dependency-free metrics primitives with Prometheus text exposition.
+
+A :class:`MetricsRegistry` owns a set of named metric families — counters,
+gauges and histograms — each optionally labelled.  ``render()`` produces the
+Prometheus text exposition format 0.0.4 (``# HELP`` / ``# TYPE`` headers,
+one sample line per label set, cumulative ``le`` buckets for histograms).
+
+Gauges accept a ``callback`` so values that already live elsewhere (session
+registry stats, in-flight counters, shard liveness) are read at scrape time
+instead of being mirrored on every mutation.
+
+The cluster front-end merges its own page with one scrape per shard via
+:func:`parse_exposition` / :func:`merge_expositions`: samples are *not*
+summed — each source's samples are re-emitted with extra identifying labels
+(``tier``/``shard``) so per-shard behaviour stays visible, while ``# HELP`` /
+``# TYPE`` headers are emitted once per family.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "format_value",
+    "merge_expositions",
+    "parse_exposition",
+]
+
+#: Content type advertised for the exposition page.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Request-latency histogram boundaries in seconds — sub-millisecond cache
+#: hits through multi-second batch fan-outs.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelValues = Tuple[str, ...]
+GaugeCallback = Callable[[], "float | List[Tuple[Dict[str, str], float]]"]
+
+
+def format_value(value: float) -> str:
+    """Render a sample value the way Prometheus clients conventionally do."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: "Sequence[Tuple[str, str]]") -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared bookkeeping: declared label names, per-labelset storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: "Sequence[str]") -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: "Dict[str, str]") -> LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _pairs(self, key: LabelValues) -> "List[Tuple[str, str]]":
+        return list(zip(self.labelnames, key))
+
+    def render(self) -> "List[str]":
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        lines.extend(self._sample_lines())
+        return lines
+
+    def _sample_lines(self) -> "List[str]":
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, optionally labelled.
+
+    A ``callback`` turns the counter into a scrape-time read of a value
+    counted elsewhere (session-registry stats, model-cache loads) so hot
+    paths never pay for mirroring.
+    """
+
+    kind = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: "Sequence[str]" = (),
+        callback: "Optional[GaugeCallback]" = None,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: "Dict[LabelValues, float]" = {}
+        self._callback = callback
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def inc_at(self, key: LabelValues, amount: float = 1.0) -> None:
+        """Hot-path increment with a pre-built label-value tuple.
+
+        Skips the per-call label validation of :meth:`inc`; the caller owns
+        matching ``key`` to ``labelnames`` (order and arity).
+        """
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def _sample_lines(self) -> "List[str]":
+        if self._callback is not None:
+            items = sorted(_callback_samples(self, self._callback))
+        else:
+            with self._lock:
+                items = sorted(self._values.items())
+        return [
+            f"{self.name}{_render_labels(self._pairs(key))} {format_value(value)}"
+            for key, value in items
+        ]
+
+
+def _callback_samples(
+    metric: _Metric, callback: GaugeCallback
+) -> "List[Tuple[LabelValues, float]]":
+    result = callback()
+    if isinstance(result, (int, float)):
+        return [((), float(result))]
+    return [(metric._key(labels), float(value)) for labels, value in result]
+
+
+class Gauge(_Metric):
+    """Point-in-time value; either set explicitly or read via a callback."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: "Sequence[str]" = (),
+        callback: "Optional[GaugeCallback]" = None,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: "Dict[LabelValues, float]" = {}
+        self._callback = callback
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def _sample_lines(self) -> "List[str]":
+        if self._callback is not None:
+            items = sorted(_callback_samples(self, self._callback))
+        else:
+            with self._lock:
+                items = sorted(self._values.items())
+        return [
+            f"{self.name}{_render_labels(self._pairs(key))} {format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with ``_sum`` and ``_count`` samples."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: "Sequence[str]" = (),
+        buckets: "Sequence[float]" = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.buckets = tuple(float(b) for b in buckets)
+        # Per labelset: [bucket counts..., +Inf count], sum.
+        self._counts: "Dict[LabelValues, List[int]]" = {}
+        self._sums: "Dict[LabelValues, float]" = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        self.observe_at(self._key(labels), value)
+
+    def observe_at(self, key: LabelValues, value: float) -> None:
+        """Hot-path observation with a pre-built label-value tuple."""
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+                self._counts[key] = counts
+                self._sums[key] = 0.0
+            counts[index] += 1
+            self._sums[key] += value
+
+    def _sample_lines(self) -> "List[str]":
+        with self._lock:
+            snapshot = {
+                key: (list(counts), self._sums[key])
+                for key, counts in self._counts.items()
+            }
+        lines: "List[str]" = []
+        for key in sorted(snapshot):
+            counts, total = snapshot[key]
+            pairs = self._pairs(key)
+            cumulative = 0
+            for bound, count in zip(self.buckets, counts):
+                cumulative += count
+                bucket_pairs = pairs + [("le", format_value(bound))]
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(bucket_pairs)} {cumulative}"
+                )
+            cumulative += counts[-1]
+            inf_pairs = pairs + [("le", "+Inf")]
+            lines.append(f"{self.name}_bucket{_render_labels(inf_pairs)} {cumulative}")
+            lines.append(f"{self.name}_sum{_render_labels(pairs)} {format_value(total)}")
+            lines.append(f"{self.name}_count{_render_labels(pairs)} {cumulative}")
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metric families rendered as one exposition page."""
+
+    def __init__(self) -> None:
+        self._metrics: "Dict[str, _Metric]" = {}
+        self._lock = threading.Lock()
+        self._prerender: "List[Callable[[], None]]" = []
+
+    def add_prerender(self, hook: "Callable[[], None]") -> None:
+        """Run ``hook()`` at the start of every :meth:`render`.
+
+        Lets writers batch hot-path updates in cheap thread-safe buffers and
+        fold them into the families only when someone actually scrapes.
+        """
+        with self._lock:
+            self._prerender.append(hook)
+
+    def _register(self, metric: _Metric) -> None:
+        with self._lock:
+            if metric.name in self._metrics:
+                raise ValueError(f"metric {metric.name!r} already registered")
+            self._metrics[metric.name] = metric
+
+    def counter(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: "Sequence[str]" = (),
+        callback: "Optional[GaugeCallback]" = None,
+    ) -> Counter:
+        metric = Counter(name, help_text, labelnames, callback)
+        self._register(metric)
+        return metric
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: "Sequence[str]" = (),
+        callback: "Optional[GaugeCallback]" = None,
+    ) -> Gauge:
+        metric = Gauge(name, help_text, labelnames, callback)
+        self._register(metric)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: "Sequence[str]" = (),
+        buckets: "Sequence[float]" = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        metric = Histogram(name, help_text, labelnames, buckets)
+        self._register(metric)
+        return metric
+
+    def render(self) -> str:
+        with self._lock:
+            hooks = list(self._prerender)
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        for hook in hooks:
+            hook()
+        lines: "List[str]" = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> "Dict[str, Dict[str, object]]":
+    """Parse an exposition page back into families.
+
+    Returns ``{family: {"help": str, "type": str, "samples": [(sample_name,
+    label_pairs, value_text), ...]}}`` preserving sample order.  Label pairs
+    and values are kept as raw text so a re-render is byte-faithful — the
+    merger never needs to interpret them.
+    """
+    families: "Dict[str, Dict[str, object]]" = {}
+
+    def family_for(sample_name: str) -> "Dict[str, object]":
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if trimmed and trimmed in families:
+                base = trimmed
+                break
+        entry = families.setdefault(
+            base, {"help": "", "type": "untyped", "samples": []}
+        )
+        return entry
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            entry = families.setdefault(
+                name, {"help": "", "type": "untyped", "samples": []}
+            )
+            entry["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            entry = families.setdefault(
+                name, {"help": "", "type": "untyped", "samples": []}
+            )
+            entry["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        # Sample: name{labels} value  |  name value
+        if "{" in line:
+            sample_name, _, rest = line.partition("{")
+            label_text, _, value_text = rest.rpartition("} ")
+            pairs = _parse_label_pairs(label_text)
+        else:
+            sample_name, _, value_text = line.rpartition(" ")
+            pairs = []
+        entry = family_for(sample_name)
+        samples = entry["samples"]
+        assert isinstance(samples, list)
+        samples.append((sample_name, pairs, value_text.strip()))
+    return families
+
+
+def _parse_label_pairs(label_text: str) -> "List[Tuple[str, str]]":
+    """Split ``a="x",b="y"`` into pairs, honouring escaped quotes."""
+    pairs: "List[Tuple[str, str]]" = []
+    index = 0
+    length = len(label_text)
+    while index < length:
+        equals = label_text.index("=", index)
+        name = label_text[index:equals]
+        assert label_text[equals + 1] == '"'
+        cursor = equals + 2
+        chars: "List[str]" = []
+        while True:
+            ch = label_text[cursor]
+            if ch == "\\":
+                nxt = label_text[cursor + 1]
+                chars.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+                cursor += 2
+                continue
+            if ch == '"':
+                break
+            chars.append(ch)
+            cursor += 1
+        pairs.append((name, "".join(chars)))
+        index = cursor + 1
+        if index < length and label_text[index] == ",":
+            index += 1
+    return pairs
+
+
+def merge_expositions(
+    sources: "Iterable[Tuple[Dict[str, str], str]]",
+) -> str:
+    """Merge exposition pages, tagging each source's samples with extra labels.
+
+    ``sources`` yields ``(extra_labels, exposition_text)``.  Families that
+    appear in several sources emit their ``# HELP`` / ``# TYPE`` header once;
+    every sample is re-emitted with the source's extra labels appended, so
+    nothing is summed and per-source behaviour stays inspectable.
+    """
+    merged: "Dict[str, Dict[str, object]]" = {}
+    for extra_labels, text in sources:
+        extra_pairs = [(name, str(value)) for name, value in extra_labels.items()]
+        for family, entry in parse_exposition(text).items():
+            target = merged.setdefault(
+                family,
+                {"help": entry["help"], "type": entry["type"], "samples": []},
+            )
+            if target["type"] == "untyped" and entry["type"] != "untyped":
+                target["type"] = entry["type"]
+            if not target["help"]:
+                target["help"] = entry["help"]
+            target_samples = target["samples"]
+            entry_samples = entry["samples"]
+            assert isinstance(target_samples, list)
+            assert isinstance(entry_samples, list)
+            for sample_name, pairs, value_text in entry_samples:
+                target_samples.append(
+                    (sample_name, list(pairs) + extra_pairs, value_text)
+                )
+    lines: "List[str]" = []
+    for family in sorted(merged):
+        entry = merged[family]
+        if entry["help"]:
+            lines.append(f"# HELP {family} {entry['help']}")
+        lines.append(f"# TYPE {family} {entry['type']}")
+        samples = entry["samples"]
+        assert isinstance(samples, list)
+        for sample_name, pairs, value_text in samples:
+            lines.append(f"{sample_name}{_render_labels(pairs)} {value_text}")
+    return "\n".join(lines) + "\n"

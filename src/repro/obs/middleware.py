@@ -1,0 +1,212 @@
+"""Per-server observability state shared by the HTTP handler classes.
+
+One :class:`ServerObservability` instance rides on each HTTP server object
+(single-process service, cluster front, shard worker).  It owns the server's
+:class:`~repro.obs.metrics.MetricsRegistry` with the standard HTTP metric
+families pre-registered, the :class:`~repro.obs.tracing.TraceRing` behind
+``GET /v1/debug/trace``, and the access-log hook — so handler code makes a
+single ``observe_request(...)`` call per response.
+
+Servers bolt on their tier-specific sources (session-registry LRU stats,
+in-flight depth, shard respawns, model-cache loads) via the ``add_*``
+helpers, which register scrape-time callbacks instead of mirrored writes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+from collections import deque
+from typing import Callable, Deque, Optional, Sequence, Tuple
+
+from repro.obs.logging import ACCESS_LOGGER, access_log
+from repro.obs.metrics import GaugeCallback, MetricsRegistry
+from repro.obs.tracing import RequestTrace, TraceRing
+
+__all__ = [
+    "DEFAULT_TRACE_SAMPLE",
+    "FOLD_THRESHOLD",
+    "GUARDRAIL_CODES",
+    "ServerObservability",
+]
+
+#: Error-envelope codes counted as guard-rail rejections (429/503/504).
+GUARDRAIL_CODES = frozenset(
+    {"rate_limited", "overloaded", "shard_unavailable", "shard_timeout", "not_ready"}
+)
+
+#: Default span-recording rate: one request tree in N (metrics and access
+#: logs still cover every request).  Recording spans costs a few tens of
+#: microseconds per request — sampling keeps the debug ring populated while
+#: holding instrumentation overhead on cache-hit requests under the 5%
+#: budget the service benchmark gates.
+DEFAULT_TRACE_SAMPLE = 16
+
+_INFO = logging.INFO
+
+#: Common statuses pre-stringified for the per-request counter label.
+_STATUS_TEXT = {s: str(s) for s in (200, 400, 404, 409, 429, 500, 503, 504)}
+
+#: Hot paths buffer one event tuple per request and fold them into the
+#: metric families at scrape time (see ``MetricsRegistry.add_prerender``) —
+#: a ``deque.append`` is atomic under the GIL, so the request thread takes
+#: no lock at all.  On a busy server each lock acquisition is a scheduling
+#: point that stalls every other handler thread, which at concurrency 16
+#: costs far more than the arithmetic it guards.  The threshold bounds the
+#: buffer if nothing ever scrapes.
+FOLD_THRESHOLD = 4096
+
+
+class ServerObservability:
+    """Metrics registry + trace ring + access log for one HTTP server."""
+
+    def __init__(
+        self,
+        tier: str,
+        ring_capacity: int = 64,
+        trace_sample: int = DEFAULT_TRACE_SAMPLE,
+    ) -> None:
+        self.tier = tier
+        self.metrics = MetricsRegistry()
+        self.ring = TraceRing(ring_capacity)
+        self.trace_sample = max(1, int(trace_sample))
+        self._sample_iter = itertools.count()
+        self.requests_total = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled, by route, method and status.",
+            labelnames=("route", "method", "status"),
+        )
+        self.request_duration = self.metrics.histogram(
+            "repro_http_request_duration_seconds",
+            "Wall time per HTTP request, by route.",
+            labelnames=("route",),
+        )
+        self.guardrail_total = self.metrics.counter(
+            "repro_guardrail_responses_total",
+            "Requests rejected by a guard-rail (429/503/504), by error code.",
+            labelnames=("code",),
+        )
+        # Per-request events buffered lock-free, folded at scrape time.
+        self._events: "Deque[Tuple[str, str, int, float, Optional[str]]]" = deque()
+        self._fold_lock = threading.Lock()
+        self.metrics.add_prerender(self._fold)
+
+    # -- tier-specific sources -------------------------------------------
+
+    def add_gauge(
+        self,
+        name: str,
+        help_text: str,
+        callback: GaugeCallback,
+        labelnames: "Sequence[str]" = (),
+    ) -> None:
+        self.metrics.gauge(name, help_text, labelnames, callback=callback)
+
+    def add_counter(
+        self,
+        name: str,
+        help_text: str,
+        callback: GaugeCallback,
+        labelnames: "Sequence[str]" = (),
+    ) -> None:
+        self.metrics.counter(name, help_text, labelnames, callback=callback)
+
+    def add_registry_stats(self, stats: "Callable[[], dict]") -> None:
+        """Expose SessionRegistry LRU behaviour (hits/misses/evictions/resident)."""
+        self.add_counter(
+            "repro_session_lru_hits_total",
+            "Session lookups answered by an already-resident session.",
+            lambda: float(stats().get("hits", 0)),
+        )
+        self.add_counter(
+            "repro_session_lru_misses_total",
+            "Session lookups that had to open a corpus member.",
+            lambda: float(stats().get("misses", 0)),
+        )
+        self.add_counter(
+            "repro_session_lru_evictions_total",
+            "Corpus sessions evicted by the LRU bound.",
+            lambda: float(stats().get("evicted", 0)),
+        )
+        self.add_gauge(
+            "repro_sessions_resident",
+            "Sessions currently resident (pinned + LRU).",
+            lambda: float(stats().get("n_resident", 0)),
+        )
+
+    def add_model_cache_stats(self, stats: "Callable[[], dict]") -> None:
+        """Expose on-disk model-cache behaviour as warm/cold load counts."""
+        self.add_counter(
+            "repro_model_cache_loads_total",
+            "Microscopic-model constructions, by cache outcome.",
+            lambda: [
+                ({"result": "warm"}, float(stats().get("warm", 0))),
+                ({"result": "cold"}, float(stats().get("cold", 0))),
+            ],
+            labelnames=("result",),
+        )
+
+    # -- the one call per response ---------------------------------------
+
+    def sample_tick(self) -> bool:
+        """Whether the next request on a traced route should record spans.
+
+        Deterministic 1-in-``trace_sample``: the first request is always
+        recorded, so a fresh server's debug ring is never empty after
+        traffic.  ``itertools.count`` is atomic under the GIL, so concurrent
+        handler threads never skew the rate.
+        """
+        if self.trace_sample == 1:
+            return True
+        return next(self._sample_iter) % self.trace_sample == 0
+
+    def _fold(self) -> None:
+        """Fold buffered request events into the metric families.
+
+        Called from ``render()`` (scrape time) and from the hot path once
+        the buffer passes :data:`FOLD_THRESHOLD`.  ``popleft`` is atomic, so
+        events appended while a fold drains are either included or left for
+        the next fold — never lost.
+        """
+        events = self._events
+        if not events:
+            return
+        with self._fold_lock:
+            requests = self.requests_total
+            duration = self.request_duration
+            guardrail = self.guardrail_total
+            while True:
+                try:
+                    route, method, status, duration_s, error_code = events.popleft()
+                except IndexError:
+                    break
+                requests.inc_at(
+                    (route, method, _STATUS_TEXT.get(status) or str(status))
+                )
+                duration.observe_at((route,), duration_s)
+                if error_code in GUARDRAIL_CODES:
+                    guardrail.inc_at((error_code,))
+
+    def observe_request(
+        self,
+        request_id: str,
+        route: str,
+        method: str,
+        status: int,
+        duration_s: float,
+        error_code: "Optional[str]" = None,
+        shard: "Optional[int]" = None,
+        trace: "Optional[RequestTrace]" = None,
+    ) -> None:
+        # One atomic append; counters/histograms are updated at fold time.
+        self._events.append((route, method, status, duration_s, error_code))
+        if trace is not None:
+            self.ring.push(trace)
+        if ACCESS_LOGGER.isEnabledFor(_INFO):
+            access_log(
+                request_id, route, method, status, duration_s,
+                shard=shard, tier=self.tier,
+            )
+        if len(self._events) >= FOLD_THRESHOLD:
+            self._fold()

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple, Uni
 from ..core.microscopic import MicroscopicModel
 from ..core.parameters import find_significant_parameters, quality_curve
 from ..core.spatiotemporal import SpatiotemporalAggregator
+from ..obs.tracing import span
 from ..store.format import StoreError, StoreIntegrityError, StoreRewrittenError
 from ..store.store import TraceStore
 from ..store.writer import StoreWriter
@@ -110,38 +111,43 @@ def analyze_source(
     serialized payload — are identical either way.
     """
     if model is None:
-        model = source.model(request.slices)
+        with span("model.build", slices=request.slices):
+            model = source.model(request.slices)
     jobs: Optional[int] = request.jobs if request.jobs and request.jobs > 1 else None
     if request.window is None:
         analysis_model = model
-        if aggregator is None:
-            aggregator = SpatiotemporalAggregator(
-                analysis_model, operator=request.operator, jobs=jobs
+        with span("pipeline.plan", operator=request.operator):
+            if aggregator is None:
+                aggregator = SpatiotemporalAggregator(
+                    analysis_model, operator=request.operator, jobs=jobs
+                )
+        with span("pipeline.execute", p=request.p):
+            result = run_analysis(
+                analysis_model,
+                request.p,
+                aggregator=aggregator,
+                anomaly_threshold=request.anomaly_threshold,
+                jobs=jobs,
             )
-        result = run_analysis(
-            analysis_model,
-            request.p,
-            aggregator=aggregator,
-            anomaly_threshold=request.anomaly_threshold,
-            jobs=jobs,
-        )
         window_block = None
     else:
         # Same resolution steps the streaming service path uses, so a CLI
         # windowed report on a static trace matches a windowed query against
         # a served session at generation 0, byte for byte.
-        model.cumulative_tables()
-        a, b = resolve_window_bounds(model, request.window)
-        analysis_model = model.window(a, b)
-        result = run_analysis(
-            analysis_model,
-            request.p,
-            aggregator=SpatiotemporalAggregator(
-                analysis_model, operator=request.operator, jobs=jobs
-            ),
-            anomaly_threshold=request.anomaly_threshold,
-            jobs=jobs,
-        )
+        with span("pipeline.plan", operator=request.operator, window=str(request.window)):
+            model.cumulative_tables()
+            a, b = resolve_window_bounds(model, request.window)
+            analysis_model = model.window(a, b)
+        with span("pipeline.execute", p=request.p):
+            result = run_analysis(
+                analysis_model,
+                request.p,
+                aggregator=SpatiotemporalAggregator(
+                    analysis_model, operator=request.operator, jobs=jobs
+                ),
+                anomaly_threshold=request.anomaly_threshold,
+                jobs=jobs,
+            )
         window_block = window_section(model, a, b, request.window)
     return AnalysisOutcome(
         source=source,

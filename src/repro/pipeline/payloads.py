@@ -23,6 +23,7 @@ from ..core.microscopic import MicroscopicModel
 from ..core.parameters import QualityPoint
 from ..core.partition import Partition
 from ..core.spatiotemporal import SpatiotemporalAggregator
+from ..obs.tracing import span
 
 __all__ = [
     "API_VERSION",
@@ -118,9 +119,12 @@ def run_analysis(
     """
     if aggregator is None:
         aggregator = SpatiotemporalAggregator(model, operator=operator, jobs=jobs)
-    partition = aggregator.run(p, jobs=jobs)
-    phases = detect_phases(partition, model)
-    anomalies = detect_deviating_cells(model, threshold=anomaly_threshold)
+    with span("dp.kernel", p=p):
+        partition = aggregator.run(p, jobs=jobs)
+    with span("phases.detect"):
+        phases = detect_phases(partition, model)
+    with span("anomalies.detect", threshold=anomaly_threshold):
+        anomalies = detect_deviating_cells(model, threshold=anomaly_threshold)
     return AnalysisResult(partition=partition, phases=phases, anomalies=anomalies)
 
 
@@ -467,4 +471,5 @@ def batch_payload(
 
 def serialize_payload(payload: Mapping[str, Any]) -> str:
     """Canonical JSON text of a payload (no trailing newline)."""
-    return json.dumps(payload, indent=2, sort_keys=True, default=str)
+    with span("pipeline.serialize"):
+        return json.dumps(payload, indent=2, sort_keys=True, default=str)

@@ -51,6 +51,11 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..batch.corpus import Corpus, CorpusEntry, entry_for_path, load_corpus
+from ..obs.logging import configure_logging
+from ..obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from ..obs.metrics import merge_expositions
+from ..obs.middleware import DEFAULT_TRACE_SAMPLE, ServerObservability
+from ..obs.tracing import span
 from ..pipeline.errors import RequestError
 from ..pipeline.payloads import (
     API_VERSION,
@@ -163,6 +168,12 @@ class ShardSpec:
     corpus_path: Optional[str]
     owned: Tuple[str, ...]
     max_sessions: int
+    #: Observability settings, mirrored from :class:`ClusterConfig` so every
+    #: worker instruments (and logs) exactly like the front.
+    instrument: bool = True
+    log_format: Optional[str] = None
+    log_level: str = "info"
+    trace_sample: int = DEFAULT_TRACE_SAMPLE
 
 
 def _shard_registry(spec: ShardSpec) -> SessionRegistry:
@@ -202,8 +213,14 @@ def _shard_main(
     import signal
 
     try:
+        if spec.log_format is not None:
+            configure_logging(spec.log_format, spec.log_level)
         registry = _shard_registry(spec)
-        server = build_server(registry, host=spec.host, port=0)
+        server = build_server(
+            registry, host=spec.host, port=0,
+            instrument=spec.instrument, tier="shard",
+            trace_sample=spec.trace_sample,
+        )
     except BaseException as exc:  # report startup failure to the parent
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -371,6 +388,18 @@ class ClusterConfig:
     start_timeout: float = 60.0
     #: Drain bound for in-flight requests during shutdown.
     drain_timeout: float = 5.0
+    #: Metrics + span tracing + access logs on the front and every shard;
+    #: off, the request path is byte-for-byte the uninstrumented one (the
+    #: benchmark's overhead gate measures exactly this toggle).
+    instrument: bool = True
+    #: ``repro serve --log-format``: ``None`` keeps the tier silent,
+    #: ``"text"``/``"json"`` attach a stderr handler on front and shards.
+    log_format: Optional[str] = None
+    #: Log threshold when ``log_format`` is set.
+    log_level: str = "info"
+    #: Span-recording rate: one request tree in N is traced (the front
+    #: decides and shards follow via the proxy header); 1 traces everything.
+    trace_sample: int = DEFAULT_TRACE_SAMPLE
 
 
 # --------------------------------------------------------------------------- #
@@ -398,6 +427,30 @@ class ClusterFrontServer(DrainableThreadingHTTPServer):
         self._inflight_lock = threading.Lock()
         self._supervisor: Optional[threading.Thread] = None
         self._supervisor_stop = threading.Event()
+        self.obs: "ServerObservability | None" = None
+        if self.config.instrument:
+            self.obs = ServerObservability(
+                "front", trace_sample=self.config.trace_sample
+            )
+            self.obs.add_gauge(
+                "repro_http_inflight_requests",
+                "Requests currently inside the front's in-flight bound.",
+                lambda: float(self._inflight),
+            )
+            self.obs.add_gauge(
+                "repro_cluster_shards_alive",
+                "Shard workers currently running.",
+                lambda: float(sum(1 for shard in self.shards if shard.alive())),
+            )
+            self.obs.add_counter(
+                "repro_cluster_shard_respawns_total",
+                "Dead shard workers replaced by the supervisor, per shard.",
+                lambda: [
+                    ({"shard": str(shard.index)}, float(shard.respawns))
+                    for shard in self.shards
+                ],
+                labelnames=("shard",),
+            )
         super().__init__(address, ClusterFrontHandler)
 
     # -- in-flight bound ------------------------------------------------- #
@@ -513,12 +566,6 @@ class ClusterFrontHandler(JSONHandler):
             if acquired:
                 server.release()
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        self._dispatch("GET")
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        self._dispatch("POST")
-
     # ------------------------------------------------------------------ #
     # Proxy plumbing
     # ------------------------------------------------------------------ #
@@ -542,9 +589,20 @@ class ClusterFrontHandler(JSONHandler):
         conn = http.client.HTTPConnection(shard.host, port, timeout=timeout)
         try:
             headers = {"Content-Type": "application/json"} if body else {}
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            return response.status, response.read()
+            if self._request_id is not None:
+                # One id correlates the front access line, the shard's, and
+                # every span either side records for this request.
+                headers["X-Request-ID"] = self._request_id
+                if self._trace_sampled:
+                    # Shards must trace exactly the requests the front
+                    # traces, or a sampled tree would be missing its shard
+                    # half; absence of the marker means "not recorded", so
+                    # unsampled requests stay one header line lighter.
+                    headers["X-Trace-Sample"] = "1"
+            with span("proxy.shard", shard=shard.index, path=path):
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                return response.status, response.read()
         except (socket.timeout, TimeoutError):
             raise ShardTimeoutError(
                 f"shard {shard.index} did not answer within {timeout:g}s"
@@ -642,18 +700,28 @@ class ClusterFrontHandler(JSONHandler):
         self._send_json(200, {"status": "ok"})
 
     def _handle_readyz(self, route: Route, query: str) -> None:
-        cfg = self.server.config
+        server = self.server
+        cfg = server.config
         dead: List[int] = []
-        for shard in self.server.shards:
+        shard_status: List[Dict[str, Any]] = []
+        for shard in server.shards:
+            alive = True
             try:
                 status, _ = self._proxy(
                     shard, "GET", "/healthz", timeout=cfg.probe_timeout
                 )
+                if status != 200:
+                    alive = False
             except (ShardUnavailableError, ShardTimeoutError):
+                alive = False
+            if not alive:
                 dead.append(shard.index)
-                continue
-            if status != 200:
-                dead.append(shard.index)
+            shard_status.append({
+                "index": shard.index,
+                "alive": alive,
+                "port": shard.port,
+                "respawns": shard.respawns,
+            })
         if dead:
             self._send_error(
                 503,
@@ -662,8 +730,53 @@ class ClusterFrontHandler(JSONHandler):
                 retry_after=1,
             )
             return
+        # Queue depth + per-shard liveness ride along so probe output and
+        # the /v1/metrics story agree.
         self._send_json(
-            200, {"status": "ready", "shards": len(self.server.shards)}
+            200,
+            {
+                "status": "ready",
+                "shards": len(server.shards),
+                "inflight": server._inflight,
+                "max_inflight": cfg.max_inflight,
+                "shard_status": shard_status,
+            },
+        )
+
+    def _handle_metrics(self, route: Route, query: str) -> None:
+        """Merge the front's own exposition with one scrape per live shard.
+
+        Front samples get ``tier="front"``, shard samples ``tier="shard"``
+        plus their ``shard`` index — nothing is summed, so per-shard load
+        and latency stay visible.  Dead shards are skipped (their absence
+        shows in ``repro_cluster_shards_alive``).
+        """
+        server = self.server
+        obs = server.obs
+        if obs is None:
+            self._send_error(
+                404, "metrics are disabled on this server", code="not_found"
+            )
+            return
+        sources: List[Tuple[Dict[str, str], str]] = [
+            ({"tier": "front"}, obs.metrics.render())
+        ]
+        for shard in server.shards:
+            try:
+                status, data = self._proxy(
+                    shard, "GET", "/v1/metrics",
+                    timeout=server.config.probe_timeout,
+                )
+            except (ShardUnavailableError, ShardTimeoutError):
+                continue
+            if status == 200:
+                sources.append(
+                    ({"tier": "shard", "shard": str(shard.index)},
+                     data.decode("utf-8"))
+                )
+        self._send_bytes(
+            200, merge_expositions(sources).encode("utf-8"),
+            content_type=METRICS_CONTENT_TYPE,
         )
 
     def _handle_traces(self, route: Route, query: str) -> None:
@@ -775,6 +888,10 @@ def plan_cluster(
     shards: int = 1,
     host: str = "127.0.0.1",
     max_sessions: "int | None" = None,
+    instrument: bool = True,
+    log_format: "Optional[str]" = None,
+    log_level: str = "info",
+    trace_sample: int = DEFAULT_TRACE_SAMPLE,
 ) -> Tuple[List[ShardSpec], Dict[str, int]]:
     """Partition the served traces across ``shards`` workers.
 
@@ -806,6 +923,10 @@ def plan_cluster(
             corpus_path=str(corpus) if corpus is not None else None,
             owned=tuple(owned[index]),
             max_sessions=effective,
+            instrument=instrument,
+            log_format=log_format,
+            log_level=log_level,
+            trace_sample=trace_sample,
         )
         for index in range(shards)
     ]
@@ -866,6 +987,10 @@ def start_cluster(
         shards=shards,
         host=host if host not in ("", "0.0.0.0") else "127.0.0.1",
         max_sessions=max_sessions,
+        instrument=config.instrument,
+        log_format=config.log_format,
+        log_level=config.log_level,
+        trace_sample=config.trace_sample,
     )
     handles: List[ShardHandle] = []
     try:

@@ -49,11 +49,21 @@ server in shard worker processes behind the consistent-hash router of
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
+from functools import lru_cache
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping, Optional, Tuple
 
+from ..obs.logging import ACCESS_LOGGER, access_log
+from ..obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from ..obs.middleware import (
+    DEFAULT_TRACE_SAMPLE,
+    FOLD_THRESHOLD,
+    ServerObservability,
+)
+from ..obs.tracing import new_request_id, start_trace
 from ..pipeline.errors import RequestError, error_envelope
 from ..pipeline.payloads import (
     API_VERSION,
@@ -63,10 +73,19 @@ from ..pipeline.payloads import (
     serialize_payload,
 )
 from ..pipeline.requests import AnalysisRequest, SweepRequest
+from ..store.store import model_cache_stats
 from ..trace.io import TraceIOError
 from .registry import SessionRegistry
-from .routes import Route, deprecation_headers, parse_traces_query, resolve_route
+from .routes import (
+    Route,
+    deprecation_headers,
+    parse_debug_trace_query,
+    parse_traces_query,
+    resolve_route,
+)
 from .session import AnalysisSession, ServiceError, StaleGenerationError
+
+_LOG_INFO = logging.INFO
 
 __all__ = [
     "DrainableThreadingHTTPServer",
@@ -79,6 +98,19 @@ __all__ = [
 
 #: Largest accepted request body; queries are tiny, anything bigger is abuse.
 MAX_BODY_BYTES = 1 << 20
+
+
+@lru_cache(maxsize=256)
+def _route_name(method: str, path: str) -> str:
+    """The metrics label of ``(method, path)``, memoized for the hot path.
+
+    Unmatched paths all collapse into one ``"unknown"`` label so probes of
+    random URLs cannot blow up metric cardinality (and cannot grow this
+    cache past its bound either, since misses share the one entry per path
+    up to the LRU capacity).
+    """
+    resolved = resolve_route(method, path)
+    return resolved[0].name if resolved is not None else "unknown"
 
 
 def read_raw_body(handler: BaseHTTPRequestHandler) -> bytes:
@@ -177,11 +209,24 @@ class TraceServiceServer(DrainableThreadingHTTPServer):
         self,
         address: tuple[str, int],
         sessions: "Mapping[str, AnalysisSession] | SessionRegistry",
+        instrument: bool = True,
+        tier: str = "single",
+        trace_sample: int = DEFAULT_TRACE_SAMPLE,
     ):
         if isinstance(sessions, SessionRegistry):
             self.registry = sessions
         else:
             self.registry = SessionRegistry(sessions=sessions)
+        self.obs: "ServerObservability | None" = None
+        if instrument:
+            self.obs = ServerObservability(tier, trace_sample=trace_sample)
+            self.obs.add_registry_stats(self.registry.stats)
+            self.obs.add_model_cache_stats(model_cache_stats)
+            self.obs.add_gauge(
+                "repro_http_active_connections",
+                "Connection threads currently live on this server.",
+                lambda: float(self._active_connections),
+            )
         super().__init__(address, ServiceHandler)
 
     def resolve(self, name: "str | None") -> AnalysisSession:
@@ -211,11 +256,36 @@ class JSONHandler(BaseHTTPRequestHandler):
         pass  # keep stdout/stderr clean; CI parses the CLI's own output
 
     _extra_headers: "Tuple[Tuple[str, str], ...]" = ()
+    #: Correlation id of the request being answered (echoed on responses).
+    _request_id: "Optional[str]" = None
+    #: Whether this request's spans are being recorded (the front's sampling
+    #: decision, forwarded to shards on the proxied request).
+    _trace_sampled: bool = False
+    #: Shards answering a front skip the ``X-Request-ID`` response echo —
+    #: the front echoes to the real client, and the extra header line costs
+    #: the front's HTTP parser more than it is worth on loopback.
+    _suppress_id_echo: bool = False
+    #: Status / error code of the last response written, read back by the
+    #: observability wrapper after ``_dispatch`` returns.
+    _last_status: "Optional[int]" = None
+    _last_error_code: "Optional[str]" = None
 
-    def _send_bytes(self, status: int, data: bytes) -> None:
+    #: Routes whose own traffic is not recorded into the debug-trace ring —
+    #: scrapes and trace dumps would otherwise crowd out the real work.
+    _UNTRACED_ROUTES = frozenset({"metrics", "debug_trace", "healthz", "readyz"})
+
+    def _send_bytes(
+        self,
+        status: int,
+        data: bytes,
+        content_type: str = "application/json; charset=utf-8",
+    ) -> None:
+        self._last_status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        if self._request_id is not None and not self._suppress_id_echo:
+            self.send_header("X-Request-ID", self._request_id)
         for header, value in self._extra_headers:
             self.send_header(header, value)
         if self.close_connection:
@@ -239,12 +309,136 @@ class JSONHandler(BaseHTTPRequestHandler):
         field: Optional[str] = None,
         retry_after: Optional[int] = None,
     ) -> None:
+        self._last_error_code = code
         if retry_after is not None:
             self._extra_headers = (
                 *self._extra_headers,
                 ("Retry-After", str(int(retry_after))),
             )
         self._send_json(status, error_envelope(message, code=code, field=field))
+
+    # ------------------------------------------------------------------ #
+    # Observability wrapper around dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, method: str) -> None:
+        raise NotImplementedError
+
+    def _observe(self, method: str) -> None:
+        """Dispatch one request under metrics, tracing and the access log.
+
+        When the server runs uninstrumented (``obs is None``) this falls
+        straight through to ``_dispatch`` — the bare path the benchmark's
+        overhead gate compares against.
+        """
+        obs: "ServerObservability | None" = getattr(self.server, "obs", None)
+        if obs is None:
+            self._dispatch(method)
+            return
+        self._last_status = None
+        self._last_error_code = None
+        tier = obs.tier
+        # The front generates the id; shards receive it via the proxy header
+        # so one id correlates the whole request tree across processes.
+        rid = None
+        sample_header = None
+        # One pass over the raw header pairs: Message.get would scan (and
+        # case-fold) the list once per probed name, and Message.items pays
+        # the policy fetch-parse per header.
+        raw_headers = self.headers._headers or ()
+        if tier == "front":
+            # The front owns the sampling decision; X-Trace-Sample is a
+            # proxy-internal header, so the front never looks for it on
+            # client requests.
+            for name, value in raw_headers:
+                if name.lower() == "x-request-id":
+                    rid = value
+                    break
+        else:
+            for name, value in raw_headers:
+                folded = name.lower()
+                if folded == "x-request-id":
+                    rid = value
+                elif folded == "x-trace-sample":
+                    sample_header = value
+        self._request_id = rid or new_request_id()
+        self._suppress_id_echo = rid is not None and tier == "shard"
+        route_name = _route_name(method, self.path.partition("?")[0])
+        # Span recording is sampled (metrics/logs cover every request): the
+        # front decides 1-in-N and shards follow its decision via the proxy
+        # header (sent only for recorded requests), so a sampled request
+        # tree is complete across tiers.
+        if route_name in self._UNTRACED_ROUTES:
+            sampled = False
+        elif tier == "front":
+            sampled = obs.sample_tick()
+        elif sample_header is not None:
+            sampled = sample_header == "1"
+        elif rid is not None and tier == "shard":
+            # Proxied request without the marker: the front recorded nothing.
+            sampled = False
+        else:
+            sampled = obs.sample_tick()
+        self._trace_sampled = sampled
+        started = time.perf_counter()
+        if sampled:
+            with start_trace(
+                f"http.{route_name}", request_id=self._request_id,
+                method=method, route=route_name,
+            ) as trace:
+                self._dispatch(method)
+        else:
+            trace = None
+            self._dispatch(method)
+        duration_s = time.perf_counter() - started
+        status = self._last_status if self._last_status is not None else 0
+        # Inlined ServerObservability.observe_request (the canonical, tested
+        # form) — dropping the call frame per tier is worth a couple of
+        # microseconds against the benchmark's 5% overhead budget.  Keep the
+        # two in sync: one atomic event append, folded at scrape time.
+        events = obs._events
+        events.append(
+            (route_name, method, status, duration_s, self._last_error_code)
+        )
+        if trace is not None:
+            obs.ring.push(trace)
+        if ACCESS_LOGGER.isEnabledFor(_LOG_INFO):
+            access_log(
+                self._request_id, route_name, method, status, duration_s,
+                tier=tier,
+            )
+        if len(events) >= FOLD_THRESHOLD:
+            obs._fold()
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._observe("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._observe("POST")
+
+    # ------------------------------------------------------------------ #
+    # Observability endpoints shared by all tiers
+    # ------------------------------------------------------------------ #
+    def _handle_metrics(self, route: Route, query: str) -> None:
+        obs: "ServerObservability | None" = getattr(self.server, "obs", None)
+        if obs is None:
+            self._send_error(
+                404, "metrics are disabled on this server", code="not_found"
+            )
+            return
+        self._send_bytes(
+            200, obs.metrics.render().encode("utf-8"),
+            content_type=METRICS_CONTENT_TYPE,
+        )
+
+    def _handle_debug_trace(self, route: Route, query: str) -> None:
+        obs: "ServerObservability | None" = getattr(self.server, "obs", None)
+        if obs is None:
+            self._send_error(
+                404, "request tracing is disabled on this server", code="not_found"
+            )
+            return
+        limit = parse_debug_trace_query(query)
+        self._send_json(200, obs.ring.chrome_payload(limit))
 
 
 class ServiceHandler(JSONHandler):
@@ -293,12 +487,6 @@ class ServiceHandler(JSONHandler):
             # Store went bad underneath a live server (deleted chunk, bit rot).
             self._send_error(500, f"trace store error: {exc}", code="internal")
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        self._dispatch("GET")
-
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        self._dispatch("POST")
-
     # ------------------------------------------------------------------ #
     # GET handlers
     # ------------------------------------------------------------------ #
@@ -328,8 +516,16 @@ class ServiceHandler(JSONHandler):
     def _handle_readyz(self, route: Route, query: str) -> None:
         # A single-process server is ready as soon as it accepts connections:
         # the registry was validated at startup.  The cluster front-end
-        # overrides this with a real all-shards-answering probe.
-        self._send_json(200, {"status": "ready"})
+        # overrides this with a real all-shards-answering probe.  The body
+        # carries the same queue-depth detail the metrics expose so probes
+        # and scrapes agree.
+        self._send_json(
+            200,
+            {
+                "status": "ready",
+                "active_connections": self.server._active_connections,
+            },
+        )
 
     def _handle_traces(self, route: Route, query: str) -> None:
         limit, offset, digest = parse_traces_query(query)
@@ -459,11 +655,21 @@ def build_server(
     sessions: "Mapping[str, AnalysisSession] | SessionRegistry",
     host: str = "127.0.0.1",
     port: int = 8000,
+    instrument: bool = True,
+    tier: str = "single",
+    trace_sample: int = DEFAULT_TRACE_SAMPLE,
 ) -> TraceServiceServer:
     """Bind a :class:`TraceServiceServer` (``port=0`` picks a free port).
 
     ``sessions`` is either a plain mapping of pinned sessions (wrapped into a
     :class:`~repro.service.registry.SessionRegistry`) or a pre-built registry
-    (corpus-aware serving).
+    (corpus-aware serving).  ``instrument=False`` disables the metrics /
+    tracing / access-log layer entirely (the benchmark's bare leg); ``tier``
+    names the server in its access log (``single`` or ``shard``);
+    ``trace_sample`` records one request's span tree in N (1 = every
+    request).
     """
-    return TraceServiceServer((host, port), sessions)
+    return TraceServiceServer(
+        (host, port), sessions, instrument=instrument, tier=tier,
+        trace_sample=trace_sample,
+    )

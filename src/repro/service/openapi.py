@@ -82,10 +82,15 @@ def _body_schema(route: Route) -> "Dict[str, Any] | None":
 
 
 def _responses(route: Route) -> Dict[str, Any]:
+    success_schema: Dict[str, Any] = (
+        {"type": "object"}
+        if route.media_type == "application/json"
+        else {"type": "string"}
+    )
     responses: Dict[str, Any] = {
         "200": {
             "description": route.summary,
-            "content": {"application/json": {"schema": {"type": "object"}}},
+            "content": {route.media_type: {"schema": success_schema}},
         }
     }
     for status in sorted(route.error_statuses):

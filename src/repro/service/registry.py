@@ -92,6 +92,8 @@ class SessionRegistry:
         self._lru: "OrderedDict[str, AnalysisSession]" = OrderedDict()
         self._opened = 0
         self._evicted = 0
+        self._hits = 0
+        self._misses = 0
         self._lock = threading.RLock()
         if corpus is not None:
             overlap = sorted(set(self._pinned) & set(corpus.names))
@@ -134,6 +136,8 @@ class SessionRegistry:
                 "max_sessions": self._max_sessions,
                 "opened": self._opened,
                 "evicted": self._evicted,
+                "hits": self._hits,
+                "misses": self._misses,
             }
 
     # ------------------------------------------------------------------ #
@@ -149,13 +153,17 @@ class SessionRegistry:
         with self._lock:
             session = self._pinned.get(name)
             if session is not None:
+                self._hits += 1
                 return session
             session = self._lru.get(name)
             if session is not None:
                 self._lru.move_to_end(name)
+                self._hits += 1
                 return session
         if self._corpus is None or name not in self._corpus:
             raise LookupError(f"unknown trace {name!r}; served traces: {self.names()}")
+        with self._lock:
+            self._misses += 1
         # Load outside the lock: opening and digest-verifying a member can be
         # slow and must not serialize queries against resident sessions.
         source = self._corpus.entry(name).load()

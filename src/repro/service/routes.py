@@ -34,6 +34,7 @@ __all__ = [
     "resolve_route",
     "route_by_name",
     "deprecation_headers",
+    "parse_debug_trace_query",
     "parse_traces_query",
     "DEFAULT_TRACES_LIMIT",
 ]
@@ -77,6 +78,7 @@ class Route:
     query_params: Tuple[QueryParam, ...] = ()
     error_statuses: Tuple[int, ...] = ()
     cluster_limited: bool = False  # behind the front-end's in-flight bound
+    media_type: str = "application/json"  # success-response content type
 
 
 _TRACE_FIELD = BodyField(
@@ -106,6 +108,22 @@ ROUTES: Tuple[Route, ...] = (
         "GET", "/readyz", "readyz",
         "Kubernetes-style readiness probe: 200 only when every shard answers.",
         error_statuses=(503,),
+    ),
+    Route(
+        "GET", "/v1/metrics", "metrics",
+        "Prometheus text exposition of service metrics; the sharded front "
+        "merges per-shard scrapes under tier/shard labels.",
+        media_type="text/plain; version=0.0.4; charset=utf-8",
+    ),
+    Route(
+        "GET", "/v1/debug/trace", "debug_trace",
+        "Chrome trace-event JSON of recent requests (bounded ring buffer); "
+        "load the body in chrome://tracing or Perfetto.",
+        query_params=(
+            QueryParam("limit", "integer",
+                       "Only the most recent N requests (default: the whole ring)."),
+        ),
+        error_statuses=(400,),
     ),
     Route(
         "GET", "/v1/traces", "traces",
@@ -209,6 +227,29 @@ def deprecation_headers(route: Route) -> "Tuple[Tuple[str, str], ...]":
         ("Deprecation", "true"),
         ("Link", f'<{route.path}>; rel="successor-version"'),
     )
+
+
+def parse_debug_trace_query(query: str) -> "Optional[int]":
+    """Parse ``GET /v1/debug/trace`` query parameters into a ring limit.
+
+    Returns ``None`` for "the whole ring"; shared by the single server and
+    the cluster front so both reject typos with identical envelopes.
+    """
+    limit: Optional[int] = None
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        if key != "limit":
+            raise RequestError(
+                f"unknown query parameter {key!r}; expected limit", field=key
+            )
+        try:
+            limit = int(value)
+        except ValueError:
+            raise RequestError(
+                f"limit must be an integer, got {value!r}", field="limit"
+            ) from None
+        if limit < 1:
+            raise RequestError(f"limit must be >= 1, got {limit}", field="limit")
+    return limit
 
 
 def parse_traces_query(query: str) -> "Tuple[Optional[int], int, Optional[str]]":

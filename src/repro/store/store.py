@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import threading
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -39,9 +40,32 @@ from .format import (
     columns_digest,
 )
 
-__all__ = ["TraceStore", "save_store", "open_store", "is_store"]
+__all__ = [
+    "TraceStore",
+    "save_store",
+    "open_store",
+    "is_store",
+    "model_cache_stats",
+]
 
 _CHUNK_KEYS = ("starts", "ends", "resource_ids", "state_ids")
+
+# Process-wide model-cache load counters, exported to /v1/metrics as
+# repro_model_cache_loads_total{result="warm"|"cold"}.  Plain counters under
+# a lock so the store layer needs no import of (or opinion about) repro.obs.
+_cache_stats_lock = threading.Lock()
+_cache_stats = {"warm": 0, "cold": 0}
+
+
+def _record_model_load(outcome: str) -> None:
+    with _cache_stats_lock:
+        _cache_stats[outcome] += 1
+
+
+def model_cache_stats() -> "dict[str, int]":
+    """Process-wide counts of warm (cache) vs cold (rebuilt) model loads."""
+    with _cache_stats_lock:
+        return dict(_cache_stats)
 
 
 def is_store(path: "str | os.PathLike[str]") -> bool:
@@ -387,7 +411,10 @@ class TraceStore:
         if model is not None:
             return model
         model = self._load_cached_model(n_slices)
-        if model is None:
+        if model is not None:
+            _record_model_load("warm")
+        else:
+            _record_model_load("cold")
             columns = self.columns()
             model = MicroscopicModel.from_columns(
                 columns.starts,

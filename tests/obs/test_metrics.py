@@ -1,0 +1,192 @@
+"""Tests for the dependency-free metrics registry and exposition merger."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    CONTENT_TYPE,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    format_value,
+    merge_expositions,
+    parse_exposition,
+)
+
+
+class TestExpositionGolden:
+    def test_render_matches_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "demo_requests_total", "Requests seen.", labelnames=("route", "status")
+        )
+        depth = registry.gauge("demo_inflight", "Requests in flight.")
+        latency = registry.histogram(
+            "demo_latency_seconds", "Request wall time.", buckets=(0.01, 0.1)
+        )
+        requests.inc(route="analyze", status="200")
+        requests.inc(route="analyze", status="200")
+        requests.inc(route="compare", status="404")
+        depth.set(3)
+        latency.observe(0.005)
+        latency.observe(0.05)
+        latency.observe(2.0)
+
+        assert registry.render() == (
+            "# HELP demo_inflight Requests in flight.\n"
+            "# TYPE demo_inflight gauge\n"
+            "demo_inflight 3\n"
+            "# HELP demo_latency_seconds Request wall time.\n"
+            "# TYPE demo_latency_seconds histogram\n"
+            'demo_latency_seconds_bucket{le="0.01"} 1\n'
+            'demo_latency_seconds_bucket{le="0.1"} 2\n'
+            'demo_latency_seconds_bucket{le="+Inf"} 3\n'
+            "demo_latency_seconds_sum 2.055\n"
+            "demo_latency_seconds_count 3\n"
+            "# HELP demo_requests_total Requests seen.\n"
+            "# TYPE demo_requests_total counter\n"
+            'demo_requests_total{route="analyze",status="200"} 2\n'
+            'demo_requests_total{route="compare",status="404"} 1\n'
+        )
+
+    def test_content_type_is_prometheus_text(self):
+        assert CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("esc_total", "Escaping.", labelnames=("path",))
+        counter.inc(path='a"b\\c\nd')
+        assert 'esc_total{path="a\\"b\\\\c\\nd"} 1' in registry.render()
+
+    def test_format_value_conventions(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("nan")) == "NaN"
+
+    def test_callback_gauge_reads_at_scrape_time(self):
+        registry = MetricsRegistry()
+        state = {"depth": 1.0}
+        registry.gauge("cb_depth", "Depth.", callback=lambda: state["depth"])
+        assert "cb_depth 1\n" in registry.render()
+        state["depth"] = 7.0
+        assert "cb_depth 7\n" in registry.render()
+
+    def test_duplicate_registration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("dup_total", "One.")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("dup_total", "Two.")
+
+
+class TestHistogramBuckets:
+    def test_observation_on_exact_boundary_counts_in_that_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("edge_seconds", "Edges.", buckets=(0.01, 0.1, 1.0))
+        # Prometheus buckets are inclusive upper bounds (le): an observation
+        # exactly on a boundary belongs to that bucket, not the next one.
+        hist.observe(0.01)
+        hist.observe(0.1)
+        hist.observe(1.0)
+        hist.observe(1.0000001)
+        text = registry.render()
+        assert 'edge_seconds_bucket{le="0.01"} 1' in text
+        assert 'edge_seconds_bucket{le="0.1"} 2' in text
+        assert 'edge_seconds_bucket{le="1"} 3' in text
+        assert 'edge_seconds_bucket{le="+Inf"} 4' in text
+        assert "edge_seconds_count 4" in text
+
+    def test_default_buckets_cover_sub_ms_to_ten_seconds(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 10.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    def test_unsorted_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="sorted"):
+            registry.histogram("bad_seconds", "Bad.", buckets=(1.0, 0.1))
+
+    def test_cumulative_counts_and_sum(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lab_seconds", "Labelled.", labelnames=("route",), buckets=(0.5,)
+        )
+        hist.observe(0.1, route="a")
+        hist.observe(0.9, route="a")
+        hist.observe(0.2, route="b")
+        text = registry.render()
+        assert 'lab_seconds_bucket{route="a",le="0.5"} 1' in text
+        assert 'lab_seconds_bucket{route="a",le="+Inf"} 2' in text
+        assert 'lab_seconds_sum{route="a"} 1' in text
+        assert 'lab_seconds_count{route="b"} 1' in text
+
+
+class TestConcurrency:
+    def test_concurrent_increments_lose_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("race_total", "Racing.", labelnames=("worker",))
+        hist = registry.histogram("race_seconds", "Racing.", buckets=(0.5,))
+        per_thread = 500
+        n_threads = 8
+
+        def hammer(worker_id: int) -> None:
+            key = (str(worker_id % 2),)
+            for _ in range(per_thread):
+                counter.inc_at(key)
+                hist.observe_at((), 0.1)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(worker="0") == per_thread * n_threads / 2
+        assert counter.value(worker="1") == per_thread * n_threads / 2
+        assert f"race_seconds_count {per_thread * n_threads}" in registry.render()
+
+
+class TestMergeExpositions:
+    def _page(self, count: int) -> str:
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "m_requests_total", "Requests.", labelnames=("route",)
+        )
+        counter.inc(amount=count, route="analyze")
+        return registry.render()
+
+    def test_sources_are_tagged_not_summed(self):
+        merged = merge_expositions(
+            [
+                ({"tier": "front"}, self._page(5)),
+                ({"tier": "shard", "shard": "0"}, self._page(2)),
+                ({"tier": "shard", "shard": "1"}, self._page(3)),
+            ]
+        )
+        assert merged.count("# HELP m_requests_total") == 1
+        assert merged.count("# TYPE m_requests_total") == 1
+        assert 'm_requests_total{route="analyze",tier="front"} 5' in merged
+        assert 'm_requests_total{route="analyze",tier="shard",shard="0"} 2' in merged
+        assert 'm_requests_total{route="analyze",tier="shard",shard="1"} 3' in merged
+
+    def test_merge_roundtrips_histograms(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "H.", buckets=(0.1,))
+        hist.observe(0.05)
+        merged = merge_expositions([({"shard": "2"}, registry.render())])
+        families = parse_exposition(merged)
+        samples = families["h_seconds"]["samples"]
+        names = [name for name, _, _ in samples]
+        assert names == ["h_seconds_bucket", "h_seconds_bucket", "h_seconds_sum", "h_seconds_count"]
+        assert all(("shard", "2") in pairs for _, pairs, _ in samples)
+
+    def test_parse_exposition_reads_back_samples(self):
+        families = parse_exposition(self._page(4))
+        entry = families["m_requests_total"]
+        assert entry["type"] == "counter"
+        assert entry["samples"] == [
+            ("m_requests_total", [("route", "analyze")], "4")
+        ]

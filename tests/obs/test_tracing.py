@@ -1,0 +1,161 @@
+"""Tests for request-scoped span recording and Chrome trace export."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+from repro.obs.tracing import (
+    TraceRing,
+    current_request_id,
+    current_trace,
+    new_request_id,
+    span,
+    start_trace,
+)
+
+
+class TestRequestIds:
+    def test_ids_are_16_hex_chars_and_unique(self):
+        ids = {new_request_id() for _ in range(1000)}
+        assert len(ids) == 1000
+        assert all(len(rid) == 16 for rid in ids)
+        assert all(int(rid, 16) >= 0 for rid in ids)
+
+    def test_forked_workers_draw_different_ids(self):
+        # Shard workers fork after the parent has already primed the id
+        # pool; without a fork reset every sibling would hand out the
+        # parent's exact sequence (caught live: two shards logged the
+        # same probe request id).
+        ctx = multiprocessing.get_context("fork")
+
+        def child(queue: "multiprocessing.Queue") -> None:
+            queue.put([new_request_id() for _ in range(128)])
+
+        queue = ctx.Queue()
+        proc = ctx.Process(target=child, args=(queue,))
+        proc.start()
+        # Drawn after the fork: same inherited pool and PRNG state as the
+        # child, so without the reset these sequences would collide.
+        parent_ids = [new_request_id() for _ in range(128)]
+        child_ids = queue.get(timeout=30)
+        proc.join(timeout=30)
+        assert not set(parent_ids) & set(child_ids)
+
+    def test_no_ambient_trace_outside_start_trace(self):
+        assert current_trace() is None
+        assert current_request_id() is None
+
+
+class TestSpanTree:
+    def test_deterministic_span_tree(self):
+        with start_trace("analyze", request_id="abc123", p=0.5) as trace:
+            with span("resolve"):
+                pass
+            with span("pipeline", operator="mean"):
+                with span("dp.kernel"):
+                    pass
+                with span("serialize"):
+                    pass
+        root = trace.root
+        assert trace.request_id == "abc123"
+        assert root.name == "analyze"
+        assert root.args == {"p": 0.5}
+        assert [child.name for child in root.children] == ["resolve", "pipeline"]
+        pipeline = root.children[1]
+        assert pipeline.args == {"operator": "mean"}
+        assert [child.name for child in pipeline.children] == ["dp.kernel", "serialize"]
+        assert all(s.end is not None for s in (root, pipeline, *pipeline.children))
+        assert root.duration >= pipeline.duration >= 0.0
+
+    def test_span_outside_trace_is_noop(self):
+        with span("orphan") as node:
+            assert node is not None  # shared null span, safe to enter
+        assert current_trace() is None
+
+    def test_trace_scope_restores_previous_context(self):
+        with start_trace("outer", request_id="out") as outer:
+            assert current_request_id() == "out"
+            with start_trace("inner", request_id="in"):
+                assert current_request_id() == "in"
+            assert current_trace() is outer
+        assert current_trace() is None
+
+    def test_exception_unwinding_closes_open_spans(self):
+        try:
+            with start_trace("fails") as trace:
+                with span("stage"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert trace.root.end is not None
+        assert trace.root.children[0].end is not None
+
+    def test_coverage_of_direct_children(self):
+        with start_trace("covered") as trace:
+            with span("only"):
+                pass
+        assert 0.0 <= trace.coverage() <= 1.0
+
+
+class TestChromeExport:
+    def test_events_are_complete_events_with_microsecond_times(self):
+        with start_trace("req", request_id="deadbeef00000000") as trace:
+            with span("work", shard=3):
+                pass
+        events = trace.chrome_events(pid=42, tid=7)
+        assert [event["name"] for event in events] == ["req", "work"]
+        root, work = events
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 42
+            assert event["tid"] == 7
+            assert event["cat"] == "repro"
+            assert event["args"]["request_id"] == "deadbeef00000000"
+        # Child is contained within the root on the shared timeline.
+        assert root["ts"] <= work["ts"]
+        assert work["ts"] + work["dur"] <= root["ts"] + root["dur"] + 1e-3
+        assert work["args"]["shard"] == 3
+        json.dumps(events)  # payload must be JSON-serializable as-is
+
+    def test_to_dict_roundtrips_tree_shape(self):
+        with start_trace("root", request_id="r1") as trace:
+            with span("a"):
+                with span("b"):
+                    pass
+        doc = trace.to_dict()
+        assert doc["request_id"] == "r1"
+        assert doc["root"]["name"] == "root"
+        assert doc["root"]["children"][0]["children"][0]["name"] == "b"
+
+
+class TestTraceRing:
+    def _trace(self, rid: str):
+        with start_trace("req", request_id=rid) as trace:
+            pass
+        return trace
+
+    def test_ring_keeps_most_recent_traces(self):
+        ring = TraceRing(capacity=3)
+        for index in range(5):
+            ring.push(self._trace(f"rid-{index}"))
+        assert len(ring) == 3
+        assert [t.request_id for t in ring.snapshot()] == ["rid-2", "rid-3", "rid-4"]
+
+    def test_chrome_payload_one_tid_per_request(self):
+        ring = TraceRing(capacity=4)
+        ring.push(self._trace("one"))
+        ring.push(self._trace("two"))
+        payload = ring.chrome_payload()
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["n_requests"] == 2
+        tids = {event["tid"] for event in payload["traceEvents"]}
+        assert tids == {0, 1}
+
+    def test_chrome_payload_limit(self):
+        ring = TraceRing(capacity=4)
+        for index in range(4):
+            ring.push(self._trace(f"rid-{index}"))
+        payload = ring.chrome_payload(limit=1)
+        assert payload["otherData"]["n_requests"] == 1
+        assert payload["traceEvents"][0]["args"]["request_id"] == "rid-3"

@@ -185,7 +185,14 @@ class TestClusterHealth:
         assert _request(port, "GET", "/healthz")[0] == 200
         status, body, _ = _request(port, "GET", "/readyz")
         assert status == 200
-        assert json.loads(body) == {"shards": 2, "status": "ready"}
+        payload = json.loads(body)
+        assert payload["status"] == "ready"
+        assert payload["shards"] == 2
+        assert payload["inflight"] == 0
+        assert payload["max_inflight"] > 0
+        assert [s["index"] for s in payload["shard_status"]] == [0, 1]
+        assert all(s["alive"] for s in payload["shard_status"])
+        assert all(s["respawns"] == 0 for s in payload["shard_status"])
 
     def test_health_aggregates_shards(self, cluster):
         status, body, _ = _request(cluster.address[1], "GET", "/v1/health")

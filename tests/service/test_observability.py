@@ -1,0 +1,313 @@
+"""Observability layer over the service tier: metrics, tracing, request ids.
+
+Single-server tests run with ``trace_sample=1`` so every request records a
+span tree; the sampling tests exercise the default 1-in-N behaviour and the
+``X-Trace-Sample`` proxy header that keeps shard tracing aligned with the
+front's decision.  Cluster tests verify the merged exposition carries
+``tier``/``shard`` labels and that one request id correlates front and shard.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.batch import discover_corpus, load_corpus, write_corpus_manifest
+from repro.obs.middleware import DEFAULT_TRACE_SAMPLE, ServerObservability
+from repro.service import SessionRegistry, build_server
+from repro.service.cluster import ClusterConfig, start_cluster
+from repro.store import save_store
+from repro.trace.synthetic import random_trace
+
+
+def _request(port, method, path, body=None, headers=None, timeout=30):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode() if body is not None else None,
+        headers={
+            **({"Content-Type": "application/json"} if body is not None else {}),
+            **(headers or {}),
+        },
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as rsp:
+            return rsp.status, rsp.read(), dict(rsp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read(), dict(exc.headers)
+
+
+def _eventually(check, timeout=5.0):
+    """Retry ``check`` until it passes: the servers commit metrics and ring
+    entries *after* writing the response bytes, so a client asserting
+    immediately can race the handler thread's bookkeeping."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return check()
+        except AssertionError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.02)
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("obs-corpus")
+    for seed in range(3):
+        save_store(
+            random_trace(n_resources=4, n_slices=6, n_states=2, seed=seed),
+            root / f"t{seed}.rtz",
+        )
+    write_corpus_manifest(discover_corpus(root))
+    return root
+
+
+@pytest.fixture()
+def server(corpus_dir):
+    """A fresh fully-traced single server per test (metrics start at zero)."""
+    server = build_server(
+        SessionRegistry(corpus=load_corpus(corpus_dir)), port=0, trace_sample=1
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+class TestSingleServerMetrics:
+    def test_metrics_exposition_counts_requests(self, server):
+        port = server.server_address[1]
+        assert _request(port, "POST", "/v1/analyze", {"trace": "t0", "p": 0.5})[0] == 200
+
+        def scrape():
+            status, body, headers = _request(port, "GET", "/v1/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+            text = body.decode()
+            assert (
+                'repro_http_requests_total{route="analyze",method="POST",status="200"} 1'
+                in text
+            )
+            return text
+
+        text = _eventually(scrape)
+        assert 'repro_http_request_duration_seconds_count{route="analyze"} 1' in text
+        assert "repro_session_lru_misses_total 1" in text
+        assert "repro_sessions_resident" in text
+        assert "# TYPE repro_guardrail_responses_total counter" in text
+
+    def test_scrapes_count_themselves_but_record_no_spans(self, server):
+        port = server.server_address[1]
+        _request(port, "GET", "/v1/metrics")
+
+        def scrape():
+            _, body, _ = _request(port, "GET", "/v1/metrics")
+            assert (
+                'repro_http_requests_total{route="metrics",method="GET",status="200"}'
+                in body.decode()
+            )
+
+        _eventually(scrape)
+        assert len(server.obs.ring) == 0
+
+    def test_error_responses_are_counted_by_status(self, server):
+        port = server.server_address[1]
+        status, _, _ = _request(port, "POST", "/v1/analyze", {"trace": "nope", "p": 0.5})
+        assert status == 404
+
+        def scrape():
+            _, body, _ = _request(port, "GET", "/v1/metrics")
+            assert (
+                'repro_http_requests_total{route="analyze",method="POST",status="404"} 1'
+                in body.decode()
+            )
+
+        _eventually(scrape)
+
+
+class TestRequestIds:
+    def test_response_carries_generated_request_id(self, server):
+        port = server.server_address[1]
+        _, _, headers = _request(port, "POST", "/v1/analyze", {"trace": "t0", "p": 0.5})
+        rid = headers["X-Request-ID"]
+        assert len(rid) == 16
+        int(rid, 16)
+
+    def test_caller_supplied_request_id_is_echoed(self, server):
+        port = server.server_address[1]
+        _, _, headers = _request(
+            port, "POST", "/v1/analyze", {"trace": "t0", "p": 0.5},
+            headers={"X-Request-ID": "feedface00000001"},
+        )
+        assert headers["X-Request-ID"] == "feedface00000001"
+
+
+class TestDebugTrace:
+    def test_ring_exposes_pipeline_spans(self, server):
+        port = server.server_address[1]
+        _request(port, "POST", "/v1/analyze", {"trace": "t1", "p": 0.5})
+
+        def scrape():
+            status, body, _ = _request(port, "GET", "/v1/debug/trace")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["otherData"]["n_requests"] == 1
+            return payload
+
+        payload = _eventually(scrape)
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "http.analyze" in names
+        # The handler's pipeline instrumentation shows up under the root.
+        assert any(name.startswith("analyze.") or name.startswith("session.")
+                   or name != "http.analyze" for name in names)
+        assert all(event["ph"] == "X" for event in payload["traceEvents"])
+
+
+class TestSampling:
+    def test_sample_tick_is_deterministic_one_in_n(self):
+        obs = ServerObservability("single", trace_sample=4)
+        decisions = [obs.sample_tick() for _ in range(8)]
+        assert decisions == [True, False, False, False, True, False, False, False]
+
+    def test_sample_of_one_traces_everything(self):
+        obs = ServerObservability("single", trace_sample=1)
+        assert all(obs.sample_tick() for _ in range(5))
+
+    def test_default_rate_samples_first_request(self, corpus_dir):
+        server = build_server(SessionRegistry(corpus=load_corpus(corpus_dir)), port=0)
+        assert server.obs.trace_sample == DEFAULT_TRACE_SAMPLE
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            for _ in range(3):
+                _request(port, "POST", "/v1/analyze", {"trace": "t0", "p": 0.5})
+            # Request 1 sampled, 2-3 inside the same 1-in-N window are not.
+            def ring_settled():
+                assert len(server.obs.ring) == 1
+
+            _eventually(ring_settled)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_trace_sample_header_overrides_local_decision(self, server):
+        port = server.server_address[1]
+        def metrics_count(route):
+            def scrape():
+                _, body, _ = _request(port, "GET", "/v1/metrics")
+                assert f'route="{route}"' in body.decode()
+            return scrape
+
+        _request(
+            port, "POST", "/v1/analyze", {"trace": "t0", "p": 0.5},
+            headers={"X-Trace-Sample": "0"},
+        )
+        _eventually(metrics_count("analyze"))  # request fully observed...
+        assert len(server.obs.ring) == 0       # ...but no span tree recorded
+        _request(
+            port, "POST", "/v1/analyze", {"trace": "t0", "p": 0.5},
+            headers={"X-Trace-Sample": "1"},
+        )
+        def ring_has_one():
+            assert len(server.obs.ring) == 1
+
+        _eventually(ring_has_one)
+
+
+class TestGuardrailCounter:
+    def test_guardrail_codes_increment_the_counter(self):
+        obs = ServerObservability("front", trace_sample=1)
+        obs.observe_request("rid1", "analyze", "POST", 429, 0.001, error_code="rate_limited")
+        obs.observe_request("rid2", "analyze", "POST", 504, 0.001, error_code="shard_timeout")
+        obs.observe_request("rid3", "analyze", "POST", 404, 0.001, error_code="not_found")
+        text = obs.metrics.render()
+        assert 'repro_guardrail_responses_total{code="rate_limited"} 1' in text
+        assert 'repro_guardrail_responses_total{code="shard_timeout"} 1' in text
+        assert 'code="not_found"' not in text
+
+
+class TestClusterObservability:
+    @pytest.fixture(scope="class")
+    def cluster(self, corpus_dir):
+        handle = start_cluster(
+            [], corpus=corpus_dir, shards=2, port=0,
+            config=ClusterConfig(respawn=False, request_timeout=30.0, trace_sample=1),
+        )
+        thread = threading.Thread(target=handle.serve_forever, daemon=True)
+        thread.start()
+        yield handle
+        handle.close()
+
+    def test_merged_exposition_has_tier_and_shard_labels(self, cluster):
+        port = cluster.address[1]
+        assert _request(port, "POST", "/v1/analyze", {"trace": "t0", "p": 0.5})[0] == 200
+
+        def scrape():
+            status, body, headers = _request(port, "GET", "/v1/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+            text = body.decode()
+            assert 'repro_http_requests_total' in text
+            assert 'tier="front"' in text
+            front = [
+                line for line in text.splitlines()
+                if line.startswith("repro_http_requests_total")
+                and 'route="analyze"' in line and 'tier="front"' in line
+            ]
+            assert front
+            return text
+
+        text = _eventually(scrape)
+        assert 'tier="front"' in text
+        assert 'tier="shard",shard="0"' in text
+        assert 'tier="shard",shard="1"' in text
+        # The analyze request was counted once on the front and once on the
+        # owning shard — never summed into a single sample.
+        front = [
+            line for line in text.splitlines()
+            if line.startswith("repro_http_requests_total")
+            and 'route="analyze"' in line and 'tier="front"' in line
+        ]
+        assert front and front[0].endswith(" 1")
+        assert "repro_cluster_shards_alive" in text
+        assert "repro_cluster_shard_respawns_total" in text
+
+    def test_request_id_propagates_front_to_shard(self, cluster):
+        port = cluster.address[1]
+        _, _, headers = _request(
+            port, "POST", "/v1/analyze", {"trace": "t1", "p": 0.5},
+            headers={"X-Request-ID": "c0ffee0000000002"},
+        )
+        assert headers["X-Request-ID"] == "c0ffee0000000002"
+        # The owning shard recorded its half of the request tree under the
+        # front's request id — one id correlates both processes.
+        owner = cluster.shards[cluster.server.routing["t1"]]
+
+        def scrape():
+            _, body, _ = _request(owner.port, "GET", "/v1/debug/trace")
+            ids = {
+                event["args"]["request_id"]
+                for event in json.loads(body)["traceEvents"]
+            }
+            assert "c0ffee0000000002" in ids
+
+        _eventually(scrape)
+
+    def test_front_trace_includes_proxy_span(self, cluster):
+        port = cluster.address[1]
+        _request(port, "POST", "/v1/analyze", {"trace": "t2", "p": 0.5})
+
+        def scrape():
+            _, body, _ = _request(port, "GET", "/v1/debug/trace")
+            names = {event["name"] for event in json.loads(body)["traceEvents"]}
+            assert "proxy.shard" in names
+
+        _eventually(scrape)

@@ -654,3 +654,41 @@ class TestServeCorpusOptions:
     def test_serve_missing_corpus_exits_2(self, tmp_path, capsys):
         assert main(["serve", "--corpus", str(tmp_path / "nope")]) == 2
         assert "cannot load corpus" in capsys.readouterr().err
+
+
+class TestAnalyzeTraceOut:
+    def test_trace_out_writes_chrome_profile(self, small_trace_csv, tmp_path, capsys):
+        profile_path = tmp_path / "profile.json"
+        assert main([
+            "analyze", str(small_trace_csv), "--slices", "10",
+            "--trace-out", str(profile_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "Analysis report" in captured.out
+        assert "Chrome trace profile written" in captured.err
+        profile = json.loads(profile_path.read_text())
+        assert profile["displayTimeUnit"] == "ms"
+        assert profile["otherData"]["producer"] == "repro.obs"
+        events = profile["traceEvents"]
+        assert all(event["ph"] == "X" for event in events)
+        names = [event["name"] for event in events]
+        assert names[0] == "analyze"
+        assert "analyze.pipeline" in names
+        # The recorded spans must explain (nearly) all of the command's wall
+        # time — untimed gaps would make the profile lie about hot spots.
+        assert profile["otherData"]["coverage"] >= 0.90
+        rid = profile["otherData"]["request_id"]
+        assert all(event["args"]["request_id"] == rid for event in events)
+
+    def test_trace_out_unwritable_path_is_a_clean_error(self, small_trace_csv, capsys):
+        assert main([
+            "analyze", str(small_trace_csv), "--slices", "10",
+            "--trace-out", "/nonexistent-dir/profile.json",
+        ]) == 2
+        assert "cannot write trace profile" in capsys.readouterr().err
+
+    def test_no_trace_out_records_no_trace(self, small_trace_csv, capsys):
+        from repro.obs.tracing import current_trace
+        assert main(["analyze", str(small_trace_csv), "--slices", "10"]) == 0
+        assert current_trace() is None
+        capsys.readouterr()
