@@ -1,7 +1,8 @@
 """Corpus manifests: a directory of traces analyzed and compared as one unit.
 
-A *corpus* is an ordered collection of traces — ``.rtz`` store directories
-and/or raw CSV/Pajé files — rooted at one directory.  Two ways to describe
+A *corpus* is an ordered collection of traces — ``.rtz`` store directories,
+raw CSV/Pajé files, and/or real-world JSON dumps (Chrome trace-event,
+OTLP/Jaeger spans, OAR job placements) — rooted at one directory.  Two ways to describe
 one:
 
 * **discovery** — point :func:`load_corpus` at a directory and every store
@@ -38,6 +39,7 @@ from typing import Any, Iterator, Union
 
 from ..store.format import trace_digest
 from ..store.store import TraceStore, is_store, open_store
+from ..trace.adapters import ADAPTER_READERS, sniff_format
 from ..trace.io import TraceIOError, read_csv, read_paje
 from ..trace.trace import Trace
 
@@ -57,8 +59,10 @@ __all__ = [
 CORPUS_FORMAT = "repro.corpus/1"
 #: Conventional manifest file name inside a corpus directory.
 MANIFEST_NAME = "corpus.json"
+#: Readers for the file-backed (non-store) trace kinds.
+_FILE_READERS = {"csv": read_csv, "paje": read_paje, **ADAPTER_READERS}
 #: Trace kinds a corpus can reference.
-_KINDS = ("store", "csv", "paje")
+_KINDS = ("store",) + tuple(sorted(_FILE_READERS))
 
 
 class CorpusError(TraceIOError):
@@ -80,7 +84,8 @@ class CorpusEntry:
     path:
         Absolute path of the store directory or trace file.
     kind:
-        ``"store"``, ``"csv"`` or ``"paje"``.
+        ``"store"``, ``"csv"``, ``"paje"``, or one of the adapter formats
+        (``"chrome"``, ``"otlp"``, ``"oar"``).
     digest:
         Expected content digest, or ``None`` when the manifest does not pin
         one.  Verified by :meth:`load` / :meth:`current_digest` consumers.
@@ -110,7 +115,7 @@ class CorpusEntry:
             source: "TraceStore | Trace" = open_store(self.path)
             actual = source.digest
         else:
-            reader = read_paje if self.kind == "paje" else read_csv
+            reader = _FILE_READERS.get(self.kind, read_csv)
             try:
                 source = reader(self.path)
             except FileNotFoundError:
@@ -127,7 +132,7 @@ class CorpusEntry:
         """The member's current content digest (loads file entries)."""
         if self.kind == "store":
             return open_store(self.path).digest
-        reader = read_paje if self.kind == "paje" else read_csv
+        reader = _FILE_READERS.get(self.kind, read_csv)
         return trace_digest(reader(self.path))
 
 
@@ -139,6 +144,12 @@ def _entry_kind(path: Path) -> "str | None":
         return "csv"
     if path.is_file() and path.suffix.lower() == ".paje":
         return "paje"
+    if path.is_file() and path.suffix.lower() == ".json" and path.name != MANIFEST_NAME:
+        # Chrome/OTLP/OAR dumps are plain .json: classify by content.  The
+        # sniffer returns None for unrecognized documents (notably nested
+        # corpus.json manifests under other names), which keeps discovery
+        # from swallowing arbitrary JSON.
+        return sniff_format(path)
     return None
 
 
@@ -156,7 +167,8 @@ def entry_for_path(
     kind = _entry_kind(target)
     if kind is None:
         raise CorpusError(
-            f"{target}: not a trace store or a recognized trace file (.csv/.paje)"
+            f"{target}: not a trace store or a recognized trace file "
+            "(.csv/.paje, or a Chrome/OTLP/OAR .json dump)"
         )
     return CorpusEntry(name=name or target.stem or target.name, path=target.resolve(), kind=kind)
 
@@ -224,7 +236,8 @@ class Corpus:
 def discover_corpus(root: "str | os.PathLike[str]") -> Corpus:
     """Build a corpus by scanning ``root`` for stores and trace files.
 
-    Every ``.rtz`` store directory and every ``*.csv`` / ``*.paje`` file
+    Every ``.rtz`` store directory and every ``*.csv`` / ``*.paje`` file —
+    plus every ``*.json`` file that sniffs as a Chrome/OTLP/OAR dump —
     directly under ``root`` becomes an entry named after its stem.  When a
     store and a trace file share a stem — the normal leftover of
     ``repro convert case_a.csv case_a.rtz`` run in place — the **store

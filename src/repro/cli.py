@@ -95,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the package version and exit",
     )
     operators = list(available_operators())
+    from .pipeline.resolver import TRACE_FORMATS
+
+    trace_formats = list(TRACE_FORMATS)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     simulate = subparsers.add_parser(
@@ -115,7 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = subparsers.add_parser(
         "analyze", help="aggregate a trace and print the analysis report"
     )
-    analyze.add_argument("trace", help="trace to analyze (CSV, Paje or .rtz store)")
+    analyze.add_argument("trace", help="trace to analyze (CSV, Paje, .rtz store, or a "
+                                       "Chrome/OTLP/OAR JSON dump — sniffed by content)")
+    analyze.add_argument("--format", choices=trace_formats, default=None,
+                         help="force the trace file format instead of sniffing "
+                              "(stores are always auto-detected)")
     analyze.add_argument("--slices", type=int, default=30,
                          help="number of microscopic time slices (default: 30, as in the paper)")
     analyze.add_argument("-p", "--parameter", type=float, default=0.7,
@@ -185,10 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "(byte-identical to the service's POST /compare)")
 
     convert = subparsers.add_parser(
-        "convert", help="convert a CSV trace into a binary .rtz trace store"
+        "convert", help="convert a trace file into a binary .rtz trace store"
     )
-    convert.add_argument("trace", help="CSV trace file (written by 'simulate' or write_csv)")
+    convert.add_argument("trace", help="trace file to convert (CSV, Paje, or a "
+                                       "Chrome/OTLP/OAR JSON dump — sniffed by content)")
     convert.add_argument("output", help="store directory to create (conventionally *.rtz)")
+    convert.add_argument("--format", choices=trace_formats, default=None,
+                         help="force the source file format instead of sniffing")
     convert.add_argument("--chunk-rows", type=int, default=None,
                          help="rows per columnar chunk file (default: 65536)")
     convert.add_argument("--model-slices", default=None,
@@ -235,6 +245,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rate-limit", type=float, default=None, metavar="RPS",
                        help="per-client requests/second on POST routes at the "
                             "cluster front (default: off; requires --shards)")
+    serve.add_argument("--trust-forwarded-for", action="store_true",
+                       help="key per-client rate limits on the first X-Forwarded-For "
+                            "hop instead of the socket peer address; only enable "
+                            "behind a reverse proxy that sets the header "
+                            "(requires --shards)")
     serve.add_argument("--request-timeout", type=float, default=None, metavar="SECONDS",
                        help="per-request shard proxy timeout at the cluster front "
                             "(default: 30; requires --shards)")
@@ -274,7 +289,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve_trace_argument(path_text: str) -> "object | int":
+def _resolve_trace_argument(path_text: str, format: "str | None" = None) -> "object | int":
     """Resolve a trace argument into a pipeline :class:`TraceSource`.
 
     Returns the source on success, an exit code on failure (after printing
@@ -283,7 +298,7 @@ def _resolve_trace_argument(path_text: str) -> "object | int":
     from .pipeline import resolve_path
 
     try:
-        return resolve_path(path_text)
+        return resolve_path(path_text, format=format)
     except FileNotFoundError:
         print(f"error: trace file not found: {path_text}", file=sys.stderr)
         return 2
@@ -295,9 +310,9 @@ def _resolve_trace_argument(path_text: str) -> "object | int":
         return 2
 
 
-def _load_trace_argument(path_text: str) -> "Trace | int":
+def _load_trace_argument(path_text: str, format: "str | None" = None) -> "Trace | int":
     """Load a trace argument fully into memory (convert/serve consumers)."""
-    source = _resolve_trace_argument(path_text)
+    source = _resolve_trace_argument(path_text, format)
     if isinstance(source, int):
         return source
     try:
@@ -348,7 +363,7 @@ def _command_analyze(args: argparse.Namespace) -> int:
 
     def run() -> int:
         with span("analyze.resolve", trace=args.trace):
-            source = _resolve_trace_argument(args.trace)
+            source = _resolve_trace_argument(args.trace, args.format)
         if isinstance(source, int):
             return source
         try:
@@ -556,7 +571,7 @@ def _command_compare(args: argparse.Namespace) -> int:
 def _command_convert(args: argparse.Namespace) -> int:
     from .store import DEFAULT_CHUNK_ROWS, StoreError, save_store
 
-    loaded = _load_trace_argument(args.trace)
+    loaded = _load_trace_argument(args.trace, args.format)
     if isinstance(loaded, int):
         return loaded
     trace = loaded
@@ -671,6 +686,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         ("--max-inflight", args.max_inflight),
         ("--rate-limit", args.rate_limit),
         ("--request-timeout", args.request_timeout),
+        ("--trust-forwarded-for", args.trust_forwarded_for or None),
     ):
         if value is not None:
             print(f"error: {flag} requires --shards (it configures the "
@@ -778,6 +794,7 @@ def _command_serve_cluster(args: argparse.Namespace) -> int:
             ("max_inflight", args.max_inflight),
             ("rate_limit", args.rate_limit),
             ("request_timeout", args.request_timeout),
+            ("trust_forwarded_for", args.trust_forwarded_for or None),
             ("log_format", args.log_format),
             ("trace_sample", args.trace_sample),
         )

@@ -60,10 +60,19 @@ class JSONFormatter(logging.Formatter):
 
 
 class TextFormatter(logging.Formatter):
-    """Readable single-line format carrying the same correlation fields."""
+    """Readable single-line format carrying the same correlation fields.
+
+    Timestamps are UTC ISO-8601 with a date (``2014-09-22T08:15:30.123Z``):
+    front, shards, and whatever aggregates their stderr may sit in different
+    timezones, and a bare wall-clock time cannot be correlated across a day
+    boundary.  The JSON formatter's epoch ``ts`` field is already unambiguous.
+    """
 
     def format(self, record: logging.LogRecord) -> str:
-        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        stamp = "%s.%03dZ" % (
+            time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)),
+            record.msecs,
+        )
         request_id = getattr(record, "request_id", None) or current_request_id()
         parts = [stamp, record.levelname, record.name]
         if request_id is not None:

@@ -13,7 +13,8 @@ is the one protocol they all speak now:
   content digest is computed once, the generation is always 0.
 
 :func:`resolve_path` maps a user-supplied path to a source (``.rtz`` store
-directory, ``.paje`` file, anything else parsed as CSV) and
+directory, ``.paje`` file, JSON files sniffed as Chrome/OTLP/OAR dumps,
+anything else parsed as CSV; an explicit ``format=`` overrides sniffing) and
 :func:`as_source` wraps already loaded objects (corpus members, pinned
 traces); every source renders its canonical payload ``trace`` block via
 :meth:`TraceSource.trace_block`.
@@ -28,6 +29,7 @@ from typing import Any, Dict, Optional, Protocol, Union, runtime_checkable
 from ..core.microscopic import MicroscopicModel
 from ..store.format import trace_digest
 from ..store.store import TraceStore, is_store, open_store
+from ..trace.adapters import ADAPTER_READERS, looks_like_json, read_adapter_auto
 from ..trace.io import read_csv, read_paje
 from ..trace.trace import Trace
 from .errors import PipelineError
@@ -37,9 +39,15 @@ __all__ = [
     "TraceSource",
     "StoreSource",
     "MemorySource",
+    "TRACE_FORMATS",
     "as_source",
     "resolve_path",
 ]
+
+#: Explicit ``--format`` names accepted by :func:`resolve_path`, beyond the
+#: sniffed defaults (``store`` directories are always auto-detected).
+_FORMAT_READERS = {"csv": read_csv, "paje": read_paje, **ADAPTER_READERS}
+TRACE_FORMATS = tuple(sorted(_FORMAT_READERS))
 
 
 @runtime_checkable
@@ -222,16 +230,35 @@ def as_source(obj: "Union[TraceSource, TraceStore, Trace]") -> "TraceSource":
     raise PipelineError(f"unsupported session source: {type(obj).__name__}")
 
 
-def resolve_path(path: "Union[str, os.PathLike[str]]") -> "TraceSource":
+def resolve_path(
+    path: "Union[str, os.PathLike[str]]", format: "Optional[str]" = None
+) -> "TraceSource":
     """Resolve a user-supplied trace path into a :class:`TraceSource`.
 
-    ``.rtz`` store directories open as :class:`StoreSource`; ``.paje`` files
-    parse as Pajé dumps; everything else parses as the CSV interval format.
+    With ``format=None`` the format is sniffed: ``.rtz`` store directories
+    open as :class:`StoreSource`; ``.paje`` files parse as Pajé dumps;
+    ``.csv`` files as the CSV interval format; any other file whose content
+    starts like a JSON document goes through the adapter auto-dispatch
+    (Chrome trace-event / OTLP-Jaeger / OAR); everything else parses as CSV.
+    An explicit ``format`` (one of :data:`TRACE_FORMATS`) bypasses sniffing.
     I/O and format errors propagate (``FileNotFoundError``,
     ``IsADirectoryError``, :class:`~repro.trace.io.TraceIOError`, ...) so
     each frontend keeps its own phrasing.
     """
+    if format is not None:
+        try:
+            reader = _FORMAT_READERS[format]
+        except KeyError:
+            raise PipelineError(
+                f"unknown trace format {format!r}; expected one of "
+                f"{list(TRACE_FORMATS)}"
+            ) from None
+        return MemorySource(reader(path))
     if is_store(path):
         return StoreSource(open_store(path))
-    reader = read_paje if Path(path).suffix.lower() == ".paje" else read_csv
-    return MemorySource(reader(path))
+    suffix = Path(path).suffix.lower()
+    if suffix == ".paje":
+        return MemorySource(read_paje(path))
+    if suffix != ".csv" and looks_like_json(path):
+        return MemorySource(read_adapter_auto(path))
+    return MemorySource(read_csv(path))

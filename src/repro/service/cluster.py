@@ -338,23 +338,61 @@ class ShardHandle:
 # Front-end limits
 # --------------------------------------------------------------------------- #
 class TokenBucketLimiter:
-    """Per-client token buckets: ``rate`` requests/second, ``burst`` deep."""
+    """Per-client token buckets: ``rate`` requests/second, ``burst`` deep.
 
-    def __init__(self, rate: float, burst: "float | None" = None):
+    Idle entries are evicted: a bucket that has refilled to full burst holds
+    no more state than a brand-new one, so a periodic sweep (every
+    ``sweep_interval`` seconds, piggybacked on ``acquire``) deletes them.
+    Without it the per-client map grows unboundedly under churning client
+    addresses — every IP that ever made a request stays resident forever.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: "float | None" = None,
+        sweep_interval: float = 60.0,
+    ):
         if rate <= 0:
             raise ServiceError("rate limit must be positive")
         self.rate = float(rate)
         self.burst = float(burst) if burst is not None else max(2.0 * rate, 1.0)
         if self.burst < 1.0:
             raise ServiceError("rate-limit burst must allow at least one request")
+        if sweep_interval <= 0:
+            raise ServiceError("rate-limit sweep interval must be positive")
+        self.sweep_interval = float(sweep_interval)
         self._buckets: Dict[str, Tuple[float, float]] = {}
+        #: Anchored to the first ``acquire`` clock so tests driving a
+        #: synthetic ``now`` exercise the sweep deterministically.
+        self._next_sweep: "float | None" = None
         self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        """Number of client buckets currently resident."""
+        with self._lock:
+            return len(self._buckets)
+
+    def _sweep(self, now: float) -> None:
+        """Drop buckets that have refilled to full burst (caller holds lock)."""
+        idle = [
+            key
+            for key, (tokens, updated) in self._buckets.items()
+            if tokens + (now - updated) * self.rate >= self.burst
+        ]
+        for key in idle:
+            del self._buckets[key]
+        self._next_sweep = now + self.sweep_interval
 
     def acquire(self, key: str, now: "float | None" = None) -> float:
         """Take one token for ``key``; 0.0 when allowed, else seconds to wait."""
         if now is None:
             now = time.monotonic()
         with self._lock:
+            if self._next_sweep is None:
+                self._next_sweep = now + self.sweep_interval
+            elif now >= self._next_sweep:
+                self._sweep(now)
             tokens, updated = self._buckets.get(key, (self.burst, now))
             tokens = min(self.burst, tokens + (now - updated) * self.rate)
             if tokens >= 1.0:
@@ -375,6 +413,12 @@ class ClusterConfig:
     rate_limit: Optional[float] = None
     #: Token-bucket depth; defaults to ``2 * rate_limit``.
     rate_burst: Optional[float] = None
+    #: Key rate limits on the first ``X-Forwarded-For`` hop instead of the
+    #: socket peer.  Off by default: the header is client-forgeable, so only
+    #: a deployment whose reverse proxy sets it should opt in — but behind
+    #: such a proxy the peer address is the proxy itself, and keying on it
+    #: would pour every user into one shared bucket.
+    trust_forwarded_for: bool = False
     #: Proxy timeout per shard request; exceeding it answers 504.
     request_timeout: float = 30.0
     #: Timeout of the per-shard probes behind ``/readyz`` and ``/v1/health``.
@@ -510,6 +554,21 @@ class ClusterFrontHandler(JSONHandler):
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
+    def _rate_limit_key(self) -> str:
+        """The client identity rate limits key on.
+
+        The socket peer address, unless the operator opted into
+        ``trust_forwarded_for`` — then the first (originating-client) hop of
+        ``X-Forwarded-For``, falling back to the peer when the header is
+        absent or empty.
+        """
+        if self.server.config.trust_forwarded_for:
+            forwarded = self.headers.get("X-Forwarded-For") or ""
+            first_hop = forwarded.split(",", 1)[0].strip()
+            if first_hop:
+                return first_hop
+        return str(self.client_address[0])
+
     def _dispatch(self, method: str) -> None:
         path, _, query = self.path.partition("?")
         resolved = resolve_route(method, path)
@@ -523,7 +582,7 @@ class ClusterFrontHandler(JSONHandler):
         self._extra_headers = deprecation_headers(route) if is_legacy else ()
         server = self.server
         if method == "POST" and server.limiter is not None:
-            client = self.client_address[0]
+            client = self._rate_limit_key()
             wait = server.allow_client(client)
             if wait > 0.0:
                 retry = max(1, int(wait + 0.999))

@@ -1,0 +1,114 @@
+"""Real-world trace adapters behind the ``TraceSource`` protocol.
+
+Three readers normalize real-world trace formats into the library's
+``(resource, state, start, end)`` interval model:
+
+* :func:`read_chrome` — Chrome trace-event JSON (array or object form,
+  ``ph:"X"`` complete events plus matched ``B``/``E`` pairs), including the
+  documents this project's own ``GET /v1/debug/trace`` emits;
+* :func:`read_otlp` — OTLP JSON (``resourceSpans``) and Jaeger exports
+  (``data``) of distributed request spans;
+* :func:`read_oar` — OAR Gantt/accounting dumps of per-resource job
+  placements.
+
+All three honour the :class:`~repro.trace.io.TraceIOError` contract of the
+native CSV/Pajé readers.  :func:`sniff_format` classifies a JSON file
+without committing to a reader (used by corpus discovery), and
+:func:`read_adapter_auto` parses once and dispatches on the document shape
+(used by :func:`~repro.pipeline.resolver.resolve_path`).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from ..io import TraceIOError
+from ..trace import Trace
+from .chrome import chrome_trace, read_chrome
+from .common import load_json_document
+from .oar import oar_trace, read_oar
+from .otlp import otlp_trace, read_otlp
+
+__all__ = [
+    "ADAPTER_READERS",
+    "classify_document",
+    "looks_like_json",
+    "read_adapter_auto",
+    "read_chrome",
+    "read_oar",
+    "read_otlp",
+    "sniff_format",
+]
+
+#: Adapter format name → reader, the registry frontends dispatch ``--format``
+#: and corpus ``kind`` through.
+ADAPTER_READERS: "Dict[str, Callable[..., Trace]]" = {
+    "chrome": read_chrome,
+    "otlp": read_otlp,
+    "oar": read_oar,
+}
+
+
+def looks_like_json(path: "str | os.PathLike[str]") -> bool:
+    """Whether the file plausibly holds a JSON document (cheap byte peek)."""
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(256)
+    except OSError:
+        return False
+    if head.startswith(b"\xef\xbb\xbf"):  # UTF-8 BOM
+        head = head[3:]
+    return head.lstrip()[:1] in (b"{", b"[")
+
+
+def classify_document(document: Any) -> "Optional[str]":
+    """The adapter format of a parsed JSON document, or ``None``.
+
+    A bare array is taken as Chrome's array-of-events form; objects are
+    classified by their signature keys.  Unrecognized documents (including
+    this project's own ``corpus.json`` manifests) return ``None``.
+    """
+    if isinstance(document, list):
+        return "chrome"
+    if isinstance(document, dict):
+        if "traceEvents" in document:
+            return "chrome"
+        if "resourceSpans" in document:
+            return "otlp"
+        if "jobs" in document:
+            return "oar"
+        data = document.get("data")
+        if isinstance(data, list) and any(
+            isinstance(item, dict) and "spans" in item for item in data
+        ):
+            return "otlp"
+    return None
+
+
+def sniff_format(path: "str | os.PathLike[str]") -> "Optional[str]":
+    """Classify a JSON file on disk, or ``None`` when it is not an adapter
+    format (unparseable files also return ``None`` — sniffing never raises)."""
+    try:
+        document = load_json_document(path)
+    except (TraceIOError, OSError):
+        return None
+    return classify_document(document)
+
+
+def read_adapter_auto(path: "str | os.PathLike[str]") -> Trace:
+    """Parse a JSON trace file once and dispatch on its document shape."""
+    source = Path(path)
+    document = load_json_document(source)
+    kind = classify_document(document)
+    if kind == "chrome":
+        return chrome_trace(document, source)
+    if kind == "otlp":
+        return otlp_trace(document, source)
+    if kind == "oar":
+        return oar_trace(document, source)
+    raise TraceIOError(
+        f"{source}: unrecognized JSON trace format (expected Chrome "
+        "trace-event, OTLP/Jaeger spans, or an OAR job dump)"
+    )

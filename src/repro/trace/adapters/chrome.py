@@ -1,0 +1,197 @@
+"""Chrome trace-event JSON adapter.
+
+Reads the `trace-event format`_ emitted by Chrome, Perfetto producers, and
+this project's own ``GET /v1/debug/trace`` endpoint, normalizing duration
+events into ``(resource, state, start, end)`` intervals:
+
+* both container forms are accepted — a bare JSON array of events and the
+  object form ``{"traceEvents": [...], ...}``;
+* ``ph: "X"`` complete events map directly to intervals (``ts``/``dur`` are
+  microseconds; zero-duration samples are kept);
+* ``ph: "B"``/``"E"`` begin/end pairs are matched LIFO per ``(pid, tid)``
+  after a stable sort by timestamp, as the viewers do;
+* ``ph: "M"`` ``process_name``/``thread_name`` metadata label the resources;
+  every other phase (counters, flow events, instants, ...) is skipped —
+  only duration-shaped events carry interval semantics;
+* the resource hierarchy is **process → thread**: each ``(pid, tid)`` track
+  becomes one leaf under its process node, and the event name becomes the
+  state.
+
+.. _trace-event format: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Set, Tuple
+
+from ..events import EventError, StateInterval
+from ..io import TraceIOError
+from ..trace import Trace
+from .common import assemble_trace, finite_number, load_json_document, unique_name
+
+__all__ = ["read_chrome", "chrome_trace"]
+
+#: Chrome trace-event timestamps are microseconds; the model wants seconds.
+_MICROSECONDS = 1e-6
+
+
+def _track_id(event: "Dict[str, Any]", key: str, source: Path, index: int) -> str:
+    """The pid/tid of an event as a dict-key/label string (``0`` if absent)."""
+    value = event.get(key, 0)
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise TraceIOError(
+            f"{source}: event {index}: {key!r} must be a number or string, "
+            f"got {type(value).__name__}"
+        )
+    if isinstance(value, float):
+        value = int(value) if value.is_integer() else value
+    return str(value)
+
+
+def _event_name(event: "Dict[str, Any]", source: Path, index: int) -> str:
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        raise TraceIOError(f"{source}: event {index}: missing or empty event name")
+    return name
+
+
+def _collect_labels(
+    events: "List[Any]", source: Path
+) -> "Tuple[Dict[str, str], Dict[Tuple[str, str], str]]":
+    """First pass: ``process_name``/``thread_name`` metadata events."""
+    process_names: "Dict[str, str]" = {}
+    thread_names: "Dict[Tuple[str, str], str]" = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise TraceIOError(f"{source}: event {index} is not a JSON object")
+        if event.get("ph") != "M":
+            continue
+        args = event.get("args")
+        label = args.get("name") if isinstance(args, dict) else None
+        if not isinstance(label, str) or not label:
+            continue
+        pid = _track_id(event, "pid", source, index)
+        if event.get("name") == "process_name":
+            process_names.setdefault(pid, label)
+        elif event.get("name") == "thread_name":
+            tid = _track_id(event, "tid", source, index)
+            thread_names.setdefault((pid, tid), label)
+    return process_names, thread_names
+
+
+def chrome_trace(document: Any, source: Path) -> "Trace":
+    """Normalize an already-parsed trace-event document into a Trace."""
+    if isinstance(document, list):
+        events = document
+    elif isinstance(document, dict):
+        events = document.get("traceEvents")
+        if events is None:
+            raise TraceIOError(
+                f"{source}: Chrome trace object has no 'traceEvents' array"
+            )
+    else:
+        raise TraceIOError(
+            f"{source}: Chrome trace must be a JSON array or object, "
+            f"got {type(document).__name__}"
+        )
+    if not isinstance(events, list):
+        raise TraceIOError(f"{source}: 'traceEvents' must be a JSON array")
+
+    process_names, thread_names = _collect_labels(events, source)
+
+    # Duration-shaped events only, stably ordered by timestamp so B/E nesting
+    # is matched the way the viewers render it (file order breaks ties).
+    records: "List[Tuple[float, int, str, str, float, Tuple[str, str]]]" = []
+    for index, event in enumerate(events):
+        phase = event.get("ph")
+        if phase not in ("X", "B", "E"):
+            continue
+        name = _event_name(event, source, index)
+        ts = finite_number(event.get("ts"), source, f"event {index} 'ts'")
+        duration = 0.0
+        if phase == "X":
+            duration = finite_number(
+                event.get("dur", 0.0), source, f"event {index} 'dur'"
+            )
+            if duration < 0:
+                raise TraceIOError(
+                    f"{source}: event {index}: negative duration {duration!r}"
+                )
+        track = (
+            _track_id(event, "pid", source, index),
+            _track_id(event, "tid", source, index),
+        )
+        records.append((ts, index, phase, name, duration, track))
+    records.sort(key=lambda record: (record[0], record[1]))
+
+    taken: "Set[str]" = set()
+    process_labels: "Dict[str, str]" = {}
+    resources: "Dict[Tuple[str, str], str]" = {}
+    leaf_paths: "List[Tuple[str, ...]]" = []
+    stacks: "Dict[Tuple[str, str], List[Tuple[str, float, int]]]" = {}
+    intervals: "List[StateInterval]" = []
+
+    def resource_for(track: "Tuple[str, str]") -> str:
+        leaf = resources.get(track)
+        if leaf is not None:
+            return leaf
+        pid, tid = track
+        plabel = process_labels.get(pid)
+        if plabel is None:
+            plabel = unique_name(process_names.get(pid, f"pid-{pid}"), taken, pid)
+            process_labels[pid] = plabel
+        tlabel = thread_names.get(track, f"tid-{tid}").replace("/", "_")
+        leaf = unique_name(f"{plabel}:{tlabel}", taken, tid)
+        resources[track] = leaf
+        leaf_paths.append((plabel, leaf))
+        return leaf
+
+    def add_interval(
+        start_us: float, end_us: float, resource: str, state: str, index: int
+    ) -> None:
+        try:
+            intervals.append(
+                StateInterval(
+                    start=start_us * _MICROSECONDS,
+                    end=end_us * _MICROSECONDS,
+                    resource=resource,
+                    state=state,
+                )
+            )
+        except EventError as exc:
+            raise TraceIOError(
+                f"{source}: event {index}: invalid interval: {exc}"
+            ) from exc
+
+    for ts, index, phase, name, duration, track in records:
+        resource = resource_for(track)
+        if phase == "X":
+            add_interval(ts, ts + duration, resource, name, index)
+        elif phase == "B":
+            stacks.setdefault(track, []).append((name, ts, index))
+        else:  # "E": close the innermost open span on this track (LIFO).
+            stack = stacks.get(track)
+            if not stack:
+                raise TraceIOError(
+                    f"{source}: event {index}: 'E' event without a matching "
+                    f"'B' on pid={track[0]} tid={track[1]}"
+                )
+            open_name, start, open_index = stack.pop()
+            add_interval(start, ts, resource, open_name, open_index)
+
+    dangling = sorted(track for track, stack in stacks.items() if stack)
+    if dangling:
+        raise TraceIOError(
+            f"{source}: unmatched 'B' events on (pid, tid) tracks: {dangling}"
+        )
+    return assemble_trace(
+        source, intervals, leaf_paths, metadata={"format": "chrome-trace-event"}
+    )
+
+
+def read_chrome(path: "str | os.PathLike[str]") -> "Trace":
+    """Read a Chrome trace-event JSON file (array or object form)."""
+    source = Path(path)
+    return chrome_trace(load_json_document(source), source)

@@ -1,0 +1,106 @@
+"""Shared plumbing for the real-world trace adapters.
+
+Every adapter reads a JSON document from disk, extracts ``(resource, state,
+start, end)`` intervals plus the resource paths that anchor them in the
+hierarchy, and assembles a :class:`~repro.trace.Trace`.  The helpers here
+keep the :class:`~repro.trace.io.TraceIOError` contract identical across
+formats: any parse failure — undecodable bytes, invalid JSON, wrong shapes,
+non-finite numbers — surfaces as a ``TraceIOError`` naming the offending
+file, and internal exception types never leak.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..events import EventError, StateInterval
+from ..io import TraceIOError, _build_hierarchy
+from ..trace import Trace, TraceError
+
+__all__ = [
+    "assemble_trace",
+    "finite_number",
+    "load_json_document",
+    "unique_name",
+]
+
+
+def load_json_document(path: "str | os.PathLike[str]") -> Any:
+    """Parse ``path`` as one JSON document, mapping failures to TraceIOError.
+
+    ``FileNotFoundError`` / ``IsADirectoryError`` propagate unchanged, like
+    the CSV/Pajé readers, so frontends keep their own phrasing for missing
+    inputs.
+    """
+    source = Path(path)
+    try:
+        # utf-8-sig: exporters on Windows occasionally prepend a BOM.
+        text = source.read_text(encoding="utf-8-sig")
+    except UnicodeDecodeError as exc:
+        raise TraceIOError(f"{source}: not valid UTF-8 text: {exc}") from exc
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceIOError(f"{source}: invalid JSON: {exc}") from exc
+    except RecursionError:
+        # Pathologically nested documents ("[[[[...") blow the parser's
+        # stack; surface them like any other malformed input.
+        raise TraceIOError(f"{source}: JSON document is nested too deeply") from None
+
+
+def finite_number(value: Any, source: Path, what: str) -> float:
+    """Coerce a JSON scalar to a finite float, or fail naming the field.
+
+    Accepts numbers and numeric strings (OTLP encodes 64-bit nanosecond
+    timestamps as strings).  ``json.loads`` happily produces ``NaN`` and
+    ``Infinity``, so finiteness is checked here rather than trusted.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise TraceIOError(
+            f"{source}: {what} must be a number, got {type(value).__name__}"
+        )
+    try:
+        number = float(value)
+    except ValueError:
+        raise TraceIOError(f"{source}: {what} is not a number: {value!r}") from None
+    if not math.isfinite(number):
+        raise TraceIOError(f"{source}: {what} is not finite: {value!r}")
+    return number
+
+
+def unique_name(base: str, taken: "Set[str]", discriminator: str) -> str:
+    """``base`` if unused, else ``base#discriminator`` (suffixed until free).
+
+    Leaf names must be globally unique in a hierarchy and must not contain
+    ``/`` (paths are slash-joined on CSV write), so adapters sanitize labels
+    and disambiguate collisions deterministically with the source id.
+    """
+    base = base.replace("/", "_") or "unnamed"
+    if base not in taken:
+        taken.add(base)
+        return base
+    candidate = f"{base}#{discriminator}"
+    counter = 1
+    while candidate in taken:
+        counter += 1
+        candidate = f"{base}#{discriminator}.{counter}"
+    taken.add(candidate)
+    return candidate
+
+
+def assemble_trace(
+    source: Path,
+    intervals: "List[StateInterval]",
+    leaf_paths: "List[Tuple[str, ...]]",
+    metadata: "Optional[Dict[str, Any]]" = None,
+) -> Trace:
+    """Build the final trace, mapping content errors to TraceIOError."""
+    hierarchy = _build_hierarchy(source, leaf_paths)
+    try:
+        return Trace(intervals, hierarchy=hierarchy, metadata=metadata)
+    except (TraceError, EventError) as exc:
+        raise TraceIOError(f"{source}: invalid trace content: {exc}") from exc

@@ -1,0 +1,158 @@
+"""OAR Gantt / accounting adapter.
+
+The OAR resource manager (oar3) schedules jobs onto numbered resources and
+its Gantt/accounting exports describe exactly the intervals the paper's
+model consumes: *resource r ran job j's allocation from start to stop*.
+This adapter reads the JSON shapes ``oarstat -J``-style tooling emits:
+
+* ``{"jobs": {...}}`` — a mapping of job id → job object — or
+  ``{"jobs": [...]}`` / a bare JSON array of job objects;
+* each job carries ``start_time`` plus either ``stop_time`` or ``walltime``
+  (seconds), a ``state`` (``Running``, ``Terminated``, ...; defaults to
+  ``Allocated``) used as the interval state, and its assigned resources
+  under ``resources`` / ``assigned_resources`` / ``resource_ids``;
+* resources may be plain ids (``42``) or objects
+  (``{"id": 42, "network_address": "node3"}``) — objects with a host build
+  a **host → resource** hierarchy, plain ids a flat one.  Resource ``42``
+  becomes leaf ``r42``, so OAR's global resource numbering survives as
+  unique leaf names.
+
+One interval is emitted per ``(resource, job)`` placement.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Set, Tuple
+
+from ..events import EventError, StateInterval
+from ..io import TraceIOError
+from ..trace import Trace
+from .common import assemble_trace, finite_number, load_json_document
+
+__all__ = ["read_oar", "oar_trace"]
+
+_RESOURCE_KEYS = ("resources", "assigned_resources", "resource_ids")
+
+
+def _job_items(document: Any, source: Path) -> "List[Tuple[str, Any]]":
+    """``(job_label, job_object)`` pairs from any accepted container shape."""
+    if isinstance(document, list):
+        return [(f"job {index}", job) for index, job in enumerate(document)]
+    if isinstance(document, dict):
+        jobs = document.get("jobs")
+        if jobs is None:
+            raise TraceIOError(f"{source}: OAR dump has no 'jobs' entry")
+        if isinstance(jobs, dict):
+            return [(f"job {job_id}", job) for job_id, job in jobs.items()]
+        if isinstance(jobs, list):
+            return [(f"job {index}", job) for index, job in enumerate(jobs)]
+        raise TraceIOError(f"{source}: 'jobs' must be a JSON array or object")
+    raise TraceIOError(
+        f"{source}: OAR dump must be a JSON array or object, "
+        f"got {type(document).__name__}"
+    )
+
+
+def _job_bounds(job: "Dict[str, Any]", source: Path, label: str) -> "Tuple[float, float]":
+    start = finite_number(job.get("start_time"), source, f"{label} 'start_time'")
+    stop_raw = job.get("stop_time")
+    # Running jobs report stop_time 0 in OAR accounting; fall back to the
+    # requested walltime for them, as the Gantt view does.
+    if stop_raw is not None and finite_number(
+        stop_raw, source, f"{label} 'stop_time'"
+    ) > start:
+        return start, float(stop_raw)
+    walltime = job.get("walltime")
+    if walltime is not None:
+        return start, start + finite_number(walltime, source, f"{label} 'walltime'")
+    if stop_raw is not None:
+        stop = finite_number(stop_raw, source, f"{label} 'stop_time'")
+        if stop < start:
+            raise TraceIOError(
+                f"{source}: {label}: stop_time {stop} precedes start_time {start}"
+            )
+        return start, stop
+    raise TraceIOError(f"{source}: {label}: job has neither stop_time nor walltime")
+
+
+def _job_resources(
+    job: "Dict[str, Any]", source: Path, label: str
+) -> "List[Tuple[str, ...]]":
+    """Leaf paths for one job's assigned resources."""
+    assigned: Any = None
+    for key in _RESOURCE_KEYS:
+        if key in job:
+            assigned = job[key]
+            break
+    if not isinstance(assigned, list) or not assigned:
+        raise TraceIOError(
+            f"{source}: {label}: no assigned resources "
+            f"(expected a non-empty array under one of {list(_RESOURCE_KEYS)})"
+        )
+    paths: "List[Tuple[str, ...]]" = []
+    for item in assigned:
+        if isinstance(item, bool):
+            raise TraceIOError(f"{source}: {label}: invalid resource id {item!r}")
+        if isinstance(item, (int, str)):
+            name = str(item).replace("/", "_")
+            if not name:
+                raise TraceIOError(f"{source}: {label}: empty resource id")
+            leaf = name if isinstance(item, str) else f"r{item}"
+            paths.append((leaf,))
+        elif isinstance(item, dict):
+            resource_id = item.get("id", item.get("resource_id"))
+            if isinstance(resource_id, bool) or not isinstance(
+                resource_id, (int, str)
+            ):
+                raise TraceIOError(
+                    f"{source}: {label}: resource object has no usable id: {item!r}"
+                )
+            leaf = f"r{resource_id}".replace("/", "_")
+            host = item.get("network_address", item.get("host"))
+            if isinstance(host, str) and host:
+                paths.append((host.replace("/", "_"), leaf))
+            else:
+                paths.append((leaf,))
+        else:
+            raise TraceIOError(
+                f"{source}: {label}: resource entries must be ids or objects, "
+                f"got {type(item).__name__}"
+            )
+    return paths
+
+
+def oar_trace(document: Any, source: Path) -> Trace:
+    """Normalize a parsed OAR Gantt/accounting dump into a Trace."""
+    leaf_paths: "List[Tuple[str, ...]]" = []
+    seen: "Set[Tuple[str, ...]]" = set()
+    intervals: "List[StateInterval]" = []
+    for label, job in _job_items(document, source):
+        if not isinstance(job, dict):
+            raise TraceIOError(f"{source}: {label} is not a JSON object")
+        start, stop = _job_bounds(job, source, label)
+        state = job.get("state")
+        if not isinstance(state, str) or not state:
+            state = "Allocated"
+        for path in _job_resources(job, source, label):
+            if path not in seen:
+                seen.add(path)
+                leaf_paths.append(path)
+            try:
+                intervals.append(
+                    StateInterval(
+                        start=start, end=stop, resource=path[-1], state=state
+                    )
+                )
+            except EventError as exc:
+                raise TraceIOError(
+                    f"{source}: {label}: invalid placement interval: {exc}"
+                ) from exc
+    return assemble_trace(source, intervals, leaf_paths, metadata={"format": "oar"})
+
+
+def read_oar(path: "str | os.PathLike[str]") -> Trace:
+    """Read an OAR Gantt/accounting JSON dump of job placements."""
+    source = Path(path)
+    return oar_trace(load_json_document(source), source)

@@ -1,0 +1,228 @@
+"""OTLP JSON / Jaeger export span adapter.
+
+Distributed request traces exported by OpenTelemetry collectors (OTLP JSON,
+``{"resourceSpans": [...]}``) or the Jaeger UI/API (``{"data": [...]}``)
+normalize into ``(resource, state, start, end)`` intervals:
+
+* each **service** becomes one resource leaf — spans are the work a service
+  performed, so a service's track shows its request-handling occupation the
+  same way a CPU track shows computation states;
+* each span becomes one interval whose state is the span/operation name;
+  spans with an error status (OTLP ``status.code == STATUS_CODE_ERROR``,
+  Jaeger ``error=true`` tag) get an ``!error``-suffixed state so failures
+  aggregate separately from successes;
+* OTLP ``startTimeUnixNano``/``endTimeUnixNano`` (nanoseconds, possibly
+  JSON-encoded as strings) and Jaeger ``startTime``/``duration``
+  (microseconds) both convert to seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Set, Tuple
+
+from ..events import EventError, StateInterval
+from ..io import TraceIOError
+from ..trace import Trace
+from .common import assemble_trace, finite_number, load_json_document
+
+__all__ = ["read_otlp", "otlp_trace"]
+
+_NANOSECONDS = 1e-9
+_MICROSECONDS = 1e-6
+
+#: status.code spellings that mark an OTLP span as failed (enum or string).
+_OTLP_ERROR_CODES = (2, "2", "STATUS_CODE_ERROR", "ERROR")
+
+
+class _Leaves:
+    """Flat service-name leaves, registered on first appearance."""
+
+    def __init__(self) -> None:
+        self.paths: "List[Tuple[str, ...]]" = []
+        self._seen: "Set[str]" = set()
+
+    def add(self, service: str) -> str:
+        service = service.replace("/", "_") or "unnamed-service"
+        if service not in self._seen:
+            self._seen.add(service)
+            self.paths.append((service,))
+        return service
+
+
+def _span_interval(
+    source: Path,
+    resource: str,
+    state: str,
+    start: float,
+    end: float,
+    where: str,
+) -> StateInterval:
+    try:
+        return StateInterval(start=start, end=end, resource=resource, state=state)
+    except EventError as exc:
+        raise TraceIOError(f"{source}: {where}: invalid span interval: {exc}") from exc
+
+
+def _otlp_service_name(resource: Any, default: str) -> str:
+    """The ``service.name`` resource attribute, or ``default``."""
+    if isinstance(resource, dict):
+        attributes = resource.get("attributes")
+        if isinstance(attributes, list):
+            for attribute in attributes:
+                if not isinstance(attribute, dict):
+                    continue
+                if attribute.get("key") != "service.name":
+                    continue
+                value = attribute.get("value")
+                if isinstance(value, dict):
+                    value = value.get("stringValue")
+                if isinstance(value, str) and value:
+                    return value
+    return default
+
+
+def _from_otlp(document: "Dict[str, Any]", source: Path) -> Trace:
+    resource_spans = document["resourceSpans"]
+    if not isinstance(resource_spans, list):
+        raise TraceIOError(f"{source}: 'resourceSpans' must be a JSON array")
+    leaves = _Leaves()
+    intervals: "List[StateInterval]" = []
+    for rs_index, entry in enumerate(resource_spans):
+        where = f"resourceSpans[{rs_index}]"
+        if not isinstance(entry, dict):
+            raise TraceIOError(f"{source}: {where} is not a JSON object")
+        service = leaves.add(
+            _otlp_service_name(entry.get("resource"), f"service-{rs_index}")
+        )
+        # Pre-1.0 exporters spelled the key instrumentationLibrarySpans.
+        scopes = entry.get("scopeSpans", entry.get("instrumentationLibrarySpans", []))
+        if not isinstance(scopes, list):
+            raise TraceIOError(f"{source}: {where}.scopeSpans must be a JSON array")
+        for scope_index, scope in enumerate(scopes):
+            if not isinstance(scope, dict):
+                raise TraceIOError(
+                    f"{source}: {where}.scopeSpans[{scope_index}] is not a JSON object"
+                )
+            spans = scope.get("spans", [])
+            if not isinstance(spans, list):
+                raise TraceIOError(
+                    f"{source}: {where}.scopeSpans[{scope_index}].spans "
+                    "must be a JSON array"
+                )
+            for span_index, span in enumerate(spans):
+                at = f"{where} span {span_index}"
+                if not isinstance(span, dict):
+                    raise TraceIOError(f"{source}: {at} is not a JSON object")
+                name = span.get("name")
+                if not isinstance(name, str) or not name:
+                    raise TraceIOError(f"{source}: {at}: missing or empty span name")
+                start = finite_number(
+                    span.get("startTimeUnixNano"), source, f"{at} 'startTimeUnixNano'"
+                )
+                end = finite_number(
+                    span.get("endTimeUnixNano"), source, f"{at} 'endTimeUnixNano'"
+                )
+                status = span.get("status")
+                state = name
+                if (
+                    isinstance(status, dict)
+                    and status.get("code") in _OTLP_ERROR_CODES
+                ):
+                    state = f"{name}!error"
+                intervals.append(
+                    _span_interval(
+                        source,
+                        service,
+                        state,
+                        start * _NANOSECONDS,
+                        end * _NANOSECONDS,
+                        at,
+                    )
+                )
+    return assemble_trace(source, intervals, leaves.paths, metadata={"format": "otlp"})
+
+
+def _jaeger_has_error_tag(span: "Dict[str, Any]") -> bool:
+    tags = span.get("tags")
+    if not isinstance(tags, list):
+        return False
+    for tag in tags:
+        if isinstance(tag, dict) and tag.get("key") == "error" and tag.get("value"):
+            return True
+    return False
+
+
+def _from_jaeger(document: "Dict[str, Any]", source: Path) -> Trace:
+    data = document["data"]
+    if not isinstance(data, list):
+        raise TraceIOError(f"{source}: Jaeger 'data' must be a JSON array")
+    leaves = _Leaves()
+    intervals: "List[StateInterval]" = []
+    for trace_index, entry in enumerate(data):
+        where = f"data[{trace_index}]"
+        if not isinstance(entry, dict):
+            raise TraceIOError(f"{source}: {where} is not a JSON object")
+        processes = entry.get("processes")
+        services: "Dict[str, str]" = {}
+        if isinstance(processes, dict):
+            for process_id, process in processes.items():
+                if isinstance(process, dict):
+                    service_name = process.get("serviceName")
+                    if isinstance(service_name, str) and service_name:
+                        services[str(process_id)] = service_name
+        spans = entry.get("spans", [])
+        if not isinstance(spans, list):
+            raise TraceIOError(f"{source}: {where}.spans must be a JSON array")
+        for span_index, span in enumerate(spans):
+            at = f"{where} span {span_index}"
+            if not isinstance(span, dict):
+                raise TraceIOError(f"{source}: {at} is not a JSON object")
+            operation = span.get("operationName")
+            if not isinstance(operation, str) or not operation:
+                raise TraceIOError(f"{source}: {at}: missing or empty operationName")
+            start = finite_number(span.get("startTime"), source, f"{at} 'startTime'")
+            duration = finite_number(
+                span.get("duration", 0), source, f"{at} 'duration'"
+            )
+            process_id = span.get("processID")
+            service = services.get(str(process_id), f"process-{process_id}")
+            resource = leaves.add(service)
+            state = f"{operation}!error" if _jaeger_has_error_tag(span) else operation
+            intervals.append(
+                _span_interval(
+                    source,
+                    resource,
+                    state,
+                    start * _MICROSECONDS,
+                    (start + duration) * _MICROSECONDS,
+                    at,
+                )
+            )
+    return assemble_trace(
+        source, intervals, leaves.paths, metadata={"format": "jaeger"}
+    )
+
+
+def otlp_trace(document: Any, source: Path) -> Trace:
+    """Normalize a parsed OTLP JSON or Jaeger export document into a Trace."""
+    if not isinstance(document, dict):
+        raise TraceIOError(
+            f"{source}: OTLP/Jaeger trace must be a JSON object, "
+            f"got {type(document).__name__}"
+        )
+    if "resourceSpans" in document:
+        return _from_otlp(document, source)
+    if "data" in document:
+        return _from_jaeger(document, source)
+    raise TraceIOError(
+        f"{source}: not an OTLP or Jaeger span export "
+        "(expected a 'resourceSpans' or 'data' key)"
+    )
+
+
+def read_otlp(path: "str | os.PathLike[str]") -> Trace:
+    """Read an OTLP JSON (``resourceSpans``) or Jaeger (``data``) span export."""
+    source = Path(path)
+    return otlp_trace(load_json_document(source), source)

@@ -1,0 +1,169 @@
+"""Self-hosting roundtrip: the cluster's own debug trace re-ingests.
+
+The acceptance path for the Chrome adapter: boot a fully-traced cluster,
+serve analysis requests, scrape ``GET /v1/debug/trace``, and feed the
+scraped document back through :func:`read_chrome`.  The re-ingested trace
+must aggregate like any native one — and bit-identically across the two
+JSON frontends (``repro analyze --json`` and ``POST /v1/analyze``), which
+share one payload assembler and one serializer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.batch import analyze_entry, discover_corpus, write_corpus_manifest
+from repro.batch.corpus import entry_for_path
+from repro.cli import main
+from repro.pipeline.payloads import serialize_payload
+from repro.service import SessionRegistry, build_server
+from repro.service.cluster import ClusterConfig, start_cluster
+from repro.store import save_store
+from repro.trace.adapters import read_chrome, sniff_format
+from repro.trace.synthetic import random_trace
+
+DATA_DIR = Path(__file__).resolve().parents[1] / "data" / "adapters"
+GOLDEN_PARAMS = {"p": 0.7, "slices": 20, "operator": "mean", "anomaly_threshold": 0.1}
+
+
+def _request(port, method, path, body=None, timeout=30):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode() if body is not None else None,
+        headers={"Content-Type": "application/json"} if body is not None else {},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as rsp:
+            return rsp.status, rsp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("roundtrip-corpus")
+    for seed in range(2):
+        save_store(
+            random_trace(n_resources=4, n_slices=6, n_states=2, seed=seed),
+            root / f"t{seed}.rtz",
+        )
+    write_corpus_manifest(discover_corpus(root))
+    return root
+
+
+@pytest.fixture(scope="module")
+def scraped_trace(tmp_path_factory, corpus_dir):
+    """A debug-trace document scraped from a live, fully-traced cluster."""
+    handle = start_cluster(
+        [],
+        corpus=corpus_dir,
+        shards=2,
+        port=0,
+        config=ClusterConfig(respawn=False, trace_sample=1),
+    )
+    thread = threading.Thread(target=handle.serve_forever, daemon=True)
+    thread.start()
+    try:
+        port = handle.address[1]
+        for name in ("t0", "t1"):
+            status, _ = _request(
+                port, "POST", "/v1/analyze", {"trace": name, "p": 0.7, "slices": 10}
+            )
+            assert status == 200
+        # Ring entries land after the response bytes are written: wait for
+        # both request trees before scraping.
+        deadline = time.monotonic() + 10.0
+        while True:
+            _, body = _request(port, "GET", "/v1/debug/trace")
+            document = json.loads(body)
+            if document["otherData"]["n_requests"] >= 2:
+                break
+            assert time.monotonic() < deadline, "debug trace never settled"
+            time.sleep(0.05)
+    finally:
+        handle.close()
+    path = tmp_path_factory.mktemp("roundtrip") / "debug_trace.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+class TestScrapeIngestion:
+    def test_scrape_sniffs_and_reads_as_chrome(self, scraped_trace):
+        assert sniff_format(scraped_trace) == "chrome"
+        trace = read_chrome(scraped_trace)
+        assert trace.metadata["format"] == "chrome-trace-event"
+        assert trace.n_intervals >= 2
+        states = {interval.state for interval in trace.intervals}
+        assert "http.analyze" in states  # the front's request spans
+
+    def test_scrape_aggregates_like_a_native_trace(self, scraped_trace):
+        entry = entry_for_path(scraped_trace)
+        assert entry.kind == "chrome"
+        payload, _ = analyze_entry(entry, **GOLDEN_PARAMS)
+        assert payload["trace"]["n_intervals"] == read_chrome(scraped_trace).n_intervals
+        assert payload["partition"]["size"] >= 1
+        assert payload["params"]["p"] == GOLDEN_PARAMS["p"]
+
+    def test_cli_and_service_emit_identical_bytes(
+        self, scraped_trace, capsys, tmp_path
+    ):
+        # One payload assembler, one serializer: the CLI report of the file
+        # and the service response for the same corpus member must be
+        # byte-for-byte equal.
+        assert (
+            main(
+                [
+                    "analyze", str(scraped_trace), "--json",
+                    "-p", "0.7", "--slices", "20",
+                ]
+            )
+            == 0
+        )
+        cli_bytes = capsys.readouterr().out.encode()
+
+        serve_root = tmp_path / "serve-corpus"
+        serve_root.mkdir()
+        (serve_root / scraped_trace.name).write_bytes(scraped_trace.read_bytes())
+        server = build_server(
+            SessionRegistry(corpus=discover_corpus(serve_root)), port=0
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, body = _request(
+                server.server_address[1],
+                "POST",
+                "/v1/analyze",
+                {"trace": scraped_trace.stem, "p": 0.7, "slices": 20},
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert status == 200
+        assert body == cli_bytes
+
+
+class TestCommittedFixture:
+    def test_cli_reproduces_the_frozen_golden(self, capsys):
+        # The committed scrape must keep analyzing to its frozen payload.
+        fixture = DATA_DIR / "chrome_debug_trace.json"
+        assert (
+            main(["analyze", str(fixture), "--json", "-p", "0.7", "--slices", "20"])
+            == 0
+        )
+        golden = (DATA_DIR / "goldens" / "chrome_debug_trace.analysis.json").read_text()
+        assert capsys.readouterr().out == golden
+
+    def test_fixture_payload_matches_batch_pipeline(self):
+        entry = entry_for_path(DATA_DIR / "chrome_debug_trace.json")
+        payload, _ = analyze_entry(entry, **GOLDEN_PARAMS)
+        golden = (DATA_DIR / "goldens" / "chrome_debug_trace.analysis.json").read_text()
+        assert serialize_payload(payload) + "\n" == golden

@@ -1,0 +1,77 @@
+"""Formatter pins: cross-tier log correlation depends on these exact shapes.
+
+The text formatter must stamp **UTC ISO-8601 with a date** — front and shard
+processes (or the machines aggregating their stderr) can sit in different
+timezones, and a bare ``%H:%M:%S`` wall-clock cannot be correlated across a
+day boundary.  The JSON formatter's ``ts`` stays a raw epoch float.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs.logging import JSONFormatter, TextFormatter, configure_logging
+
+#: 2014-09-22T08:15:30.123456Z — a fixed, timezone-independent instant.
+_CREATED = 1411373730.123456
+
+
+def _record(msg="hello", level=logging.INFO, **extra):
+    record = logging.LogRecord(
+        "repro.test", level, __file__, 1, msg, (), None
+    )
+    record.created = _CREATED
+    record.msecs = (_CREATED - int(_CREATED)) * 1000.0
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestTextFormatter:
+    def test_stamp_is_utc_iso8601_with_date(self):
+        line = TextFormatter().format(_record())
+        assert line.startswith("2014-09-22T08:15:30.123Z ")
+
+    def test_stamp_does_not_depend_on_local_timezone(self, monkeypatch):
+        import time as time_module
+
+        monkeypatch.setenv("TZ", "Pacific/Kiritimati")  # UTC+14
+        time_module.tzset()
+        try:
+            line = TextFormatter().format(_record())
+        finally:
+            monkeypatch.setenv("TZ", "UTC")
+            time_module.tzset()
+        assert line.startswith("2014-09-22T08:15:30.123Z ")
+
+    def test_line_carries_level_logger_and_extras(self):
+        line = TextFormatter().format(_record(route="analyze", status=200))
+        assert " INFO repro.test " in line
+        assert line.endswith("hello route=analyze status=200")
+
+
+class TestJSONFormatter:
+    def test_ts_stays_epoch_seconds(self):
+        entry = json.loads(JSONFormatter().format(_record()))
+        assert entry["ts"] == round(_CREATED, 6)
+        assert entry["level"] == "INFO"
+        assert entry["logger"] == "repro.test"
+        assert entry["msg"] == "hello"
+
+    def test_extras_become_top_level_keys(self):
+        entry = json.loads(JSONFormatter().format(_record(shard=3)))
+        assert entry["shard"] == 3
+
+
+class TestConfigureLogging:
+    def test_text_stream_lines_are_dated(self):
+        stream = io.StringIO()
+        root = configure_logging("text", "info", stream=stream)
+        try:
+            record = _record()
+            root.handle(record)
+        finally:
+            configure_logging("text", "info")  # restore stderr handler
+        assert stream.getvalue().startswith("2014-09-22T08:15:30.123Z ")

@@ -1,0 +1,299 @@
+"""Fuzz/property tests for the real-world trace adapters.
+
+Same contract as :mod:`tests.properties.test_property_fuzz_io`, extended to
+the Chrome/OTLP/OAR readers: feeding them *any* bytes — malformed JSON,
+truncated or bit-flipped fixtures, structure-preserving JSON mutations —
+either returns a valid :class:`~repro.trace.Trace` or raises a
+:class:`~repro.trace.io.TraceIOError` naming the offending file.  Internal
+exception types — ``json.JSONDecodeError``, ``UnicodeDecodeError``,
+``KeyError``, ``TypeError``, :class:`EventError`, :class:`HierarchyError`,
+bare ``ValueError`` — must never escape, no matter how deeply the damage
+sits in the document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.trace.adapters import (
+    read_adapter_auto,
+    read_chrome,
+    read_oar,
+    read_otlp,
+    sniff_format,
+)
+from repro.trace.io import TraceIOError
+from repro.trace.trace import Trace
+
+_DATA_DIR = Path(__file__).resolve().parents[1] / "data" / "adapters"
+
+_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+_READERS = {
+    "chrome": read_chrome,
+    "otlp": read_otlp,
+    "oar": read_oar,
+    "auto": read_adapter_auto,
+}
+
+_FIXTURE_READERS = [
+    ("chrome_debug_trace.json", read_chrome),
+    ("otlp_spans.json", read_otlp),
+    ("jaeger_spans.json", read_otlp),
+    ("oar_gantt.json", read_oar),
+]
+
+
+def _assert_reader_contract(reader, path):
+    """The only acceptable outcomes: a Trace, or TraceIOError naming the file."""
+    try:
+        result = reader(path)
+    except TraceIOError as exc:
+        assert path.name in str(exc), f"error does not name the file: {exc}"
+        return None
+    # json.JSONDecodeError (a ValueError, but not a TraceIOError), KeyError,
+    # TypeError, EventError etc. propagate out of the `except` above and fail
+    # the test with their own traceback — which is exactly the leak we hunt.
+    assert isinstance(result, Trace)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Random garbage
+# --------------------------------------------------------------------------- #
+_garbage_text = st.text(
+    alphabet=st.characters(min_codepoint=0, max_codepoint=0x2FF),
+    max_size=400,
+)
+
+
+class TestGarbageInputs:
+    @_SETTINGS
+    @given(content=_garbage_text, reader=st.sampled_from(sorted(_READERS)))
+    def test_readers_never_leak_on_text_garbage(self, tmp_path, content, reader):
+        path = tmp_path / "fuzz.json"
+        path.write_text(content)
+        _assert_reader_contract(_READERS[reader], path)
+
+    @_SETTINGS
+    @given(blob=st.binary(max_size=300), reader=st.sampled_from(sorted(_READERS)))
+    def test_readers_never_leak_on_binary_garbage(self, tmp_path, blob, reader):
+        path = tmp_path / "fuzz.json"
+        path.write_bytes(blob)
+        _assert_reader_contract(_READERS[reader], path)
+
+    @_SETTINGS
+    @given(
+        document=st.recursive(
+            st.none()
+            | st.booleans()
+            | st.floats(allow_nan=False, allow_infinity=False)
+            | st.integers()
+            | _garbage_text,
+            lambda children: st.lists(children, max_size=4)
+            | st.dictionaries(
+                st.sampled_from(
+                    [
+                        "traceEvents", "resourceSpans", "data", "jobs", "spans",
+                        "ph", "ts", "dur", "pid", "tid", "name", "args",
+                        "scopeSpans", "resource", "attributes", "status",
+                        "startTimeUnixNano", "endTimeUnixNano", "processes",
+                        "operationName", "startTime", "duration", "processID",
+                        "start_time", "stop_time", "walltime", "state",
+                        "resources", "id", "network_address", "key", "value",
+                    ]
+                ),
+                children,
+                max_size=4,
+            ),
+            max_leaves=12,
+        )
+    )
+    def test_arbitrary_json_with_signature_keys_never_leaks(
+        self, tmp_path, document
+    ):
+        # Valid JSON built from the adapters' own vocabulary: structurally
+        # plausible, semantically arbitrary.  The hardest input class.
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps(document))
+        _assert_reader_contract(read_adapter_auto, path)
+        sniff_format(path)  # classification must never raise either
+
+
+# --------------------------------------------------------------------------- #
+# Truncations and byte mutations of the committed fixtures
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module", params=_FIXTURE_READERS, ids=lambda p: p[0])
+def fixture_bytes(request):
+    filename, reader = request.param
+    return (_DATA_DIR / filename).read_bytes(), reader
+
+
+class TestTruncationsAndMutations:
+    @_SETTINGS
+    @given(data=st.data())
+    def test_truncated_fixture_never_leaks(self, tmp_path, fixture_bytes, data):
+        blob, reader = fixture_bytes
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob)))
+        path = tmp_path / "cut.json"
+        path.write_bytes(blob[:cut])
+        _assert_reader_contract(reader, path)
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_mutated_fixture_never_leaks(self, tmp_path, fixture_bytes, data):
+        blob, reader = fixture_bytes
+        mutated = bytearray(blob)
+        for _ in range(data.draw(st.integers(min_value=1, max_value=8))):
+            index = data.draw(st.integers(min_value=0, max_value=len(mutated) - 1))
+            mutated[index] = data.draw(st.integers(min_value=0, max_value=255))
+        path = tmp_path / "mut.json"
+        path.write_bytes(bytes(mutated))
+        _assert_reader_contract(reader, path)
+
+
+# --------------------------------------------------------------------------- #
+# Structure-preserving JSON mutations (valid JSON, damaged semantics)
+# --------------------------------------------------------------------------- #
+_JSON_POISON = (None, True, -1, "  ", [], {}, "NaN", 1e400)
+
+
+def _poison(document, picks, replacement):
+    """Replace one randomly-addressed node of ``document`` with junk."""
+    node = document
+    parent, key = None, None
+    for _ in range(picks.draw(st.integers(min_value=1, max_value=4))):
+        if isinstance(node, dict) and node:
+            keys = sorted(node, key=str)
+            key = picks.draw(st.sampled_from(keys))
+            parent, node = node, node[key]
+        elif isinstance(node, list) and node:
+            key = picks.draw(st.integers(min_value=0, max_value=len(node) - 1))
+            parent, node = node, node[key]
+        else:
+            break
+    if parent is not None:
+        parent[key] = replacement
+    return document
+
+
+class TestSemanticMutations:
+    @_SETTINGS
+    @given(data=st.data())
+    def test_poisoned_documents_never_leak(self, tmp_path, data):
+        filename, reader = data.draw(st.sampled_from(_FIXTURE_READERS))
+        document = json.loads((_DATA_DIR / filename).read_text())
+        replacement = data.draw(st.sampled_from(_JSON_POISON))
+        document = _poison(document, data, replacement)
+        path = tmp_path / "poisoned.json"
+        path.write_text(json.dumps(document))
+        _assert_reader_contract(reader, path)
+
+
+# --------------------------------------------------------------------------- #
+# Known adversarial regressions
+# --------------------------------------------------------------------------- #
+class TestAdversarialRegressions:
+    def test_nan_literal_in_json_rejected(self, tmp_path):
+        # json.loads happily parses NaN/Infinity literals; the finiteness
+        # guard must catch them before they reach interval arithmetic.
+        path = tmp_path / "nan.json"
+        path.write_text('[{"ph": "X", "pid": 1, "ts": NaN, "dur": 1, "name": "n"}]')
+        with pytest.raises(TraceIOError, match="not finite"):
+            read_chrome(path)
+
+    def test_infinity_literal_in_json_rejected(self, tmp_path):
+        path = tmp_path / "inf.json"
+        path.write_text(
+            '{"jobs": [{"start_time": 0, "stop_time": Infinity, "resources": [1]}]}'
+        )
+        with pytest.raises(TraceIOError, match="not finite"):
+            read_oar(path)
+
+    def test_huge_float_string_nanos_rejected(self, tmp_path):
+        # "1e400" parses to float("inf") — a string-encoded overflow.
+        path = tmp_path / "overflow.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "resourceSpans": [
+                        {
+                            "scopeSpans": [
+                                {
+                                    "spans": [
+                                        {
+                                            "name": "op",
+                                            "startTimeUnixNano": "0",
+                                            "endTimeUnixNano": "1e400",
+                                        }
+                                    ]
+                                }
+                            ]
+                        }
+                    ]
+                }
+            )
+        )
+        with pytest.raises(TraceIOError, match="not finite"):
+            read_otlp(path)
+
+    def test_non_utf8_bytes_reported_as_io_error(self, tmp_path):
+        path = tmp_path / "latin.json"
+        path.write_bytes(b'{"jobs": {"\xff\xfe": {}}}')
+        with pytest.raises(TraceIOError, match="UTF-8"):
+            read_oar(path)
+
+    def test_utf8_bom_is_tolerated(self, tmp_path):
+        path = tmp_path / "bom.json"
+        path.write_bytes(
+            b"\xef\xbb\xbf"
+            + json.dumps(
+                {"jobs": [{"start_time": 0, "stop_time": 1, "resources": [1]}]}
+            ).encode()
+        )
+        trace = read_oar(path)
+        assert trace.n_intervals == 1
+
+    def test_duplicate_slash_heavy_names_never_leak(self, tmp_path):
+        # "/" is the hierarchy separator on CSV write; leaf names from the
+        # wild must be sanitized, not crash the hierarchy builder.
+        path = tmp_path / "slashes.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"ph": "M", "pid": 1, "name": "process_name",
+                     "args": {"name": "a/b/c"}},
+                    {"ph": "X", "pid": 1, "tid": "x/y", "ts": 0, "dur": 1,
+                     "name": "n"},
+                ]
+            )
+        )
+        trace = _assert_reader_contract(read_chrome, path)
+        assert trace is not None
+        assert all("/" not in name for name in trace.hierarchy.leaf_names)
+
+    def test_deeply_nested_json_never_leaks(self, tmp_path):
+        # Recursion-heavy input: the stdlib parser may raise RecursionError,
+        # which load_json_document must surface as a TraceIOError.
+        path = tmp_path / "deep.json"
+        path.write_text("[" * 5000 + "]" * 5000)
+        _assert_reader_contract(read_adapter_auto, path)
+
+    def test_empty_event_list_reports_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(TraceIOError, match="empty trace"):
+            read_chrome(path)
+
+    def test_directory_path_does_not_leak(self, tmp_path):
+        with pytest.raises((TraceIOError, OSError)):
+            read_chrome(tmp_path)

@@ -94,11 +94,11 @@ def front_factory():
         shard.stop()
 
 
-def _post(port, path, body=None, timeout=10):
+def _post(port, path, body=None, timeout=10, headers=None):
     request = urllib.request.Request(
         f"http://127.0.0.1:{port}{path}",
         data=json.dumps(body or {}).encode(),
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
         method="POST",
     )
     try:
@@ -131,6 +131,41 @@ class TestTokenBucketLimiter:
             TokenBucketLimiter(rate=0.0)
         with pytest.raises(ServiceError, match="at least one request"):
             TokenBucketLimiter(rate=1.0, burst=0.5)
+        with pytest.raises(ServiceError, match="sweep interval"):
+            TokenBucketLimiter(rate=1.0, sweep_interval=0.0)
+
+    def test_idle_buckets_are_pruned_so_the_map_stays_bounded(self):
+        # 1000 one-shot clients churn through; after each sweep window only
+        # the buckets still below full burst may remain resident.
+        limiter = TokenBucketLimiter(rate=1.0, burst=2.0, sweep_interval=10.0)
+        for i in range(1000):
+            limiter.acquire(f"client-{i}", now=float(i))
+        # At rate 1/s a bucket refills its one spent token in 1s, so by each
+        # sweep tick every earlier client is back at full burst and evicted.
+        assert len(limiter) <= 11  # one sweep window of clients, not 1000
+
+    def test_sweep_keeps_draining_buckets(self):
+        limiter = TokenBucketLimiter(rate=1.0, burst=5.0, sweep_interval=2.0)
+        limiter.acquire("idle", now=0.0)  # back to full burst by t=1
+        for now in (0.0, 0.5, 1.0):
+            limiter.acquire("busy", now=now)  # 3 tokens down, full only at t=3
+        limiter.acquire("late", now=2.0)  # crosses the sweep deadline
+        # "idle" refilled and was evicted; "busy" is still draining and must
+        # keep its debt (evicting it would hand the client a fresh burst).
+        assert len(limiter) == 2
+        # At t=2 "busy" holds 4 effective tokens (burned 3, refilled 1): the
+        # drained state survived, so only 4 more requests pass before 429s.
+        for _ in range(4):
+            assert limiter.acquire("busy", now=2.0) == 0.0
+        assert limiter.acquire("busy", now=2.0) > 0.0
+
+    def test_pruned_client_restarts_with_full_burst(self):
+        limiter = TokenBucketLimiter(rate=1.0, burst=1.0, sweep_interval=5.0)
+        assert limiter.acquire("c", now=0.0) == 0.0
+        assert limiter.acquire("c", now=0.1) > 0.0
+        limiter.acquire("other", now=10.0)  # triggers the sweep
+        # "c" has long refilled to burst: eviction must not change behaviour.
+        assert limiter.acquire("c", now=10.0) == 0.0
 
 
 class TestProxyTimeout:
@@ -214,3 +249,59 @@ class TestRateLimit:
         port = front.server_address[1]
         for _ in range(10):
             assert _post(port, "/v1/sweep", {"trace": "t"})[0] == 200
+
+
+class TestForwardedFor:
+    """Rate-limit keying behind a reverse proxy (``trust_forwarded_for``)."""
+
+    def test_header_ignored_by_default(self, front_factory):
+        # Untrusted: every connection keys on the socket peer (127.0.0.1
+        # here), so spoofed X-Forwarded-For identities share one bucket.
+        front = front_factory(
+            ClusterConfig(respawn=False, rate_limit=1.0, rate_burst=2.0)
+        )
+        port = front.server_address[1]
+        for i, expected in enumerate((200, 200, 429)):
+            status, _, _ = _post(
+                port, "/v1/sweep", {"trace": "t"},
+                headers={"X-Forwarded-For": f"10.0.0.{i}"},
+            )
+            assert status == expected
+
+    def test_trusted_header_keys_per_originating_client(self, front_factory):
+        # Trusted: each X-Forwarded-For first hop gets its own bucket even
+        # though every connection arrives from the same proxy address.
+        front = front_factory(
+            ClusterConfig(
+                respawn=False, rate_limit=1.0, rate_burst=1.0,
+                trust_forwarded_for=True,
+            )
+        )
+        port = front.server_address[1]
+        for i in range(5):
+            status, _, _ = _post(
+                port, "/v1/sweep", {"trace": "t"},
+                headers={"X-Forwarded-For": f"10.0.0.{i}, 192.168.0.1"},
+            )
+            assert status == 200
+        # The same originating client, again through the proxy: throttled.
+        status, body, _ = _post(
+            port, "/v1/sweep", {"trace": "t"},
+            headers={"X-Forwarded-For": "10.0.0.0, 192.168.0.1"},
+        )
+        assert status == 429
+        assert json.loads(body)["error"]["code"] == "rate_limited"
+        assert "10.0.0.0" in json.loads(body)["error"]["message"]
+
+    def test_trusted_but_absent_header_falls_back_to_peer(self, front_factory):
+        front = front_factory(
+            ClusterConfig(
+                respawn=False, rate_limit=1.0, rate_burst=1.0,
+                trust_forwarded_for=True,
+            )
+        )
+        port = front.server_address[1]
+        assert _post(port, "/v1/sweep", {"trace": "t"})[0] == 200
+        status, _, _ = _post(port, "/v1/sweep", {"trace": "t"},
+                             headers={"X-Forwarded-For": "   "})
+        assert status == 429  # blank header also falls back to the peer key

@@ -1,0 +1,500 @@
+"""Tests for the real-world trace adapters (Chrome, OTLP/Jaeger, OAR).
+
+Covers the readers' normalization rules, the format sniffer, the resolver
+and corpus wiring, and bit-identity of the frozen golden payloads under
+``tests/data/adapters/goldens/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.batch import analyze_entry
+from repro.batch.corpus import CorpusError, discover_corpus, entry_for_path
+from repro.pipeline.errors import PipelineError
+from repro.pipeline.payloads import serialize_payload
+from repro.pipeline.resolver import TRACE_FORMATS, MemorySource, resolve_path
+from repro.trace.adapters import (
+    ADAPTER_READERS,
+    classify_document,
+    looks_like_json,
+    read_adapter_auto,
+    read_chrome,
+    read_oar,
+    read_otlp,
+    sniff_format,
+)
+from repro.trace.io import TraceIOError, write_csv
+
+DATA_DIR = Path(__file__).resolve().parents[1] / "data" / "adapters"
+GOLDEN_DIR = DATA_DIR / "goldens"
+
+#: Committed fixture → the format it must sniff as.
+FIXTURES = {
+    "chrome_debug_trace.json": "chrome",
+    "otlp_spans.json": "otlp",
+    "jaeger_spans.json": "otlp",
+    "oar_gantt.json": "oar",
+}
+
+#: Analysis parameters the goldens are frozen at (tests/data/adapters/regenerate.py).
+GOLDEN_PARAMS = {"p": 0.7, "slices": 20, "operator": "mean", "anomaly_threshold": 0.1}
+
+
+def leaf_paths(trace):
+    """Root-excluded ``(inner..., leaf)`` paths in leaf order."""
+    return [leaf.path for leaf in trace.hierarchy.leaves]
+
+
+def write_json(tmp_path, document, name="trace.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return path
+
+
+class TestChromeReader:
+    def test_array_form_with_metadata_labels(self, tmp_path):
+        path = write_json(
+            tmp_path,
+            [
+                {"ph": "M", "pid": 7, "name": "process_name", "args": {"name": "front"}},
+                {"ph": "M", "pid": 7, "tid": 1, "name": "thread_name", "args": {"name": "handler"}},
+                {"ph": "X", "pid": 7, "tid": 1, "ts": 1_000_000, "dur": 500_000, "name": "http.analyze"},
+                {"ph": "X", "pid": 9, "tid": 2, "ts": 1_200_000, "dur": 100_000, "name": "dp.kernel"},
+            ],
+        )
+        trace = read_chrome(path)
+        assert trace.metadata["format"] == "chrome-trace-event"
+        assert leaf_paths(trace) == [
+            ("front", "front:handler"),
+            ("pid-9", "pid-9:tid-2"),
+        ]
+        first = trace.intervals[0]
+        # ts/dur are microseconds on disk, seconds in the model.
+        assert (first.start, first.end) == (1.0, 1.5)
+        assert first.state == "http.analyze"
+        assert first.resource == "front:handler"
+
+    def test_object_form_matches_begin_end_pairs_lifo(self, tmp_path):
+        path = write_json(
+            tmp_path,
+            {
+                "traceEvents": [
+                    {"ph": "B", "pid": 1, "tid": 1, "ts": 0, "name": "outer"},
+                    {"ph": "B", "pid": 1, "tid": 1, "ts": 10, "name": "inner"},
+                    {"ph": "E", "pid": 1, "tid": 1, "ts": 20, "name": "inner"},
+                    {"ph": "E", "pid": 1, "tid": 1, "ts": 40, "name": "outer"},
+                ],
+                "displayTimeUnit": "ms",
+            },
+        )
+        trace = read_chrome(path)
+        spans = sorted((i.state, i.start, i.end) for i in trace.intervals)
+        assert [state for state, _, _ in spans] == ["inner", "outer"]
+        assert spans[0][1:] == pytest.approx((1e-5, 2e-5))
+        assert spans[1][1:] == pytest.approx((0.0, 4e-5))
+
+    def test_end_event_uses_the_begin_name(self, tmp_path):
+        # Viewers close the innermost open span regardless of the E's name.
+        path = write_json(
+            tmp_path,
+            [
+                {"ph": "B", "pid": 1, "tid": 1, "ts": 0, "name": "real"},
+                {"ph": "E", "pid": 1, "tid": 1, "ts": 5, "name": "mismatched"},
+            ],
+        )
+        assert [i.state for i in read_chrome(path).intervals] == ["real"]
+
+    def test_non_duration_phases_are_skipped(self, tmp_path):
+        path = write_json(
+            tmp_path,
+            [
+                {"ph": "C", "pid": 1, "tid": 1, "ts": 0, "name": "ctr", "args": {"v": 1}},
+                {"ph": "i", "pid": 1, "tid": 1, "ts": 1, "name": "instant"},
+                {"ph": "X", "pid": 1, "tid": 1, "ts": 2, "dur": 3, "name": "work"},
+            ],
+        )
+        assert [i.state for i in read_chrome(path).intervals] == ["work"]
+
+    def test_zero_duration_samples_are_kept(self, tmp_path):
+        path = write_json(
+            tmp_path, [{"ph": "X", "pid": 1, "tid": 1, "ts": 4, "name": "tick"}]
+        )
+        trace = read_chrome(path)
+        assert trace.intervals[0].start == trace.intervals[0].end
+
+    @pytest.mark.parametrize(
+        "document, match",
+        [
+            ({"metadata": {}}, "no 'traceEvents'"),
+            ({"traceEvents": 3}, "must be a JSON array"),
+            ([42], "not a JSON object"),
+            ([{"ph": "X", "ts": 0, "name": ""}], "missing or empty event name"),
+            ([{"ph": "X", "ts": 0, "dur": -1, "name": "n"}], "negative duration"),
+            ([{"ph": "X", "ts": "soon", "name": "n"}], "not a number"),
+            ([{"ph": "X", "ts": None, "name": "n"}], "'ts'"),
+            (
+                [{"ph": "E", "pid": 2, "tid": 3, "ts": 1, "name": "n"}],
+                "'E' event without a matching 'B' on pid=2 tid=3",
+            ),
+            (
+                [{"ph": "B", "pid": 2, "tid": 3, "ts": 1, "name": "n"}],
+                "unmatched 'B' events",
+            ),
+            ("events", "must be a JSON array or object"),
+        ],
+    )
+    def test_malformed_documents_raise_with_file_context(
+        self, tmp_path, document, match
+    ):
+        path = write_json(tmp_path, document)
+        with pytest.raises(TraceIOError, match=match) as info:
+            read_chrome(path)
+        assert str(path) in str(info.value)
+
+    def test_nonfinite_timestamps_rejected(self, tmp_path):
+        # json.loads happily parses NaN/Infinity; the adapter must not.
+        path = tmp_path / "trace.json"
+        path.write_text('[{"ph": "X", "pid": 1, "ts": NaN, "name": "n"}]')
+        with pytest.raises(TraceIOError, match="not finite"):
+            read_chrome(path)
+
+    def test_colliding_labels_stay_distinct_leaves(self, tmp_path):
+        # Two pids sharing a process_name must not merge into one resource.
+        path = write_json(
+            tmp_path,
+            [
+                {"ph": "M", "pid": 1, "name": "process_name", "args": {"name": "worker"}},
+                {"ph": "M", "pid": 2, "name": "process_name", "args": {"name": "worker"}},
+                {"ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": 1, "name": "a"},
+                {"ph": "X", "pid": 2, "tid": 0, "ts": 0, "dur": 1, "name": "b"},
+            ],
+        )
+        trace = read_chrome(path)
+        leaves = trace.hierarchy.leaf_names
+        assert len(set(leaves)) == 2
+        assert {i.resource for i in trace.intervals} == set(leaves)
+
+
+class TestOtlpReader:
+    def test_otlp_services_become_leaves(self):
+        trace = read_otlp(DATA_DIR / "otlp_spans.json")
+        assert trace.metadata["format"] == "otlp"
+        assert leaf_paths(trace) == [("gateway",), ("aggregator",), ("store",)]
+        assert trace.n_intervals == 9
+
+    def test_otlp_error_status_suffixes_the_state(self):
+        trace = read_otlp(DATA_DIR / "otlp_spans.json")
+        states = {i.state for i in trace.intervals}
+        assert "POST /v1/batch!error" in states
+        assert "store.write!error" in states
+        assert "GET /v1/analyze" in states  # ok spans stay unsuffixed
+
+    def test_otlp_nanosecond_strings_convert_to_seconds(self):
+        trace = read_otlp(DATA_DIR / "otlp_spans.json")
+        first = trace.intervals[0]
+        assert first.start == pytest.approx(1.4e9)
+        assert first.end - first.start == pytest.approx(0.42)
+
+    def test_jaeger_processes_map_to_services(self):
+        trace = read_otlp(DATA_DIR / "jaeger_spans.json")
+        assert trace.metadata["format"] == "jaeger"
+        assert leaf_paths(trace) == [("frontend",), ("backend",)]
+        states = {i.state for i in trace.intervals}
+        assert states == {"HTTP GET /search", "query.users", "query.index!error"}
+
+    def test_jaeger_microsecond_durations_convert_to_seconds(self):
+        trace = read_otlp(DATA_DIR / "jaeger_spans.json")
+        first = trace.intervals[0]
+        assert first.start == pytest.approx(1.4e9)
+        assert first.end - first.start == pytest.approx(0.25)
+
+    def test_missing_service_name_gets_positional_default(self, tmp_path):
+        path = write_json(
+            tmp_path,
+            {
+                "resourceSpans": [
+                    {
+                        "scopeSpans": [
+                            {
+                                "spans": [
+                                    {
+                                        "name": "op",
+                                        "startTimeUnixNano": 0,
+                                        "endTimeUnixNano": 1_000_000_000,
+                                    }
+                                ]
+                            }
+                        ]
+                    }
+                ]
+            },
+        )
+        assert leaf_paths(read_otlp(path)) == [("service-0",)]
+
+    def test_pre_1_0_instrumentation_library_spans_accepted(self, tmp_path):
+        path = write_json(
+            tmp_path,
+            {
+                "resourceSpans": [
+                    {
+                        "instrumentationLibrarySpans": [
+                            {
+                                "spans": [
+                                    {
+                                        "name": "op",
+                                        "startTimeUnixNano": 0,
+                                        "endTimeUnixNano": 5,
+                                    }
+                                ]
+                            }
+                        ]
+                    }
+                ]
+            },
+        )
+        assert read_otlp(path).n_intervals == 1
+
+    @pytest.mark.parametrize(
+        "document, match",
+        [
+            ([1, 2], "must be a JSON object"),
+            ({"neither": []}, "not an OTLP or Jaeger span export"),
+            ({"resourceSpans": {}}, "'resourceSpans' must be a JSON array"),
+            (
+                {
+                    "resourceSpans": [
+                        {"scopeSpans": [{"spans": [{"name": ""}]}]}
+                    ]
+                },
+                "missing or empty span name",
+            ),
+            (
+                {
+                    "resourceSpans": [
+                        {
+                            "scopeSpans": [
+                                {
+                                    "spans": [
+                                        {
+                                            "name": "op",
+                                            "startTimeUnixNano": "abc",
+                                            "endTimeUnixNano": 1,
+                                        }
+                                    ]
+                                }
+                            ]
+                        }
+                    ]
+                },
+                "not a number",
+            ),
+            ({"data": [{"spans": [{"operationName": None}]}]}, "operationName"),
+        ],
+    )
+    def test_malformed_documents_raise_with_file_context(
+        self, tmp_path, document, match
+    ):
+        path = write_json(tmp_path, document)
+        with pytest.raises(TraceIOError, match=match) as info:
+            read_otlp(path)
+        assert str(path) in str(info.value)
+
+
+class TestOarReader:
+    def test_hosts_become_inner_nodes(self):
+        trace = read_oar(DATA_DIR / "oar_gantt.json")
+        assert trace.metadata["format"] == "oar"
+        assert leaf_paths(trace) == [
+            ("griffon-1", "r1"),
+            ("griffon-1", "r2"),
+            ("griffon-2", "r3"),
+            ("griffon-2", "r4"),
+            ("griffon-3", "r5"),
+            ("griffon-3", "r6"),
+        ]
+
+    def test_one_interval_per_resource_placement(self):
+        trace = read_oar(DATA_DIR / "oar_gantt.json")
+        assert trace.n_intervals == 4 + 2 + 2 + 4  # jobs 8841..8844
+        assert {i.state for i in trace.intervals} == {
+            "Terminated",
+            "Running",
+            "Error",
+        }
+
+    def test_running_job_falls_back_to_walltime(self):
+        trace = read_oar(DATA_DIR / "oar_gantt.json")
+        running = [i for i in trace.intervals if i.state == "Running"]
+        assert running and all(
+            i.end - i.start == pytest.approx(7200.0) for i in running
+        )
+
+    def test_bare_list_and_plain_resource_ids(self, tmp_path):
+        path = write_json(
+            tmp_path,
+            [
+                {"start_time": 0, "stop_time": 10, "resources": [3, "gpu-a"]},
+            ],
+        )
+        trace = read_oar(path)
+        assert leaf_paths(trace) == [("r3",), ("gpu-a",)]
+        assert [i.state for i in trace.intervals] == ["Allocated", "Allocated"]
+
+    @pytest.mark.parametrize(
+        "document, match",
+        [
+            ({"gantt": []}, "no 'jobs' entry"),
+            ({"jobs": "all"}, "'jobs' must be a JSON array or object"),
+            ({"jobs": [17]}, "not a JSON object"),
+            ({"jobs": [{"stop_time": 5, "resources": [1]}]}, "'start_time'"),
+            (
+                {"jobs": [{"start_time": 0}]},
+                "neither stop_time nor walltime",
+            ),
+            (
+                {"jobs": [{"start_time": 10, "stop_time": 5, "resources": [1]}]},
+                "precedes start_time",
+            ),
+            (
+                {"jobs": [{"start_time": 0, "stop_time": 9, "resources": []}]},
+                "no assigned resources",
+            ),
+            (
+                {"jobs": [{"start_time": 0, "stop_time": 9, "resources": [None]}]},
+                "must be ids or objects",
+            ),
+            (
+                {"jobs": [{"start_time": 0, "stop_time": 9, "resources": [{"node": 1}]}]},
+                "no usable id",
+            ),
+        ],
+    )
+    def test_malformed_documents_raise_with_file_context(
+        self, tmp_path, document, match
+    ):
+        path = write_json(tmp_path, document)
+        with pytest.raises(TraceIOError, match=match) as info:
+            read_oar(path)
+        assert str(path) in str(info.value)
+
+
+class TestSniffing:
+    @pytest.mark.parametrize("filename, expected", sorted(FIXTURES.items()))
+    def test_fixtures_sniff_to_their_format(self, filename, expected):
+        assert sniff_format(DATA_DIR / filename) == expected
+
+    def test_non_json_content_sniffs_to_none(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text("resource,state,start,end\nr0,work,0,1\n")
+        assert sniff_format(path) is None
+        assert not looks_like_json(path)
+
+    def test_missing_file_sniffs_to_none(self, tmp_path):
+        assert sniff_format(tmp_path / "absent.json") is None
+        assert not looks_like_json(tmp_path / "absent.json")
+
+    def test_bom_prefixed_json_still_sniffs(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_bytes(b"\xef\xbb\xbf" + json.dumps({"jobs": []}).encode())
+        assert looks_like_json(path)
+        assert sniff_format(path) == "oar"
+
+    def test_unrecognized_documents_classify_to_none(self):
+        assert classify_document({"format": "repro.corpus/1", "traces": []}) is None
+        assert classify_document("text") is None
+        assert classify_document({"data": [1, 2]}) is None
+
+    def test_bare_array_classifies_as_chrome(self):
+        assert classify_document([]) == "chrome"
+
+    def test_read_adapter_auto_dispatches_each_format(self, tmp_path):
+        for filename, _ in FIXTURES.items():
+            trace = read_adapter_auto(DATA_DIR / filename)
+            assert trace.n_intervals > 0
+
+    def test_read_adapter_auto_rejects_unknown_json(self, tmp_path):
+        path = write_json(tmp_path, {"format": "repro.corpus/1", "traces": []})
+        with pytest.raises(TraceIOError, match="unrecognized JSON trace format"):
+            read_adapter_auto(path)
+
+
+class TestResolverDispatch:
+    def test_json_paths_resolve_through_the_adapters(self):
+        source = resolve_path(DATA_DIR / "oar_gantt.json")
+        assert isinstance(source, MemorySource)
+        assert source.load_trace().metadata["format"] == "oar"
+
+    def test_explicit_format_overrides_sniffing(self, tmp_path):
+        # A Chrome dump hiding under a .csv suffix: sniffing would read CSV,
+        # the explicit format must win.
+        events = [{"ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 5, "name": "w"}]
+        path = write_json(tmp_path, events, name="dump.csv")
+        source = resolve_path(path, format="chrome")
+        assert source.load_trace().metadata["format"] == "chrome-trace-event"
+        with pytest.raises(TraceIOError):
+            resolve_path(path)  # .csv is never content-sniffed
+
+    def test_unknown_format_is_a_pipeline_error(self, tmp_path):
+        with pytest.raises(PipelineError, match="unknown trace format 'pcap'"):
+            resolve_path(tmp_path / "x", format="pcap")
+
+    def test_format_registry_covers_all_adapters(self):
+        assert set(ADAPTER_READERS) <= set(TRACE_FORMATS)
+        assert {"csv", "paje"} <= set(TRACE_FORMATS)
+
+
+class TestCorpusIntegration:
+    def test_entry_for_path_sniffs_adapter_kinds(self):
+        for filename, expected in FIXTURES.items():
+            entry = entry_for_path(DATA_DIR / filename)
+            assert entry.kind == expected
+            assert entry.load().n_intervals > 0
+
+    def test_discovery_picks_up_mixed_formats(self, tmp_path):
+        trace = read_oar(DATA_DIR / "oar_gantt.json")
+        write_csv(trace, tmp_path / "native.csv")
+        (tmp_path / "jobs.json").write_text(
+            (DATA_DIR / "oar_gantt.json").read_text()
+        )
+        (tmp_path / "spans.json").write_text(
+            (DATA_DIR / "otlp_spans.json").read_text()
+        )
+        # A manifest and a random JSON document must both stay invisible.
+        (tmp_path / "corpus.json").write_text('{"format": "repro.corpus/1"}')
+        (tmp_path / "notes.json").write_text('{"author": "alice"}')
+        corpus = discover_corpus(tmp_path)
+        assert corpus.names == ["jobs", "native", "spans"]
+        assert {e.name: e.kind for e in corpus} == {
+            "jobs": "oar",
+            "native": "csv",
+            "spans": "otlp",
+        }
+
+    def test_adapter_entries_carry_verifiable_digests(self):
+        entry = entry_for_path(DATA_DIR / "otlp_spans.json")
+        assert entry.current_digest() == entry.current_digest()
+
+    def test_unrecognized_json_is_rejected_for_explicit_paths(self, tmp_path):
+        path = write_json(tmp_path, {"author": "alice"})
+        with pytest.raises(CorpusError, match="Chrome/OTLP/OAR"):
+            entry_for_path(path)
+
+
+class TestGoldenPayloads:
+    """The frozen analyze payloads re-derive bit-identically."""
+
+    @pytest.mark.parametrize("filename", sorted(FIXTURES))
+    def test_payload_matches_the_frozen_golden(self, filename):
+        entry = entry_for_path(DATA_DIR / filename)
+        payload, _ = analyze_entry(entry, **GOLDEN_PARAMS)
+        derived = serialize_payload(payload) + "\n"
+        golden = (GOLDEN_DIR / f"{Path(filename).stem}.analysis.json").read_text()
+        assert derived == golden
+
+    def test_goldens_exist_for_every_fixture(self):
+        stems = {path.stem.replace(".analysis", "") for path in GOLDEN_DIR.iterdir()}
+        assert stems == {Path(name).stem for name in FIXTURES}
