@@ -1,0 +1,321 @@
+"""Benchmark of continuous monitoring: watch-loop throughput and detection lag.
+
+``repro watch`` tails a growing ``.rtz`` store: every poll absorbs the
+appended slice, extends the streaming model, and scores the trailing window
+(baseline drift + anomaly detection).  Two ways to run that loop:
+
+* **stateless re-watch** — the naive monitor: each poll reopens the store,
+  reloads every chunk, re-discretizes the whole trace into a fresh model,
+  and scores the window with every cache cold (a fresh
+  :class:`~repro.watch.TraceWatch` per poll);
+* **incremental watch** — one long-lived :class:`~repro.watch.TraceWatch`:
+  :meth:`~repro.store.TraceStore.refresh` loads only the new chunk,
+  :meth:`~repro.core.MicroscopicModel.extend` grows the model in O(tail),
+  and only the trailing window is re-scored.
+
+The gated ratio ``watch_speedup = stateless / incremental`` is the per-poll
+cost drop of the monitoring loop.  The benchmark replays each synthetic
+monitoring scenario slice-by-slice through a live writer + watch, so it also
+measures **appends/sec** (rows absorbed per second of append + poll work)
+and **detection lag** (polls between the injection's first appended slice
+and the first ``anomaly`` event).  Correctness tripwires run before any
+number is reported: all three injected scenarios must be detected, and the
+clean control store must raise **zero** drift/anomaly alerts.
+
+Usage::
+
+    python benchmarks/bench_watch.py                     # full grid
+    python benchmarks/bench_watch.py --smoke \
+        --output BENCH_watch_smoke.json \
+        --check-against BENCH_watch.json --max-regression 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from common import bench_meta, GateMetric, check_ratio_regression  # noqa: E402
+
+from repro.store import StoreWriter, save_store  # noqa: E402
+from repro.trace.synthetic import MONITORING_SCENARIOS, monitoring_scenario  # noqa: E402
+from repro.trace.trace import Trace  # noqa: E402
+from repro.watch import TraceWatch, WatchConfig  # noqa: E402
+
+#: (resources, total slices, seeded slices, injection slice); the store is
+#: seeded with the first ``seed`` slices and grown one slice per poll.
+FULL_GRID = [(16, 120, 60, 90)]
+SMOKE_GRID = [(16, 120, 60, 90)]
+#: Injected scenarios that must be detected (the clean control is the
+#: zero-alert tripwire, not a detection target).
+INJECTED = tuple(name for name in MONITORING_SCENARIOS if name != "clean")
+ALERT_TYPES = {"drift", "anomaly"}
+
+
+def _seed_trace(trace: Trace, seed_slices: int) -> Trace:
+    intervals = [iv for iv in trace.intervals if iv.start < float(seed_slices)]
+    return Trace(
+        hierarchy=trace.hierarchy,
+        states=trace.states,
+        intervals=intervals,
+        metadata=trace.metadata,
+    )
+
+
+def _slice_buckets(trace: Trace, seed_slices: int, n_slices: int) -> "list[list]":
+    """Append batches, one per grown slice (rows as StoreWriter tuples)."""
+    buckets: "list[list]" = [[] for _ in range(n_slices - seed_slices)]
+    for iv in trace.intervals:
+        index = int(iv.start) - seed_slices
+        if 0 <= index < len(buckets):
+            buckets[index].append((iv.start, iv.end, iv.resource, iv.state))
+    return buckets
+
+
+def _grown_watch_run(
+    workdir: Path,
+    scenario: str,
+    trace: Trace,
+    seed_slices: int,
+    n_slices: int,
+    config: WatchConfig,
+    uid: str,
+    time_stateless: bool,
+) -> dict:
+    """Seed a store, grow it slice-by-slice under a live watch; time both legs."""
+    path = workdir / f"{scenario}_{uid}.rtz"
+    save_store(_seed_trace(trace, seed_slices), path)
+    buckets = _slice_buckets(trace, seed_slices, n_slices)
+
+    watch = TraceWatch(path, name=scenario, config=config)
+    writer = StoreWriter(path)
+    append_seconds = 0.0
+    incremental_seconds = 0.0
+    stateless_seconds = 0.0
+    appended_rows = 0
+    alerts: "list[tuple[int, str]]" = []  # (slice just appended, event type)
+
+    start = time.perf_counter()
+    watch.poll()  # builds the model over the seed, pins nothing yet or baseline
+    incremental_seconds += time.perf_counter() - start
+
+    for index, rows in enumerate(buckets):
+        appended_rows += len(rows)
+        start = time.perf_counter()
+        writer.append_intervals(rows)
+        append_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        events = watch.poll()
+        incremental_seconds += time.perf_counter() - start
+        alerts.extend(
+            (seed_slices + index, event.type)
+            for event in events
+            if event.type in ALERT_TYPES
+        )
+
+        if time_stateless:
+            # The naive monitor: reopen + full re-discretization + score,
+            # every cache cold, on the same on-disk state.
+            start = time.perf_counter()
+            TraceWatch(path, name=scenario, config=config).poll()
+            stateless_seconds += time.perf_counter() - start
+
+    return {
+        "appended_rows": appended_rows,
+        "append_seconds": append_seconds,
+        "incremental_seconds": incremental_seconds,
+        "stateless_seconds": stateless_seconds,
+        "alerts": alerts,
+    }
+
+
+def bench_cell(
+    workdir: Path,
+    n_resources: int,
+    n_slices: int,
+    seed_slices: int,
+    injection_slice: int,
+    window_slices: int,
+    repeats: int,
+    uid_prefix: str,
+) -> dict:
+    """One grid cell: every monitoring scenario grown under a live watch."""
+    config = WatchConfig(slices=seed_slices, window_slices=window_slices).validated()
+    runs: "dict[str, dict]" = {}
+    for scenario in MONITORING_SCENARIOS:
+        trace = monitoring_scenario(
+            scenario,
+            n_resources=n_resources,
+            n_slices=n_slices,
+            injection_slice=injection_slice,
+        )
+        best: "dict | None" = None
+        for repeat in range(repeats):
+            run = _grown_watch_run(
+                workdir, scenario, trace, seed_slices, n_slices, config,
+                uid=f"{uid_prefix}_{repeat}",
+                time_stateless=(scenario == "cascading_failure"),
+            )
+            if best is None:
+                best = run
+            else:
+                # Best-of-N on each leg independently (the ratio of bests is
+                # the stable number; events are identical across repeats).
+                if run["incremental_seconds"] < best["incremental_seconds"]:
+                    best.update(
+                        incremental_seconds=run["incremental_seconds"],
+                        append_seconds=run["append_seconds"],
+                    )
+                best["stateless_seconds"] = min(
+                    best["stateless_seconds"], run["stateless_seconds"]
+                )
+        assert best is not None
+        runs[scenario] = best
+
+    # Correctness tripwires — a benchmark of a detector that does not detect
+    # (or cries wolf on the clean control) must not report numbers at all.
+    clean_alerts = len(runs["clean"]["alerts"])
+    if clean_alerts:
+        raise AssertionError(
+            f"clean control raised {clean_alerts} alert(s) — "
+            "false positives; the watch gate is void"
+        )
+    lags: "dict[str, int]" = {}
+    for scenario in INJECTED:
+        anomaly_slices = [
+            at for at, event_type in runs[scenario]["alerts"]
+            if event_type == "anomaly"
+        ]
+        if not anomaly_slices:
+            raise AssertionError(f"scenario {scenario!r} was never detected")
+        # Polls from the injection's first appended slice (inclusive) to the
+        # first anomaly event; 1 = detected on the slice it was injected.
+        lags[scenario] = min(anomaly_slices) - injection_slice + 1
+
+    total_rows = sum(runs[name]["appended_rows"] for name in MONITORING_SCENARIOS)
+    total_seconds = sum(
+        runs[name]["append_seconds"] + runs[name]["incremental_seconds"]
+        for name in MONITORING_SCENARIOS
+    )
+    timed = runs["cascading_failure"]
+    return {
+        "resources": n_resources,
+        "slices": n_slices,
+        "seed_slices": seed_slices,
+        "injection_slice": injection_slice,
+        "window_slices": window_slices,
+        "appended_rows": total_rows,
+        "appends_per_sec": round(total_rows / total_seconds, 1),
+        "incremental_seconds": round(timed["incremental_seconds"], 6),
+        "stateless_seconds": round(timed["stateless_seconds"], 6),
+        "watch_speedup": round(
+            timed["stateless_seconds"] / timed["incremental_seconds"], 3
+        ),
+        "detection_lag_polls": max(lags.values()),
+        "detection_lags": lags,
+        "detected_fraction": round(len(lags) / len(INJECTED), 3),
+        "clean_alerts": clean_alerts,
+    }
+
+
+def check_regression(
+    results: "list[dict]",
+    baseline_path: Path,
+    max_regression: float,
+    min_speedup: float,
+) -> int:
+    """Gate on the committed speedup ratio and the detection tripwires."""
+    return check_ratio_regression(
+        results,
+        baseline_path,
+        key_fields=("resources", "slices", "seed_slices"),
+        metrics=[
+            GateMetric(
+                "watch_speedup",
+                max_regression=max_regression,
+                min_ratio=min_speedup,
+                note=f"hard minimum {min_speedup:.0f}x",
+            ),
+            GateMetric(
+                "detected_fraction",
+                min_ratio=1.0,
+                note="every injected scenario must be detected",
+            ),
+        ],
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--smoke", action="store_true", help="small grid for CI smoke runs")
+    parser.add_argument("--window", type=int, default=10,
+                        help="trailing window width in slices (default: 10)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="growth-run repetitions, best is kept (default: 3)")
+    parser.add_argument("--workdir", type=Path, default=None,
+                        help="scratch directory for stores (default: a temp dir)")
+    parser.add_argument("--output", type=Path, default=ROOT / "BENCH_watch.json",
+                        help="JSON output path (default: BENCH_watch.json at the repo root)")
+    parser.add_argument("--check-against", type=Path, default=None,
+                        help="baseline BENCH json to gate speedup regressions against")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="maximum allowed watch-speedup degradation factor "
+                             "(default: 2.0)")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="hard acceptance floor for watch_speedup (default: 1.5)")
+    args = parser.parse_args(argv)
+
+    grid = SMOKE_GRID if args.smoke else FULL_GRID
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = args.workdir if args.workdir is not None else Path(tmp)
+        workdir.mkdir(parents=True, exist_ok=True)
+        results = []
+        for cell, (n_resources, n_slices, seed_slices, injection) in enumerate(grid):
+            row = bench_cell(
+                workdir, n_resources, n_slices, seed_slices, injection,
+                args.window, args.repeats, uid_prefix=f"c{cell}",
+            )
+            print(
+                f"resources={n_resources:>4} slices={n_slices:>4} "
+                f"rows={row['appended_rows']:>7} "
+                f"appends={row['appends_per_sec']:>9.1f}/s "
+                f"lag={row['detection_lag_polls']} polls "
+                f"speedup={row['watch_speedup']:.1f}x "
+                f"(clean alerts: {row['clean_alerts']})"
+            )
+            results.append(row)
+
+    payload = {
+        "benchmark": "watch_loop",
+        "meta": bench_meta(),
+        "config": {
+            "window": args.window,
+            "repeats": args.repeats,
+            "scenarios": list(MONITORING_SCENARIOS),
+            "grid": "smoke" if args.smoke else "full",
+        },
+        "results": results,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if args.check_against is not None:
+        return check_regression(
+            results, args.check_against, args.max_regression, args.min_speedup
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

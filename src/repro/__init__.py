@@ -35,7 +35,7 @@ from . import core, trace
 
 #: Package version; kept in sync with ``pyproject.toml`` (a unit test pins
 #: the two equal, so installed metadata and PYTHONPATH checkouts agree).
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from .core import (
     Aggregate,

@@ -12,7 +12,7 @@ reports the CLI prints by default.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from ..pipeline.payloads import (
     BATCH_SCHEMA,
@@ -27,13 +27,47 @@ from ..pipeline.payloads import (
 __all__ = [
     "COMPARE_SCHEMA",
     "BATCH_SCHEMA",
+    "SHIFT_ABS_TOL",
+    "SHIFT_REL_TOL",
     "heterogeneity_score",
     "compare_payload",
     "batch_summary_rows",
     "batch_payload",
+    "shift_threshold",
+    "shifted_rows",
     "compare_report",
     "batch_report",
 ]
+
+#: Absolute floor of the "shifted" classification: deltas below this are
+#: noise regardless of scale.
+SHIFT_ABS_TOL = 1e-12
+#: Relative component: a resource is shifted only when its delta exceeds
+#: this fraction of the largest deviation magnitude on either side.  A fixed
+#: absolute threshold misfires on large-magnitude grids, where float
+#: round-off alone produces deltas far above 1e-12.
+SHIFT_REL_TOL = 1e-9
+
+
+def shift_threshold(deviation: "Sequence[Mapping[str, Any]]") -> float:
+    """The delta magnitude above which a resource counts as shifted.
+
+    Scaled to the deviation values actually present so the classification is
+    invariant under rescaling the grid.
+    """
+    scale = max(
+        (max(abs(float(row["a"])), abs(float(row["b"]))) for row in deviation),
+        default=0.0,
+    )
+    return max(SHIFT_ABS_TOL, SHIFT_REL_TOL * scale)
+
+
+def shifted_rows(
+    deviation: "Sequence[Mapping[str, Any]]",
+) -> "list[Mapping[str, Any]]":
+    """Deviation-delta rows whose resource genuinely shifted between sides."""
+    threshold = shift_threshold(deviation)
+    return [row for row in deviation if abs(float(row["delta"])) > threshold]
 
 
 def compare_report(payload: Mapping[str, Any]) -> str:
@@ -65,7 +99,7 @@ def compare_report(payload: Mapping[str, Any]) -> str:
     if deviation is None:
         lines.append("deviation delta: traces are not grid-compatible (skipped)")
     else:
-        shifted = [row for row in deviation if abs(row["delta"]) > 1e-12]
+        shifted = shifted_rows(deviation)
         lines.append(
             f"deviation delta: {len(shifted)} of {len(deviation)} resources shifted"
         )

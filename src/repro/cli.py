@@ -222,6 +222,38 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--chunk-rows", type=int, default=None,
                         help="rows per columnar chunk file (default: 65536)")
 
+    watch = subparsers.add_parser(
+        "watch", help="monitor growing .rtz stores: tail, detect drift/anomalies, alert"
+    )
+    watch.add_argument("stores", nargs="+",
+                       help=".rtz store directories to tail (basenames must be unique)")
+    watch.add_argument("--slices", type=int, default=30,
+                       help="time slices for the initial model build (default: 30)")
+    watch.add_argument("--window", default="last:10", metavar="LAST:K",
+                       help="trailing window to score each poll, as 'last:K' slices "
+                            "(default: last:10)")
+    watch.add_argument("-p", "--parameter", type=float, default=0.7, dest="p",
+                       help="aggregation quality/reduction trade-off in [0,1] "
+                            "(default: 0.7)")
+    watch.add_argument("--operator", choices=["mean", "median", "max", "sum"],
+                       default="mean",
+                       help="microscopic aggregation operator (default: mean)")
+    watch.add_argument("--anomaly-threshold", type=float, default=0.15,
+                       help="excess blocking proportion flagged as anomalous "
+                            "(default: 0.15)")
+    watch.add_argument("--drift-jaccard", type=float, default=0.8,
+                       help="partition Jaccard below which a drift event fires "
+                            "(default: 0.8)")
+    watch.add_argument("--poll", type=float, default=1.0,
+                       help="seconds between polls (default: 1.0)")
+    watch.add_argument("--max-polls", type=int, default=None,
+                       help="stop after this many polls (mainly for scripting)")
+    watch.add_argument("--stalled-after", type=int, default=5,
+                       help="idle polls before a 'stalled' event (default: 5)")
+    watch.add_argument("--json", action="store_true",
+                       help="print one JSON object per event (byte-identical to the "
+                            "SSE data: payloads) instead of human-readable lines")
+
     serve = subparsers.add_parser(
         "serve", help="serve traces over a JSON HTTP API (see repro.service)"
     )
@@ -604,7 +636,7 @@ def _command_convert(args: argparse.Namespace) -> int:
 def _command_stream(args: argparse.Namespace) -> int:
     import time
 
-    from .store import StoreError, sync_store
+    from .store import StoreError, read_live_source, sync_store
     from .trace import read_paje
 
     if args.chunk_rows is not None and args.chunk_rows < 1:
@@ -619,7 +651,14 @@ def _command_stream(args: argparse.Namespace) -> int:
     source_format = args.source_format
     if source_format is None:
         source_format = "paje" if Path(args.source).suffix == ".paje" else "csv"
-    reader = read_paje if source_format == "paje" else read_csv
+    if args.follow:
+        # A tracer may be mid-write: parse only up to the last complete
+        # line so a truncated timestamp ("3." -> 3.0) can't silently sync
+        # wrong rows and force a rebuild on the next poll.
+        def reader(path: "str") -> "Trace":
+            return read_live_source(path, source_format=source_format)
+    else:
+        reader = read_paje if source_format == "paje" else read_csv
 
     from .store import DEFAULT_CHUNK_ROWS
 
@@ -654,6 +693,58 @@ def _command_stream(args: argparse.Namespace) -> int:
                         flush=True,
                     )
             if not args.follow or (args.max_polls is not None and polls >= args.max_polls):
+                return 0
+            time.sleep(args.poll)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    import time
+
+    from .pipeline import PipelineError
+    from .pipeline.window import WindowSpec
+    from .store import StoreError
+    from .watch import StoreWatcher, WatchConfig, format_event, serialize_event
+
+    if args.poll <= 0:
+        print("error: --poll must be positive", file=sys.stderr)
+        return 2
+    if args.max_polls is not None and args.max_polls < 1:
+        print("error: --max-polls must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        spec = WindowSpec.parse_text(args.window)
+        if spec.kind != "last":
+            raise PipelineError(
+                "watch scores a trailing window; --window must be 'last:K'"
+            )
+        config = WatchConfig(
+            slices=args.slices,
+            window_slices=int(spec.k or 1),
+            p=args.p,
+            operator=args.operator,
+            anomaly_threshold=args.anomaly_threshold,
+            drift_jaccard=args.drift_jaccard,
+            stalled_polls=args.stalled_after,
+        ).validated()
+        watcher = StoreWatcher(args.stores, config=config)
+    except (PipelineError, TraceIOError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    polls = 0
+    try:
+        while True:
+            polls += 1
+            try:
+                events = watcher.poll()
+            except (StoreError, TraceIOError, OSError) as exc:
+                print(f"error: cannot poll stores: {exc}", file=sys.stderr)
+                return 2
+            for event in events:
+                line = serialize_event(event) if args.json else format_event(event)
+                print(line, flush=True)
+            if args.max_polls is not None and polls >= args.max_polls:
                 return 0
             time.sleep(args.poll)
     except KeyboardInterrupt:
@@ -870,6 +961,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_convert(args)
         if args.command == "stream":
             return _command_stream(args)
+        if args.command == "watch":
+            return _command_watch(args)
         if args.command == "serve":
             return _command_serve(args)
     except BrokenPipeError:

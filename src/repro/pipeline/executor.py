@@ -491,7 +491,15 @@ class AnalysisEngine:
                 # Batch validation (unknown names, out-of-order rows, bad
                 # timestamps) is the client's mistake: a 400.
                 raise PipelineError(str(exc)) from exc
-            self._absorb_refresh(store.refresh())
+            try:
+                self._absorb_refresh(store.refresh())
+            except StoreRewrittenError:
+                # An external writer rebuilt the store between our chunk
+                # commit and the refresh.  The rows are durably written (the
+                # rebuild raced us, not the other way around), so recover the
+                # way refresh() does instead of surfacing a 500 to a client
+                # whose request was valid.
+                self._reopen_rewritten()
             return self._append_receipt(len(rows))
 
     def refresh(self) -> Dict[str, Any]:
@@ -508,14 +516,24 @@ class AnalysisEngine:
             try:
                 self._absorb_refresh(store.refresh())
             except StoreRewrittenError:
-                source = self._source
-                assert isinstance(source, StoreSource)
-                source.reopen()
-                self._models.clear()
-                self._stream_models.clear()
-                self._aggregators.clear()
-                self._after_generation_change()
+                self._reopen_rewritten()
             return self._append_receipt(None)
+
+    def _reopen_rewritten(self) -> None:
+        """Rebuild the engine's view after the store was rewritten on disk.
+
+        Reopens the source at the bumped generation, drops every model and
+        aggregator (slice widths and spans are meaningless across a rewrite)
+        and purges stale result-cache entries, so long-lived consumers keep
+        serving instead of crashing with ``StoreRewrittenError``.
+        """
+        source = self._source
+        assert isinstance(source, StoreSource)
+        source.reopen()
+        self._models.clear()
+        self._stream_models.clear()
+        self._aggregators.clear()
+        self._after_generation_change()
 
     def _absorb_refresh(self, tail: Optional[Any]) -> None:
         """Apply a :meth:`TraceStore.refresh` tail to the engine caches."""

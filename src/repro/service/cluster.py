@@ -53,7 +53,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ..batch.corpus import Corpus, CorpusEntry, entry_for_path, load_corpus
 from ..obs.logging import configure_logging
 from ..obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
-from ..obs.metrics import merge_expositions
+from ..obs.metrics import format_value, merge_expositions
 from ..obs.middleware import DEFAULT_TRACE_SAMPLE, ServerObservability
 from ..obs.tracing import span
 from ..pipeline.errors import RequestError
@@ -65,7 +65,13 @@ from ..pipeline.payloads import (
 from ..store.store import open_store
 from .http import DrainableThreadingHTTPServer, JSONHandler, build_server, read_raw_body
 from .registry import DEFAULT_MAX_SESSIONS, SessionRegistry, paginate_entries
-from .routes import Route, deprecation_headers, parse_traces_query, resolve_route
+from .routes import (
+    Route,
+    deprecation_headers,
+    parse_traces_query,
+    parse_watch_query,
+    resolve_route,
+)
 from .session import AnalysisSession, ServiceError
 
 __all__ = [
@@ -807,8 +813,10 @@ class ClusterFrontHandler(JSONHandler):
 
         Front samples get ``tier="front"``, shard samples ``tier="shard"``
         plus their ``shard`` index — nothing is summed, so per-shard load
-        and latency stay visible.  Dead shards are skipped (their absence
-        shows in ``repro_cluster_shards_alive``).
+        and latency stay visible.  Dead shards are skipped, but never
+        silently: ``repro_shards_scraped`` / ``repro_shards_skipped`` count
+        every shard either way, so a monitoring stack can alert on a partial
+        scrape instead of mistaking it for a healthy fleet.
         """
         server = self.server
         obs = server.obs
@@ -820,6 +828,8 @@ class ClusterFrontHandler(JSONHandler):
         sources: List[Tuple[Dict[str, str], str]] = [
             ({"tier": "front"}, obs.metrics.render())
         ]
+        scraped = 0
+        skipped = 0
         for shard in server.shards:
             try:
                 status, data = self._proxy(
@@ -827,12 +837,26 @@ class ClusterFrontHandler(JSONHandler):
                     timeout=server.config.probe_timeout,
                 )
             except (ShardUnavailableError, ShardTimeoutError):
+                skipped += 1
                 continue
             if status == 200:
+                scraped += 1
                 sources.append(
                     ({"tier": "shard", "shard": str(shard.index)},
                      data.decode("utf-8"))
                 )
+            else:
+                skipped += 1
+        sources.append((
+            {"tier": "front"},
+            "# HELP repro_shards_scraped Shard expositions merged into this scrape.\n"
+            "# TYPE repro_shards_scraped gauge\n"
+            f"repro_shards_scraped {format_value(float(scraped))}\n"
+            "# HELP repro_shards_skipped Shards this scrape could not collect"
+            " (dead, timed out, or erroring).\n"
+            "# TYPE repro_shards_skipped gauge\n"
+            f"repro_shards_skipped {format_value(float(skipped))}\n",
+        ))
         self._send_bytes(
             200, merge_expositions(sources).encode("utf-8"),
             content_type=METRICS_CONTENT_TYPE,
@@ -865,6 +889,82 @@ class ClusterFrontHandler(JSONHandler):
             200,
             {"available": sorted(self.server.routing), "meta": meta, "traces": page},
         )
+
+    def _handle_watch_events(self, route: Route, query: str) -> None:
+        """Relay one shard's SSE watch stream chunk by chunk.
+
+        ``_proxy`` buffers whole responses — useless for an unbounded
+        stream — so this is the one front handler that holds its own shard
+        connection open and relays bytes as they arrive.  The stream is
+        routed by the ``trace`` query parameter exactly like POST bodies
+        route by name; unroutable requests go to shard 0, whose registry
+        answers the canonical 404 envelope.  The shard's keep-alive
+        heartbeats bound every relay read, so the front's request timeout
+        still catches a silently dead worker.
+        """
+        params = parse_watch_query(query)  # canonical 400s before any proxying
+        shards = self.server.shards
+        routing = self.server.routing
+        if params.trace is None and len(routing) == 1:
+            shard = shards[next(iter(routing.values()))]
+        elif params.trace is not None and params.trace in routing:
+            shard = shards[routing[params.trace]]
+        else:
+            shard = shards[0]
+        timeout = self.server.config.request_timeout
+        port = shard.port
+        if port is None:
+            raise ShardUnavailableError(
+                f"shard {shard.index} is unavailable: worker has no port yet "
+                "(starting up); retry shortly"
+            )
+        conn = http.client.HTTPConnection(shard.host, port, timeout=timeout)
+        streaming = False
+        try:
+            headers = {}
+            if self._request_id is not None:
+                headers["X-Request-ID"] = self._request_id
+            path = f"{route.path}?{query}" if query else route.path
+            conn.request("GET", path, headers=headers)
+            response = conn.getresponse()
+            if response.status != 200:
+                self._send_bytes(response.status, response.read())
+                return
+            self._last_status = 200
+            self.send_response(200)
+            self.send_header(
+                "Content-Type",
+                response.headers.get("Content-Type", route.media_type),
+            )
+            self.send_header("Cache-Control", "no-store")
+            if self._request_id is not None:
+                self.send_header("X-Request-ID", self._request_id)
+            self.send_header("Connection", "close")
+            self.close_connection = True
+            self.end_headers()
+            streaming = True
+            while True:
+                chunk = response.read1(8192)
+                if not chunk:
+                    return
+                self.wfile.write(chunk)
+                self.wfile.flush()
+        except (socket.timeout, TimeoutError):
+            if streaming:
+                return  # mid-stream: nothing coherent left to send
+            raise ShardTimeoutError(
+                f"shard {shard.index} did not answer within {timeout:g}s"
+            ) from None
+        except (ConnectionError, http.client.HTTPException, OSError) as exc:
+            if streaming:
+                return  # client or shard went away mid-stream
+            raise ShardUnavailableError(
+                f"shard {shard.index} is unavailable "
+                f"({type(exc).__name__}); the worker died or is restarting — "
+                "retry shortly"
+            ) from exc
+        finally:
+            conn.close()
 
     # ------------------------------------------------------------------ #
     # POST handlers

@@ -81,6 +81,7 @@ from .routes import (
     deprecation_headers,
     parse_debug_trace_query,
     parse_traces_query,
+    parse_watch_query,
     resolve_route,
 )
 from .session import AnalysisSession, ServiceError, StaleGenerationError
@@ -271,8 +272,12 @@ class JSONHandler(BaseHTTPRequestHandler):
     _last_error_code: "Optional[str]" = None
 
     #: Routes whose own traffic is not recorded into the debug-trace ring —
-    #: scrapes and trace dumps would otherwise crowd out the real work.
-    _UNTRACED_ROUTES = frozenset({"metrics", "debug_trace", "healthz", "readyz"})
+    #: scrapes and trace dumps would otherwise crowd out the real work; a
+    #: watch stream would additionally hold one span open for its whole
+    #: (unbounded) lifetime.
+    _UNTRACED_ROUTES = frozenset(
+        {"metrics", "debug_trace", "healthz", "readyz", "watch_events"}
+    )
 
     def _send_bytes(
         self,
@@ -535,6 +540,78 @@ class ServiceHandler(JSONHandler):
                 limit=limit, offset=offset, digest=digest
             ),
         )
+
+    def _handle_watch_events(self, route: Route, query: str) -> None:
+        """``GET /v1/watch/events``: SSE stream of monitoring events.
+
+        Validation (query parsing, trace lookup, store-backed check, watch
+        construction) happens **before** any response byte leaves, so every
+        failure still answers the canonical JSON error envelope.  Once the
+        stream is open no status can change — a store that goes bad
+        mid-stream terminates the stream with a comment frame instead.
+        """
+        from ..pipeline.resolver import StoreSource
+        from ..watch import TraceWatch, WatchConfig, sse_frame
+
+        params = parse_watch_query(query)
+        session = self.server.resolve(params.trace)
+        source = session.source
+        if not isinstance(source, StoreSource):
+            raise ServiceError(
+                f"trace {session.name!r} is not store-backed; watch needs a "
+                ".rtz store that can grow (convert with `repro convert`)"
+            )
+        config = WatchConfig(
+            slices=params.slices, window_slices=params.window
+        ).validated()
+        watch = TraceWatch(
+            source.store.path, name=session.name, config=config
+        )
+        # Stream response: chunked by flushes, no Content-Length.  The
+        # connection cannot be reused afterwards, so advertise the close.
+        self._last_status = 200
+        self.send_response(200)
+        self.send_header("Content-Type", route.media_type)
+        self.send_header("Cache-Control", "no-store")
+        if self._request_id is not None and not self._suppress_id_echo:
+            self.send_header("X-Request-ID", self._request_id)
+        for header, value in self._extra_headers:
+            self.send_header(header, value)
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+        emitted = 0
+        polls = 0
+        try:
+            while True:
+                polls += 1
+                try:
+                    events = watch.poll()
+                except TraceIOError as exc:
+                    # Headers are long gone; a comment frame is the only
+                    # in-band way left to say why the stream ends.
+                    self.wfile.write(f": error: {exc}\n\n".encode("utf-8"))
+                    return
+                if events:
+                    for event in events:
+                        self.wfile.write(sse_frame(event).encode("utf-8"))
+                        emitted += 1
+                        if (
+                            params.max_events is not None
+                            and emitted >= params.max_events
+                        ):
+                            return
+                else:
+                    # Heartbeat comment: keeps intermediaries from timing the
+                    # stream out and surfaces client disconnects as write
+                    # errors on idle watches.
+                    self.wfile.write(b": keep-alive\n\n")
+                self.wfile.flush()
+                if params.max_polls is not None and polls >= params.max_polls:
+                    return
+                time.sleep(params.poll)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing left to answer
 
     # ------------------------------------------------------------------ #
     # POST handlers

@@ -36,7 +36,9 @@ __all__ = [
     "deprecation_headers",
     "parse_debug_trace_query",
     "parse_traces_query",
+    "parse_watch_query",
     "DEFAULT_TRACES_LIMIT",
+    "WatchQuery",
 ]
 
 #: Default page size of ``GET /v1/traces`` — listings are bounded unless the
@@ -136,6 +138,30 @@ ROUTES: Tuple[Route, ...] = (
             QueryParam("digest", "string", "Exact-match content-digest filter."),
         ),
         error_statuses=(400,),
+    ),
+    Route(
+        "GET", "/v1/watch/events", "watch_events",
+        "Server-Sent-Events stream of continuous-monitoring events (drift, "
+        "anomaly, rebuild, stalled) for one store-backed trace; `data:` "
+        "payloads are byte-identical to `repro watch --json` lines.",
+        query_params=(
+            QueryParam("trace", "string",
+                       "Served trace name; may be omitted when exactly one "
+                       "trace is served."),
+            QueryParam("slices", "integer",
+                       "Time slices for the initial model build (default: 30)."),
+            QueryParam("window", "integer",
+                       "Trailing window width in slices scored each poll "
+                       "(default: 10)."),
+            QueryParam("poll", "number",
+                       "Seconds between store polls (default: 1.0)."),
+            QueryParam("max_events", "integer",
+                       "Close the stream after this many events."),
+            QueryParam("max_polls", "integer",
+                       "Close the stream after this many polls."),
+        ),
+        error_statuses=(400, 404, 500),
+        media_type="text/event-stream",
     ),
     Route(
         "POST", "/v1/analyze", "analyze",
@@ -250,6 +276,59 @@ def parse_debug_trace_query(query: str) -> "Optional[int]":
         if limit < 1:
             raise RequestError(f"limit must be >= 1, got {limit}", field="limit")
     return limit
+
+
+@dataclass(frozen=True)
+class WatchQuery:
+    """Validated query parameters of ``GET /v1/watch/events``."""
+
+    trace: Optional[str] = None
+    slices: int = 30
+    window: int = 10
+    poll: float = 1.0
+    max_events: Optional[int] = None
+    max_polls: Optional[int] = None
+
+
+def parse_watch_query(query: str) -> WatchQuery:
+    """Parse ``GET /v1/watch/events`` query parameters.
+
+    Shared by the single server (which runs the watch loop) and the cluster
+    front (which routes on ``trace`` before relaying the stream), so both
+    reject malformed requests with identical envelopes before any SSE bytes
+    are written.
+    """
+    values: Dict[str, object] = {}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        if key == "trace":
+            values["trace"] = value
+        elif key in ("slices", "window", "max_events", "max_polls"):
+            try:
+                parsed = int(value)
+            except ValueError:
+                raise RequestError(
+                    f"{key} must be an integer, got {value!r}", field=key
+                ) from None
+            if parsed < 1:
+                raise RequestError(f"{key} must be >= 1, got {parsed}", field=key)
+            values[key] = parsed
+        elif key == "poll":
+            try:
+                poll = float(value)
+            except ValueError:
+                raise RequestError(
+                    f"poll must be a number, got {value!r}", field="poll"
+                ) from None
+            if poll <= 0:
+                raise RequestError(f"poll must be positive, got {poll}", field="poll")
+            values["poll"] = poll
+        else:
+            raise RequestError(
+                f"unknown query parameter {key!r}; expected trace, slices, "
+                "window, poll, max_events or max_polls",
+                field=key,
+            )
+    return WatchQuery(**values)  # type: ignore[arg-type]
 
 
 def parse_traces_query(query: str) -> "Tuple[Optional[int], int, Optional[str]]":

@@ -19,7 +19,7 @@ from .format import (
     trace_digest,
 )
 from .store import TraceStore, is_store, open_store, save_store
-from .stream import SyncResult, sync_store
+from .stream import SyncResult, read_live_source, sync_store
 from .writer import StoreWriter
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "TraceStore",
     "StoreWriter",
     "SyncResult",
+    "read_live_source",
     "sync_store",
     "save_store",
     "open_store",

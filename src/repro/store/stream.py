@@ -24,18 +24,49 @@ assert.
 
 from __future__ import annotations
 
+import io
 import os
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from ..core.hierarchy import Hierarchy
+from ..trace.io import TraceIOError, parse_csv, parse_paje
+from ..trace.states import StateRegistry
 from ..trace.trace import Trace
 from .format import DEFAULT_CHUNK_ROWS, TraceColumns
 from .store import TraceStore, is_store, open_store, save_store
 from .writer import StoreWriter
 
-__all__ = ["SyncResult", "sync_store"]
+__all__ = ["SyncResult", "read_live_source", "sync_store"]
+
+
+def read_live_source(
+    path: "str | os.PathLike[str]",
+    source_format: str = "csv",
+    hierarchy: "Hierarchy | None" = None,
+    states: "StateRegistry | None" = None,
+) -> Trace:
+    """Parse a CSV/Pajé source that may still be growing, tail-safely.
+
+    A tracer that is mid-write at poll time leaves a truncated final line in
+    the file.  Naively re-reading it either fails (half a row) or — worse —
+    parses *successfully* with a wrong value (``"3."`` is valid ``3.0`` for a
+    timestamp that will finish as ``3.5``), which makes the next poll see
+    rewritten history and needlessly rebuild the store.  This reader parses
+    only the newline-terminated prefix; a partial trailing line is picked up
+    by a later poll once the producer terminates it.
+    """
+    source = Path(os.fspath(path))
+    data = source.read_bytes()
+    cut = data.rfind(b"\n") + 1
+    try:
+        text = data[:cut].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceIOError(f"{source}: not valid UTF-8 text: {exc}") from exc
+    parser = parse_paje if source_format == "paje" else parse_csv
+    return parser(source, io.StringIO(text), hierarchy=hierarchy, states=states)
 
 
 @dataclass(frozen=True)

@@ -14,10 +14,12 @@ from .io import (
 )
 from .states import MPI_STATES, StateRegistry, StateRegistryError, mpi_state_registry
 from .synthetic import (
+    MONITORING_SCENARIOS,
     block_trace,
     figure3_hierarchy,
     figure3_proportions,
     figure3_trace,
+    monitoring_scenario,
     phased_trace,
     random_trace,
     trace_from_proportions,
@@ -56,4 +58,6 @@ __all__ = [
     "random_trace",
     "block_trace",
     "phased_trace",
+    "MONITORING_SCENARIOS",
+    "monitoring_scenario",
 ]

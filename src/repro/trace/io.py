@@ -31,9 +31,11 @@ from .trace import Trace, TraceError
 __all__ = [
     "write_csv",
     "read_csv",
+    "parse_csv",
     "csv_size_bytes",
     "write_paje",
     "read_paje",
+    "parse_paje",
     "write_metadata",
     "read_metadata",
     "TraceIOError",
@@ -133,52 +135,68 @@ def read_csv(
     in the file (leaf order = order of first appearance).
     """
     source = Path(path)
+    with source.open("r", newline="") as handle:
+        return parse_csv(source, handle, hierarchy=hierarchy, states=states)
+
+
+def parse_csv(
+    source: Path,
+    handle: "io.TextIOBase",
+    hierarchy: Hierarchy | None = None,
+    states: StateRegistry | None = None,
+) -> Trace:
+    """Parse CSV trace text from an already-open handle.
+
+    ``source`` is only used to label error messages.  Exposed separately from
+    :func:`read_csv` so tailing callers (``repro stream`` / ``repro watch``)
+    can feed the newline-terminated prefix of a file that is still being
+    written — see :func:`repro.store.read_live_source`.
+    """
     intervals: list[StateInterval] = []
     leaf_paths: list[tuple[str, ...]] = []
     seen: set[tuple[str, ...]] = set()
-    with source.open("r", newline="") as handle:
-        reader = csv.reader(handle)
-        line_number = 1
-        try:
-            header = next(reader, None)
-            if header is None or tuple(header) != CSV_HEADER:
-                raise TraceIOError(f"{source}: missing or invalid CSV header: {header!r}")
-            for line_number, row in enumerate(reader, start=2):
-                if not row:
-                    continue
-                if len(row) != 4:
-                    raise TraceIOError(
-                        f"{source}:{line_number}: expected 4 columns, got {len(row)}"
-                    )
-                resource_path, state, start_text, end_text = row
-                parts = tuple(p for p in resource_path.split("/") if p)
-                if not parts:
-                    raise TraceIOError(f"{source}:{line_number}: empty resource path")
-                try:
-                    start = float(start_text)
-                    end = float(end_text)
-                except ValueError as exc:
-                    raise TraceIOError(f"{source}:{line_number}: invalid timestamps") from exc
-                if parts not in seen:
-                    seen.add(parts)
-                    leaf_paths.append(parts)
-                try:
-                    interval = StateInterval(
-                        start=start, end=end, resource=parts[-1], state=state
-                    )
-                except EventError as exc:
-                    # Reversed or non-finite interval bounds, empty state name.
-                    raise TraceIOError(
-                        f"{source}:{line_number}: invalid interval: {exc}"
-                    ) from exc
-                intervals.append(interval)
-        except csv.Error as exc:
-            # Malformed CSV structure (NUL bytes, unterminated quotes, ...).
-            raise TraceIOError(
-                f"{source}:{max(reader.line_num, line_number)}: malformed CSV: {exc}"
-            ) from exc
-        except UnicodeDecodeError as exc:
-            raise TraceIOError(f"{source}: not valid UTF-8 text: {exc}") from exc
+    reader = csv.reader(handle)
+    line_number = 1
+    try:
+        header = next(reader, None)
+        if header is None or tuple(header) != CSV_HEADER:
+            raise TraceIOError(f"{source}: missing or invalid CSV header: {header!r}")
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 4:
+                raise TraceIOError(
+                    f"{source}:{line_number}: expected 4 columns, got {len(row)}"
+                )
+            resource_path, state, start_text, end_text = row
+            parts = tuple(p for p in resource_path.split("/") if p)
+            if not parts:
+                raise TraceIOError(f"{source}:{line_number}: empty resource path")
+            try:
+                start = float(start_text)
+                end = float(end_text)
+            except ValueError as exc:
+                raise TraceIOError(f"{source}:{line_number}: invalid timestamps") from exc
+            if parts not in seen:
+                seen.add(parts)
+                leaf_paths.append(parts)
+            try:
+                interval = StateInterval(
+                    start=start, end=end, resource=parts[-1], state=state
+                )
+            except EventError as exc:
+                # Reversed or non-finite interval bounds, empty state name.
+                raise TraceIOError(
+                    f"{source}:{line_number}: invalid interval: {exc}"
+                ) from exc
+            intervals.append(interval)
+    except csv.Error as exc:
+        # Malformed CSV structure (NUL bytes, unterminated quotes, ...).
+        raise TraceIOError(
+            f"{source}:{max(reader.line_num, line_number)}: malformed CSV: {exc}"
+        ) from exc
+    except UnicodeDecodeError as exc:
+        raise TraceIOError(f"{source}: not valid UTF-8 text: {exc}") from exc
     if hierarchy is None:
         hierarchy = _build_hierarchy(source, leaf_paths)
     return _build_trace(source, intervals, hierarchy, states)
@@ -229,58 +247,72 @@ def read_paje(
     duration-preserving decomposition.
     """
     source = Path(path)
+    with source.open("r") as handle:
+        return parse_paje(source, handle, hierarchy=hierarchy, states=states)
+
+
+def parse_paje(
+    source: Path,
+    handle: "io.TextIOBase",
+    hierarchy: Hierarchy | None = None,
+    states: StateRegistry | None = None,
+) -> Trace:
+    """Parse Pajé-like event text from an already-open handle.
+
+    ``source`` is only used to label error messages; see :func:`parse_csv`
+    for why the handle-based form exists.
+    """
     open_states: dict[tuple[str, str], list[float]] = {}
     intervals: list[StateInterval] = []
     leaf_paths: list[tuple[str, ...]] = []
     seen: set[tuple[str, ...]] = set()
-    with source.open("r") as handle:
-        line_number = 0
-        try:
-            for line_number, raw_line in enumerate(handle, start=1):
-                line = raw_line.strip()
-                if not line or line.startswith("#"):
-                    continue
-                parts = line.split()
-                if len(parts) != 4:
+    line_number = 0
+    try:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise TraceIOError(
+                    f"{source}:{line_number}: expected 4 fields, got {len(parts)}"
+                )
+            kind, timestamp_text, resource_path, state = parts
+            try:
+                timestamp = float(timestamp_text)
+            except ValueError as exc:
+                raise TraceIOError(f"{source}:{line_number}: invalid timestamp") from exc
+            path_parts = tuple(p for p in resource_path.split("/") if p)
+            if not path_parts:
+                raise TraceIOError(f"{source}:{line_number}: empty resource path")
+            if path_parts not in seen:
+                seen.add(path_parts)
+                leaf_paths.append(path_parts)
+            resource = path_parts[-1]
+            key = (resource, state)
+            if kind == "PajePushState":
+                open_states.setdefault(key, []).append(timestamp)
+            elif kind == "PajePopState":
+                queue = open_states.get(key)
+                if not queue:
                     raise TraceIOError(
-                        f"{source}:{line_number}: expected 4 fields, got {len(parts)}"
+                        f"{source}:{line_number}: PajePopState without matching push for {key}"
                     )
-                kind, timestamp_text, resource_path, state = parts
+                start = queue.pop(0)
                 try:
-                    timestamp = float(timestamp_text)
-                except ValueError as exc:
-                    raise TraceIOError(f"{source}:{line_number}: invalid timestamp") from exc
-                path_parts = tuple(p for p in resource_path.split("/") if p)
-                if not path_parts:
-                    raise TraceIOError(f"{source}:{line_number}: empty resource path")
-                if path_parts not in seen:
-                    seen.add(path_parts)
-                    leaf_paths.append(path_parts)
-                resource = path_parts[-1]
-                key = (resource, state)
-                if kind == "PajePushState":
-                    open_states.setdefault(key, []).append(timestamp)
-                elif kind == "PajePopState":
-                    queue = open_states.get(key)
-                    if not queue:
-                        raise TraceIOError(
-                            f"{source}:{line_number}: PajePopState without matching push for {key}"
-                        )
-                    start = queue.pop(0)
-                    try:
-                        interval = StateInterval(
-                            start=start, end=timestamp, resource=resource, state=state
-                        )
-                    except EventError as exc:
-                        # Pop before its push, or a non-finite timestamp pair.
-                        raise TraceIOError(
-                            f"{source}:{line_number}: invalid interval: {exc}"
-                        ) from exc
-                    intervals.append(interval)
-                else:
-                    raise TraceIOError(f"{source}:{line_number}: unknown event kind {kind!r}")
-        except UnicodeDecodeError as exc:
-            raise TraceIOError(f"{source}: not valid UTF-8 text: {exc}") from exc
+                    interval = StateInterval(
+                        start=start, end=timestamp, resource=resource, state=state
+                    )
+                except EventError as exc:
+                    # Pop before its push, or a non-finite timestamp pair.
+                    raise TraceIOError(
+                        f"{source}:{line_number}: invalid interval: {exc}"
+                    ) from exc
+                intervals.append(interval)
+            else:
+                raise TraceIOError(f"{source}:{line_number}: unknown event kind {kind!r}")
+    except UnicodeDecodeError as exc:
+        raise TraceIOError(f"{source}: not valid UTF-8 text: {exc}") from exc
     dangling = {key: stack for key, stack in open_states.items() if stack}
     if dangling:
         raise TraceIOError(f"{source}: unmatched push events: {sorted(dangling)}")

@@ -25,6 +25,8 @@ __all__ = [
     "random_trace",
     "block_trace",
     "phased_trace",
+    "MONITORING_SCENARIOS",
+    "monitoring_scenario",
 ]
 
 
@@ -286,3 +288,99 @@ def phased_trace(
         "perturbation_window": perturbation_window,
     }
     return Trace(intervals, hierarchy=hierarchy, states=registry, metadata=metadata)
+
+
+# --------------------------------------------------------------------------- #
+# Continuous-monitoring scenarios
+# --------------------------------------------------------------------------- #
+#: Fault scenarios the watch detection harness injects (plus the clean
+#: control the zero-false-positive assertion runs on).
+MONITORING_SCENARIOS = (
+    "clean",
+    "cascading_failure",
+    "periodic_interference",
+    "gradual_imbalance",
+)
+
+
+def monitoring_scenario(
+    scenario: str = "clean",
+    n_resources: int = 16,
+    n_slices: int = 60,
+    injection_slice: int = 40,
+    magnitude: float = 0.6,
+    period: int = 6,
+    ramp_slices: int = 10,
+    fanout: int = 4,
+    slice_duration: float = 1.0,
+) -> Trace:
+    """A watch-harness trace: steady blocking baseline plus one fault shape.
+
+    The baseline is deliberately noise-free — each resource holds its own
+    constant ``MPI_Wait`` proportion (``linspace(0.1, 0.3)``) forever — so
+    every trailing window of the clean control scores identically and any
+    event a watch emits on it is a genuine false positive.  The fault
+    scenarios perturb that baseline from ``injection_slice`` on:
+
+    * ``cascading_failure`` — the first half of the resources lock up at
+      ``base + magnitude`` blocking one after another, one slice apart
+      (resource *i* fails at ``injection_slice + i``);
+    * ``periodic_interference`` — every resource spikes for one slice every
+      ``period`` slices;
+    * ``gradual_imbalance`` — the last quarter of the resources ramps
+      linearly to ``base + magnitude`` over ``ramp_slices`` slices.
+
+    Metadata records the ground truth (scenario, injection slice/time,
+    injected resource names) for the detection-lag harness.
+    """
+    if scenario not in MONITORING_SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; expected one of {MONITORING_SCENARIOS}"
+        )
+    if n_resources < 4:
+        raise ValueError("monitoring scenarios need at least 4 resources")
+    if not 0 < injection_slice < n_slices:
+        raise ValueError("injection_slice must fall inside the trace")
+    if not 0.0 < magnitude <= 1.0:
+        raise ValueError("magnitude must be in (0, 1]")
+    if period < 2:
+        raise ValueError("period must be at least 2 slices")
+    if ramp_slices < 1:
+        raise ValueError("ramp_slices must be at least 1")
+
+    base = np.linspace(0.1, 0.3, n_resources)
+    blocking = np.tile(base[:, None], (1, n_slices))
+    injected: list[int] = []
+    if scenario == "cascading_failure":
+        injected = list(range(n_resources // 2))
+        for offset, resource in enumerate(injected):
+            onset = injection_slice + offset
+            if onset < n_slices:
+                blocking[resource, onset:] = min(0.95, base[resource] + magnitude)
+    elif scenario == "periodic_interference":
+        injected = list(range(n_resources))
+        for t in range(injection_slice, n_slices, period):
+            blocking[:, t] = np.minimum(0.95, base + magnitude)
+    elif scenario == "gradual_imbalance":
+        injected = list(range(n_resources - max(1, n_resources // 4), n_resources))
+        ramp_end = min(n_slices, injection_slice + ramp_slices)
+        for resource in injected:
+            top = min(0.95, base[resource] + magnitude)
+            ramp = np.linspace(base[resource], top, ramp_end - injection_slice)
+            blocking[resource, injection_slice:ramp_end] = ramp
+            blocking[resource, ramp_end:] = top
+
+    rho = np.stack([1.0 - blocking, blocking], axis=2)
+    hierarchy = Hierarchy.balanced(n_resources, fanout=fanout)
+    trace = trace_from_proportions(
+        rho, hierarchy, ("compute", "MPI_Wait"), slice_duration=slice_duration
+    )
+    names = hierarchy.leaf_names
+    trace.metadata["generator"] = "monitoring_scenario"
+    trace.metadata["scenario"] = scenario
+    trace.metadata["injection_slice"] = injection_slice if scenario != "clean" else None
+    trace.metadata["injection_time"] = (
+        injection_slice * slice_duration if scenario != "clean" else None
+    )
+    trace.metadata["injected_resources"] = [names[index] for index in injected]
+    return trace

@@ -1,0 +1,40 @@
+"""Continuous monitoring (``repro watch``): tail → detect → alert.
+
+Turns the paper's post-mortem spatiotemporal analysis into live fleet
+monitoring.  A :class:`TraceWatch` tails one growing ``.rtz`` store through
+:meth:`~repro.store.TraceStore.refresh`, grows a streaming microscopic model
+incrementally (:meth:`~repro.core.MicroscopicModel.extend`), scores the
+trailing window of every poll against a pinned baseline (partition Jaccard
+and deviation deltas, the same machinery as ``repro compare``) and runs the
+anomaly detectors on it — emitting typed :class:`WatchEvent` records.  A
+:class:`StoreWatcher` multiplexes N stores; the ``repro watch`` CLI and the
+service's ``GET /v1/watch/events`` SSE route both drain the same poll loop
+and serialize events through :func:`serialize_event`, so their payloads are
+byte-identical by construction.
+"""
+
+from .events import (
+    EVENT_TYPES,
+    WATCH_SCHEMA,
+    WatchEvent,
+    event_payload,
+    format_event,
+    serialize_event,
+    sse_frame,
+)
+from .watcher import StoreWatcher, TraceWatch, WatchConfig, WindowScore, score_drift
+
+__all__ = [
+    "EVENT_TYPES",
+    "WATCH_SCHEMA",
+    "WatchEvent",
+    "event_payload",
+    "format_event",
+    "serialize_event",
+    "sse_frame",
+    "StoreWatcher",
+    "TraceWatch",
+    "WatchConfig",
+    "WindowScore",
+    "score_drift",
+]

@@ -1,0 +1,133 @@
+"""Watch events and their single serializer.
+
+Server-Sent-Events ``data:`` lines must not contain newlines, so watch
+events get their own compact single-line serializer instead of the pretty
+:func:`~repro.pipeline.payloads.serialize_payload`.  ``repro watch --json``
+prints exactly :func:`serialize_event` per event and the SSE route frames
+exactly the same text — byte-identity between the two transports holds by
+construction, the same property the pipeline serializer gives the analysis
+payloads.
+
+Event payloads carry no wall-clock timestamps: every field is derived from
+trace content (slice indices, model times, generations, sequence numbers),
+so identical store content produces identical event bytes — which is what
+the differential tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+from ..pipeline.payloads import meta_section
+
+__all__ = [
+    "EVENT_TYPES",
+    "WATCH_SCHEMA",
+    "WatchEvent",
+    "event_payload",
+    "serialize_event",
+    "sse_frame",
+    "format_event",
+]
+
+WATCH_SCHEMA = "repro.watch-event/1"
+
+#: Every event type a watch can emit.
+#:
+#: * ``baseline`` — a reference window was (re)pinned; drift is scored
+#:   against it from the next poll on;
+#: * ``drift`` — the trailing window's partition/deviation moved away from
+#:   the pinned baseline;
+#: * ``anomaly`` — the deviation detector flagged a window of excess
+#:   blocking inside the trailing window;
+#: * ``rebuild`` — the store was rewritten on disk and the watch reopened it
+#:   at the bumped generation;
+#: * ``stalled`` — the store stopped growing for the configured number of
+#:   polls.
+EVENT_TYPES = ("baseline", "drift", "anomaly", "rebuild", "stalled")
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """One typed monitoring event.
+
+    ``sequence`` is a per-watch monotonic counter (0-based) so consumers can
+    detect gaps; ``generation`` is the store's append generation at emit
+    time, tying the event to a content snapshot exactly like analysis
+    payloads do.
+    """
+
+    type: str
+    trace: str
+    sequence: int
+    generation: int
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+
+def event_payload(event: WatchEvent) -> Dict[str, Any]:
+    """The canonical payload dict of one event (schema + meta + fields)."""
+    return {
+        "schema": WATCH_SCHEMA,
+        "meta": meta_section(),
+        "type": event.type,
+        "trace": event.trace,
+        "sequence": int(event.sequence),
+        "generation": int(event.generation),
+        "data": dict(event.data),
+    }
+
+
+def serialize_event(event: WatchEvent) -> str:
+    """Canonical single-line JSON of one event.
+
+    Compact separators and sorted keys: one line per event on every
+    transport (``--json`` stdout, SSE ``data:`` frames, the smoke harness's
+    grep), no trailing newline.
+    """
+    return json.dumps(
+        event_payload(event), sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def sse_frame(event: WatchEvent) -> str:
+    """The Server-Sent-Events frame of one event (``event:`` + ``data:``)."""
+    return f"event: {event.type}\ndata: {serialize_event(event)}\n\n"
+
+
+def format_event(event: WatchEvent) -> str:
+    """Human-readable one-liner (the CLI's default, non-``--json`` output)."""
+    data = event.data
+    prefix = f"[{event.trace}] g{event.generation} {event.type}"
+    if event.type == "baseline":
+        window = data.get("window", {})
+        return (
+            f"{prefix}: pinned slices {window.get('start_slice')}–"
+            f"{window.get('end_slice')} "
+            f"({data.get('partition_size')} aggregates, {data.get('reason')})"
+        )
+    if event.type == "drift":
+        window = data.get("window", {})
+        return (
+            f"{prefix}: jaccard {data.get('jaccard', 0.0):.3f}, "
+            f"{data.get('n_shifted')} resources shifted "
+            f"(slices {window.get('start_slice')}–{window.get('end_slice')})"
+        )
+    if event.type == "anomaly":
+        resources = data.get("resources", ())
+        return (
+            f"{prefix}: slices {data.get('start_slice')}–{data.get('end_slice')}, "
+            f"{len(resources)} resources, score {data.get('score', 0.0):.3f}"
+        )
+    if event.type == "rebuild":
+        return (
+            f"{prefix}: store rewritten on disk, reopened at "
+            f"{data.get('n_intervals')} intervals"
+        )
+    if event.type == "stalled":
+        return (
+            f"{prefix}: no growth for {data.get('idle_polls')} polls "
+            f"({data.get('n_intervals')} intervals)"
+        )
+    return prefix

@@ -1,0 +1,451 @@
+"""The watch engine: poll a growing store, score the trailing window.
+
+One :class:`TraceWatch` owns one ``.rtz`` store.  Each :meth:`TraceWatch.poll`:
+
+1. refreshes the store handle — appended rows grow the streaming model
+   through :meth:`~repro.core.MicroscopicModel.extend` (fixed slice width,
+   O(new rows), never a re-discretization); a rewritten store is reopened at
+   its bumped generation and reported as a ``rebuild`` event instead of
+   crashing the loop (``StoreRewrittenError`` is a poll outcome here, not an
+   error);
+2. scores the trailing ``window_slices``-wide window: the first full-width
+   window is pinned as the **baseline**; later windows are compared to it by
+   partition-footprint Jaccard and per-resource deviation deltas (the same
+   measures ``repro compare`` reports) → ``drift`` events;
+3. runs :func:`~repro.analysis.anomaly.detect_deviating_cells` on the window
+   → ``anomaly`` events, deduplicated by absolute start slice so a
+   perturbation sliding through the window is reported once;
+4. emits ``stalled`` when the store stops growing for ``stalled_polls``
+   consecutive polls.
+
+:class:`StoreWatcher` multiplexes N watches into one poll loop for the CLI.
+All scoring is pure content → events; nothing reads the wall clock, so
+identical store content yields identical event streams.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.anomaly import detect_deviating_cells, deviation_matrix
+from ..batch.compare import shift_threshold
+from ..core.microscopic import MicroscopicModel
+from ..core.spatiotemporal import SpatiotemporalAggregator
+from ..pipeline.errors import PipelineError
+from ..store import StoreRewrittenError, TraceStore, open_store
+from .events import WatchEvent
+
+__all__ = [
+    "WatchConfig",
+    "WindowScore",
+    "score_drift",
+    "TraceWatch",
+    "StoreWatcher",
+]
+
+
+@dataclass(frozen=True)
+class WatchConfig:
+    """Knobs of one watch (shared by the CLI and the SSE route)."""
+
+    #: Slice count of the streaming model at first build; the slice width is
+    #: pinned there and kept as the model grows.
+    slices: int = 30
+    #: Width (in slices) of the trailing window scored on every poll —
+    #: ``--window last:K``.
+    window_slices: int = 10
+    #: Aggregation trade-off parameter of the windowed partitions.
+    p: float = 0.7
+    #: Aggregation operator (registry name).
+    operator: str = "mean"
+    #: Excess-blocking proportion above which a cell is anomalous.
+    anomaly_threshold: float = 0.15
+    #: Partition Jaccard against the baseline below which drift is reported.
+    drift_jaccard: float = 0.8
+    #: Minimum per-resource deviation-mean delta against the baseline that
+    #: counts as a shift (floored by the compare module's relative
+    #: threshold); deviations are proportions, so 0.05 = five points of
+    #: extra blocking.
+    min_shift: float = 0.05
+    #: Consecutive growth-free polls before one ``stalled`` event.
+    stalled_polls: int = 5
+
+    def validated(self) -> "WatchConfig":
+        """Self, after validating every field (raises :class:`PipelineError`)."""
+        if self.slices < 1:
+            raise PipelineError("slices must be at least 1")
+        if self.window_slices < 1:
+            raise PipelineError("window must cover at least 1 slice")
+        if not 0.0 <= self.p <= 1.0:
+            raise PipelineError("p must be within [0, 1]")
+        if self.anomaly_threshold <= 0:
+            raise PipelineError("anomaly threshold must be positive")
+        if not 0.0 <= self.drift_jaccard <= 1.0:
+            raise PipelineError("drift jaccard threshold must be within [0, 1]")
+        if self.min_shift < 0:
+            raise PipelineError("min shift must be non-negative")
+        if self.stalled_polls < 1:
+            raise PipelineError("stalled poll count must be at least 1")
+        return self
+
+
+@dataclass(frozen=True)
+class WindowScore:
+    """Everything drift scoring needs about one scored window.
+
+    ``footprints`` are the partition's aggregate footprints with slice
+    indices **relative to the window start**, so two windows of the same
+    width compare translation-invariantly; ``deviation_means`` are the
+    per-resource means of the excess-blocking deviation matrix (slice-count
+    independent).
+    """
+
+    start_slice: int
+    end_slice: int
+    width: int
+    start_time: float
+    end_time: float
+    footprints: "frozenset[Tuple[int, int, int, int]]"
+    partition_size: int
+    resources: Tuple[str, ...]
+    deviation_means: Tuple[float, ...]
+
+    def window_block(self) -> Dict[str, Any]:
+        """The ``window`` sub-dict stamped into event data."""
+        return {
+            "start_slice": int(self.start_slice),
+            "end_slice": int(self.end_slice),
+            "width": int(self.width),
+            "start_time": float(self.start_time),
+            "end_time": float(self.end_time),
+        }
+
+
+def score_drift(
+    baseline: WindowScore, current: WindowScore, min_shift: float = 0.05
+) -> Dict[str, Any]:
+    """Drift of ``current`` relative to ``baseline``.
+
+    Jaccard over window-relative partition footprints plus per-resource
+    deviation-mean deltas (``current - baseline``), classified as shifted
+    with the compare module's relative threshold floored by ``min_shift``.
+    Windows of different widths or resource sets still score (the Jaccard is
+    simply low and only common resources are compared), so a slice-width
+    change cannot crash the loop — the watcher re-pins its baseline instead
+    of scoring across widths, but the function itself is total.
+    """
+    matched = baseline.footprints & current.footprints
+    union = len(baseline.footprints | current.footprints)
+    jaccard = (len(matched) / union) if union else 1.0
+    rows = [
+        {
+            "resource": name,
+            "current": float(current.deviation_means[index]),
+            "baseline": float(baseline.deviation_means[index]),
+            "delta": float(
+                current.deviation_means[index] - baseline.deviation_means[index]
+            ),
+        }
+        for index, name in enumerate(current.resources)
+        if index < len(baseline.resources) and baseline.resources[index] == name
+    ]
+    compare_rows = [
+        {"a": row["current"], "b": row["baseline"], "delta": row["delta"]}
+        for row in rows
+    ]
+    threshold = max(shift_threshold(compare_rows), float(min_shift))
+    shifted = [row for row in rows if abs(row["delta"]) > threshold]
+    shifted.sort(key=lambda row: (-abs(float(row["delta"])), str(row["resource"])))
+    return {
+        "jaccard": jaccard,
+        "n_matched": len(matched),
+        "n_only_current": len(current.footprints) - len(matched),
+        "n_only_baseline": len(baseline.footprints) - len(matched),
+        "n_shifted": len(shifted),
+        "shifted": shifted,
+    }
+
+
+class TraceWatch:
+    """Tail one growing ``.rtz`` store and turn growth into events.
+
+    Not thread-safe: one poll loop owns a watch (the SSE handler and the CLI
+    each run their own).  ``_rewrite_hook`` is a test seam called at the top
+    of every poll, before the refresh — tests rewrite the store there to
+    exercise recovery deterministically.
+    """
+
+    def __init__(
+        self,
+        path: "str | os.PathLike[str]",
+        name: "str | None" = None,
+        config: "WatchConfig | None" = None,
+        store: "TraceStore | None" = None,
+    ) -> None:
+        self._path = Path(os.fspath(path))
+        self._name = name if name is not None else self._path.stem
+        self._config = (config if config is not None else WatchConfig()).validated()
+        self._store = store if store is not None else open_store(self._path)
+        self._model: Optional[MicroscopicModel] = None
+        self._baseline: Optional[WindowScore] = None
+        self._sequence = 0
+        self._idle_polls = 0
+        self._stalled = False
+        self._seen_anomalies: "set[int]" = set()
+        self._rewrite_hook: Optional[Callable[[], None]] = None
+
+    @property
+    def name(self) -> str:
+        """Event-stream name of the watched store."""
+        return self._name
+
+    @property
+    def path(self) -> Path:
+        """Path of the watched store."""
+        return self._path
+
+    @property
+    def store(self) -> TraceStore:
+        """The current store handle (replaced after a rebuild)."""
+        return self._store
+
+    @property
+    def config(self) -> WatchConfig:
+        """The validated watch configuration."""
+        return self._config
+
+    @property
+    def baseline(self) -> Optional[WindowScore]:
+        """The pinned baseline window, once enough slices exist."""
+        return self._baseline
+
+    # ------------------------------------------------------------------ #
+    # Poll loop
+    # ------------------------------------------------------------------ #
+    def poll(self) -> List[WatchEvent]:
+        """One tail-detect step; returns the events this poll produced."""
+        if self._rewrite_hook is not None:
+            self._rewrite_hook()
+        events: List[WatchEvent] = []
+        grew = False
+        if self._model is None:
+            # First poll (or the poll after a rebuild): build the streaming
+            # model from the store's current content and score it.
+            self._model = self._store.model(self._config.slices)
+            self._model.cumulative_tables()
+            grew = True
+        else:
+            try:
+                tail = self._store.refresh()
+            except StoreRewrittenError:
+                events.append(self._reopen_rewritten())
+                self._model = self._store.model(self._config.slices)
+                self._model.cumulative_tables()
+                grew = True
+            else:
+                if tail is not None and tail.n_rows > 0:
+                    self._model = self._model.extend(tail)
+                    grew = True
+        if not grew:
+            self._idle_polls += 1
+            if not self._stalled and self._idle_polls >= self._config.stalled_polls:
+                self._stalled = True
+                events.append(
+                    self._event(
+                        "stalled",
+                        {
+                            "idle_polls": int(self._idle_polls),
+                            "n_intervals": int(self._store.n_intervals),
+                        },
+                    )
+                )
+            return events
+        self._idle_polls = 0
+        self._stalled = False
+        events.extend(self._score_window())
+        return events
+
+    def _reopen_rewritten(self) -> WatchEvent:
+        """Recover from a store rewritten on disk; returns the ``rebuild`` event.
+
+        The fresh handle carries the bumped generation; every cached view —
+        model, baseline, anomaly dedup — is stale across a rewrite and is
+        dropped.
+        """
+        self._store = open_store(self._path)
+        self._model = None
+        self._baseline = None
+        self._seen_anomalies.clear()
+        self._idle_polls = 0
+        self._stalled = False
+        return self._event(
+            "rebuild",
+            {
+                "digest": str(self._store.digest),
+                "n_intervals": int(self._store.n_intervals),
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def _complete_slices(self) -> int:
+        """Slices fully covered by data — the only ones worth scoring.
+
+        A producer mid-slice leaves the model's last slice partially filled
+        (and slice-edge float dust can even append an entirely empty slice);
+        scoring a half-empty slice fragments the window partition and fires
+        spurious drift.  The window therefore ends at the last slice whose
+        right edge lies within the data; the partial tail is scored by a
+        later poll once it fills.
+        """
+        model = self._model
+        assert model is not None
+        edges = model.slicing.edges
+        data_end = float(self._store.end)
+        tolerance = 1e-9 * max(1.0, abs(data_end))
+        complete = int(np.searchsorted(edges, data_end + tolerance, side="right")) - 1
+        return max(0, min(complete, model.n_slices))
+
+    def _score_window(self) -> List[WatchEvent]:
+        model = self._model
+        assert model is not None
+        n = self._complete_slices()
+        width = min(self._config.window_slices, n)
+        if width < 1 or n < 1:
+            return []  # nothing to score yet (e.g. rebuilt to an empty span)
+        model.cumulative_tables()
+        window_model = model.window(n - width, n)
+        score = self._window_score(window_model, n - width)
+        events: List[WatchEvent] = []
+        if self._baseline is None or self._baseline.width != width:
+            # First scored poll, or the effective width changed (a rebuild,
+            # or K ≥ n_slices while the store still grows): (re)pin instead
+            # of scoring across incomparable widths.
+            reason = "start" if self._baseline is None else "window-width-change"
+            self._baseline = score
+            events.append(
+                self._event(
+                    "baseline",
+                    {
+                        "window": score.window_block(),
+                        "partition_size": int(score.partition_size),
+                        "reason": reason,
+                    },
+                )
+            )
+        else:
+            drift = score_drift(self._baseline, score, self._config.min_shift)
+            if (
+                drift["jaccard"] < self._config.drift_jaccard
+                or drift["n_shifted"] > 0
+            ):
+                events.append(
+                    self._event(
+                        "drift",
+                        {
+                            "window": score.window_block(),
+                            "jaccard": drift["jaccard"],
+                            "n_matched": drift["n_matched"],
+                            "n_only_current": drift["n_only_current"],
+                            "n_only_baseline": drift["n_only_baseline"],
+                            "n_shifted": drift["n_shifted"],
+                            "shifted": drift["shifted"][:10],
+                        },
+                    )
+                )
+        for anomaly in detect_deviating_cells(
+            window_model, threshold=self._config.anomaly_threshold
+        ):
+            start = int(anomaly.start_slice) + (n - width)
+            if start in self._seen_anomalies:
+                continue
+            self._seen_anomalies.add(start)
+            events.append(
+                self._event(
+                    "anomaly",
+                    {
+                        "start_slice": start,
+                        "end_slice": int(anomaly.end_slice) + (n - width),
+                        "start_time": float(anomaly.start_time),
+                        "end_time": float(anomaly.end_time),
+                        "score": float(anomaly.score),
+                        "resources": list(anomaly.resources),
+                    },
+                )
+            )
+        return events
+
+    def _window_score(
+        self, window_model: MicroscopicModel, offset: int
+    ) -> WindowScore:
+        aggregator = SpatiotemporalAggregator(
+            window_model, operator=self._config.operator
+        )
+        partition = aggregator.run(self._config.p)
+        footprints = frozenset(
+            (
+                aggregate.node.leaf_start,
+                aggregate.node.leaf_end,
+                int(aggregate.i),
+                int(aggregate.j),
+            )
+            for aggregate in partition
+        )
+        means = deviation_matrix(window_model).mean(axis=1)
+        edges = window_model.slicing.edges
+        return WindowScore(
+            start_slice=offset,
+            end_slice=offset + window_model.n_slices,
+            width=window_model.n_slices,
+            start_time=float(edges[0]),
+            end_time=float(edges[-1]),
+            footprints=footprints,
+            partition_size=partition.size,
+            resources=tuple(window_model.hierarchy.leaf_names),
+            deviation_means=tuple(float(value) for value in means),
+        )
+
+    def _event(self, type_: str, data: Dict[str, Any]) -> WatchEvent:
+        event = WatchEvent(
+            type=type_,
+            trace=self._name,
+            sequence=self._sequence,
+            generation=int(self._store.generation),
+            data=data,
+        )
+        self._sequence += 1
+        return event
+
+
+class StoreWatcher:
+    """N :class:`TraceWatch` instances drained by one poll loop (the CLI)."""
+
+    def __init__(
+        self,
+        paths: "Iterable[str | os.PathLike[str]]",
+        config: "WatchConfig | None" = None,
+    ) -> None:
+        self.watches: List[TraceWatch] = [
+            TraceWatch(path, config=config) for path in paths
+        ]
+        if not self.watches:
+            raise PipelineError("watch needs at least one store")
+        names = [watch.name for watch in self.watches]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise PipelineError(
+                f"duplicate watch names {duplicates}; store basenames must be unique"
+            )
+
+    def poll(self) -> List[WatchEvent]:
+        """Poll every watch once, in order; concatenated events."""
+        events: List[WatchEvent] = []
+        for watch in self.watches:
+            events.extend(watch.poll())
+        return events

@@ -1,0 +1,120 @@
+"""Shifted-resource classification and the pinned report vocabularies.
+
+The shifted threshold used to be a hard-coded absolute ``1e-12``: any trace
+pair whose deviations live at a large scale had every resource classified as
+"shifted" by float dust alone.  The threshold is now relative to the
+deviation scale, floored by the old absolute tolerance for near-zero scales.
+The report wordings are pinned here because CI smoke jobs and downstream
+tooling grep them.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.batch import (
+    analysis_params,
+    analyze_entry,
+    compare_payload,
+    compare_report,
+    entry_for_path,
+)
+from repro.batch.compare import (
+    SHIFT_ABS_TOL,
+    SHIFT_REL_TOL,
+    shift_threshold,
+    shifted_rows,
+)
+from repro.trace.io import write_csv
+from repro.trace.synthetic import phased_trace
+
+PARAMS = analysis_params(0.7, 10, "mean", 0.1)
+
+
+def _rows(*deltas, scale=1.0):
+    return [
+        {"resource": f"r{i}", "a": scale, "b": scale - d, "delta": d}
+        for i, d in enumerate(deltas)
+    ]
+
+
+class TestShiftThreshold:
+    def test_empty_deviation_uses_absolute_floor(self):
+        assert shift_threshold([]) == SHIFT_ABS_TOL
+
+    def test_near_zero_scale_uses_absolute_floor(self):
+        rows = _rows(0.0, scale=1e-6)
+        assert shift_threshold(rows) == SHIFT_ABS_TOL
+
+    def test_threshold_scales_with_deviation_magnitude(self):
+        rows = _rows(0.0, scale=1e6)
+        assert shift_threshold(rows) == pytest.approx(SHIFT_REL_TOL * 1e6)
+
+    def test_float_dust_at_large_scale_is_not_shifted(self):
+        # 1e-10 of absolute dust on values of order 1e6 is far below any
+        # meaningful shift — the old absolute 1e-12 flagged all of these.
+        rows = _rows(1e-10, -1e-10, 0.0, scale=1e6)
+        assert shifted_rows(rows) == []
+
+    def test_real_shifts_still_detected(self):
+        rows = _rows(0.25, 1e-10, scale=1.0)
+        shifted = shifted_rows(rows)
+        assert [row["resource"] for row in shifted] == ["r0"]
+
+
+@pytest.fixture()
+def payload(tmp_path):
+    """A real comparison payload of a calm trace against a perturbed twin."""
+
+    def analyzed(name, **kwargs):
+        trace = phased_trace(
+            n_resources=8,
+            phase_durations=(2.0, 6.0, 2.0),
+            phase_states=("init", "compute", "finalize"),
+            **kwargs,
+        )
+        path = tmp_path / f"{name}.csv"
+        write_csv(trace, path)
+        result, model = analyze_entry(entry_for_path(path), p=0.7, slices=10)
+        return name, result, model
+
+    a = analyzed("calm")
+    b = analyzed(
+        "noisy",
+        perturbed_resources=(2, 3),
+        perturbation_window=(4.0, 5.0),
+        perturbation_state="MPI_Wait",
+    )
+    return compare_payload(*a, *b, PARAMS)
+
+
+class TestReportVocabulary:
+    def test_compare_report_phrases(self, payload):
+        report = compare_report(payload)
+        diff = payload["partition_diff"]
+        assert "Comparison report: calm vs noisy" in report
+        assert (
+            f"partition diff: {diff['n_matched']} matched, "
+            f"{diff['n_only_a']} only in calm, "
+            f"{diff['n_only_b']} only in noisy "
+            f"(jaccard {diff['jaccard']:.3f})"
+        ) in report
+        assert "summary deltas (a - b):" in report
+        n = len(payload["deviation_delta"])
+        shifted = len(shifted_rows(payload["deviation_delta"]))
+        assert f"deviation delta: {shifted} of {n} resources shifted" in report
+        assert shifted >= 1  # the perturbation is a genuine shift
+
+    def test_compare_report_dust_only_says_zero_shifted(self, payload):
+        dusty = copy.deepcopy(payload)
+        dusty["deviation_delta"] = _rows(1e-10, -1e-10, scale=1e6)
+        report = compare_report(dusty)
+        assert "deviation delta: 0 of 2 resources shifted" in report
+
+    def test_compare_report_incompatible_grids_phrase(self, payload):
+        skipped = copy.deepcopy(payload)
+        skipped["deviation_delta"] = None
+        report = compare_report(skipped)
+        assert "deviation delta: traces are not grid-compatible (skipped)" in report

@@ -318,3 +318,59 @@ class TestClusterSigterm:
             if process.poll() is None:
                 process.kill()
             process.wait(timeout=10)
+
+
+class TestClusterMetricsGauges:
+    def test_front_reports_scraped_and_skipped_shards(self, cluster):
+        port = cluster.address[1]
+        status, body, _ = _request(port, "GET", "/v1/metrics")
+        assert status == 200
+        text = body.decode("utf-8")
+        # Both shards answered: the scrape is complete and says so.  A
+        # partial scrape (dead shard) must be visible to alerting instead of
+        # silently shrinking the exposition.
+        assert 'repro_shards_scraped{tier="front"} 2' in text
+        assert 'repro_shards_skipped{tier="front"} 0' in text
+
+    def test_dead_shard_counts_as_skipped(self, corpus_dir):
+        handle = start_cluster(
+            [], corpus=corpus_dir, shards=2, port=0,
+            config=ClusterConfig(respawn=False, request_timeout=10.0),
+        )
+        thread = threading.Thread(target=handle.serve_forever, daemon=True)
+        thread.start()
+        try:
+            handle.shards[1].process.terminate()
+            handle.shards[1].process.join(timeout=10)
+            port = handle.address[1]
+            status, body, _ = _request(port, "GET", "/v1/metrics")
+            assert status == 200
+            text = body.decode("utf-8")
+            assert 'repro_shards_scraped{tier="front"} 1' in text
+            assert 'repro_shards_skipped{tier="front"} 1' in text
+        finally:
+            handle.close()
+
+
+class TestClusterWatchRelay:
+    def test_watch_stream_relays_through_the_front(self, cluster):
+        port = cluster.address[1]
+        url = (
+            f"http://127.0.0.1:{port}/v1/watch/events"
+            "?trace=t0&poll=0.01&max_polls=3"
+        )
+        with urllib.request.urlopen(url, timeout=30) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == "text/event-stream"
+            body = response.read().decode("utf-8")
+        assert "event: baseline\n" in body
+        assert ": keep-alive\n\n" in body  # idle polls heartbeat end to end
+
+    def test_watch_error_envelopes_relay(self, cluster):
+        port = cluster.address[1]
+        status, body, _ = _request(port, "GET", "/v1/watch/events?trace=absent")
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == "not_found"
+        status, body, _ = _request(port, "GET", "/v1/watch/events?poll=junk")
+        assert status == 400
+        assert json.loads(body)["error"]["field"] == "poll"

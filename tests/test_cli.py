@@ -692,3 +692,63 @@ class TestAnalyzeTraceOut:
         assert main(["analyze", str(small_trace_csv), "--slices", "10"]) == 0
         assert current_trace() is None
         capsys.readouterr()
+
+
+class TestWatchCommand:
+    @pytest.fixture()
+    def store_path(self, tmp_path):
+        from repro.store import save_store
+        from repro.trace.synthetic import monitoring_scenario
+
+        path = tmp_path / "demo.rtz"
+        save_store(
+            monitoring_scenario("clean", n_resources=8, n_slices=20,
+                                injection_slice=10),
+            path,
+        )
+        return path
+
+    def test_watch_json_lines_match_the_sse_serializer(
+        self, store_path, capsys
+    ):
+        assert main([
+            "watch", str(store_path), "--json",
+            "--poll", "0.01", "--max-polls", "2",
+        ]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines  # the pinned baseline at least
+        from repro.watch import WatchEvent, serialize_event
+
+        for line in lines:
+            payload = json.loads(line)
+            rebuilt = WatchEvent(
+                type=payload["type"], trace=payload["trace"],
+                sequence=payload["sequence"],
+                generation=payload["generation"], data=payload["data"],
+            )
+            # Byte-identity with the SSE route's data: frames, by
+            # construction: both transports print serialize_event.
+            assert serialize_event(rebuilt) == line
+
+    def test_watch_human_output(self, store_path, capsys):
+        assert main([
+            "watch", str(store_path), "--poll", "0.01", "--max-polls", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[demo] g0 baseline" in out
+
+    def test_watch_rejects_span_windows(self, store_path, capsys):
+        assert main(["watch", str(store_path), "--window", "0:5"]) == 2
+        assert "must be 'last:K'" in capsys.readouterr().err
+
+    def test_watch_rejects_bad_poll_and_duplicates(self, store_path, capsys):
+        assert main(["watch", str(store_path), "--poll", "0"]) == 2
+        capsys.readouterr()
+        assert main(["watch", str(store_path), str(store_path)]) == 2
+        assert "duplicate watch names" in capsys.readouterr().err
+
+    def test_watch_missing_store_is_a_clean_error(self, tmp_path, capsys):
+        assert main([
+            "watch", str(tmp_path / "absent.rtz"), "--max-polls", "1",
+        ]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,78 @@
+"""Watch-event payloads and the single serializer behind CLI and SSE."""
+
+from __future__ import annotations
+
+import json
+
+from repro.pipeline.payloads import package_version
+from repro.watch import (
+    EVENT_TYPES,
+    WATCH_SCHEMA,
+    WatchEvent,
+    event_payload,
+    format_event,
+    serialize_event,
+    sse_frame,
+)
+
+
+def _event(type_: str = "drift", **data) -> WatchEvent:
+    return WatchEvent(
+        type=type_, trace="demo", sequence=3, generation=2, data=data
+    )
+
+
+class TestSerializer:
+    def test_payload_schema_and_meta(self):
+        payload = event_payload(_event())
+        assert payload["schema"] == WATCH_SCHEMA
+        assert payload["meta"] == {"api": "v1", "version": package_version()}
+        assert payload["type"] == "drift"
+        assert payload["trace"] == "demo"
+        assert payload["sequence"] == 3
+        assert payload["generation"] == 2
+
+    def test_single_line_and_sorted(self):
+        text = serialize_event(_event(jaccard=0.5, window={"start_slice": 1}))
+        assert "\n" not in text
+        assert json.loads(text) == event_payload(
+            _event(jaccard=0.5, window={"start_slice": 1})
+        )
+        # Sorted keys + compact separators: the exact canonical form.
+        assert text == json.dumps(
+            json.loads(text), sort_keys=True, separators=(",", ":")
+        )
+
+    def test_sse_frame_wraps_the_same_bytes(self):
+        event = _event("anomaly", score=0.4)
+        frame = sse_frame(event)
+        assert frame == f"event: anomaly\ndata: {serialize_event(event)}\n\n"
+
+    def test_data_copied_not_aliased(self):
+        data = {"mutable": 1}
+        payload = event_payload(WatchEvent("drift", "t", 0, 0, data))
+        payload["data"]["mutable"] = 2
+        assert data["mutable"] == 1
+
+
+class TestFormatEvent:
+    def test_every_type_formats(self):
+        windows = {"window": {"start_slice": 2, "end_slice": 12}}
+        samples = {
+            "baseline": dict(partition_size=4, reason="start", **windows),
+            "drift": dict(jaccard=0.25, n_shifted=2, **windows),
+            "anomaly": dict(
+                start_slice=4, end_slice=6, resources=["r0", "r1"], score=0.3
+            ),
+            "rebuild": dict(digest="abc", n_intervals=10),
+            "stalled": dict(idle_polls=5, n_intervals=10),
+        }
+        assert set(samples) == set(EVENT_TYPES)
+        for type_, data in samples.items():
+            line = format_event(WatchEvent(type_, "demo", 0, 1, data))
+            assert line.startswith(f"[demo] g1 {type_}")
+            assert "\n" not in line
+
+    def test_unknown_type_still_prefixes(self):
+        line = format_event(WatchEvent("custom", "demo", 0, 0, {}))
+        assert line == "[demo] g0 custom"

@@ -1,0 +1,267 @@
+"""The watch engine: scenario detection, recovery, edge cases.
+
+The scenario tests are the acceptance gate of continuous monitoring: every
+injected fault must be detected shortly after its injection slice and the
+clean control store must produce **zero** drift/anomaly events.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.pipeline.errors import PipelineError
+from repro.store import save_store
+from repro.trace.synthetic import MONITORING_SCENARIOS, monitoring_scenario
+from repro.watch import (
+    EVENT_TYPES,
+    StoreWatcher,
+    TraceWatch,
+    WatchConfig,
+    WindowScore,
+    score_drift,
+)
+
+from watch_helpers import (
+    INJECTION_SLICE,
+    N_SLICES,
+    SEED_SLICES,
+    build_store,
+    seed_prefix,
+    slice_rows,
+)
+
+CONFIG = WatchConfig(slices=SEED_SLICES, window_slices=10)
+
+
+def drain(watch, trace, writer, start=SEED_SLICES, stop=N_SLICES):
+    """Append slice by slice, polling after each append; all events."""
+    events = []
+    for t in range(start, stop):
+        writer.append_intervals(slice_rows(trace, t))
+        events.extend(watch.poll())
+    return events
+
+
+class TestScenarios:
+    def test_clean_control_has_zero_false_positives(self, tmp_path):
+        path, trace, writer = build_store(tmp_path, "clean")
+        watch = TraceWatch(path, config=CONFIG)
+        events = drain(watch, trace, writer)
+        counts = Counter(event.type for event in events)
+        assert counts.pop("baseline") == 1
+        assert counts == {}, f"clean control raised alerts: {dict(counts)}"
+
+    @pytest.mark.parametrize(
+        "scenario", [s for s in MONITORING_SCENARIOS if s != "clean"]
+    )
+    def test_injected_faults_are_detected(self, tmp_path, scenario):
+        path, trace, writer = build_store(tmp_path, scenario)
+        watch = TraceWatch(path, config=CONFIG)
+        events = drain(watch, trace, writer)
+        anomalies = [event for event in events if event.type == "anomaly"]
+        assert anomalies, f"{scenario}: no anomaly events"
+        first = anomalies[0]
+        # Detection lands at the injection slice, modulo a short lag for
+        # the gradual ramp to cross the threshold.
+        assert INJECTION_SLICE <= first.data["start_slice"] <= INJECTION_SLICE + 5
+        injected = set(trace.metadata["injected_resources"])
+        flagged = set()
+        for event in anomalies:
+            flagged.update(event.data["resources"])
+        assert flagged & injected, f"{scenario}: flagged {flagged}, not {injected}"
+
+    def test_cascading_failure_also_drifts(self, tmp_path):
+        path, trace, writer = build_store(tmp_path, "cascading_failure")
+        watch = TraceWatch(path, config=CONFIG)
+        events = drain(watch, trace, writer)
+        drifts = [event for event in events if event.type == "drift"]
+        assert drifts
+        assert any(event.data["jaccard"] < 1.0 for event in drifts)
+
+    def test_event_invariants(self, tmp_path):
+        path, trace, writer = build_store(tmp_path, "cascading_failure")
+        watch = TraceWatch(path, config=CONFIG)
+        events = drain(watch, trace, writer)
+        assert [event.sequence for event in events] == list(range(len(events)))
+        assert all(event.type in EVENT_TYPES for event in events)
+        assert all(event.trace == "cascading_failure" for event in events)
+
+    def test_anomalies_deduplicated_by_start_slice(self, tmp_path):
+        path, trace, writer = build_store(tmp_path, "periodic_interference")
+        watch = TraceWatch(path, config=CONFIG)
+        events = drain(watch, trace, writer)
+        starts = [
+            event.data["start_slice"] for event in events if event.type == "anomaly"
+        ]
+        assert len(starts) == len(set(starts))
+
+
+class TestStalled:
+    def test_stalled_fires_once_then_rearms_on_growth(self, tmp_path):
+        path, trace, writer = build_store(tmp_path, "clean")
+        watch = TraceWatch(path, config=WatchConfig(slices=30, stalled_polls=3))
+        assert [e.type for e in watch.poll()] == ["baseline"]
+        idle = [event for _ in range(6) for event in watch.poll()]
+        assert [event.type for event in idle] == ["stalled"]
+        assert idle[0].data["idle_polls"] == 3
+        # Growth clears the latch; a second stall reports again.
+        writer.append_intervals(slice_rows(trace, SEED_SLICES))
+        assert all(e.type != "stalled" for e in watch.poll())
+        again = [event for _ in range(3) for event in watch.poll()]
+        assert [event.type for event in again] == ["stalled"]
+
+
+class TestRebuild:
+    def test_rewrite_mid_watch_recovers_with_a_rebuild_event(self, tmp_path):
+        path, trace, writer = build_store(tmp_path, "clean")
+        watch = TraceWatch(path, config=CONFIG)
+        assert [e.type for e in watch.poll()] == ["baseline"]
+        old_generation = watch.store.generation
+
+        replacement = monitoring_scenario(
+            "clean", n_resources=8, n_slices=20, injection_slice=10
+        )
+
+        def rewrite():
+            watch._rewrite_hook = None  # once
+            save_store(replacement, path, generation=old_generation + 7)
+
+        watch._rewrite_hook = rewrite
+        events = watch.poll()
+        # Rebuild first, then the re-pinned baseline of the new content.
+        assert [event.type for event in events] == ["rebuild", "baseline"]
+        rebuild, baseline = events
+        assert rebuild.generation == old_generation + 7
+        assert rebuild.data["n_intervals"] == watch.store.n_intervals
+        assert baseline.data["reason"] == "start"
+        # The old baseline must not leak across the rewrite.
+        assert watch.baseline is not None
+        assert watch.baseline.end_time <= 20.0
+
+    def test_poll_after_rebuild_scores_the_new_content(self, tmp_path):
+        path, trace, writer = build_store(tmp_path, "clean")
+        watch = TraceWatch(path, config=CONFIG)
+        watch.poll()
+        save_store(
+            monitoring_scenario(
+                "clean", n_resources=8, n_slices=20, injection_slice=10
+            ),
+            path,
+            generation=5,
+        )
+        watch.poll()
+        events = watch.poll()  # steady state on the rebuilt store
+        assert [event.type for event in events] == []
+
+
+class TestWindowEdgeCases:
+    def test_window_wider_than_model_clamps_and_repins(self, tmp_path):
+        path, trace, writer = build_store(tmp_path, "clean")
+        config = WatchConfig(slices=30, window_slices=100)
+        watch = TraceWatch(path, config=config)
+        first = watch.poll()
+        assert [event.type for event in first] == ["baseline"]
+        assert watch.baseline.width == 30  # clamped to every complete slice
+        # Growth widens the effective window: re-pin, never cross-width drift.
+        writer.append_intervals(slice_rows(trace, SEED_SLICES))
+        events = watch.poll()
+        assert [event.type for event in events] == ["baseline"]
+        assert events[0].data["reason"] == "window-width-change"
+        assert watch.baseline.width == 31
+
+    def test_partial_trailing_slice_is_not_scored(self, tmp_path):
+        path, trace, writer = build_store(tmp_path, "clean")
+        watch = TraceWatch(path, config=CONFIG)
+        watch.poll()
+        # Append only the first half of the next slice's intervals: the
+        # window must not advance into the half-filled slice.
+        rows = slice_rows(trace, SEED_SLICES)
+        writer.append_intervals(rows[: len(rows) // 2])
+        events = watch.poll()
+        assert all(event.type == "baseline" for event in events) or not events
+        assert watch.baseline.end_slice <= SEED_SLICES
+
+    def test_single_slice_window(self, tmp_path):
+        path, trace, writer = build_store(tmp_path, "clean")
+        watch = TraceWatch(path, config=WatchConfig(slices=30, window_slices=1))
+        events = drain(watch, trace, writer, stop=SEED_SLICES + 5)
+        counts = Counter(event.type for event in events)
+        assert counts.pop("baseline") == 1
+        assert counts == {}
+
+
+class TestScoreDrift:
+    def _score(self, width, resources, means, footprints):
+        return WindowScore(
+            start_slice=0, end_slice=width, width=width,
+            start_time=0.0, end_time=float(width),
+            footprints=frozenset(footprints), partition_size=len(footprints),
+            resources=tuple(resources), deviation_means=tuple(means),
+        )
+
+    def test_identical_windows_do_not_drift(self):
+        a = self._score(4, ["r0", "r1"], [0.1, 0.2], [(0, 2, 0, 3)])
+        drift = score_drift(a, a)
+        assert drift["jaccard"] == 1.0
+        assert drift["n_shifted"] == 0
+
+    def test_partition_change_lowers_jaccard(self):
+        a = self._score(4, ["r0", "r1"], [0.1, 0.2], [(0, 2, 0, 3)])
+        b = self._score(4, ["r0", "r1"], [0.1, 0.2], [(0, 1, 0, 3), (1, 2, 0, 3)])
+        drift = score_drift(a, b)
+        assert drift["jaccard"] == 0.0
+        assert drift["n_only_current"] == 2
+        assert drift["n_only_baseline"] == 1
+
+    def test_shift_respects_min_shift_floor(self):
+        a = self._score(4, ["r0", "r1"], [0.10, 0.20], [(0, 2, 0, 3)])
+        b = self._score(4, ["r0", "r1"], [0.13, 0.40], [(0, 2, 0, 3)])
+        drift = score_drift(a, b, min_shift=0.05)
+        assert drift["n_shifted"] == 1
+        assert drift["shifted"][0]["resource"] == "r1"
+        assert drift["shifted"][0]["delta"] == pytest.approx(0.2)
+
+    def test_total_across_widths_and_resource_sets(self):
+        # A slice-width change (different widths, disjoint grids) must score,
+        # not crash — the watcher re-pins, but the function stays total.
+        a = self._score(4, ["r0", "r1"], [0.1, 0.2], [(0, 2, 0, 3)])
+        b = self._score(7, ["r1", "r2"], [0.5, 0.6], [(0, 2, 0, 6)])
+        drift = score_drift(a, b)
+        assert drift["jaccard"] == 0.0
+        assert drift["n_shifted"] == 0  # no common (index, name) rows
+
+
+class TestConfigAndWatcher:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"slices": 0},
+            {"window_slices": 0},
+            {"p": 1.5},
+            {"anomaly_threshold": 0.0},
+            {"drift_jaccard": -0.1},
+            {"min_shift": -1.0},
+            {"stalled_polls": 0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(PipelineError):
+            WatchConfig(**kwargs).validated()
+
+    def test_watcher_rejects_empty_and_duplicate_names(self, tmp_path):
+        with pytest.raises(PipelineError, match="at least one store"):
+            StoreWatcher([])
+        path, _, _ = build_store(tmp_path, "clean")
+        with pytest.raises(PipelineError, match="duplicate watch names"):
+            StoreWatcher([path, path])
+
+    def test_watcher_multiplexes_in_order(self, tmp_path):
+        path_a, trace, _ = build_store(tmp_path, "clean")
+        path_b = tmp_path / "other.rtz"
+        save_store(seed_prefix(trace, 30.0), path_b)
+        watcher = StoreWatcher([path_a, path_b], config=CONFIG)
+        events = watcher.poll()
+        assert [event.trace for event in events] == ["clean", "other"]
+        assert [event.type for event in events] == ["baseline", "baseline"]

@@ -1,0 +1,46 @@
+"""Shared helpers for the watch tests: growing monitoring-scenario stores."""
+
+from __future__ import annotations
+
+from repro.store import StoreWriter, save_store
+from repro.trace.synthetic import monitoring_scenario
+from repro.trace.trace import Trace
+
+#: Small enough to keep the poll loops fast, large enough to partition.
+N_RESOURCES = 8
+N_SLICES = 60
+SEED_SLICES = 30
+INJECTION_SLICE = 40
+
+
+def seed_prefix(trace: Trace, end_time: float) -> Trace:
+    """The scenario trace truncated to intervals starting before ``end_time``."""
+    intervals = [iv for iv in trace.intervals if iv.start < end_time]
+    return Trace(
+        hierarchy=trace.hierarchy,
+        states=trace.states,
+        intervals=intervals,
+        metadata=trace.metadata,
+    )
+
+
+def slice_rows(trace: Trace, t: int) -> list:
+    """The append rows of the scenario's slice ``[t, t+1)``."""
+    return [
+        (iv.start, iv.end, iv.resource, iv.state)
+        for iv in trace.intervals
+        if t <= iv.start < t + 1
+    ]
+
+
+def build_store(tmp_path, scenario: str):
+    """Seed a store with a scenario prefix; ``(path, trace, writer)``."""
+    trace = monitoring_scenario(
+        scenario,
+        n_resources=N_RESOURCES,
+        n_slices=N_SLICES,
+        injection_slice=INJECTION_SLICE,
+    )
+    path = tmp_path / f"{scenario}.rtz"
+    save_store(seed_prefix(trace, float(SEED_SLICES)), path)
+    return path, trace, StoreWriter(path)
