@@ -2,17 +2,25 @@
 
 Times Algorithm 1 on a ``slices x resources`` grid of synthetic microscopic
 models, comparing the per-cell reference dynamic program (the seed
-implementation, kept as ``compute_tables_reference``) against the vectorized
-anti-diagonal sweep, and optionally the process-pool parallel path.  Every
-grid cell also checks that the two implementations return bit-identical
-tables, so the speedup numbers are guaranteed to describe the same
-computation.
+implementation, kept as ``compute_tables_reference``) against the kernel
+tiers of :mod:`repro.core.kernels` — the historical anti-diagonal ``numpy``
+sweep, the cache-``blocked`` transpose-buffered sweep, and the compiled
+``numba`` sweep when numba is importable.  Every grid cell checks that all
+timed implementations return bit-identical tables, so the speedup numbers
+are guaranteed to describe the same computation.
+
+Beyond the classic grid, the full run times a **large row family**
+(``large_results``): a 1024-resource x 1000-slice microscopic model analyzed
+through a trailing window — the fleet-monitoring shape where the cubic DP
+runs on the window while the prefix tables span the whole trace.  The
+per-cell reference is skipped there (the row records why); the gated ratio
+is ``kernel_ratio`` (numpy tier vs the best non-reference tier).
 
 Results are written as ``BENCH_spatiotemporal.json`` (at the repository root
 by default), seeding the performance trajectory.  CI runs the ``--smoke``
-grid and gates regressions with ``--check-against``: the comparison uses the
-*speedup ratio* (vectorized vs reference on the same machine), which is
-stable across runner hardware, unlike absolute wall-clock.
+grid and gates regressions with ``--check-against``: the comparison uses
+*speedup ratios* (same-runner, stable across hardware), never absolute
+wall-clock.
 
 Usage::
 
@@ -39,12 +47,20 @@ if str(ROOT / "src") not in sys.path:
 from repro.core.hierarchy import Hierarchy  # noqa: E402
 from common import bench_meta, GateMetric, check_ratio_regression, timed_call  # noqa: E402
 
+from repro.core.kernels import available_kernels  # noqa: E402
 from repro.core.microscopic import MicroscopicModel  # noqa: E402
 from repro.core.spatiotemporal import SpatiotemporalAggregator  # noqa: E402
+from repro.pipeline.window import WindowSpec, resolve_window_bounds  # noqa: E402
 from repro.trace.states import StateRegistry  # noqa: E402
 
 FULL_GRID = {"slices": (20, 40, 60, 80), "resources": (16, 64, 128)}
 SMOKE_GRID = {"slices": (20, 60), "resources": (16, 64)}
+#: (resources, slices, window_k): the windowed-DP row family over big models.
+#: The per-cell reference is skipped here — at |T|=1000 the unwindowed cubic
+#: DP alone would be O(|S| |T|^3); the realistic shape (and the one the batch
+#: and streaming paths take) is a trailing window over full-span prefix
+#: tables.
+LARGE_GRID = [(1024, 1000, 48)]
 
 
 def build_model(n_resources: int, n_slices: int, n_states: int, seed: int) -> MicroscopicModel:
@@ -70,6 +86,18 @@ def tables_identical(left, right) -> bool:
     )
 
 
+def kernel_aggregators(model, stats=None):
+    """One aggregator per runnable kernel tier, sharing one statistics engine."""
+    tiers = available_kernels()
+    first = SpatiotemporalAggregator(model, stats=stats, kernel=tiers[0])
+    aggregators = {tiers[0]: first}
+    for tier in tiers[1:]:
+        aggregators[tier] = SpatiotemporalAggregator(
+            model, stats=first.stats, kernel=tier
+        )
+    return aggregators
+
+
 def bench_cell(
     n_slices: int,
     n_resources: int,
@@ -79,11 +107,12 @@ def bench_cell(
     jobs: int,
     seed: int,
 ) -> dict:
-    """One grid cell: reference vs vectorized (vs parallel) on the same model."""
+    """One grid cell: reference vs every kernel tier (vs parallel)."""
     model = build_model(n_resources, n_slices, n_states, seed)
-    aggregator = SpatiotemporalAggregator(model)
+    aggregators = kernel_aggregators(model)
+    aggregator = aggregators["numpy"]
 
-    # Warm the interval-statistics engine once so both DP legs measure the
+    # Warm the interval-statistics engine once so every DP leg measures the
     # dynamic program itself, then record how long the warm-up took.
     stats_start = time.perf_counter()
     for node in model.hierarchy.iter_nodes("post"):
@@ -93,9 +122,21 @@ def bench_cell(
     seconds_percell, reference = timed_call(
         lambda: aggregator.compute_tables_reference(p), repeats
     )
-    seconds_vectorized, vectorized = timed_call(lambda: aggregator.compute_tables(p), repeats)
+    kernel_seconds = {}
+    kernel_tables = {}
+    for tier, tiered in aggregators.items():
+        kernel_seconds[tier], kernel_tables[tier] = timed_call(
+            lambda agg=tiered: agg.compute_tables(p), repeats
+        )
+    vectorized = kernel_tables["numpy"]
     identical = tables_identical(reference, vectorized)
+    kernels_identical = all(
+        tables_identical(vectorized, kernel_tables[tier])
+        for tier in kernel_tables
+        if tier != "numpy"
+    )
 
+    seconds_vectorized = kernel_seconds["numpy"]
     row = {
         "slices": n_slices,
         "resources": n_resources,
@@ -106,7 +147,10 @@ def bench_cell(
         "seconds_vectorized": round(seconds_vectorized, 6),
         "speedup": round(seconds_percell / seconds_vectorized, 3),
         "tables_identical": identical,
+        "kernels_identical": kernels_identical,
     }
+    for tier, seconds in kernel_seconds.items():
+        row[f"seconds_{tier}"] = round(seconds, 6)
     if jobs > 1:
         seconds_jobs, parallel = timed_call(
             lambda: aggregator.compute_tables(p, jobs=jobs), repeats
@@ -117,20 +161,105 @@ def bench_cell(
     return row
 
 
-def check_regression(results: list[dict], baseline_path: Path, max_regression: float) -> int:
+def bench_large_cell(
+    n_resources: int,
+    n_slices: int,
+    window_k: int,
+    n_states: int,
+    p: float,
+    repeats: int,
+    seed: int,
+) -> dict:
+    """One large row: windowed DP over a big model, kernel tiers diffed.
+
+    The full-span prefix tables are built once (``model_seconds``); the DP
+    then runs on the trailing ``window_k``-slice window of the model —
+    exactly what ``repro analyze --window last:K`` and the windowed batch
+    pass execute per trace.
+    """
+    build_start = time.perf_counter()
+    model = build_model(n_resources, n_slices, n_states, seed)
+    model.cumulative_tables()
+    model_seconds = time.perf_counter() - build_start
+
+    a, b = resolve_window_bounds(model, WindowSpec.last(window_k))
+    windowed = model.window(a, b)
+    aggregators = kernel_aggregators(windowed)
+
+    stats_start = time.perf_counter()
+    for node in windowed.hierarchy.iter_nodes("post"):
+        aggregators["numpy"].stats.tables(node)
+    stats_seconds = time.perf_counter() - stats_start
+
+    kernel_seconds = {}
+    kernel_tables = {}
+    for tier, tiered in aggregators.items():
+        kernel_seconds[tier], kernel_tables[tier] = timed_call(
+            lambda agg=tiered: agg.compute_tables(p), repeats
+        )
+    kernels_identical = all(
+        tables_identical(kernel_tables["numpy"], kernel_tables[tier])
+        for tier in kernel_tables
+        if tier != "numpy"
+    )
+    best_tier = min(
+        (tier for tier in kernel_seconds if tier != "numpy"),
+        key=kernel_seconds.get,
+        default="numpy",
+    )
+    row = {
+        "resources": n_resources,
+        "slices": n_slices,
+        "window": window_k,
+        "states": n_states,
+        "nodes": windowed.hierarchy.n_nodes,
+        "model_seconds": round(model_seconds, 6),
+        "stats_seconds": round(stats_seconds, 6),
+        "reference": "skipped: cubic per-cell DP infeasible at this size",
+        "best_tier": best_tier,
+        "kernel_ratio": round(kernel_seconds["numpy"] / kernel_seconds[best_tier], 3),
+        "kernels_identical": kernels_identical,
+    }
+    for tier, seconds in kernel_seconds.items():
+        row[f"seconds_{tier}"] = round(seconds, 6)
+    return row
+
+
+def check_regression(
+    results: list[dict],
+    large_results: list[dict],
+    baseline_path: Path,
+    max_regression: float,
+) -> int:
     """Compare speedup ratios against a committed baseline; 0 when acceptable."""
-    return check_ratio_regression(
+    code = check_ratio_regression(
         results,
         baseline_path,
         key_fields=("slices", "resources"),
         metrics=[GateMetric("speedup", max_regression=max_regression)],
     )
+    if large_results:
+        code = max(
+            code,
+            check_ratio_regression(
+                large_results,
+                baseline_path,
+                key_fields=("resources", "slices", "window"),
+                metrics=[GateMetric("kernel_ratio", max_regression=max_regression)],
+                results_key="large_results",
+            ),
+        )
+    return code
 
 
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--smoke", action="store_true",
-                        help="small grid for CI smoke runs")
+                        help="small grid for CI smoke runs (skips the large row family)")
+    parser.add_argument("--large", action="store_true",
+                        help="run the windowed large-model rows even with --smoke")
+    parser.add_argument("--large-repeats", type=int, default=1,
+                        help="timing repetitions for the large rows (default: 1)")
     parser.add_argument("--slices", type=str, default=None,
                         help="comma-separated slice counts (overrides the grid)")
     parser.add_argument("--resources", type=str, default=None,
@@ -173,7 +302,31 @@ def main(argv: "list[str] | None" = None) -> int:
             if not row["tables_identical"]:
                 print("FATAL: vectorized tables diverge from the reference", file=sys.stderr)
                 return 1
+            if not row["kernels_identical"]:
+                print("FATAL: kernel tiers diverge from the numpy sweep", file=sys.stderr)
+                return 1
             results.append(row)
+
+    large_results = []
+    if args.large or not args.smoke:
+        for n_resources, n_slices, window_k in LARGE_GRID:
+            row = bench_large_cell(
+                n_resources, n_slices, window_k, args.states,
+                args.parameter, args.large_repeats, args.seed,
+            )
+            print(
+                f"resources={row['resources']:>4} slices={row['slices']:>4} "
+                f"window={row['window']:>3} model={row['model_seconds']:.2f}s "
+                + " ".join(
+                    f"{tier}={row[f'seconds_{tier}']:.2f}s"
+                    for tier in available_kernels()
+                )
+                + f" identical={row['kernels_identical']}"
+            )
+            if not row["kernels_identical"]:
+                print("FATAL: kernel tiers diverge on the windowed model", file=sys.stderr)
+                return 1
+            large_results.append(row)
 
     payload = {
         "benchmark": "spatiotemporal_aggregation",
@@ -185,14 +338,18 @@ def main(argv: "list[str] | None" = None) -> int:
             "repeats": args.repeats,
             "seed": args.seed,
             "grid": "smoke" if args.smoke else "full",
+            "kernels": list(available_kernels()),
         },
         "results": results,
+        "large_results": large_results,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
 
     if args.check_against is not None:
-        return check_regression(results, args.check_against, args.max_regression)
+        return check_regression(
+            results, large_results, args.check_against, args.max_regression
+        )
     return 0
 
 

@@ -94,22 +94,46 @@ class GateMetric:
     note: str = ""
 
 
+def warn_skipped_gates(metrics: "Sequence[GateMetric]") -> "list[dict]":
+    """Print a stderr warning per inactive gate; returns their JSON records.
+
+    Benchmarks embed the returned list as ``meta.skipped_gates`` so a
+    committed ``BENCH_*.json`` says *out loud* which acceptance gates the
+    producing machine could not evaluate (e.g. pool scaling on a 1-CPU
+    container) instead of silently looking green.
+    """
+    skipped = [
+        {"gate": metric.name, "reason": metric.note or "inactive"}
+        for metric in metrics
+        if not metric.active
+    ]
+    for record in skipped:
+        print(
+            f"warning: gate {record['gate']!r} skipped: {record['reason']}",
+            file=sys.stderr,
+        )
+    return skipped
+
+
 def check_ratio_regression(
     results: "Sequence[dict]",
     baseline_path: Path,
     key_fields: "Sequence[str]",
     metrics: "Sequence[GateMetric]",
+    results_key: str = "results",
 ) -> int:
     """Gate ``results`` against the committed baseline; returns an exit code.
 
-    Rows are matched to baseline rows on ``key_fields``.  A run whose grid
+    Rows are matched to baseline rows on ``key_fields``, read from the
+    baseline payload's ``results_key`` section (benchmarks with differently
+    shaped row families gate each family separately).  A run whose grid
     shares no cell with the baseline is itself a failure — the gate must
     never pass vacuously.
     """
     baseline = json.loads(Path(baseline_path).read_text())
     reference = {
         tuple(row[field] for field in key_fields): row
-        for row in baseline["results"]
+        for row in baseline.get(results_key, [])
     }
     failures = []
     checked = 0

@@ -36,6 +36,7 @@ from ..pipeline.executor import analyze_source
 from ..pipeline.payloads import batch_payload
 from ..pipeline.requests import AnalysisRequest, BatchRequest
 from ..pipeline.resolver import as_source
+from ..pipeline.window import WindowSpec
 from .corpus import Corpus, CorpusEntry
 
 __all__ = [
@@ -103,6 +104,7 @@ def analyze_entry(
     slices: int = 30,
     operator: str = "mean",
     anomaly_threshold: float = 0.1,
+    window: "WindowSpec | None" = None,
 ) -> "tuple[dict[str, Any], MicroscopicModel]":
     """Analyze one corpus member; returns ``(payload, model)``.
 
@@ -116,24 +118,55 @@ def analyze_entry(
     outcome = analyze_source(
         source,
         AnalysisRequest(
-            p=p, slices=slices, operator=operator, anomaly_threshold=anomaly_threshold
+            p=p, slices=slices, operator=operator,
+            anomaly_threshold=anomaly_threshold, window=window,
         ),
     )
     return outcome.payload(), outcome.model
 
 
 def _batch_worker(
-    entry: CorpusEntry, p: float, slices: int, operator: str, anomaly_threshold: float
+    entry: CorpusEntry,
+    p: float,
+    slices: int,
+    operator: str,
+    anomaly_threshold: float,
+    window: "WindowSpec | None" = None,
 ) -> "tuple[str, dict[str, Any] | None, tuple[str, str] | None]":
     """Process-pool entry point: one member's payload or its failure record."""
     try:
         payload, _ = analyze_entry(
             entry, p=p, slices=slices, operator=operator,
-            anomaly_threshold=anomaly_threshold,
+            anomaly_threshold=anomaly_threshold, window=window,
         )
         return entry.name, payload, None
     except Exception as exc:  # propagated as data: the pool must keep going
         return entry.name, None, (type(exc).__name__, str(exc))
+
+
+def _prewarm_store_models(entries: "list[CorpusEntry]", slices: int) -> None:
+    """Publish the mmap model cache of every store member before fanning out.
+
+    Each worker process opens its member's store and loads the model through
+    ``np.load(mmap_mode="r")`` — when the on-disk entry exists, N workers
+    share one set of pages through the OS page cache.  Building the cache
+    *once, in the parent* is what guarantees that: a cold corpus would
+    otherwise make every worker discretize and materialize its own private
+    copy.  Failures are ignored here — the worker will surface them as its
+    member's failure record with the usual error text.
+    """
+    from ..store import is_store, open_store  # local import: batch stays store-agnostic
+
+    for entry in entries:
+        if entry.kind != "store" or not is_store(entry.path):
+            continue
+        try:
+            store = open_store(entry.path)
+            if int(slices) not in store.cached_model_slices():
+                with span("batch.prewarm", trace=entry.name, slices=slices):
+                    store.model(slices, persist=True)
+        except Exception:
+            continue
 
 
 def run_batch(
@@ -142,6 +175,7 @@ def run_batch(
     slices: int = 30,
     operator: str = "mean",
     anomaly_threshold: float = 0.1,
+    window: "WindowSpec | None" = None,
     jobs: int = 1,
 ) -> BatchResult:
     """Analyze every corpus member; ``jobs`` workers, one shard per trace.
@@ -149,14 +183,17 @@ def run_batch(
     ``jobs=1`` runs serially in-process (no pool overhead, easiest to debug);
     ``jobs>1`` distributes members over a process pool.  Serial and parallel
     runs produce identical payloads — workers are pure functions of
-    ``(entry, params)``.
+    ``(entry, params)``.  Before a parallel fan-out the parent publishes the
+    mmap model cache of every store member, so workers map shared pages
+    instead of each rebuilding a private model copy.
     """
     request = BatchRequest(
         p=p, slices=slices, operator=operator,
-        anomaly_threshold=anomaly_threshold, jobs=jobs,
+        anomaly_threshold=anomaly_threshold, window=window, jobs=jobs,
     ).validated()
     p, slices, operator = request.p, request.slices, request.operator
     anomaly_threshold, jobs = request.anomaly_threshold, request.jobs
+    window = request.window
     params = request.member_request().params()
     results: dict[str, dict[str, Any]] = {}
     failures: list[BatchTraceFailure] = []
@@ -182,16 +219,17 @@ def run_batch(
         for entry in entries:
             with span("batch.member", trace=entry.name):
                 _, payload, error = _batch_worker(
-                    entry, p, slices, operator, anomaly_threshold
+                    entry, p, slices, operator, anomaly_threshold, window
                 )
             record(entry, payload, error)
     else:
+        _prewarm_store_models(entries, slices)
         try:
             with span("batch.fanout", traces=len(entries), jobs=jobs), \
                     ProcessPoolExecutor(max_workers=min(jobs, len(entries))) as pool:
                 futures = [
                     (entry, pool.submit(_batch_worker, entry, p, slices, operator,
-                                        anomaly_threshold))
+                                        anomaly_threshold, window))
                     for entry in entries
                 ]
                 for entry, future in futures:

@@ -95,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the package version and exit",
     )
     operators = list(available_operators())
+    from .core.kernels import KERNELS as kernels
     from .pipeline.resolver import TRACE_FORMATS
 
     trace_formats = list(TRACE_FORMATS)
@@ -143,6 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="restrict the analysis to a slice window: 'last:K' for the "
                               "trailing K slices or 'T0:T1' for the slices covering the "
                               "time span [T0, T1)")
+    analyze.add_argument("--kernel", choices=("auto",) + kernels, default=None,
+                         help="dynamic-program kernel tier (default: auto — numba when "
+                              "installed, else the blocked numpy kernel; all tiers are "
+                              "bit-identical)")
     analyze.add_argument("--trace-out", default=None, metavar="PATH",
                          help="record a span trace of this run and write it as "
                               "Chrome trace-event JSON (open in chrome://tracing "
@@ -165,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="aggregation operator (default: mean)")
     batch.add_argument("--anomaly-threshold", type=float, default=0.1,
                        help="excess blocking proportion flagged as anomalous (default: 0.1)")
+    batch.add_argument("--window", default=None, metavar="last:K|T0:T1",
+                       help="restrict every member's analysis to the same slice window "
+                            "('last:K' or 'T0:T1') — a fleet-wide recent-activity pass")
+    batch.add_argument("--kernel", choices=("auto",) + kernels, default=None,
+                       help="dynamic-program kernel tier for every shard (default: auto)")
     batch.add_argument("--output", default=None, metavar="DIR",
                        help="write per-trace analysis JSON files and batch.json here")
     batch.add_argument("--json", action="store_true",
@@ -360,6 +370,25 @@ def _flag_error(exc: "Exception") -> str:
     return _FLAG_ERROR_TEXT.get(field, str(exc))
 
 
+def _apply_kernel_flag(args: argparse.Namespace) -> "str | None":
+    """Resolve and install ``--kernel``; returns the error text if invalid.
+
+    Installing via :func:`~repro.core.kernels.set_default_kernel` exports the
+    choice through the ``REPRO_KERNEL`` environment variable, so process-pool
+    workers spawned later inherit it.
+    """
+    from .core.kernels import KernelUnavailableError, set_default_kernel
+
+    kernel = getattr(args, "kernel", None)
+    if kernel is None:
+        return None
+    try:
+        set_default_kernel(kernel)
+    except KernelUnavailableError as exc:
+        return str(exc)
+    return None
+
+
 def _command_analyze(args: argparse.Namespace) -> int:
     from .obs.tracing import span, start_trace
     from .pipeline import (
@@ -370,6 +399,10 @@ def _command_analyze(args: argparse.Namespace) -> int:
         analyze_source,
     )
 
+    kernel_error = _apply_kernel_flag(args)
+    if kernel_error is not None:
+        print(f"error: {kernel_error}", file=sys.stderr)
+        return 2
     window = None
     if args.window:
         try:
@@ -488,14 +521,32 @@ def _command_batch(args: argparse.Namespace) -> int:
         write_corpus_manifest,
     )
     from .batch.corpus import CorpusError
-    from .pipeline import BatchRequest, RequestError, serialize_payload
+    from .pipeline import (
+        BatchRequest,
+        PipelineError,
+        RequestError,
+        WindowSpec,
+        serialize_payload,
+    )
 
+    kernel_error = _apply_kernel_flag(args)
+    if kernel_error is not None:
+        print(f"error: {kernel_error}", file=sys.stderr)
+        return 2
+    window = None
+    if args.window:
+        try:
+            window = WindowSpec.parse_text(args.window)
+        except PipelineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         request = BatchRequest(
             p=args.parameter,
             slices=args.slices,
             operator=args.operator,
             anomaly_threshold=args.anomaly_threshold,
+            window=window,
             jobs=args.jobs,
         ).validated()
     except RequestError as exc:
@@ -521,6 +572,7 @@ def _command_batch(args: argparse.Namespace) -> int:
             slices=request.slices,
             operator=request.operator,
             anomaly_threshold=request.anomaly_threshold,
+            window=request.window,
             jobs=request.jobs,
         )
     except BatchWorkerError as exc:

@@ -49,8 +49,17 @@ from .operators import (
 
 __all__ = ["IntervalStatistics", "NodePrefixes"]
 
+#: Row-block height used by :meth:`IntervalStatistics.tables` once ``|T|``
+#: exceeds it: the scratch interval tables then peak at ``O(block |T| |X|)``
+#: instead of ``O(|T|^2 |X|)`` while producing bit-identical results (the
+#: operators are elementwise over the leading axes plus a fixed-length state
+#: reduction, so splitting the start axis cannot change any float).
+TABLE_BLOCK_ROWS = 128
 
-def _running_extrema_table(per_slice: np.ndarray, ufunc: np.ufunc) -> np.ndarray:
+
+def _running_extrema_table(
+    per_slice: np.ndarray, ufunc: np.ufunc, start: int = 0, stop: "int | None" = None
+) -> np.ndarray:
     """``(T, T, X)`` interval extrema of a per-slice ``(T, X)`` array.
 
     ``table[i, j] = ufunc.reduce(per_slice[i..j])`` via a running accumulate
@@ -58,11 +67,16 @@ def _running_extrema_table(per_slice: np.ndarray, ufunc: np.ufunc) -> np.ndarray
     the masked lower triangles of the sum-based interval tables.  Extrema are
     exactly associative, so each entry is bit-identical to the scalar
     ``per_slice[i:j + 1]`` reduction of :meth:`IntervalStatistics.interval_sums_at`.
+
+    ``start``/``stop`` restrict the first axis to the start rows
+    ``[start, stop)`` (each row's accumulate is independent, so a row block
+    of the full table is the full table's row block, bit for bit).
     """
     n_slices, n_states = per_slice.shape
-    table = np.zeros((n_slices, n_slices, n_states))
-    for i in range(n_slices):
-        table[i, i:] = ufunc.accumulate(per_slice[i:], axis=0)
+    stop = n_slices if stop is None else stop
+    table = np.zeros((stop - start, n_slices, n_states))
+    for i in range(start, stop):
+        table[i - start, i:] = ufunc.accumulate(per_slice[i:], axis=0)
     return table
 
 
@@ -238,34 +252,42 @@ class IntervalStatistics:
             **extras,
         )
 
-    def interval_sums(self, node: HierarchyNode) -> IntervalSums:
+    def interval_sums(
+        self, node: HierarchyNode, start: int = 0, stop: "int | None" = None
+    ) -> IntervalSums:
         """All pre-reduced quantities of ``node`` for every interval at once.
 
         The per-state arrays have shape ``(T, T, X)`` (first axis ``i``,
         second axis ``j``); only the upper triangle ``j >= i`` is meaningful.
         Each table is the broadcast form of the same prefix subtraction used
         by :meth:`interval_sums_at`.
+
+        ``start``/``stop`` restrict the first (interval-start) axis to the
+        rows ``[start, stop)`` — the block form :meth:`tables` streams
+        through so its scratch stays linear in ``|T|``.  Every returned
+        value is the corresponding row block of the full table, bit for bit.
         """
         prefixes = self.node_prefixes(node)
+        stop = self.n_slices if stop is None else stop
 
         def interval_table(prefix: np.ndarray) -> np.ndarray:
             # table[i, j] = prefix[j + 1] - prefix[i]
-            return prefix[None, 1:, :] - prefix[:-1, None, :]
+            return prefix[None, 1:, :] - prefix[start:stop, None, :]
 
         extras: dict[str, np.ndarray] = {}
         if "sum_sq_rho" in self._requires:
             extras["sum_sq_rho"] = interval_table(self._node_sq_prefix(node))
         if "minmax_rho" in self._requires:
             per_max, per_min = self._node_extrema(node)
-            extras["max_rho"] = _running_extrema_table(per_max, np.maximum)
-            extras["min_rho"] = _running_extrema_table(per_min, np.minimum)
+            extras["max_rho"] = _running_extrema_table(per_max, np.maximum, start, stop)
+            extras["min_rho"] = _running_extrema_table(per_min, np.minimum, start, stop)
         return IntervalSums(
             sum_durations=interval_table(prefixes.durations),
-            total_duration=self._interval_durations,
+            total_duration=self._interval_durations[start:stop],
             n_resources=node.n_leaves,
             sum_rho=interval_table(prefixes.rho),
             sum_rho_log_rho=interval_table(prefixes.rho_log_rho),
-            n_cells=node.n_leaves * self._interval_lengths,
+            n_cells=node.n_leaves * self._interval_lengths[start:stop],
             **extras,
         )
 
@@ -281,8 +303,22 @@ class IntervalStatistics:
         cached = self._cache.get(node.index)
         if cached is not None:
             return cached
-        sums = self.interval_sums(node)
-        gain, loss = self._operator.gain_loss(sums)
+        n_slices = self.n_slices
+        if n_slices <= TABLE_BLOCK_ROWS:
+            sums = self.interval_sums(node)
+            gain, loss = (np.asarray(t) for t in self._operator.gain_loss(sums))
+        else:
+            # Stream the start axis in row blocks: the (block, T, X) scratch
+            # tables replace the (T, T, X) ones, bounding peak memory while
+            # producing the same floats row for row.
+            gain = np.empty((n_slices, n_slices))
+            loss = np.empty((n_slices, n_slices))
+            for lo in range(0, n_slices, TABLE_BLOCK_ROWS):
+                hi = min(lo + TABLE_BLOCK_ROWS, n_slices)
+                sums = self.interval_sums(node, lo, hi)
+                block_gain, block_loss = self._operator.gain_loss(sums)
+                gain[lo:hi] = block_gain
+                loss[lo:hi] = block_loss
         lower = ~np.triu(np.ones_like(gain, dtype=bool))
         gain = np.where(lower, 0.0, gain)
         loss = np.where(lower, 0.0, loss)

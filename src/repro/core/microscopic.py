@@ -28,6 +28,17 @@ class MicroscopicModelError(ValueError):
     """Raised when an inconsistent microscopic model is constructed."""
 
 
+def _reconstruct_from_handle(handle: Any) -> "MicroscopicModel":
+    """Unpickle hook for handle-backed models (see ``__reduce_ex__``)."""
+    model = handle.load()
+    if not isinstance(model, MicroscopicModel):  # pragma: no cover - defensive
+        raise MicroscopicModelError(
+            f"model handle {handle!r} loaded {type(model).__name__}, "
+            "expected MicroscopicModel"
+        )
+    return model
+
+
 class MicroscopicModel:
     """The ``d_x(s, t)`` cube together with its dimensions.
 
@@ -88,10 +99,51 @@ class MicroscopicModel:
         self._slicing = slicing
         self._states = states
         self._cumulatives: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None
+        self._handle: Any = None
 
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_trusted_arrays(
+        cls,
+        durations: np.ndarray,
+        hierarchy: Hierarchy,
+        slicing: TimeSlicing,
+        states: StateRegistry,
+        cumulatives: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None,
+    ) -> "MicroscopicModel":
+        """Wrap already-validated arrays without copying them.
+
+        The regular constructor's consistency checks run ``np.where`` /
+        ``np.clip`` over the cube, materializing a private copy — which would
+        defeat a memory-mapped, page-cache-shared ``durations``.  This path
+        skips them and adopts the arrays as-is (read-only memmaps included),
+        so it must only be fed data that went through the validating
+        constructor before being persisted — e.g. the digest-verified store
+        model cache (:mod:`repro.store.modelcache`).
+        """
+        if durations.ndim != 3:
+            raise MicroscopicModelError(
+                "durations must have shape (n_resources, n_slices, n_states)"
+            )
+        model = cls.__new__(cls)
+        model._durations = durations
+        model._hierarchy = hierarchy
+        model._slicing = slicing
+        model._states = states
+        model._cumulatives = cumulatives
+        model._handle = None
+        return model
+
+    def __reduce_ex__(self, protocol: int) -> Any:
+        # A model backed by a store's mmap cache pickles as its O(1) handle:
+        # the receiving process re-opens the store and maps the shared cache
+        # files instead of receiving the arrays through the pipe.
+        if self._handle is not None:
+            return (_reconstruct_from_handle, (self._handle,))
+        return super().__reduce_ex__(protocol)
+
     @classmethod
     def from_trace(
         cls,

@@ -24,7 +24,10 @@ arithmetic is exactly the per-cell recurrence — same additions, same maxima,
 same tie-breaking — so the result is bit-for-bit identical to the reference
 per-cell implementation (kept as :meth:`compute_tables_reference` and checked
 by the property tests), while the overall ``O(|S| |T|^3)`` work runs at numpy
-speed.
+speed.  The sweep itself is pluggable (:mod:`repro.core.kernels`): the
+historical ``numpy`` tier, a cache-``blocked`` transpose-buffered tier and an
+optional compiled ``numba`` tier all evaluate the same recurrence and return
+bit-identical tables — selected via ``REPRO_KERNEL`` / ``--kernel``.
 
 Independent hierarchy subtrees only interact at their common ancestors, so
 the per-subtree table computations are embarrassingly parallel; passing
@@ -43,10 +46,10 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
-from numpy.lib.stride_tricks import as_strided
 
 from .criteria import IntervalStatistics
 from .hierarchy import HierarchyNode
+from .kernels import resolve_kernel, temporal_cuts
 from .microscopic import MicroscopicModel
 from .operators import AggregationOperator
 from .partition import Aggregate, Partition
@@ -98,68 +101,6 @@ class NodeTables:
     count: np.ndarray
 
 
-def _cut_windows(table: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """The two strided windows the anti-diagonal sweep reads ``table`` through.
-
-    ``left[i, k] = table[i, i + k]`` — the finalized cells of row ``i`` (the
-    left part of a cut after slice ``i + k``) — and ``right[r, m] =
-    table[r - m, r]`` — the finalized cells above ``(r, r)`` in column ``r``
-    (the right parts, read upwards).  Both are zero-copy views aliasing
-    ``table``, so in-place updates between sweeps are visible immediately.
-
-    The rectangular hull of either window extends past the underlying buffer;
-    callers must only access the in-bounds slices ``left[:T - L, :L]`` and
-    ``right[L:, :L]`` for an interval length ``L``, which is exactly what
-    :func:`_temporal_cuts` does.
-    """
-    n = table.shape[0]
-    s0, s1 = table.strides
-    left = as_strided(table, shape=(n, n), strides=(s0 + s1, s1))
-    right = as_strided(table, shape=(n, n), strides=(s0 + s1, -s0))
-    return left, right
-
-
-def _temporal_cuts(
-    best: np.ndarray, cut: np.ndarray, count: np.ndarray, epsilon: float
-) -> None:
-    """Apply the optimal temporal cuts to ``best``/``cut``/``count`` in place.
-
-    ``best`` must already hold, for every cell, the better of "no cut" and
-    "spatial cut".  Sweeps interval lengths in increasing order; every
-    candidate read touches only shorter (finalized) intervals.
-    """
-    n_slices = best.shape[0]
-    all_starts = np.arange(n_slices)
-    best_left, best_right = _cut_windows(best)
-    count_left, count_right = _cut_windows(count)
-    for length in range(1, n_slices):
-        starts = all_starts[: n_slices - length]
-        ends = starts + length
-        m = n_slices - length
-        # values[i, k] = best[i, i + k] + best[i + k + 1, i + length]; the
-        # right window is read upwards, hence the reversed column slice.
-        values = best_left[:m, :length] + best_right[length:, length - 1 :: -1]
-        counts = count_left[:m, :length] + count_right[length:, length - 1 :: -1]
-        top = values.max(axis=1, keepdims=True)
-        # Among cuts whose pIC ties with the best one, prefer the coarsest
-        # resulting partition (argmin returns the first minimal cut).
-        eligible = values >= top - epsilon
-        k = np.where(eligible, counts, _INT64_MAX).argmin(axis=1)
-        value = values[starts, k]
-        cut_count = counts[starts, k]
-        current = best[starts, ends]
-        current_count = count[starts, ends]
-        improve = (value > current + epsilon) | (
-            (value > current - epsilon) & (cut_count < current_count)
-        )
-        if improve.any():
-            rows = starts[improve]
-            cols = rows + length
-            best[rows, cols] = value[improve]
-            count[rows, cols] = cut_count[improve]
-            cut[rows, cols] = rows + k[improve]
-
-
 def _find_node(root: HierarchyNode, index: int) -> HierarchyNode:
     for node in root.iter_subtree("post"):
         if node.index == index:
@@ -177,9 +118,12 @@ def _init_worker(
     model: MicroscopicModel,
     operator: "AggregationOperator | str | None",
     epsilon: float,
+    kernel: "str | None" = None,
 ) -> None:
     global _WORKER_AGGREGATOR
-    _WORKER_AGGREGATOR = SpatiotemporalAggregator(model, operator=operator, epsilon=epsilon)
+    _WORKER_AGGREGATOR = SpatiotemporalAggregator(
+        model, operator=operator, epsilon=epsilon, kernel=kernel
+    )
 
 
 def _subtree_worker(p: float, node_index: int) -> dict[int, NodeTables]:
@@ -227,6 +171,11 @@ class SpatiotemporalAggregator:
         Default process-pool width for :meth:`compute_tables`; ``None``/``0``/
         ``1`` keep the computation serial.  Parallel and serial runs return
         identical tables.
+    kernel:
+        DP sweep tier (see :mod:`repro.core.kernels`): ``"numpy"``,
+        ``"blocked"``, ``"numba"`` or ``None``/``"auto"`` for the process
+        default (``REPRO_KERNEL`` / auto-detection).  Every tier returns
+        bit-identical tables; the choice only affects speed.
 
     Notes
     -----
@@ -250,6 +199,7 @@ class SpatiotemporalAggregator:
         stats: IntervalStatistics | None = None,
         epsilon: float | None = None,
         jobs: int | None = None,
+        kernel: "str | None" = None,
     ):
         self._model = model
         self._stats = stats if stats is not None else IntervalStatistics(model, operator)
@@ -258,6 +208,7 @@ class SpatiotemporalAggregator:
         self._operator = self._stats.operator
         self._epsilon = self.EPSILON if epsilon is None else float(epsilon)
         self._jobs = jobs
+        self._kernel = resolve_kernel(kernel, n_slices=model.n_slices)
         self._triu: "tuple[np.ndarray, np.ndarray] | None" = None
 
     # ------------------------------------------------------------------ #
@@ -272,6 +223,11 @@ class SpatiotemporalAggregator:
     def stats(self) -> IntervalStatistics:
         """The shared gain/loss tables."""
         return self._stats
+
+    @property
+    def kernel(self) -> str:
+        """The resolved DP sweep tier in use."""
+        return self._kernel
 
     # ------------------------------------------------------------------ #
     # Dynamic program
@@ -309,7 +265,7 @@ class SpatiotemporalAggregator:
     ) -> NodeTables:
         """Optimal tables of one node given its children's tables."""
         best, cut, count = self._node_base_tables(node, p, tables)
-        _temporal_cuts(best, cut, count, self._epsilon)
+        temporal_cuts(best, cut, count, self._epsilon, kernel=self._kernel)
         return NodeTables(pic=best, cut=cut, count=count)
 
     def compute_tables(self, p: float, jobs: int | None = None) -> Mapping[int, NodeTables]:
@@ -340,7 +296,7 @@ class SpatiotemporalAggregator:
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(frontier)),
                 initializer=_init_worker,
-                initargs=(self._model, self._operator, self._epsilon),
+                initargs=(self._model, self._operator, self._epsilon, self._kernel),
             ) as pool:
                 futures = [pool.submit(_subtree_worker, p, node.index) for node in frontier]
                 for future in futures:

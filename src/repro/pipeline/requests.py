@@ -252,12 +252,19 @@ class SweepRequest:
 
 @dataclass(frozen=True)
 class BatchRequest:
-    """One corpus batch run: the per-member analysis request plus pool width."""
+    """One corpus batch run: the per-member analysis request plus pool width.
+
+    ``window`` restricts every member's analysis to the same tail/time window
+    of its model — the shape of a fleet-wide "recent activity" pass over a
+    corpus of long traces, where each worker windows its (mmap-shared) model
+    instead of running the cubic DP over the whole span.
+    """
 
     p: float = 0.7
     slices: int = 30
     operator: str = "mean"
     anomaly_threshold: float = 0.1
+    window: Optional[WindowSpec] = None
     jobs: int = 1
 
     def validated(self, max_slices: Optional[int] = None) -> "BatchRequest":
@@ -281,6 +288,7 @@ class BatchRequest:
             slices=self.slices,
             operator=self.operator,
             anomaly_threshold=self.anomaly_threshold,
+            window=self.window,
         )
 
 

@@ -18,6 +18,7 @@ from .format import (
     columns_digest,
     trace_digest,
 )
+from .modelcache import MODEL_FORMAT, ModelHandle
 from .store import TraceStore, is_store, open_store, save_store
 from .stream import SyncResult, read_live_source, sync_store
 from .writer import StoreWriter
@@ -33,6 +34,8 @@ __all__ = [
     "TraceColumns",
     "columns_digest",
     "trace_digest",
+    "MODEL_FORMAT",
+    "ModelHandle",
     "TraceStore",
     "StoreWriter",
     "SyncResult",

@@ -11,7 +11,9 @@ optional cache of discretized microscopic models:
         hierarchy.json       leaf paths (slash-free, as JSON arrays)
         states.json          state names + display colours, in index order
         chunks/chunk-00000.npz   starts, ends, resource_ids, state_ids
-        models/slices-30.npz     cached MicroscopicModel (+ prefix tables)
+        models/slices-30/        cached MicroscopicModel as raw .npy sidecars
+                                 (mmap-shared across processes; see
+                                 repro.store.modelcache)
 
 The columnar layout (four parallel arrays per chunk: ``float64`` starts and
 ends, ``int32`` resource and state ids) is what the analysis engine consumes

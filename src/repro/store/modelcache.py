@@ -1,0 +1,207 @@
+"""Memory-mappable v2 microscopic-model cache (``models/slices-N/``).
+
+The v1 cache was a single compressed ``.npz`` per slice count.  Zip archives
+cannot be memory-mapped (``np.load`` silently ignores ``mmap_mode`` for
+them), so every process — each ``repro batch --jobs`` worker, each service
+shard, each ``--jobs`` subtree worker — decompressed its **own private copy**
+of the durations cube and the three prefix tables.  The v2 layout stores each
+array as a raw ``.npy`` file in a per-slice-count directory:
+
+.. code-block:: text
+
+    trace.rtz/models/slices-1000/
+        model.json            format tag, content digest, shape
+        durations.npy         (R, T, X) float64
+        edges.npy             (T + 1,) float64 slice edges
+        cum_durations.npy     (R + 1, T, X) resource-axis prefix sums
+        cum_proportions.npy   (R + 1, T, X)
+        cum_xlogx.npy         (R + 1, T, X)
+
+Readers open the arrays with ``np.load(mmap_mode="r")``: N processes mapping
+the same file share its pages through the OS page cache, so the resident cost
+of a fleet of workers is ~one model copy instead of N.  :class:`ModelHandle`
+is the picklable O(1) reference threaded through the process pools — workers
+reconstruct the model by re-opening the store and mapping the cache rather
+than receiving hundreds of megabytes through a pipe.
+
+Writes are crash-safe: every array is written into a temporary sibling
+directory, each file (and the directory) is fsynced, and the directory is
+published with a single ``os.replace`` — a killed writer leaves a
+``*.tmp-*`` directory behind, never a torn cache entry (the regression test
+kills a writer mid-cache and re-opens the store).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.microscopic import MicroscopicModel
+from ..core.timeslicing import TimeSlicing
+from .format import StoreIntegrityError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.hierarchy import Hierarchy
+    from ..trace.states import StateRegistry
+
+__all__ = ["MODEL_FORMAT", "MODEL_META_FILE", "ModelHandle", "write_model_cache", "load_model_cache"]
+
+#: Format identifier of the v2 model-cache directory layout.
+MODEL_FORMAT = "rtz-model/2"
+MODEL_META_FILE = "model.json"
+
+#: Array files of one cache entry; ``edges`` is tiny and loaded eagerly, the
+#: rest are opened with ``mmap_mode="r"``.
+_ARRAY_FILES = (
+    "durations",
+    "edges",
+    "cum_durations",
+    "cum_proportions",
+    "cum_xlogx",
+)
+
+
+@dataclass(frozen=True)
+class ModelHandle:
+    """A picklable O(1) reference to a store's mmap-backed cached model.
+
+    Pickling a :class:`~repro.core.MicroscopicModel` that carries a handle
+    serializes *this* (three small fields) instead of the arrays; the
+    receiving process re-opens the store and maps the shared cache files.
+    """
+
+    store_path: str
+    n_slices: int
+    digest: str
+
+    def load(self) -> MicroscopicModel:
+        """Re-open the store and return the (mmap-backed) cached model."""
+        from .store import open_store  # runtime import: store imports this module
+
+        store = open_store(self.store_path)
+        if store.digest != self.digest:
+            raise StoreIntegrityError(
+                f"{self.store_path}: store content changed since the model "
+                f"handle was created (digest {store.digest[:12]}… != "
+                f"{self.digest[:12]}…)"
+            )
+        return store.model(self.n_slices, persist=False)
+
+
+def _fsync_directory(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_model_cache(directory: Path, model: MicroscopicModel, digest: str) -> None:
+    """Atomically publish ``model`` (durations + prefix tables) at ``directory``.
+
+    Writes into a temporary sibling, fsyncs every file and the directory, then
+    ``os.replace``-renames it into place, so concurrent readers see either the
+    previous entry or the complete new one.  Raises :class:`OSError` on
+    failure (read-only stores); the caller treats that as "no cache".
+    """
+    cum_durations, cum_proportions, cum_xlogx = model.cumulative_tables()
+    arrays = {
+        "durations": np.asarray(model.durations),
+        "edges": np.asarray(model.slicing.edges),
+        "cum_durations": np.asarray(cum_durations),
+        "cum_proportions": np.asarray(cum_proportions),
+        "cum_xlogx": np.asarray(cum_xlogx),
+    }
+    meta = {
+        "format": MODEL_FORMAT,
+        "digest": str(digest),
+        "n_slices": int(model.n_slices),
+        "shape": [int(s) for s in model.durations.shape],
+    }
+    directory = Path(directory)
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    temp = directory.parent / f"{directory.name}.tmp-{uuid.uuid4().hex[:8]}"
+    try:
+        temp.mkdir()
+        for name in _ARRAY_FILES:
+            with open(temp / f"{name}.npy", "wb") as handle:
+                np.save(handle, arrays[name])
+                handle.flush()
+                os.fsync(handle.fileno())
+        with open(temp / MODEL_META_FILE, "w") as handle:
+            json.dump(meta, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _fsync_directory(temp)
+        if directory.exists():
+            # POSIX rename cannot replace a non-empty directory: clear the
+            # stale entry first (readers that already mapped it keep their
+            # pages; new readers fail open to a rebuild during the gap).
+            shutil.rmtree(directory)
+        os.replace(temp, directory)
+        _fsync_directory(directory.parent)
+    except OSError:
+        shutil.rmtree(temp, ignore_errors=True)
+        raise
+
+
+def load_model_cache(
+    directory: Path,
+    digest: str,
+    hierarchy: "Hierarchy",
+    states: "StateRegistry",
+    n_slices: int,
+) -> "MicroscopicModel | None":
+    """The cached model at ``directory``, mmap-backed, or ``None`` on any miss.
+
+    The cache is derived data — always reproducible from the digest-verified
+    columns — so *every* failure mode (missing files, torn metadata, digest
+    or shape mismatch) fails open as a miss instead of raising.
+    """
+    directory = Path(directory)
+    meta_path = directory / MODEL_META_FILE
+    try:
+        meta = json.loads(meta_path.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(meta, dict) or meta.get("format") != MODEL_FORMAT:
+        return None
+    if str(meta.get("digest")) != str(digest):
+        return None
+    expected = (hierarchy.n_leaves, int(n_slices), len(states))
+    try:
+        arrays = {}
+        for name in _ARRAY_FILES:
+            mode = None if name == "edges" else "r"
+            arrays[name] = np.load(directory / f"{name}.npy", mmap_mode=mode)
+    except Exception:  # np.load raises a zoo: OSError, ValueError, pickle…
+        return None
+    durations = arrays["durations"]
+    if durations.ndim != 3 or durations.shape != expected:
+        return None
+    prefix_shape = (expected[0] + 1, expected[1], expected[2])
+    for name in ("cum_durations", "cum_proportions", "cum_xlogx"):
+        if arrays[name].shape != prefix_shape:
+            return None
+    edges = np.asarray(arrays["edges"], dtype=float)
+    if edges.shape != (int(n_slices) + 1,):
+        return None
+    model = MicroscopicModel.from_trusted_arrays(
+        durations,
+        hierarchy,
+        TimeSlicing(edges),
+        states,
+        cumulatives=(
+            arrays["cum_durations"],
+            arrays["cum_proportions"],
+            arrays["cum_xlogx"],
+        ),
+    )
+    return model

@@ -20,11 +20,11 @@ from typing import Any, Mapping
 import numpy as np
 
 from ..core.microscopic import MicroscopicModel
-from ..core.timeslicing import TimeSlicing
 from ..core.hierarchy import Hierarchy
 from ..trace.events import StateInterval
 from ..trace.states import StateRegistry
 from ..trace.trace import Trace
+from .modelcache import ModelHandle, load_model_cache, write_model_cache
 from .format import (
     CHUNK_DIR,
     DEFAULT_CHUNK_ROWS,
@@ -381,17 +381,29 @@ class TraceStore:
     # Model cache
     # ------------------------------------------------------------------ #
     def model_cache_path(self, n_slices: int) -> Path:
-        """On-disk location of the cached model for ``n_slices`` slices."""
+        """On-disk location of the cached model for ``n_slices`` slices.
+
+        A v2 directory of raw ``.npy`` sidecars (see
+        :mod:`repro.store.modelcache`) that readers open with
+        ``np.load(mmap_mode="r")`` so concurrent processes share the tables
+        through the OS page cache.
+        """
+        return self._path / MODEL_DIR / f"slices-{int(n_slices)}"
+
+    def _legacy_model_cache_path(self, n_slices: int) -> Path:
+        """The v1 single-``.npz`` cache location (not mmap-able; regenerated)."""
         return self._path / MODEL_DIR / f"slices-{int(n_slices)}.npz"
 
     def cached_model_slices(self) -> list[int]:
-        """Slice counts with a persisted model, in increasing order."""
+        """Slice counts with a persisted v2 model cache, in increasing order."""
         model_dir = self._path / MODEL_DIR
         found: list[int] = []
         if model_dir.is_dir():
-            for entry in model_dir.glob("slices-*.npz"):
+            for entry in model_dir.glob("slices-*"):
+                if not entry.is_dir():
+                    continue
                 try:
-                    found.append(int(entry.stem.split("-", 1)[1]))
+                    found.append(int(entry.name.split("-", 1)[1]))
                 except ValueError:
                     continue
         return sorted(found)
@@ -413,6 +425,7 @@ class TraceStore:
         model = self._load_cached_model(n_slices)
         if model is not None:
             _record_model_load("warm")
+            model._handle = ModelHandle(str(self._path), n_slices, self.digest)
         else:
             _record_model_load("cold")
             columns = self.columns()
@@ -426,66 +439,43 @@ class TraceStore:
                 n_slices=n_slices,
             )
             model.cumulative_tables()
-            if persist:
-                self._save_cached_model(n_slices, model)
+            if persist and self._save_cached_model(n_slices, model):
+                # The on-disk entry now exists, so pools can pickle this
+                # model as an O(1) handle and mmap the shared sidecars.
+                model._handle = ModelHandle(str(self._path), n_slices, self.digest)
         self._models[n_slices] = model
         return model
 
     def _load_cached_model(self, n_slices: int) -> MicroscopicModel | None:
-        """The persisted model, or ``None`` on any miss *or* damage.
+        """The persisted model, mmap-backed, or ``None`` on any miss *or* damage.
 
         The model cache is derived data, always reproducible from the
         (digest-verified) columns, so it fails open: an unreadable or
-        shape-mismatched file is treated as a miss and rebuilt — unlike the
+        shape-mismatched entry is treated as a miss and rebuilt — unlike the
         chunks, where corruption is a hard :class:`StoreIntegrityError`.
+        Legacy v1 ``.npz`` entries (not mmap-able) are also misses; the next
+        :meth:`model` call transparently regenerates them in the v2 layout.
         """
-        path = self.model_cache_path(n_slices)
-        if not path.is_file():
-            return None
-        try:
-            with np.load(path, allow_pickle=True) as data:
-                # A cache entry without a digest, or with another content's
-                # digest, describes different columns (e.g. the store was
-                # appended to after the model was cached): treat as a miss.
-                if "digest" not in data or str(data["digest"]) != self.digest:
-                    return None
-                durations = data["durations"]
-                edges = data["edges"]
-                cumulatives = None
-                if "cum_durations" in data:
-                    cumulatives = (
-                        data["cum_durations"],
-                        data["cum_proportions"],
-                        data["cum_xlogx"],
-                    )
-        except Exception:  # np.load raises a zoo: OSError, zipfile, pickle…
-            return None
-        if durations.shape != (self._hierarchy.n_leaves, n_slices, len(self._states)):
-            return None
-        model = MicroscopicModel(durations, self._hierarchy, TimeSlicing(edges), self._states)
-        model._cumulatives = cumulatives
-        return model
+        return load_model_cache(
+            self.model_cache_path(n_slices),
+            self.digest,
+            self._hierarchy,
+            self._states,
+            n_slices,
+        )
 
-    def _save_cached_model(self, n_slices: int, model: MicroscopicModel) -> None:
-        path = self.model_cache_path(n_slices)
-        temp = path.with_suffix(".tmp.npz")
+    def _save_cached_model(self, n_slices: int, model: MicroscopicModel) -> bool:
+        """Atomically persist the v2 cache entry; ``True`` when it published."""
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            cum_durations, cum_proportions, cum_xlogx = model.cumulative_tables()
-            np.savez(
-                temp,
-                durations=model.durations,
-                edges=model.slicing.edges,
-                digest=np.array(self.digest),
-                cum_durations=cum_durations,
-                cum_proportions=cum_proportions,
-                cum_xlogx=cum_xlogx,
-            )
-            # Atomic publish: a crash mid-write leaves a .tmp file, never a
-            # truncated cache entry.
-            temp.replace(path)
+            write_model_cache(self.model_cache_path(n_slices), model, self.digest)
         except OSError:
-            temp.unlink(missing_ok=True)  # read-only store: serve from memory
+            return False  # read-only store: serve from memory
+        legacy = self._legacy_model_cache_path(n_slices)
+        try:
+            legacy.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

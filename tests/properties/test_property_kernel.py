@@ -1,0 +1,307 @@
+"""Property-based differential tests for the DP kernel tiers and mmap models.
+
+The contract behind ``repro … --kernel``: every kernel tier of
+:mod:`repro.core.kernels` computes the *same* Algorithm 1 recurrence
+**bit-for-bit** — no tolerances — for every registered operator, from the
+raw sweep level (random upper-triangular tables) up through tables,
+partitions and serialized analysis payloads.  On machines with numba the
+compiled tier joins the differential automatically.
+
+A second family checks the zero-copy model path: a store's persisted,
+``np.load(mmap_mode="r")``-backed model must be bit-identical to the
+directly discretized model, and ``window`` / ``extend`` / ``from_columns``
+must produce the same bits whether their input model is mmap-backed or
+in-memory.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.kernels import (
+    available_kernels,
+    temporal_cuts_blocked,
+    temporal_cuts_numba,
+    temporal_cuts_numpy,
+    numba_available,
+)
+from repro.core.microscopic import MicroscopicModel
+from repro.core.operators import available_operators
+from repro.core.spatiotemporal import SpatiotemporalAggregator
+from repro.pipeline.payloads import (
+    analysis_payload,
+    run_analysis,
+    serialize_payload,
+    trace_summary,
+)
+from repro.trace.states import StateRegistry
+from repro.trace.synthetic import random_trace
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Every tier runnable here; on numba-less machines that is numpy + blocked,
+#: with numba the compiled tier joins the same differential.
+TIERS = available_kernels()
+
+
+def model_strategy(max_resources: int = 8, max_slices: int = 10, max_states: int = 3):
+    """Random microscopic models with a balanced hierarchy."""
+
+    @st.composite
+    def build(draw):
+        n_resources = draw(st.integers(min_value=2, max_value=max_resources))
+        n_slices = draw(st.integers(min_value=2, max_value=max_slices))
+        n_states = draw(st.integers(min_value=1, max_value=max_states))
+        fanout = draw(st.sampled_from([2, 3]))
+        raw = draw(
+            arrays(
+                dtype=np.float64,
+                shape=(n_resources, n_slices, n_states),
+                elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            )
+        )
+        totals = raw.sum(axis=2, keepdims=True)
+        scale = np.where(totals > 1.0, totals, 1.0)
+        rho = raw / scale
+        hierarchy = Hierarchy.balanced(n_resources, fanout=fanout)
+        states = StateRegistry([f"s{i}" for i in range(n_states)])
+        return MicroscopicModel.from_proportions(rho, hierarchy, states)
+
+    return build()
+
+
+def sweep_inputs(max_size: int = 12):
+    """Random finalized-diagonal DP tables: (best, count) ready for a sweep."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=2, max_value=max_size))
+        values = draw(
+            arrays(
+                dtype=np.float64,
+                shape=(n, n),
+                elements=st.floats(min_value=-4.0, max_value=4.0, allow_nan=False),
+            )
+        )
+        counts = draw(
+            arrays(
+                dtype=np.int64,
+                shape=(n, n),
+                elements=st.integers(min_value=1, max_value=50),
+            )
+        )
+        # Only the upper triangle is meaningful DP state; counts stay >= 1.
+        return np.triu(values).copy(), counts
+
+    return build()
+
+
+def _run_sweep(sweep, best, count, epsilon, **kwargs):
+    b, c = best.copy(), count.copy()
+    cut = np.zeros(best.shape, dtype=np.int64)
+    sweep(b, cut, c, epsilon, **kwargs)
+    return b, cut, c
+
+
+class TestRawSweepDifferential:
+    """The sweep level: identical tables from identical inputs, no tolerances."""
+
+    @_SETTINGS
+    @given(
+        data=sweep_inputs(),
+        epsilon=st.sampled_from([1e-9, 1e-6, 1e-3]),
+        block=st.integers(min_value=1, max_value=5),
+    )
+    def test_blocked_matches_numpy_at_any_block_height(self, data, epsilon, block):
+        best, count = data
+        reference = _run_sweep(temporal_cuts_numpy, best, count, epsilon)
+        blocked = _run_sweep(temporal_cuts_blocked, best, count, epsilon, block=block)
+        for ref, got in zip(reference, blocked):
+            assert np.array_equal(ref, got)
+
+    @_SETTINGS
+    @given(data=sweep_inputs(), epsilon=st.sampled_from([1e-9, 1e-6]))
+    def test_numba_matches_numpy_when_available(self, data, epsilon):
+        if not numba_available():
+            return  # covered by the CI leg that installs numba
+        best, count = data
+        reference = _run_sweep(temporal_cuts_numpy, best, count, epsilon)
+        compiled = _run_sweep(temporal_cuts_numba, best, count, epsilon)
+        for ref, got in zip(reference, compiled):
+            assert np.array_equal(ref, got)
+
+
+class TestKernelTiersEndToEnd:
+    """Tables, partitions and payloads agree across tiers for every operator."""
+
+    @_SETTINGS
+    @given(
+        model=model_strategy(),
+        operator=st.sampled_from(list(available_operators())),
+        p=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_tables_identical_for_every_operator(self, model, operator, p):
+        base = SpatiotemporalAggregator(model, operator=operator, kernel=TIERS[0])
+        reference = base.compute_tables(p)
+        for tier in TIERS[1:]:
+            other = SpatiotemporalAggregator(
+                model, stats=base.stats, kernel=tier
+            ).compute_tables(p)
+            assert reference.keys() == other.keys()
+            for key in reference:
+                assert np.array_equal(reference[key].pic, other[key].pic), tier
+                assert np.array_equal(reference[key].cut, other[key].cut), tier
+                assert np.array_equal(reference[key].count, other[key].count), tier
+
+    @_SETTINGS
+    @given(
+        model=model_strategy(),
+        operator=st.sampled_from(list(available_operators())),
+        p=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_partitions_and_payloads_identical(self, model, operator, p):
+        summary = trace_summary(
+            "digest", 1, model.n_resources, len(model.states), 0.0, 1.0, {}
+        )
+        params = {"p": p, "slices": model.n_slices, "operator": operator}
+        payloads = []
+        partitions = []
+        for tier in TIERS:
+            aggregator = SpatiotemporalAggregator(model, operator=operator, kernel=tier)
+            result = run_analysis(model, p, aggregator=aggregator)
+            partitions.append(
+                [
+                    (a.node.leaf_start, a.node.leaf_end, a.i, a.j)
+                    for a in result.partition.aggregates
+                ]
+            )
+            payloads.append(
+                serialize_payload(analysis_payload(summary, result, params))
+            )
+        for tier, partition, payload in zip(TIERS[1:], partitions[1:], payloads[1:]):
+            assert partition == partitions[0], tier
+            assert payload == payloads[0], tier
+
+
+class TestMmapModelParity:
+    """mmap-backed store models behave bit-identically to in-memory ones."""
+
+    @_SETTINGS
+    @given(
+        n_resources=st.integers(min_value=2, max_value=6),
+        gen_slices=st.integers(min_value=3, max_value=8),
+        n_slices=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_store_model_matches_direct_discretization(
+        self, n_resources, gen_slices, n_slices, seed
+    ):
+        from repro.store import save_store
+
+        trace = random_trace(
+            n_resources=n_resources, n_slices=gen_slices, n_states=3, seed=seed
+        )
+        direct = MicroscopicModel.from_trace(trace, n_slices=n_slices)
+        direct.cumulative_tables()
+        from repro.store import open_store
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = save_store(trace, Path(tmp) / "t.rtz")
+            store.model(n_slices)  # cold build publishes the cache
+            mapped = open_store(store.path).model(n_slices)  # warm mmap load
+            assert isinstance(mapped.durations, np.memmap)
+            assert np.array_equal(mapped.durations, direct.durations)
+            assert np.array_equal(mapped.slicing.edges, direct.slicing.edges)
+            for left, right in zip(
+                mapped.cumulative_tables(), direct.cumulative_tables()
+            ):
+                assert np.array_equal(left, right)
+
+    @_SETTINGS
+    @given(
+        n_resources=st.integers(min_value=2, max_value=6),
+        n_slices=st.integers(min_value=4, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+        data=st.data(),
+    )
+    def test_window_and_extend_parity_on_mmap_models(
+        self, n_resources, n_slices, seed, data
+    ):
+        from repro.store import save_store
+
+        trace = random_trace(
+            n_resources=n_resources, n_slices=n_slices, n_states=3, seed=seed
+        )
+        direct = MicroscopicModel.from_trace(trace, n_slices=n_slices)
+        direct.cumulative_tables()
+        from repro.store import open_store
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = save_store(trace, Path(tmp) / "t.rtz")
+            store.model(n_slices)
+            mapped = open_store(store.path).model(n_slices)
+            assert isinstance(mapped.durations, np.memmap)
+
+            start = data.draw(st.integers(min_value=0, max_value=n_slices - 2))
+            stop = data.draw(st.integers(min_value=start + 1, max_value=n_slices))
+            win_mapped = mapped.window(start, stop)
+            win_direct = direct.window(start, stop)
+            assert np.array_equal(win_mapped.durations, win_direct.durations)
+            for left, right in zip(
+                win_mapped.cumulative_tables(), win_direct.cumulative_tables()
+            ):
+                assert np.array_equal(left, right)
+
+            # Appended tail rows: the streaming counterpart of from_columns.
+            n_rows = data.draw(st.integers(min_value=1, max_value=4))
+            end = float(mapped.slicing.edges[-1])
+            width = float(mapped.slicing.edges[1] - mapped.slicing.edges[0])
+            offsets = sorted(
+                data.draw(
+                    st.lists(
+                        st.floats(min_value=0.0, max_value=2.0 * width),
+                        min_size=n_rows, max_size=n_rows,
+                    )
+                )
+            )
+            starts = np.array([end + o for o in offsets])
+            ends = starts + width / 2
+            resource_ids = np.array(
+                data.draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=n_resources - 1),
+                        min_size=n_rows, max_size=n_rows,
+                    )
+                ),
+                dtype=np.int64,
+            )
+            state_ids = np.array(
+                data.draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=2),
+                        min_size=n_rows, max_size=n_rows,
+                    )
+                ),
+                dtype=np.int64,
+            )
+            ext_mapped = mapped.extend(starts, ends, resource_ids, state_ids)
+            ext_direct = direct.extend(starts, ends, resource_ids, state_ids)
+            assert np.array_equal(ext_mapped.durations, ext_direct.durations)
+            assert np.array_equal(
+                ext_mapped.slicing.edges, ext_direct.slicing.edges
+            )
+            for left, right in zip(
+                ext_mapped.cumulative_tables(), ext_direct.cumulative_tables()
+            ):
+                assert np.array_equal(left, right)

@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -96,14 +99,19 @@ class TestRoundTrip:
 class TestModelCache:
     def test_model_persisted_and_reloaded(self, trace, store):
         model = store.model(20)
-        assert store.model_cache_path(20).is_file()
+        assert store.model_cache_path(20).is_dir()
+        assert (store.model_cache_path(20) / "model.json").is_file()
         reopened = open_store(store.path)
         cached = reopened.model(20)
         assert np.array_equal(cached.durations, model.durations)
         assert np.array_equal(cached.slicing.edges, model.slicing.edges)
-        # The prefix-sum tables come back too: no recomputation marker.
+        # The prefix-sum tables come back too: no recomputation marker —
+        # and they come back *memory-mapped*, so worker processes share the
+        # pages through the OS page cache instead of private copies.
         assert cached._cumulatives is not None
+        assert isinstance(cached.durations, np.memmap)
         for left, right in zip(cached.cumulative_tables(), model.cumulative_tables()):
+            assert isinstance(left, np.memmap)
             assert np.array_equal(left, right)
 
     def test_cached_model_slices_listing(self, store):
@@ -114,17 +122,86 @@ class TestModelCache:
 
     def test_model_not_persisted_when_disabled(self, store):
         store.model(12, persist=False)
-        assert not store.model_cache_path(12).is_file()
+        assert not store.model_cache_path(12).exists()
 
     def test_corrupt_model_cache_fails_open(self, store):
         """Derived data: a damaged cache entry is rebuilt, not a hard error."""
         reference = store.model(15)
-        store.model_cache_path(15).write_bytes(b"garbage")
+        (store.model_cache_path(15) / "durations.npy").write_bytes(b"garbage")
         reopened = open_store(store.path)
         rebuilt = reopened.model(15)
         assert np.array_equal(rebuilt.durations, reference.durations)
         # The rebuild also repaired the on-disk entry.
-        assert np.load(store.model_cache_path(15))["durations"].shape == reference.durations.shape
+        repaired = np.load(store.model_cache_path(15) / "durations.npy", mmap_mode="r")
+        assert repaired.shape == reference.durations.shape
+
+    def test_legacy_npz_cache_is_regenerated(self, trace, store):
+        """A v1 single-file .npz entry is treated as a miss and replaced."""
+        reference = store.model(18)
+        legacy = store._legacy_model_cache_path(14)
+        legacy.parent.mkdir(exist_ok=True)
+        np.savez(legacy, durations=np.zeros((1, 1, 1)))
+        reopened = open_store(store.path)
+        assert 14 not in reopened.cached_model_slices()
+        model = reopened.model(14)
+        assert model.n_slices == 14
+        assert reopened.model_cache_path(14).is_dir()
+        assert not legacy.exists()
+        assert 14 in reopened.cached_model_slices()
+        assert reference.n_slices == 18  # unrelated entries untouched
+
+
+def _torn_cache_writer(store_path: str, n_slices: int) -> None:
+    """Child process: start persisting a model cache, die mid-write.
+
+    SIGKILLs itself on the second array file of the cache entry — after the
+    tmp sidecar directory exists and holds real data, but before the atomic
+    ``os.replace`` publish — the exact torn-write window the tmp + fsync +
+    rename protocol must make unobservable.
+    """
+    from repro.store import open_store
+
+    original_save = np.save
+    state = {"saves": 0}
+
+    def killing_save(file, arr, *args, **kwargs):
+        state["saves"] += 1
+        if state["saves"] >= 2:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return original_save(file, arr, *args, **kwargs)
+
+    np.save = killing_save
+    open_store(store_path).model(n_slices)
+
+
+class TestTornModelCacheWrites:
+    def test_killed_writer_leaves_no_torn_cache(self, trace, tmp_path):
+        """A writer killed mid-cache never publishes a partial entry."""
+        from repro.store import open_store
+
+        store = save_store(trace, tmp_path / "t.rtz")
+        ctx = multiprocessing.get_context("fork")
+        writer = ctx.Process(target=_torn_cache_writer, args=(str(store.path), 9))
+        writer.start()
+        writer.join(60)
+        assert writer.exitcode == -signal.SIGKILL
+
+        # The torn attempt never published: no cache entry is visible, only
+        # an inert tmp sidecar proving the kill landed mid-write.
+        reopened = open_store(store.path)
+        assert not store.model_cache_path(9).exists()
+        assert 9 not in reopened.cached_model_slices()
+        debris = list((store.path / "models").glob("slices-9.tmp-*"))
+        assert debris
+
+        # Fails open: the next reader rebuilds and publishes atomically, and
+        # the mmap-backed reload round-trips.
+        model = reopened.model(9)
+        assert model.n_slices == 9
+        assert store.model_cache_path(9).is_dir()
+        assert 9 in reopened.cached_model_slices()
+        warm = open_store(store.path).model(9)
+        assert np.array_equal(warm.durations, model.durations)
 
 
 class TestCorruption:

@@ -118,16 +118,19 @@ class TestAppend:
         store = open_store(store_path)
         store.model(6)
         assert store.cached_model_slices() == [6]
-        stale_cache = store.model_cache_path(6).read_bytes()
+        stale_entry = {
+            f.name: f.read_bytes() for f in store.model_cache_path(6).iterdir()
+        }
 
         StoreWriter(store_path).append_intervals(tail)
         grown = open_store(store_path)
         assert grown.cached_model_slices() == []
 
-        # Even if a stale cache file reappears (backup restore, copy race),
+        # Even if a stale cache entry reappears (backup restore, copy race),
         # the loader's digest check refuses it and rebuilds from columns.
-        grown.model_cache_path(6).parent.mkdir(exist_ok=True)
-        grown.model_cache_path(6).write_bytes(stale_cache)
+        grown.model_cache_path(6).mkdir(parents=True, exist_ok=True)
+        for name, payload in stale_entry.items():
+            (grown.model_cache_path(6) / name).write_bytes(payload)
         model = open_store(store_path).model(6)
         assert model.slicing.end == grown.end
 

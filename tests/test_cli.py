@@ -207,8 +207,8 @@ class TestConvert:
         assert main([
             "convert", str(small_trace_csv), str(store), "--model-slices", "10,20",
         ]) == 0
-        assert (store / "models" / "slices-10.npz").is_file()
-        assert (store / "models" / "slices-20.npz").is_file()
+        assert (store / "models" / "slices-10" / "model.json").is_file()
+        assert (store / "models" / "slices-20" / "model.json").is_file()
 
     def test_convert_rejects_bad_model_slices(self, small_trace_csv, tmp_path, capsys):
         assert main([
